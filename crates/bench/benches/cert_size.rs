@@ -1,0 +1,30 @@
+//! E1-oriented bench: prover certificate construction and the resulting
+//! certificate sizes across planar families (reported via Criterion
+//! throughput of the prover; sizes printed once per group).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpc_core::scheme::ProofLabelingScheme;
+use dpc_core::schemes::planarity::PlanarityScheme;
+use dpc_graph::generators;
+
+fn bench_cert_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cert_size");
+    group.sample_size(10);
+    let scheme = PlanarityScheme::new();
+    for &n in &[256u32, 1024, 4096] {
+        let g = generators::stacked_triangulation(n, 42);
+        let a = scheme.prove(&g).unwrap();
+        println!("n={n}: max cert {} bits, avg {:.1}", a.max_bits(), a.avg_bits());
+        group.bench_with_input(BenchmarkId::new("triangulation", n), &g, |b, g| {
+            b.iter(|| scheme.prove(std::hint::black_box(g)).unwrap().max_bits())
+        });
+        let t = generators::random_tree(n, 42);
+        group.bench_with_input(BenchmarkId::new("tree", n), &t, |b, t| {
+            b.iter(|| scheme.prove(std::hint::black_box(t)).unwrap().max_bits())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cert_size);
+criterion_main!(benches);

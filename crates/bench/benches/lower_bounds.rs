@@ -1,0 +1,41 @@
+//! E7/E8 bench: constructing and certifying the Lemma 5 instances, and
+//! the pigeonhole forgery end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpc_lowerbounds::blocks::{certify_cycle_has_kk, certify_path_kfree, cycle_of_blocks, path_of_blocks};
+use dpc_lowerbounds::counting::{forge_cycle, ModCounterScheme};
+
+fn bench_lower_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lower_bounds");
+    group.sample_size(10);
+    for &p in &[50usize, 500] {
+        let perm: Vec<usize> = (1..=p).collect();
+        group.bench_with_input(BenchmarkId::new("path_of_blocks_k5", p), &perm, |b, perm| {
+            b.iter(|| {
+                let inst = path_of_blocks(5, std::hint::black_box(perm));
+                assert!(certify_path_kfree(&inst));
+                inst.graph.node_count()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cycle_witness_k5", p), &perm, |b, perm| {
+            b.iter(|| {
+                let inst = cycle_of_blocks(5, std::hint::black_box(perm));
+                assert!(certify_cycle_has_kk(&inst));
+                inst.graph.node_count()
+            })
+        });
+    }
+    for &g in &[3u32, 6] {
+        group.bench_with_input(BenchmarkId::new("forge_cycle", g), &g, |b, &g| {
+            b.iter(|| {
+                let f = forge_cycle(&ModCounterScheme::new(4, g));
+                assert!(f.fully_accepted);
+                f.cycle.graph.node_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lower_bounds);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E13 prover-side bench: the full pipeline (left-right embedding,
+//! T-embedding, degeneracy assignment, certificate encoding) and its
+//! pieces in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpc_core::scheme::ProofLabelingScheme;
+use dpc_core::schemes::planarity::PlanarityScheme;
+use dpc_graph::generators;
+use dpc_graph::traversal::bfs_spanning_tree;
+
+fn bench_prover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prover");
+    group.sample_size(10);
+    for &n in &[1024u32, 8192] {
+        let g = generators::stacked_triangulation(n, 7);
+        group.bench_with_input(BenchmarkId::new("lr_planarity", n), &g, |b, g| {
+            b.iter(|| dpc_planar::lr::planarity(std::hint::black_box(g)).is_planar())
+        });
+        let rot = dpc_planar::lr::planarity(&g).into_embedding().unwrap();
+        let tree = bfs_spanning_tree(&g, 0);
+        group.bench_with_input(BenchmarkId::new("t_embedding", n), &g, |b, g| {
+            b.iter(|| dpc_planar::tembed::t_embedding(std::hint::black_box(g), &rot, &tree).unwrap().chords.len())
+        });
+        let scheme = PlanarityScheme::new();
+        group.bench_with_input(BenchmarkId::new("full_prove", n), &g, |b, g| {
+            b.iter(|| scheme.prove(std::hint::black_box(g)).unwrap().total_bits())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prover);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E13/E2 verifier-side bench: the 1-round distributed verification of
+//! the planarity PLS, and of the baselines, through the simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpc_core::harness::run_with_assignment;
+use dpc_core::scheme::ProofLabelingScheme;
+use dpc_core::schemes::planarity::PlanarityScheme;
+use dpc_core::schemes::universal::UniversalScheme;
+use dpc_graph::generators;
+
+fn bench_verifier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verifier");
+    group.sample_size(10);
+    for &n in &[1024u32, 8192] {
+        let g = generators::stacked_triangulation(n, 9);
+        let scheme = PlanarityScheme::new();
+        let a = scheme.prove(&g).unwrap();
+        group.bench_with_input(BenchmarkId::new("planarity_pls", n), &g, |b, g| {
+            b.iter(|| {
+                let out = run_with_assignment(&scheme, std::hint::black_box(g), &a);
+                assert!(out.all_accept());
+                out.rounds
+            })
+        });
+    }
+    // the universal baseline re-runs a sequential planarity test per node:
+    // quadratic total work, benchmarked at a small size only
+    let g = generators::stacked_triangulation(128, 9);
+    let uni = UniversalScheme::new();
+    let a = uni.prove(&g).unwrap();
+    group.bench_with_input(BenchmarkId::new("universal_pls", 128u32), &g, |b, g| {
+        b.iter(|| run_with_assignment(&uni, std::hint::black_box(g), &a).rounds)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_verifier);
+criterion_main!(benches);

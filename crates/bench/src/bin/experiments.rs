@@ -1,0 +1,22 @@
+//! Regenerates the experiment tables of EXPERIMENTS.md.
+//!
+//! Usage:
+//!   cargo run -p dpc-bench --release --bin experiments -- all
+//!   cargo run -p dpc-bench --release --bin experiments -- e1 e7 e8
+
+use dpc_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        experiments::all_ids().into_iter().map(String::from).collect()
+    } else {
+        args
+    };
+    for id in &ids {
+        if !experiments::run(id) {
+            eprintln!("unknown experiment id: {id} (known: {:?})", experiments::all_ids());
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,568 @@
+//! The experiment implementations (E1–E16). Each prints the table(s)
+//! recorded in EXPERIMENTS.md.
+
+use crate::families::{nonplanar_families, planar_families};
+use crate::table::{linear_fit, Table};
+use dpc_core::adversary::soundness_report;
+use dpc_core::harness::{run_pls, run_with_assignment};
+use dpc_core::scheme::ProofLabelingScheme;
+use dpc_core::schemes::non_planarity::NonPlanarityScheme;
+use dpc_core::schemes::path_outerplanar::PathOuterplanarScheme;
+use dpc_core::schemes::planarity::{EdgeAssignment, PlanarityScheme};
+use dpc_core::schemes::universal::UniversalScheme;
+use dpc_graph::generators;
+use dpc_interactive::dmam::{detection_rate, run_dmam, DmamPlanarity};
+use dpc_lowerbounds::blocks::{
+    certify_cycle_has_kk, certify_path_kfree, cycle_of_blocks, path_of_blocks,
+    subdivide_for_radius,
+};
+use dpc_lowerbounds::counting::{accepts_path, crossover_p, forge_cycle, ModCounterScheme};
+use dpc_lowerbounds::kpq::{certify_j_has_kqq, default_ids, instance_iab, instance_j, KpqParams};
+use std::time::Instant;
+
+const SIZES: [u32; 6] = [64, 256, 1024, 4096, 16384, 65536];
+
+/// E1 — certificate size vs n (Theorem 1: O(log n)).
+pub fn e1() {
+    let mut t = Table::new(
+        "E1: planarity PLS certificate size (bits) vs n",
+        &["family", "n", "max bits", "avg bits", "bits/log2(n)"],
+    );
+    let scheme = PlanarityScheme::new();
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for f in planar_families() {
+        for &n in &SIZES {
+            let g = (f.make)(n, 42);
+            let a = scheme.prove(&g).expect("planar family");
+            let logn = (g.node_count() as f64).log2();
+            xs.push(logn);
+            ys.push(a.max_bits() as f64);
+            t.row(vec![
+                f.name.into(),
+                g.node_count().to_string(),
+                a.max_bits().to_string(),
+                format!("{:.1}", a.avg_bits()),
+                format!("{:.1}", a.max_bits() as f64 / logn),
+            ]);
+        }
+    }
+    t.print();
+    let (a, b) = linear_fit(&xs, &ys);
+    println!("fit: max_bits ~= {a:.1} * log2(n) + {b:.1}  (O(log n) iff slope dominates)\n");
+}
+
+/// E2 — rounds and message size in CONGEST (Theorem 1: 1 round).
+pub fn e2() {
+    let mut t = Table::new(
+        "E2: verification rounds and CONGEST message size",
+        &["family", "n", "rounds", "max msg bits", "msg/log2(n)"],
+    );
+    let scheme = PlanarityScheme::new();
+    for f in planar_families() {
+        for &n in &[256u32, 4096, 65536] {
+            let g = (f.make)(n, 7);
+            let out = run_pls(&scheme, &g).unwrap();
+            assert!(out.all_accept());
+            let logn = (g.node_count() as f64).log2();
+            t.row(vec![
+                f.name.into(),
+                g.node_count().to_string(),
+                out.rounds.to_string(),
+                out.max_message_bits.to_string(),
+                format!("{:.1}", out.max_message_bits as f64 / logn),
+            ]);
+        }
+    }
+    t.print();
+}
+
+/// E3 — completeness over planar families and seeds.
+pub fn e3() {
+    let mut t = Table::new(
+        "E3: completeness (acceptance rate over 10 seeds)",
+        &["family", "n", "accept rate", "nodes accepting"],
+    );
+    let scheme = PlanarityScheme::new();
+    for f in planar_families() {
+        let n = 500u32;
+        let mut ok = 0;
+        let mut nodes = 0usize;
+        for seed in 0..10u64 {
+            let g = (f.make)(n, seed);
+            let out = run_pls(&scheme, &g).unwrap();
+            if out.all_accept() {
+                ok += 1;
+            }
+            nodes += out.verdicts.iter().filter(|&&b| b).count();
+        }
+        t.row(vec![
+            f.name.into(),
+            n.to_string(),
+            format!("{}/10", ok),
+            nodes.to_string(),
+        ]);
+    }
+    t.print();
+}
+
+/// E4 — soundness: adversarial provers on non-planar instances.
+pub fn e4() {
+    let mut t = Table::new(
+        "E4: soundness (min rejecting nodes over attacks; '-' = attack inapplicable)",
+        &["family", "n", "attack", "rejecting nodes"],
+    );
+    let scheme = PlanarityScheme::new();
+    for f in nonplanar_families() {
+        let g = (f.make)(60, 11);
+        for row in soundness_report(&scheme, &g, 13) {
+            t.row(vec![
+                f.name.into(),
+                g.node_count().to_string(),
+                row.attack.into(),
+                row.rejects.map_or("-".into(), |r| r.to_string()),
+            ]);
+        }
+    }
+    t.print();
+    println!("soundness holds iff every applicable attack row is >= 1\n");
+}
+
+/// E5 — the T-embedding pipeline (Lemmas 3–4, paper Figs. 5–6).
+pub fn e5() {
+    let mut t = Table::new(
+        "E5: T-embedding pipeline on planar inputs",
+        &["family", "n", "|V(G_Tf)| = 2n-1", "chords", "laminar", "euler-genus"],
+    );
+    for f in planar_families() {
+        let g = (f.make)(2000, 3);
+        let rot = dpc_planar::lr::planarity(&g).into_embedding().unwrap();
+        let genus = rot.genus();
+        let tree = dpc_graph::traversal::bfs_spanning_tree(&g, 0);
+        let te = dpc_planar::tembed::t_embedding(&g, &rot, &tree);
+        match te {
+            Ok(te) => t.row(vec![
+                f.name.into(),
+                g.node_count().to_string(),
+                format!(
+                    "{} ({})",
+                    te.spine_len,
+                    if te.spine_len as usize == 2 * g.node_count() - 1 { "ok" } else { "MISMATCH" }
+                ),
+                te.chords.len().to_string(),
+                "yes".into(),
+                genus.to_string(),
+            ]),
+            Err(_) => t.row(vec![
+                f.name.into(),
+                g.node_count().to_string(),
+                "-".into(),
+                "-".into(),
+                "NO".into(),
+                genus.to_string(),
+            ]),
+        };
+    }
+    t.print();
+}
+
+/// E6 — the standalone path-outerplanarity scheme (Lemma 2 / Alg. 1).
+pub fn e6() {
+    let mut t = Table::new(
+        "E6: path-outerplanarity PLS (Lemma 2)",
+        &["instance", "n", "verdict", "max cert bits"],
+    );
+    let scheme = PathOuterplanarScheme::new();
+    for (name, n, extra, seed) in [
+        ("sparse chords", 200u32, 40u32, 1u64),
+        ("many chords", 200, 160, 2),
+        ("bare path", 200, 0, 3),
+        ("large", 5000, 2000, 4),
+    ] {
+        let g = generators::random_path_outerplanar(n, extra, seed);
+        let out = run_pls(&scheme, &g).unwrap();
+        t.row(vec![
+            name.into(),
+            g.node_count().to_string(),
+            if out.all_accept() { "accept".into() } else { "REJECT".to_string() },
+            out.max_cert_bits.to_string(),
+        ]);
+    }
+    // a crossing instance: prover refuses; forged certificates rejected
+    let mut b = dpc_graph::GraphBuilder::new(8);
+    for v in 1..8 {
+        b.add_edge(v - 1, v).unwrap();
+    }
+    b.add_edge(0, 4).unwrap();
+    b.add_edge(2, 6).unwrap();
+    let bad = b.build();
+    let prover = scheme.prove(&bad);
+    let sub = bad.edge_subgraph(|_, e| e.canonical() != (2, 6));
+    let forged = scheme.prove(&sub).unwrap();
+    let out = run_with_assignment(&scheme, &bad, &forged);
+    t.row(vec![
+        "crossing (forged)".into(),
+        "8".into(),
+        format!(
+            "prover: {}, replay rejects {}",
+            if prover.is_err() { "declines" } else { "BUG" },
+            out.reject_count()
+        ),
+        "-".into(),
+    ]);
+    t.print();
+}
+
+/// E7 — Lemma 5 instances (paper Figs. 7–8).
+pub fn e7() {
+    let mut t = Table::new(
+        "E7: paths vs cycles of blocks (Lemma 5)",
+        &["k", "p", "n", "path K_k-free", "cycle has K_k"],
+    );
+    for k in [4usize, 5, 6] {
+        for p in [2usize, 20, 200] {
+            let perm: Vec<usize> = (1..=p).collect();
+            let path = path_of_blocks(k, &perm);
+            let cycle = cycle_of_blocks(k, &perm);
+            t.row(vec![
+                k.to_string(),
+                p.to_string(),
+                path.graph.node_count().to_string(),
+                if certify_path_kfree(&path) { "certified".into() } else { "FAIL".to_string() },
+                if certify_cycle_has_kk(&cycle) { "witnessed".into() } else { "FAIL".to_string() },
+            ]);
+        }
+    }
+    t.print();
+    // cross-check k=4 with the exact series-parallel test
+    let path = path_of_blocks(4, &(1..=50).collect::<Vec<_>>());
+    let cycle = cycle_of_blocks(4, &(1..=50).collect::<Vec<_>>());
+    println!(
+        "exact K4 check: path has K4 minor = {}, cycle has K4 minor = {}\n",
+        dpc_graph::minors::has_k4_minor(&path.graph),
+        dpc_graph::minors::has_k4_minor(&cycle.graph)
+    );
+}
+
+/// E8 — the pigeonhole forgery (Lemma 5's counting argument).
+pub fn e8() {
+    let mut t = Table::new(
+        "E8a: counting crossover p* where p! > 2^{(k-1)gp}",
+        &["k", "g", "p*"],
+    );
+    for k in [4u32, 5] {
+        for g in [1u32, 2, 3, 4] {
+            t.row(vec![
+                k.to_string(),
+                g.to_string(),
+                crossover_p(k, g).to_string(),
+            ]);
+        }
+    }
+    t.print();
+    let mut t = Table::new(
+        "E8b: concrete forgery against the g-bit mod-counter scheme (k=4)",
+        &["g", "paths accepted", "forged cycle blocks", "cycle fully accepted", "cycle illegal"],
+    );
+    for g in 1..=6u32 {
+        let scheme = ModCounterScheme::new(4, g);
+        let paths_ok = accepts_path(&scheme, &(1..=(1usize << g) + 2).collect::<Vec<_>>());
+        let f = forge_cycle(&scheme);
+        t.row(vec![
+            g.to_string(),
+            if paths_ok { "yes".into() } else { "NO".to_string() },
+            (1usize << g).to_string(),
+            if f.fully_accepted { "yes (soundness broken)".into() } else { "NO".to_string() },
+            if certify_cycle_has_kk(&f.cycle) { "yes (K4 minor)".into() } else { "NO".to_string() },
+        ]);
+    }
+    t.print();
+    println!("with g = o(log n) bits, cycles of 2^g << n blocks are forgeable: Lemma 5 in action\n");
+}
+
+/// E9 — Lemma 6 instances (paper Figs. 9–10).
+pub fn e9() {
+    let mut t = Table::new(
+        "E9: K_{p,q} lower-bound instances (Lemma 6)",
+        &["q", "n per I_ab", "I_ab outerplanar", "J nodes", "J has K_{q,q}", "J outerplanar"],
+    );
+    for q in [3usize, 4, 5] {
+        let params = KpqParams::new(8 * q, q);
+        let iab = instance_iab(
+            params,
+            &default_ids(params, 0, false),
+            &default_ids(params, 0, true),
+        );
+        let j = instance_j(params);
+        t.row(vec![
+            q.to_string(),
+            iab.node_count().to_string(),
+            if dpc_planar::embedding::is_outerplanar(&iab) { "yes".into() } else { "NO".to_string() },
+            j.graph.node_count().to_string(),
+            if certify_j_has_kqq(&j, q) { "witnessed".into() } else { "NO".to_string() },
+            if dpc_planar::embedding::is_outerplanar(&j.graph) { "YES(bug)".into() } else { "no".to_string() },
+        ]);
+    }
+    t.print();
+}
+
+/// E10 — comparison with the dMAM baseline and the universal scheme.
+pub fn e10() {
+    let mut t = Table::new(
+        "E10: planarity certification, scheme comparison",
+        &["scheme", "interactions", "random bits", "n", "max bits", "soundness"],
+    );
+    let sizes = [256u32, 4096];
+    for &n in &sizes {
+        let g = generators::stacked_triangulation(n, 5);
+        let pls = PlanarityScheme::new().prove(&g).unwrap();
+        t.row(vec![
+            "PLS (this paper)".into(),
+            "1 (dM)".into(),
+            "0".into(),
+            n.to_string(),
+            pls.max_bits().to_string(),
+            "perfect".into(),
+        ]);
+        let out = run_dmam(&DmamPlanarity::new(), &g, 3).unwrap();
+        assert!(out.all_accept());
+        t.row(vec![
+            "dMAM baseline [NPY-style]".into(),
+            "3 (dMAM)".into(),
+            out.challenge_bits.to_string(),
+            n.to_string(),
+            format!("{}+{}", out.max_commit_bits, out.max_response_bits),
+            "one-sided error".into(),
+        ]);
+        let uni = UniversalScheme::new().prove(&g).unwrap();
+        t.row(vec![
+            "universal baseline".into(),
+            "1 (dM)".into(),
+            "0".into(),
+            n.to_string(),
+            uni.max_bits().to_string(),
+            "perfect".into(),
+        ]);
+    }
+    t.print();
+    // measure the dMAM one-sided error empirically
+    let mut t = Table::new(
+        "E10b: dMAM single-shot detection rate on non-planar inputs",
+        &["family", "n", "detection rate (40 trials)"],
+    );
+    for f in nonplanar_families() {
+        let g = (f.make)(40, 9);
+        t.row(vec![
+            f.name.into(),
+            g.node_count().to_string(),
+            format!("{:.2}", detection_rate(&g, 40, 17)),
+        ]);
+    }
+    t.print();
+    println!("the PLS rejects deterministically; the dMAM trades certainty for smaller commitments\n");
+}
+
+/// E11 — the folklore non-planarity scheme.
+pub fn e11() {
+    let mut t = Table::new(
+        "E11: non-planarity PLS (Kuratowski witness, folklore)",
+        &["instance", "n", "witness", "verdict", "max cert bits"],
+    );
+    for (name, g) in [
+        ("K5", generators::complete(5)),
+        ("K33-subdiv(5)", generators::k33_subdivision(5)),
+        ("K5-subdiv(10)", generators::k5_subdivision(10)),
+        ("planted-K5 n=100", generators::planted_kuratowski(100, true, 2, 3)),
+        ("planted-K33 n=400", generators::planted_kuratowski(400, false, 3, 4)),
+    ] {
+        let scheme = NonPlanarityScheme::new();
+        let out = run_pls(&scheme, &g).unwrap();
+        let w = dpc_planar::kuratowski::extract_kuratowski(&g).unwrap();
+        t.row(vec![
+            name.into(),
+            g.node_count().to_string(),
+            format!("{:?}", w.kind),
+            if out.all_accept() { "accept".into() } else { "REJECT".to_string() },
+            out.max_cert_bits.to_string(),
+        ]);
+    }
+    t.print();
+}
+
+/// E12 — ablation: degeneracy vs naive edge-certificate placement.
+pub fn e12() {
+    let mut t = Table::new(
+        "E12: edge-certificate placement ablation",
+        &["graph", "n", "max degree", "max certs/node (degeneracy)", "(naive)", "max bits (degeneracy)", "(naive)"],
+    );
+    for (name, g) in [
+        ("star", generators::star(500)),
+        ("wheel", generators::wheel(500)),
+        ("triangulation", generators::stacked_triangulation(500, 1)),
+        ("grid", generators::grid(22, 23)),
+    ] {
+        let d = dpc_graph::degeneracy::degeneracy_order(&g);
+        let smart = dpc_graph::degeneracy::assign_edges_by_degeneracy(&g, &d);
+        let naive = dpc_graph::degeneracy::assign_edges_naive(&g);
+        let smart_bits = PlanarityScheme::new().prove(&g).unwrap().max_bits();
+        let naive_bits = PlanarityScheme::with_assignment(EdgeAssignment::Naive)
+            .prove(&g)
+            .unwrap()
+            .max_bits();
+        t.row(vec![
+            name.into(),
+            g.node_count().to_string(),
+            g.max_degree().to_string(),
+            dpc_graph::degeneracy::max_edges_per_node(&g, &smart).to_string(),
+            dpc_graph::degeneracy::max_edges_per_node(&g, &naive).to_string(),
+            smart_bits.to_string(),
+            naive_bits.to_string(),
+        ]);
+    }
+    t.print();
+    println!("planar graphs are 5-degenerate: the degeneracy column never exceeds 5\n");
+}
+
+/// E13 — prover/verifier wall-clock scaling.
+pub fn e13() {
+    let mut t = Table::new(
+        "E13: runtime scaling on random triangulations",
+        &["n", "prover ms", "verify ms", "bits/node"],
+    );
+    let scheme = PlanarityScheme::new();
+    for &n in &SIZES {
+        let g = generators::stacked_triangulation(n, 21);
+        let t0 = Instant::now();
+        let a = scheme.prove(&g).unwrap();
+        let prove_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        let out = run_with_assignment(&scheme, &g, &a);
+        let verify_ms = t1.elapsed().as_secs_f64() * 1e3;
+        assert!(out.all_accept());
+        t.row(vec![
+            n.to_string(),
+            format!("{prove_ms:.1}"),
+            format!("{verify_ms:.1}"),
+            a.max_bits().to_string(),
+        ]);
+    }
+    t.print();
+}
+
+/// E14 — the radius-t remark: subdivision preserves (il)legality.
+pub fn e14() {
+    let mut t = Table::new(
+        "E14: radius-t subdivision of the Lemma 5 instances (k=4)",
+        &["t", "path n", "path K4-free", "cycle n", "cycle has K4"],
+    );
+    let perm: Vec<usize> = (1..=6).collect();
+    for tt in 1..=4u32 {
+        let path = subdivide_for_radius(&path_of_blocks(4, &perm), tt);
+        let cycle = subdivide_for_radius(&cycle_of_blocks(4, &perm), tt);
+        t.row(vec![
+            tt.to_string(),
+            path.node_count().to_string(),
+            if !dpc_graph::minors::has_k4_minor(&path) { "yes".into() } else { "NO".to_string() },
+            cycle.node_count().to_string(),
+            if dpc_graph::minors::has_k4_minor(&cycle) { "yes".into() } else { "NO".to_string() },
+        ]);
+    }
+    t.print();
+}
+
+/// E15 — distributed certificate pre-processing (§1.1 remark).
+pub fn e15() {
+    let mut t = Table::new(
+        "E15: distributed pre-processing of spanning-tree certificates",
+        &["family", "n", "rounds used", "max msg bits", "certs verify"],
+    );
+    for f in planar_families() {
+        let g = (f.make)(200, 5);
+        let n = g.node_count();
+        let (certs, rounds) = dpc_core::distributed::distributed_tree_certs(&g);
+        // feed the distributed certificates to the 1-round verifier
+        let assignment = dpc_core::scheme::Assignment {
+            certs: certs
+                .iter()
+                .map(|c| {
+                    let mut w = dpc_runtime::BitWriter::new();
+                    c.encode(&mut w);
+                    dpc_runtime::Payload::from_writer(w)
+                })
+                .collect(),
+        };
+        let ok = run_with_assignment(
+            &dpc_core::schemes::spanning_tree::SpanningTreeScheme::new(),
+            &g,
+            &assignment,
+        )
+        .all_accept();
+        let proto = dpc_core::distributed::TreeBuildProtocol { rounds: 3 * n + 5 };
+        let (report, _) = dpc_runtime::run_protocol_states(&proto, &g, 3 * n + 6);
+        t.row(vec![
+            f.name.into(),
+            n.to_string(),
+            rounds.to_string(),
+            report.max_message_bits.to_string(),
+            if ok { "yes".into() } else { "NO".to_string() },
+        ]);
+    }
+    t.print();
+    println!("the network can compute its own certificates in O(n) rounds with O(log n)-bit messages\n");
+}
+
+/// E16 — embeddings vs rotations (§5 bounded-genus direction).
+pub fn e16() {
+    let mut t = Table::new(
+        "E16: Euler genus — prover's embedding vs random rotations",
+        &["family", "n", "LR genus", "random-rotation genus (min/median/max over 20)"],
+    );
+    for f in planar_families() {
+        let g = (f.make)(200, 3);
+        let rot = dpc_planar::lr::planarity(&g).into_embedding().unwrap();
+        let mut genera: Vec<i64> = (0..20)
+            .map(|s| dpc_planar::embedding::random_rotation(&g, s).genus())
+            .collect();
+        genera.sort_unstable();
+        t.row(vec![
+            f.name.into(),
+            g.node_count().to_string(),
+            rot.genus().to_string(),
+            format!("{}/{}/{}", genera[0], genera[10], genera[19]),
+        ]);
+    }
+    t.print();
+    println!("the prover must exhibit a genus-0 rotation; arbitrary rotations are far from planar\n");
+}
+
+/// Runs one experiment by id; returns false for unknown ids.
+pub fn run(id: &str) -> bool {
+    match id {
+        "e1" => e1(),
+        "e2" => e2(),
+        "e3" => e3(),
+        "e4" => e4(),
+        "e5" => e5(),
+        "e6" => e6(),
+        "e7" => e7(),
+        "e8" => e8(),
+        "e9" => e9(),
+        "e10" => e10(),
+        "e11" => e11(),
+        "e12" => e12(),
+        "e13" => e13(),
+        "e14" => e14(),
+        "e15" => e15(),
+        "e16" => e16(),
+        _ => return false,
+    }
+    true
+}
+
+/// All experiment ids in order.
+pub fn all_ids() -> Vec<&'static str> {
+    vec![
+        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+        "e15", "e16",
+    ]
+}

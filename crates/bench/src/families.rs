@@ -1,0 +1,102 @@
+//! Named graph families used across the experiments.
+
+use dpc_graph::{generators, Graph};
+
+/// A named family: `make(n, seed)` returns a connected graph with about
+/// `n` nodes.
+#[derive(Clone, Copy)]
+pub struct Family {
+    /// Display name.
+    pub name: &'static str,
+    /// Generator.
+    pub make: fn(u32, u64) -> Graph,
+    /// Whether members are planar.
+    pub planar: bool,
+}
+
+/// The planar families of the scaling experiments.
+pub fn planar_families() -> Vec<Family> {
+    vec![
+        Family {
+            name: "tree",
+            make: |n, s| generators::random_tree(n, s),
+            planar: true,
+        },
+        Family {
+            name: "cycle",
+            make: |n, _| generators::cycle(n.max(3)),
+            planar: true,
+        },
+        Family {
+            name: "grid",
+            make: |n, _| {
+                let side = (n as f64).sqrt().ceil() as u32;
+                generators::grid(side.max(2), side.max(2))
+            },
+            planar: true,
+        },
+        Family {
+            name: "triangulation",
+            make: |n, s| generators::stacked_triangulation(n.max(3), s),
+            planar: true,
+        },
+        Family {
+            name: "random-planar",
+            make: |n, s| generators::random_planar(n.max(3), 0.5, s),
+            planar: true,
+        },
+        Family {
+            name: "outerplanar",
+            make: |n, s| generators::random_maximal_outerplanar(n.max(3), s),
+            planar: true,
+        },
+    ]
+}
+
+/// Non-planar families for the soundness experiments.
+pub fn nonplanar_families() -> Vec<Family> {
+    vec![
+        Family {
+            name: "planted-K5",
+            make: |n, s| generators::planted_kuratowski(n.max(10), true, 1, s),
+            planar: false,
+        },
+        Family {
+            name: "planted-K33",
+            make: |n, s| generators::planted_kuratowski(n.max(10), false, 1, s),
+            planar: false,
+        },
+        Family {
+            name: "dense-gnm",
+            make: |n, s| {
+                let n = n.max(10);
+                generators::gnm_connected(n, 3 * n, s)
+            },
+            planar: false,
+        },
+        Family {
+            name: "K33-subdiv",
+            make: |n, _| generators::k33_subdivision((n / 9).max(1)),
+            planar: false,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_match_their_label() {
+        for f in planar_families() {
+            let g = (f.make)(60, 1);
+            assert!(g.is_connected(), "{}", f.name);
+            assert!(dpc_planar::lr::is_planar(&g), "{} must be planar", f.name);
+        }
+        for f in nonplanar_families() {
+            let g = (f.make)(40, 2);
+            assert!(g.is_connected(), "{}", f.name);
+            assert!(!dpc_planar::lr::is_planar(&g), "{} must be non-planar", f.name);
+        }
+    }
+}

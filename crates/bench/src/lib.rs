@@ -1,0 +1,11 @@
+//! Experiment harness: regenerates every table of EXPERIMENTS.md.
+//!
+//! The paper is a theory paper with no measured evaluation, so the
+//! "tables and figures" reproduced here are (a) the theorems turned into
+//! measurements (certificate sizes, rounds, completeness/soundness) and
+//! (b) the paper's constructions (Figures 5–10) built and validated.
+//! Run `cargo run -p dpc-bench --release --bin experiments -- all`.
+
+pub mod experiments;
+pub mod families;
+pub mod table;

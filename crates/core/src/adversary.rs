@@ -1,0 +1,230 @@
+//! Adversarial provers for soundness experiments.
+//!
+//! Soundness of a PLS quantifies over *every* certificate assignment, so
+//! experiments can only sample attack strategies. The strategies here
+//! range from noise (garbage, bit flips) to the strongest natural attack
+//! against planarity-style schemes: run the *honest* prover on a
+//! planarized subgraph of the non-planar instance and replay those
+//! certificates — every check passes except where the removed edges
+//! surface.
+
+use crate::scheme::{Assignment, ProofLabelingScheme};
+use dpc_graph::Graph;
+use dpc_runtime::Payload;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A certificate-forgery strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Attack {
+    /// Uniformly random payloads of the given size.
+    Garbage {
+        /// Bits per certificate.
+        bits: usize,
+    },
+    /// All-zero payloads of the given size.
+    Zeros {
+        /// Bits per certificate.
+        bits: usize,
+    },
+    /// Honest certificates of a maximal planar(ized) connected subgraph,
+    /// replayed verbatim on the full graph.
+    ReplayPlanarized,
+    /// Like [`Attack::ReplayPlanarized`], then flip random bits.
+    ReplayBitFlip {
+        /// Number of bits flipped (spread over random nodes).
+        flips: usize,
+    },
+    /// Like [`Attack::ReplayPlanarized`], then randomly permute which
+    /// node gets which certificate.
+    ReplayShuffle,
+}
+
+impl Attack {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Attack::Garbage { .. } => "garbage",
+            Attack::Zeros { .. } => "zeros",
+            Attack::ReplayPlanarized => "replay-planarized",
+            Attack::ReplayBitFlip { .. } => "replay-bitflip",
+            Attack::ReplayShuffle => "replay-shuffle",
+        }
+    }
+}
+
+/// Removes edges of `g` (keeping it connected) until planar. The result
+/// is a spanning connected planar subgraph — the natural "best lie"
+/// substrate for an adversary.
+pub fn planarize(g: &Graph) -> Graph {
+    let mut mask = vec![true; g.edge_count()];
+    for e in 0..g.edge_count() {
+        if dpc_planar::lr::is_planar(&g.edge_subgraph(|id, _| mask[id as usize])) {
+            break;
+        }
+        mask[e] = false;
+        let sub = g.edge_subgraph(|id, _| mask[id as usize]);
+        if !sub.is_connected() {
+            mask[e] = true; // keep connectivity
+        }
+    }
+    g.edge_subgraph(|id, _| mask[id as usize])
+}
+
+/// Produces a forged assignment for `g` under the given strategy.
+///
+/// Returns `None` if the strategy does not apply (e.g. the honest prover
+/// of the scheme fails even on the planarized subgraph).
+pub fn forge<S: ProofLabelingScheme>(
+    scheme: &S,
+    g: &Graph,
+    attack: Attack,
+    seed: u64,
+) -> Option<Assignment> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = g.node_count();
+    match attack {
+        Attack::Garbage { bits } => {
+            let certs = (0..n)
+                .map(|_| {
+                    let mut w = dpc_runtime::BitWriter::new();
+                    for _ in 0..bits {
+                        w.write_bool(rng.gen());
+                    }
+                    Payload::from_writer(w)
+                })
+                .collect();
+            Some(Assignment { certs })
+        }
+        Attack::Zeros { bits } => {
+            let mut w = dpc_runtime::BitWriter::new();
+            for _ in 0..bits {
+                w.write_bool(false);
+            }
+            let p = Payload::from_writer(w);
+            Some(Assignment {
+                certs: vec![p; n],
+            })
+        }
+        Attack::ReplayPlanarized => {
+            let sub = planarize(g);
+            scheme.prove(&sub).ok()
+        }
+        Attack::ReplayBitFlip { flips } => {
+            let sub = planarize(g);
+            let mut a = scheme.prove(&sub).ok()?;
+            for _ in 0..flips {
+                let v = rng.gen_range(0..n);
+                let c = &mut a.certs[v];
+                if c.bit_len == 0 {
+                    continue;
+                }
+                let bit = rng.gen_range(0..c.bit_len);
+                c.bytes[bit / 8] ^= 1 << (7 - (bit % 8));
+            }
+            Some(a)
+        }
+        Attack::ReplayShuffle => {
+            let sub = planarize(g);
+            let mut a = scheme.prove(&sub).ok()?;
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..=i);
+                a.certs.swap(i, j);
+            }
+            Some(a)
+        }
+    }
+}
+
+/// The default attack battery used by the soundness experiments.
+pub fn standard_attacks() -> Vec<Attack> {
+    vec![
+        Attack::Garbage { bits: 64 },
+        Attack::Garbage { bits: 256 },
+        Attack::Zeros { bits: 128 },
+        Attack::ReplayPlanarized,
+        Attack::ReplayBitFlip { flips: 4 },
+        Attack::ReplayShuffle,
+    ]
+}
+
+/// One row of a soundness report.
+#[derive(Debug, Clone)]
+pub struct SoundnessRow {
+    /// Attack name.
+    pub attack: &'static str,
+    /// Number of rejecting nodes (`None` if the attack was inapplicable).
+    pub rejects: Option<usize>,
+}
+
+/// Runs the attack battery on a no-instance and reports the number of
+/// rejecting nodes per attack. Soundness holds for the sample iff every
+/// applicable row has `rejects >= 1`.
+pub fn soundness_report<S: ProofLabelingScheme>(
+    scheme: &S,
+    g: &Graph,
+    seed: u64,
+) -> Vec<SoundnessRow> {
+    standard_attacks()
+        .into_iter()
+        .map(|attack| {
+            let rejects = forge(scheme, g, attack, seed).map(|a| {
+                crate::harness::run_with_assignment(scheme, g, &a).reject_count()
+            });
+            SoundnessRow {
+                attack: attack.name(),
+                rejects,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::planarity::PlanarityScheme;
+    use dpc_graph::generators;
+
+    #[test]
+    fn planarize_yields_connected_planar() {
+        for seed in 0..4u64 {
+            let g = generators::planted_kuratowski(20, seed % 2 == 0, 1, seed);
+            let p = planarize(&g);
+            assert!(dpc_planar::lr::is_planar(&p));
+            assert!(p.is_connected());
+            assert!(p.edge_count() < g.edge_count());
+        }
+    }
+
+    #[test]
+    fn all_attacks_fail_against_planarity_scheme() {
+        let scheme = PlanarityScheme::new();
+        for (i, g) in [
+            generators::planted_kuratowski(18, true, 1, 5),
+            generators::k33_subdivision(2),
+            generators::gnm_connected(20, 58, 6),
+        ]
+        .iter()
+        .enumerate()
+        {
+            assert!(!dpc_planar::lr::is_planar(g));
+            let rows = soundness_report(&scheme, g, i as u64);
+            for row in rows {
+                if let Some(r) = row.rejects {
+                    assert!(
+                        r >= 1,
+                        "attack {} fooled every node on instance {i}",
+                        row.attack
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replay_attack_applies() {
+        let g = generators::planted_kuratowski(15, false, 1, 9);
+        let a = forge(&PlanarityScheme::new(), &g, Attack::ReplayPlanarized, 0);
+        assert!(a.is_some(), "planarized subgraph must be provable");
+    }
+}

@@ -1,0 +1,280 @@
+//! Distributed certificate pre-processing.
+//!
+//! The paper (§1.1) notes that "in many frameworks ... the certificates
+//! can be computed in a distributed manner by the network itself during
+//! a pre-processing phase". This module demonstrates it for the
+//! spanning-tree component: a self-contained multi-round protocol that
+//! elects the maximum-identifier node as root (flooding), builds a BFS
+//! tree toward it, converge-casts subtree sizes, and floods the total
+//! `n` back down — producing exactly the [`TreeCert`]s that the schemes
+//! consume, with no centralized prover involved.
+
+use crate::schemes::tree_base::TreeCert;
+use dpc_graph::Graph;
+use dpc_runtime::bits::{BitReader, BitWriter};
+use dpc_runtime::{run_protocol_states, NodeCtx, Payload, Protocol, Step};
+
+/// Per-node state of the pre-processing protocol; converges to the
+/// node's [`TreeCert`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeBuildState {
+    /// Best (maximum) root identifier seen so far.
+    pub root_id: u64,
+    /// Hop distance to that root.
+    pub dist: u64,
+    /// Parent identifier (self at the root).
+    pub parent_id: u64,
+    /// Current subtree-size estimate.
+    pub subtree: u64,
+    /// Current estimate of `n` (flooded down from the root).
+    pub n: u64,
+    own_id: u64,
+    rounds_left: usize,
+}
+
+impl TreeBuildState {
+    /// The certificate this state has converged to.
+    pub fn to_cert(&self) -> TreeCert {
+        TreeCert {
+            root_id: self.root_id,
+            n: self.n,
+            dist: self.dist,
+            parent_id: self.parent_id,
+            subtree: self.subtree,
+        }
+    }
+}
+
+/// The pre-processing protocol: max-id leader election + BFS +
+/// converge-cast, stabilizing within `3·n` rounds.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeBuildProtocol {
+    /// Number of rounds to run (must exceed `2·diameter + depth`; the
+    /// runner uses `3n + 5`).
+    pub rounds: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Msg {
+    root_id: u64,
+    dist: u64,
+    parent_id: u64,
+    subtree: u64,
+    n: u64,
+}
+
+fn encode(m: &Msg) -> Payload {
+    let mut w = BitWriter::new();
+    for x in [m.root_id, m.dist, m.parent_id, m.subtree, m.n] {
+        w.write_varint(x);
+    }
+    Payload::from_writer(w)
+}
+
+fn decode(p: &Payload) -> Option<Msg> {
+    let mut r = BitReader::new(&p.bytes, p.bit_len);
+    Some(Msg {
+        root_id: r.read_varint().ok()?,
+        dist: r.read_varint().ok()?,
+        parent_id: r.read_varint().ok()?,
+        subtree: r.read_varint().ok()?,
+        n: r.read_varint().ok()?,
+    })
+}
+
+impl Protocol for TreeBuildProtocol {
+    type State = TreeBuildState;
+
+    fn init(&self, ctx: &NodeCtx) -> TreeBuildState {
+        TreeBuildState {
+            root_id: ctx.id,
+            dist: 0,
+            parent_id: ctx.id,
+            subtree: 1,
+            n: 1,
+            own_id: ctx.id,
+            rounds_left: self.rounds,
+        }
+    }
+
+    fn message(&self, st: &TreeBuildState, _round: usize) -> Payload {
+        encode(&Msg {
+            root_id: st.root_id,
+            dist: st.dist,
+            parent_id: st.parent_id,
+            subtree: st.subtree,
+            n: st.n,
+        })
+    }
+
+    fn receive(
+        &self,
+        st: &mut TreeBuildState,
+        ctx: &NodeCtx,
+        inbox: &[Payload],
+        _round: usize,
+    ) -> Step {
+        let msgs: Vec<Msg> = inbox.iter().filter_map(decode).collect();
+        if msgs.len() != inbox.len() {
+            return Step::Output(false);
+        }
+        // adopt the largest root id anywhere in sight
+        let best = msgs
+            .iter()
+            .map(|m| m.root_id)
+            .chain(std::iter::once(st.root_id))
+            .max()
+            .unwrap();
+        st.root_id = best;
+        if st.own_id == best {
+            st.dist = 0;
+            st.parent_id = st.own_id;
+        } else {
+            // BFS step toward the root: smallest neighbor distance + 1,
+            // ties broken by smallest neighbor id (determinism)
+            let mut cand: Option<(u64, u64)> = None; // (dist, id)
+            for (p, m) in msgs.iter().enumerate() {
+                if m.root_id == best {
+                    let key = (m.dist, ctx.neighbor_ids[p]);
+                    if cand.map_or(true, |c| key < c) {
+                        cand = Some(key);
+                    }
+                }
+            }
+            match cand {
+                Some((d, id)) => {
+                    st.dist = d + 1;
+                    st.parent_id = id;
+                }
+                None => {
+                    // no neighbor knows the best root yet: stay pending
+                    st.dist = u32::MAX as u64;
+                    st.parent_id = st.own_id;
+                }
+            }
+        }
+        // converge-cast subtree sizes: children = neighbors pointing here
+        st.subtree = 1;
+        for m in &msgs {
+            if m.root_id == best && m.parent_id == st.own_id && m.dist == st.dist + 1 {
+                st.subtree += m.subtree;
+            }
+        }
+        // flood n down from the root
+        st.n = if st.own_id == best {
+            st.subtree
+        } else {
+            msgs.iter()
+                .enumerate()
+                .find(|(p, m)| m.root_id == best && ctx.neighbor_ids[*p] == st.parent_id)
+                .map(|(_, m)| m.n)
+                .unwrap_or(st.n)
+        };
+        st.rounds_left -= 1;
+        if st.rounds_left == 0 {
+            Step::Output(true)
+        } else {
+            Step::Continue
+        }
+    }
+}
+
+/// Runs the pre-processing phase and returns the per-node tree
+/// certificates, plus the number of rounds used.
+///
+/// # Panics
+///
+/// Panics if the graph is not connected (the protocol would compute
+/// per-component trees that never agree on `n`).
+pub fn distributed_tree_certs(g: &Graph) -> (Vec<TreeCert>, usize) {
+    assert!(g.is_connected(), "pre-processing assumes a connected network");
+    let rounds = 3 * g.node_count() + 5;
+    let proto = TreeBuildProtocol { rounds };
+    let (report, states) = run_protocol_states(&proto, g, rounds + 1);
+    (states.iter().map(|s| s.to_cert()).collect(), report.rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::run_with_assignment;
+    use crate::scheme::Assignment;
+    use crate::schemes::spanning_tree::SpanningTreeScheme;
+    use dpc_graph::generators;
+
+    fn certs_verify(g: &Graph, certs: &[TreeCert]) -> bool {
+        let assignment = Assignment {
+            certs: certs
+                .iter()
+                .map(|c| {
+                    let mut w = BitWriter::new();
+                    c.encode(&mut w);
+                    Payload::from_writer(w)
+                })
+                .collect(),
+        };
+        run_with_assignment(&SpanningTreeScheme::new(), g, &assignment).all_accept()
+    }
+
+    #[test]
+    fn distributed_certs_pass_the_tree_verifier() {
+        for g in [
+            generators::path(15),
+            generators::cycle(20),
+            generators::grid(5, 6),
+            generators::stacked_triangulation(40, 3),
+            generators::random_tree(35, 4),
+        ] {
+            let (certs, _) = distributed_tree_certs(&g);
+            assert!(certs_verify(&g, &certs), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn root_is_max_id_and_n_correct() {
+        let g = generators::shuffle_ids(&generators::grid(4, 7), 9);
+        let (certs, _) = distributed_tree_certs(&g);
+        let max_id = g.ids().iter().copied().max().unwrap();
+        for c in &certs {
+            assert_eq!(c.root_id, max_id);
+            assert_eq!(c.n, g.node_count() as u64);
+        }
+        // exactly one root, subtree = n there
+        let roots: Vec<&TreeCert> = certs.iter().filter(|c| c.dist == 0).collect();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].subtree, g.node_count() as u64);
+    }
+
+    #[test]
+    fn distances_are_bfs_distances() {
+        let g = generators::shuffle_ids(&generators::cycle(17), 5);
+        let (certs, _) = distributed_tree_certs(&g);
+        let max_id = g.ids().iter().copied().max().unwrap();
+        let root = g.node_of_id(max_id).unwrap();
+        let tree = dpc_graph::traversal::bfs_spanning_tree(&g, root);
+        for v in g.nodes() {
+            assert_eq!(
+                certs[v as usize].dist,
+                tree.dist[v as usize] as u64,
+                "node {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn messages_stay_logarithmic() {
+        let g = generators::stacked_triangulation(60, 2);
+        let rounds = 3 * g.node_count() + 5;
+        let proto = TreeBuildProtocol { rounds };
+        let (report, _) = run_protocol_states(&proto, &g, rounds + 1);
+        assert!(report.max_message_bits < 200, "{}", report.max_message_bits);
+        assert_eq!(report.rounds, rounds);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn disconnected_rejected() {
+        let g = generators::path(3).disjoint_union(&generators::path(2));
+        let _ = distributed_tree_certs(&g);
+    }
+}

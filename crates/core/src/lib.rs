@@ -1,0 +1,34 @@
+//! Proof-labeling schemes (PLS) for the PODC 2020 paper, with the
+//! framework to run and attack them.
+//!
+//! A proof-labeling scheme is a prover/verifier pair: a non-trustable
+//! prover assigns each node an `O(log n)`-bit certificate; the verifier
+//! is a 1-round distributed algorithm in which nodes exchange
+//! certificates with their neighbors and accept or reject. Completeness:
+//! on yes-instances the honest prover makes everyone accept. Soundness:
+//! on no-instances every assignment leaves at least one rejecting node.
+//!
+//! Modules:
+//!
+//! * [`scheme`] — the [`scheme::ProofLabelingScheme`] trait, certificate
+//!   assignments, prover errors;
+//! * [`harness`] — run a scheme on a graph through the CONGEST simulator
+//!   ([`harness::run_pls`]), including with adversarial assignments;
+//! * [`adversary`] — certificate-forgery strategies for soundness tests;
+//! * [`alg1`] — the paper's Algorithm 1 (path-outerplanarity check at one
+//!   spine node), shared by two schemes;
+//! * [`schemes`] — the schemes themselves:
+//!   [`schemes::path::PathScheme`] (§2 warm-up),
+//!   [`schemes::spanning_tree`] (folklore substrate),
+//!   [`schemes::path_outerplanar::PathOuterplanarScheme`] (Lemma 2),
+//!   [`schemes::planarity::PlanarityScheme`] (Theorem 1 — the paper's
+//!   main contribution),
+//!   [`schemes::non_planarity::NonPlanarityScheme`] (§2 folklore),
+//!   [`schemes::universal::UniversalScheme`] (O(m log n) baseline).
+
+pub mod adversary;
+pub mod distributed;
+pub mod alg1;
+pub mod harness;
+pub mod scheme;
+pub mod schemes;

@@ -1,0 +1,106 @@
+//! The proof-labeling-scheme abstraction.
+
+use dpc_graph::Graph;
+use dpc_runtime::{NodeCtx, Payload};
+use std::fmt;
+
+/// A certificate assignment: one payload per node.
+#[derive(Debug, Clone, Default)]
+pub struct Assignment {
+    /// `certs[v]` is the certificate handed to node `v`.
+    pub certs: Vec<Payload>,
+}
+
+impl Assignment {
+    /// Assignment of empty certificates for `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        Assignment {
+            certs: vec![Payload::empty(); n],
+        }
+    }
+
+    /// Size of the largest certificate, in bits.
+    pub fn max_bits(&self) -> usize {
+        self.certs.iter().map(|c| c.bit_len).max().unwrap_or(0)
+    }
+
+    /// Average certificate size in bits.
+    pub fn avg_bits(&self) -> f64 {
+        if self.certs.is_empty() {
+            return 0.0;
+        }
+        self.certs.iter().map(|c| c.bit_len as f64).sum::<f64>() / self.certs.len() as f64
+    }
+
+    /// Total bits across all certificates.
+    pub fn total_bits(&self) -> usize {
+        self.certs.iter().map(|c| c.bit_len).sum()
+    }
+}
+
+/// Why the honest prover declined to produce certificates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProveError {
+    /// The instance is not in the certified class (e.g. the graph is not
+    /// planar and the scheme certifies planarity). Soundness in action:
+    /// there is nothing valid to hand out.
+    NotInClass(&'static str),
+    /// The model assumes connected networks.
+    NotConnected,
+    /// The scheme needs auxiliary input it was not given (e.g. a
+    /// Hamiltonian-path witness for path-outerplanarity).
+    MissingWitness(&'static str),
+}
+
+impl fmt::Display for ProveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProveError::NotInClass(c) => write!(f, "instance is not in the class: {c}"),
+            ProveError::NotConnected => write!(f, "the network must be connected"),
+            ProveError::MissingWitness(w) => write!(f, "missing witness: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for ProveError {}
+
+/// A proof-labeling scheme: centralized prover + 1-round local verifier.
+///
+/// The verifier is *stateless by node*: it sees the node's initial
+/// knowledge ([`NodeCtx`]), its own certificate, and the certificates of
+/// its neighbors in port order — exactly the information available after
+/// the single communication round of the PLS model.
+pub trait ProofLabelingScheme {
+    /// Human-readable name (for reports).
+    fn name(&self) -> &'static str;
+
+    /// Honest prover: certificate assignment for a yes-instance.
+    fn prove(&self, g: &Graph) -> Result<Assignment, ProveError>;
+
+    /// Local verification at one node after the communication round.
+    fn verify(&self, ctx: &NodeCtx, own: &Payload, neighbors: &[Payload]) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_stats() {
+        let mut a = Assignment::empty(3);
+        assert_eq!(a.max_bits(), 0);
+        let mut w = dpc_runtime::BitWriter::new();
+        w.write_bits(0b1010, 4);
+        a.certs[1] = Payload::from_writer(w);
+        assert_eq!(a.max_bits(), 4);
+        assert_eq!(a.total_bits(), 4);
+        assert!((a.avg_bits() - 4.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prove_error_display() {
+        let e = ProveError::NotInClass("planar graphs");
+        assert!(e.to_string().contains("planar"));
+        assert_eq!(ProveError::NotConnected.to_string(), "the network must be connected");
+    }
+}

@@ -1,0 +1,132 @@
+//! Bipartiteness PLS — the classic O(1)-bit example.
+//!
+//! The certificate is a single bit: the node's side of a 2-coloring.
+//! Verification checks every neighbor carries the other bit. This is
+//! the textbook contrast with planarity: some classes need just one
+//! certificate bit, planarity provably needs `Θ(log n)` (Theorem 2).
+
+use crate::scheme::{Assignment, ProofLabelingScheme, ProveError};
+use dpc_graph::{Graph, NodeId};
+use dpc_runtime::bits::{BitReader, BitWriter};
+use dpc_runtime::{NodeCtx, Payload};
+
+/// PLS for the class of bipartite graphs; certificates are 1 bit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BipartiteScheme;
+
+impl BipartiteScheme {
+    /// Creates the scheme.
+    pub fn new() -> Self {
+        BipartiteScheme
+    }
+}
+
+impl ProofLabelingScheme for BipartiteScheme {
+    fn name(&self) -> &'static str {
+        "bipartite"
+    }
+
+    fn prove(&self, g: &Graph) -> Result<Assignment, ProveError> {
+        if !g.is_connected() {
+            return Err(ProveError::NotConnected);
+        }
+        // BFS 2-coloring; an odd cycle surfaces as a same-color edge
+        let n = g.node_count();
+        let mut color = vec![u8::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        color[0] = 0;
+        queue.push_back(0 as NodeId);
+        while let Some(v) = queue.pop_front() {
+            for w in g.neighbors(v) {
+                if color[w as usize] == u8::MAX {
+                    color[w as usize] = 1 - color[v as usize];
+                    queue.push_back(w);
+                } else if color[w as usize] == color[v as usize] {
+                    return Err(ProveError::NotInClass("bipartite graphs"));
+                }
+            }
+        }
+        let certs = (0..n)
+            .map(|v| {
+                let mut w = BitWriter::new();
+                w.write_bool(color[v] == 1);
+                Payload::from_writer(w)
+            })
+            .collect();
+        Ok(Assignment { certs })
+    }
+
+    fn verify(&self, _ctx: &NodeCtx, own: &Payload, neighbors: &[Payload]) -> bool {
+        let read = |p: &Payload| -> Option<bool> {
+            let mut r = BitReader::new(&p.bytes, p.bit_len);
+            let b = r.read_bool().ok()?;
+            (r.remaining() == 0).then_some(b)
+        };
+        let Some(mine) = read(own) else { return false };
+        neighbors.iter().all(|p| read(p) == Some(!mine))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{run_pls, run_with_assignment};
+    use dpc_graph::generators;
+
+    #[test]
+    fn accepts_bipartite_families() {
+        for g in [
+            generators::path(30),
+            generators::cycle(30), // even cycle
+            generators::grid(5, 7),
+            generators::complete_bipartite(4, 6),
+            generators::random_tree(50, 1),
+            generators::hypercube(4),
+        ] {
+            let out = run_pls(&BipartiteScheme, &g).unwrap();
+            assert!(out.all_accept());
+            assert_eq!(out.max_cert_bits, 1, "one bit suffices");
+            assert_eq!(out.rounds, 1);
+        }
+    }
+
+    #[test]
+    fn declines_odd_cycles_and_cliques() {
+        assert!(BipartiteScheme.prove(&generators::cycle(7)).is_err());
+        assert!(BipartiteScheme.prove(&generators::complete(4)).is_err());
+        assert!(BipartiteScheme.prove(&generators::wheel(8)).is_err());
+    }
+
+    #[test]
+    fn soundness_on_odd_cycle_all_assignments() {
+        // with 1-bit certificates we can check soundness EXHAUSTIVELY:
+        // every assignment to C5 leaves a rejecting node
+        let g = generators::cycle(5);
+        for mask in 0u32..32 {
+            let certs = (0..5)
+                .map(|v| {
+                    let mut w = BitWriter::new();
+                    w.write_bool(mask >> v & 1 == 1);
+                    Payload::from_writer(w)
+                })
+                .collect();
+            let out = run_with_assignment(&BipartiteScheme, &g, &Assignment { certs });
+            assert!(
+                !out.all_accept(),
+                "assignment {mask:05b} fooled every node of C5"
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_color_caught() {
+        let g = generators::grid(4, 4);
+        let mut a = BipartiteScheme.prove(&g).unwrap();
+        let mut w = BitWriter::new();
+        let mut r = BitReader::new(&a.certs[5].bytes, a.certs[5].bit_len);
+        w.write_bool(!r.read_bool().unwrap());
+        a.certs[5] = Payload::from_writer(w);
+        let out = run_with_assignment(&BipartiteScheme, &g, &a);
+        assert!(!out.all_accept());
+    }
+}

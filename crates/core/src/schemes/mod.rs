@@ -1,0 +1,28 @@
+//! The certification schemes of the paper.
+//!
+//! * [`tree_base`] — the spanning-tree certificate component (root id,
+//!   parent pointer, hop distance, subtree count) used since the early
+//!   self-stabilization literature; substrate of several schemes here.
+//! * [`path`] — the Section 2 warm-up: certifying that the network is a
+//!   path.
+//! * [`spanning_tree`] — standalone scheme exposing the tree component.
+//! * [`path_outerplanar`] — Lemma 2: the 1-round PLS for
+//!   path-outerplanarity with `O(log n)`-bit certificates (Algorithm 1).
+//! * [`planarity`] — Theorem 1: the 1-round PLS for planarity with
+//!   `O(log n)`-bit certificates (Algorithm 2).
+//! * [`non_planarity`] — the folklore scheme certifying the presence of
+//!   a subdivided `K5`/`K3,3` (Section 2).
+//! * [`bipartite`] / [`tree_class`] — further §2-style warm-ups (1-bit
+//!   2-coloring; trees via the shared substrate).
+//! * [`universal`] — the `O(m log n)`-bit universal baseline (ship the
+//!   whole graph to everyone).
+
+pub mod bipartite;
+pub mod non_planarity;
+pub mod path;
+pub mod path_outerplanar;
+pub mod planarity;
+pub mod spanning_tree;
+pub mod tree_base;
+pub mod tree_class;
+pub mod universal;

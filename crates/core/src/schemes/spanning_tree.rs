@@ -1,0 +1,108 @@
+//! Standalone spanning-tree scheme: certifies "these certificates
+//! describe a spanning tree of the network rooted at the node with the
+//! agreed identifier, and `n` is the number of nodes".
+//!
+//! Completeness holds on every connected graph (the class is all
+//! connected networks); the value of the scheme is that *forged* tree
+//! data is always caught — which the paper's schemes rely on (Phase 2 of
+//! Algorithm 2).
+
+use crate::scheme::{Assignment, ProofLabelingScheme, ProveError};
+use crate::schemes::tree_base::{build_tree_certs, check_tree, TreeCert};
+use dpc_graph::Graph;
+use dpc_runtime::bits::{BitReader, BitWriter};
+use dpc_runtime::{NodeCtx, Payload};
+
+/// Scheme wrapping the [`tree_base`](crate::schemes::tree_base)
+/// component.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpanningTreeScheme;
+
+impl SpanningTreeScheme {
+    /// Creates the scheme.
+    pub fn new() -> Self {
+        SpanningTreeScheme
+    }
+}
+
+impl ProofLabelingScheme for SpanningTreeScheme {
+    fn name(&self) -> &'static str {
+        "spanning-tree"
+    }
+
+    fn prove(&self, g: &Graph) -> Result<Assignment, ProveError> {
+        if !g.is_connected() {
+            return Err(ProveError::NotConnected);
+        }
+        let tree = dpc_graph::traversal::bfs_spanning_tree(g, 0);
+        let certs = build_tree_certs(g, &tree)
+            .into_iter()
+            .map(|c| {
+                let mut w = BitWriter::new();
+                c.encode(&mut w);
+                Payload::from_writer(w)
+            })
+            .collect();
+        Ok(Assignment { certs })
+    }
+
+    fn verify(&self, ctx: &NodeCtx, own: &Payload, neighbors: &[Payload]) -> bool {
+        let parse = |p: &Payload| -> Option<TreeCert> {
+            let mut r = BitReader::new(&p.bytes, p.bit_len);
+            TreeCert::decode(&mut r).ok()
+        };
+        let Some(own) = parse(own) else { return false };
+        let nbs: Option<Vec<TreeCert>> = neighbors.iter().map(parse).collect();
+        let Some(nbs) = nbs else { return false };
+        check_tree(ctx, &own, &nbs).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{run_pls, run_with_assignment};
+    use dpc_graph::generators;
+
+    #[test]
+    fn accepts_on_connected_graphs() {
+        for g in [
+            generators::path(9),
+            generators::grid(4, 6),
+            generators::complete(6),
+            generators::random_tree(50, 4),
+        ] {
+            let out = run_pls(&SpanningTreeScheme, &g).unwrap();
+            assert!(out.all_accept());
+            assert_eq!(out.rounds, 1);
+            // O(log n) certificates: generously below 200 bits here
+            assert!(out.max_cert_bits < 200, "{}", out.max_cert_bits);
+        }
+    }
+
+    #[test]
+    fn rejects_disconnected() {
+        let g = generators::path(4).disjoint_union(&generators::path(3));
+        assert_eq!(
+            SpanningTreeScheme.prove(&g).unwrap_err(),
+            ProveError::NotConnected
+        );
+    }
+
+    #[test]
+    fn shuffled_certs_rejected() {
+        let g = generators::grid(4, 4);
+        let mut a = SpanningTreeScheme.prove(&g).unwrap();
+        a.certs.rotate_left(1);
+        let out = run_with_assignment(&SpanningTreeScheme, &g, &a);
+        assert!(!out.all_accept());
+    }
+
+    #[test]
+    fn garbage_certs_rejected() {
+        let g = generators::cycle(8);
+        let a = Assignment::empty(8);
+        let out = run_with_assignment(&SpanningTreeScheme, &g, &a);
+        assert_eq!(out.reject_count(), 8, "unparseable certificates reject everywhere");
+    }
+}

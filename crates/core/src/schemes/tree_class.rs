@@ -1,0 +1,112 @@
+//! PLS for the class of **trees** (connected acyclic graphs).
+//!
+//! The spanning-tree component already proves a spanning tree exists; a
+//! graph *is* a tree iff additionally every incident edge is a tree edge
+//! (parent or child), which each node checks locally. Another §2-style
+//! warm-up exercising the shared substrate.
+
+use crate::scheme::{Assignment, ProofLabelingScheme, ProveError};
+use crate::schemes::tree_base::{build_tree_certs, check_tree, TreeCert};
+use dpc_graph::Graph;
+use dpc_runtime::bits::{BitReader, BitWriter};
+use dpc_runtime::{NodeCtx, Payload};
+
+/// PLS for the class of trees.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TreeScheme;
+
+impl TreeScheme {
+    /// Creates the scheme.
+    pub fn new() -> Self {
+        TreeScheme
+    }
+}
+
+impl ProofLabelingScheme for TreeScheme {
+    fn name(&self) -> &'static str {
+        "tree"
+    }
+
+    fn prove(&self, g: &Graph) -> Result<Assignment, ProveError> {
+        if !g.is_connected() {
+            return Err(ProveError::NotConnected);
+        }
+        if g.edge_count() != g.node_count() - 1 {
+            return Err(ProveError::NotInClass("trees"));
+        }
+        let tree = dpc_graph::traversal::bfs_spanning_tree(g, 0);
+        let certs = build_tree_certs(g, &tree)
+            .into_iter()
+            .map(|c| {
+                let mut w = BitWriter::new();
+                c.encode(&mut w);
+                Payload::from_writer(w)
+            })
+            .collect();
+        Ok(Assignment { certs })
+    }
+
+    fn verify(&self, ctx: &NodeCtx, own: &Payload, neighbors: &[Payload]) -> bool {
+        let parse = |p: &Payload| -> Option<TreeCert> {
+            let mut r = BitReader::new(&p.bytes, p.bit_len);
+            let c = TreeCert::decode(&mut r).ok()?;
+            (r.remaining() == 0).then_some(c)
+        };
+        let Some(own) = parse(own) else { return false };
+        let nbs: Option<Vec<TreeCert>> = neighbors.iter().map(parse).collect();
+        let Some(nbs) = nbs else { return false };
+        let Some(info) = check_tree(ctx, &own, &nbs) else {
+            return false;
+        };
+        // tree class: EVERY incident edge must be a tree edge
+        let tree_edges =
+            info.children_ports.len() + usize::from(info.parent_port.is_some());
+        tree_edges == ctx.degree()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{run_pls, run_with_assignment};
+    use dpc_graph::generators;
+
+    #[test]
+    fn accepts_trees() {
+        for g in [
+            generators::path(20),
+            generators::star(20),
+            generators::random_tree(100, 3),
+            generators::caterpillar(15, 30, 4),
+        ] {
+            let out = run_pls(&TreeScheme, &g).unwrap();
+            assert!(out.all_accept());
+            assert_eq!(out.rounds, 1);
+        }
+    }
+
+    #[test]
+    fn declines_graphs_with_cycles() {
+        assert!(TreeScheme.prove(&generators::cycle(5)).is_err());
+        assert!(TreeScheme.prove(&generators::grid(3, 3)).is_err());
+    }
+
+    #[test]
+    fn replay_tree_certs_on_cycle_rejected() {
+        // the strongest attack: certificates of the spanning tree of the
+        // cycle, replayed on the cycle itself — the non-tree edge's
+        // endpoints see an edge that is neither parent nor child
+        let cyc = generators::cycle(9);
+        let a = TreeScheme.prove(&cyc.edge_subgraph(|e, _| e != 0)).unwrap();
+        let out = run_with_assignment(&TreeScheme, &cyc, &a);
+        assert!(!out.all_accept());
+        assert!(out.reject_count() >= 2);
+    }
+
+    #[test]
+    fn certificates_are_logarithmic() {
+        let g = generators::random_tree(10_000, 1);
+        let a = TreeScheme.prove(&g).unwrap();
+        assert!(a.max_bits() < 200);
+    }
+}

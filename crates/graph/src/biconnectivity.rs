@@ -1,0 +1,223 @@
+//! Biconnectivity: articulation points, bridges, and biconnected
+//! components (iterative Tarjan DFS).
+//!
+//! Planarity is a per-biconnected-component property, and the
+//! lower-bound constructions splice instances at connection boundaries;
+//! this module provides the decomposition plus the structural predicates
+//! used in tests and experiments.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+
+/// Result of the biconnectivity computation.
+#[derive(Debug, Clone)]
+pub struct Biconnectivity {
+    /// Nodes whose removal disconnects their component.
+    pub articulation_points: Vec<NodeId>,
+    /// Edges whose removal disconnects their component.
+    pub bridges: Vec<EdgeId>,
+    /// `component[e]` = biconnected-component index of edge `e`.
+    pub component: Vec<u32>,
+    /// Number of biconnected components.
+    pub component_count: u32,
+}
+
+/// Computes articulation points, bridges, and biconnected components.
+pub fn biconnectivity(g: &Graph) -> Biconnectivity {
+    let n = g.node_count();
+    let m = g.edge_count();
+    let mut disc = vec![u32::MAX; n];
+    let mut low = vec![u32::MAX; n];
+    let mut parent_edge: Vec<Option<EdgeId>> = vec![None; n];
+    let mut is_art = vec![false; n];
+    let mut is_bridge = vec![false; m];
+    let mut component = vec![u32::MAX; m];
+    let mut comp_count = 0u32;
+    let mut timer = 0u32;
+    let mut edge_stack: Vec<EdgeId> = Vec::new();
+
+    for root in 0..n as u32 {
+        if disc[root as usize] != u32::MAX {
+            continue;
+        }
+        // iterative DFS: (node, adjacency index)
+        let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+        disc[root as usize] = timer;
+        low[root as usize] = timer;
+        timer += 1;
+        let mut root_children = 0usize;
+        while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+            let adj = g.adjacency(v);
+            if *i < adj.len() {
+                let (w, e) = adj[*i];
+                *i += 1;
+                if Some(e) == parent_edge[v as usize] {
+                    continue;
+                }
+                if disc[w as usize] == u32::MAX {
+                    // tree edge
+                    parent_edge[w as usize] = Some(e);
+                    edge_stack.push(e);
+                    disc[w as usize] = timer;
+                    low[w as usize] = timer;
+                    timer += 1;
+                    if v == root {
+                        root_children += 1;
+                    }
+                    stack.push((w, 0));
+                } else if disc[w as usize] < disc[v as usize] {
+                    // back edge (to an ancestor)
+                    edge_stack.push(e);
+                    low[v as usize] = low[v as usize].min(disc[w as usize]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _)) = stack.last() {
+                    low[p as usize] = low[p as usize].min(low[v as usize]);
+                    let pe = parent_edge[v as usize].unwrap();
+                    if low[v as usize] >= disc[p as usize] {
+                        // p is an articulation point (or the root, handled
+                        // after the loop); pop one biconnected component
+                        if p != root {
+                            is_art[p as usize] = true;
+                        }
+                        while let Some(&top) = edge_stack.last() {
+                            edge_stack.pop();
+                            component[top as usize] = comp_count;
+                            if top == pe {
+                                break;
+                            }
+                        }
+                        comp_count += 1;
+                    }
+                    if low[v as usize] > disc[p as usize] {
+                        is_bridge[pe as usize] = true;
+                    }
+                }
+            }
+        }
+        if root_children >= 2 {
+            is_art[root as usize] = true;
+        }
+    }
+    Biconnectivity {
+        articulation_points: (0..n as u32).filter(|&v| is_art[v as usize]).collect(),
+        bridges: (0..m as u32).filter(|&e| is_bridge[e as usize]).collect(),
+        component,
+        component_count: comp_count,
+    }
+}
+
+/// True if the connected graph has no articulation point (and ≥ 3 nodes
+/// or is an edge).
+pub fn is_biconnected(g: &Graph) -> bool {
+    if !g.is_connected() {
+        return false;
+    }
+    match g.node_count() {
+        0 | 1 => true,
+        2 => g.edge_count() == 1,
+        _ => biconnectivity(g).articulation_points.is_empty(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn cycle_is_biconnected() {
+        let g = generators::cycle(10);
+        let b = biconnectivity(&g);
+        assert!(b.articulation_points.is_empty());
+        assert!(b.bridges.is_empty());
+        assert_eq!(b.component_count, 1);
+        assert!(is_biconnected(&g));
+    }
+
+    #[test]
+    fn path_is_all_bridges() {
+        let g = generators::path(6);
+        let b = biconnectivity(&g);
+        assert_eq!(b.bridges.len(), 5, "every path edge is a bridge");
+        assert_eq!(
+            b.articulation_points,
+            vec![1, 2, 3, 4],
+            "interior nodes are articulation points"
+        );
+        assert_eq!(b.component_count, 5, "each edge its own component");
+        assert!(!is_biconnected(&g));
+    }
+
+    #[test]
+    fn two_triangles_sharing_a_node() {
+        // bowtie: triangles {0,1,2} and {2,3,4}
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]);
+        let b = biconnectivity(&g);
+        assert_eq!(b.articulation_points, vec![2]);
+        assert!(b.bridges.is_empty());
+        assert_eq!(b.component_count, 2);
+        // edges of the same triangle share a component
+        let c01 = b.component[g.find_edge(0, 1).unwrap() as usize];
+        let c02 = b.component[g.find_edge(0, 2).unwrap() as usize];
+        let c34 = b.component[g.find_edge(3, 4).unwrap() as usize];
+        assert_eq!(c01, c02);
+        assert_ne!(c01, c34);
+    }
+
+    #[test]
+    fn bridge_between_cliques() {
+        // K4 - bridge - K4
+        let mut b = crate::graph::GraphBuilder::new(8);
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                b.add_edge(u, v).unwrap();
+            }
+        }
+        for u in 4..8u32 {
+            for v in (u + 1)..8 {
+                b.add_edge(u, v).unwrap();
+            }
+        }
+        let bridge = b.add_edge(0, 4).unwrap();
+        let g = b.build();
+        let bc = biconnectivity(&g);
+        assert_eq!(bc.bridges, vec![bridge]);
+        let mut arts = bc.articulation_points.clone();
+        arts.sort_unstable();
+        assert_eq!(arts, vec![0, 4]);
+        assert_eq!(bc.component_count, 3);
+    }
+
+    #[test]
+    fn triangulations_are_biconnected() {
+        for seed in 0..5u64 {
+            let g = generators::stacked_triangulation(60, seed);
+            assert!(is_biconnected(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn trees_have_only_bridges() {
+        let g = generators::random_tree(40, 3);
+        let b = biconnectivity(&g);
+        assert_eq!(b.bridges.len(), g.edge_count());
+        assert_eq!(b.component_count as usize, g.edge_count());
+    }
+
+    #[test]
+    fn disconnected_graphs_handled() {
+        let g = generators::cycle(4).disjoint_union(&generators::path(3));
+        let b = biconnectivity(&g);
+        assert_eq!(b.component_count, 3, "one cycle component + two path edges");
+        assert!(!is_biconnected(&g));
+    }
+
+    #[test]
+    fn every_edge_gets_a_component() {
+        let g = generators::random_planar(80, 0.5, 7);
+        let b = biconnectivity(&g);
+        assert!(b.component.iter().all(|&c| c != u32::MAX));
+        assert!(b.component.iter().all(|&c| c < b.component_count));
+    }
+}

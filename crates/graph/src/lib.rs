@@ -1,0 +1,41 @@
+//! Graph substrate for the PODC 2020 planarity-certification reproduction.
+//!
+//! This crate provides everything the certification layers need from a
+//! graph library, built from scratch:
+//!
+//! * [`Graph`]: a compact simple-graph representation with stable node
+//!   indices and per-node network identifiers (the `id(v)` of the paper's
+//!   model section).
+//! * [`generators`]: workload generators — planar families (trees, grids,
+//!   stacked triangulations, outerplanar, series-parallel, ...), non-planar
+//!   families (Kuratowski subdivisions planted in planar hosts, dense
+//!   `G(n,m)`, complete (bipartite) graphs, hypercubes), and the utility
+//!   transformations used by the experiments.
+//! * [`traversal`]: BFS/DFS, connectivity, spanning trees.
+//! * [`degeneracy`]: smallest-last (degeneracy) orderings — planar graphs
+//!   are 5-degenerate, the key to distributing edge-certificates evenly
+//!   (Section 3.3 of the paper).
+//! * [`minors`]: minor machinery used to *validate* the lower-bound
+//!   instances of Section 4 (contractions, series-parallel reduction for
+//!   `K4`-minor-freeness, a branching minor search for small graphs, and
+//!   Kuratowski-subdivision recognition).
+//!
+//! # Example
+//!
+//! ```
+//! use dpc_graph::{Graph, generators};
+//!
+//! let g = generators::grid(4, 5);
+//! assert_eq!(g.node_count(), 20);
+//! assert!(g.is_connected());
+//! ```
+
+pub mod biconnectivity;
+pub mod degeneracy;
+pub mod generators;
+pub mod graph;
+pub mod graph6;
+pub mod minors;
+pub mod traversal;
+
+pub use graph::{Edge, EdgeId, Graph, GraphBuilder, GraphError, NodeId};

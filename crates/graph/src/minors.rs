@@ -1,0 +1,523 @@
+//! Minor machinery used to *validate* the lower-bound instances of
+//! Section 4 of the paper.
+//!
+//! Minor containment is NP-hard in general, so this module provides the
+//! exact tools that suffice for the experiments:
+//!
+//! * [`has_k4_minor`] — exact, near-linear: series-parallel reducibility
+//!   (treewidth ≤ 2 ⟺ no `K4` minor).
+//! * [`excludes_clique_minor_by_stretch`] — a *certificate*: if some node
+//!   layout has edge stretch ≤ k−2 then bandwidth ≤ k−2, hence treewidth
+//!   ≤ k−2, hence no `K_k` minor. This is exactly why the paper's paths
+//!   of blocks are `K_k`-minor-free (Claim 7).
+//! * [`verify_minor_witness`] — checks an explicit branch-set witness
+//!   (used for Claim 8's cycles of blocks and Lemma 6's instance `J`).
+//! * [`contains_clique_minor_small`] / [`contains_bipartite_minor_small`]
+//!   — budgeted branching search for small graphs (cross-checks in tests).
+//! * [`KuratowskiKind`] recognition of subdivided `K5` / `K3,3`
+//!   (the folklore non-planarity certificates of Section 2).
+
+use crate::graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Exact `K4`-minor test via series-parallel reduction.
+///
+/// Repeatedly deletes degree-≤1 nodes and suppresses degree-2 nodes
+/// (merging parallel edges, dropping loops). The graph has no `K4` minor
+/// iff the reduction empties it.
+pub fn has_k4_minor(g: &Graph) -> bool {
+    let n = g.node_count();
+    // neighbor sets as sorted vecs are awkward to mutate; use hash sets
+    let mut adj: Vec<std::collections::HashSet<NodeId>> = (0..n)
+        .map(|v| g.neighbors(v as NodeId).collect())
+        .collect();
+    let mut alive = vec![true; n];
+    let mut queue: VecDeque<NodeId> = (0..n as u32).filter(|&v| adj[v as usize].len() <= 2).collect();
+    let mut alive_count = n;
+    while let Some(v) = queue.pop_front() {
+        let vu = v as usize;
+        if !alive[vu] || adj[vu].len() > 2 {
+            continue;
+        }
+        let nbrs: Vec<NodeId> = adj[vu].iter().copied().collect();
+        alive[vu] = false;
+        alive_count -= 1;
+        for &w in &nbrs {
+            adj[w as usize].remove(&v);
+        }
+        adj[vu].clear();
+        if nbrs.len() == 2 {
+            let (a, b) = (nbrs[0], nbrs[1]);
+            // suppress: add edge a-b (merging a parallel edge if present)
+            if a != b && !adj[a as usize].contains(&b) {
+                adj[a as usize].insert(b);
+                adj[b as usize].insert(a);
+            }
+        }
+        for &w in &nbrs {
+            if alive[w as usize] && adj[w as usize].len() <= 2 {
+                queue.push_back(w);
+            }
+        }
+    }
+    alive_count != 0
+}
+
+/// Certificate of `K_k`-minor-freeness via bandwidth: if every edge
+/// `{u, v}` satisfies `|layout[u] − layout[v]| ≤ k − 2` for the given
+/// layout (a bijection `V -> 0..n`), then treewidth ≤ k−2 and `G` has no
+/// `K_k` minor. Returns `true` when the certificate applies.
+///
+/// This is sound but not complete: `false` means "certificate does not
+/// apply", not "a minor exists".
+pub fn excludes_clique_minor_by_stretch(g: &Graph, k: usize, layout: &[u32]) -> bool {
+    assert_eq!(layout.len(), g.node_count());
+    assert!(k >= 3);
+    g.edges().iter().all(|e| {
+        let a = layout[e.u as usize] as i64;
+        let b = layout[e.v as usize] as i64;
+        (a - b).unsigned_abs() as usize <= k - 2
+    })
+}
+
+/// Verifies an explicit minor witness: `parts` are branch sets that must
+/// be pairwise disjoint and each connected in `G`; `required_pairs` lists
+/// the pairs `(i, j)` of parts that must be joined by at least one edge.
+pub fn verify_minor_witness(
+    g: &Graph,
+    parts: &[Vec<NodeId>],
+    required_pairs: &[(usize, usize)],
+) -> bool {
+    let n = g.node_count();
+    let mut owner = vec![usize::MAX; n];
+    for (i, part) in parts.iter().enumerate() {
+        if part.is_empty() {
+            return false;
+        }
+        for &v in part {
+            if (v as usize) >= n || owner[v as usize] != usize::MAX {
+                return false; // out of range or overlap
+            }
+            owner[v as usize] = i;
+        }
+    }
+    // connectivity of each part (BFS restricted to the part)
+    for part in parts {
+        let mut seen = std::collections::HashSet::new();
+        let mut queue = VecDeque::new();
+        seen.insert(part[0]);
+        queue.push_back(part[0]);
+        let inpart: std::collections::HashSet<NodeId> = part.iter().copied().collect();
+        while let Some(v) = queue.pop_front() {
+            for w in g.neighbors(v) {
+                if inpart.contains(&w) && seen.insert(w) {
+                    queue.push_back(w);
+                }
+            }
+        }
+        if seen.len() != part.len() {
+            return false;
+        }
+    }
+    // adjacency between required pairs
+    let mut pair_ok = std::collections::HashSet::new();
+    for e in g.edges() {
+        let (a, b) = (owner[e.u as usize], owner[e.v as usize]);
+        if a != usize::MAX && b != usize::MAX && a != b {
+            pair_ok.insert((a.min(b), a.max(b)));
+        }
+    }
+    required_pairs
+        .iter()
+        .all(|&(i, j)| pair_ok.contains(&(i.min(j), i.max(j))))
+}
+
+/// All pairs `(i, j)`, `i < j < k` — the adjacency requirement of a
+/// `K_k` witness.
+pub fn clique_pairs(k: usize) -> Vec<(usize, usize)> {
+    let mut v = Vec::new();
+    for i in 0..k {
+        for j in (i + 1)..k {
+            v.push((i, j));
+        }
+    }
+    v
+}
+
+/// Pairs for a `K_{p,q}` witness where parts `0..p` are one side and
+/// `p..p+q` the other.
+pub fn bipartite_pairs(p: usize, q: usize) -> Vec<(usize, usize)> {
+    let mut v = Vec::new();
+    for i in 0..p {
+        for j in 0..q {
+            v.push((i, p + j));
+        }
+    }
+    v
+}
+
+/// Outcome of a budgeted search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchResult {
+    /// A witness was found (and re-verified).
+    Found,
+    /// The search space was exhausted: no minor exists.
+    Absent,
+    /// The step budget ran out before a conclusion.
+    BudgetExhausted,
+}
+
+struct MinorSearch<'a> {
+    g: &'a Graph,
+    /// part index per node, `usize::MAX` = free, `usize::MAX - 1` = discarded
+    assign: Vec<usize>,
+    parts: Vec<Vec<NodeId>>,
+    budget: u64,
+}
+
+const FREE: usize = usize::MAX;
+const DISCARDED: usize = usize::MAX - 1;
+
+impl<'a> MinorSearch<'a> {
+    fn new(g: &'a Graph, nparts: usize, budget: u64) -> Self {
+        MinorSearch {
+            g,
+            assign: vec![FREE; g.node_count()],
+            parts: vec![Vec::new(); nparts],
+            budget,
+        }
+    }
+
+    /// True iff every required pair of completed parts touches.
+    fn pairs_satisfied(&self, required: &[(usize, usize)]) -> bool {
+        required.iter().all(|&(i, j)| {
+            self.parts[i].iter().any(|&v| {
+                self.g
+                    .neighbors(v)
+                    .any(|w| self.assign[w as usize] == j)
+            })
+        })
+    }
+
+    /// Builds parts `from..` one at a time; each part grows connected.
+    /// `min_root` enforces increasing roots inside symmetry classes.
+    fn build(
+        &mut self,
+        part: usize,
+        min_root: NodeId,
+        sym_end: usize,
+        required: &[(usize, usize)],
+    ) -> SearchResult {
+        if self.budget == 0 {
+            return SearchResult::BudgetExhausted;
+        }
+        self.budget -= 1;
+        if part == self.parts.len() {
+            return if self.pairs_satisfied(required) {
+                SearchResult::Found
+            } else {
+                SearchResult::Absent
+            };
+        }
+        let n = self.g.node_count() as NodeId;
+        let mut exhausted = true;
+        for root in min_root..n {
+            if self.assign[root as usize] != FREE {
+                continue;
+            }
+            self.assign[root as usize] = part;
+            self.parts[part].push(root);
+            let next_min = if part + 1 < sym_end { root + 1 } else { 0 };
+            match self.grow(part, next_min, sym_end, required) {
+                SearchResult::Found => return SearchResult::Found,
+                SearchResult::Absent => {}
+                SearchResult::BudgetExhausted => exhausted = false,
+            }
+            self.parts[part].pop();
+            self.assign[root as usize] = FREE;
+        }
+        if exhausted {
+            SearchResult::Absent
+        } else {
+            SearchResult::BudgetExhausted
+        }
+    }
+
+    /// Either finalizes the current part and moves on, or extends it with
+    /// a frontier node.
+    fn grow(
+        &mut self,
+        part: usize,
+        next_min: NodeId,
+        sym_end: usize,
+        required: &[(usize, usize)],
+    ) -> SearchResult {
+        if self.budget == 0 {
+            return SearchResult::BudgetExhausted;
+        }
+        self.budget -= 1;
+        // Option 1: stop growing this part.
+        let mut exhausted = true;
+        match self.build(part + 1, next_min, sym_end, required) {
+            SearchResult::Found => return SearchResult::Found,
+            SearchResult::Absent => {}
+            SearchResult::BudgetExhausted => exhausted = false,
+        }
+        // Option 2: add a free frontier node (dedup, ordered to limit
+        // duplicate enumeration).
+        let mut frontier: Vec<NodeId> = Vec::new();
+        for &v in &self.parts[part] {
+            for w in self.g.neighbors(v) {
+                if self.assign[w as usize] == FREE && !frontier.contains(&w) {
+                    frontier.push(w);
+                }
+            }
+        }
+        frontier.sort_unstable();
+        for w in frontier {
+            self.assign[w as usize] = part;
+            self.parts[part].push(w);
+            match self.grow(part, next_min, sym_end, required) {
+                SearchResult::Found => return SearchResult::Found,
+                SearchResult::Absent => {}
+                SearchResult::BudgetExhausted => exhausted = false,
+            }
+            self.parts[part].pop();
+            // mark discarded for the rest of this part's growth to avoid
+            // re-enumerating the same set; restore afterwards
+            self.assign[w as usize] = DISCARDED;
+        }
+        // restore discarded marks
+        for v in 0..self.g.node_count() {
+            if self.assign[v] == DISCARDED {
+                self.assign[v] = FREE;
+            }
+        }
+        if exhausted {
+            SearchResult::Absent
+        } else {
+            SearchResult::BudgetExhausted
+        }
+    }
+}
+
+/// Budgeted branching search for a `K_k` minor. Intended for small
+/// graphs (tests and cross-checks); `budget` bounds recursion steps.
+pub fn contains_clique_minor_small(g: &Graph, k: usize, budget: u64) -> SearchResult {
+    if g.node_count() < k {
+        return SearchResult::Absent;
+    }
+    let required = clique_pairs(k);
+    let mut s = MinorSearch::new(g, k, budget);
+    let r = s.build(0, 0, k, &required);
+    debug_assert!(
+        r != SearchResult::Found || verify_minor_witness(g, &s.parts, &required)
+    );
+    r
+}
+
+/// Budgeted branching search for a `K_{p,q}` minor.
+pub fn contains_bipartite_minor_small(g: &Graph, p: usize, q: usize, budget: u64) -> SearchResult {
+    if g.node_count() < p + q {
+        return SearchResult::Absent;
+    }
+    let required = bipartite_pairs(p, q);
+    let mut s = MinorSearch::new(g, p + q, budget);
+    // symmetry only within each side, so seeds increase within 0..p and
+    // p..p+q separately; approximate by restarting the min at part p
+    let r = s.build(0, 0, p, &required);
+    r
+}
+
+/// The two Kuratowski graphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KuratowskiKind {
+    /// The complete graph on five nodes.
+    K5,
+    /// The complete bipartite graph `K3,3`.
+    K33,
+}
+
+/// Suppresses all degree-2 nodes (smoothing). Returns `None` if the
+/// result would have a self-loop or parallel edge (i.e. `g` was not a
+/// subdivision of a simple graph with min degree ≥ 3).
+pub fn smooth(g: &Graph) -> Option<Graph> {
+    let n = g.node_count();
+    let keep: Vec<bool> = (0..n).map(|v| g.degree(v as NodeId) != 2).collect();
+    if keep.iter().all(|&k| k) {
+        return Some(g.clone());
+    }
+    if !keep.iter().any(|&k| k) {
+        return None; // a disjoint union of cycles
+    }
+    // map kept nodes to 0..n'
+    let mut newid = vec![u32::MAX; n];
+    let mut cnt = 0u32;
+    for v in 0..n {
+        if keep[v] {
+            newid[v] = cnt;
+            cnt += 1;
+        }
+    }
+    let mut b = crate::graph::GraphBuilder::new(cnt);
+    let mut visited_edge = vec![false; g.edge_count()];
+    for v in 0..n as u32 {
+        if !keep[v as usize] {
+            continue;
+        }
+        for &(mut w, mut e) in g.adjacency(v) {
+            if visited_edge[e as usize] {
+                continue;
+            }
+            // walk through degree-2 nodes until a kept node
+            visited_edge[e as usize] = true;
+            let mut prev = v;
+            while !keep[w as usize] {
+                let nxt = g
+                    .adjacency(w)
+                    .iter()
+                    .copied()
+                    .find(|&(x, _)| x != prev)
+                    .expect("degree-2 node has another neighbor");
+                prev = w;
+                w = nxt.0;
+                e = nxt.1;
+                visited_edge[e as usize] = true;
+            }
+            if w == v {
+                return None; // smoothing created a self-loop
+            }
+            match b.add_edge(newid[v as usize], newid[w as usize]) {
+                Ok(_) => {}
+                Err(_) => return None, // parallel edge after smoothing
+            }
+        }
+    }
+    Some(b.build())
+}
+
+/// Recognizes whether `g` is a subdivision of `K5` or `K3,3`.
+pub fn kuratowski_kind(g: &Graph) -> Option<KuratowskiKind> {
+    let s = smooth(g)?;
+    let n = s.node_count();
+    let m = s.edge_count();
+    if n == 5 && m == 10 && (0..5).all(|v| s.degree(v as NodeId) == 4) {
+        return Some(KuratowskiKind::K5);
+    }
+    if n == 6 && m == 9 && (0..6).all(|v| s.degree(v as NodeId) == 3) {
+        // check bipartite completeness: neighbors of node 0 form one side
+        let side: Vec<NodeId> = s.neighbors(0).collect();
+        let other: Vec<NodeId> = (0..6u32).filter(|v| !side.contains(v) ).collect();
+        if other.len() == 3
+            && other.iter().all(|&u| side.iter().all(|&w| s.has_edge(u, w)))
+        {
+            return Some(KuratowskiKind::K33);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn k4_minor_exact_on_known_families() {
+        assert!(!has_k4_minor(&generators::random_tree(60, 1)));
+        assert!(!has_k4_minor(&generators::cycle(20)));
+        assert!(!has_k4_minor(&generators::random_series_parallel(60, 2)));
+        assert!(!has_k4_minor(&generators::random_maximal_outerplanar(30, 3)));
+        assert!(has_k4_minor(&generators::complete(4)));
+        assert!(has_k4_minor(&generators::wheel(7)));
+        assert!(has_k4_minor(&generators::grid(3, 3)));
+        assert!(has_k4_minor(&generators::subdivision_of(&generators::complete(4), 3)));
+    }
+
+    #[test]
+    fn stretch_certificate() {
+        // a path has stretch 1: excludes K3 and up
+        let p = generators::path(20);
+        let layout: Vec<u32> = (0..20).collect();
+        assert!(excludes_clique_minor_by_stretch(&p, 3, &layout));
+        // K4 itself cannot be certified K4-free
+        let k4 = generators::complete(4);
+        let l4: Vec<u32> = (0..4).collect();
+        assert!(!excludes_clique_minor_by_stretch(&k4, 4, &l4));
+    }
+
+    #[test]
+    fn witness_verification() {
+        let g = generators::cycle(6);
+        // contract to a triangle: parts {0,1},{2,3},{4,5}
+        let parts = vec![vec![0, 1], vec![2, 3], vec![4, 5]];
+        assert!(verify_minor_witness(&g, &parts, &clique_pairs(3)));
+        // a disconnected part is rejected
+        let bad = vec![vec![0, 2], vec![3], vec![4, 5]];
+        assert!(!verify_minor_witness(&g, &bad, &clique_pairs(3)));
+        // overlap rejected
+        let overlap = vec![vec![0, 1], vec![1, 2], vec![4, 5]];
+        assert!(!verify_minor_witness(&g, &overlap, &clique_pairs(3)));
+    }
+
+    #[test]
+    fn small_search_finds_k5_in_k5() {
+        let g = generators::complete(5);
+        assert_eq!(contains_clique_minor_small(&g, 5, 1_000_000), SearchResult::Found);
+    }
+
+    #[test]
+    fn small_search_finds_k5_in_subdivision() {
+        let g = generators::k5_subdivision(1);
+        assert_eq!(
+            contains_clique_minor_small(&g, 5, 50_000_000),
+            SearchResult::Found
+        );
+    }
+
+    #[test]
+    fn small_search_rejects_k4_in_cycle() {
+        let g = generators::cycle(8);
+        assert_eq!(contains_clique_minor_small(&g, 4, 50_000_000), SearchResult::Absent);
+    }
+
+    #[test]
+    fn small_search_bipartite() {
+        let g = generators::complete_bipartite(3, 3);
+        assert_eq!(
+            contains_bipartite_minor_small(&g, 3, 3, 10_000_000),
+            SearchResult::Found
+        );
+        let c = generators::cycle(7);
+        assert_eq!(
+            contains_bipartite_minor_small(&c, 2, 3, 50_000_000),
+            SearchResult::Absent
+        );
+    }
+
+    #[test]
+    fn kuratowski_recognition() {
+        assert_eq!(kuratowski_kind(&generators::complete(5)), Some(KuratowskiKind::K5));
+        assert_eq!(
+            kuratowski_kind(&generators::k5_subdivision(4)),
+            Some(KuratowskiKind::K5)
+        );
+        assert_eq!(
+            kuratowski_kind(&generators::k33_subdivision(2)),
+            Some(KuratowskiKind::K33)
+        );
+        assert_eq!(kuratowski_kind(&generators::complete(4)), None);
+        assert_eq!(kuratowski_kind(&generators::grid(3, 3)), None);
+    }
+
+    #[test]
+    fn smoothing_path_yields_edge_or_fails() {
+        // a path smooths to a single edge between its endpoints
+        let p = generators::path(6);
+        let s = smooth(&p).unwrap();
+        assert_eq!(s.node_count(), 2);
+        assert_eq!(s.edge_count(), 1);
+        // a cycle smooths to nothing simple
+        assert!(smooth(&generators::cycle(5)).is_none());
+    }
+}

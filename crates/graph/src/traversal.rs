@@ -1,0 +1,262 @@
+//! Traversals and spanning structures: BFS, iterative DFS, connected
+//! components, and spanning trees (the substrate of every certification
+//! scheme in the paper — spanning-tree certificates underlie Section 2's
+//! folklore schemes and Phase 2 of Algorithm 2).
+
+use crate::graph::{EdgeId, Graph, NodeId};
+
+/// BFS visit order from `root` (only the reachable component).
+pub fn bfs_order(g: &Graph, root: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; g.node_count()];
+    let mut queue = std::collections::VecDeque::new();
+    let mut order = Vec::new();
+    seen[root as usize] = true;
+    queue.push_back(root);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for w in g.neighbors(v) {
+            if !seen[w as usize] {
+                seen[w as usize] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+    order
+}
+
+/// Connected components; `comp[v]` is the component index of `v`,
+/// components numbered `0..count` in order of smallest member.
+#[derive(Debug, Clone)]
+pub struct Components {
+    /// Component index per node.
+    pub comp: Vec<u32>,
+    /// Number of components.
+    pub count: u32,
+}
+
+/// Computes connected components with BFS.
+pub fn components(g: &Graph) -> Components {
+    let mut comp = vec![u32::MAX; g.node_count()];
+    let mut count = 0;
+    for v in g.nodes() {
+        if comp[v as usize] == u32::MAX {
+            for w in bfs_order(g, v) {
+                comp[w as usize] = count;
+            }
+            count += 1;
+        }
+    }
+    Components { comp, count }
+}
+
+/// A rooted spanning tree of a connected graph.
+///
+/// `parent[root] == None`; `dist` is the hop distance to the root along
+/// tree edges; `parent_edge` is the [`EdgeId`] to the parent.
+#[derive(Debug, Clone)]
+pub struct SpanningTree {
+    /// The root node.
+    pub root: NodeId,
+    /// Parent of each node (`None` for the root).
+    pub parent: Vec<Option<NodeId>>,
+    /// Edge id to the parent (`None` for the root).
+    pub parent_edge: Vec<Option<EdgeId>>,
+    /// Hop distance to the root along the tree.
+    pub dist: Vec<u32>,
+    /// Children lists (sorted by node index).
+    pub children: Vec<Vec<NodeId>>,
+}
+
+impl SpanningTree {
+    /// Number of nodes spanned.
+    pub fn node_count(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if edge id `e` is a tree edge.
+    pub fn is_tree_edge(&self, e: EdgeId) -> bool {
+        self.parent_edge.iter().any(|&pe| pe == Some(e))
+    }
+
+    /// Set of tree-edge ids, as a boolean mask indexed by [`EdgeId`].
+    pub fn tree_edge_mask(&self, g: &Graph) -> Vec<bool> {
+        let mut mask = vec![false; g.edge_count()];
+        for pe in self.parent_edge.iter().flatten() {
+            mask[*pe as usize] = true;
+        }
+        mask
+    }
+
+    /// Subtree sizes (number of nodes in the subtree rooted at each node),
+    /// computed bottom-up in reverse-BFS order.
+    pub fn subtree_sizes(&self) -> Vec<u32> {
+        let n = self.parent.len();
+        let mut order: Vec<NodeId> = Vec::with_capacity(n);
+        // BFS over the tree from the root.
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(self.root);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &c in &self.children[v as usize] {
+                queue.push_back(c);
+            }
+        }
+        let mut size = vec![1u32; n];
+        for &v in order.iter().rev() {
+            if let Some(p) = self.parent[v as usize] {
+                size[p as usize] += size[v as usize];
+            }
+        }
+        size
+    }
+}
+
+/// BFS spanning tree of a connected graph.
+///
+/// # Panics
+///
+/// Panics if the graph is not connected (the distributed model assumes a
+/// connected network).
+pub fn bfs_spanning_tree(g: &Graph, root: NodeId) -> SpanningTree {
+    let n = g.node_count();
+    let mut parent = vec![None; n];
+    let mut parent_edge = vec![None; n];
+    let mut dist = vec![u32::MAX; n];
+    let mut children = vec![Vec::new(); n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[root as usize] = 0;
+    queue.push_back(root);
+    let mut visited = 1usize;
+    while let Some(v) = queue.pop_front() {
+        for &(w, e) in g.adjacency(v) {
+            if dist[w as usize] == u32::MAX {
+                dist[w as usize] = dist[v as usize] + 1;
+                parent[w as usize] = Some(v);
+                parent_edge[w as usize] = Some(e);
+                children[v as usize].push(w);
+                visited += 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    assert_eq!(visited, n, "graph must be connected");
+    SpanningTree {
+        root,
+        parent,
+        parent_edge,
+        dist,
+        children,
+    }
+}
+
+/// Iterative DFS spanning tree (children discovered in adjacency order).
+///
+/// # Panics
+///
+/// Panics if the graph is not connected.
+pub fn dfs_spanning_tree(g: &Graph, root: NodeId) -> SpanningTree {
+    let n = g.node_count();
+    let mut parent = vec![None; n];
+    let mut parent_edge = vec![None; n];
+    let mut dist = vec![u32::MAX; n];
+    let mut children = vec![Vec::new(); n];
+    let mut stack = vec![(root, 0usize)];
+    dist[root as usize] = 0;
+    let mut visited = 1usize;
+    while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+        let adj = g.adjacency(v);
+        if *i >= adj.len() {
+            stack.pop();
+            continue;
+        }
+        let (w, e) = adj[*i];
+        *i += 1;
+        if dist[w as usize] == u32::MAX {
+            dist[w as usize] = dist[v as usize] + 1;
+            parent[w as usize] = Some(v);
+            parent_edge[w as usize] = Some(e);
+            children[v as usize].push(w);
+            visited += 1;
+            stack.push((w, 0));
+        }
+    }
+    assert_eq!(visited, n, "graph must be connected");
+    SpanningTree {
+        root,
+        parent,
+        parent_edge,
+        dist,
+        children,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bfs_order_covers_component() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        assert_eq!(bfs_order(&g, 0), vec![0, 1, 2]);
+        assert_eq!(bfs_order(&g, 4), vec![4, 3]);
+    }
+
+    #[test]
+    fn components_count() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let c = components(&g);
+        assert_eq!(c.count, 2);
+        assert_eq!(c.comp[0], c.comp[2]);
+        assert_ne!(c.comp[0], c.comp[3]);
+    }
+
+    #[test]
+    fn bfs_tree_distances_are_shortest() {
+        let g = generators::cycle(8);
+        let t = bfs_spanning_tree(&g, 0);
+        assert_eq!(t.dist[4], 4);
+        assert_eq!(t.dist[7], 1);
+        assert_eq!(t.parent[0], None);
+        // n-1 tree edges
+        let mask = t.tree_edge_mask(&g);
+        assert_eq!(mask.iter().filter(|&&b| b).count(), 7);
+    }
+
+    #[test]
+    fn dfs_tree_spans_and_subtree_sizes_sum() {
+        let g = generators::grid(3, 4);
+        let t = dfs_spanning_tree(&g, 0);
+        let sizes = t.subtree_sizes();
+        assert_eq!(sizes[t.root as usize] as usize, g.node_count());
+        // every non-root subtree size < n and >= 1
+        for v in g.nodes() {
+            if v != t.root {
+                assert!(sizes[v as usize] >= 1);
+                assert!((sizes[v as usize] as usize) < g.node_count());
+            }
+        }
+        // parent/child consistency
+        for v in g.nodes() {
+            for &c in &t.children[v as usize] {
+                assert_eq!(t.parent[c as usize], Some(v));
+                assert_eq!(t.dist[c as usize], t.dist[v as usize] + 1);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn spanning_tree_requires_connectivity() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let _ = bfs_spanning_tree(&g, 0);
+    }
+
+    #[test]
+    fn dfs_tree_on_tree_is_identity() {
+        let g = generators::random_tree(40, 7);
+        let t = dfs_spanning_tree(&g, 0);
+        let mask = t.tree_edge_mask(&g);
+        assert!(mask.iter().all(|&b| b), "every edge of a tree is a tree edge");
+    }
+}

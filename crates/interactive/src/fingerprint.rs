@@ -1,0 +1,124 @@
+//! Polynomial fingerprints over the Mersenne prime `p = 2^61 − 1`.
+//!
+//! `fingerprint(xs, r) = Σ xs[i] · r^i mod p` — two different sequences
+//! evaluate equally at a random `r` with probability at most
+//! `len / p` (Schwartz–Zippel), the standard equality-testing tool of
+//! randomized distributed proofs.
+
+/// The Mersenne prime `2^61 − 1`.
+pub const P: u64 = (1 << 61) - 1;
+
+/// Reduction of a 128-bit product modulo `2^61 − 1`.
+fn reduce(x: u128) -> u64 {
+    let lo = (x & P as u128) as u64;
+    let hi = (x >> 61) as u64;
+    let mut s = lo + hi;
+    if s >= P {
+        s -= P;
+    }
+    s
+}
+
+/// Modular multiplication.
+pub fn mul(a: u64, b: u64) -> u64 {
+    reduce(a as u128 * b as u128)
+}
+
+/// Modular addition.
+pub fn add(a: u64, b: u64) -> u64 {
+    let s = a % P + b % P;
+    if s >= P {
+        s - P
+    } else {
+        s
+    }
+}
+
+/// Horner evaluation of `Σ xs[i] · r^i mod p`.
+pub fn fingerprint(xs: &[u64], r: u64) -> u64 {
+    let mut acc = 0u64;
+    for &x in xs.iter().rev() {
+        acc = add(mul(acc, r), x % P);
+    }
+    acc
+}
+
+/// Product fingerprint `Π (r − xs[i]) mod p` — multiset equality.
+pub fn product_fingerprint(xs: &[u64], r: u64) -> u64 {
+    let r = r % P;
+    xs.iter().fold(1u64, |acc, &x| {
+        let term = if r >= x % P { r - x % P } else { r + P - x % P };
+        mul(acc, term)
+    })
+}
+
+/// A tiny splittable hash for deriving per-node challenges from the
+/// public coin (`splitmix64` finalizer).
+pub fn derive(r: u64, salt: u64) -> u64 {
+    let mut z = r ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_basics() {
+        assert_eq!(add(P - 1, 1), 0);
+        assert_eq!(mul(2, P / 2 + 1), 1); // 2 * (p+1)/2 = p + 1 ≡ 1
+        assert_eq!(mul(P - 1, P - 1), 1); // (-1)^2
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_sequences() {
+        let a = [1u64, 2, 3, 4];
+        let b = [1u64, 2, 4, 3];
+        let mut collisions = 0;
+        for r in 1..200u64 {
+            if fingerprint(&a, r) == fingerprint(&b, r) {
+                collisions += 1;
+            }
+        }
+        assert!(collisions <= 4, "degree-4 polynomials agree on ≤ 4 points");
+        assert_eq!(fingerprint(&a, 7), fingerprint(&a, 7));
+    }
+
+    #[test]
+    fn product_fingerprint_is_order_invariant() {
+        let a = [10u64, 20, 30];
+        let b = [30u64, 10, 20];
+        for r in [3u64, 1234, 99999] {
+            assert_eq!(product_fingerprint(&a, r), product_fingerprint(&b, r));
+        }
+        let c = [10u64, 20, 31];
+        let differs = (1..100u64)
+            .filter(|&r| product_fingerprint(&a, r) != product_fingerprint(&c, r))
+            .count();
+        assert!(differs >= 97);
+    }
+
+    #[test]
+    fn horner_matches_naive() {
+        let xs = [5u64, 0, 7, 11];
+        let r = 1_000_003u64;
+        let mut naive = 0u64;
+        let mut pw = 1u64;
+        for &x in &xs {
+            naive = add(naive, mul(x, pw));
+            pw = mul(pw, r);
+        }
+        assert_eq!(fingerprint(&xs, r), naive);
+    }
+
+    #[test]
+    fn derive_spreads() {
+        let mut seen = std::collections::HashSet::new();
+        for salt in 0..1000u64 {
+            seen.insert(derive(42, salt));
+        }
+        assert_eq!(seen.len(), 1000, "no collisions on small salt range");
+    }
+}

@@ -1,0 +1,23 @@
+//! Distributed interactive proofs: the dMAM baseline the paper improves
+//! on.
+//!
+//! Naor, Parter and Yogev (SODA 2020) gave a **dMAM** protocol for
+//! planarity — Merlin commits, Arthur draws randomness, Merlin responds,
+//! then one verification round — with `O(log n)`-bit messages. The paper
+//! reproduced here (Theorem 1) shows one deterministic Merlin message
+//! suffices. This crate provides the comparison side:
+//!
+//! * [`fingerprint`] — polynomial fingerprints over the Mersenne prime
+//!   `2^61 − 1` (random-evaluation equality testing, the workhorse of
+//!   randomized distributed proofs);
+//! * [`dmam`] — a generic dMAM runner plus [`dmam::DmamPlanarity`], a
+//!   concrete 3-interaction randomized protocol for planarity whose
+//!   certificates are smaller than the PLS's but whose soundness is
+//!   probabilistic. **Substitution note** (see DESIGN.md): NPY's generic
+//!   RAM-compiler is its own paper; our baseline preserves the measured
+//!   interface — 3 interactions, public coins, `O(log n)` bits,
+//!   one-sided error — by challenge-sampling the PLS's edge
+//!   certificates rather than compiling a sequential execution.
+
+pub mod dmam;
+pub mod fingerprint;

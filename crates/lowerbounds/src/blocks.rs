@@ -1,0 +1,274 @@
+//! Lemma 5's instances: paths and cycles of blocks.
+//!
+//! A *block* `B_r` is a clique `K_{k−1}` on nodes with consecutive
+//! identifiers `r(k−1) … (r+1)(k−1)−1`. A *block connection* from `B_i`
+//! to `B_j` joins the `⌈(k−1)/2⌉` rightmost nodes of `B_i` with the
+//! `⌊(k−1)/2⌋` leftmost nodes of `B_j` completely. A *path of blocks*
+//! chains the starting block `B_0`, the `p` ordinary blocks in the order
+//! of a permutation `π`, and the ending block `B_{p+1}`; a *cycle of
+//! blocks* closes a sub-chain into a ring.
+//!
+//! Paths of blocks are `K_k`-minor-free (Claim 7) — certified here by
+//! the bandwidth argument: along the chain order, no edge stretches more
+//! than `k−2` positions. Cycles of blocks contain `K_k` as a minor
+//! (Claim 8) — witnessed by contracting everything outside one block.
+
+use dpc_graph::minors::{clique_pairs, excludes_clique_minor_by_stretch, verify_minor_witness};
+use dpc_graph::{Graph, GraphBuilder, NodeId};
+
+/// Number of nodes per block for parameter `k`.
+pub fn block_size(k: usize) -> usize {
+    k - 1
+}
+
+/// Right-part size `⌈(k−1)/2⌉`.
+pub fn right_part(k: usize) -> usize {
+    k / 2
+}
+
+/// Left-part size `⌊(k−1)/2⌋`.
+pub fn left_part(k: usize) -> usize {
+    (k - 1) / 2
+}
+
+/// A path or cycle of blocks, remembering the chain order.
+#[derive(Debug, Clone)]
+pub struct BlockInstance {
+    /// The graph. Node indices equal node identifiers' rank; identifiers
+    /// are the paper's `r(k−1)+i` values.
+    pub graph: Graph,
+    /// Parameter `k` (forbidden clique size).
+    pub k: usize,
+    /// Block indices (`r` values) in chain order.
+    pub chain: Vec<usize>,
+    /// Whether the chain is closed into a cycle.
+    pub is_cycle: bool,
+}
+
+impl BlockInstance {
+    /// Nodes of block `r`, as node indices of `self.graph`.
+    pub fn block_nodes(&self, chain_pos: usize) -> Vec<NodeId> {
+        let s = block_size(self.k);
+        let base = (chain_pos * s) as u32;
+        (base..base + s as u32).collect()
+    }
+
+    /// The layout certifying `K_k`-minor-freeness for paths: position
+    /// along the chain.
+    pub fn chain_layout(&self) -> Vec<u32> {
+        (0..self.graph.node_count() as u32).collect()
+    }
+}
+
+fn build_chain(k: usize, blocks: &[usize], close: bool) -> BlockInstance {
+    assert!(k >= 3, "k >= 3");
+    let s = block_size(k);
+    let n = (blocks.len() * s) as u32;
+    let mut b = GraphBuilder::new(n);
+    // intra-block cliques; node index = chain position, identifier from
+    // the block index r
+    let mut ids = Vec::with_capacity(n as usize);
+    for (pos, &r) in blocks.iter().enumerate() {
+        let base = (pos * s) as u32;
+        for i in 0..s as u32 {
+            ids.push((r * s) as u64 + i as u64);
+            for j in (i + 1)..s as u32 {
+                b.add_edge(base + i, base + j).unwrap();
+            }
+        }
+    }
+    // connections along the chain
+    let connect = |b: &mut GraphBuilder, from_pos: usize, to_pos: usize| {
+        let fb = (from_pos * s) as u32;
+        let tb = (to_pos * s) as u32;
+        for i in 0..right_part(k) as u32 {
+            for j in 0..left_part(k) as u32 {
+                b.add_edge(fb + s as u32 - 1 - i, tb + j).unwrap();
+            }
+        }
+    };
+    for w in 0..blocks.len() - 1 {
+        connect(&mut b, w, w + 1);
+    }
+    if close {
+        connect(&mut b, blocks.len() - 1, 0);
+    }
+    let mut b = b;
+    b.with_ids(ids);
+    BlockInstance {
+        graph: b.build(),
+        k,
+        chain: blocks.to_vec(),
+        is_cycle: close,
+    }
+}
+
+/// The path of blocks for permutation `perm` of `{1..p}`:
+/// `B_0 → B_{π⁻¹(1)} → … → B_{π⁻¹(p)} → B_{p+1}`.
+///
+/// `perm[t]` is `π(t+1)`, i.e. a permutation of `1..=p` in 1-based
+/// terms; pass `(1..=p).collect()` for the identity.
+pub fn path_of_blocks(k: usize, perm: &[usize]) -> BlockInstance {
+    let p = perm.len();
+    // chain order: B_0, then blocks by increasing π-value, then B_{p+1}
+    let mut inv = vec![0usize; p + 1];
+    for (idx, &v) in perm.iter().enumerate() {
+        assert!((1..=p).contains(&v), "perm must be a permutation of 1..=p");
+        inv[v] = idx + 1; // block index (1-based ordinary block)
+    }
+    let mut chain = vec![0usize];
+    for v in 1..=p {
+        chain.push(inv[v]);
+    }
+    chain.push(p + 1);
+    build_chain(k, &chain, false)
+}
+
+/// A cycle of blocks over the given ordinary-block indices, connected in
+/// the order given and closed into a ring.
+pub fn cycle_of_blocks(k: usize, blocks: &[usize]) -> BlockInstance {
+    assert!(blocks.len() >= 2, "cycle needs at least two blocks");
+    build_chain(k, blocks, true)
+}
+
+/// Certifies that a path of blocks is `K_k`-minor-free via the stretch
+/// (bandwidth) certificate: along the chain order every edge spans at
+/// most `k − 2` positions, so treewidth ≤ k−2.
+pub fn certify_path_kfree(inst: &BlockInstance) -> bool {
+    !inst.is_cycle
+        && excludes_clique_minor_by_stretch(&inst.graph, inst.k, &inst.chain_layout())
+}
+
+/// Produces and verifies Claim 8's explicit `K_k`-minor witness in a
+/// cycle of blocks: the k−1 singleton parts of one block plus the
+/// contracted remainder.
+pub fn certify_cycle_has_kk(inst: &BlockInstance) -> bool {
+    if !inst.is_cycle {
+        return false;
+    }
+    let s = block_size(inst.k);
+    let n = inst.graph.node_count();
+    let block0: Vec<NodeId> = (0..s as u32).collect();
+    let rest: Vec<NodeId> = (s as u32..n as u32).collect();
+    let mut parts: Vec<Vec<NodeId>> = block0.into_iter().map(|v| vec![v]).collect();
+    parts.push(rest);
+    verify_minor_witness(&inst.graph, &parts, &clique_pairs(inst.k))
+}
+
+/// The radius-`t` variant (the paper's remark): replaces every edge by a
+/// path of length `t`, pushing any `t`-round verifier back to the
+/// 1-round situation. Legality is preserved: subdividing cannot create a
+/// `K_k` minor (k ≥ 4), and contracting the subdivision back shows
+/// illegal instances stay illegal.
+pub fn subdivide_for_radius(inst: &BlockInstance, t: u32) -> Graph {
+    assert!(t >= 1);
+    dpc_graph::generators::subdivision_of(&inst.graph, t - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpc_graph::minors::{contains_clique_minor_small, has_k4_minor, SearchResult};
+
+    fn identity(p: usize) -> Vec<usize> {
+        (1..=p).collect()
+    }
+
+    #[test]
+    fn sizes_match_paper() {
+        for k in [3usize, 4, 5, 6] {
+            let p = 4;
+            let inst = path_of_blocks(k, &identity(p));
+            assert_eq!(inst.graph.node_count(), (k - 1) * (p + 2));
+            assert!(inst.graph.is_connected());
+        }
+    }
+
+    #[test]
+    fn connection_edge_counts() {
+        // between consecutive blocks: ⌈(k-1)/2⌉ * ⌊(k-1)/2⌋ edges
+        for k in [4usize, 5, 6] {
+            let inst = path_of_blocks(k, &identity(2));
+            let s = block_size(k);
+            let blocks = 4; // B0, B1, B2, B3
+            let intra = blocks * s * (s - 1) / 2;
+            let inter = (blocks - 1) * right_part(k) * left_part(k);
+            assert_eq!(inst.graph.edge_count(), intra + inter, "k={k}");
+        }
+    }
+
+    #[test]
+    fn paths_certified_kfree_for_many_k_and_perms() {
+        for k in [4usize, 5, 6, 7] {
+            for p in [2usize, 5, 20] {
+                let inst = path_of_blocks(k, &identity(p));
+                assert!(certify_path_kfree(&inst), "k={k} p={p}");
+            }
+        }
+        // non-identity permutations are isomorphic re-labelings: the
+        // chain layout still certifies
+        let inst = path_of_blocks(5, &[3, 1, 4, 2, 5]);
+        assert!(certify_path_kfree(&inst));
+    }
+
+    #[test]
+    fn k4_paths_exactly_k4_free() {
+        let inst = path_of_blocks(4, &identity(6));
+        assert!(!has_k4_minor(&inst.graph), "exact check agrees with certificate");
+    }
+
+    #[test]
+    fn cycles_contain_kk_via_witness() {
+        for k in [4usize, 5, 6] {
+            let inst = cycle_of_blocks(k, &[1, 2, 3, 4]);
+            assert!(certify_cycle_has_kk(&inst), "k={k}");
+        }
+    }
+
+    #[test]
+    fn k4_cycles_exactly_have_k4() {
+        let inst = cycle_of_blocks(4, &[1, 2, 3]);
+        assert!(has_k4_minor(&inst.graph));
+    }
+
+    #[test]
+    fn small_cycle_branching_search_agrees() {
+        let inst = cycle_of_blocks(5, &[1, 2]);
+        assert_eq!(
+            contains_clique_minor_small(&inst.graph, 5, 50_000_000),
+            SearchResult::Found
+        );
+    }
+
+    #[test]
+    fn identifiers_follow_block_numbering() {
+        let inst = path_of_blocks(4, &identity(3));
+        // chain: B0, B1, B2, B3, B4 (identity): ids consecutive
+        let ids: Vec<u64> = inst.graph.ids().to_vec();
+        assert_eq!(ids, (0..15u64).collect::<Vec<_>>());
+        // a permuted path re-orders ids but keeps the set
+        let inst2 = path_of_blocks(4, &[2, 1, 3]);
+        let mut ids2: Vec<u64> = inst2.graph.ids().to_vec();
+        assert_ne!(ids2, ids);
+        ids2.sort_unstable();
+        assert_eq!(ids2, ids);
+    }
+
+    #[test]
+    fn subdivision_preserves_legality() {
+        let path = path_of_blocks(4, &identity(3));
+        let sub = subdivide_for_radius(&path, 3);
+        assert!(!has_k4_minor(&sub), "subdividing keeps K4-minor-freeness");
+        let cyc = cycle_of_blocks(4, &[1, 2, 3]);
+        let sub = subdivide_for_radius(&cyc, 2);
+        assert!(has_k4_minor(&sub), "subdividing keeps the K4 minor");
+    }
+
+    #[test]
+    fn paths_of_blocks_k4_are_planar() {
+        // for k=4,5 the legal instances happen to be planar, connecting
+        // Lemma 5 to planarity certification
+        let inst = path_of_blocks(4, &identity(8));
+        assert!(dpc_planar::lr::is_planar(&inst.graph));
+    }
+}

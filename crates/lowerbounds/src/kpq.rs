@@ -1,0 +1,241 @@
+//! Lemma 6's instances: the legal two-path graphs `I_{a,b}` and the
+//! glued illegal instance `J`.
+//!
+//! `I_{a,b}` consists of two disjoint paths — one on `n_A = ⌊n/2⌋` nodes
+//! with identifiers from the set `a`, one on `n_B = ⌈n/2⌉` nodes with
+//! identifiers from `b` — plus `q` rungs joining `a[jd]` to `b[jd]` for
+//! `j = 1..q`, `d = ⌊n/(2q)⌋`. These instances are **outerplanar**
+//! (hence `K_{p,q}`-minor-free for all `p ≥ 2, q ≥ 3`).
+//!
+//! The illegal instance `J` glues `q` copies of each path, with the rung
+//! `j` of copy `i` landing on path copy `i + j (mod q)`: contracting
+//! every path gives `K_{q,q}`.
+
+use dpc_graph::minors::{bipartite_pairs, verify_minor_witness};
+use dpc_graph::{Graph, GraphBuilder, NodeId};
+
+/// Parameters shared by the constructions.
+#[derive(Debug, Clone, Copy)]
+pub struct KpqParams {
+    /// Total nodes `n` of one `I_{a,b}` instance (the paper wants
+    /// `n ≥ 6q`).
+    pub n: usize,
+    /// The bipartite parameter `q ≥ 3` (number of rungs).
+    pub q: usize,
+}
+
+impl KpqParams {
+    /// Creates the parameters, checking the paper's constraint `n ≥ 6q`.
+    pub fn new(n: usize, q: usize) -> Self {
+        assert!(q >= 3, "Lemma 6 handles q >= 3 (K2,2 is classic)");
+        assert!(n >= 6 * q, "paper requires n >= 6q");
+        KpqParams { n, q }
+    }
+
+    /// `n_A = ⌊n/2⌋`.
+    pub fn na(&self) -> usize {
+        self.n / 2
+    }
+
+    /// `n_B = ⌈n/2⌉`.
+    pub fn nb(&self) -> usize {
+        self.n - self.n / 2
+    }
+
+    /// The rung spacing `d = ⌊n/(2q)⌋`.
+    pub fn d(&self) -> usize {
+        self.n / (2 * self.q)
+    }
+}
+
+/// The legal instance `I_{a,b}`: identifiers `ids_a`/`ids_b` must be
+/// sorted sets of sizes `n_A`/`n_B` (the paper assigns them in
+/// increasing order along each path).
+pub fn instance_iab(params: KpqParams, ids_a: &[u64], ids_b: &[u64]) -> Graph {
+    let (na, nb, d, q) = (params.na(), params.nb(), params.d(), params.q);
+    assert_eq!(ids_a.len(), na);
+    assert_eq!(ids_b.len(), nb);
+    let mut b = GraphBuilder::new((na + nb) as u32);
+    // path A on nodes 0..na, path B on nodes na..na+nb
+    for v in 1..na as u32 {
+        b.add_edge(v - 1, v).unwrap();
+    }
+    for v in 1..nb as u32 {
+        b.add_edge(na as u32 + v - 1, na as u32 + v).unwrap();
+    }
+    // rungs: a[jd] -- b[jd], 1-based j, 1-based positions
+    for j in 1..=q {
+        let pos = (j * d - 1) as u32; // 0-based index of the jd-th node
+        b.add_edge(pos, na as u32 + pos).unwrap();
+    }
+    let mut ids = ids_a.to_vec();
+    ids.extend_from_slice(ids_b);
+    b.with_ids(ids);
+    b.build()
+}
+
+/// Default identifier sets: the paper partitions `{1..n²}`; we take
+/// `a_i = {i·n+1, …}` style disjoint ranges for copies `i`.
+pub fn default_ids(params: KpqParams, copy: usize, side_b: bool) -> Vec<u64> {
+    let n = params.n as u64;
+    let base = (copy as u64 * 2 + u64::from(side_b)) * n + 1;
+    let len = if side_b { params.nb() } else { params.na() };
+    (0..len as u64).map(|i| base + i).collect()
+}
+
+/// The glued illegal instance `J`: `q` copies `P_1..P_q` of the A-path
+/// and `q` copies `Q_1..Q_q` of the B-path; rung `j` of copy `i` joins
+/// `P_i[jd]` to `Q_{i+j mod q}[jd]`.
+#[derive(Debug, Clone)]
+pub struct GluedInstance {
+    /// The graph.
+    pub graph: Graph,
+    /// Node ranges of each `P_i` (start, len).
+    pub p_paths: Vec<(u32, u32)>,
+    /// Node ranges of each `Q_i`.
+    pub q_paths: Vec<(u32, u32)>,
+}
+
+/// Builds `J`.
+pub fn instance_j(params: KpqParams) -> GluedInstance {
+    let (na, nb, d, q) = (params.na(), params.nb(), params.d(), params.q);
+    let n_total = q * (na + nb);
+    let mut b = GraphBuilder::new(n_total as u32);
+    let mut ids: Vec<u64> = Vec::with_capacity(n_total);
+    let mut p_paths = Vec::with_capacity(q);
+    let mut q_paths = Vec::with_capacity(q);
+    let mut base = 0u32;
+    for i in 0..q {
+        p_paths.push((base, na as u32));
+        for v in 1..na as u32 {
+            b.add_edge(base + v - 1, base + v).unwrap();
+        }
+        ids.extend(default_ids(params, i, false));
+        base += na as u32;
+    }
+    for i in 0..q {
+        q_paths.push((base, nb as u32));
+        for v in 1..nb as u32 {
+            b.add_edge(base + v - 1, base + v).unwrap();
+        }
+        ids.extend(default_ids(params, i, true));
+        base += nb as u32;
+    }
+    for i in 0..q {
+        for j in 1..=q {
+            let pos = (j * d - 1) as u32;
+            let target = (i + j) % q;
+            b.add_edge(p_paths[i].0 + pos, q_paths[target].0 + pos).unwrap();
+        }
+    }
+    b.with_ids(ids);
+    GluedInstance {
+        graph: b.build(),
+        p_paths,
+        q_paths,
+    }
+}
+
+/// Verifies the paper's explicit witness: contracting every path of `J`
+/// yields `K_{q,q}`.
+pub fn certify_j_has_kqq(inst: &GluedInstance, q: usize) -> bool {
+    let part_of = |(start, len): (u32, u32)| -> Vec<NodeId> {
+        (start..start + len).collect()
+    };
+    let mut parts: Vec<Vec<NodeId>> = inst.p_paths.iter().map(|&r| part_of(r)).collect();
+    parts.extend(inst.q_paths.iter().map(|&r| part_of(r)));
+    verify_minor_witness(&inst.graph, &parts, &bipartite_pairs(q, q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpc_planar::embedding::is_outerplanar;
+
+    #[test]
+    fn iab_is_outerplanar_hence_legal() {
+        for (n, q) in [(22, 3), (30, 3), (40, 4), (60, 5)] {
+            let params = KpqParams::new(n, q);
+            let g = instance_iab(
+                params,
+                &default_ids(params, 0, false),
+                &default_ids(params, 0, true),
+            );
+            assert!(g.is_connected(), "rungs connect the two paths");
+            assert!(is_outerplanar(&g), "I_ab must be outerplanar (n={n}, q={q})");
+        }
+    }
+
+    #[test]
+    fn iab_shape() {
+        let params = KpqParams::new(22, 3);
+        let g = instance_iab(
+            params,
+            &default_ids(params, 0, false),
+            &default_ids(params, 0, true),
+        );
+        assert_eq!(g.node_count(), 22);
+        // edges: (na-1) + (nb-1) + q
+        assert_eq!(g.edge_count(), 10 + 10 + 3);
+    }
+
+    #[test]
+    fn j_contains_kqq() {
+        for q in [3usize, 4, 5] {
+            let params = KpqParams::new(6 * q + 4, q);
+            let j = instance_j(params);
+            assert!(j.graph.is_connected());
+            assert!(certify_j_has_kqq(&j, q), "q={q}");
+            // and is therefore not outerplanar (contains K2,3 minor)
+            assert!(!is_outerplanar(&j.graph));
+        }
+    }
+
+    #[test]
+    fn j_local_views_match_iab() {
+        // structural sanity behind the indistinguishability argument:
+        // in J, each rung lands at the same position jd of its paths as
+        // in I_ab, so the nodes' degrees match the legal instances
+        let params = KpqParams::new(24, 3);
+        let j = instance_j(params);
+        let iab = instance_iab(
+            params,
+            &default_ids(params, 0, false),
+            &default_ids(params, 0, true),
+        );
+        let deg_hist = |g: &Graph| {
+            let mut h = [0usize; 4];
+            for v in g.nodes() {
+                h[g.degree(v).min(3)] += 1;
+            }
+            h
+        };
+        let hj = deg_hist(&j.graph);
+        let hi = deg_hist(&iab);
+        // J is q disjoint copies' worth of nodes with the same local
+        // degree profile
+        assert_eq!(hj[1], 3 * hi[1]);
+        assert_eq!(hj[2], 3 * hi[2]);
+        assert_eq!(hj[3], 3 * hi[3]);
+    }
+
+    #[test]
+    fn default_ids_disjoint() {
+        let params = KpqParams::new(24, 3);
+        let mut all: Vec<u64> = Vec::new();
+        for i in 0..3 {
+            all.extend(default_ids(params, i, false));
+            all.extend(default_ids(params, i, true));
+        }
+        let len = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), len, "identifier sets must be pairwise disjoint");
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 6q")]
+    fn params_enforce_paper_constraint() {
+        let _ = KpqParams::new(10, 3);
+    }
+}

@@ -1,0 +1,19 @@
+//! The lower-bound constructions of Section 4 of the paper (Theorem 2):
+//! no locally checkable proof certifies `Forb(K_k)` or `Forb(K_{p,q})`
+//! with `o(log n)`-bit certificates — hence `Ω(log n)` for planarity
+//! (= `Forb({K5, K3,3})`, Corollary 1) and outerplanarity
+//! (= `Forb({K4, K2,3})`).
+//!
+//! * [`blocks`] — Lemma 5: *paths of blocks* (legal, `K_k`-minor-free)
+//!   vs *cycles of blocks* (illegal, contain `K_k`), block connections,
+//!   and the radius-`t` subdivision variant;
+//! * [`counting`] — the pigeonhole engine: the `p! > 2^{(k-1)gp}`
+//!   crossover, plus a concrete end-to-end forgery against a natural
+//!   `g`-bit scheme (a mod-`2^g` block counter), demonstrating how
+//!   identically-labeled paths splice into an accepted illegal cycle;
+//! * [`kpq`] — Lemma 6: the outerplanar two-path instances `I_{a,b}`
+//!   and the glued illegal instance `J` containing `K_{q,q}` as a minor.
+
+pub mod blocks;
+pub mod counting;
+pub mod kpq;

@@ -1,0 +1,134 @@
+//! Dual graphs of embedded planar graphs.
+//!
+//! Given a rotation system, the dual has one vertex per face and one
+//! edge per primal edge, joining the two faces the edge borders (a loop
+//! when a bridge borders the same face twice). Duals of simple graphs
+//! are multigraphs, so this module keeps its own representation instead
+//! of [`dpc_graph::Graph`].
+
+use crate::embedding::RotationSystem;
+use dpc_graph::NodeId;
+use std::collections::HashMap;
+
+/// The dual of an embedded graph.
+#[derive(Debug, Clone)]
+pub struct DualGraph {
+    /// Number of faces (= dual vertices).
+    pub face_count: usize,
+    /// For each primal edge `{u, v}` (canonical order), the pair of
+    /// faces it borders (equal for bridges).
+    pub edge_faces: Vec<((NodeId, NodeId), (u32, u32))>,
+    /// Length (number of half-edges) of each face.
+    pub face_len: Vec<usize>,
+}
+
+impl DualGraph {
+    /// Degree of a dual vertex (face), counting loops twice.
+    pub fn face_degree(&self, f: u32) -> usize {
+        self.edge_faces
+            .iter()
+            .map(|&(_, (a, b))| usize::from(a == f) + usize::from(b == f))
+            .sum()
+    }
+
+    /// True if the dual has a loop (some primal edge is a bridge).
+    pub fn has_loop(&self) -> bool {
+        self.edge_faces.iter().any(|&(_, (a, b))| a == b)
+    }
+}
+
+/// Builds the dual from a rotation system.
+pub fn dual(rot: &RotationSystem) -> DualGraph {
+    let faces = rot.faces();
+    let mut face_of_half_edge: HashMap<(NodeId, NodeId), u32> = HashMap::new();
+    for (fi, face) in faces.iter().enumerate() {
+        for &(u, v) in face {
+            face_of_half_edge.insert((u, v), fi as u32);
+        }
+    }
+    let mut edge_faces = Vec::new();
+    let mut seen: HashMap<(NodeId, NodeId), ()> = HashMap::new();
+    for (&(u, v), &f1) in &face_of_half_edge {
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key, ()).is_some() {
+            continue;
+        }
+        let f2 = face_of_half_edge[&(v, u)];
+        edge_faces.push((key, (f1.min(f2), f1.max(f2))));
+    }
+    edge_faces.sort_unstable();
+    DualGraph {
+        face_count: faces.len(),
+        edge_faces,
+        face_len: faces.iter().map(|f| f.len()).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lr::planarity;
+    use dpc_graph::generators;
+
+    fn embed(g: &dpc_graph::Graph) -> RotationSystem {
+        planarity(g).into_embedding().expect("planar input")
+    }
+
+    #[test]
+    fn cycle_dual_is_two_faces_with_parallel_edges() {
+        let g = generators::cycle(7);
+        let d = dual(&embed(&g));
+        assert_eq!(d.face_count, 2);
+        assert_eq!(d.edge_faces.len(), 7);
+        // every primal edge borders both faces
+        assert!(d.edge_faces.iter().all(|&(_, (a, b))| (a, b) == (0, 1)));
+        assert_eq!(d.face_degree(0), 7);
+        assert!(!d.has_loop());
+    }
+
+    #[test]
+    fn tree_dual_is_all_loops() {
+        let g = generators::random_tree(20, 1);
+        let d = dual(&embed(&g));
+        assert_eq!(d.face_count, 1);
+        assert!(d.has_loop());
+        assert!(d.edge_faces.iter().all(|&(_, (a, b))| a == b));
+        assert_eq!(d.face_degree(0), 2 * g.edge_count());
+    }
+
+    #[test]
+    fn triangulation_dual_is_3_regular() {
+        let g = generators::stacked_triangulation(40, 5);
+        let d = dual(&embed(&g));
+        assert_eq!(d.face_count, 2 * 40 - 4, "maximal planar: f = 2n - 4");
+        assert!(d.face_len.iter().all(|&l| l == 3), "all faces triangles");
+        for f in 0..d.face_count as u32 {
+            assert_eq!(d.face_degree(f), 3, "dual of a triangulation is cubic");
+        }
+        assert!(!d.has_loop());
+    }
+
+    #[test]
+    fn dual_edge_count_equals_primal() {
+        for seed in 0..4u64 {
+            let g = generators::random_planar(50, 0.6, seed);
+            let d = dual(&embed(&g));
+            assert_eq!(d.edge_faces.len(), g.edge_count());
+            // Euler: n - m + f = 2
+            assert_eq!(
+                g.node_count() as i64 - g.edge_count() as i64 + d.face_count as i64,
+                2
+            );
+        }
+    }
+
+    #[test]
+    fn face_lengths_sum_to_twice_edges() {
+        let g = generators::grid(5, 6);
+        let d = dual(&embed(&g));
+        let total: usize = d.face_len.iter().sum();
+        assert_eq!(total, 2 * g.edge_count());
+        // a grid has (rows-1)(cols-1) unit squares + 1 outer face
+        assert_eq!(d.face_count, 4 * 5 + 1);
+    }
+}

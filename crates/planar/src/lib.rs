@@ -1,0 +1,39 @@
+//! Planarity library built from scratch for the PODC 2020 reproduction.
+//!
+//! The paper's proof-labeling scheme needs a *combinatorial planar
+//! embedding* (a rotation system) on the prover side; no external crate
+//! is used. This crate provides:
+//!
+//! * [`lr`] — the left-right planarity test (de Fraysseix–Rosenstiehl,
+//!   in Brandes' formulation), implemented iteratively, with full
+//!   embedding extraction;
+//! * [`embedding`] — rotation systems, face traversal, Euler-formula
+//!   validation (every embedding we produce is *self-certified* planar),
+//!   and outerplanarity via the apex trick;
+//! * [`kuratowski`] — extraction of a subdivided `K5`/`K3,3` from any
+//!   non-planar graph (the folklore non-planarity certificate of §2);
+//! * [`tembed`] — the paper's Section 3.2 pipeline: DFS mapping `f`,
+//!   the graph `G_{T,f}` on `2n−1` virtual nodes, and the laminar
+//!   interval labels `I(x)` that make it path-outerplanar (Lemma 3).
+//!
+//! # Example
+//!
+//! ```
+//! use dpc_planar::lr::{planarity, Planarity};
+//! use dpc_graph::generators;
+//!
+//! match planarity(&generators::grid(5, 5)) {
+//!     Planarity::Planar(rot) => assert!(rot.euler_check().is_ok()),
+//!     Planarity::NonPlanar => panic!("grids are planar"),
+//! }
+//! assert!(matches!(
+//!     planarity(&generators::complete(5)),
+//!     Planarity::NonPlanar
+//! ));
+//! ```
+
+pub mod dual;
+pub mod embedding;
+pub mod kuratowski;
+pub mod lr;
+pub mod tembed;

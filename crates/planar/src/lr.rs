@@ -1,0 +1,845 @@
+//! Left-right planarity test with embedding extraction.
+//!
+//! Implementation of the de Fraysseix–Rosenstiehl planarity criterion in
+//! Brandes' formulation ("The left-right planarity test"), the same
+//! algorithm used by mature graph libraries. Three passes, all
+//! implemented **iteratively** (explicit DFS stacks) so graphs with
+//! hundreds of thousands of nodes do not overflow the call stack:
+//!
+//! 1. *orientation*: DFS-orient the graph, computing `height`, `lowpt`,
+//!    `lowpt2` and the `nesting_depth` used to order adjacency lists;
+//! 2. *testing*: process back edges with a stack of conflict pairs,
+//!    rejecting exactly when two return edges are forced to the same side;
+//! 3. *embedding*: resolve sides via `ref` chains and build the rotation
+//!    system by inserting back half-edges next to `left_ref`/`right_ref`.
+//!
+//! The returned [`RotationSystem`] can be independently certified planar
+//! via [`RotationSystem::euler_check`] — the test-suite does this on every
+//! produced embedding, so the completeness of the whole pipeline never
+//! rests on trusting this module alone.
+
+use crate::embedding::RotationSystem;
+use dpc_graph::{Graph, NodeId};
+
+/// Result of the planarity test.
+#[derive(Debug, Clone)]
+pub enum Planarity {
+    /// The graph is planar; a combinatorial embedding is attached.
+    Planar(RotationSystem),
+    /// The graph contains a `K5` or `K3,3` subdivision.
+    NonPlanar,
+}
+
+impl Planarity {
+    /// True if planar.
+    pub fn is_planar(&self) -> bool {
+        matches!(self, Planarity::Planar(_))
+    }
+
+    /// The embedding, if planar.
+    pub fn into_embedding(self) -> Option<RotationSystem> {
+        match self {
+            Planarity::Planar(r) => Some(r),
+            Planarity::NonPlanar => None,
+        }
+    }
+}
+
+/// Convenience wrapper: just the boolean answer.
+pub fn is_planar(g: &Graph) -> bool {
+    planarity(g).is_planar()
+}
+
+const NONE: u32 = u32::MAX;
+
+/// Tests planarity and extracts a combinatorial embedding.
+///
+/// Works on any simple graph (connected or not; each component is
+/// embedded independently). `O((n + m) log n)` from adjacency sorting.
+pub fn planarity(g: &Graph) -> Planarity {
+    let n = g.node_count();
+    let m = g.edge_count();
+    if n <= 2 || m <= 2 {
+        // trivially planar: any rotation works
+        let rot: Vec<Vec<NodeId>> = (0..n).map(|v| g.neighbors(v as NodeId).collect()).collect();
+        return Planarity::Planar(RotationSystem::new(rot, m));
+    }
+    if m > 3 * n - 6 {
+        return Planarity::NonPlanar; // Euler bound
+    }
+    let mut st = LrState::new(g);
+    st.orient();
+    st.sort_adjacency();
+    if !st.test() {
+        return Planarity::NonPlanar;
+    }
+    Planarity::Planar(st.embed())
+}
+
+/// One conflict-pair interval: a range of back edges, identified by its
+/// lowest and highest edge (or empty).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Interval {
+    low: u32,
+    high: u32,
+}
+
+impl Interval {
+    const EMPTY: Interval = Interval { low: NONE, high: NONE };
+
+    fn is_empty(&self) -> bool {
+        self.low == NONE && self.high == NONE
+    }
+}
+
+/// A conflict pair of intervals (left and right).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ConflictPair {
+    l: Interval,
+    r: Interval,
+}
+
+impl ConflictPair {
+    fn swap(&mut self) {
+        std::mem::swap(&mut self.l, &mut self.r);
+    }
+}
+
+struct LrState<'a> {
+    g: &'a Graph,
+    n: usize,
+    m: usize,
+    /// orientation of each undirected edge: tail -> head
+    tail: Vec<u32>,
+    head: Vec<u32>,
+    oriented: Vec<bool>,
+    /// per node
+    height: Vec<u32>,
+    parent_edge: Vec<u32>,
+    roots: Vec<u32>,
+    /// per edge
+    lowpt: Vec<u32>,
+    lowpt2: Vec<u32>,
+    nesting_depth: Vec<i64>,
+    lowpt_edge: Vec<u32>,
+    ref_: Vec<u32>,
+    side: Vec<i8>,
+    stack_bottom: Vec<usize>,
+    /// ordered outgoing adjacency (edge ids), sorted by nesting depth
+    out_adj: Vec<Vec<u32>>,
+    /// conflict-pair stack
+    s: Vec<ConflictPair>,
+}
+
+impl<'a> LrState<'a> {
+    fn new(g: &'a Graph) -> Self {
+        let n = g.node_count();
+        let m = g.edge_count();
+        LrState {
+            g,
+            n,
+            m,
+            tail: vec![NONE; m],
+            head: vec![NONE; m],
+            oriented: vec![false; m],
+            height: vec![NONE; n],
+            parent_edge: vec![NONE; n],
+            roots: Vec::new(),
+            lowpt: vec![0; m],
+            lowpt2: vec![0; m],
+            nesting_depth: vec![0; m],
+            lowpt_edge: vec![NONE; m],
+            ref_: vec![NONE; m],
+            side: vec![1; m],
+            stack_bottom: vec![0; m],
+            out_adj: vec![Vec::new(); n],
+            s: Vec::new(),
+        }
+    }
+
+    /// Phase 1: DFS orientation (iterative).
+    fn orient(&mut self) {
+        let mut ind = vec![0usize; self.n];
+        let mut skip_init = vec![false; self.m];
+        for root in 0..self.n as u32 {
+            if self.height[root as usize] != NONE {
+                continue;
+            }
+            self.height[root as usize] = 0;
+            self.roots.push(root);
+            let mut dfs_stack = vec![root];
+            while let Some(v) = dfs_stack.pop() {
+                let e = self.parent_edge[v as usize];
+                let adj = self.g.adjacency(v);
+                let mut descended = false;
+                while ind[v as usize] < adj.len() {
+                    let (w, eid) = adj[ind[v as usize]];
+                    let ei = eid as usize;
+                    if !skip_init[ei] {
+                        if self.oriented[ei] {
+                            ind[v as usize] += 1;
+                            continue;
+                        }
+                        self.oriented[ei] = true;
+                        self.tail[ei] = v;
+                        self.head[ei] = w;
+                        self.lowpt[ei] = self.height[v as usize];
+                        self.lowpt2[ei] = self.height[v as usize];
+                        if self.height[w as usize] == NONE {
+                            // tree edge: descend
+                            self.parent_edge[w as usize] = eid;
+                            self.height[w as usize] = self.height[v as usize] + 1;
+                            dfs_stack.push(v);
+                            dfs_stack.push(w);
+                            skip_init[ei] = true;
+                            descended = true;
+                            break;
+                        } else {
+                            // back edge
+                            self.lowpt[ei] = self.height[w as usize];
+                        }
+                    }
+                    // post-processing of edge ei (after child return or
+                    // immediately for back edges)
+                    self.nesting_depth[ei] = 2 * self.lowpt[ei] as i64;
+                    if self.lowpt2[ei] < self.height[v as usize] {
+                        self.nesting_depth[ei] += 1; // chordal
+                    }
+                    if e != NONE {
+                        let eu = e as usize;
+                        if self.lowpt[ei] < self.lowpt[eu] {
+                            self.lowpt2[eu] = self.lowpt[eu].min(self.lowpt2[ei]);
+                            self.lowpt[eu] = self.lowpt[ei];
+                        } else if self.lowpt[ei] > self.lowpt[eu] {
+                            self.lowpt2[eu] = self.lowpt2[eu].min(self.lowpt[ei]);
+                        } else {
+                            self.lowpt2[eu] = self.lowpt2[eu].min(self.lowpt2[ei]);
+                        }
+                    }
+                    ind[v as usize] += 1;
+                }
+                let _ = descended;
+            }
+        }
+    }
+
+    /// Sorts outgoing adjacencies by nesting depth.
+    fn sort_adjacency(&mut self) {
+        for v in 0..self.n {
+            self.out_adj[v].clear();
+        }
+        for e in 0..self.m {
+            if self.oriented[e] {
+                self.out_adj[self.tail[e] as usize].push(e as u32);
+            }
+        }
+        for v in 0..self.n {
+            let nd = &self.nesting_depth;
+            self.out_adj[v].sort_by_key(|&e| nd[e as usize]);
+        }
+    }
+
+    fn top(&self) -> &ConflictPair {
+        self.s.last().expect("non-empty conflict stack")
+    }
+
+    fn conflicting(&self, i: Interval, b: u32) -> bool {
+        !i.is_empty() && self.lowpt[i.high as usize] > self.lowpt[b as usize]
+    }
+
+    fn lowest(&self, p: &ConflictPair) -> u32 {
+        if p.l.is_empty() {
+            return self.lowpt[p.r.low as usize];
+        }
+        if p.r.is_empty() {
+            return self.lowpt[p.l.low as usize];
+        }
+        self.lowpt[p.l.low as usize].min(self.lowpt[p.r.low as usize])
+    }
+
+    /// Phase 2: testing (iterative DFS).
+    fn test(&mut self) -> bool {
+        let mut ind = vec![0usize; self.n];
+        let mut skip_init = vec![false; self.m];
+        for ri in 0..self.roots.len() {
+            let root = self.roots[ri];
+            let mut dfs_stack = vec![root];
+            while let Some(v) = dfs_stack.pop() {
+                let e = self.parent_edge[v as usize];
+                let mut skip_final = false;
+                while ind[v as usize] < self.out_adj[v as usize].len() {
+                    let eid = self.out_adj[v as usize][ind[v as usize]];
+                    let ei = eid as usize;
+                    let w = self.head[ei];
+                    if !skip_init[ei] {
+                        self.stack_bottom[ei] = self.s.len();
+                        if eid == self.parent_edge[w as usize] {
+                            // tree edge: descend, revisit v afterwards
+                            dfs_stack.push(v);
+                            dfs_stack.push(w);
+                            skip_init[ei] = true;
+                            skip_final = true;
+                            break;
+                        } else {
+                            // back edge
+                            self.lowpt_edge[ei] = eid;
+                            self.s.push(ConflictPair {
+                                l: Interval::EMPTY,
+                                r: Interval { low: eid, high: eid },
+                            });
+                        }
+                    }
+                    if self.lowpt[ei] < self.height[v as usize] {
+                        // ei has a return edge
+                        if eid == self.out_adj[v as usize][0] {
+                            debug_assert_ne!(e, NONE);
+                            self.lowpt_edge[e as usize] = self.lowpt_edge[ei];
+                        } else if !self.add_constraints(eid, e) {
+                            return false;
+                        }
+                    }
+                    ind[v as usize] += 1;
+                }
+                if !skip_final && e != NONE {
+                    self.remove_back_edges(e);
+                }
+            }
+        }
+        true
+    }
+
+    /// Integrates the return edges of `ei` into the conflict stack,
+    /// merging with the constraints of `e`'s earlier children.
+    fn add_constraints(&mut self, eid: u32, e: u32) -> bool {
+        let ei = eid as usize;
+        let eu = e as usize;
+        let mut p = ConflictPair {
+            l: Interval::EMPTY,
+            r: Interval::EMPTY,
+        };
+        // merge return edges of ei into p.r
+        loop {
+            let mut q = self.s.pop().expect("stack underflow merging returns");
+            if !q.l.is_empty() {
+                q.swap();
+            }
+            if !q.l.is_empty() {
+                return false; // not planar
+            }
+            if self.lowpt[q.r.low as usize] > self.lowpt[eu] {
+                // merge intervals
+                if p.r.is_empty() {
+                    p.r.high = q.r.high;
+                } else {
+                    self.ref_[p.r.low as usize] = q.r.high;
+                }
+                p.r.low = q.r.low;
+            } else {
+                // align
+                self.ref_[q.r.low as usize] = self.lowpt_edge[eu];
+            }
+            if self.s.len() == self.stack_bottom[ei] {
+                break;
+            }
+        }
+        // merge conflicting return edges of e1..e_{i-1} into p.l
+        while !self.s.is_empty()
+            && (self.conflicting(self.top().l, eid) || self.conflicting(self.top().r, eid))
+        {
+            let mut q = self.s.pop().unwrap();
+            if self.conflicting(q.r, eid) {
+                q.swap();
+            }
+            if self.conflicting(q.r, eid) {
+                return false; // not planar
+            }
+            // merge interval below lowpt(ei) into p.r
+            if p.r.low != NONE {
+                self.ref_[p.r.low as usize] = q.r.high;
+            }
+            if q.r.low != NONE {
+                p.r.low = q.r.low;
+            }
+            if p.l.is_empty() {
+                p.l.high = q.l.high;
+            } else {
+                self.ref_[p.l.low as usize] = q.l.high;
+            }
+            p.l.low = q.l.low;
+        }
+        if !(p.l.is_empty() && p.r.is_empty()) {
+            self.s.push(p);
+        }
+        true
+    }
+
+    /// Trims back edges ending at the parent of `e`'s tail and assigns
+    /// `ref(e)` to the highest remaining return edge.
+    fn remove_back_edges(&mut self, e: u32) {
+        let eu = e as usize;
+        let u = self.tail[eu];
+        let hu = self.height[u as usize];
+        // drop entire conflict pairs whose lowest return is at u
+        while let Some(top) = self.s.last() {
+            if self.lowest(top) != hu {
+                break;
+            }
+            let p = self.s.pop().unwrap();
+            if p.l.low != NONE {
+                self.side[p.l.low as usize] = -1;
+            }
+        }
+        // trim one-sided intervals of the next pair
+        if let Some(mut p) = self.s.pop() {
+            while p.l.high != NONE && self.head[p.l.high as usize] == u {
+                p.l.high = self.ref_[p.l.high as usize];
+            }
+            if p.l.high == NONE && p.l.low != NONE {
+                self.ref_[p.l.low as usize] = p.r.low;
+                self.side[p.l.low as usize] = -1;
+                p.l.low = NONE;
+            }
+            while p.r.high != NONE && self.head[p.r.high as usize] == u {
+                p.r.high = self.ref_[p.r.high as usize];
+            }
+            if p.r.high == NONE && p.r.low != NONE {
+                self.ref_[p.r.low as usize] = p.l.low;
+                self.side[p.r.low as usize] = -1;
+                p.r.low = NONE;
+            }
+            self.s.push(p);
+        }
+        // side of e is the side of the highest return edge
+        if self.lowpt[eu] < hu {
+            // e has a return edge
+            let top = self.top();
+            let hl = top.l.high;
+            let hr = top.r.high;
+            if hl != NONE && (hr == NONE || self.lowpt[hl as usize] > self.lowpt[hr as usize]) {
+                self.ref_[eu] = hl;
+            } else {
+                self.ref_[eu] = hr;
+            }
+        }
+    }
+
+    /// Resolves the side of edge `e` by following `ref` chains
+    /// (iterative, memoizing by clearing refs).
+    fn resolve_side(&mut self, e: u32) -> i8 {
+        let mut chain = vec![e];
+        while let Some(&top) = chain.last() {
+            match self.ref_[top as usize] {
+                r if r == NONE => break,
+                r => chain.push(r),
+            }
+        }
+        // walk back, folding signs
+        let mut i = chain.len();
+        while i >= 2 {
+            i -= 1;
+            let parent = chain[i];
+            let child = chain[i - 1];
+            self.side[child as usize] *= self.side[parent as usize];
+            self.ref_[child as usize] = NONE;
+        }
+        self.side[e as usize]
+    }
+
+    /// Phase 3: builds the rotation system.
+    fn embed(&mut self) -> RotationSystem {
+        // apply signs to nesting depths
+        for e in 0..self.m as u32 {
+            if self.oriented[e as usize] {
+                let s = self.resolve_side(e) as i64;
+                self.nesting_depth[e as usize] *= s;
+            }
+        }
+        self.sort_adjacency_signed();
+
+        let mut rot = RotBuilder::new(self.n);
+        // initial rotations: outgoing edges in left-right order; remember
+        // the slot of each outgoing half-edge for ref-based insertion
+        let mut out_slot = vec![NONE; self.m];
+        for v in 0..self.n as u32 {
+            let mut prev = NONE;
+            for &e in &self.out_adj[v as usize] {
+                let w = self.head[e as usize];
+                prev = if prev == NONE {
+                    rot.push_singleton_or_back(v, w)
+                } else {
+                    rot.insert_after(v, prev, w)
+                };
+                out_slot[e as usize] = prev;
+            }
+        }
+        // DFS to place incoming half-edges. When descending from v into w
+        // via tree edge e, both refs of v become e's slot: back edges
+        // returning to v from the subtree of w land next to e (Brandes,
+        // Algorithm 5).
+        let mut left_ref = vec![NONE; self.n]; // slot ids in the owner's list
+        let mut right_ref = vec![NONE; self.n];
+        let mut ind = vec![0usize; self.n];
+        for ri in 0..self.roots.len() {
+            let root = self.roots[ri];
+            let mut dfs_stack = vec![root];
+            while let Some(v) = dfs_stack.pop() {
+                while ind[v as usize] < self.out_adj[v as usize].len() {
+                    let eid = self.out_adj[v as usize][ind[v as usize]];
+                    ind[v as usize] += 1;
+                    let ei = eid as usize;
+                    let w = self.head[ei];
+                    if eid == self.parent_edge[w as usize] {
+                        // tree edge: parent half-edge becomes first at w
+                        rot.insert_first(w, v);
+                        left_ref[v as usize] = out_slot[ei];
+                        right_ref[v as usize] = out_slot[ei];
+                        dfs_stack.push(v);
+                        dfs_stack.push(w);
+                        break;
+                    } else {
+                        // back edge: insert at the ancestor w, next to the
+                        // tree edge leading from w toward v
+                        if self.side[ei] == 1 {
+                            rot.insert_after(w, right_ref[w as usize], v);
+                        } else {
+                            let slot = rot.insert_before(w, left_ref[w as usize], v);
+                            left_ref[w as usize] = slot;
+                        }
+                    }
+                }
+            }
+        }
+        RotationSystem::new(rot.into_lists(), self.m)
+    }
+
+    fn sort_adjacency_signed(&mut self) {
+        for v in 0..self.n {
+            let nd = &self.nesting_depth;
+            self.out_adj[v].sort_by_key(|&e| nd[e as usize]);
+        }
+    }
+}
+
+/// Cyclic doubly-linked rotation lists with a `first` pointer per node,
+/// backed by one arena.
+struct RotBuilder {
+    nbr: Vec<u32>,
+    prev: Vec<u32>,
+    next: Vec<u32>,
+    first: Vec<u32>,
+    count: Vec<usize>,
+}
+
+impl RotBuilder {
+    fn new(n: usize) -> Self {
+        RotBuilder {
+            nbr: Vec::new(),
+            prev: Vec::new(),
+            next: Vec::new(),
+            first: vec![NONE; n],
+            count: vec![0; n],
+        }
+    }
+
+    fn alloc(&mut self, w: u32) -> u32 {
+        self.nbr.push(w);
+        self.prev.push(NONE);
+        self.next.push(NONE);
+        (self.nbr.len() - 1) as u32
+    }
+
+    /// Appends `w` at the "end" of `v`'s cyclic list (just before first).
+    fn push_singleton_or_back(&mut self, v: u32, w: u32) -> u32 {
+        let s = self.alloc(w);
+        let f = self.first[v as usize];
+        if f == NONE {
+            self.prev[s as usize] = s;
+            self.next[s as usize] = s;
+            self.first[v as usize] = s;
+        } else {
+            let last = self.prev[f as usize];
+            self.next[last as usize] = s;
+            self.prev[s as usize] = last;
+            self.next[s as usize] = f;
+            self.prev[f as usize] = s;
+        }
+        self.count[v as usize] += 1;
+        s
+    }
+
+    /// Inserts `w` immediately after slot `after` in `v`'s list.
+    fn insert_after(&mut self, v: u32, after: u32, w: u32) -> u32 {
+        debug_assert_ne!(after, NONE);
+        let s = self.alloc(w);
+        let nx = self.next[after as usize];
+        self.next[after as usize] = s;
+        self.prev[s as usize] = after;
+        self.next[s as usize] = nx;
+        self.prev[nx as usize] = s;
+        self.count[v as usize] += 1;
+        s
+    }
+
+    /// Inserts `w` immediately before slot `before` (no `first` update).
+    fn insert_before(&mut self, v: u32, before: u32, w: u32) -> u32 {
+        debug_assert_ne!(before, NONE);
+        let pv = self.prev[before as usize];
+        self.insert_after(v, pv, w)
+    }
+
+    /// Inserts `w` before the current first slot and makes it first.
+    fn insert_first(&mut self, v: u32, w: u32) -> u32 {
+        let f = self.first[v as usize];
+        let s = if f == NONE {
+            self.push_singleton_or_back(v, w)
+        } else {
+            self.insert_before(v, f, w)
+        };
+        self.first[v as usize] = s;
+        s
+    }
+
+    fn into_lists(self) -> Vec<Vec<u32>> {
+        let n = self.first.len();
+        let mut out = Vec::with_capacity(n);
+        for v in 0..n {
+            let mut l = Vec::with_capacity(self.count[v]);
+            let f = self.first[v];
+            if f != NONE {
+                let mut s = f;
+                loop {
+                    l.push(self.nbr[s as usize]);
+                    s = self.next[s as usize];
+                    if s == f {
+                        break;
+                    }
+                }
+            }
+            out.push(l);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpc_graph::generators;
+
+    fn check_planar_with_certificate(g: &Graph) {
+        match planarity(g) {
+            Planarity::Planar(rot) => {
+                rot.validate_against(g).expect("rotation matches graph");
+                if g.is_connected() {
+                    rot.euler_check().expect("Euler certificate");
+                }
+            }
+            Planarity::NonPlanar => panic!("expected planar"),
+        }
+    }
+
+    #[test]
+    fn trivial_graphs_planar() {
+        check_planar_with_certificate(&generators::path(1));
+        check_planar_with_certificate(&generators::path(2));
+        check_planar_with_certificate(&generators::path(3));
+    }
+
+    #[test]
+    fn classic_planar_families() {
+        check_planar_with_certificate(&generators::path(50));
+        check_planar_with_certificate(&generators::cycle(50));
+        check_planar_with_certificate(&generators::star(40));
+        check_planar_with_certificate(&generators::grid(8, 9));
+        check_planar_with_certificate(&generators::wheel(20));
+        check_planar_with_certificate(&generators::complete(4));
+        check_planar_with_certificate(&generators::random_tree(200, 3));
+        check_planar_with_certificate(&generators::random_maximal_outerplanar(60, 5));
+        check_planar_with_certificate(&generators::random_series_parallel(80, 6));
+    }
+
+    #[test]
+    fn triangulations_are_planar_with_certificate() {
+        for seed in 0..10u64 {
+            check_planar_with_certificate(&generators::stacked_triangulation(120, seed));
+        }
+    }
+
+    #[test]
+    fn random_planar_subgraphs() {
+        for seed in 0..10u64 {
+            let d = 0.1 * (seed as f64 % 10.0);
+            check_planar_with_certificate(&generators::random_planar(90, d, seed));
+        }
+    }
+
+    #[test]
+    fn kuratowski_graphs_rejected() {
+        assert!(!is_planar(&generators::complete(5)));
+        assert!(!is_planar(&generators::complete_bipartite(3, 3)));
+        for extra in 0..4u32 {
+            assert!(!is_planar(&generators::k5_subdivision(extra)));
+            assert!(!is_planar(&generators::k33_subdivision(extra)));
+        }
+    }
+
+    #[test]
+    fn dense_and_structured_nonplanar() {
+        assert!(!is_planar(&generators::complete(6)));
+        assert!(!is_planar(&generators::complete(8)));
+        assert!(!is_planar(&generators::complete_bipartite(3, 5)));
+        assert!(!is_planar(&generators::hypercube(4)));
+        assert!(!is_planar(&generators::hypercube(5)));
+        for seed in 0..5 {
+            assert!(!is_planar(&generators::planted_kuratowski(40, seed % 2 == 0, 2, seed)));
+        }
+    }
+
+    #[test]
+    fn planar_plus_one_crossing_edge() {
+        // take a maximal planar graph; adding any new edge breaks planarity
+        let g = generators::stacked_triangulation(30, 7);
+        assert!(is_planar(&g));
+        let n = g.node_count() as u32;
+        'outer: for u in 0..n {
+            for v in (u + 1)..n {
+                if !g.has_edge(u, v) {
+                    let mut b = dpc_graph::GraphBuilder::new(n);
+                    for e in g.edges() {
+                        b.add_edge(e.u, e.v).unwrap();
+                    }
+                    b.add_edge(u, v).unwrap();
+                    assert!(!is_planar(&b.build()), "maximal + edge must be non-planar");
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_graphs() {
+        let g = generators::grid(4, 4).disjoint_union(&generators::cycle(5));
+        assert!(is_planar(&g));
+        let h = generators::grid(4, 4).disjoint_union(&generators::complete(5));
+        assert!(!is_planar(&h));
+    }
+
+    #[test]
+    fn petersen_graph_nonplanar() {
+        // outer 5-cycle, inner pentagram, spokes
+        let mut b = dpc_graph::GraphBuilder::new(10);
+        for i in 0..5u32 {
+            b.add_edge(i, (i + 1) % 5).unwrap();
+            b.add_edge(5 + i, 5 + (i + 2) % 5).unwrap();
+            b.add_edge(i, 5 + i).unwrap();
+        }
+        assert!(!is_planar(&b.build()));
+    }
+
+    #[test]
+    fn dodecahedron_planar() {
+        // 20 nodes, 30 edges, 3-regular planar
+        let edges: [(u32, u32); 30] = [
+            (0, 1), (1, 2), (2, 3), (3, 4), (4, 0),
+            (0, 5), (1, 6), (2, 7), (3, 8), (4, 9),
+            (5, 10), (6, 11), (7, 12), (8, 13), (9, 14),
+            (10, 6), (11, 7), (12, 8), (13, 9), (14, 5),
+            (10, 15), (11, 16), (12, 17), (13, 18), (14, 19),
+            (15, 16), (16, 17), (17, 18), (18, 19), (19, 15),
+        ];
+        let g = Graph::from_edges(20, &edges);
+        check_planar_with_certificate(&g);
+        // faces of a dodecahedron: 12 pentagons
+        if let Planarity::Planar(rot) = planarity(&g) {
+            assert_eq!(rot.face_count(), 12);
+            assert!(rot.faces().iter().all(|f| f.len() == 5));
+        }
+    }
+
+    #[test]
+    fn named_graphs_gallery() {
+        // triangular prism (K3 x K2): planar, 3-regular, 5 faces
+        let prism = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3), (1, 4), (2, 5)],
+        );
+        check_planar_with_certificate(&prism);
+        if let Planarity::Planar(rot) = planarity(&prism) {
+            assert_eq!(rot.face_count(), 5);
+        }
+        // octahedron (K2,2,2): planar, 4-regular, 8 triangular faces
+        let octa = Graph::from_edges(
+            6,
+            &[
+                (0, 2), (0, 3), (0, 4), (0, 5),
+                (1, 2), (1, 3), (1, 4), (1, 5),
+                (2, 4), (4, 3), (3, 5), (5, 2),
+            ],
+        );
+        check_planar_with_certificate(&octa);
+        if let Planarity::Planar(rot) = planarity(&octa) {
+            assert_eq!(rot.face_count(), 8);
+        }
+        // cube Q3: planar, 6 faces
+        check_planar_with_certificate(&generators::hypercube(3));
+        // Möbius–Kantor graph GP(8,3): non-planar
+        let mut b = dpc_graph::GraphBuilder::new(16);
+        for i in 0..8u32 {
+            b.add_edge(i, (i + 1) % 8).unwrap(); // outer octagon
+            b.add_edge(8 + i, 8 + (i + 3) % 8).unwrap(); // inner star
+            b.add_edge(i, 8 + i).unwrap(); // spokes
+        }
+        assert!(!is_planar(&b.build()));
+        // Möbius ladder V8: cycle C8 + antipodal rungs — non-planar
+        // (contains K3,3); the prism-like ladder with even crossings
+        let mut b = dpc_graph::GraphBuilder::new(8);
+        for i in 0..8u32 {
+            b.add_edge(i, (i + 1) % 8).unwrap();
+        }
+        for i in 0..4u32 {
+            b.add_edge(i, i + 4).unwrap();
+        }
+        assert!(!is_planar(&b.build()), "Möbius ladder M8 is non-planar");
+    }
+
+    #[test]
+    fn icosahedron_maximal_planar() {
+        // icosahedron: two apexes + two 5-rings (pentagonal antiprism):
+        // 12 nodes, 30 edges, 5-regular, maximal planar, 20 triangles
+        let mut b = dpc_graph::GraphBuilder::new(12);
+        for i in 0..5u32 {
+            b.add_edge(0, 1 + i).unwrap(); // top apex to ring A
+            b.add_edge(1 + i, 1 + (i + 1) % 5).unwrap(); // ring A cycle
+            b.add_edge(1 + i, 6 + i).unwrap(); // antiprism struts
+            b.add_edge(1 + i, 6 + (i + 1) % 5).unwrap();
+            b.add_edge(6 + i, 6 + (i + 1) % 5).unwrap(); // ring B cycle
+            b.add_edge(11, 6 + i).unwrap(); // bottom apex to ring B
+        }
+        let g = b.build();
+        assert_eq!(g.edge_count(), 3 * 12 - 6, "maximal planar edge count");
+        assert!(g.nodes().all(|v| g.degree(v) == 5), "5-regular");
+        check_planar_with_certificate(&g);
+        if let Planarity::Planar(rot) = planarity(&g) {
+            assert_eq!(rot.face_count(), 20);
+            assert!(rot.faces().iter().all(|f| f.len() == 3));
+        }
+    }
+
+    #[test]
+    fn large_triangulation_fast_and_certified() {
+        let g = generators::stacked_triangulation(20_000, 42);
+        check_planar_with_certificate(&g);
+    }
+
+    #[test]
+    fn euler_face_counts() {
+        // maximal planar graph: every face a triangle, f = 2n - 4
+        let g = generators::stacked_triangulation(100, 11);
+        if let Planarity::Planar(rot) = planarity(&g) {
+            assert_eq!(rot.face_count(), 2 * 100 - 4);
+            assert!(rot.faces().iter().all(|f| f.len() == 3));
+        } else {
+            panic!("triangulation must be planar");
+        }
+    }
+}

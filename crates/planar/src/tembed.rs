@@ -1,0 +1,513 @@
+//! The Section 3.2 pipeline: from a planar embedding of `G` to the
+//! path-outerplanar graph `G_{T,f}`.
+//!
+//! Given a spanning tree `T` of `G` and a rotation system, the DFS
+//! traversal that explores children in rotation order (starting from the
+//! parent edge) yields the *DFS mapping* `f : {1..2n−1} → V` (each node
+//! `v ≠ root` appears `deg_T(v)` times, the root once more). Every cotree
+//! edge `{u, v}` is mapped to a single chord `{i, j}` of the path
+//! `1..2n−1` using the *type* construction of Lemma 3 (the circle `C_v`
+//! argument): the copy of `u` chosen is the occurrence whose outgoing
+//! tree edge is the first one met when scanning the rotation forward from
+//! the cotree edge's position.
+//!
+//! For a genuinely planar rotation system the resulting chord family is
+//! **laminar** (pairwise nested or disjoint — Definition 1), which is
+//! exactly path-outerplanarity of `G_{T,f}` with witness `1..2n−1`
+//! (Lemma 3); conversely if the chords are laminar then `G` is planar
+//! (Lemma 4). The laminar sweep here both *verifies* this and computes
+//! the interval labels `I(x)` used by Algorithm 1's certificates.
+
+use crate::embedding::RotationSystem;
+use dpc_graph::traversal::SpanningTree;
+use dpc_graph::{EdgeId, Graph, NodeId};
+use std::fmt;
+
+const NONE: u32 = u32::MAX;
+
+/// A chord `{a, b}` of the spine path, tagged with the cotree edge of `G`
+/// it represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chord {
+    /// Left endpoint (position on the spine, `1 ≤ a`).
+    pub a: u32,
+    /// Right endpoint (`a < b ≤ 2n−1`).
+    pub b: u32,
+    /// The cotree edge of `G` this chord encodes.
+    pub edge: EdgeId,
+}
+
+/// Errors from the T-embedding pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TEmbedError {
+    /// Two chords cross: the rotation system was not planar (or the tree
+    /// and rotation are inconsistent). Carries the two crossing chords.
+    CrossingChords(Chord, Chord),
+}
+
+impl fmt::Display for TEmbedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TEmbedError::CrossingChords(c1, c2) => write!(
+                f,
+                "chords ({}, {}) and ({}, {}) cross: embedding is not planar",
+                c1.a, c1.b, c2.a, c2.b
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TEmbedError {}
+
+/// The full T-embedding data: DFS mapping, chords, and interval labels.
+#[derive(Debug, Clone)]
+pub struct TEmbedding {
+    /// Number of nodes of `G`.
+    pub n: usize,
+    /// `2n − 1`, the number of spine positions (paper's `N`).
+    pub spine_len: u32,
+    /// `f(i)` for `i = 1..=2n−1` (`f[0]` is unused).
+    pub f: Vec<NodeId>,
+    /// Occurrences `f⁻¹(v)` in increasing order, per node.
+    pub occurrences: Vec<Vec<u32>>,
+    /// One chord per cotree edge, keyed by position in this list;
+    /// `chord_of[e]` maps an [`EdgeId`] to its chord index (or `u32::MAX`
+    /// for tree edges).
+    pub chords: Vec<Chord>,
+    /// Map from edge id to chord index (`u32::MAX` for tree edges).
+    pub chord_of: Vec<u32>,
+    /// `I(x)` for `x = 1..=2n−1` (`intervals[0]` unused): the tightest
+    /// chord (or the virtual chord `(0, 2n)`) strictly containing `x`.
+    pub intervals: Vec<(u32, u32)>,
+}
+
+impl TEmbedding {
+    /// First occurrence `f⁻¹_min(v)`.
+    pub fn fmin(&self, v: NodeId) -> u32 {
+        self.occurrences[v as usize][0]
+    }
+
+    /// Last occurrence `f⁻¹_max(v)`.
+    pub fn fmax(&self, v: NodeId) -> u32 {
+        *self.occurrences[v as usize].last().unwrap()
+    }
+
+    /// The interval label `I(x)` of spine position `x` (`1..=2n−1`).
+    pub fn interval(&self, x: u32) -> (u32, u32) {
+        self.intervals[x as usize]
+    }
+}
+
+/// Builds the T-embedding of `G` along spanning tree `tree` using the
+/// cyclic orders of `rot`.
+///
+/// Fails with [`TEmbedError::CrossingChords`] iff the induced chord
+/// family is not laminar — which cannot happen when `rot` is a planar
+/// rotation system (Lemma 3); the failure path exists to surface bugs
+/// and to let tests feed non-planar rotations through the pipeline.
+///
+/// # Panics
+///
+/// Panics if `g` has fewer than 2 nodes or `tree`/`rot` do not belong to
+/// `g` (dimension mismatches).
+pub fn t_embedding(
+    g: &Graph,
+    rot: &RotationSystem,
+    tree: &SpanningTree,
+) -> Result<TEmbedding, TEmbedError> {
+    let n = g.node_count();
+    assert!(n >= 2, "T-embedding needs at least two nodes");
+    assert_eq!(rot.node_count(), n);
+    assert_eq!(tree.node_count(), n);
+    let root = tree.root;
+    let tree_mask = tree.tree_edge_mask(g);
+
+    // -- children in rotation order ------------------------------------
+    // For v != root: scan the rotation starting just after the parent's
+    // position. For the root: choose the virtual parent slot right before
+    // an arbitrary tree edge (we pick the first tree-edge position).
+    let mut children_rot: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut p0_root = 0usize; // virtual parent slot position at the root
+    for v in g.nodes() {
+        let rotl = rot.rotation(v);
+        let d = rotl.len();
+        let start = if v == root {
+            let p = rotl
+                .iter()
+                .position(|&w| {
+                    let e = g.find_edge(v, w).expect("rotation edge exists");
+                    tree_mask[e as usize]
+                })
+                .expect("root has a tree neighbor");
+            p0_root = p;
+            p
+        } else {
+            let parent = tree.parent[v as usize].unwrap();
+            let p = rot.position(v, parent).expect("parent in rotation");
+            (p + 1) % d
+        };
+        for step in 0..d {
+            let w = rotl[(start + step) % d];
+            if v != root && w == tree.parent[v as usize].unwrap() {
+                continue;
+            }
+            let e = g.find_edge(v, w).expect("rotation edge exists");
+            if tree_mask[e as usize] {
+                children_rot[v as usize].push(w);
+            }
+        }
+    }
+
+    // -- DFS mapping f ---------------------------------------------------
+    let spine_len = (2 * n - 1) as u32;
+    let mut f = vec![NONE; 2 * n]; // f[1..=2n-1]
+    let mut occurrences: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut child_rank: Vec<u32> = vec![0; n]; // 1-based rank among siblings
+    for v in g.nodes() {
+        for (k, &c) in children_rot[v as usize].iter().enumerate() {
+            child_rank[c as usize] = (k + 1) as u32;
+        }
+    }
+    let mut idx: u32 = 1;
+    f[1] = root;
+    occurrences[root as usize].push(1);
+    let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+    while let Some(&mut (v, ref mut ci)) = stack.last_mut() {
+        if *ci < children_rot[v as usize].len() {
+            let c = children_rot[v as usize][*ci];
+            *ci += 1;
+            idx += 1;
+            f[idx as usize] = c;
+            occurrences[c as usize].push(idx);
+            stack.push((c, 0));
+        } else {
+            stack.pop();
+            if let Some(&(p, _)) = stack.last() {
+                idx += 1;
+                f[idx as usize] = p;
+                occurrences[p as usize].push(idx);
+            }
+        }
+    }
+    debug_assert_eq!(idx, spine_len, "DFS mapping covers 2n-1 positions");
+    for v in g.nodes() {
+        let expect = children_rot[v as usize].len() + 1;
+        debug_assert_eq!(occurrences[v as usize].len(), expect);
+    }
+
+    // -- chord of each cotree edge ----------------------------------------
+    // The copy of `v` used by cotree edge e at v is the occurrence whose
+    // outgoing tree edge is the first tree edge met scanning the rotation
+    // forward from e's position (the paper's "type" of the circle point).
+    let type_at = |v: NodeId, other: NodeId| -> u32 {
+        let rotl = rot.rotation(v);
+        let d = rotl.len();
+        let q = rot.position(v, other).expect("cotree edge in rotation");
+        for step in 1..=d {
+            let j = (q + step) % d;
+            if v == root && j == p0_root {
+                // crossed the virtual parent slot first
+                return *occurrences[v as usize].last().unwrap();
+            }
+            let w = rotl[j];
+            let e = g.find_edge(v, w).unwrap();
+            if tree_mask[e as usize] {
+                if v != root && w == tree.parent[v as usize].unwrap() {
+                    return *occurrences[v as usize].last().unwrap();
+                }
+                let k = child_rank[w as usize] as usize; // 1-based
+                return occurrences[v as usize][k - 1];
+            }
+        }
+        unreachable!("every node has an incident tree edge or the root slot");
+    };
+
+    let mut chords = Vec::new();
+    let mut chord_of = vec![u32::MAX; g.edge_count()];
+    for (eid, e) in g.edges().iter().enumerate() {
+        if tree_mask[eid] {
+            continue;
+        }
+        let i = type_at(e.u, e.v);
+        let j = type_at(e.v, e.u);
+        debug_assert_ne!(i, j);
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        chord_of[eid] = chords.len() as u32;
+        chords.push(Chord {
+            a,
+            b,
+            edge: eid as EdgeId,
+        });
+    }
+
+    // -- laminar sweep: intervals I(x) ------------------------------------
+    let intervals = laminar_intervals(spine_len, &chords)?;
+
+    Ok(TEmbedding {
+        n,
+        spine_len,
+        f,
+        occurrences,
+        chords,
+        chord_of,
+        intervals,
+    })
+}
+
+/// Convenience: plan the whole pipeline for a connected planar graph —
+/// LR embedding, BFS spanning tree rooted at 0, then [`t_embedding`].
+///
+/// Returns `None` if `g` is not planar.
+pub fn t_embedding_auto(g: &Graph) -> Option<(TEmbedding, SpanningTree, RotationSystem)> {
+    let rot = crate::lr::planarity(g).into_embedding()?;
+    let tree = dpc_graph::traversal::bfs_spanning_tree(g, 0);
+    let te = t_embedding(g, &rot, &tree)
+        .expect("planar rotation system yields laminar chords (Lemma 3)");
+    Some((te, tree, rot))
+}
+
+/// Sweeps the chords of a spine `1..=spine_len` left to right and returns
+/// the tightest strictly-containing chord `I(x)` for every position.
+/// The virtual chord `(0, spine_len + 1)` is the default (paper's
+/// `[0, n+1]` convention). Fails iff two chords cross.
+pub fn laminar_intervals(
+    spine_len: u32,
+    chords: &[Chord],
+) -> Result<Vec<(u32, u32)>, TEmbedError> {
+    let virt = Chord {
+        a: 0,
+        b: spine_len + 1,
+        edge: u32::MAX,
+    };
+    // sort by (a asc, b desc): outer chords first at equal left end
+    let mut sorted: Vec<Chord> = chords.to_vec();
+    sorted.sort_by(|c1, c2| c1.a.cmp(&c2.a).then(c2.b.cmp(&c1.b)));
+    let mut stack: Vec<Chord> = vec![virt];
+    let mut intervals = vec![(0u32, spine_len + 1); spine_len as usize + 1];
+    let mut k = 0usize;
+    for x in 1..=spine_len {
+        // close chords ending at x
+        while stack.last().unwrap().b == x {
+            stack.pop();
+        }
+        // record I(x): the innermost open chord strictly containing x
+        let top = stack.last().unwrap();
+        debug_assert!(top.a < x && x < top.b);
+        intervals[x as usize] = (top.a, top.b);
+        // open chords starting at x
+        while k < sorted.len() && sorted[k].a == x {
+            let c = sorted[k];
+            k += 1;
+            let top = *stack.last().unwrap();
+            if c.b > top.b {
+                return Err(TEmbedError::CrossingChords(top, c));
+            }
+            stack.push(c);
+        }
+    }
+    Ok(intervals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpc_graph::generators;
+    use dpc_graph::traversal::bfs_spanning_tree;
+
+    fn build(g: &Graph) -> TEmbedding {
+        let (te, _, _) = t_embedding_auto(g).expect("planar");
+        te
+    }
+
+    #[test]
+    fn spine_has_2n_minus_1_positions() {
+        for g in [
+            generators::path(10),
+            generators::cycle(12),
+            generators::grid(4, 5),
+            generators::stacked_triangulation(30, 1),
+        ] {
+            let te = build(&g);
+            assert_eq!(te.spine_len as usize, 2 * g.node_count() - 1);
+            // every position is mapped
+            for x in 1..=te.spine_len {
+                assert_ne!(te.f[x as usize], NONE);
+            }
+        }
+    }
+
+    #[test]
+    fn occurrences_match_tree_degrees() {
+        let g = generators::stacked_triangulation(40, 2);
+        let rot = crate::lr::planarity(&g).into_embedding().unwrap();
+        let tree = bfs_spanning_tree(&g, 0);
+        let te = t_embedding(&g, &rot, &tree).unwrap();
+        for v in g.nodes() {
+            let deg_t = tree.children[v as usize].len() + usize::from(v != tree.root);
+            let expect = if v == tree.root { deg_t + 1 } else { deg_t };
+            assert_eq!(te.occurrences[v as usize].len(), expect, "node {v}");
+        }
+        // consecutive spine positions map to adjacent tree nodes
+        for i in 1..te.spine_len {
+            let u = te.f[i as usize];
+            let v = te.f[(i + 1) as usize];
+            assert!(
+                tree.parent[u as usize] == Some(v) || tree.parent[v as usize] == Some(u),
+                "spine edge {i} must be a tree edge"
+            );
+        }
+    }
+
+    #[test]
+    fn chords_cover_exactly_cotree_edges() {
+        let g = generators::random_planar(50, 0.6, 9);
+        let rot = crate::lr::planarity(&g).into_embedding().unwrap();
+        let tree = bfs_spanning_tree(&g, 0);
+        let te = t_embedding(&g, &rot, &tree).unwrap();
+        let mask = tree.tree_edge_mask(&g);
+        let cotree = mask.iter().filter(|&&t| !t).count();
+        assert_eq!(te.chords.len(), cotree);
+        // chord endpoints are occurrences of the edge's endpoints
+        for c in &te.chords {
+            let e = g.edge(c.edge);
+            let fa = te.f[c.a as usize];
+            let fb = te.f[c.b as usize];
+            assert!(
+                (fa == e.u && fb == e.v) || (fa == e.v && fb == e.u),
+                "chord endpoints map back to the cotree edge"
+            );
+            assert!(c.b > c.a + 1, "chords are never spine edges");
+        }
+    }
+
+    #[test]
+    fn chords_are_laminar_for_planar_graphs() {
+        for seed in 0..15u64 {
+            let g = generators::stacked_triangulation(60, seed);
+            let te = build(&g); // t_embedding_auto panics internally if not laminar
+            // double check laminarity explicitly
+            for (i, c1) in te.chords.iter().enumerate() {
+                for c2 in te.chords.iter().skip(i + 1) {
+                    let (a, b, c, d) = (c1.a, c1.b, c2.a, c2.b);
+                    let ok = b <= c || d <= a || (a <= c && d <= b) || (c <= a && b <= d);
+                    assert!(ok, "chords ({a},{b}) and ({c},{d}) cross");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn intervals_are_tightest_containing_chords() {
+        let g = generators::stacked_triangulation(25, 4);
+        let te = build(&g);
+        for x in 1..=te.spine_len {
+            let (a, b) = te.interval(x);
+            assert!(a < x && x < b);
+            // no chord strictly between I(x) and x
+            for c in &te.chords {
+                if c.a < x && x < c.b {
+                    assert!(
+                        c.a <= a && b <= c.b,
+                        "chord ({}, {}) tighter than I({x}) = ({a}, {b})",
+                        c.a,
+                        c.b
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_has_no_chords() {
+        let g = generators::random_tree(30, 5);
+        let te = build(&g);
+        assert!(te.chords.is_empty());
+        for x in 1..=te.spine_len {
+            assert_eq!(te.interval(x), (0, te.spine_len + 1));
+        }
+    }
+
+    #[test]
+    fn laminar_sweep_detects_crossing() {
+        let chords = vec![
+            Chord { a: 1, b: 4, edge: 0 },
+            Chord { a: 2, b: 6, edge: 1 },
+        ];
+        assert!(matches!(
+            laminar_intervals(7, &chords),
+            Err(TEmbedError::CrossingChords(..))
+        ));
+    }
+
+    #[test]
+    fn laminar_sweep_allows_shared_endpoints() {
+        // (1,5) and (5,9): disjoint at 5; (1,9) contains both
+        let chords = vec![
+            Chord { a: 1, b: 9, edge: 0 },
+            Chord { a: 1, b: 5, edge: 1 },
+            Chord { a: 5, b: 9, edge: 2 },
+        ];
+        let iv = laminar_intervals(9, &chords).unwrap();
+        assert_eq!(iv[3], (1, 5));
+        assert_eq!(iv[5], (1, 9));
+        assert_eq!(iv[7], (5, 9));
+        assert_eq!(iv[1], (0, 10));
+    }
+
+    #[test]
+    fn triangle_worked_example() {
+        // triangle: T = {0-1, 0-2} (BFS from 0), one cotree edge {1,2}
+        let g = generators::cycle(3);
+        let te = build(&g);
+        assert_eq!(te.spine_len, 5);
+        assert_eq!(te.chords.len(), 1);
+        let c = te.chords[0];
+        // the chord must nest strictly inside (0, 6) and skip a position
+        assert!(c.a >= 1 && c.b <= 5 && c.b > c.a + 1);
+    }
+
+    #[test]
+    fn nonplanar_rotations_yield_crossing_chords() {
+        // Lemma 3's converse face: feed rotation systems of positive
+        // genus through the pipeline — for dense graphs they must
+        // produce crossing chords (were they laminar, Lemma 4 would
+        // prove the embedding planar, contradicting the genus)
+        let g = generators::stacked_triangulation(40, 6);
+        let tree = bfs_spanning_tree(&g, 0);
+        let mut crossings = 0;
+        for seed in 0..10u64 {
+            let rot = crate::embedding::random_rotation(&g, seed);
+            if rot.genus() == 0 {
+                continue; // a lucky planar rotation is fine
+            }
+            if t_embedding(&g, &rot, &tree).is_err() {
+                crossings += 1;
+            }
+        }
+        assert!(
+            crossings >= 8,
+            "high-genus rotations must be caught by the laminar sweep, got {crossings}/10"
+        );
+    }
+
+    #[test]
+    fn planar_rotation_always_laminar_even_with_odd_roots() {
+        // Lemma 3 quantifies over every spanning tree; vary the root
+        let g = generators::random_planar(45, 0.7, 2);
+        let rot = crate::lr::planarity(&g).into_embedding().unwrap();
+        for root in [0u32, 7, 21, 44] {
+            let tree = bfs_spanning_tree(&g, root % g.node_count() as u32);
+            let te = t_embedding(&g, &rot, &tree).expect("laminar for every tree");
+            assert_eq!(te.spine_len as usize, 2 * g.node_count() - 1);
+        }
+    }
+
+    #[test]
+    fn works_with_dfs_tree_too() {
+        let g = generators::stacked_triangulation(35, 8);
+        let rot = crate::lr::planarity(&g).into_embedding().unwrap();
+        let tree = dpc_graph::traversal::dfs_spanning_tree(&g, 3);
+        let te = t_embedding(&g, &rot, &tree).expect("any spanning tree works (Lemma 3)");
+        assert_eq!(te.spine_len as usize, 2 * g.node_count() - 1);
+    }
+}

@@ -1,0 +1,274 @@
+//! Bit-exact encoding for certificates and messages.
+//!
+//! Certificate size is *the* complexity measure of proof-labeling
+//! schemes, so sizes must be measured honestly: this module provides a
+//! writer/reader over a bit stream with fixed-width fields and LEB128
+//! varints. No padding to byte boundaries is counted.
+//!
+//! ```
+//! use dpc_runtime::bits::{BitWriter, BitReader};
+//!
+//! let mut w = BitWriter::new();
+//! w.write_bits(5, 3);
+//! w.write_varint(300);
+//! w.write_bool(true);
+//! let bits = w.bit_len();
+//! let mut r = BitReader::new(w.as_bytes(), bits);
+//! assert_eq!(r.read_bits(3).unwrap(), 5);
+//! assert_eq!(r.read_varint().unwrap(), 300);
+//! assert!(r.read_bool().unwrap());
+//! ```
+
+use std::fmt;
+
+/// Error when decoding a bit stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Read past the end of the stream.
+    OutOfBits,
+    /// A varint was longer than 64 bits.
+    VarintOverflow,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::OutOfBits => write!(f, "read past end of bit stream"),
+            DecodeError::VarintOverflow => write!(f, "varint longer than 64 bits"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Append-only bit stream writer.
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    len_bits: usize,
+}
+
+impl BitWriter {
+    /// An empty stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.len_bits
+    }
+
+    /// The backing bytes (last byte possibly partial).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the writer, returning `(bytes, bit_len)`.
+    pub fn into_parts(self) -> (Vec<u8>, usize) {
+        (self.buf, self.len_bits)
+    }
+
+    /// Writes the `width` low bits of `value`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64` or `value` does not fit in `width` bits.
+    pub fn write_bits(&mut self, value: u64, width: u32) {
+        assert!(width <= 64);
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "value {value} does not fit in {width} bits"
+        );
+        for i in (0..width).rev() {
+            let bit = (value >> i) & 1 == 1;
+            self.push_bit(bit);
+        }
+    }
+
+    /// Writes a single bool as one bit.
+    pub fn write_bool(&mut self, b: bool) {
+        self.push_bit(b);
+    }
+
+    /// Writes an unsigned LEB128 varint (7 bits per group + continuation
+    /// bit; small values cost 8 bits).
+    pub fn write_varint(&mut self, mut value: u64) {
+        loop {
+            let group = (value & 0x7f) as u64;
+            value >>= 7;
+            self.write_bool(value != 0);
+            self.write_bits(group, 7);
+            if value == 0 {
+                break;
+            }
+        }
+    }
+
+    /// Appends the whole content of another writer.
+    pub fn append(&mut self, other: &BitWriter) {
+        let mut r = BitReader::new(other.as_bytes(), other.bit_len());
+        for _ in 0..other.bit_len() {
+            self.push_bit(r.read_bool().unwrap());
+        }
+    }
+
+    fn push_bit(&mut self, bit: bool) {
+        let byte = self.len_bits / 8;
+        if byte == self.buf.len() {
+            self.buf.push(0);
+        }
+        if bit {
+            self.buf[byte] |= 1 << (7 - (self.len_bits % 8));
+        }
+        self.len_bits += 1;
+    }
+}
+
+/// Sequential reader over a bit stream produced by [`BitWriter`].
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    len_bits: usize,
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Reader over `buf` limited to `len_bits` bits.
+    pub fn new(buf: &'a [u8], len_bits: usize) -> Self {
+        BitReader { buf, len_bits, pos: 0 }
+    }
+
+    /// Bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.len_bits - self.pos
+    }
+
+    /// Reads `width` bits (most significant first).
+    pub fn read_bits(&mut self, width: u32) -> Result<u64, DecodeError> {
+        if self.remaining() < width as usize {
+            return Err(DecodeError::OutOfBits);
+        }
+        let mut v = 0u64;
+        for _ in 0..width {
+            let byte = self.pos / 8;
+            let bit = (self.buf[byte] >> (7 - (self.pos % 8))) & 1;
+            v = (v << 1) | bit as u64;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    /// Reads one bit.
+    pub fn read_bool(&mut self) -> Result<bool, DecodeError> {
+        Ok(self.read_bits(1)? == 1)
+    }
+
+    /// Reads an unsigned LEB128 varint.
+    pub fn read_varint(&mut self) -> Result<u64, DecodeError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let more = self.read_bool()?;
+            let group = self.read_bits(7)?;
+            if shift >= 64 || (shift == 63 && group > 1) {
+                return Err(DecodeError::VarintOverflow);
+            }
+            v |= group << shift;
+            shift += 7;
+            if !more {
+                return Ok(v);
+            }
+        }
+    }
+}
+
+/// Number of bits of the varint encoding of `value` (8 bits per 7-bit
+/// group) — handy for size predictions in tests.
+pub fn varint_len(value: u64) -> usize {
+    let groups = (64 - value.leading_zeros()).div_ceil(7).max(1);
+    groups as usize * 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_fixed_width() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1011, 4);
+        w.write_bits(0, 1);
+        w.write_bits(u64::MAX, 64);
+        let mut r = BitReader::new(w.as_bytes(), w.bit_len());
+        assert_eq!(r.read_bits(4).unwrap(), 0b1011);
+        assert_eq!(r.read_bits(1).unwrap(), 0);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn roundtrip_varints() {
+        let values = [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX];
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.write_varint(v);
+        }
+        let mut r = BitReader::new(w.as_bytes(), w.bit_len());
+        for &v in &values {
+            assert_eq!(r.read_varint().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn varint_sizes() {
+        assert_eq!(varint_len(0), 8);
+        assert_eq!(varint_len(127), 8);
+        assert_eq!(varint_len(128), 16);
+        let mut w = BitWriter::new();
+        w.write_varint(128);
+        assert_eq!(w.bit_len(), 16);
+    }
+
+    #[test]
+    fn out_of_bits_detected() {
+        let mut w = BitWriter::new();
+        w.write_bits(3, 2);
+        let mut r = BitReader::new(w.as_bytes(), w.bit_len());
+        assert_eq!(r.read_bits(2).unwrap(), 3);
+        assert_eq!(r.read_bits(1), Err(DecodeError::OutOfBits));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn overflow_write_panics() {
+        let mut w = BitWriter::new();
+        w.write_bits(4, 2);
+    }
+
+    #[test]
+    fn append_concatenates() {
+        let mut a = BitWriter::new();
+        a.write_bits(0b101, 3);
+        let mut b = BitWriter::new();
+        b.write_bits(0b01, 2);
+        a.append(&b);
+        assert_eq!(a.bit_len(), 5);
+        let mut r = BitReader::new(a.as_bytes(), 5);
+        assert_eq!(r.read_bits(5).unwrap(), 0b10101);
+    }
+
+    #[test]
+    fn bools_and_bits_interleave() {
+        let mut w = BitWriter::new();
+        for i in 0..100u64 {
+            w.write_bool(i % 3 == 0);
+            w.write_varint(i * i);
+        }
+        let mut r = BitReader::new(w.as_bytes(), w.bit_len());
+        for i in 0..100u64 {
+            assert_eq!(r.read_bool().unwrap(), i % 3 == 0);
+            assert_eq!(r.read_varint().unwrap(), i * i);
+        }
+    }
+}

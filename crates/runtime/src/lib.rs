@@ -1,0 +1,20 @@
+//! Synchronous distributed-network simulator and bit-exact certificate
+//! encoding.
+//!
+//! The paper's model (Section 2) is the standard synchronous
+//! message-passing network: nodes with unique `O(log n)`-bit identifiers,
+//! one round of communication for proof-labeling-scheme verification.
+//! This crate provides:
+//!
+//! * [`bits`] — a bit-level writer/reader (fixed-width fields and LEB128
+//!   varints) so certificate sizes are measured **exactly in bits**, the
+//!   complexity measure of the paper;
+//! * [`sim`] — a deterministic synchronous executor with per-round
+//!   message accounting (max bits per edge per round = the CONGEST
+//!   measure), used to run every verifier in this workspace.
+
+pub mod bits;
+pub mod sim;
+
+pub use bits::{BitReader, BitWriter, DecodeError};
+pub use sim::{run_protocol, run_protocol_states, NodeCtx, Payload, Protocol, RunReport, Step};

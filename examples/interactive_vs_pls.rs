@@ -1,0 +1,59 @@
+//! The prior state of the art vs Theorem 1: a dMAM interactive proof
+//! (Naor–Parter–Yogev-style, 3 interactions + randomness) against the
+//! paper's deterministic 1-interaction proof-labeling scheme.
+//!
+//! Run with: `cargo run --example interactive_vs_pls`
+
+use dpc::core::scheme::ProofLabelingScheme;
+use dpc::graph::generators;
+use dpc::interactive::dmam::{detection_rate, run_dmam, DmamPlanarity, DmamProtocol};
+use dpc::prelude::*;
+
+fn main() {
+    let g = generators::stacked_triangulation(1000, 3);
+    println!("instance: random planar triangulation, n = {}", g.node_count());
+
+    // Theorem 1: one deterministic Merlin message.
+    let pls = PlanarityScheme::new();
+    let out = run_pls(&pls, &g).unwrap();
+    println!("\nPLS (this paper):");
+    println!("  interactions : 1 (Merlin only)");
+    println!("  randomness   : none");
+    println!("  certificate  : {} bits max", out.max_cert_bits);
+    println!("  soundness    : perfect (no error)");
+    assert!(out.all_accept());
+
+    // The dMAM baseline: commit, public coin, response.
+    let proto = DmamPlanarity::new();
+    let out = run_dmam(&proto, &g, 99).unwrap();
+    println!("\ndMAM baseline (NPY-style interaction pattern):");
+    println!("  interactions : {} (Merlin, Arthur, Merlin)", out.interactions);
+    println!("  randomness   : {} public-coin bits", out.challenge_bits);
+    println!(
+        "  messages     : {} bits commit + {} bits response",
+        out.max_commit_bits, out.max_response_bits
+    );
+    assert!(out.all_accept());
+
+    // The price of randomness: one-sided soundness error, measured.
+    let bad = generators::planted_kuratowski(60, true, 1, 5);
+    println!("\nsoundness on a non-planar instance (n = {}):", bad.node_count());
+    println!(
+        "  PLS          : prover declines = {}, forged replays always caught",
+        pls.prove(&bad).is_err()
+    );
+    let rate = detection_rate(&bad, 50, 11);
+    println!("  dMAM         : single-shot detection rate = {rate:.2} (amplify by repetition)");
+
+    // The dMAM exists because commit+response can be smaller; the paper's
+    // point is that one deterministic message already achieves O(log n).
+    let commit = proto.commit(&g).unwrap();
+    let pls_bits = pls.prove(&g).unwrap().max_bits();
+    println!(
+        "\ncommit alone is {} bits vs {} bits for the full PLS certificate —",
+        commit.max_bits(),
+        pls_bits
+    );
+    println!("both are O(log n): interaction and randomness buy only constants here,");
+    println!("which is exactly the paper's message (Theorem 1 subsumes the dMAM).");
+}

@@ -1,0 +1,103 @@
+//! Overlay-network audit: the paper's motivating scenario.
+//!
+//! Planar-specific distributed algorithms (MDS approximation, MST/min-cut
+//! shortcuts, ...) silently misbehave on non-planar inputs. An overlay
+//! that is *supposed* to stay planar can run the Theorem 1 scheme as a
+//! cheap self-check: certificates are computed once in a maintenance
+//! phase; afterwards a single communication round re-validates the
+//! topology, and any topology drift (a rogue shortcut edge) is caught by
+//! at least one node, which can raise an alarm.
+//!
+//! Run with: `cargo run --example overlay_audit`
+
+use dpc::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2026);
+
+    // The overlay: a random planar topology with 400 routers.
+    let overlay = dpc::graph::generators::random_planar(400, 0.6, 1);
+    println!(
+        "overlay: {} routers, {} links, planar = {}",
+        overlay.node_count(),
+        overlay.edge_count(),
+        planarity(&overlay).is_planar()
+    );
+
+    // Maintenance phase: compute and install certificates.
+    let scheme = PlanarityScheme::new();
+    let certs = scheme.prove(&overlay).expect("healthy overlay is planar");
+    println!("installed certificates: max {} bits per router", certs.max_bits());
+
+    // Routine audit: one round, everyone accepts.
+    let audit = dpc::core::harness::run_with_assignment(&scheme, &overlay, &certs);
+    assert!(audit.all_accept());
+    println!("routine audit: all accept in {} round", audit.rounds);
+
+    // Fault injection: a rogue long-range shortcut appears. The stale
+    // certificates are still installed — does anyone notice?
+    let n = overlay.node_count() as u32;
+    let rogue = loop {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v && !overlay.has_edge(u, v) {
+            break (u, v);
+        }
+    };
+    let mut b = dpc::graph::GraphBuilder::new(n);
+    for e in overlay.edges() {
+        b.add_edge(e.u, e.v).unwrap();
+    }
+    b.add_edge(rogue.0, rogue.1).unwrap();
+    let drifted = b.build().with_ids(overlay.ids().to_vec());
+    println!(
+        "\nfault injected: rogue link {} -- {} (planar = {})",
+        rogue.0,
+        rogue.1,
+        planarity(&drifted).is_planar()
+    );
+
+    let audit = dpc::core::harness::run_with_assignment(&scheme, &drifted, &certs);
+    let alarms: Vec<usize> = audit
+        .verdicts
+        .iter()
+        .enumerate()
+        .filter(|(_, &ok)| !ok)
+        .map(|(v, _)| v)
+        .collect();
+    println!(
+        "drift audit: {} router(s) raise an alarm: {:?}",
+        alarms.len(),
+        alarms
+    );
+    assert!(
+        !alarms.is_empty(),
+        "stale certificates cannot cover a topology change"
+    );
+
+    // Note: the drifted overlay may or may not still be planar; if it is
+    // non-planar, soundness says NO certificate assignment exists at all.
+    if !planarity(&drifted).is_planar() {
+        assert!(scheme.prove(&drifted).is_err());
+        // ... and the folklore non-planarity scheme can certify the defect
+        // itself, pointing at a concrete Kuratowski witness:
+        let np = NonPlanarityScheme::new();
+        let out = run_pls(&np, &drifted).unwrap();
+        assert!(out.all_accept());
+        let w = dpc::planar::kuratowski::extract_kuratowski(&drifted).unwrap();
+        println!(
+            "defect certified: subdivided {:?} on {} links (non-planarity PLS, {} bits max)",
+            w.kind,
+            w.edges.len(),
+            out.max_cert_bits
+        );
+    } else {
+        // still planar: re-proving succeeds and the overlay re-validates
+        let fresh = scheme.prove(&drifted).unwrap();
+        let out = dpc::core::harness::run_with_assignment(&scheme, &drifted, &fresh);
+        assert!(out.all_accept());
+        println!("drifted overlay is still planar: re-certification succeeds");
+    }
+}

@@ -1,0 +1,49 @@
+//! Quickstart: certify that a network is planar with O(log n)-bit
+//! certificates (Theorem 1 of the paper).
+//!
+//! Run with: `cargo run --example quickstart`
+
+use dpc::prelude::*;
+
+fn main() {
+    // Build a network: a 12x12 grid (planar).
+    let g = dpc::graph::generators::grid(12, 12);
+    println!("network: {} nodes, {} edges", g.node_count(), g.edge_count());
+
+    // The prover assigns each node an O(log n)-bit certificate...
+    let scheme = PlanarityScheme::new();
+    let assignment = scheme.prove(&g).expect("grid is planar");
+    println!(
+        "certificates: max {} bits, avg {:.1} bits (log2 n = {:.1})",
+        assignment.max_bits(),
+        assignment.avg_bits(),
+        (g.node_count() as f64).log2()
+    );
+
+    // ...and the distributed verifier runs ONE round of communication.
+    let outcome = run_pls(&scheme, &g).unwrap();
+    assert!(outcome.all_accept());
+    println!(
+        "verification: {} round(s), all {} nodes accept",
+        outcome.rounds,
+        outcome.verdicts.len()
+    );
+
+    // On a non-planar network there is nothing valid to hand out:
+    let bad = dpc::graph::generators::k5_subdivision(4);
+    match scheme.prove(&bad) {
+        Err(e) => println!("non-planar network: prover declines ({e})"),
+        Ok(_) => unreachable!("soundness would be broken"),
+    }
+
+    // And no forged certificates survive either — replay the strongest
+    // natural attack (honest certificates of a planarized subgraph):
+    let report = dpc::core::adversary::soundness_report(&scheme, &bad, 7);
+    for row in report {
+        println!(
+            "attack {:>18}: {} rejecting node(s)",
+            row.attack,
+            row.rejects.map_or("n/a".into(), |r| r.to_string())
+        );
+    }
+}

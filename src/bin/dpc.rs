@@ -1,0 +1,205 @@
+//! `dpc` — command-line front end.
+//!
+//! Graphs are exchanged in graph6 format (nauty / House of Graphs).
+//!
+//! ```text
+//! dpc check <graph6>        planarity verdict with a certificate
+//!                           (faces/genus, or the Kuratowski witness)
+//! dpc certify <graph6>      run the Theorem 1 PLS end to end
+//! dpc embed <graph6>        print the rotation system and faces
+//! dpc kuratowski <graph6>   extract a subdivided K5/K3,3
+//! dpc gen <family> <n> [seed]   emit a generated graph as graph6
+//!                           families: tree|cycle|grid|triangulation|
+//!                           planar|outerplanar|k5sub|k33sub
+//! ```
+
+use dpc::core::harness::run_pls;
+use dpc::core::scheme::ProofLabelingScheme;
+use dpc::graph::{generators, graph6, Graph};
+use dpc::planar::kuratowski::extract_kuratowski;
+use dpc::planar::lr::{planarity, Planarity};
+use dpc::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+    match run(&refs) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Dispatches a command line; returns the output text.
+fn run(args: &[&str]) -> Result<String, String> {
+    match args {
+        ["check", s] => check(parse(s)?),
+        ["certify", s] => certify(parse(s)?),
+        ["embed", s] => embed(parse(s)?),
+        ["kuratowski", s] => kuratowski(parse(s)?),
+        ["gen", family, n, rest @ ..] => {
+            let n: u32 = n.parse().map_err(|_| "n must be a number".to_string())?;
+            let seed: u64 = match rest {
+                [] => 1,
+                [s] => s.parse().map_err(|_| "seed must be a number".to_string())?,
+                _ => return Err(usage()),
+            };
+            gen(family, n, seed)
+        }
+        _ => Err(usage()),
+    }
+}
+
+fn usage() -> String {
+    "usage: dpc check|certify|embed|kuratowski <graph6>  |  dpc gen <family> <n> [seed]"
+        .to_string()
+}
+
+fn parse(s: &str) -> Result<Graph, String> {
+    graph6::decode(s).map_err(|e| format!("bad graph6 input: {e}"))
+}
+
+fn check(g: Graph) -> Result<String, String> {
+    let mut out = format!("graph: {} nodes, {} edges\n", g.node_count(), g.edge_count());
+    match planarity(&g) {
+        Planarity::Planar(rot) => {
+            rot.euler_check().map_err(|e| e.to_string())?;
+            out.push_str(&format!(
+                "PLANAR (certified: {} faces, Euler genus {})\n",
+                rot.face_count(),
+                rot.genus()
+            ));
+        }
+        Planarity::NonPlanar => {
+            let w = extract_kuratowski(&g).ok_or("inconsistent planarity result")?;
+            out.push_str(&format!(
+                "NOT PLANAR (certified: subdivided {:?} on {} edges, branch nodes {:?})\n",
+                w.kind,
+                w.edges.len(),
+                w.branch_nodes
+            ));
+        }
+    }
+    Ok(out)
+}
+
+fn certify(g: Graph) -> Result<String, String> {
+    if !g.is_connected() {
+        return Err("the network must be connected".to_string());
+    }
+    let scheme = PlanarityScheme::new();
+    match run_pls(&scheme, &g) {
+        Ok(outcome) => Ok(format!(
+            "scheme: {}\nrounds: {}\nmax certificate: {} bits (avg {:.1})\nverdict: {}\n",
+            scheme.name(),
+            outcome.rounds,
+            outcome.max_cert_bits,
+            outcome.avg_cert_bits,
+            if outcome.all_accept() {
+                "all nodes accept".to_string()
+            } else {
+                format!("{} nodes reject (bug!)", outcome.reject_count())
+            }
+        )),
+        Err(e) => Ok(format!(
+            "prover declines: {e}\n(the graph is outside the certified class; by soundness no certificate assignment exists)\n"
+        )),
+    }
+}
+
+fn embed(g: Graph) -> Result<String, String> {
+    match planarity(&g) {
+        Planarity::Planar(rot) => {
+            let mut out = String::new();
+            for v in 0..g.node_count() as u32 {
+                out.push_str(&format!("rotation({v}): {:?}\n", rot.rotation(v)));
+            }
+            for (i, f) in rot.faces().iter().enumerate() {
+                let cycle: Vec<u32> = f.iter().map(|&(u, _)| u).collect();
+                out.push_str(&format!("face {i}: {cycle:?}\n"));
+            }
+            Ok(out)
+        }
+        Planarity::NonPlanar => Err("graph is not planar; no embedding".to_string()),
+    }
+}
+
+fn kuratowski(g: Graph) -> Result<String, String> {
+    match extract_kuratowski(&g) {
+        Some(w) => {
+            let mut out = format!("{:?} subdivision, branch nodes {:?}\n", w.kind, w.branch_nodes);
+            for (u, v) in &w.edges {
+                out.push_str(&format!("  {u} -- {v}\n"));
+            }
+            Ok(out)
+        }
+        None => Err("graph is planar; no Kuratowski subgraph".to_string()),
+    }
+}
+
+fn gen(family: &str, n: u32, seed: u64) -> Result<String, String> {
+    let g = match family {
+        "tree" => generators::random_tree(n, seed),
+        "cycle" => generators::cycle(n.max(3)),
+        "grid" => {
+            let side = (n as f64).sqrt().ceil() as u32;
+            generators::grid(side.max(2), side.max(2))
+        }
+        "triangulation" => generators::stacked_triangulation(n.max(3), seed),
+        "planar" => generators::random_planar(n.max(3), 0.5, seed),
+        "outerplanar" => generators::random_maximal_outerplanar(n.max(3), seed),
+        "k5sub" => generators::k5_subdivision(n),
+        "k33sub" => generators::k33_subdivision(n),
+        _ => return Err(format!("unknown family {family:?}")),
+    };
+    Ok(format!("{}\n", graph6::encode(&g)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_planar_and_nonplanar() {
+        let out = run(&["check", "Bw"]).unwrap(); // K3
+        assert!(out.contains("PLANAR"));
+        let out = run(&["check", "D~{"]).unwrap(); // K5
+        assert!(out.contains("NOT PLANAR"));
+        assert!(out.contains("K5"));
+    }
+
+    #[test]
+    fn certify_round_trip() {
+        let g6 = run(&["gen", "triangulation", "40", "7"]).unwrap();
+        let out = run(&["certify", g6.trim()]).unwrap();
+        assert!(out.contains("all nodes accept"));
+        assert!(out.contains("rounds: 1"));
+        let out = run(&["certify", "D~{"]).unwrap();
+        assert!(out.contains("prover declines"));
+    }
+
+    #[test]
+    fn embed_lists_faces() {
+        let out = run(&["embed", "Bw"]).unwrap(); // triangle: two faces
+        assert_eq!(out.matches("face ").count(), 2);
+        assert!(run(&["embed", "D~{"]).is_err());
+    }
+
+    #[test]
+    fn kuratowski_extraction() {
+        let g6 = run(&["gen", "k33sub", "2", "1"]).unwrap();
+        let out = run(&["kuratowski", g6.trim()]).unwrap();
+        assert!(out.contains("K33"));
+        assert!(run(&["kuratowski", "Bw"]).is_err());
+    }
+
+    #[test]
+    fn usage_and_errors() {
+        assert!(run(&[]).is_err());
+        assert!(run(&["bogus"]).is_err());
+        assert!(run(&["gen", "nosuch", "5"]).is_err());
+        assert!(run(&["check", "\u{1}"]).is_err());
+    }
+}

@@ -1,0 +1,56 @@
+//! # dpc — Compact Distributed Certification of Planar Graphs
+//!
+//! Facade crate for the reproduction of *Compact Distributed Certification
+//! of Planar Graphs* (Feuilloley, Fraigniaud, Rapaport, Rémila,
+//! Montealegre, Todinca — PODC 2020, arXiv:2005.05863).
+//!
+//! The workspace implements, from scratch:
+//!
+//! * a graph substrate ([`graph`]) with generators, traversals, degeneracy
+//!   orderings and minor machinery;
+//! * a planarity library ([`planar`]) — left-right planarity test with
+//!   combinatorial-embedding extraction, Kuratowski extraction, and the
+//!   paper's T-embedding pipeline (`G_{T,f}`, Lemmas 3–4);
+//! * a synchronous distributed-network simulator ([`runtime`]) with
+//!   CONGEST message accounting;
+//! * the proof-labeling-scheme framework and the paper's schemes
+//!   ([`core`]) — most importantly the `O(log n)`-bit 1-round PLS for
+//!   planarity (Theorem 1);
+//! * the lower-bound constructions of Section 4 ([`lowerbounds`]);
+//! * distributed interactive proofs and a dMAM baseline ([`interactive`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dpc::prelude::*;
+//!
+//! // A planar network: the prover certifies planarity, every node accepts.
+//! let g = dpc::graph::generators::grid(6, 8);
+//! let scheme = PlanarityScheme::new();
+//! let outcome = run_pls(&scheme, &g).expect("prover succeeds on planar input");
+//! assert!(outcome.all_accept());
+//! assert_eq!(outcome.rounds, 1);
+//!
+//! // A non-planar network: no prover can fool the verifier; in particular
+//! // the honest prover refuses (there is no valid certificate assignment).
+//! let bad = dpc::graph::generators::k5_subdivision(3);
+//! assert!(scheme.prove(&bad).is_err());
+//! ```
+
+pub use dpc_core as core;
+pub use dpc_graph as graph;
+pub use dpc_interactive as interactive;
+pub use dpc_lowerbounds as lowerbounds;
+pub use dpc_planar as planar;
+pub use dpc_runtime as runtime;
+
+/// Convenient re-exports of the most used items.
+pub mod prelude {
+    pub use dpc_core::harness::{run_pls, Outcome};
+    pub use dpc_core::scheme::{Assignment, ProofLabelingScheme, ProveError};
+    pub use dpc_core::schemes::non_planarity::NonPlanarityScheme;
+    pub use dpc_core::schemes::path_outerplanar::PathOuterplanarScheme;
+    pub use dpc_core::schemes::planarity::PlanarityScheme;
+    pub use dpc_graph::{Graph, GraphBuilder};
+    pub use dpc_planar::lr::{planarity, Planarity};
+}

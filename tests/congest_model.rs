@@ -1,0 +1,126 @@
+//! Model-level guarantees: every PLS in the workspace verifies in
+//! exactly one round, and the paper's schemes keep messages logarithmic
+//! (the CONGEST regime); the dMAM uses exactly three interactions.
+
+use dpc::core::harness::run_pls;
+use dpc::core::scheme::ProofLabelingScheme;
+use dpc::core::schemes::path::PathScheme;
+use dpc::core::schemes::spanning_tree::SpanningTreeScheme;
+use dpc::graph::generators;
+use dpc::interactive::dmam::{run_dmam, DmamPlanarity};
+use dpc::prelude::*;
+
+/// Generous constant for "O(log n) bits" at these sizes.
+fn log_budget(n: usize) -> usize {
+    let logn = (n as f64).log2().ceil() as usize;
+    120 * logn
+}
+
+#[test]
+fn all_log_schemes_fit_the_congest_budget() {
+    let sizes = [64u32, 1024, 16384];
+    for &n in &sizes {
+        let cases: Vec<(&str, Box<dyn Fn() -> (usize, usize)>)> = vec![
+            (
+                "planarity",
+                Box::new(move || {
+                    let g = generators::stacked_triangulation(n, 1);
+                    let out = run_pls(&PlanarityScheme::new(), &g).unwrap();
+                    assert!(out.all_accept());
+                    (out.rounds, out.max_message_bits)
+                }),
+            ),
+            (
+                "path-outerplanar",
+                Box::new(move || {
+                    let g = generators::random_path_outerplanar(n, n / 3, 2);
+                    let out = run_pls(&PathOuterplanarScheme::new(), &g).unwrap();
+                    assert!(out.all_accept());
+                    (out.rounds, out.max_message_bits)
+                }),
+            ),
+            (
+                "spanning-tree",
+                Box::new(move || {
+                    let g = generators::random_planar(n, 0.5, 3);
+                    let out = run_pls(&SpanningTreeScheme::new(), &g).unwrap();
+                    assert!(out.all_accept());
+                    (out.rounds, out.max_message_bits)
+                }),
+            ),
+            (
+                "path",
+                Box::new(move || {
+                    let g = generators::path(n);
+                    let out = run_pls(&PathScheme::new(), &g).unwrap();
+                    assert!(out.all_accept());
+                    (out.rounds, out.max_message_bits)
+                }),
+            ),
+        ];
+        for (name, run) in cases {
+            let (rounds, bits) = run();
+            assert_eq!(rounds, 1, "{name}: a PLS verifies in one round");
+            assert!(
+                bits <= log_budget(n as usize),
+                "{name} at n={n}: {bits} bits exceed the O(log n) budget"
+            );
+        }
+    }
+}
+
+#[test]
+fn non_planarity_scheme_is_logarithmic_too() {
+    for &n in &[100u32, 1000, 5000] {
+        let g = generators::planted_kuratowski(n, n % 2 == 0, 2, 5);
+        let out = run_pls(&NonPlanarityScheme::new(), &g).unwrap();
+        assert!(out.all_accept());
+        assert_eq!(out.rounds, 1);
+        assert!(out.max_message_bits <= log_budget(g.node_count()));
+    }
+}
+
+#[test]
+fn universal_scheme_blows_the_budget() {
+    // the contrast that motivates the paper: the universal baseline is
+    // NOT logarithmic
+    let g = generators::stacked_triangulation(1024, 1);
+    let uni = dpc::core::schemes::universal::UniversalScheme::new();
+    let out = run_pls(&uni, &g).unwrap();
+    assert!(out.all_accept());
+    assert!(
+        out.max_message_bits > log_budget(g.node_count()),
+        "universal certificates are Θ(m log n)"
+    );
+}
+
+#[test]
+fn dmam_uses_three_interactions_and_log_messages() {
+    for &n in &[256u32, 4096] {
+        let g = generators::stacked_triangulation(n, 4);
+        let out = run_dmam(&DmamPlanarity::new(), &g, 8).unwrap();
+        assert!(out.all_accept());
+        assert_eq!(out.interactions, 3);
+        assert!(out.max_commit_bits + out.max_response_bits <= log_budget(n as usize));
+        assert_eq!(out.challenge_bits, 64);
+    }
+}
+
+#[test]
+fn message_bits_grow_sublinearly() {
+    // doubling n repeatedly must not double message size (log growth)
+    let mut prev_bits = None;
+    for &n in &[512u32, 2048, 8192, 32768] {
+        let g = generators::stacked_triangulation(n, 9);
+        let out = run_pls(&PlanarityScheme::new(), &g).unwrap();
+        if let Some(p) = prev_bits {
+            assert!(
+                out.max_message_bits < 2 * p,
+                "4x nodes must cost < 2x bits: {} -> {}",
+                p,
+                out.max_message_bits
+            );
+        }
+        prev_bits = Some(out.max_message_bits);
+    }
+}

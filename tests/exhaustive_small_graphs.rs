@@ -1,0 +1,143 @@
+//! Exhaustive sweep: EVERY connected graph on 5 nodes (and a large
+//! sample on 6 nodes) is pushed through the full stack — completeness,
+//! soundness, and both certificate directions. Small-universe
+//! exhaustiveness is the strongest cheap evidence that the verifier has
+//! no blind spots.
+
+use dpc::core::adversary::{forge, Attack};
+use dpc::core::harness::{run_pls, run_with_assignment};
+use dpc::core::scheme::ProofLabelingScheme;
+use dpc::graph::{Graph, GraphBuilder};
+use dpc::planar::lr::is_planar;
+use dpc::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn graph_from_mask(n: u32, pairs: &[(u32, u32)], mask: u32) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for (i, &(u, v)) in pairs.iter().enumerate() {
+        if mask >> i & 1 == 1 {
+            b.add_edge(u, v).unwrap();
+        }
+    }
+    b.build()
+}
+
+fn all_pairs(n: u32) -> Vec<(u32, u32)> {
+    let mut pairs = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            pairs.push((u, v));
+        }
+    }
+    pairs
+}
+
+fn exercise(g: &Graph) {
+    let scheme = PlanarityScheme::new();
+    if is_planar(g) {
+        let out = run_pls(&scheme, g).unwrap_or_else(|e| panic!("{g:?}: {e}"));
+        assert!(out.all_accept(), "completeness violated on {g}");
+        assert_eq!(out.rounds, 1);
+    } else {
+        assert!(scheme.prove(g).is_err(), "prover accepted non-planar {g}");
+        // strongest attack: planarized replay
+        if let Some(a) = forge(&scheme, g, Attack::ReplayPlanarized, 0) {
+            let out = run_with_assignment(&scheme, g, &a);
+            assert!(!out.all_accept(), "soundness violated on {g}");
+        }
+        // and the non-planarity scheme must certify it
+        let out = run_pls(&NonPlanarityScheme::new(), g).unwrap();
+        assert!(out.all_accept(), "non-planarity scheme failed on {g}");
+    }
+}
+
+#[test]
+fn every_connected_graph_on_5_nodes() {
+    let pairs = all_pairs(5);
+    let mut planar = 0;
+    let mut nonplanar = 0;
+    for mask in 0u32..(1 << pairs.len()) {
+        let g = graph_from_mask(5, &pairs, mask);
+        if !g.is_connected() {
+            continue;
+        }
+        if is_planar(&g) {
+            planar += 1;
+        } else {
+            nonplanar += 1;
+        }
+        exercise(&g);
+    }
+    // on 5 nodes only K5 itself is non-planar
+    assert_eq!(nonplanar, 1, "exactly K5");
+    assert!(planar > 700, "got {planar} connected planar graphs");
+}
+
+#[test]
+fn sampled_connected_graphs_on_6_and_7_nodes() {
+    let mut rng = StdRng::seed_from_u64(777);
+    for n in [6u32, 7] {
+        let pairs = all_pairs(n);
+        let mut seen_nonplanar = 0;
+        for _ in 0..800 {
+            let mask: u32 = rng.gen_range(0..(1u32 << pairs.len()));
+            let g = graph_from_mask(n, &pairs, mask);
+            if !g.is_connected() {
+                continue;
+            }
+            if !is_planar(&g) {
+                seen_nonplanar += 1;
+            }
+            exercise(&g);
+        }
+        assert!(seen_nonplanar > 0, "the sample should include non-planar graphs");
+    }
+}
+
+#[test]
+fn all_trees_on_up_to_7_nodes() {
+    // enumerate labelled trees via Prüfer sequences: n^(n-2) trees
+    for n in [3u32, 4, 5, 6, 7] {
+        let count = (n as u64).pow(n - 2);
+        let step = (count / 200).max(1); // cap the work per n
+        let mut idx = 0u64;
+        while idx < count {
+            // decode Prüfer sequence idx
+            let mut seq = Vec::with_capacity((n - 2) as usize);
+            let mut x = idx;
+            for _ in 0..n - 2 {
+                seq.push((x % n as u64) as u32);
+                x /= n as u64;
+            }
+            let g = tree_from_pruefer(n, &seq);
+            let out = run_pls(&PlanarityScheme::new(), &g).unwrap();
+            assert!(out.all_accept(), "tree from Prüfer {seq:?}");
+            idx += step;
+        }
+    }
+}
+
+fn tree_from_pruefer(n: u32, seq: &[u32]) -> Graph {
+    let mut degree = vec![1u32; n as usize];
+    for &s in seq {
+        degree[s as usize] += 1;
+    }
+    let mut b = GraphBuilder::new(n);
+    let mut leaves: std::collections::BTreeSet<u32> = (0..n)
+        .filter(|&v| degree[v as usize] == 1)
+        .collect();
+    for &s in seq {
+        let leaf = *leaves.iter().next().unwrap();
+        leaves.remove(&leaf);
+        b.add_edge(leaf, s).unwrap();
+        degree[s as usize] -= 1;
+        if degree[s as usize] == 1 {
+            leaves.insert(s);
+        }
+    }
+    let mut it = leaves.into_iter();
+    let (a, c) = (it.next().unwrap(), it.next().unwrap());
+    b.add_edge(a, c).unwrap();
+    b.build()
+}

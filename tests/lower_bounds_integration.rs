@@ -1,0 +1,138 @@
+//! Integration of the Section 4 constructions with the rest of the
+//! stack: the legal instances really are certified legal by the upper
+//! bound machinery, the illegal ones really are illegal, and the
+//! pigeonhole forgery runs end to end on the simulator.
+
+use dpc::core::harness::run_pls;
+use dpc::graph::minors;
+use dpc::lowerbounds::blocks::{
+    certify_cycle_has_kk, certify_path_kfree, cycle_of_blocks, path_of_blocks,
+};
+use dpc::lowerbounds::counting::{accepts_path, crossover_p, forge_cycle, ModCounterScheme};
+use dpc::lowerbounds::kpq::{certify_j_has_kqq, default_ids, instance_iab, instance_j, KpqParams};
+use dpc::prelude::*;
+
+#[test]
+fn k4_block_paths_are_planar_and_certifiable() {
+    // for k=4 the legal Lemma 5 instances are planar (K4-minor-free ⊂
+    // planar), so Theorem 1's scheme must accept them — the upper and
+    // lower bound machineries meet
+    for p in [2usize, 8, 30] {
+        let perm: Vec<usize> = (1..=p).collect();
+        let inst = path_of_blocks(4, &perm);
+        assert!(certify_path_kfree(&inst));
+        assert!(planarity(&inst.graph).is_planar());
+        let out = run_pls(&PlanarityScheme::new(), &inst.graph).unwrap();
+        assert!(out.all_accept(), "p={p}");
+    }
+}
+
+#[test]
+fn k4_block_cycles_are_nonplanar_when_k4_appears() {
+    // cycles of blocks with k=4 contain K4; K4 alone does not force
+    // non-planarity, so cross-check with the dedicated tests instead
+    let inst = cycle_of_blocks(4, &[1, 2, 3, 4]);
+    assert!(certify_cycle_has_kk(&inst));
+    assert!(minors::has_k4_minor(&inst.graph));
+}
+
+#[test]
+fn k5_and_k6_constructions_validated() {
+    for k in [5usize, 6] {
+        let perm: Vec<usize> = (1..=10).collect();
+        let path = path_of_blocks(k, &perm);
+        assert!(certify_path_kfree(&path), "k={k}");
+        let cycle = cycle_of_blocks(k, &perm);
+        assert!(certify_cycle_has_kk(&cycle), "k={k}");
+    }
+    // k=5 cycles contain K5 hence are non-planar: the non-planarity
+    // scheme certifies them
+    let cycle = cycle_of_blocks(5, &[1, 2, 3]);
+    assert!(!planarity(&cycle.graph).is_planar());
+    let out = run_pls(&NonPlanarityScheme::new(), &cycle.graph).unwrap();
+    assert!(out.all_accept());
+}
+
+#[test]
+fn permuted_paths_share_structure() {
+    // the counting argument needs: all p! permutations are legal
+    // instances with the same block contents
+    for perm in [
+        vec![1usize, 2, 3, 4, 5],
+        vec![5, 4, 3, 2, 1],
+        vec![2, 4, 1, 5, 3],
+    ] {
+        let inst = path_of_blocks(4, &perm);
+        assert!(certify_path_kfree(&inst));
+        assert_eq!(inst.graph.node_count(), 3 * 7);
+    }
+}
+
+#[test]
+fn forgery_end_to_end_for_growing_g() {
+    for g in 1..=5u32 {
+        let scheme = ModCounterScheme::new(4, g);
+        assert!(accepts_path(&scheme, &(1..=(1 << g)).collect::<Vec<usize>>()));
+        let f = forge_cycle(&scheme);
+        assert!(f.fully_accepted, "g={g}");
+        assert!(certify_cycle_has_kk(&f.cycle));
+        assert_eq!(f.assignment.max_bits(), g as usize, "exactly g bits used");
+    }
+}
+
+#[test]
+fn crossover_matches_manual_inequality() {
+    for (k, g) in [(4u32, 1u32), (4, 2), (5, 1)] {
+        let p = crossover_p(k, g);
+        let c = ((k - 1) * g) as f64 * std::f64::consts::LN_2;
+        let lnf = |p: u64| -> f64 { (2..=p).map(|i| (i as f64).ln()).sum() };
+        assert!(lnf(p) > c * p as f64);
+        assert!(lnf(p - 1) <= c * (p - 1) as f64);
+    }
+}
+
+#[test]
+fn kpq_legal_instances_accepted_by_planarity_scheme() {
+    // I_ab is outerplanar hence planar: Theorem 1's scheme accepts it
+    let params = KpqParams::new(30, 3);
+    let g = instance_iab(
+        params,
+        &default_ids(params, 0, false),
+        &default_ids(params, 0, true),
+    );
+    assert!(dpc::planar::embedding::is_outerplanar(&g));
+    let out = run_pls(&PlanarityScheme::new(), &g).unwrap();
+    assert!(out.all_accept());
+}
+
+#[test]
+fn kpq_illegal_instance_has_minor_and_big_q_scales() {
+    for q in [3usize, 4, 6] {
+        let params = KpqParams::new(6 * q + 6, q);
+        let j = instance_j(params);
+        assert!(certify_j_has_kqq(&j, q), "q={q}");
+        assert_eq!(
+            j.graph.node_count(),
+            q * (params.na() + params.nb()),
+            "q copies of both paths"
+        );
+    }
+}
+
+#[test]
+fn outerplanar_corollary_instances() {
+    // outerplanar = Forb({K4, K2,3}): the lower bound applies to it via
+    // the same machinery; sanity-check the ingredients
+    let params = KpqParams::new(24, 3);
+    let iab = instance_iab(
+        params,
+        &default_ids(params, 0, false),
+        &default_ids(params, 0, true),
+    );
+    // legal: K4-minor-free AND K2,3-minor-free (outerplanar)
+    assert!(!minors::has_k4_minor(&iab));
+    assert!(dpc::planar::embedding::is_outerplanar(&iab));
+    // illegal: J has a K3,3 minor, hence also K2,3: not outerplanar
+    let j = instance_j(params);
+    assert!(!dpc::planar::embedding::is_outerplanar(&j.graph));
+}
