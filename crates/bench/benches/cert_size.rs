@@ -1,8 +1,10 @@
 //! E1-oriented bench: prover certificate construction and the resulting
 //! certificate sizes across planar families (reported via Criterion
-//! throughput of the prover; sizes printed once per group).
+//! throughput of the prover; sizes printed once per group), plus the
+//! batch engine proving a whole family in one call.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpc_core::batch::BatchRunner;
 use dpc_core::scheme::ProofLabelingScheme;
 use dpc_core::schemes::planarity::PlanarityScheme;
 use dpc_graph::generators;
@@ -14,7 +16,11 @@ fn bench_cert_size(c: &mut Criterion) {
     for &n in &[256u32, 1024, 4096] {
         let g = generators::stacked_triangulation(n, 42);
         let a = scheme.prove(&g).unwrap();
-        println!("n={n}: max cert {} bits, avg {:.1}", a.max_bits(), a.avg_bits());
+        println!(
+            "n={n}: max cert {} bits, avg {:.1}",
+            a.max_bits(),
+            a.avg_bits()
+        );
         group.bench_with_input(BenchmarkId::new("triangulation", n), &g, |b, g| {
             b.iter(|| scheme.prove(std::hint::black_box(g)).unwrap().max_bits())
         });
@@ -23,6 +29,22 @@ fn bench_cert_size(c: &mut Criterion) {
             b.iter(|| scheme.prove(std::hint::black_box(t)).unwrap().max_bits())
         });
     }
+    // the batch engine proving + verifying a 64-graph family in one call
+    let batch: Vec<_> = (0..64u64)
+        .map(|s| generators::stacked_triangulation(512, s))
+        .collect();
+    let runner = BatchRunner::new();
+    group.bench_with_input(
+        BenchmarkId::new("batch_prove_verify", batch.len()),
+        &batch,
+        |b, batch| {
+            b.iter(|| {
+                let report = runner.run_slice(&scheme, std::hint::black_box(batch));
+                assert_eq!(report.summary.accepted, batch.len());
+                report.summary.max_cert_bits
+            })
+        },
+    );
     group.finish();
 }
 

@@ -1,8 +1,14 @@
 //! E7/E8 bench: constructing and certifying the Lemma 5 instances, and
-//! the pigeonhole forgery end to end.
+//! the pigeonhole forgery end to end — single-instance and batched
+//! across the worker pool (the lower-bound pipeline is not a PLS run,
+//! so it goes through [`BatchRunner::map`] rather than the PLS front
+//! end).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dpc_lowerbounds::blocks::{certify_cycle_has_kk, certify_path_kfree, cycle_of_blocks, path_of_blocks};
+use dpc_core::batch::BatchRunner;
+use dpc_lowerbounds::blocks::{
+    certify_cycle_has_kk, certify_path_kfree, cycle_of_blocks, path_of_blocks,
+};
 use dpc_lowerbounds::counting::{forge_cycle, ModCounterScheme};
 
 fn bench_lower_bounds(c: &mut Criterion) {
@@ -10,13 +16,17 @@ fn bench_lower_bounds(c: &mut Criterion) {
     group.sample_size(10);
     for &p in &[50usize, 500] {
         let perm: Vec<usize> = (1..=p).collect();
-        group.bench_with_input(BenchmarkId::new("path_of_blocks_k5", p), &perm, |b, perm| {
-            b.iter(|| {
-                let inst = path_of_blocks(5, std::hint::black_box(perm));
-                assert!(certify_path_kfree(&inst));
-                inst.graph.node_count()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("path_of_blocks_k5", p),
+            &perm,
+            |b, perm| {
+                b.iter(|| {
+                    let inst = path_of_blocks(5, std::hint::black_box(perm));
+                    assert!(certify_path_kfree(&inst));
+                    inst.graph.node_count()
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("cycle_witness_k5", p), &perm, |b, perm| {
             b.iter(|| {
                 let inst = cycle_of_blocks(5, std::hint::black_box(perm));
@@ -34,6 +44,28 @@ fn bench_lower_bounds(c: &mut Criterion) {
             })
         });
     }
+    // 40 permutations certified across the worker pool in one call
+    let perms: Vec<Vec<usize>> = (0..40usize)
+        .map(|i| {
+            let mut perm: Vec<usize> = (1..=120).collect();
+            perm.rotate_left(i);
+            perm
+        })
+        .collect();
+    let runner = BatchRunner::new();
+    group.bench_with_input(
+        BenchmarkId::new("batch_certify_paths_k5", perms.len()),
+        &perms,
+        |b, perms| {
+            b.iter(|| {
+                let ok = runner.map(perms, |perm| {
+                    certify_path_kfree(&path_of_blocks(5, std::hint::black_box(perm)))
+                });
+                assert!(ok.iter().all(|&b| b));
+                ok.len()
+            })
+        },
+    );
     group.finish();
 }
 

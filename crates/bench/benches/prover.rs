@@ -1,8 +1,10 @@
 //! E13 prover-side bench: the full pipeline (left-right embedding,
 //! T-embedding, degeneracy assignment, certificate encoding) and its
-//! pieces in isolation.
+//! pieces in isolation, plus the batch engine amortizing the pipeline
+//! over many graphs in parallel.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpc_core::batch::BatchRunner;
 use dpc_core::scheme::ProofLabelingScheme;
 use dpc_core::schemes::planarity::PlanarityScheme;
 use dpc_graph::generators;
@@ -19,13 +21,39 @@ fn bench_prover(c: &mut Criterion) {
         let rot = dpc_planar::lr::planarity(&g).into_embedding().unwrap();
         let tree = bfs_spanning_tree(&g, 0);
         group.bench_with_input(BenchmarkId::new("t_embedding", n), &g, |b, g| {
-            b.iter(|| dpc_planar::tembed::t_embedding(std::hint::black_box(g), &rot, &tree).unwrap().chords.len())
+            b.iter(|| {
+                dpc_planar::tembed::t_embedding(std::hint::black_box(g), &rot, &tree)
+                    .unwrap()
+                    .chords
+                    .len()
+            })
         });
         let scheme = PlanarityScheme::new();
         group.bench_with_input(BenchmarkId::new("full_prove", n), &g, |b, g| {
             b.iter(|| scheme.prove(std::hint::black_box(g)).unwrap().total_bits())
         });
     }
+    // the prove pipeline alone (no verification round, matching
+    // full_prove) fanned over a batch of 32 graphs via the worker pool
+    let scheme = PlanarityScheme::new();
+    let batch: Vec<_> = (0..32u64)
+        .map(|s| generators::stacked_triangulation(1024, s))
+        .collect();
+    let runner = BatchRunner::new();
+    group.bench_with_input(
+        BenchmarkId::new("batch_full_prove", batch.len()),
+        &batch,
+        |b, batch| {
+            b.iter(|| {
+                runner
+                    .map(std::hint::black_box(batch), |g| {
+                        scheme.prove(g).unwrap().total_bits()
+                    })
+                    .iter()
+                    .sum::<usize>()
+            })
+        },
+    );
     group.finish();
 }
 

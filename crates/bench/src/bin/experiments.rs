@@ -9,13 +9,19 @@ use dpc_bench::experiments;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let ids: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        experiments::all_ids().into_iter().map(String::from).collect()
+        experiments::all_ids()
+            .into_iter()
+            .map(String::from)
+            .collect()
     } else {
         args
     };
     for id in &ids {
         if !experiments::run(id) {
-            eprintln!("unknown experiment id: {id} (known: {:?})", experiments::all_ids());
+            eprintln!(
+                "unknown experiment id: {id} (known: {:?})",
+                experiments::all_ids()
+            );
             std::process::exit(2);
         }
     }

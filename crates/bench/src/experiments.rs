@@ -4,6 +4,7 @@
 use crate::families::{nonplanar_families, planar_families};
 use crate::table::{linear_fit, Table};
 use dpc_core::adversary::soundness_report;
+use dpc_core::batch::BatchRunner;
 use dpc_core::harness::{run_pls, run_with_assignment};
 use dpc_core::scheme::ProofLabelingScheme;
 use dpc_core::schemes::non_planarity::NonPlanarityScheme;
@@ -13,8 +14,7 @@ use dpc_core::schemes::universal::UniversalScheme;
 use dpc_graph::generators;
 use dpc_interactive::dmam::{detection_rate, run_dmam, DmamPlanarity};
 use dpc_lowerbounds::blocks::{
-    certify_cycle_has_kk, certify_path_kfree, cycle_of_blocks, path_of_blocks,
-    subdivide_for_radius,
+    certify_cycle_has_kk, certify_path_kfree, cycle_of_blocks, path_of_blocks, subdivide_for_radius,
 };
 use dpc_lowerbounds::counting::{accepts_path, crossover_p, forge_cycle, ModCounterScheme};
 use dpc_lowerbounds::kpq::{certify_j_has_kqq, default_ids, instance_iab, instance_j, KpqParams};
@@ -77,30 +77,24 @@ pub fn e2() {
     t.print();
 }
 
-/// E3 — completeness over planar families and seeds.
+/// E3 — completeness over planar families and seeds, through the
+/// parallel batch engine (one batch per family).
 pub fn e3() {
     let mut t = Table::new(
-        "E3: completeness (acceptance rate over 10 seeds)",
+        "E3: completeness (acceptance rate over 10 seeds, batch engine)",
         &["family", "n", "accept rate", "nodes accepting"],
     );
     let scheme = PlanarityScheme::new();
+    let runner = BatchRunner::new();
     for f in planar_families() {
         let n = 500u32;
-        let mut ok = 0;
-        let mut nodes = 0usize;
-        for seed in 0..10u64 {
-            let g = (f.make)(n, seed);
-            let out = run_pls(&scheme, &g).unwrap();
-            if out.all_accept() {
-                ok += 1;
-            }
-            nodes += out.verdicts.iter().filter(|&&b| b).count();
-        }
+        let report = runner.run(&scheme, (0..10u64).map(|seed| (f.make)(n, seed)));
+        assert_eq!(report.summary.declined, 0, "planar families always prove");
         t.row(vec![
             f.name.into(),
             n.to_string(),
-            format!("{}/10", ok),
-            nodes.to_string(),
+            format!("{}/{}", report.summary.accepted, report.summary.instances),
+            (report.summary.nodes - report.summary.rejecting_nodes).to_string(),
         ]);
     }
     t.print();
@@ -132,7 +126,14 @@ pub fn e4() {
 pub fn e5() {
     let mut t = Table::new(
         "E5: T-embedding pipeline on planar inputs",
-        &["family", "n", "|V(G_Tf)| = 2n-1", "chords", "laminar", "euler-genus"],
+        &[
+            "family",
+            "n",
+            "|V(G_Tf)| = 2n-1",
+            "chords",
+            "laminar",
+            "euler-genus",
+        ],
     );
     for f in planar_families() {
         let g = (f.make)(2000, 3);
@@ -147,7 +148,11 @@ pub fn e5() {
                 format!(
                     "{} ({})",
                     te.spine_len,
-                    if te.spine_len as usize == 2 * g.node_count() - 1 { "ok" } else { "MISMATCH" }
+                    if te.spine_len as usize == 2 * g.node_count() - 1 {
+                        "ok"
+                    } else {
+                        "MISMATCH"
+                    }
                 ),
                 te.chords.len().to_string(),
                 "yes".into(),
@@ -184,7 +189,11 @@ pub fn e6() {
         t.row(vec![
             name.into(),
             g.node_count().to_string(),
-            if out.all_accept() { "accept".into() } else { "REJECT".to_string() },
+            if out.all_accept() {
+                "accept".into()
+            } else {
+                "REJECT".to_string()
+            },
             out.max_cert_bits.to_string(),
         ]);
     }
@@ -228,8 +237,16 @@ pub fn e7() {
                 k.to_string(),
                 p.to_string(),
                 path.graph.node_count().to_string(),
-                if certify_path_kfree(&path) { "certified".into() } else { "FAIL".to_string() },
-                if certify_cycle_has_kk(&cycle) { "witnessed".into() } else { "FAIL".to_string() },
+                if certify_path_kfree(&path) {
+                    "certified".into()
+                } else {
+                    "FAIL".to_string()
+                },
+                if certify_cycle_has_kk(&cycle) {
+                    "witnessed".into()
+                } else {
+                    "FAIL".to_string()
+                },
             ]);
         }
     }
@@ -262,7 +279,13 @@ pub fn e8() {
     t.print();
     let mut t = Table::new(
         "E8b: concrete forgery against the g-bit mod-counter scheme (k=4)",
-        &["g", "paths accepted", "forged cycle blocks", "cycle fully accepted", "cycle illegal"],
+        &[
+            "g",
+            "paths accepted",
+            "forged cycle blocks",
+            "cycle fully accepted",
+            "cycle illegal",
+        ],
     );
     for g in 1..=6u32 {
         let scheme = ModCounterScheme::new(4, g);
@@ -270,21 +293,42 @@ pub fn e8() {
         let f = forge_cycle(&scheme);
         t.row(vec![
             g.to_string(),
-            if paths_ok { "yes".into() } else { "NO".to_string() },
+            if paths_ok {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
             (1usize << g).to_string(),
-            if f.fully_accepted { "yes (soundness broken)".into() } else { "NO".to_string() },
-            if certify_cycle_has_kk(&f.cycle) { "yes (K4 minor)".into() } else { "NO".to_string() },
+            if f.fully_accepted {
+                "yes (soundness broken)".into()
+            } else {
+                "NO".to_string()
+            },
+            if certify_cycle_has_kk(&f.cycle) {
+                "yes (K4 minor)".into()
+            } else {
+                "NO".to_string()
+            },
         ]);
     }
     t.print();
-    println!("with g = o(log n) bits, cycles of 2^g << n blocks are forgeable: Lemma 5 in action\n");
+    println!(
+        "with g = o(log n) bits, cycles of 2^g << n blocks are forgeable: Lemma 5 in action\n"
+    );
 }
 
 /// E9 — Lemma 6 instances (paper Figs. 9–10).
 pub fn e9() {
     let mut t = Table::new(
         "E9: K_{p,q} lower-bound instances (Lemma 6)",
-        &["q", "n per I_ab", "I_ab outerplanar", "J nodes", "J has K_{q,q}", "J outerplanar"],
+        &[
+            "q",
+            "n per I_ab",
+            "I_ab outerplanar",
+            "J nodes",
+            "J has K_{q,q}",
+            "J outerplanar",
+        ],
     );
     for q in [3usize, 4, 5] {
         let params = KpqParams::new(8 * q, q);
@@ -297,10 +341,22 @@ pub fn e9() {
         t.row(vec![
             q.to_string(),
             iab.node_count().to_string(),
-            if dpc_planar::embedding::is_outerplanar(&iab) { "yes".into() } else { "NO".to_string() },
+            if dpc_planar::embedding::is_outerplanar(&iab) {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
             j.graph.node_count().to_string(),
-            if certify_j_has_kqq(&j, q) { "witnessed".into() } else { "NO".to_string() },
-            if dpc_planar::embedding::is_outerplanar(&j.graph) { "YES(bug)".into() } else { "no".to_string() },
+            if certify_j_has_kqq(&j, q) {
+                "witnessed".into()
+            } else {
+                "NO".to_string()
+            },
+            if dpc_planar::embedding::is_outerplanar(&j.graph) {
+                "YES(bug)".into()
+            } else {
+                "no".to_string()
+            },
         ]);
     }
     t.print();
@@ -310,7 +366,14 @@ pub fn e9() {
 pub fn e10() {
     let mut t = Table::new(
         "E10: planarity certification, scheme comparison",
-        &["scheme", "interactions", "random bits", "n", "max bits", "soundness"],
+        &[
+            "scheme",
+            "interactions",
+            "random bits",
+            "n",
+            "max bits",
+            "soundness",
+        ],
     );
     let sizes = [256u32, 4096];
     for &n in &sizes {
@@ -359,7 +422,9 @@ pub fn e10() {
         ]);
     }
     t.print();
-    println!("the PLS rejects deterministically; the dMAM trades certainty for smaller commitments\n");
+    println!(
+        "the PLS rejects deterministically; the dMAM trades certainty for smaller commitments\n"
+    );
 }
 
 /// E11 — the folklore non-planarity scheme.
@@ -372,8 +437,14 @@ pub fn e11() {
         ("K5", generators::complete(5)),
         ("K33-subdiv(5)", generators::k33_subdivision(5)),
         ("K5-subdiv(10)", generators::k5_subdivision(10)),
-        ("planted-K5 n=100", generators::planted_kuratowski(100, true, 2, 3)),
-        ("planted-K33 n=400", generators::planted_kuratowski(400, false, 3, 4)),
+        (
+            "planted-K5 n=100",
+            generators::planted_kuratowski(100, true, 2, 3),
+        ),
+        (
+            "planted-K33 n=400",
+            generators::planted_kuratowski(400, false, 3, 4),
+        ),
     ] {
         let scheme = NonPlanarityScheme::new();
         let out = run_pls(&scheme, &g).unwrap();
@@ -382,7 +453,11 @@ pub fn e11() {
             name.into(),
             g.node_count().to_string(),
             format!("{:?}", w.kind),
-            if out.all_accept() { "accept".into() } else { "REJECT".to_string() },
+            if out.all_accept() {
+                "accept".into()
+            } else {
+                "REJECT".to_string()
+            },
             out.max_cert_bits.to_string(),
         ]);
     }
@@ -393,7 +468,15 @@ pub fn e11() {
 pub fn e12() {
     let mut t = Table::new(
         "E12: edge-certificate placement ablation",
-        &["graph", "n", "max degree", "max certs/node (degeneracy)", "(naive)", "max bits (degeneracy)", "(naive)"],
+        &[
+            "graph",
+            "n",
+            "max degree",
+            "max certs/node (degeneracy)",
+            "(naive)",
+            "max bits (degeneracy)",
+            "(naive)",
+        ],
     );
     for (name, g) in [
         ("star", generators::star(500)),
@@ -462,9 +545,17 @@ pub fn e14() {
         t.row(vec![
             tt.to_string(),
             path.node_count().to_string(),
-            if !dpc_graph::minors::has_k4_minor(&path) { "yes".into() } else { "NO".to_string() },
+            if !dpc_graph::minors::has_k4_minor(&path) {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
             cycle.node_count().to_string(),
-            if dpc_graph::minors::has_k4_minor(&cycle) { "yes".into() } else { "NO".to_string() },
+            if dpc_graph::minors::has_k4_minor(&cycle) {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
         ]);
     }
     t.print();
@@ -508,14 +599,21 @@ pub fn e15() {
         ]);
     }
     t.print();
-    println!("the network can compute its own certificates in O(n) rounds with O(log n)-bit messages\n");
+    println!(
+        "the network can compute its own certificates in O(n) rounds with O(log n)-bit messages\n"
+    );
 }
 
 /// E16 — embeddings vs rotations (§5 bounded-genus direction).
 pub fn e16() {
     let mut t = Table::new(
         "E16: Euler genus — prover's embedding vs random rotations",
-        &["family", "n", "LR genus", "random-rotation genus (min/median/max over 20)"],
+        &[
+            "family",
+            "n",
+            "LR genus",
+            "random-rotation genus (min/median/max over 20)",
+        ],
     );
     for f in planar_families() {
         let g = (f.make)(200, 3);
@@ -532,7 +630,70 @@ pub fn e16() {
         ]);
     }
     t.print();
-    println!("the prover must exhibit a genus-0 rotation; arbitrary rotations are far from planar\n");
+    println!(
+        "the prover must exhibit a genus-0 rotation; arbitrary rotations are far from planar\n"
+    );
+}
+
+/// E17 — the parallel batch engine: scheme zoo over graph batches,
+/// parallel vs sequential wall time, determinism cross-check.
+pub fn e17() {
+    let mut t = Table::new(
+        "E17: batch execution engine (parallel vs sequential, identical stats)",
+        &[
+            "scheme",
+            "family",
+            "instances",
+            "accept rate",
+            "max cert bits",
+            "seq ms",
+            "par ms",
+            "speedup",
+        ],
+    );
+    let runner = BatchRunner::new();
+    let scheme = PlanarityScheme::new();
+    for f in planar_families() {
+        let graphs: Vec<_> = (0..24u64).map(|s| (f.make)(400, s)).collect();
+        let seq = BatchRunner::run_sequential(&scheme, graphs.clone());
+        let par = runner.run(&scheme, graphs);
+        assert_eq!(
+            seq.summary, par.summary,
+            "batch engine must be deterministic"
+        );
+        let seq_ms = seq.wall.as_secs_f64() * 1e3;
+        let par_ms = par.wall.as_secs_f64() * 1e3;
+        t.row(vec![
+            "planarity".into(),
+            f.name.into(),
+            par.summary.instances.to_string(),
+            format!("{:.2}", par.summary.accept_rate()),
+            par.summary.max_cert_bits.to_string(),
+            format!("{seq_ms:.1}"),
+            format!("{par_ms:.1}"),
+            format!("{:.2}x", seq_ms / par_ms.max(1e-9)),
+        ]);
+    }
+    // non-planar batches: the prover declines on every instance
+    for f in nonplanar_families() {
+        let graphs: Vec<_> = (0..24u64).map(|s| (f.make)(60, s)).collect();
+        let par = runner.run(&scheme, graphs);
+        t.row(vec![
+            "planarity".into(),
+            f.name.into(),
+            par.summary.instances.to_string(),
+            format!("declined {}", par.summary.declined),
+            "-".into(),
+            "-".into(),
+            format!("{:.1}", par.wall.as_secs_f64() * 1e3),
+            "-".into(),
+        ]);
+    }
+    t.print();
+    println!(
+        "{} worker threads; summaries are byte-identical to the sequential fold\n",
+        runner.threads()
+    );
 }
 
 /// Runs one experiment by id; returns false for unknown ids.
@@ -554,6 +715,7 @@ pub fn run(id: &str) -> bool {
         "e14" => e14(),
         "e15" => e15(),
         "e16" => e16(),
+        "e17" => e17(),
         _ => return false,
     }
     true
@@ -563,6 +725,6 @@ pub fn run(id: &str) -> bool {
 pub fn all_ids() -> Vec<&'static str> {
     vec![
         "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-        "e15", "e16",
+        "e15", "e16", "e17",
     ]
 }

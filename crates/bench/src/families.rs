@@ -96,7 +96,11 @@ mod tests {
         for f in nonplanar_families() {
             let g = (f.make)(40, 2);
             assert!(g.is_connected(), "{}", f.name);
-            assert!(!dpc_planar::lr::is_planar(&g), "{} must be non-planar", f.name);
+            assert!(
+                !dpc_planar::lr::is_planar(&g),
+                "{} must be non-planar",
+                f.name
+            );
         }
     }
 }

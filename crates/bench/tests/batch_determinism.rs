@@ -1,0 +1,81 @@
+//! Determinism guard for the parallel batch engine: running the scheme
+//! zoo over the small-graph generator families in parallel must produce
+//! per-instance results and aggregate stats byte-identical to a
+//! sequential fold, at every thread count.
+
+use dpc_bench::families::{nonplanar_families, planar_families};
+use dpc_core::batch::BatchRunner;
+use dpc_core::scheme::ProofLabelingScheme;
+use dpc_core::schemes::non_planarity::NonPlanarityScheme;
+use dpc_core::schemes::path_outerplanar::PathOuterplanarScheme;
+use dpc_core::schemes::planarity::PlanarityScheme;
+use dpc_core::schemes::spanning_tree::SpanningTreeScheme;
+use dpc_core::schemes::universal::UniversalScheme;
+use dpc_graph::{generators, Graph};
+
+/// ≥ 100 graphs across every family (planar and non-planar alike, so
+/// batches mix proofs and prover declines).
+fn family_batch() -> Vec<Graph> {
+    let mut graphs = Vec::new();
+    for f in planar_families() {
+        for seed in 0..12u64 {
+            graphs.push((f.make)(20 + 3 * seed as u32, seed));
+        }
+    }
+    for f in nonplanar_families() {
+        for seed in 0..8u64 {
+            graphs.push((f.make)(24, seed));
+        }
+    }
+    assert!(graphs.len() >= 100, "zoo batch must cover >= 100 graphs");
+    graphs
+}
+
+fn assert_parallel_matches_sequential<S>(scheme: &S, graphs: &[Graph])
+where
+    S: ProofLabelingScheme + Sync,
+{
+    let seq = BatchRunner::run_sequential(scheme, graphs.iter().cloned());
+    for threads in [2usize, 4, 16] {
+        let par = BatchRunner::with_threads(threads).run_slice(scheme, graphs);
+        assert_eq!(
+            par.results,
+            seq.results,
+            "{}: per-instance results diverged at {threads} threads",
+            scheme.name()
+        );
+        assert_eq!(
+            par.summary,
+            seq.summary,
+            "{}: aggregate stats diverged at {threads} threads",
+            scheme.name()
+        );
+    }
+}
+
+#[test]
+fn scheme_zoo_batches_are_deterministic() {
+    let graphs = family_batch();
+    assert_parallel_matches_sequential(&PlanarityScheme::new(), &graphs);
+    assert_parallel_matches_sequential(&SpanningTreeScheme::new(), &graphs);
+    assert_parallel_matches_sequential(&UniversalScheme::new(), &graphs);
+    assert_parallel_matches_sequential(&NonPlanarityScheme::new(), &graphs);
+}
+
+#[test]
+fn path_outerplanar_batches_are_deterministic() {
+    // this scheme wants path-outerplanar inputs; give it its own family
+    let graphs: Vec<Graph> = (0..100u64)
+        .map(|seed| generators::random_path_outerplanar(30, 10, seed))
+        .collect();
+    assert_parallel_matches_sequential(&PathOuterplanarScheme::new(), &graphs);
+}
+
+#[test]
+fn summary_is_a_pure_function_of_results() {
+    let graphs = family_batch();
+    let scheme = PlanarityScheme::new();
+    let report = BatchRunner::with_threads(8).run_slice(&scheme, &graphs);
+    let refolded = dpc_core::batch::BatchSummary::from_results(&report.results);
+    assert_eq!(report.summary, refolded);
+}

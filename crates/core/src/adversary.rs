@@ -102,9 +102,7 @@ pub fn forge<S: ProofLabelingScheme>(
                 w.write_bool(false);
             }
             let p = Payload::from_writer(w);
-            Some(Assignment {
-                certs: vec![p; n],
-            })
+            Some(Assignment { certs: vec![p; n] })
         }
         Attack::ReplayPlanarized => {
             let sub = planarize(g);
@@ -120,7 +118,11 @@ pub fn forge<S: ProofLabelingScheme>(
                     continue;
                 }
                 let bit = rng.gen_range(0..c.bit_len);
-                c.bytes[bit / 8] ^= 1 << (7 - (bit % 8));
+                // payload buffers are shared (Arc), so flip on an owned
+                // copy and swap the rebuilt payload in
+                let mut bytes = c.to_vec();
+                bytes[bit / 8] ^= 1 << (7 - (bit % 8));
+                *c = Payload::from_bytes(bytes, c.bit_len);
             }
             Some(a)
         }
@@ -168,9 +170,8 @@ pub fn soundness_report<S: ProofLabelingScheme>(
     standard_attacks()
         .into_iter()
         .map(|attack| {
-            let rejects = forge(scheme, g, attack, seed).map(|a| {
-                crate::harness::run_with_assignment(scheme, g, &a).reject_count()
-            });
+            let rejects = forge(scheme, g, attack, seed)
+                .map(|a| crate::harness::run_with_assignment(scheme, g, &a).reject_count());
             SoundnessRow {
                 attack: attack.name(),
                 rejects,

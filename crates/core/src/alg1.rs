@@ -63,11 +63,10 @@ pub fn verify_spine_node(view: &SpineView) -> bool {
             above.push((p, iv));
         }
     }
-    below.sort_by(|l, r| r.0.cmp(&l.0));
-    above.sort_by(|l, r| l.0.cmp(&r.0));
+    below.sort_by_key(|l| std::cmp::Reverse(l.0));
+    above.sort_by_key(|l| l.0);
     // duplicates mean two parallel spine edges: malformed
-    if below.windows(2).any(|w| w[0].0 == w[1].0) || above.windows(2).any(|w| w[0].0 == w[1].0)
-    {
+    if below.windows(2).any(|w| w[0].0 == w[1].0) || above.windows(2).any(|w| w[0].0 == w[1].0) {
         return false;
     }
     // the virtual padding guarantees ℓ ≥ 0 and k ≥ 0: a smaller and a
@@ -202,12 +201,16 @@ mod tests {
 
     #[test]
     fn nested_chords_accept() {
-        assert!(run_all(8, &[(1, 8), (2, 7), (3, 6), (3, 5)]).iter().all(|&b| b));
+        assert!(run_all(8, &[(1, 8), (2, 7), (3, 6), (3, 5)])
+            .iter()
+            .all(|&b| b));
     }
 
     #[test]
     fn disjoint_chords_accept() {
-        assert!(run_all(9, &[(1, 4), (4, 7), (7, 9), (1, 9)]).iter().all(|&b| b));
+        assert!(run_all(9, &[(1, 4), (4, 7), (7, 9), (1, 9)])
+            .iter()
+            .all(|&b| b));
     }
 
     #[test]
@@ -233,19 +236,31 @@ mod tests {
         let chords = [(2i64, 5i64)];
         let mut views: Vec<SpineView> = (1..=n)
             .map(|x| {
-                let interval = if 2 < x && x < 5 { (2, 5) } else { default_interval(n) };
+                let interval = if 2 < x && x < 5 {
+                    (2, 5)
+                } else {
+                    default_interval(n)
+                };
                 let mut neighbors = Vec::new();
                 if x == 1 {
                     neighbors.push((0, virtual_interval(n)));
                 }
                 if x > 1 {
                     let p = x - 1;
-                    let iv = if 2 < p && p < 5 { (2, 5) } else { default_interval(n) };
+                    let iv = if 2 < p && p < 5 {
+                        (2, 5)
+                    } else {
+                        default_interval(n)
+                    };
                     neighbors.push((p, iv));
                 }
                 if x < n {
                     let p = x + 1;
-                    let iv = if 2 < p && p < 5 { (2, 5) } else { default_interval(n) };
+                    let iv = if 2 < p && p < 5 {
+                        (2, 5)
+                    } else {
+                        default_interval(n)
+                    };
                     neighbors.push((p, iv));
                 }
                 if x == n {
@@ -259,10 +274,18 @@ mod tests {
                         neighbors.push((a, default_interval(n)));
                     }
                 }
-                SpineView { x, n, interval, neighbors }
+                SpineView {
+                    x,
+                    n,
+                    interval,
+                    neighbors,
+                }
             })
             .collect();
-        assert!(views.iter().all(verify_spine_node_ref), "honest baseline accepts");
+        assert!(
+            views.iter().all(verify_spine_node_ref),
+            "honest baseline accepts"
+        );
         // now node 3 claims I(3) = [0, 7] although chord (2,5) covers it:
         views[2].interval = default_interval(n);
         // neighbor 4 sees node 3's (unchanged) interval, but node 3's own

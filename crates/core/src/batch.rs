@@ -1,0 +1,357 @@
+//! Parallel batch execution engine.
+//!
+//! Scaling experiments run one scheme over hundreds or thousands of
+//! graphs. [`BatchRunner`] executes such a batch across worker threads
+//! (std scoped threads with an atomic work queue — the environment
+//! vendors no external crates, so the pool is hand-rolled rather than
+//! rayon-backed) and folds the per-instance [`Outcome`]s into a
+//! [`BatchSummary`].
+//!
+//! Determinism is a hard guarantee: instance `i`'s result depends only
+//! on instance `i`, results are stored by index, and the summary is
+//! folded from the index-ordered results with integer accumulators —
+//! so a parallel run is byte-identical to a sequential fold no matter
+//! the thread count or scheduling. The `batch_determinism` integration
+//! test in `dpc-bench` holds the engine to this.
+
+use crate::harness::{run_pls, Outcome};
+use crate::scheme::{ProofLabelingScheme, ProveError};
+use dpc_graph::Graph;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Result of one batch instance: the scheme's outcome, or the prover's
+/// refusal (the expected result on no-instances).
+pub type InstanceResult = Result<Outcome, ProveError>;
+
+/// Order-independent aggregate statistics over a batch.
+///
+/// Every field is folded from integer per-instance values in index
+/// order; the derived averages divide those totals, so two runs over
+/// the same instances always agree exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSummary {
+    /// Number of instances in the batch.
+    pub instances: usize,
+    /// Instances where the prover produced an assignment.
+    pub proved: usize,
+    /// Instances where the prover declined (`ProveError`).
+    pub declined: usize,
+    /// Proved instances on which every node accepted.
+    pub accepted: usize,
+    /// Total rejecting nodes across all proved instances.
+    pub rejecting_nodes: u64,
+    /// Total nodes across all proved instances.
+    pub nodes: u64,
+    /// Largest certificate seen in any proved instance, in bits.
+    pub max_cert_bits: usize,
+    /// Total certificate bits across all proved instances.
+    pub total_cert_bits: u64,
+    /// Largest single message seen, in bits.
+    pub max_message_bits: usize,
+    /// Total message bits over all edges, rounds, and instances.
+    pub total_message_bits: u64,
+    /// Largest round count of any proved instance (1 for a PLS).
+    pub max_rounds: usize,
+}
+
+impl BatchSummary {
+    /// Folds the summary from index-ordered per-instance results.
+    pub fn from_results(results: &[InstanceResult]) -> Self {
+        let mut s = BatchSummary {
+            instances: results.len(),
+            proved: 0,
+            declined: 0,
+            accepted: 0,
+            rejecting_nodes: 0,
+            nodes: 0,
+            max_cert_bits: 0,
+            total_cert_bits: 0,
+            max_message_bits: 0,
+            total_message_bits: 0,
+            max_rounds: 0,
+        };
+        for r in results {
+            match r {
+                Ok(out) => {
+                    s.proved += 1;
+                    if out.all_accept() {
+                        s.accepted += 1;
+                    }
+                    s.rejecting_nodes += out.reject_count() as u64;
+                    s.nodes += out.verdicts.len() as u64;
+                    s.max_cert_bits = s.max_cert_bits.max(out.max_cert_bits);
+                    s.total_cert_bits += out.total_cert_bits as u64;
+                    s.max_message_bits = s.max_message_bits.max(out.max_message_bits);
+                    s.total_message_bits += out.total_message_bits;
+                    s.max_rounds = s.max_rounds.max(out.rounds);
+                }
+                Err(_) => s.declined += 1,
+            }
+        }
+        s
+    }
+
+    /// Fraction of proved instances on which every node accepted.
+    pub fn accept_rate(&self) -> f64 {
+        if self.proved == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.proved as f64
+        }
+    }
+
+    /// Average certificate size in bits over all nodes of all proved
+    /// instances.
+    pub fn avg_cert_bits(&self) -> f64 {
+        if self.nodes == 0 {
+            0.0
+        } else {
+            self.total_cert_bits as f64 / self.nodes as f64
+        }
+    }
+}
+
+impl fmt::Display for BatchSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} instances ({} proved, {} declined): accept rate {:.3}, \
+             cert bits max {} avg {:.1}, msg bits max {} total {}",
+            self.instances,
+            self.proved,
+            self.declined,
+            self.accept_rate(),
+            self.max_cert_bits,
+            self.avg_cert_bits(),
+            self.max_message_bits,
+            self.total_message_bits,
+        )
+    }
+}
+
+/// A finished batch: index-ordered per-instance results, the folded
+/// summary, and the wall-clock time of the run (the only field that
+/// varies between parallel and sequential execution).
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// `results[i]` is the outcome on the `i`-th input graph.
+    pub results: Vec<InstanceResult>,
+    /// Aggregate statistics (deterministic).
+    pub summary: BatchSummary,
+    /// Wall-clock duration of the batch.
+    pub wall: Duration,
+}
+
+/// Runs a proof-labeling scheme over a batch of graphs in parallel.
+#[derive(Debug, Clone)]
+pub struct BatchRunner {
+    threads: usize,
+}
+
+impl Default for BatchRunner {
+    fn default() -> Self {
+        BatchRunner::new()
+    }
+}
+
+impl BatchRunner {
+    /// Runner using every available core.
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        BatchRunner { threads }
+    }
+
+    /// Runner with an explicit worker count (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> Self {
+        BatchRunner {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `scheme` (honest prover + 1-round verifier) on every graph,
+    /// in parallel, returning index-ordered results.
+    pub fn run<S>(&self, scheme: &S, graphs: impl IntoIterator<Item = Graph>) -> BatchReport
+    where
+        S: ProofLabelingScheme + Sync,
+    {
+        let graphs: Vec<Graph> = graphs.into_iter().collect();
+        self.run_slice(scheme, &graphs)
+    }
+
+    /// Runs the batch over borrowed graphs.
+    pub fn run_slice<S>(&self, scheme: &S, graphs: &[Graph]) -> BatchReport
+    where
+        S: ProofLabelingScheme + Sync,
+    {
+        let start = Instant::now();
+        let results = self.map(graphs, |g| run_pls(scheme, g));
+        Self::report(results, start.elapsed())
+    }
+
+    /// Applies `f` to every item across the worker pool, returning the
+    /// outputs in input order (index-addressed, so the result is
+    /// independent of scheduling). This is the engine under
+    /// [`BatchRunner::run`]; it is public so non-PLS pipelines (witness
+    /// certification, instance construction) can batch through the same
+    /// pool.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let workers = self.threads.min(items.len()).max(1);
+        if workers <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut partials: Vec<Vec<(usize, R)>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
+                            }
+                            local.push((i, f(&items[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            partials = handles
+                .into_iter()
+                .map(|h| h.join().expect("batch worker panicked"))
+                .collect();
+        });
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+        slots.resize_with(items.len(), || None);
+        for (i, r) in partials.into_iter().flatten() {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index is claimed exactly once"))
+            .collect()
+    }
+
+    /// Sequential reference fold over the same inputs — the determinism
+    /// guard for [`BatchRunner::run`] and a baseline for speedup
+    /// measurements.
+    pub fn run_sequential<S>(scheme: &S, graphs: impl IntoIterator<Item = Graph>) -> BatchReport
+    where
+        S: ProofLabelingScheme,
+    {
+        let start = Instant::now();
+        let results: Vec<InstanceResult> =
+            graphs.into_iter().map(|g| run_pls(scheme, &g)).collect();
+        Self::report(results, start.elapsed())
+    }
+
+    fn report(results: Vec<InstanceResult>, wall: Duration) -> BatchReport {
+        let summary = BatchSummary::from_results(&results);
+        BatchReport {
+            results,
+            summary,
+            wall,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::planarity::PlanarityScheme;
+    use dpc_graph::generators;
+
+    fn mixed_batch() -> Vec<Graph> {
+        let mut graphs = Vec::new();
+        for seed in 0..30u64 {
+            graphs.push(generators::stacked_triangulation(40 + seed as u32, seed));
+            graphs.push(generators::random_planar(30, 0.5, seed));
+            // every third instance is non-planar: prover declines
+            if seed % 3 == 0 {
+                graphs.push(generators::planted_kuratowski(25, seed % 2 == 0, 1, seed));
+            }
+        }
+        graphs
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let graphs = mixed_batch();
+        let scheme = PlanarityScheme::new();
+        let seq = BatchRunner::run_sequential(&scheme, graphs.clone());
+        for threads in [2, 3, 8] {
+            let par = BatchRunner::with_threads(threads).run(&scheme, graphs.clone());
+            assert_eq!(par.results, seq.results, "threads = {threads}");
+            assert_eq!(par.summary, seq.summary, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn summary_counts_declines_and_accepts() {
+        let graphs = vec![
+            generators::grid(5, 5),
+            generators::complete(5), // non-planar: declined
+            generators::cycle(12),
+        ];
+        let report = BatchRunner::with_threads(2).run(&PlanarityScheme::new(), graphs);
+        assert_eq!(report.summary.instances, 3);
+        assert_eq!(report.summary.proved, 2);
+        assert_eq!(report.summary.declined, 1);
+        assert_eq!(report.summary.accepted, 2);
+        assert_eq!(report.summary.max_rounds, 1);
+        assert!(report.summary.max_cert_bits > 0);
+        assert!((report.summary.accept_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_totals_are_integer_folds() {
+        let graphs = vec![generators::grid(4, 4), generators::grid(6, 6)];
+        let report = BatchRunner::with_threads(4).run(&PlanarityScheme::new(), graphs.clone());
+        let mut cert_total = 0u64;
+        let mut msg_total = 0u64;
+        for r in &report.results {
+            let out = r.as_ref().unwrap();
+            cert_total += out.total_cert_bits as u64;
+            msg_total += out.total_message_bits;
+        }
+        assert_eq!(report.summary.total_cert_bits, cert_total);
+        assert_eq!(report.summary.total_message_bits, msg_total);
+        assert_eq!(report.summary.nodes, (16 + 36) as u64);
+    }
+
+    #[test]
+    fn map_preserves_input_order() {
+        let runner = BatchRunner::with_threads(7);
+        let items: Vec<u64> = (0..500).collect();
+        let out = runner.map(&items, |&x| x * x);
+        assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+        // non-Clone results work too
+        let strings = runner.map(&items, |&x| format!("#{x}"));
+        assert_eq!(strings[499], "#499");
+    }
+
+    #[test]
+    fn empty_batch() {
+        let report = BatchRunner::new().run(&PlanarityScheme::new(), Vec::new());
+        assert_eq!(report.summary.instances, 0);
+        assert_eq!(report.summary.accept_rate(), 0.0);
+        assert_eq!(report.summary.avg_cert_bits(), 0.0);
+    }
+}

@@ -11,7 +11,7 @@
 
 use crate::schemes::tree_base::TreeCert;
 use dpc_graph::Graph;
-use dpc_runtime::bits::{BitReader, BitWriter};
+use dpc_runtime::bits::BitWriter;
 use dpc_runtime::{run_protocol_states, NodeCtx, Payload, Protocol, Step};
 
 /// Per-node state of the pre-processing protocol; converges to the
@@ -72,7 +72,7 @@ fn encode(m: &Msg) -> Payload {
 }
 
 fn decode(p: &Payload) -> Option<Msg> {
-    let mut r = BitReader::new(&p.bytes, p.bit_len);
+    let mut r = p.reader();
     Some(Msg {
         root_id: r.read_varint().ok()?,
         dist: r.read_varint().ok()?,
@@ -136,7 +136,7 @@ impl Protocol for TreeBuildProtocol {
             for (p, m) in msgs.iter().enumerate() {
                 if m.root_id == best {
                     let key = (m.dist, ctx.neighbor_ids[p]);
-                    if cand.map_or(true, |c| key < c) {
+                    if cand.is_none_or(|c| key < c) {
                         cand = Some(key);
                     }
                 }
@@ -187,7 +187,10 @@ impl Protocol for TreeBuildProtocol {
 /// Panics if the graph is not connected (the protocol would compute
 /// per-component trees that never agree on `n`).
 pub fn distributed_tree_certs(g: &Graph) -> (Vec<TreeCert>, usize) {
-    assert!(g.is_connected(), "pre-processing assumes a connected network");
+    assert!(
+        g.is_connected(),
+        "pre-processing assumes a connected network"
+    );
     let rounds = 3 * g.node_count() + 5;
     let proto = TreeBuildProtocol { rounds };
     let (report, states) = run_protocol_states(&proto, g, rounds + 1);
@@ -254,8 +257,7 @@ mod tests {
         let tree = dpc_graph::traversal::bfs_spanning_tree(&g, root);
         for v in g.nodes() {
             assert_eq!(
-                certs[v as usize].dist,
-                tree.dist[v as usize] as u64,
+                certs[v as usize].dist, tree.dist[v as usize] as u64,
                 "node {v}"
             );
         }

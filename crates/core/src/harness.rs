@@ -11,7 +11,7 @@ use dpc_graph::Graph;
 use dpc_runtime::{run_protocol, NodeCtx, Payload, Protocol, Step};
 
 /// Outcome of running a scheme on a graph.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Outcome {
     /// Per-node verdicts.
     pub verdicts: Vec<bool>,
@@ -19,8 +19,13 @@ pub struct Outcome {
     pub rounds: usize,
     /// Largest message (= certificate) in bits.
     pub max_message_bits: usize,
+    /// Total bits sent over all edges and rounds (CONGEST accounting,
+    /// straight from the simulator).
+    pub total_message_bits: u64,
     /// Largest certificate in bits (same as the message for a PLS).
     pub max_cert_bits: usize,
+    /// Total bits across all certificates.
+    pub total_cert_bits: usize,
     /// Average certificate size in bits.
     pub avg_cert_bits: f64,
 }
@@ -93,15 +98,32 @@ pub fn run_with_assignment<S: ProofLabelingScheme>(
     assert_eq!(assignment.certs.len(), g.node_count());
     let proto = PlsProtocol { scheme, assignment };
     let report = run_protocol(&proto, g, 1);
+    outcome_from(report, assignment)
+}
+
+/// Like [`run_with_assignment`], but through the deep-copy reference
+/// executor ([`dpc_runtime::baseline`]): one byte copy per certificate
+/// per incident edge. Exists so benches can measure what the zero-copy
+/// delivery path saves; results are identical.
+pub fn run_with_assignment_deepcopy<S: ProofLabelingScheme>(
+    scheme: &S,
+    g: &Graph,
+    assignment: &Assignment,
+) -> Outcome {
+    assert_eq!(assignment.certs.len(), g.node_count());
+    let proto = PlsProtocol { scheme, assignment };
+    let report = dpc_runtime::baseline::run_protocol_deepcopy(&proto, g, 1);
+    outcome_from(report, assignment)
+}
+
+fn outcome_from(report: dpc_runtime::RunReport, assignment: &Assignment) -> Outcome {
     Outcome {
-        verdicts: report
-            .verdicts
-            .iter()
-            .map(|v| v.unwrap_or(false))
-            .collect(),
+        verdicts: report.verdicts.iter().map(|v| v.unwrap_or(false)).collect(),
         rounds: report.rounds,
         max_message_bits: report.max_message_bits,
+        total_message_bits: report.total_message_bits,
         max_cert_bits: assignment.max_bits(),
+        total_cert_bits: assignment.total_bits(),
         avg_cert_bits: assignment.avg_bits(),
     }
 }
@@ -134,7 +156,7 @@ mod tests {
         }
 
         fn verify(&self, ctx: &NodeCtx, own: &Payload, neighbors: &[Payload]) -> bool {
-            let mut r = dpc_runtime::BitReader::new(&own.bytes, own.bit_len);
+            let mut r = own.reader();
             match r.read_varint() {
                 Ok(d) => d as usize == ctx.degree() && neighbors.len() == ctx.degree(),
                 Err(_) => false,
@@ -150,6 +172,15 @@ mod tests {
         assert_eq!(out.rounds, 1);
         assert!(out.max_cert_bits >= 8);
         assert_eq!(out.max_cert_bits, out.max_message_bits);
+    }
+
+    #[test]
+    fn deepcopy_harness_agrees_with_zero_copy() {
+        let g = generators::grid(4, 5);
+        let a = DegreeScheme.prove(&g).unwrap();
+        let fast = run_with_assignment(&DegreeScheme, &g, &a);
+        let slow = run_with_assignment_deepcopy(&DegreeScheme, &g, &a);
+        assert_eq!(fast, slow);
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   assignments, prover errors;
 //! * [`harness`] — run a scheme on a graph through the CONGEST simulator
 //!   ([`harness::run_pls`]), including with adversarial assignments;
+//! * [`batch`] — the parallel batch execution engine
+//!   ([`batch::BatchRunner`]): one scheme over many graphs across worker
+//!   threads, with deterministic aggregate statistics;
 //! * [`adversary`] — certificate-forgery strategies for soundness tests;
 //! * [`alg1`] — the paper's Algorithm 1 (path-outerplanarity check at one
 //!   spine node), shared by two schemes;
@@ -27,8 +30,9 @@
 //!   [`schemes::universal::UniversalScheme`] (O(m log n) baseline).
 
 pub mod adversary;
-pub mod distributed;
 pub mod alg1;
+pub mod batch;
+pub mod distributed;
 pub mod harness;
 pub mod scheme;
 pub mod schemes;

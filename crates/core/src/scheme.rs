@@ -101,6 +101,9 @@ mod tests {
     fn prove_error_display() {
         let e = ProveError::NotInClass("planar graphs");
         assert!(e.to_string().contains("planar"));
-        assert_eq!(ProveError::NotConnected.to_string(), "the network must be connected");
+        assert_eq!(
+            ProveError::NotConnected.to_string(),
+            "the network must be connected"
+        );
     }
 }

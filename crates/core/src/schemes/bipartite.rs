@@ -7,7 +7,7 @@
 
 use crate::scheme::{Assignment, ProofLabelingScheme, ProveError};
 use dpc_graph::{Graph, NodeId};
-use dpc_runtime::bits::{BitReader, BitWriter};
+use dpc_runtime::bits::BitWriter;
 use dpc_runtime::{NodeCtx, Payload};
 
 /// PLS for the class of bipartite graphs; certificates are 1 bit.
@@ -58,7 +58,7 @@ impl ProofLabelingScheme for BipartiteScheme {
 
     fn verify(&self, _ctx: &NodeCtx, own: &Payload, neighbors: &[Payload]) -> bool {
         let read = |p: &Payload| -> Option<bool> {
-            let mut r = BitReader::new(&p.bytes, p.bit_len);
+            let mut r = p.reader();
             let b = r.read_bool().ok()?;
             (r.remaining() == 0).then_some(b)
         };
@@ -123,7 +123,7 @@ mod tests {
         let g = generators::grid(4, 4);
         let mut a = BipartiteScheme.prove(&g).unwrap();
         let mut w = BitWriter::new();
-        let mut r = BitReader::new(&a.certs[5].bytes, a.certs[5].bit_len);
+        let mut r = a.certs[5].reader();
         w.write_bool(!r.read_bool().unwrap());
         a.certs[5] = Payload::from_writer(w);
         let out = run_with_assignment(&BipartiteScheme, &g, &a);

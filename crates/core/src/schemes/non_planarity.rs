@@ -110,7 +110,7 @@ impl NpCert {
     }
 
     fn decode(p: &Payload) -> Option<NpCert> {
-        let mut r = BitReader::new(&p.bytes, p.bit_len);
+        let mut r = p.reader();
         let tree = TreeCert::decode(&mut r).ok()?;
         let is_k5 = r.read_bool().ok()?;
         let nb = if is_k5 { 5 } else { 6 };
@@ -359,7 +359,10 @@ fn verify_impl(ctx: &NodeCtx, own: &Payload, neighbors: &[Payload]) -> Option<()
                 if e.nbr_is_far {
                     // direct edge to the far branch node
                     match &nbs[p].role {
-                        Role::Branch { label: fl, ends: fe } => {
+                        Role::Branch {
+                            label: fl,
+                            ends: fe,
+                        } => {
                             if *fl != far_label {
                                 return None;
                             }
@@ -502,7 +505,9 @@ mod tests {
     #[test]
     fn prover_declines_planar() {
         assert_eq!(
-            NonPlanarityScheme.prove(&generators::grid(4, 4)).unwrap_err(),
+            NonPlanarityScheme
+                .prove(&generators::grid(4, 4))
+                .unwrap_err(),
             ProveError::NotInClass("non-planar graphs")
         );
     }

@@ -38,9 +38,22 @@ impl PathCert {
     fn decode(r: &mut BitReader<'_>) -> Result<Self, DecodeError> {
         let n = r.read_varint()?;
         let rank = r.read_varint()?;
-        let pred_id = if r.read_bool()? { Some(r.read_varint()?) } else { None };
-        let succ_id = if r.read_bool()? { Some(r.read_varint()?) } else { None };
-        Ok(PathCert { n, rank, pred_id, succ_id })
+        let pred_id = if r.read_bool()? {
+            Some(r.read_varint()?)
+        } else {
+            None
+        };
+        let succ_id = if r.read_bool()? {
+            Some(r.read_varint()?)
+        } else {
+            None
+        };
+        Ok(PathCert {
+            n,
+            rank,
+            pred_id,
+            succ_id,
+        })
     }
 }
 
@@ -73,7 +86,10 @@ impl ProofLabelingScheme for PathScheme {
         let order: Vec<NodeId> = if n == 1 {
             vec![0]
         } else {
-            let start = g.nodes().find(|&v| g.degree(v) == 1).expect("path endpoint");
+            let start = g
+                .nodes()
+                .find(|&v| g.degree(v) == 1)
+                .expect("path endpoint");
             let mut order = vec![start];
             let mut prev = None;
             let mut cur = start;
@@ -105,7 +121,7 @@ impl ProofLabelingScheme for PathScheme {
 
     fn verify(&self, ctx: &NodeCtx, own: &Payload, neighbors: &[Payload]) -> bool {
         let parse = |p: &Payload| -> Option<PathCert> {
-            let mut r = BitReader::new(&p.bytes, p.bit_len);
+            let mut r = p.reader();
             PathCert::decode(&mut r).ok()
         };
         let Some(own) = parse(own) else { return false };
@@ -205,7 +221,7 @@ mod tests {
         let mut forged = honest.clone();
         // bump n in every certificate by re-encoding
         for (v, c) in forged.certs.iter_mut().enumerate() {
-            let mut r = BitReader::new(&c.bytes, c.bit_len);
+            let mut r = c.reader();
             let mut pc = PathCert::decode(&mut r).unwrap();
             pc.n = 6;
             let _ = v;
@@ -214,6 +230,9 @@ mod tests {
             *c = Payload::from_writer(w);
         }
         let out = run_with_assignment(&PathScheme, &g, &forged);
-        assert!(!out.all_accept(), "rank-5 node claims n=6 but has no successor");
+        assert!(
+            !out.all_accept(),
+            "rank-5 node claims n=6 but has no successor"
+        );
     }
 }

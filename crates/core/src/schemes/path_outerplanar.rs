@@ -55,8 +55,16 @@ impl PoCert {
             n: r.read_varint()?,
             rank: r.read_varint()?,
             root_id: r.read_varint()?,
-            pred_id: if r.read_bool()? { Some(r.read_varint()?) } else { None },
-            succ_id: if r.read_bool()? { Some(r.read_varint()?) } else { None },
+            pred_id: if r.read_bool()? {
+                Some(r.read_varint()?)
+            } else {
+                None
+            },
+            succ_id: if r.read_bool()? {
+                Some(r.read_varint()?)
+            } else {
+                None
+            },
             interval: (r.read_varint()?, r.read_varint()?),
         })
     }
@@ -104,7 +112,7 @@ impl ProofLabelingScheme for PathOuterplanarScheme {
         for (i, &v) in order.iter().enumerate() {
             rank[v as usize] = (i + 1) as u32;
         }
-        if rank.iter().any(|&r| r == 0) {
+        if rank.contains(&0) {
             return Err(ProveError::MissingWitness("witness must be a permutation"));
         }
         // the witness must be a Hamiltonian path
@@ -159,7 +167,7 @@ impl ProofLabelingScheme for PathOuterplanarScheme {
 
     fn verify(&self, ctx: &NodeCtx, own: &Payload, neighbors: &[Payload]) -> bool {
         let parse = |p: &Payload| -> Option<PoCert> {
-            let mut r = BitReader::new(&p.bytes, p.bit_len);
+            let mut r = p.reader();
             let c = PoCert::decode(&mut r).ok()?;
             (r.remaining() == 0).then_some(c)
         };
@@ -251,7 +259,9 @@ mod tests {
     #[test]
     fn bare_path_accepts() {
         let g = generators::path(12);
-        assert!(run_pls(&PathOuterplanarScheme::new(), &g).unwrap().all_accept());
+        assert!(run_pls(&PathOuterplanarScheme::new(), &g)
+            .unwrap()
+            .all_accept());
     }
 
     #[test]

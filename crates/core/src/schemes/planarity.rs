@@ -108,7 +108,7 @@ impl PlanCert {
     }
 
     fn decode(p: &Payload) -> Option<PlanCert> {
-        let mut r = BitReader::new(&p.bytes, p.bit_len);
+        let mut r = p.reader();
         let tree = TreeCert::decode(&mut r).ok()?;
         let fmin = r.read_varint().ok()?;
         let fmax = r.read_varint().ok()?;
@@ -135,7 +135,12 @@ impl PlanCert {
             };
             edges.push(EdgeCert { id_a, id_b, kind });
         }
-        (r.remaining() == 0).then_some(PlanCert { tree, fmin, fmax, edges })
+        (r.remaining() == 0).then_some(PlanCert {
+            tree,
+            fmin,
+            fmax,
+            edges,
+        })
     }
 }
 
@@ -192,7 +197,9 @@ impl ProofLabelingScheme for PlanarityScheme {
                 fmax: 1,
                 edges: Vec::new(),
             };
-            return Ok(Assignment { certs: vec![cert.encode()] });
+            return Ok(Assignment {
+                certs: vec![cert.encode()],
+            });
         }
         let rot = dpc_planar::lr::planarity(g)
             .into_embedding()
@@ -329,8 +336,7 @@ fn verify_impl(ctx: &NodeCtx, own: &Payload, neighbors: &[Payload]) -> Option<()
             }
         }
         let e = found?;
-        let should_be_tree =
-            info.parent_port == Some(p) || info.children_ports.contains(&p);
+        let should_be_tree = info.parent_port == Some(p) || info.children_ports.contains(&p);
         if matches!(e.kind, EdgeKind::Tree(_)) != should_be_tree {
             return None;
         }
@@ -484,7 +490,10 @@ mod tests {
         let mut forged = honest;
         forged.certs[v] = cert.encode();
         let out = run_with_assignment(&scheme, g, &forged);
-        assert!(!out.all_accept(), "mutation `{name}` at node {v} went unnoticed");
+        assert!(
+            !out.all_accept(),
+            "mutation `{name}` at node {v} went unnoticed"
+        );
     }
 
     /// Every targeted certificate mutation must trip a distinct check of
@@ -638,10 +647,8 @@ mod tests {
     #[test]
     fn accepts_random_planar_with_shuffled_ids() {
         for seed in 0..8u64 {
-            let g = generators::shuffle_ids(
-                &generators::random_planar(70, 0.5, seed),
-                seed ^ 0xabcd,
-            );
+            let g =
+                generators::shuffle_ids(&generators::random_planar(70, 0.5, seed), seed ^ 0xabcd);
             let out = run_pls(&PlanarityScheme::new(), &g).unwrap();
             assert!(out.all_accept(), "seed {seed}");
         }
@@ -650,7 +657,9 @@ mod tests {
     #[test]
     fn prover_declines_nonplanar() {
         assert_eq!(
-            PlanarityScheme::new().prove(&generators::complete(5)).unwrap_err(),
+            PlanarityScheme::new()
+                .prove(&generators::complete(5))
+                .unwrap_err(),
             ProveError::NotInClass("planar graphs")
         );
         assert!(PlanarityScheme::new()
@@ -669,8 +678,12 @@ mod tests {
         let a1 = PlanarityScheme::new().prove(&g1).unwrap();
         let a2 = PlanarityScheme::new().prove(&g2).unwrap();
         // 64x more nodes must cost far less than 64x certificate bits
-        assert!(a2.max_bits() < 3 * a1.max_bits(),
-            "max bits {} vs {}", a1.max_bits(), a2.max_bits());
+        assert!(
+            a2.max_bits() < 3 * a1.max_bits(),
+            "max bits {} vs {}",
+            a1.max_bits(),
+            a2.max_bits()
+        );
         assert!(a2.max_bits() < 2500);
     }
 

@@ -10,7 +10,7 @@
 use crate::scheme::{Assignment, ProofLabelingScheme, ProveError};
 use crate::schemes::tree_base::{build_tree_certs, check_tree, TreeCert};
 use dpc_graph::Graph;
-use dpc_runtime::bits::{BitReader, BitWriter};
+use dpc_runtime::bits::BitWriter;
 use dpc_runtime::{NodeCtx, Payload};
 
 /// Scheme wrapping the [`tree_base`](crate::schemes::tree_base)
@@ -48,7 +48,7 @@ impl ProofLabelingScheme for SpanningTreeScheme {
 
     fn verify(&self, ctx: &NodeCtx, own: &Payload, neighbors: &[Payload]) -> bool {
         let parse = |p: &Payload| -> Option<TreeCert> {
-            let mut r = BitReader::new(&p.bytes, p.bit_len);
+            let mut r = p.reader();
             TreeCert::decode(&mut r).ok()
         };
         let Some(own) = parse(own) else { return false };
@@ -103,6 +103,10 @@ mod tests {
         let g = generators::cycle(8);
         let a = Assignment::empty(8);
         let out = run_with_assignment(&SpanningTreeScheme, &g, &a);
-        assert_eq!(out.reject_count(), 8, "unparseable certificates reject everywhere");
+        assert_eq!(
+            out.reject_count(),
+            8,
+            "unparseable certificates reject everywhere"
+        );
     }
 }

@@ -171,11 +171,16 @@ mod tests {
             let tree = bfs_spanning_tree(&g, 0);
             let certs = build_tree_certs(&g, &tree);
             for v in g.nodes() {
-                let info = check_tree(&ctx_for(&g, v), &certs[v as usize], &neighbor_certs(&g, &certs, v));
+                let info = check_tree(
+                    &ctx_for(&g, v),
+                    &certs[v as usize],
+                    &neighbor_certs(&g, &certs, v),
+                );
                 assert!(info.is_some(), "node {v} must accept");
             }
             // root has no parent; children counts sum to n
-            let info = check_tree(&ctx_for(&g, 0), &certs[0], &neighbor_certs(&g, &certs, 0)).unwrap();
+            let info =
+                check_tree(&ctx_for(&g, 0), &certs[0], &neighbor_certs(&g, &certs, 0)).unwrap();
             assert_eq!(info.parent_port, None);
         }
     }
@@ -189,7 +194,12 @@ mod tests {
             c.n = 100; // global lie: the subtree sum at the root breaks
         }
         let rejected = g.nodes().any(|v| {
-            check_tree(&ctx_for(&g, v), &certs[v as usize], &neighbor_certs(&g, &certs, v)).is_none()
+            check_tree(
+                &ctx_for(&g, v),
+                &certs[v as usize],
+                &neighbor_certs(&g, &certs, v),
+            )
+            .is_none()
         });
         assert!(rejected);
     }
@@ -204,7 +214,12 @@ mod tests {
         certs[5].parent_id = g.id_of(5);
         certs[5].root_id = g.id_of(5);
         let rejected = g.nodes().any(|v| {
-            check_tree(&ctx_for(&g, v), &certs[v as usize], &neighbor_certs(&g, &certs, v)).is_none()
+            check_tree(
+                &ctx_for(&g, v),
+                &certs[v as usize],
+                &neighbor_certs(&g, &certs, v),
+            )
+            .is_none()
         });
         assert!(rejected, "root-id disagreement must surface");
     }
@@ -216,7 +231,12 @@ mod tests {
         let mut certs = build_tree_certs(&g, &tree);
         certs[7].subtree += 1;
         let rejected = g.nodes().any(|v| {
-            check_tree(&ctx_for(&g, v), &certs[v as usize], &neighbor_certs(&g, &certs, v)).is_none()
+            check_tree(
+                &ctx_for(&g, v),
+                &certs[v as usize],
+                &neighbor_certs(&g, &certs, v),
+            )
+            .is_none()
         });
         assert!(rejected);
     }
@@ -228,7 +248,12 @@ mod tests {
         let mut certs = build_tree_certs(&g, &tree);
         certs[3].dist += 1; // distance no longer decrements toward parent
         let rejected = g.nodes().any(|v| {
-            check_tree(&ctx_for(&g, v), &certs[v as usize], &neighbor_certs(&g, &certs, v)).is_none()
+            check_tree(
+                &ctx_for(&g, v),
+                &certs[v as usize],
+                &neighbor_certs(&g, &certs, v),
+            )
+            .is_none()
         });
         assert!(rejected);
     }

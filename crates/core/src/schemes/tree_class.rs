@@ -8,7 +8,7 @@
 use crate::scheme::{Assignment, ProofLabelingScheme, ProveError};
 use crate::schemes::tree_base::{build_tree_certs, check_tree, TreeCert};
 use dpc_graph::Graph;
-use dpc_runtime::bits::{BitReader, BitWriter};
+use dpc_runtime::bits::BitWriter;
 use dpc_runtime::{NodeCtx, Payload};
 
 /// PLS for the class of trees.
@@ -48,7 +48,7 @@ impl ProofLabelingScheme for TreeScheme {
 
     fn verify(&self, ctx: &NodeCtx, own: &Payload, neighbors: &[Payload]) -> bool {
         let parse = |p: &Payload| -> Option<TreeCert> {
-            let mut r = BitReader::new(&p.bytes, p.bit_len);
+            let mut r = p.reader();
             let c = TreeCert::decode(&mut r).ok()?;
             (r.remaining() == 0).then_some(c)
         };
@@ -59,8 +59,7 @@ impl ProofLabelingScheme for TreeScheme {
             return false;
         };
         // tree class: EVERY incident edge must be a tree edge
-        let tree_edges =
-            info.children_ports.len() + usize::from(info.parent_port.is_some());
+        let tree_edges = info.children_ports.len() + usize::from(info.parent_port.is_some());
         tree_edges == ctx.degree()
     }
 }

@@ -14,7 +14,7 @@
 
 use crate::scheme::{Assignment, ProofLabelingScheme, ProveError};
 use dpc_graph::{Graph, GraphBuilder};
-use dpc_runtime::bits::{BitReader, BitWriter};
+use dpc_runtime::bits::BitWriter;
 use dpc_runtime::{NodeCtx, Payload};
 
 /// Universal PLS instantiated for the class of planar graphs.
@@ -57,7 +57,7 @@ fn encode_graph(g: &Graph) -> Payload {
 }
 
 fn decode_graph(p: &Payload) -> Option<(Vec<u64>, Graph)> {
-    let mut r = BitReader::new(&p.bytes, p.bit_len);
+    let mut r = p.reader();
     let n = r.read_varint().ok()?;
     let m = r.read_varint().ok()?;
     if n > 1_000_000 || m > 10_000_000 {
@@ -121,10 +121,7 @@ impl ProofLabelingScheme for UniversalScheme {
         let Ok(me) = ids.binary_search(&ctx.id) else {
             return false;
         };
-        let mut claimed: Vec<u64> = h
-            .neighbors(me as u32)
-            .map(|w| ids[w as usize])
-            .collect();
+        let mut claimed: Vec<u64> = h.neighbors(me as u32).map(|w| ids[w as usize]).collect();
         claimed.sort_unstable();
         let mut actual = ctx.neighbor_ids.clone();
         actual.sort_unstable();
@@ -161,8 +158,12 @@ mod tests {
 
     #[test]
     fn certificate_is_linear_size() {
-        let small = UniversalScheme.prove(&generators::stacked_triangulation(50, 3)).unwrap();
-        let large = UniversalScheme.prove(&generators::stacked_triangulation(500, 3)).unwrap();
+        let small = UniversalScheme
+            .prove(&generators::stacked_triangulation(50, 3))
+            .unwrap();
+        let large = UniversalScheme
+            .prove(&generators::stacked_triangulation(500, 3))
+            .unwrap();
         // ~10x nodes => ~10x bits (linear, unlike the paper's scheme)
         assert!(large.max_bits() > 5 * small.max_bits());
     }

@@ -143,7 +143,11 @@ mod tests {
         for seed in 0..5u64 {
             let g = generators::stacked_triangulation(200, seed);
             let d = degeneracy_order(&g);
-            assert!(d.degeneracy <= 5, "planar must be 5-degenerate, got {}", d.degeneracy);
+            assert!(
+                d.degeneracy <= 5,
+                "planar must be 5-degenerate, got {}",
+                d.degeneracy
+            );
             let owner = assign_edges_by_degeneracy(&g, &d);
             assert!(max_edges_per_node(&g, &owner) <= 5);
         }

@@ -280,7 +280,10 @@ impl Graph {
 
     /// Maximum degree.
     pub fn max_degree(&self) -> usize {
-        (0..self.n as usize).map(|v| self.adj[v].len()).max().unwrap_or(0)
+        (0..self.n as usize)
+            .map(|v| self.adj[v].len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// True if `{u, v}` is an edge.

@@ -111,10 +111,8 @@ pub fn decode(s: &str) -> Result<Graph, Graph6Error> {
             if bit == 1 {
                 b.add_edge(u, v).expect("upper triangle has no duplicates");
             }
-            if idx >= need {
-                if u + 1 == v && v as usize + 1 == n {
-                    break 'outer;
-                }
+            if idx >= need && u + 1 == v && v as usize + 1 == n {
+                break 'outer;
             }
         }
     }
@@ -180,7 +178,10 @@ mod tests {
     fn errors_reported() {
         assert!(matches!(decode(""), Err(Graph6Error::BadHeader)));
         assert!(matches!(decode("D"), Err(Graph6Error::Truncated)));
-        assert!(matches!(decode("B\u{7f}"), Err(Graph6Error::BadCharacter(_))));
+        assert!(matches!(
+            decode("B\u{7f}"),
+            Err(Graph6Error::BadCharacter(_))
+        ));
     }
 
     #[test]

@@ -28,11 +28,12 @@ use std::collections::VecDeque;
 pub fn has_k4_minor(g: &Graph) -> bool {
     let n = g.node_count();
     // neighbor sets as sorted vecs are awkward to mutate; use hash sets
-    let mut adj: Vec<std::collections::HashSet<NodeId>> = (0..n)
-        .map(|v| g.neighbors(v as NodeId).collect())
-        .collect();
+    let mut adj: Vec<std::collections::HashSet<NodeId>> =
+        (0..n).map(|v| g.neighbors(v as NodeId).collect()).collect();
     let mut alive = vec![true; n];
-    let mut queue: VecDeque<NodeId> = (0..n as u32).filter(|&v| adj[v as usize].len() <= 2).collect();
+    let mut queue: VecDeque<NodeId> = (0..n as u32)
+        .filter(|&v| adj[v as usize].len() <= 2)
+        .collect();
     let mut alive_count = n;
     while let Some(v) = queue.pop_front() {
         let vu = v as usize;
@@ -191,11 +192,9 @@ impl<'a> MinorSearch<'a> {
     /// True iff every required pair of completed parts touches.
     fn pairs_satisfied(&self, required: &[(usize, usize)]) -> bool {
         required.iter().all(|&(i, j)| {
-            self.parts[i].iter().any(|&v| {
-                self.g
-                    .neighbors(v)
-                    .any(|w| self.assign[w as usize] == j)
-            })
+            self.parts[i]
+                .iter()
+                .any(|&v| self.g.neighbors(v).any(|w| self.assign[w as usize] == j))
         })
     }
 
@@ -310,9 +309,7 @@ pub fn contains_clique_minor_small(g: &Graph, k: usize, budget: u64) -> SearchRe
     let required = clique_pairs(k);
     let mut s = MinorSearch::new(g, k, budget);
     let r = s.build(0, 0, k, &required);
-    debug_assert!(
-        r != SearchResult::Found || verify_minor_witness(g, &s.parts, &required)
-    );
+    debug_assert!(r != SearchResult::Found || verify_minor_witness(g, &s.parts, &required));
     r
 }
 
@@ -325,8 +322,8 @@ pub fn contains_bipartite_minor_small(g: &Graph, p: usize, q: usize, budget: u64
     let mut s = MinorSearch::new(g, p + q, budget);
     // symmetry only within each side, so seeds increase within 0..p and
     // p..p+q separately; approximate by restarting the min at part p
-    let r = s.build(0, 0, p, &required);
-    r
+
+    s.build(0, 0, p, &required)
 }
 
 /// The two Kuratowski graphs.
@@ -407,9 +404,11 @@ pub fn kuratowski_kind(g: &Graph) -> Option<KuratowskiKind> {
     if n == 6 && m == 9 && (0..6).all(|v| s.degree(v as NodeId) == 3) {
         // check bipartite completeness: neighbors of node 0 form one side
         let side: Vec<NodeId> = s.neighbors(0).collect();
-        let other: Vec<NodeId> = (0..6u32).filter(|v| !side.contains(v) ).collect();
+        let other: Vec<NodeId> = (0..6u32).filter(|v| !side.contains(v)).collect();
         if other.len() == 3
-            && other.iter().all(|&u| side.iter().all(|&w| s.has_edge(u, w)))
+            && other
+                .iter()
+                .all(|&u| side.iter().all(|&w| s.has_edge(u, w)))
         {
             return Some(KuratowskiKind::K33);
         }
@@ -427,11 +426,16 @@ mod tests {
         assert!(!has_k4_minor(&generators::random_tree(60, 1)));
         assert!(!has_k4_minor(&generators::cycle(20)));
         assert!(!has_k4_minor(&generators::random_series_parallel(60, 2)));
-        assert!(!has_k4_minor(&generators::random_maximal_outerplanar(30, 3)));
+        assert!(!has_k4_minor(&generators::random_maximal_outerplanar(
+            30, 3
+        )));
         assert!(has_k4_minor(&generators::complete(4)));
         assert!(has_k4_minor(&generators::wheel(7)));
         assert!(has_k4_minor(&generators::grid(3, 3)));
-        assert!(has_k4_minor(&generators::subdivision_of(&generators::complete(4), 3)));
+        assert!(has_k4_minor(&generators::subdivision_of(
+            &generators::complete(4),
+            3
+        )));
     }
 
     #[test]
@@ -463,7 +467,10 @@ mod tests {
     #[test]
     fn small_search_finds_k5_in_k5() {
         let g = generators::complete(5);
-        assert_eq!(contains_clique_minor_small(&g, 5, 1_000_000), SearchResult::Found);
+        assert_eq!(
+            contains_clique_minor_small(&g, 5, 1_000_000),
+            SearchResult::Found
+        );
     }
 
     #[test]
@@ -478,7 +485,10 @@ mod tests {
     #[test]
     fn small_search_rejects_k4_in_cycle() {
         let g = generators::cycle(8);
-        assert_eq!(contains_clique_minor_small(&g, 4, 50_000_000), SearchResult::Absent);
+        assert_eq!(
+            contains_clique_minor_small(&g, 4, 50_000_000),
+            SearchResult::Absent
+        );
     }
 
     #[test]
@@ -497,7 +507,10 @@ mod tests {
 
     #[test]
     fn kuratowski_recognition() {
-        assert_eq!(kuratowski_kind(&generators::complete(5)), Some(KuratowskiKind::K5));
+        assert_eq!(
+            kuratowski_kind(&generators::complete(5)),
+            Some(KuratowskiKind::K5)
+        );
         assert_eq!(
             kuratowski_kind(&generators::k5_subdivision(4)),
             Some(KuratowskiKind::K5)

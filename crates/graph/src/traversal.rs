@@ -75,7 +75,7 @@ impl SpanningTree {
 
     /// True if edge id `e` is a tree edge.
     pub fn is_tree_edge(&self, e: EdgeId) -> bool {
-        self.parent_edge.iter().any(|&pe| pe == Some(e))
+        self.parent_edge.contains(&Some(e))
     }
 
     /// Set of tree-edge ids, as a boolean mask indexed by [`EdgeId`].
@@ -257,6 +257,9 @@ mod tests {
         let g = generators::random_tree(40, 7);
         let t = dfs_spanning_tree(&g, 0);
         let mask = t.tree_edge_mask(&g);
-        assert!(mask.iter().all(|&b| b), "every edge of a tree is a tree edge");
+        assert!(
+            mask.iter().all(|&b| b),
+            "every edge of a tree is a tree edge"
+        );
     }
 }

@@ -1,6 +1,6 @@
 //! Property-based tests for the graph substrate.
 
-use dpc_graph::{degeneracy, generators, graph6, minors, traversal, Graph};
+use dpc_graph::{degeneracy, generators, graph6, minors, traversal};
 use proptest::prelude::*;
 
 proptest! {

@@ -87,11 +87,11 @@ struct DmamState {
 fn frame(commit: &Payload, resp: &Payload) -> Payload {
     let mut w = BitWriter::new();
     w.write_varint(commit.bit_len as u64);
-    let mut r = BitReader::new(&commit.bytes, commit.bit_len);
+    let mut r = commit.reader();
     for _ in 0..commit.bit_len {
         w.write_bool(r.read_bool().unwrap());
     }
-    let mut r = BitReader::new(&resp.bytes, resp.bit_len);
+    let mut r = resp.reader();
     for _ in 0..resp.bit_len {
         w.write_bool(r.read_bool().unwrap());
     }
@@ -99,7 +99,7 @@ fn frame(commit: &Payload, resp: &Payload) -> Payload {
 }
 
 fn unframe(p: &Payload) -> Option<(Payload, Payload)> {
-    let mut r = BitReader::new(&p.bytes, p.bit_len);
+    let mut r = p.reader();
     let cbits = r.read_varint().ok()? as usize;
     if cbits > r.remaining() {
         return None;
@@ -131,13 +131,7 @@ impl<'a, D: DmamProtocol> Protocol for DmamRound<'a, D> {
         st.payload.clone()
     }
 
-    fn receive(
-        &self,
-        st: &mut DmamState,
-        ctx: &NodeCtx,
-        inbox: &[Payload],
-        _round: usize,
-    ) -> Step {
+    fn receive(&self, st: &mut DmamState, ctx: &NodeCtx, inbox: &[Payload], _round: usize) -> Step {
         let Some((own_c, own_r)) = unframe(&st.payload) else {
             return Step::Output(false);
         };
@@ -152,12 +146,19 @@ impl<'a, D: DmamProtocol> Protocol for DmamRound<'a, D> {
                 None => return Step::Output(false),
             }
         }
-        Step::Output(self.proto.verify(ctx, self.challenge, &own_c, &own_r, &ncs, &nrs))
+        Step::Output(
+            self.proto
+                .verify(ctx, self.challenge, &own_c, &own_r, &ncs, &nrs),
+        )
     }
 }
 
 /// Runs the honest protocol end to end.
-pub fn run_dmam<D: DmamProtocol>(proto: &D, g: &Graph, seed: u64) -> Result<DmamOutcome, ProveError> {
+pub fn run_dmam<D: DmamProtocol>(
+    proto: &D,
+    g: &Graph,
+    seed: u64,
+) -> Result<DmamOutcome, ProveError> {
     let commit = proto.commit(g)?;
     let challenge = StdRng::seed_from_u64(seed).gen();
     let resp = proto.respond(g, &commit, challenge);
@@ -181,11 +182,7 @@ pub fn run_forged<D: DmamProtocol>(
     };
     let report = run_protocol(&round, g, 1);
     DmamOutcome {
-        verdicts: report
-            .verdicts
-            .iter()
-            .map(|v| v.unwrap_or(false))
-            .collect(),
+        verdicts: report.verdicts.iter().map(|v| v.unwrap_or(false)).collect(),
         max_commit_bits: commit.max_bits(),
         max_response_bits: resp.max_bits(),
         challenge_bits: 64,
@@ -216,7 +213,7 @@ impl Commit {
     }
 
     fn decode(p: &Payload) -> Option<Commit> {
-        let mut r = BitReader::new(&p.bytes, p.bit_len);
+        let mut r = p.reader();
         let tree = TreeCert::decode(&mut r).ok()?;
         let fmin = r.read_varint().ok()?;
         let fmax = r.read_varint().ok()?;
@@ -269,7 +266,7 @@ impl Response {
     }
 
     fn decode(p: &Payload) -> Option<Response> {
-        let mut r = BitReader::new(&p.bytes, p.bit_len);
+        let mut r = p.reader();
         let other_id = r.read_varint().ok()?;
         let opening = if r.read_bool().ok()? {
             let mut ivs = [(0, 0); 4];
@@ -360,7 +357,11 @@ impl DmamProtocol for DmamPlanarity {
                 let port = queried_port(challenge, g.id_of(v), g.degree(v));
                 let (w, eid) = g.adjacency(v)[port];
                 let opening = if tree_mask[eid as usize] {
-                    let c: NodeId = if tree.parent[v as usize] == Some(w) { v } else { w };
+                    let c: NodeId = if tree.parent[v as usize] == Some(w) {
+                        v
+                    } else {
+                        w
+                    };
                     let (cmin, cmax) = (te.fmin(c) as u64, te.fmax(c) as u64);
                     Opening::Tree([iv(cmin - 1), iv(cmin), iv(cmax), iv(cmax + 1)])
                 } else {
@@ -407,7 +408,10 @@ fn verify_impl(
         return Some(()); // single node: trivially planar
     }
     let own = Commit::decode(own_commit)?;
-    let nbs: Vec<Commit> = nbr_commits.iter().map(Commit::decode).collect::<Option<_>>()?;
+    let nbs: Vec<Commit> = nbr_commits
+        .iter()
+        .map(Commit::decode)
+        .collect::<Option<_>>()?;
     let tree_nbs: Vec<TreeCert> = nbs.iter().map(|c| c.tree).collect();
     let info = check_tree(ctx, &own.tree, &tree_nbs)?;
     let n = own.tree.n;
@@ -452,8 +456,7 @@ fn verify_impl(
     // opening whose edge touches this node
     let mut entries: Vec<(u64, Iv)> = Vec::new();
     let mut check_opening = |port: usize, resp: &Response, from_self: bool| -> Option<()> {
-        let is_tree_edge =
-            info.parent_port == Some(port) || info.children_ports.contains(&port);
+        let is_tree_edge = info.parent_port == Some(port) || info.children_ports.contains(&port);
         match &resp.opening {
             Opening::Tree(ivs) => {
                 if !is_tree_edge {
@@ -500,9 +503,7 @@ fn verify_impl(
     };
     check_opening(q, &own_r, true)?;
     for (p, nr) in nbr_resps.iter().enumerate() {
-        let Some(resp) = Response::decode(nr) else {
-            return None;
-        };
+        let resp = Response::decode(nr)?;
         // the neighbor's queried edge is only checkable here if it is the
         // edge between us (its own degree is unknown here; rely on content)
         if resp.other_id == ctx.id {
@@ -606,7 +607,9 @@ mod tests {
 
     #[test]
     fn nonplanar_rejected_by_prover() {
-        assert!(DmamPlanarity::new().commit(&generators::complete(5)).is_err());
+        assert!(DmamPlanarity::new()
+            .commit(&generators::complete(5))
+            .is_err());
     }
 
     #[test]
@@ -694,7 +697,7 @@ mod tests {
         let f = frame(&Payload::from_writer(a), &Payload::from_writer(b));
         let (c, r) = unframe(&f).unwrap();
         assert_eq!(c.bit_len, 4);
-        let mut rr = BitReader::new(&r.bytes, r.bit_len);
+        let mut rr = r.reader();
         assert_eq!(rr.read_varint().unwrap(), 999);
     }
 }

@@ -93,7 +93,6 @@ fn build_chain(k: usize, blocks: &[usize], close: bool) -> BlockInstance {
     if close {
         connect(&mut b, blocks.len() - 1, 0);
     }
-    let mut b = b;
     b.with_ids(ids);
     BlockInstance {
         graph: b.build(),
@@ -117,9 +116,7 @@ pub fn path_of_blocks(k: usize, perm: &[usize]) -> BlockInstance {
         inv[v] = idx + 1; // block index (1-based ordinary block)
     }
     let mut chain = vec![0usize];
-    for v in 1..=p {
-        chain.push(inv[v]);
-    }
+    chain.extend_from_slice(&inv[1..=p]);
     chain.push(p + 1);
     build_chain(k, &chain, false)
 }
@@ -135,8 +132,7 @@ pub fn cycle_of_blocks(k: usize, blocks: &[usize]) -> BlockInstance {
 /// (bandwidth) certificate: along the chain order every edge spans at
 /// most `k − 2` positions, so treewidth ≤ k−2.
 pub fn certify_path_kfree(inst: &BlockInstance) -> bool {
-    !inst.is_cycle
-        && excludes_clique_minor_by_stretch(&inst.graph, inst.k, &inst.chain_layout())
+    !inst.is_cycle && excludes_clique_minor_by_stretch(&inst.graph, inst.k, &inst.chain_layout())
 }
 
 /// Produces and verifies Claim 8's explicit `K_k`-minor witness in a
@@ -214,7 +210,10 @@ mod tests {
     #[test]
     fn k4_paths_exactly_k4_free() {
         let inst = path_of_blocks(4, &identity(6));
-        assert!(!has_k4_minor(&inst.graph), "exact check agrees with certificate");
+        assert!(
+            !has_k4_minor(&inst.graph),
+            "exact check agrees with certificate"
+        );
     }
 
     #[test]

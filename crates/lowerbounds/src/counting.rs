@@ -20,7 +20,7 @@
 use crate::blocks::{block_size, cycle_of_blocks, path_of_blocks, BlockInstance};
 use dpc_core::scheme::{Assignment, ProofLabelingScheme, ProveError};
 use dpc_graph::Graph;
-use dpc_runtime::bits::{BitReader, BitWriter};
+use dpc_runtime::bits::BitWriter;
 use dpc_runtime::{NodeCtx, Payload};
 
 /// `ln(p!)` via the exact sum (fine for the `p` ranges involved).
@@ -66,7 +66,7 @@ pub struct ModCounterScheme {
 impl ModCounterScheme {
     /// Creates the scheme.
     pub fn new(k: usize, g: u32) -> Self {
-        assert!(k >= 3 && g >= 1 && g <= 16);
+        assert!(k >= 3 && (1..=16).contains(&g));
         ModCounterScheme { k, g }
     }
 
@@ -110,7 +110,7 @@ impl ProofLabelingScheme for ModCounterScheme {
 
     fn verify(&self, ctx: &NodeCtx, own: &Payload, neighbors: &[Payload]) -> bool {
         let read = |p: &Payload| -> Option<u64> {
-            let mut r = BitReader::new(&p.bytes, p.bit_len);
+            let mut r = p.reader();
             let v = r.read_bits(self.g).ok()?;
             (r.remaining() == 0).then_some(v)
         };

@@ -121,11 +121,11 @@ pub fn instance_j(params: KpqParams) -> GluedInstance {
         ids.extend(default_ids(params, i, true));
         base += nb as u32;
     }
-    for i in 0..q {
+    for (i, &(p_base, _)) in p_paths.iter().enumerate() {
         for j in 1..=q {
             let pos = (j * d - 1) as u32;
             let target = (i + j) % q;
-            b.add_edge(p_paths[i].0 + pos, q_paths[target].0 + pos).unwrap();
+            b.add_edge(p_base + pos, q_paths[target].0 + pos).unwrap();
         }
     }
     b.with_ids(ids);
@@ -139,9 +139,7 @@ pub fn instance_j(params: KpqParams) -> GluedInstance {
 /// Verifies the paper's explicit witness: contracting every path of `J`
 /// yields `K_{q,q}`.
 pub fn certify_j_has_kqq(inst: &GluedInstance, q: usize) -> bool {
-    let part_of = |(start, len): (u32, u32)| -> Vec<NodeId> {
-        (start..start + len).collect()
-    };
+    let part_of = |(start, len): (u32, u32)| -> Vec<NodeId> { (start..start + len).collect() };
     let mut parts: Vec<Vec<NodeId>> = inst.p_paths.iter().map(|&r| part_of(r)).collect();
     parts.extend(inst.q_paths.iter().map(|&r| part_of(r)));
     verify_minor_witness(&inst.graph, &parts, &bipartite_pairs(q, q))
@@ -162,7 +160,10 @@ mod tests {
                 &default_ids(params, 0, true),
             );
             assert!(g.is_connected(), "rungs connect the two paths");
-            assert!(is_outerplanar(&g), "I_ab must be outerplanar (n={n}, q={q})");
+            assert!(
+                is_outerplanar(&g),
+                "I_ab must be outerplanar (n={n}, q={q})"
+            );
         }
     }
 

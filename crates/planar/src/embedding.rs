@@ -235,23 +235,13 @@ mod tests {
     fn k4_good_and_bad_rotations() {
         // planar rotation of K4: f = 4
         let good = rot_of(
-            vec![
-                vec![1, 2, 3],
-                vec![2, 0, 3],
-                vec![0, 1, 3],
-                vec![0, 2, 1],
-            ],
+            vec![vec![1, 2, 3], vec![2, 0, 3], vec![0, 1, 3], vec![0, 2, 1]],
             6,
         );
         assert!(good.euler_check().is_ok(), "{:?}", good.faces());
         // a twisted rotation embeds K4 on the torus: f = 2 -> genus 1
         let bad = rot_of(
-            vec![
-                vec![1, 2, 3],
-                vec![0, 2, 3],
-                vec![0, 1, 3],
-                vec![0, 1, 2],
-            ],
+            vec![vec![1, 2, 3], vec![0, 2, 3], vec![0, 1, 3], vec![0, 1, 2]],
             6,
         );
         assert!(bad.euler_check().is_err() || bad.euler_check().is_ok());
@@ -264,9 +254,7 @@ mod tests {
     #[test]
     fn cycle_embedding() {
         let g = generators::cycle(6);
-        let rot: Vec<Vec<NodeId>> = (0..6)
-            .map(|v| g.neighbors(v as NodeId).collect())
-            .collect();
+        let rot: Vec<Vec<NodeId>> = (0..6).map(|v| g.neighbors(v as NodeId).collect()).collect();
         let r = rot_of(rot, 6);
         r.validate_against(&g).unwrap();
         assert_eq!(r.face_count(), 2);
@@ -313,7 +301,10 @@ mod tests {
                 zero += 1;
             }
         }
-        assert!(zero < 10, "random rotations of a dense planar graph are rarely planar");
+        assert!(
+            zero < 10,
+            "random rotations of a dense planar graph are rarely planar"
+        );
         // trees are planar under EVERY rotation
         let t = generators::random_tree(25, 1);
         for seed in 0..5u64 {
@@ -324,7 +315,9 @@ mod tests {
     #[test]
     fn outerplanarity_known_cases() {
         assert!(is_outerplanar(&generators::cycle(8)));
-        assert!(is_outerplanar(&generators::random_maximal_outerplanar(25, 7)));
+        assert!(is_outerplanar(&generators::random_maximal_outerplanar(
+            25, 7
+        )));
         assert!(is_outerplanar(&generators::random_tree(25, 1)));
         assert!(!is_outerplanar(&generators::complete(4)));
         assert!(!is_outerplanar(&generators::complete_bipartite(2, 3)));

@@ -42,31 +42,25 @@ pub fn extract_kuratowski(g: &Graph) -> Option<KuratowskiWitness> {
     }
     let core = g.edge_subgraph(|id, _| alive[id as usize]);
     // restrict to nodes with degree > 0
-    let edges: Vec<(NodeId, NodeId)> = core
-        .edges()
-        .iter()
-        .map(|e| (e.u, e.v))
-        .collect();
+    let edges: Vec<(NodeId, NodeId)> = core.edges().iter().map(|e| (e.u, e.v)).collect();
     // relabel onto the support to recognize the shape
-    let mut support: Vec<NodeId> = edges
-        .iter()
-        .flat_map(|&(u, v)| [u, v])
-        .collect();
+    let mut support: Vec<NodeId> = edges.iter().flat_map(|&(u, v)| [u, v]).collect();
     support.sort_unstable();
     support.dedup();
     let index = |v: NodeId| support.binary_search(&v).unwrap() as u32;
     let small = Graph::from_edges(
         support.len() as u32,
-        &edges.iter().map(|&(u, v)| (index(u), index(v))).collect::<Vec<_>>(),
+        &edges
+            .iter()
+            .map(|&(u, v)| (index(u), index(v)))
+            .collect::<Vec<_>>(),
     );
     let kind = kuratowski_kind(&small)
         .expect("edge-minimal non-planar graph must be a Kuratowski subdivision");
     let branch_nodes = support
         .iter()
         .copied()
-        .filter(|&v| {
-            edges.iter().filter(|&&(u, w)| u == v || w == v).count() >= 3
-        })
+        .filter(|&v| edges.iter().filter(|&&(u, w)| u == v || w == v).count() >= 3)
         .collect();
     Some(KuratowskiWitness {
         kind,

@@ -85,7 +85,10 @@ struct Interval {
 }
 
 impl Interval {
-    const EMPTY: Interval = Interval { low: NONE, high: NONE };
+    const EMPTY: Interval = Interval {
+        low: NONE,
+        high: NONE,
+    };
 
     fn is_empty(&self) -> bool {
         self.low == NONE && self.high == NONE
@@ -285,7 +288,10 @@ impl<'a> LrState<'a> {
                             self.lowpt_edge[ei] = eid;
                             self.s.push(ConflictPair {
                                 l: Interval::EMPTY,
-                                r: Interval { low: eid, high: eid },
+                                r: Interval {
+                                    low: eid,
+                                    high: eid,
+                                },
                             });
                         }
                     }
@@ -691,7 +697,12 @@ mod tests {
         assert!(!is_planar(&generators::hypercube(4)));
         assert!(!is_planar(&generators::hypercube(5)));
         for seed in 0..5 {
-            assert!(!is_planar(&generators::planted_kuratowski(40, seed % 2 == 0, 2, seed)));
+            assert!(!is_planar(&generators::planted_kuratowski(
+                40,
+                seed % 2 == 0,
+                2,
+                seed
+            )));
         }
     }
 
@@ -740,12 +751,36 @@ mod tests {
     fn dodecahedron_planar() {
         // 20 nodes, 30 edges, 3-regular planar
         let edges: [(u32, u32); 30] = [
-            (0, 1), (1, 2), (2, 3), (3, 4), (4, 0),
-            (0, 5), (1, 6), (2, 7), (3, 8), (4, 9),
-            (5, 10), (6, 11), (7, 12), (8, 13), (9, 14),
-            (10, 6), (11, 7), (12, 8), (13, 9), (14, 5),
-            (10, 15), (11, 16), (12, 17), (13, 18), (14, 19),
-            (15, 16), (16, 17), (17, 18), (18, 19), (19, 15),
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 0),
+            (0, 5),
+            (1, 6),
+            (2, 7),
+            (3, 8),
+            (4, 9),
+            (5, 10),
+            (6, 11),
+            (7, 12),
+            (8, 13),
+            (9, 14),
+            (10, 6),
+            (11, 7),
+            (12, 8),
+            (13, 9),
+            (14, 5),
+            (10, 15),
+            (11, 16),
+            (12, 17),
+            (13, 18),
+            (14, 19),
+            (15, 16),
+            (16, 17),
+            (17, 18),
+            (18, 19),
+            (19, 15),
         ];
         let g = Graph::from_edges(20, &edges);
         check_planar_with_certificate(&g);
@@ -761,7 +796,17 @@ mod tests {
         // triangular prism (K3 x K2): planar, 3-regular, 5 faces
         let prism = Graph::from_edges(
             6,
-            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3), (1, 4), (2, 5)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (0, 3),
+                (1, 4),
+                (2, 5),
+            ],
         );
         check_planar_with_certificate(&prism);
         if let Planarity::Planar(rot) = planarity(&prism) {
@@ -771,9 +816,18 @@ mod tests {
         let octa = Graph::from_edges(
             6,
             &[
-                (0, 2), (0, 3), (0, 4), (0, 5),
-                (1, 2), (1, 3), (1, 4), (1, 5),
-                (2, 4), (4, 3), (3, 5), (5, 2),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (1, 2),
+                (1, 3),
+                (1, 4),
+                (1, 5),
+                (2, 4),
+                (4, 3),
+                (3, 5),
+                (5, 2),
             ],
         );
         check_planar_with_certificate(&octa);

@@ -270,10 +270,7 @@ pub fn t_embedding_auto(g: &Graph) -> Option<(TEmbedding, SpanningTree, Rotation
 /// the tightest strictly-containing chord `I(x)` for every position.
 /// The virtual chord `(0, spine_len + 1)` is the default (paper's
 /// `[0, n+1]` convention). Fails iff two chords cross.
-pub fn laminar_intervals(
-    spine_len: u32,
-    chords: &[Chord],
-) -> Result<Vec<(u32, u32)>, TEmbedError> {
+pub fn laminar_intervals(spine_len: u32, chords: &[Chord]) -> Result<Vec<(u32, u32)>, TEmbedError> {
     let virt = Chord {
         a: 0,
         b: spine_len + 1,
@@ -385,7 +382,7 @@ mod tests {
         for seed in 0..15u64 {
             let g = generators::stacked_triangulation(60, seed);
             let te = build(&g); // t_embedding_auto panics internally if not laminar
-            // double check laminarity explicitly
+                                // double check laminarity explicitly
             for (i, c1) in te.chords.iter().enumerate() {
                 for c2 in te.chords.iter().skip(i + 1) {
                     let (a, b, c, d) = (c1.a, c1.b, c2.a, c2.b);
@@ -430,8 +427,16 @@ mod tests {
     #[test]
     fn laminar_sweep_detects_crossing() {
         let chords = vec![
-            Chord { a: 1, b: 4, edge: 0 },
-            Chord { a: 2, b: 6, edge: 1 },
+            Chord {
+                a: 1,
+                b: 4,
+                edge: 0,
+            },
+            Chord {
+                a: 2,
+                b: 6,
+                edge: 1,
+            },
         ];
         assert!(matches!(
             laminar_intervals(7, &chords),
@@ -443,9 +448,21 @@ mod tests {
     fn laminar_sweep_allows_shared_endpoints() {
         // (1,5) and (5,9): disjoint at 5; (1,9) contains both
         let chords = vec![
-            Chord { a: 1, b: 9, edge: 0 },
-            Chord { a: 1, b: 5, edge: 1 },
-            Chord { a: 5, b: 9, edge: 2 },
+            Chord {
+                a: 1,
+                b: 9,
+                edge: 0,
+            },
+            Chord {
+                a: 1,
+                b: 5,
+                edge: 1,
+            },
+            Chord {
+                a: 5,
+                b: 9,
+                edge: 2,
+            },
         ];
         let iv = laminar_intervals(9, &chords).unwrap();
         assert_eq!(iv[3], (1, 5));

@@ -95,7 +95,7 @@ impl BitWriter {
     /// bit; small values cost 8 bits).
     pub fn write_varint(&mut self, mut value: u64) {
         loop {
-            let group = (value & 0x7f) as u64;
+            let group = value & 0x7f;
             value >>= 7;
             self.write_bool(value != 0);
             self.write_bits(group, 7);
@@ -136,7 +136,11 @@ pub struct BitReader<'a> {
 impl<'a> BitReader<'a> {
     /// Reader over `buf` limited to `len_bits` bits.
     pub fn new(buf: &'a [u8], len_bits: usize) -> Self {
-        BitReader { buf, len_bits, pos: 0 }
+        BitReader {
+            buf,
+            len_bits,
+            pos: 0,
+        }
     }
 
     /// Bits remaining.
@@ -209,7 +213,17 @@ mod tests {
 
     #[test]
     fn roundtrip_varints() {
-        let values = [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX];
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ];
         let mut w = BitWriter::new();
         for &v in &values {
             w.write_varint(v);

@@ -11,8 +11,13 @@
 //!   complexity measure of the paper;
 //! * [`sim`] — a deterministic synchronous executor with per-round
 //!   message accounting (max bits per edge per round = the CONGEST
-//!   measure), used to run every verifier in this workspace.
+//!   measure), used to run every verifier in this workspace. Payloads
+//!   are reference-counted: delivering a broadcast over an edge is an
+//!   O(1) handle clone, never a byte copy;
+//! * [`baseline`] — the deep-copy reference executor kept for
+//!   benchmarking the zero-copy delivery path against.
 
+pub mod baseline;
 pub mod bits;
 pub mod sim;
 

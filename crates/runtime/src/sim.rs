@@ -7,14 +7,22 @@
 //! a *1-round CONGEST* protocol exactly when `rounds == 1` and
 //! `max_message_bits = O(log n)`, the regime of Theorem 1.
 
-use crate::bits::BitWriter;
+use crate::bits::{BitReader, BitWriter};
 use dpc_graph::{Graph, NodeId};
+use std::sync::Arc;
 
-/// A broadcast payload: raw bytes plus its exact length in bits.
-#[derive(Debug, Clone, Default)]
+/// A broadcast payload: shared raw bytes plus the exact length in bits.
+///
+/// The byte buffer is reference-counted, so cloning a payload — the
+/// operation the simulator performs once per incident edge per round —
+/// is O(1) and never copies certificate bytes. Payloads are immutable
+/// after construction; to derive a modified payload (e.g. for an
+/// adversarial bit flip), copy the bytes out with [`Payload::to_vec`]
+/// and rebuild with [`Payload::from_bytes`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Payload {
-    /// Backing bytes (last byte may be partial).
-    pub bytes: Vec<u8>,
+    /// Shared backing bytes (last byte may be partial).
+    pub bytes: Arc<[u8]>,
     /// Exact number of meaningful bits.
     pub bit_len: usize,
 }
@@ -28,7 +36,36 @@ impl Payload {
     /// Payload from a finished [`BitWriter`].
     pub fn from_writer(w: BitWriter) -> Self {
         let (bytes, bit_len) = w.into_parts();
+        Payload {
+            bytes: bytes.into(),
+            bit_len,
+        }
+    }
+
+    /// Payload from raw bytes and an exact bit length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is too short to hold `bit_len` bits.
+    pub fn from_bytes(bytes: impl Into<Arc<[u8]>>, bit_len: usize) -> Self {
+        let bytes = bytes.into();
+        assert!(bytes.len() * 8 >= bit_len, "bit_len exceeds the buffer");
         Payload { bytes, bit_len }
+    }
+
+    /// The backing bytes as a plain slice.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Owned copy of the backing bytes (for mutation-and-rebuild).
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.bytes.to_vec()
+    }
+
+    /// A bit reader over the payload's exact bit range.
+    pub fn reader(&self) -> BitReader<'_> {
+        BitReader::new(&self.bytes, self.bit_len)
     }
 }
 
@@ -137,17 +174,22 @@ pub fn run_protocol_states<P: Protocol>(
     let mut max_bits = 0usize;
     let mut total_bits = 0u64;
     let mut round = 0usize;
+    // Both buffers are reused across every node and every round: the
+    // per-round cost is n cheap payload handles plus one O(1) reference
+    // bump per incident edge — no per-edge byte copies, no per-node
+    // inbox allocation.
+    let mut outgoing: Vec<Payload> = Vec::with_capacity(n);
+    let mut inbox: Vec<Payload> = Vec::new();
     while round < max_rounds && verdicts.iter().any(|v| v.is_none()) {
         // phase 1: everyone still running emits its broadcast
-        let outgoing: Vec<Payload> = (0..n)
-            .map(|v| {
-                if verdicts[v].is_none() {
-                    protocol.message(&states[v], round)
-                } else {
-                    Payload::empty()
-                }
-            })
-            .collect();
+        outgoing.clear();
+        outgoing.extend((0..n).map(|v| {
+            if verdicts[v].is_none() {
+                protocol.message(&states[v], round)
+            } else {
+                Payload::empty()
+            }
+        }));
         for (v, p) in outgoing.iter().enumerate() {
             max_bits = max_bits.max(p.bit_len);
             total_bits += p.bit_len as u64 * g.degree(v as NodeId) as u64;
@@ -157,13 +199,12 @@ pub fn run_protocol_states<P: Protocol>(
             if verdicts[v].is_some() {
                 continue;
             }
-            let inbox: Vec<Payload> = g
-                .neighbors(v as NodeId)
-                .map(|w| outgoing[w as usize].clone())
-                .collect();
-            if let Step::Output(b) =
-                protocol.receive(&mut states[v], &ctxs[v], &inbox, round)
-            {
+            inbox.clear();
+            inbox.extend(
+                g.neighbors(v as NodeId)
+                    .map(|w| outgoing[w as usize].clone()),
+            );
+            if let Step::Output(b) = protocol.receive(&mut states[v], &ctxs[v], &inbox, round) {
                 verdicts[v] = Some(b);
             }
         }
@@ -213,7 +254,7 @@ mod tests {
         ) -> Step {
             let mut best = true;
             for p in inbox {
-                let mut r = crate::bits::BitReader::new(&p.bytes, p.bit_len);
+                let mut r = p.reader();
                 if r.read_varint().unwrap() > *state {
                     best = false;
                 }

@@ -1,0 +1,143 @@
+//! Property tests pinning the CONGEST bit accounting to its definition,
+//! so the zero-copy delivery path can never silently change what gets
+//! counted: over every round, `total_message_bits` must equal
+//! `Σ_v deg(v) · |msg_v(round)|` (a broadcast is charged once per
+//! incident edge), and `max_message_bits` must be the largest single
+//! payload emitted.
+
+use dpc_graph::{generators, Graph};
+use dpc_runtime::{baseline, run_protocol, BitWriter, NodeCtx, Payload, Protocol, Step};
+use proptest::prelude::*;
+
+/// Protocol with a known per-node, per-round message size: in round `r`
+/// node `v` broadcasts exactly `(id % modulus) + r + 1` bits, and stops
+/// after `rounds_of(v)` rounds. Nothing about the payload content
+/// matters — only the sizes being charged.
+struct SizedChatter {
+    modulus: u64,
+    max_rounds_per_node: usize,
+}
+
+impl SizedChatter {
+    fn bits_for(&self, id: u64, round: usize) -> usize {
+        (id % self.modulus) as usize + round + 1
+    }
+
+    fn rounds_of(&self, id: u64) -> usize {
+        (id % self.max_rounds_per_node as u64) as usize + 1
+    }
+}
+
+impl Protocol for SizedChatter {
+    type State = u64;
+
+    fn init(&self, ctx: &NodeCtx) -> u64 {
+        ctx.id
+    }
+
+    fn message(&self, state: &u64, round: usize) -> Payload {
+        let mut w = BitWriter::new();
+        for _ in 0..self.bits_for(*state, round) {
+            w.write_bool(true);
+        }
+        Payload::from_writer(w)
+    }
+
+    fn receive(&self, state: &mut u64, _ctx: &NodeCtx, _inbox: &[Payload], round: usize) -> Step {
+        if round + 1 >= self.rounds_of(*state) {
+            Step::Output(true)
+        } else {
+            Step::Continue
+        }
+    }
+}
+
+/// Reference accounting computed directly from the definition, walking
+/// rounds and nodes without the simulator.
+fn expected_accounting(g: &Graph, proto: &SizedChatter) -> (usize, u64, usize) {
+    let n = g.node_count();
+    let mut done = vec![false; n];
+    let mut max_bits = 0usize;
+    let mut total_bits = 0u64;
+    let mut round = 0usize;
+    while done.iter().any(|d| !d) {
+        for (v, &d) in done.iter().enumerate() {
+            let bits = if d {
+                0
+            } else {
+                proto.bits_for(g.id_of(v as u32), round)
+            };
+            max_bits = max_bits.max(bits);
+            total_bits += bits as u64 * g.degree(v as u32) as u64;
+        }
+        for (v, d) in done.iter_mut().enumerate() {
+            if !*d && round + 1 >= proto.rounds_of(g.id_of(v as u32)) {
+                *d = true;
+            }
+        }
+        round += 1;
+    }
+    (max_bits, total_bits, round)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The simulator's accounting equals the Σ_v deg(v)·|msg_v| fold on
+    /// random connected graphs, across multi-round schedules.
+    #[test]
+    fn total_bits_is_degree_weighted_sum(
+        n in 2u32..60,
+        m_extra in 0u32..80,
+        modulus in 1u64..40,
+        rounds_per_node in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let m = (n - 1 + m_extra).min(n * (n - 1) / 2);
+        let g = generators::gnm_connected(n, m, seed);
+        let proto = SizedChatter { modulus, max_rounds_per_node: rounds_per_node };
+        let (want_max, want_total, want_rounds) = expected_accounting(&g, &proto);
+        let rep = run_protocol(&proto, &g, want_rounds + 2);
+        prop_assert_eq!(rep.total_message_bits, want_total);
+        prop_assert_eq!(rep.max_message_bits, want_max);
+        prop_assert_eq!(rep.rounds, want_rounds);
+        prop_assert!(rep.all_accept());
+    }
+
+    /// Structured families: same law (regression net for generators
+    /// whose degree sequences are extreme — stars, cycles, grids).
+    #[test]
+    fn accounting_on_structured_families(kind in 0usize..4, n in 3u32..40, modulus in 1u64..16) {
+        let g = match kind {
+            0 => generators::star(n),
+            1 => generators::cycle(n.max(3)),
+            2 => generators::grid(n.max(2) / 2 + 1, 3),
+            _ => generators::path(n),
+        };
+        let proto = SizedChatter { modulus, max_rounds_per_node: 3 };
+        let (want_max, want_total, want_rounds) = expected_accounting(&g, &proto);
+        let rep = run_protocol(&proto, &g, want_rounds + 1);
+        prop_assert_eq!(rep.total_message_bits, want_total);
+        prop_assert_eq!(rep.max_message_bits, want_max);
+    }
+
+    /// The zero-copy executor and the deep-copy reference executor
+    /// charge identical bits on identical schedules.
+    #[test]
+    fn zero_copy_and_deepcopy_account_identically(
+        n in 2u32..50,
+        m_extra in 0u32..60,
+        modulus in 1u64..32,
+        seed in 0u64..1000,
+    ) {
+        let m = (n - 1 + m_extra).min(n * (n - 1) / 2);
+        let g = generators::gnm_connected(n, m, seed);
+        let proto = SizedChatter { modulus, max_rounds_per_node: 4 };
+        let fast = run_protocol(&proto, &g, 16);
+        let slow = baseline::run_protocol_deepcopy(&proto, &g, 16);
+        prop_assert_eq!(fast.total_message_bits, slow.total_message_bits);
+        prop_assert_eq!(fast.max_message_bits, slow.max_message_bits);
+        prop_assert_eq!(fast.rounds, slow.rounds);
+        prop_assert_eq!(fast.verdicts, slow.verdicts);
+    }
+}

@@ -11,7 +11,10 @@ use dpc::prelude::*;
 
 fn main() {
     let g = generators::stacked_triangulation(1000, 3);
-    println!("instance: random planar triangulation, n = {}", g.node_count());
+    println!(
+        "instance: random planar triangulation, n = {}",
+        g.node_count()
+    );
 
     // Theorem 1: one deterministic Merlin message.
     let pls = PlanarityScheme::new();
@@ -27,7 +30,10 @@ fn main() {
     let proto = DmamPlanarity::new();
     let out = run_dmam(&proto, &g, 99).unwrap();
     println!("\ndMAM baseline (NPY-style interaction pattern):");
-    println!("  interactions : {} (Merlin, Arthur, Merlin)", out.interactions);
+    println!(
+        "  interactions : {} (Merlin, Arthur, Merlin)",
+        out.interactions
+    );
     println!("  randomness   : {} public-coin bits", out.challenge_bits);
     println!(
         "  messages     : {} bits commit + {} bits response",
@@ -37,7 +43,10 @@ fn main() {
 
     // The price of randomness: one-sided soundness error, measured.
     let bad = generators::planted_kuratowski(60, true, 1, 5);
-    println!("\nsoundness on a non-planar instance (n = {}):", bad.node_count());
+    println!(
+        "\nsoundness on a non-planar instance (n = {}):",
+        bad.node_count()
+    );
     println!(
         "  PLS          : prover declines = {}, forged replays always caught",
         pls.prove(&bad).is_err()

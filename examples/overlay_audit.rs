@@ -29,7 +29,10 @@ fn main() {
     // Maintenance phase: compute and install certificates.
     let scheme = PlanarityScheme::new();
     let certs = scheme.prove(&overlay).expect("healthy overlay is planar");
-    println!("installed certificates: max {} bits per router", certs.max_bits());
+    println!(
+        "installed certificates: max {} bits per router",
+        certs.max_bits()
+    );
 
     // Routine audit: one round, everyone accepts.
     let audit = dpc::core::harness::run_with_assignment(&scheme, &overlay, &certs);

@@ -8,7 +8,11 @@ use dpc::prelude::*;
 fn main() {
     // Build a network: a 12x12 grid (planar).
     let g = dpc::graph::generators::grid(12, 12);
-    println!("network: {} nodes, {} edges", g.node_count(), g.edge_count());
+    println!(
+        "network: {} nodes, {} edges",
+        g.node_count(),
+        g.edge_count()
+    );
 
     // The prover assigns each node an O(log n)-bit certificate...
     let scheme = PlanarityScheme::new();

@@ -20,7 +20,11 @@ fn show<S: ProofLabelingScheme>(scheme: &S, g: &dpc::graph::Graph, instance: &st
             g.node_count(),
             out.rounds,
             out.max_cert_bits,
-            if out.all_accept() { "all accept" } else { "REJECTED" }
+            if out.all_accept() {
+                "all accept"
+            } else {
+                "REJECTED"
+            }
         ),
         Err(e) => println!(
             "{:<18} {:<22} n={:<5} prover declines: {e}",
@@ -39,22 +43,38 @@ fn main() {
     show(&PathScheme::new(), &generators::cycle(100), "cycle(100)");
 
     // the folklore substrate: spanning trees (class: connected graphs)
-    show(&SpanningTreeScheme::new(), &generators::grid(10, 10), "grid(10x10)");
+    show(
+        &SpanningTreeScheme::new(),
+        &generators::grid(10, 10),
+        "grid(10x10)",
+    );
 
     // Lemma 2: path-outerplanarity
     let po = generators::random_path_outerplanar(150, 60, 7);
     show(&PathOuterplanarScheme::new(), &po, "path-outerplanar");
 
     // Theorem 1: planarity — the paper's main scheme
-    show(&PlanarityScheme::new(), &generators::stacked_triangulation(500, 1), "triangulation(500)");
+    show(
+        &PlanarityScheme::new(),
+        &generators::stacked_triangulation(500, 1),
+        "triangulation(500)",
+    );
     show(&PlanarityScheme::new(), &generators::complete(5), "K5");
 
     // §2 folklore: non-planarity
     show(&NonPlanarityScheme::new(), &generators::complete(5), "K5");
-    show(&NonPlanarityScheme::new(), &generators::grid(5, 5), "grid(5x5)");
+    show(
+        &NonPlanarityScheme::new(),
+        &generators::grid(5, 5),
+        "grid(5x5)",
+    );
 
     // the O(m log n) universal baseline
-    show(&UniversalScheme::new(), &generators::stacked_triangulation(500, 1), "triangulation(500)");
+    show(
+        &UniversalScheme::new(),
+        &generators::stacked_triangulation(500, 1),
+        "triangulation(500)",
+    );
 
     println!("\nnote how the planarity scheme's certificates stay a few hundred bits");
     println!("while the universal baseline grows linearly with the graph.");

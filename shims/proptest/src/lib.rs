@@ -1,0 +1,199 @@
+//! Offline shim for the subset of `proptest` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so this in-tree
+//! crate stands in for the real `proptest`. Supported surface:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(...)]` and
+//!   `fn name(arg in strategy, ...) { body }` items;
+//! * range strategies (`low..high` over integers and floats);
+//! * [`prop_assert!`] / [`prop_assert_eq!`];
+//! * [`ProptestConfig::with_cases`].
+//!
+//! Differences from upstream: inputs are sampled from a fixed
+//! deterministic stream (seeded per test by hashing the test name), and
+//! failures are not shrunk — the failing sample is reported as-is.
+//! Determinism is a feature here: CI failures always reproduce locally.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Test-runner configuration (only `cases` is honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` samples per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A source of sampled values.
+pub trait Strategy {
+    /// The sampled type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T: rand::SampleUniform> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        use rand::Rng;
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        use rand::Rng;
+        rng.gen_range(self.start().to_owned()..=self.end().to_owned())
+    }
+}
+
+/// Deterministic per-test generator: the test name is hashed (FNV-1a)
+/// into the seed so distinct properties see distinct streams.
+pub fn rng_for(test_name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Asserts a condition inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` becomes
+/// a `#[test]` that samples its arguments `cases` times and runs the
+/// body on every sample.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)*
+                    let run = || -> () { $body };
+                    if ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)).is_err() {
+                        panic!(
+                            "property {} failed at case {}/{} with inputs: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            [$(format!("{} = {:?}", stringify!($arg), $arg)),*].join(", "),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),*) $body
+            )*
+        }
+    };
+}
+
+/// `use proptest::prelude::*` compatibility.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_respected(n in 3u32..60, f in 0.0f64..1.0, k in 0usize..5) {
+            prop_assert!((3..60).contains(&n));
+            prop_assert!((0.0..1.0).contains(&f));
+            prop_assert!(k < 5);
+        }
+
+        #[test]
+        fn bodies_run_per_case(a in 1u32..10, b in 1u32..10) {
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+
+    #[test]
+    fn failing_property_reports_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(4))]
+                fn inner(x in 0u32..10) {
+                    prop_assert!(x > 100, "always fails: x in 0..10");
+                }
+            }
+            inner();
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn per_test_streams_are_deterministic() {
+        use rand::Rng;
+        let mut a = rng_for("some::test");
+        let mut b = rng_for("some::test");
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        let mut c = rng_for("other::test");
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+}

@@ -53,8 +53,7 @@ fn run(args: &[&str]) -> Result<String, String> {
 }
 
 fn usage() -> String {
-    "usage: dpc check|certify|embed|kuratowski <graph6>  |  dpc gen <family> <n> [seed]"
-        .to_string()
+    "usage: dpc check|certify|embed|kuratowski <graph6>  |  dpc gen <family> <n> [seed]".to_string()
 }
 
 fn parse(s: &str) -> Result<Graph, String> {
@@ -62,7 +61,11 @@ fn parse(s: &str) -> Result<Graph, String> {
 }
 
 fn check(g: Graph) -> Result<String, String> {
-    let mut out = format!("graph: {} nodes, {} edges\n", g.node_count(), g.edge_count());
+    let mut out = format!(
+        "graph: {} nodes, {} edges\n",
+        g.node_count(),
+        g.edge_count()
+    );
     match planarity(&g) {
         Planarity::Planar(rot) => {
             rot.euler_check().map_err(|e| e.to_string())?;
@@ -129,7 +132,10 @@ fn embed(g: Graph) -> Result<String, String> {
 fn kuratowski(g: Graph) -> Result<String, String> {
     match extract_kuratowski(&g) {
         Some(w) => {
-            let mut out = format!("{:?} subdivision, branch nodes {:?}\n", w.kind, w.branch_nodes);
+            let mut out = format!(
+                "{:?} subdivision, branch nodes {:?}\n",
+                w.kind, w.branch_nodes
+            );
             for (u, v) in &w.edges {
                 out.push_str(&format!("  {u} -- {v}\n"));
             }

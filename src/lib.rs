@@ -1,8 +1,8 @@
 //! # dpc — Compact Distributed Certification of Planar Graphs
 //!
 //! Facade crate for the reproduction of *Compact Distributed Certification
-//! of Planar Graphs* (Feuilloley, Fraigniaud, Rapaport, Rémila,
-//! Montealegre, Todinca — PODC 2020, arXiv:2005.05863).
+//! of Planar Graphs* (Feuilloley, Fraigniaud, Montealegre, Rapaport,
+//! Rémila, Todinca — PODC 2020, arXiv:2005.05863).
 //!
 //! The workspace implements, from scratch:
 //!
@@ -46,6 +46,7 @@ pub use dpc_runtime as runtime;
 
 /// Convenient re-exports of the most used items.
 pub mod prelude {
+    pub use dpc_core::batch::{BatchReport, BatchRunner, BatchSummary};
     pub use dpc_core::harness::{run_pls, Outcome};
     pub use dpc_core::scheme::{Assignment, ProofLabelingScheme, ProveError};
     pub use dpc_core::schemes::non_planarity::NonPlanarityScheme;

@@ -3,7 +3,6 @@
 //! (the CONGEST regime); the dMAM uses exactly three interactions.
 
 use dpc::core::harness::run_pls;
-use dpc::core::scheme::ProofLabelingScheme;
 use dpc::core::schemes::path::PathScheme;
 use dpc::core::schemes::spanning_tree::SpanningTreeScheme;
 use dpc::graph::generators;
@@ -16,11 +15,14 @@ fn log_budget(n: usize) -> usize {
     120 * logn
 }
 
+/// A named measurement returning `(rounds, max_message_bits)`.
+type Case = (&'static str, Box<dyn Fn() -> (usize, usize)>);
+
 #[test]
 fn all_log_schemes_fit_the_congest_budget() {
     let sizes = [64u32, 1024, 16384];
     for &n in &sizes {
-        let cases: Vec<(&str, Box<dyn Fn() -> (usize, usize)>)> = vec![
+        let cases: Vec<Case> = vec![
             (
                 "planarity",
                 Box::new(move || {

@@ -17,8 +17,14 @@ fn planar_families_accept_with_small_certs() {
         ("grid", generators::grid(17, 18)),
         ("triangulation", generators::stacked_triangulation(300, 2)),
         ("random-planar", generators::random_planar(300, 0.5, 3)),
-        ("outerplanar", generators::random_maximal_outerplanar(300, 4)),
-        ("series-parallel", generators::random_series_parallel(300, 5)),
+        (
+            "outerplanar",
+            generators::random_maximal_outerplanar(300, 4),
+        ),
+        (
+            "series-parallel",
+            generators::random_series_parallel(300, 5),
+        ),
         ("caterpillar", generators::caterpillar(100, 200, 6)),
         ("wheel", generators::wheel(300)),
         ("star", generators::star(300)),
@@ -45,7 +51,10 @@ fn nonplanar_families_fully_resist_attacks() {
         ("K5-subdiv", generators::k5_subdivision(3)),
         ("K33-subdiv", generators::k33_subdivision(2)),
         ("planted-K5", generators::planted_kuratowski(40, true, 1, 7)),
-        ("planted-K33", generators::planted_kuratowski(40, false, 2, 8)),
+        (
+            "planted-K33",
+            generators::planted_kuratowski(40, false, 2, 8),
+        ),
         ("Q4", generators::hypercube(4)),
         ("dense", generators::gnm_connected(30, 100, 9)),
     ];

@@ -91,7 +91,10 @@ fn sampled_connected_graphs_on_6_and_7_nodes() {
             }
             exercise(&g);
         }
-        assert!(seen_nonplanar > 0, "the sample should include non-planar graphs");
+        assert!(
+            seen_nonplanar > 0,
+            "the sample should include non-planar graphs"
+        );
     }
 }
 
@@ -124,9 +127,8 @@ fn tree_from_pruefer(n: u32, seq: &[u32]) -> Graph {
         degree[s as usize] += 1;
     }
     let mut b = GraphBuilder::new(n);
-    let mut leaves: std::collections::BTreeSet<u32> = (0..n)
-        .filter(|&v| degree[v as usize] == 1)
-        .collect();
+    let mut leaves: std::collections::BTreeSet<u32> =
+        (0..n).filter(|&v| degree[v as usize] == 1).collect();
     for &s in seq {
         let leaf = *leaves.iter().next().unwrap();
         leaves.remove(&leaf);

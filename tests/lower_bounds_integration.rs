@@ -72,7 +72,10 @@ fn permuted_paths_share_structure() {
 fn forgery_end_to_end_for_growing_g() {
     for g in 1..=5u32 {
         let scheme = ModCounterScheme::new(4, g);
-        assert!(accepts_path(&scheme, &(1..=(1 << g)).collect::<Vec<usize>>()));
+        assert!(accepts_path(
+            &scheme,
+            &(1..=(1 << g)).collect::<Vec<usize>>()
+        ));
         let f = forge_cycle(&scheme);
         assert!(f.fully_accepted, "g={g}");
         assert!(certify_cycle_has_kk(&f.cycle));
