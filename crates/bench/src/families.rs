@@ -79,6 +79,27 @@ pub fn nonplanar_families() -> Vec<Family> {
             make: |n, _| generators::k33_subdivision((n / 9).max(1)),
             planar: false,
         },
+        Family {
+            name: "K5-subdiv",
+            make: |n, _| generators::k5_subdivision((n / 10).max(1)),
+            planar: false,
+        },
+        Family {
+            // Q_d is non-planar from d = 4 (it contains a K_{3,3} minor)
+            name: "hypercube",
+            make: |n, _| {
+                let d = (31 - n.max(16).leading_zeros()).clamp(4, 16);
+                generators::hypercube(d)
+            },
+            planar: false,
+        },
+        Family {
+            // deeper subdivisions hide the witness behind long paths —
+            // the harder end of the soundness sweep
+            name: "planted-K33-deep",
+            make: |n, s| generators::planted_kuratowski(n.max(16), false, 3, s),
+            planar: false,
+        },
     ]
 }
 

@@ -8,7 +8,10 @@
 
 use crate::scheme::{Assignment, ProofLabelingScheme, ProveError};
 use dpc_graph::Graph;
-use dpc_runtime::{run_protocol, NodeCtx, Payload, Protocol, Step};
+use dpc_runtime::{
+    get_bytes, get_uvarint, put_uvarint, run_protocol, DecodeError, NodeCtx, Payload, Protocol,
+    Step,
+};
 
 /// Outcome of running a scheme on a graph.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,6 +43,74 @@ impl Outcome {
     pub fn reject_count(&self) -> usize {
         self.verdicts.iter().filter(|&&b| !b).count()
     }
+
+    /// Appends the wire encoding: scalar fields as varints, then the
+    /// per-node verdicts as a packed bitmap. `avg_cert_bits` is not
+    /// transmitted — it is recomputed from the totals on decode.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        put_uvarint(out, self.verdicts.len() as u64);
+        put_uvarint(out, self.rounds as u64);
+        put_uvarint(out, self.max_message_bits as u64);
+        put_uvarint(out, self.total_message_bits);
+        put_uvarint(out, self.max_cert_bits as u64);
+        put_uvarint(out, self.total_cert_bits as u64);
+        let mut byte = 0u8;
+        for (i, &v) in self.verdicts.iter().enumerate() {
+            if v {
+                byte |= 1 << (i % 8);
+            }
+            if i % 8 == 7 {
+                out.push(byte);
+                byte = 0;
+            }
+        }
+        if !self.verdicts.len().is_multiple_of(8) {
+            out.push(byte);
+        }
+    }
+
+    /// Decodes an outcome from the front of `buf`, advancing it.
+    /// Inverse of [`Outcome::encode_into`]. The node count is bounded
+    /// like [`crate::scheme::MAX_WIRE_CERTS`] so a hostile header
+    /// cannot force a multi-gigabyte verdict allocation.
+    pub fn decode_from(buf: &mut &[u8]) -> Result<Outcome, DecodeError> {
+        let n = get_uvarint(buf)? as usize;
+        if n > crate::scheme::MAX_WIRE_CERTS {
+            return Err(DecodeError::OutOfBits);
+        }
+        let rounds = get_uvarint(buf)? as usize;
+        let max_message_bits = get_uvarint(buf)? as usize;
+        let total_message_bits = get_uvarint(buf)?;
+        let max_cert_bits = get_uvarint(buf)? as usize;
+        let total_cert_bits = get_uvarint(buf)? as usize;
+        let bitmap = get_bytes(buf, n.div_ceil(8))?;
+        let verdicts = (0..n).map(|i| bitmap[i / 8] >> (i % 8) & 1 == 1).collect();
+        Ok(Outcome {
+            verdicts,
+            rounds,
+            max_message_bits,
+            total_message_bits,
+            max_cert_bits,
+            total_cert_bits,
+            avg_cert_bits: if n == 0 {
+                0.0
+            } else {
+                total_cert_bits as f64 / n as f64
+            },
+        })
+    }
+}
+
+/// A prove-and-verify result that *retains* the certificate
+/// assignment. [`run_pls`] discards the assignment because experiments
+/// only need the measurements; the certification service serves the
+/// certificates themselves, so it runs through here.
+#[derive(Debug, Clone)]
+pub struct Certified {
+    /// The honest prover's certificate assignment.
+    pub assignment: Assignment,
+    /// Measured verification outcome under that assignment.
+    pub outcome: Outcome,
 }
 
 struct PlsProtocol<'a, S> {
@@ -84,8 +155,19 @@ impl<'a, S: ProofLabelingScheme> Protocol for PlsProtocol<'a, S> {
 /// Returns `Err` when the prover declines (instance outside the class):
 /// by soundness this is the *expected* result on no-instances.
 pub fn run_pls<S: ProofLabelingScheme>(scheme: &S, g: &Graph) -> Result<Outcome, ProveError> {
+    Ok(certify_pls(scheme, g)?.outcome)
+}
+
+/// Like [`run_pls`], but returns the certificate assignment alongside
+/// the outcome — the entry point of the certification service, where
+/// the certificates are the product.
+pub fn certify_pls<S: ProofLabelingScheme>(scheme: &S, g: &Graph) -> Result<Certified, ProveError> {
     let assignment = scheme.prove(g)?;
-    Ok(run_with_assignment(scheme, g, &assignment))
+    let outcome = run_with_assignment(scheme, g, &assignment);
+    Ok(Certified {
+        assignment,
+        outcome,
+    })
 }
 
 /// Runs the distributed verifier under an arbitrary (possibly forged)
@@ -172,6 +254,35 @@ mod tests {
         assert_eq!(out.rounds, 1);
         assert!(out.max_cert_bits >= 8);
         assert_eq!(out.max_cert_bits, out.max_message_bits);
+    }
+
+    #[test]
+    fn certify_retains_the_assignment() {
+        let g = generators::grid(3, 4);
+        let certified = certify_pls(&DegreeScheme, &g).unwrap();
+        assert!(certified.outcome.all_accept());
+        assert_eq!(certified.assignment.certs.len(), g.node_count());
+        assert_eq!(
+            certified.outcome.total_cert_bits,
+            certified.assignment.total_bits()
+        );
+    }
+
+    #[test]
+    fn outcome_wire_roundtrip() {
+        for n in [1u32, 8, 9, 17] {
+            let g = generators::path(n);
+            let mut out = run_pls(&DegreeScheme, &g).unwrap();
+            if n > 2 {
+                out.verdicts[1] = false; // exercise a mixed bitmap
+            }
+            let mut buf = Vec::new();
+            out.encode_into(&mut buf);
+            let mut cursor = buf.as_slice();
+            let back = Outcome::decode_from(&mut cursor).unwrap();
+            assert!(cursor.is_empty());
+            assert_eq!(back, out);
+        }
     }
 
     #[test]

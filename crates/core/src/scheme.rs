@@ -1,7 +1,7 @@
 //! The proof-labeling-scheme abstraction.
 
 use dpc_graph::Graph;
-use dpc_runtime::{NodeCtx, Payload};
+use dpc_runtime::{get_bytes, get_uvarint, put_uvarint, DecodeError, NodeCtx, Payload};
 use std::fmt;
 
 /// A certificate assignment: one payload per node.
@@ -36,6 +36,72 @@ impl Assignment {
     pub fn total_bits(&self) -> usize {
         self.certs.iter().map(|c| c.bit_len).sum()
     }
+
+    /// Certificate-size statistics in one pass.
+    pub fn stats(&self) -> CertStats {
+        CertStats {
+            count: self.certs.len(),
+            max_bits: self.max_bits(),
+            total_bits: self.total_bits(),
+            avg_bits: self.avg_bits(),
+        }
+    }
+
+    /// Total *bytes* the assignment occupies (each certificate rounded
+    /// up to whole bytes) — the cache-budget measure of the service.
+    pub fn byte_size(&self) -> usize {
+        self.certs.iter().map(|c| c.bit_len.div_ceil(8)).sum()
+    }
+
+    /// Appends the wire encoding: certificate count, then per
+    /// certificate the exact bit length (varint) followed by
+    /// `ceil(bit_len / 8)` raw bytes. Byte-aligned so decoded payloads
+    /// are byte-identical to the encoded ones.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        put_uvarint(out, self.certs.len() as u64);
+        for c in self.certs.iter() {
+            put_uvarint(out, c.bit_len as u64);
+            out.extend_from_slice(&c.as_bytes()[..c.bit_len.div_ceil(8)]);
+        }
+    }
+
+    /// Decodes an assignment from the front of `buf`, advancing it.
+    /// Inverse of [`Assignment::encode_into`].
+    ///
+    /// The certificate count is validated against the remaining buffer
+    /// (each certificate costs at least one byte on the wire) and a
+    /// fixed per-node ceiling, so a hostile header cannot amplify a
+    /// small frame into gigabytes of `Payload` allocations.
+    pub fn decode_from(buf: &mut &[u8]) -> Result<Assignment, DecodeError> {
+        let count = get_uvarint(buf)? as usize;
+        if count > buf.len() || count > MAX_WIRE_CERTS {
+            return Err(DecodeError::OutOfBits);
+        }
+        let mut certs = Vec::with_capacity(count);
+        for _ in 0..count {
+            let bit_len = get_uvarint(buf)? as usize;
+            let bytes = get_bytes(buf, bit_len.div_ceil(8))?;
+            certs.push(Payload::from_bytes(bytes.to_vec(), bit_len));
+        }
+        Ok(Assignment { certs })
+    }
+}
+
+/// Upper bound on certificates (= nodes) in one wire assignment,
+/// matching the service's graph-size cap.
+pub const MAX_WIRE_CERTS: usize = 1 << 22;
+
+/// Certificate-size statistics of an [`Assignment`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CertStats {
+    /// Number of certificates (= nodes).
+    pub count: usize,
+    /// Largest certificate in bits.
+    pub max_bits: usize,
+    /// Total bits across all certificates.
+    pub total_bits: usize,
+    /// Average certificate size in bits.
+    pub avg_bits: f64,
 }
 
 /// Why the honest prover declined to produce certificates.
@@ -95,6 +161,44 @@ mod tests {
         assert_eq!(a.max_bits(), 4);
         assert_eq!(a.total_bits(), 4);
         assert!((a.avg_bits() - 4.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn assignment_wire_roundtrip() {
+        let mut a = Assignment::empty(4);
+        for (i, cert) in a.certs.iter_mut().enumerate() {
+            let mut w = dpc_runtime::BitWriter::new();
+            w.write_varint(i as u64 * 1000 + 3);
+            w.write_bits(i as u64, 3); // non-byte-aligned lengths
+            *cert = Payload::from_writer(w);
+        }
+        let mut buf = Vec::new();
+        a.encode_into(&mut buf);
+        let mut cursor = buf.as_slice();
+        let b = Assignment::decode_from(&mut cursor).unwrap();
+        assert!(cursor.is_empty());
+        assert_eq!(a.certs.len(), b.certs.len());
+        for (x, y) in a.certs.iter().zip(b.certs.iter()) {
+            assert_eq!(x.bit_len, y.bit_len);
+            assert_eq!(x.as_bytes(), y.as_bytes());
+        }
+        let stats = a.stats();
+        assert_eq!(stats.count, 4);
+        assert_eq!(stats.total_bits, a.total_bits());
+        assert!(a.byte_size() >= stats.total_bits / 8);
+    }
+
+    #[test]
+    fn assignment_decode_rejects_truncation() {
+        let mut a = Assignment::empty(2);
+        let mut w = dpc_runtime::BitWriter::new();
+        w.write_varint(77);
+        a.certs[0] = Payload::from_writer(w);
+        let mut buf = Vec::new();
+        a.encode_into(&mut buf);
+        buf.truncate(buf.len() - 1);
+        let mut cursor = buf.as_slice();
+        assert!(Assignment::decode_from(&mut cursor).is_err());
     }
 
     #[test]

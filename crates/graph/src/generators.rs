@@ -381,6 +381,38 @@ pub fn shuffle_ids(g: &Graph, seed: u64) -> Graph {
     g.with_ids(ids)
 }
 
+/// Number of families [`sample_family`] cycles through.
+pub const SAMPLE_FAMILY_COUNT: u32 = 18;
+
+/// One representative of every generator family, selected by index
+/// (taken modulo [`SAMPLE_FAMILY_COUNT`]). Cross-crate property tests
+/// (graph6 round-trips, the service wire codec) iterate this single
+/// table, so adding a family here extends their coverage in lockstep
+/// instead of requiring each hand-rolled dispatch to be updated.
+pub fn sample_family(which: u32, n: u32, seed: u64) -> Graph {
+    let n = n.max(4);
+    match which % SAMPLE_FAMILY_COUNT {
+        0 => path(n),
+        1 => cycle(n),
+        2 => star(n),
+        3 => complete(3 + n % 5),
+        4 => complete_bipartite(2 + n % 4, 2 + n % 5),
+        5 => grid(2 + n % 7, 2 + n % 6),
+        6 => wheel(n),
+        7 => random_tree(n, seed),
+        8 => caterpillar(n, 3, seed),
+        9 => stacked_triangulation(n, seed),
+        10 => random_planar(n, 0.5, seed),
+        11 => random_path_outerplanar(n, 2, seed),
+        12 => random_maximal_outerplanar(n, seed),
+        13 => random_series_parallel(n, seed),
+        14 => k5_subdivision(n % 6),
+        15 => k33_subdivision(n % 6),
+        16 => planted_kuratowski(n.max(12), seed.is_multiple_of(2), 1 + n % 3, seed),
+        _ => hypercube(2 + n % 5),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

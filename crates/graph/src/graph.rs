@@ -86,6 +86,14 @@ impl fmt::Display for GraphError {
 
 impl std::error::Error for GraphError {}
 
+/// The default network identifier of node `v`: `1000 + 7 * v` —
+/// distinct, non-consecutive, polynomial in `n`. The single source of
+/// truth for every layer that materializes or recognizes default ids
+/// (builder defaults, unions, the service wire codec).
+pub fn default_id(v: u64) -> u64 {
+    1000 + 7 * v
+}
+
 /// Incremental builder for [`Graph`].
 ///
 /// ```
@@ -167,12 +175,12 @@ impl GraphBuilder {
         self
     }
 
-    /// Finalizes the graph. Default identifiers are `1000 + 7 * v`
-    /// (distinct, non-consecutive, polynomial in `n`).
+    /// Finalizes the graph. Default identifiers come from
+    /// [`default_id`].
     pub fn build(self) -> Graph {
         let ids = self
             .ids
-            .unwrap_or_else(|| (0..self.n as u64).map(|v| 1000 + 7 * v).collect());
+            .unwrap_or_else(|| (0..self.n as u64).map(default_id).collect());
         assert_eq!(ids.len(), self.n as usize, "one identifier per node");
         Graph::from_parts(self.n, self.edges, ids)
     }
@@ -312,6 +320,15 @@ impl Graph {
         self.id_to_node.get(&id).copied()
     }
 
+    /// True if every node carries its [`default_id`] — such graphs can
+    /// be transmitted without an identifier list.
+    pub fn has_default_ids(&self) -> bool {
+        self.ids
+            .iter()
+            .copied()
+            .eq((0..self.n as u64).map(default_id))
+    }
+
     /// Returns a copy with fresh identifiers.
     ///
     /// # Panics
@@ -353,7 +370,7 @@ impl Graph {
                 .iter()
                 .map(|e| Edge::new(e.u + self.n, e.v + self.n)),
         );
-        let ids = (0..n as u64).map(|v| 1000 + 7 * v).collect();
+        let ids = (0..n as u64).map(default_id).collect();
         Graph::from_parts(n, edges, ids)
     }
 }

@@ -15,6 +15,9 @@
 //! * [`degeneracy`]: smallest-last (degeneracy) orderings — planar graphs
 //!   are 5-degenerate, the key to distributing edge-certificates evenly
 //!   (Section 3.3 of the paper).
+//! * [`canon`]: canonical (insertion-order-independent) edge lists and
+//!   deterministic 128-bit content hashes — the cache keys of the
+//!   certification service.
 //! * [`minors`]: minor machinery used to *validate* the lower-bound
 //!   instances of Section 4 (contractions, series-parallel reduction for
 //!   `K4`-minor-freeness, a branching minor search for small graphs, and
@@ -31,6 +34,7 @@
 //! ```
 
 pub mod biconnectivity;
+pub mod canon;
 pub mod degeneracy;
 pub mod generators;
 pub mod graph;

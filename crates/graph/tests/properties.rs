@@ -26,6 +26,34 @@ proptest! {
         prop_assert_eq!(graph6::encode(&h), s);
     }
 
+    /// graph6 round-trips every generator family, including
+    /// shuffled-identifier variants (graph6 carries structure only, so
+    /// the round trip must be id-independent), and the canonical hash
+    /// of the structure survives the trip.
+    #[test]
+    fn graph6_roundtrip_all_families(
+        which in 0u32..generators::SAMPLE_FAMILY_COUNT,
+        n in 4u32..60,
+        seed in 0u64..1000,
+    ) {
+        let g = generators::sample_family(which, n, seed);
+        for g in [g.clone(), generators::shuffle_ids(&g, seed)] {
+            let s = graph6::encode(&g);
+            let h = graph6::decode(&s).unwrap();
+            prop_assert_eq!(h.node_count(), g.node_count(), "family {}", which);
+            prop_assert_eq!(h.edge_count(), g.edge_count(), "family {}", which);
+            for e in g.edges() {
+                prop_assert!(h.has_edge(e.u, e.v), "family {}", which);
+            }
+            prop_assert_eq!(graph6::encode(&h), s, "re-encode is stable");
+            prop_assert_eq!(
+                dpc_graph::canon::structural_hash(&h),
+                dpc_graph::canon::structural_hash(&g),
+                "structure survives the trip"
+            );
+        }
+    }
+
     /// BFS tree distances are ≤ DFS tree distances, both span, subtree
     /// sizes are consistent.
     #[test]

@@ -194,6 +194,58 @@ pub fn varint_len(value: u64) -> usize {
     groups as usize * 8
 }
 
+// ---------------------------------------------------------------------------
+// Byte-oriented varints.
+//
+// The bit stream above measures certificates honestly (no padding); wire
+// protocols and caches instead want byte-aligned buffers that can be
+// memcpy'd and Arc-shared. These helpers are the canonical LEB128
+// encoding over `Vec<u8>` / `&[u8]`, shared by the certificate
+// serializers in `dpc-core` and the service wire codec.
+
+/// Appends `value` as a standard LEB128 varint (low 7 bits per byte,
+/// high bit = continuation).
+pub fn put_uvarint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let group = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(group);
+            return;
+        }
+        out.push(group | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint from the front of `buf`, advancing it.
+pub fn get_uvarint(buf: &mut &[u8]) -> Result<u64, DecodeError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let (&byte, rest) = buf.split_first().ok_or(DecodeError::OutOfBits)?;
+        *buf = rest;
+        let group = (byte & 0x7f) as u64;
+        if shift >= 64 || (shift == 63 && group > 1) {
+            return Err(DecodeError::VarintOverflow);
+        }
+        v |= group << shift;
+        shift += 7;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+}
+
+/// Takes exactly `n` bytes from the front of `buf`, advancing it.
+pub fn get_bytes<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], DecodeError> {
+    if buf.len() < n {
+        return Err(DecodeError::OutOfBits);
+    }
+    let (head, rest) = buf.split_at(n);
+    *buf = rest;
+    Ok(head)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,6 +322,40 @@ mod tests {
         assert_eq!(a.bit_len(), 5);
         let mut r = BitReader::new(a.as_bytes(), 5);
         assert_eq!(r.read_bits(5).unwrap(), 0b10101);
+    }
+
+    #[test]
+    fn byte_varint_roundtrip() {
+        let values = [0u64, 1, 127, 128, 300, 16383, 16384, u64::MAX];
+        let mut buf = Vec::new();
+        for &v in &values {
+            put_uvarint(&mut buf, v);
+        }
+        let mut cursor = buf.as_slice();
+        for &v in &values {
+            assert_eq!(get_uvarint(&mut cursor).unwrap(), v);
+        }
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn byte_varint_errors() {
+        let mut empty: &[u8] = &[];
+        assert_eq!(get_uvarint(&mut empty), Err(DecodeError::OutOfBits));
+        let mut truncated: &[u8] = &[0x80];
+        assert_eq!(get_uvarint(&mut truncated), Err(DecodeError::OutOfBits));
+        // 10 continuation groups overflow 64 bits
+        let mut long: &[u8] = &[0xff; 10];
+        assert_eq!(get_uvarint(&mut long), Err(DecodeError::VarintOverflow));
+    }
+
+    #[test]
+    fn get_bytes_advances() {
+        let data = [1u8, 2, 3, 4];
+        let mut cursor = data.as_slice();
+        assert_eq!(get_bytes(&mut cursor, 3).unwrap(), &[1, 2, 3]);
+        assert_eq!(get_bytes(&mut cursor, 2), Err(DecodeError::OutOfBits));
+        assert_eq!(get_bytes(&mut cursor, 1).unwrap(), &[4]);
     }
 
     #[test]

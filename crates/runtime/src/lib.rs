@@ -21,5 +21,5 @@ pub mod baseline;
 pub mod bits;
 pub mod sim;
 
-pub use bits::{BitReader, BitWriter, DecodeError};
+pub use bits::{get_bytes, get_uvarint, put_uvarint, BitReader, BitWriter, DecodeError};
 pub use sim::{run_protocol, run_protocol_states, NodeCtx, Payload, Protocol, RunReport, Step};

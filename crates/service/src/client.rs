@@ -1,0 +1,117 @@
+//! Blocking client for the certification service.
+//!
+//! One [`Client`] owns one TCP connection. The simple path is
+//! [`Client::call`] (send one request, wait for its response); for
+//! load generation the split [`Client::send`] / [`Client::recv`] pair
+//! pipelines many requests on the wire — the server answers in
+//! request order per connection, so responses come back in send
+//! order.
+
+use crate::metrics::StatsSnapshot;
+use crate::wire::{self, Request, Response, WireError};
+use dpc_graph::Graph;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    in_flight: u64,
+}
+
+impl Client {
+    /// Connects to a running `dpc serve`.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let write_half = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer: BufWriter::new(write_half),
+            in_flight: 0,
+        })
+    }
+
+    /// Sends a request without waiting (pipelining). Pair with
+    /// [`Client::recv`].
+    pub fn send(&mut self, req: &Request) -> Result<(), WireError> {
+        self.send_body(&req.encode())
+    }
+
+    /// Sends a pre-encoded frame body (see the `wire::encode_*_request`
+    /// helpers) without waiting. Pair with [`Client::recv`].
+    pub fn send_body(&mut self, body: &[u8]) -> Result<(), WireError> {
+        wire::write_frame(&mut self.writer, body)?;
+        self.writer.flush()?;
+        self.in_flight += 1;
+        Ok(())
+    }
+
+    fn call_body(&mut self, body: &[u8]) -> Result<Response, WireError> {
+        self.send_body(body)?;
+        self.recv()
+    }
+
+    /// Receives the next pipelined response.
+    pub fn recv(&mut self) -> Result<Response, WireError> {
+        let body = wire::read_frame(&mut self.reader)?.ok_or_else(|| {
+            WireError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))
+        })?;
+        self.in_flight = self.in_flight.saturating_sub(1);
+        Response::decode(&body)
+    }
+
+    /// One request, one response.
+    pub fn call(&mut self, req: &Request) -> Result<Response, WireError> {
+        self.send(req)?;
+        self.recv()
+    }
+
+    /// Requests sent whose responses have not been received yet.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight
+    }
+
+    /// Certifies a graph (encoded straight from the borrow — no
+    /// clone). `bypass_cache` forces a fresh prove (cold latency
+    /// measurements).
+    pub fn certify(&mut self, graph: &Graph, bypass_cache: bool) -> Result<Response, WireError> {
+        self.call_body(&wire::encode_certify_request(graph, bypass_cache))
+    }
+
+    /// Planarity check with witness summary.
+    pub fn check(&mut self, graph: &Graph) -> Result<Response, WireError> {
+        self.call_body(&wire::encode_check_request(graph))
+    }
+
+    /// Server-side graph generation.
+    pub fn gen(&mut self, family: &str, n: u32, seed: u64) -> Result<Graph, WireError> {
+        match self.call_body(&wire::encode_gen_request(family, n, seed))? {
+            Response::Generated(g) => Ok(g),
+            Response::Error(e) => Err(WireError::Protocol(e)),
+            other => Err(WireError::Protocol(format!(
+                "unexpected response to Gen: {other:?}"
+            ))),
+        }
+    }
+
+    /// Adversarial soundness probe.
+    pub fn soundness(&mut self, graph: &Graph, seed: u64) -> Result<Response, WireError> {
+        self.call_body(&wire::encode_soundness_request(graph, seed))
+    }
+
+    /// Server counters.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, WireError> {
+        match self.call_body(&wire::encode_stats_request())? {
+            Response::Stats(s) => Ok(s),
+            Response::Error(e) => Err(WireError::Protocol(e)),
+            other => Err(WireError::Protocol(format!(
+                "unexpected response to Stats: {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Named graph families servable through the Gen request (and shared
+//! with the `dpc gen` CLI subcommand).
+
+use dpc_graph::{generators, Graph};
+
+/// Family names accepted by [`make`].
+pub const FAMILIES: &[&str] = &[
+    "tree",
+    "cycle",
+    "grid",
+    "triangulation",
+    "planar",
+    "outerplanar",
+    "k5sub",
+    "k33sub",
+    "hypercube",
+    "planted-k5",
+    "planted-k33",
+    "gnm",
+];
+
+/// Upper bound on requested size: generation is remotely reachable
+/// (the Gen request), so `n` must be bounded before any family's
+/// arithmetic or allocation sees it.
+pub const MAX_GEN_NODES: u32 = 1 << 20;
+
+/// Builds a member of the named family with about `n` nodes.
+pub fn make(family: &str, n: u32, seed: u64) -> Result<Graph, String> {
+    if n > MAX_GEN_NODES {
+        return Err(format!("n = {n} exceeds the limit of {MAX_GEN_NODES}"));
+    }
+    let g = match family {
+        "tree" => generators::random_tree(n, seed),
+        "cycle" => generators::cycle(n.max(3)),
+        "grid" => {
+            let side = (n as f64).sqrt().ceil() as u32;
+            generators::grid(side.max(2), side.max(2))
+        }
+        "triangulation" => generators::stacked_triangulation(n.max(3), seed),
+        "planar" => generators::random_planar(n.max(3), 0.5, seed),
+        "outerplanar" => generators::random_maximal_outerplanar(n.max(3), seed),
+        // for the subdivision families the parameter is the per-edge
+        // subdivision count, not the node count: clamp it so the
+        // *output* (5 + 10·extra / 6 + 9·extra nodes) stays within the
+        // same bound as every other family
+        "k5sub" => generators::k5_subdivision(n.min((MAX_GEN_NODES - 5) / 10)),
+        "k33sub" => generators::k33_subdivision(n.min((MAX_GEN_NODES - 6) / 9)),
+        "hypercube" => {
+            let d = (31 - n.max(4).leading_zeros()).clamp(2, 16);
+            generators::hypercube(d)
+        }
+        "planted-k5" => generators::planted_kuratowski(n.max(10), true, 1, seed),
+        "planted-k33" => generators::planted_kuratowski(n.max(10), false, 1, seed),
+        "gnm" => {
+            let n = n.max(5);
+            // u64 intermediate: n*(n-1) overflows u32 from n = 65536
+            let m = (3 * n as u64).min(n as u64 * (n as u64 - 1) / 2) as u32;
+            generators::gnm_connected(n, m, seed)
+        }
+        _ => {
+            return Err(format!(
+                "unknown family {family:?} (expected one of: {})",
+                FAMILIES.join("|")
+            ))
+        }
+    };
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_family_generates() {
+        for &f in FAMILIES {
+            let g = make(f, 24, 3).unwrap_or_else(|e| panic!("{f}: {e}"));
+            assert!(g.node_count() > 0, "{f}");
+            assert!(g.is_connected(), "{f} must be connected");
+        }
+        assert!(make("nosuch", 10, 0).is_err());
+    }
+
+    #[test]
+    fn oversized_n_is_rejected_not_generated() {
+        // remotely reachable: must error, never panic or allocate
+        assert!(make("gnm", u32::MAX, 0).is_err());
+        assert!(make("grid", MAX_GEN_NODES + 1, 0).is_err());
+        assert!(make("triangulation", u32::MAX, 0).is_err());
+    }
+
+    #[test]
+    fn subdivision_families_bound_their_output_size() {
+        for family in ["k5sub", "k33sub"] {
+            let g = make(family, MAX_GEN_NODES, 0).unwrap();
+            assert!(
+                g.node_count() as u32 <= MAX_GEN_NODES,
+                "{family}: {} nodes",
+                g.node_count()
+            );
+        }
+    }
+
+    #[test]
+    fn hypercube_dimension_tracks_n() {
+        assert_eq!(make("hypercube", 16, 0).unwrap().node_count(), 16);
+        assert_eq!(make("hypercube", 64, 0).unwrap().node_count(), 64);
+    }
+}

@@ -1,0 +1,47 @@
+//! Long-running certification service for the planarity PLS.
+//!
+//! The paper's pipeline — compute a compact certificate once, verify
+//! it cheaply everywhere — maps directly onto a serving architecture:
+//! certificates are immutable, content-addressed artifacts. This crate
+//! turns the single-shot library into that system, using only
+//! `std::net` TCP and `std::thread`:
+//!
+//! * [`wire`] — the binary protocol: length-prefixed frames, varint
+//!   delta-encoded graphs, byte-exact `Assignment`/`Outcome` bodies;
+//!   request kinds Certify / Check / Gen / SoundnessProbe / Stats;
+//! * [`cache`] — the sharded, content-addressed certificate cache:
+//!   canonical graph hash → `Arc`-shared prove result, lock-striped
+//!   shards, LRU eviction under a byte budget;
+//! * [`server`] — accept loop, per-connection reader/writer threads,
+//!   and a worker pool that drains a bounded queue, folds concurrent
+//!   Certify requests into [`dpc_core::batch::BatchRunner`] batches,
+//!   and streams responses back in request order per connection;
+//! * [`client`] — a blocking client with request pipelining;
+//! * [`metrics`] — lock-free counters and the power-of-two latency
+//!   histogram behind the Stats endpoint;
+//! * [`gen`] — the named graph families servable via Gen.
+//!
+//! ```no_run
+//! use dpc_service::{client::Client, server};
+//!
+//! let handle = server::serve("127.0.0.1:0", Default::default()).unwrap();
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! let g = dpc_graph::generators::grid(10, 10);
+//! let first = client.certify(&g, false).unwrap(); // proves
+//! let second = client.certify(&g, false).unwrap(); // cache hit
+//! # let _ = (first, second);
+//! handle.shutdown();
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod gen;
+pub mod metrics;
+pub mod server;
+pub mod wire;
+
+pub use cache::{CacheConfig, CertCache};
+pub use client::Client;
+pub use metrics::StatsSnapshot;
+pub use server::{serve, ServeConfig, ServerHandle};
+pub use wire::{Request, Response, WireError};

@@ -1,0 +1,326 @@
+//! Service counters and the integer latency histogram.
+//!
+//! Everything here is lock-free (`AtomicU64` with relaxed ordering —
+//! counters need atomicity, not ordering) so the request hot path
+//! never serializes on a metrics mutex. Latencies go into a
+//! power-of-two histogram: bucket `i` counts requests that took
+//! `[2^i, 2^(i+1))` microseconds, and quantiles are read back as the
+//! lower bound of the bucket where the cumulative count crosses the
+//! target — integer in, integer out, no floating-point accumulation.
+
+use dpc_runtime::{get_uvarint, put_uvarint, DecodeError};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets (covers up to ~2^39 µs).
+pub const LATENCY_BUCKETS: usize = 40;
+
+/// Lock-free latency histogram with power-of-two microsecond buckets.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&self, d: Duration) {
+        let us = d.as_micros().min(u64::MAX as u128) as u64;
+        let bucket = (64 - us.leading_zeros() as usize)
+            .saturating_sub(1)
+            .min(LATENCY_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Immutable bucket counts, as shipped in a Stats response.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// `buckets[i]` counts observations in `[2^i, 2^(i+1))` µs
+    /// (bucket 0 covers `[0, 2)`).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The `q`-quantile (0 < q <= 1) in microseconds: the lower bound
+    /// of the bucket where the cumulative count reaches `ceil(q * n)`.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if i == 0 { 0 } else { 1u64 << i.min(63) };
+            }
+        }
+        1u64 << (self.buckets.len() - 1).min(63)
+    }
+
+    /// Median latency in microseconds.
+    pub fn p50_us(&self) -> u64 {
+        self.quantile_us(0.50)
+    }
+
+    /// 99th-percentile latency in microseconds.
+    pub fn p99_us(&self) -> u64 {
+        self.quantile_us(0.99)
+    }
+}
+
+/// Live server counters.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Certify requests received.
+    pub certify: AtomicU64,
+    /// Check requests received.
+    pub check: AtomicU64,
+    /// Gen requests received.
+    pub gen: AtomicU64,
+    /// Soundness probes received.
+    pub soundness: AtomicU64,
+    /// Stats requests received.
+    pub stats: AtomicU64,
+    /// Malformed requests answered with an error.
+    pub errors: AtomicU64,
+    /// Worker batches that contained more than one certify request.
+    pub batches: AtomicU64,
+    /// Certify requests that rode in a multi-request batch.
+    pub batched_certifies: AtomicU64,
+    /// Honest-prover executions (cache misses + bypasses).
+    pub proves: AtomicU64,
+    /// End-to-end request latency (queue + service).
+    pub latency: LatencyHistogram,
+}
+
+impl Metrics {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// A point-in-time copy of every counter, as shipped in a Stats
+/// response. Cache fields are merged in by the server from the
+/// certificate cache's own counters.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatsSnapshot {
+    /// Certify requests received.
+    pub certify: u64,
+    /// Check requests received.
+    pub check: u64,
+    /// Gen requests received.
+    pub gen: u64,
+    /// Soundness probes received.
+    pub soundness: u64,
+    /// Stats requests received.
+    pub stats: u64,
+    /// Malformed requests answered with an error.
+    pub errors: u64,
+    /// Cache hits.
+    pub cache_hits: u64,
+    /// Cache misses.
+    pub cache_misses: u64,
+    /// Cache evictions.
+    pub cache_evictions: u64,
+    /// Live cache entries.
+    pub cache_entries: u64,
+    /// Bytes charged against the cache budget.
+    pub cache_bytes: u64,
+    /// Worker batches with more than one certify request.
+    pub batches: u64,
+    /// Certify requests that rode in a multi-request batch.
+    pub batched_certifies: u64,
+    /// Honest-prover executions.
+    pub proves: u64,
+    /// Request latency histogram.
+    pub latency: HistogramSnapshot,
+}
+
+impl StatsSnapshot {
+    /// Total requests received.
+    pub fn requests_total(&self) -> u64 {
+        self.certify + self.check + self.gen + self.soundness + self.stats
+    }
+
+    /// Appends the wire encoding.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        for v in [
+            self.certify,
+            self.check,
+            self.gen,
+            self.soundness,
+            self.stats,
+            self.errors,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+            self.cache_entries,
+            self.cache_bytes,
+            self.batches,
+            self.batched_certifies,
+            self.proves,
+        ] {
+            put_uvarint(out, v);
+        }
+        put_uvarint(out, self.latency.buckets.len() as u64);
+        for &b in &self.latency.buckets {
+            put_uvarint(out, b);
+        }
+    }
+
+    /// Decodes a snapshot from the front of `buf`, advancing it.
+    pub fn decode_from(buf: &mut &[u8]) -> Result<StatsSnapshot, DecodeError> {
+        let mut s = StatsSnapshot::default();
+        for field in [
+            &mut s.certify,
+            &mut s.check,
+            &mut s.gen,
+            &mut s.soundness,
+            &mut s.stats,
+            &mut s.errors,
+            &mut s.cache_hits,
+            &mut s.cache_misses,
+            &mut s.cache_evictions,
+            &mut s.cache_entries,
+            &mut s.cache_bytes,
+            &mut s.batches,
+            &mut s.batched_certifies,
+            &mut s.proves,
+        ] {
+            *field = get_uvarint(buf)?;
+        }
+        let buckets = get_uvarint(buf)? as usize;
+        if buckets > LATENCY_BUCKETS {
+            // our histograms are fixed-width; more buckets is corruption
+            return Err(DecodeError::OutOfBits);
+        }
+        s.latency.buckets = (0..buckets)
+            .map(|_| get_uvarint(buf))
+            .collect::<Result<_, _>>()?;
+        Ok(s)
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "requests: {} (certify {}, check {}, gen {}, soundness {}, stats {}, errors {})",
+            self.requests_total(),
+            self.certify,
+            self.check,
+            self.gen,
+            self.soundness,
+            self.stats,
+            self.errors,
+        )?;
+        writeln!(
+            f,
+            "cache: {} hits, {} misses, {} evictions, {} entries, {} bytes",
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+            self.cache_entries,
+            self.cache_bytes,
+        )?;
+        writeln!(
+            f,
+            "prover: {} executions; batching: {} batches covering {} requests",
+            self.proves, self.batches, self.batched_certifies,
+        )?;
+        write!(
+            f,
+            "latency: {} samples, p50 {} us, p99 {} us",
+            self.latency.count(),
+            self.latency.p50_us(),
+            self.latency.p99_us(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(0));
+        h.record(Duration::from_micros(1));
+        h.record(Duration::from_micros(2));
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_micros(1000));
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0], 2, "[0, 2) us");
+        assert_eq!(s.buckets[1], 2, "[2, 4) us");
+        assert_eq!(s.buckets[9], 1, "[512, 1024) us");
+        assert_eq!(s.count(), 5);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_lower_bounds() {
+        let h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(Duration::from_micros(100)); // bucket 6: [64, 128)
+        }
+        h.record(Duration::from_millis(100)); // bucket 16
+        let s = h.snapshot();
+        assert_eq!(s.p50_us(), 64);
+        assert_eq!(s.p99_us(), 64);
+        assert_eq!(s.quantile_us(1.0), 1 << 16);
+        assert_eq!(HistogramSnapshot::default().p50_us(), 0);
+    }
+
+    #[test]
+    fn snapshot_wire_roundtrip() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(7));
+        let snapshot = StatsSnapshot {
+            certify: 10,
+            cache_hits: 9,
+            cache_bytes: 1 << 30,
+            latency: h.snapshot(),
+            ..Default::default()
+        };
+        let mut buf = Vec::new();
+        snapshot.encode_into(&mut buf);
+        let mut cursor = buf.as_slice();
+        let back = StatsSnapshot::decode_from(&mut cursor).unwrap();
+        assert!(cursor.is_empty());
+        assert_eq!(back, snapshot);
+    }
+}

@@ -1,0 +1,590 @@
+//! The long-running certification server.
+//!
+//! Architecture (one box per thread kind):
+//!
+//! ```text
+//!                 ┌────────────┐   bounded   ┌──────────────┐
+//!  TCP ──accept──▶│ conn reader │──▶ queue ──▶│ worker pool  │
+//!        thread   │ (per conn)  │  (Condvar)  │  · cache     │
+//!                 └────────────┘             │  · BatchRunner│
+//!                        │                    └──────┬───────┘
+//!                        ▼                           │ (seq, frame)
+//!                 ┌────────────┐    reorder by seq   │
+//!                 │ conn writer │◀────────────────────┘
+//!                 └────────────┘
+//! ```
+//!
+//! * Every connection gets a reader thread (parses frames, tags each
+//!   request with a per-connection sequence number, pushes into the
+//!   shared bounded queue — blocking when full, which back-pressures
+//!   the TCP socket) and a writer thread (receives `(seq, frame)`
+//!   pairs from whichever worker finished, reorders, and writes
+//!   responses in request order).
+//! * Workers drain the queue. A popped Certify request greedily
+//!   collects the other Certify requests currently queued (up to
+//!   `batch_max`) and runs the cache misses through the existing
+//!   [`BatchRunner`] in one parallel batch, deduplicating identical
+//!   graphs within the batch.
+//! * The cache is keyed by [`dpc_graph::canon::hash_bytes`] over the
+//!   canonical wire encoding (one sort per request), with the stored
+//!   encoding compared on every hit as a collision guard; a hit
+//!   memcpys the entry's pre-encoded suffix — the prover never runs
+//!   twice for the same graph.
+
+use crate::cache::{CacheConfig, CacheEntry, CertCache, ProveResult};
+use crate::gen;
+use crate::metrics::{Metrics, StatsSnapshot};
+use crate::wire::{self, CheckVerdict, Request, Response, SoundnessLine, WireError};
+use dpc_core::adversary::soundness_report;
+use dpc_core::batch::BatchRunner;
+use dpc_core::harness::certify_pls;
+use dpc_core::scheme::ProveError;
+use dpc_core::schemes::planarity::PlanarityScheme;
+use dpc_graph::canon::hash_bytes;
+use dpc_graph::minors::KuratowskiKind;
+use dpc_graph::Graph;
+use dpc_planar::kuratowski::extract_kuratowski;
+use dpc_planar::lr::{planarity, Planarity};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Server sizing. Defaults suit an interactive localhost deployment.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Request-processing workers.
+    pub workers: usize,
+    /// Threads the [`BatchRunner`] uses to prove a batch of misses.
+    pub prove_threads: usize,
+    /// Bounded request-queue capacity (back-pressure threshold).
+    pub queue_capacity: usize,
+    /// Max Certify requests folded into one worker batch.
+    pub batch_max: usize,
+    /// Certificate-cache sizing.
+    pub cache: CacheConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        ServeConfig {
+            workers: cores.max(2),
+            prove_threads: cores,
+            queue_capacity: 1024,
+            batch_max: 32,
+            cache: CacheConfig::default(),
+        }
+    }
+}
+
+/// A job: one decoded request plus everything needed to answer it.
+struct Job {
+    req: Request,
+    seq: u64,
+    reply: mpsc::Sender<(u64, Vec<u8>)>,
+    received: Instant,
+}
+
+/// Bounded MPMC queue (Mutex + two Condvars — std has no bounded
+/// channel with multiple consumers).
+struct JobQueue {
+    jobs: Mutex<VecDeque<Job>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+    closed: AtomicBool,
+}
+
+impl JobQueue {
+    fn new(capacity: usize) -> Self {
+        JobQueue {
+            jobs: Mutex::new(VecDeque::new()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// Blocks while the queue is full. Returns `false` if the queue
+    /// closed (server shutting down) and the job was dropped.
+    fn push(&self, job: Job) -> bool {
+        let mut jobs = self.jobs.lock().expect("queue poisoned");
+        while jobs.len() >= self.capacity {
+            if self.closed.load(Ordering::Acquire) {
+                return false;
+            }
+            jobs = self.not_full.wait(jobs).expect("queue poisoned");
+        }
+        if self.closed.load(Ordering::Acquire) {
+            return false;
+        }
+        jobs.push_back(job);
+        drop(jobs);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Pops one job; if it is a Certify, greedily extracts up to
+    /// `batch_max - 1` more Certify jobs from anywhere in the queue
+    /// (other request kinds keep their positions). Returns `None` on
+    /// shutdown.
+    fn pop_batch(&self, batch_max: usize) -> Option<Vec<Job>> {
+        let mut jobs = self.jobs.lock().expect("queue poisoned");
+        loop {
+            if let Some(first) = jobs.pop_front() {
+                let mut batch = vec![first];
+                if matches!(batch[0].req, Request::Certify { .. }) {
+                    let mut i = 0;
+                    while i < jobs.len() && batch.len() < batch_max {
+                        if matches!(jobs[i].req, Request::Certify { .. }) {
+                            batch.push(jobs.remove(i).expect("index in bounds"));
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+                drop(jobs);
+                self.not_full.notify_all();
+                return Some(batch);
+            }
+            if self.closed.load(Ordering::Acquire) {
+                return None;
+            }
+            jobs = self.not_empty.wait(jobs).expect("queue poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    cache: CertCache,
+    metrics: Metrics,
+    queue: JobQueue,
+    scheme: PlanarityScheme,
+    runner: BatchRunner,
+    shutdown: AtomicBool,
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// call [`ServerHandle::shutdown`] or [`ServerHandle::wait`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A stats snapshot without going through the wire.
+    pub fn stats(&self) -> StatsSnapshot {
+        snapshot(&self.shared)
+    }
+
+    /// Stops accepting, drains the queue, and joins all server
+    /// threads. In-flight requests get their responses.
+    pub fn shutdown(self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.queue.close();
+        // unblock the accept loop
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.accept.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+
+    /// Blocks until the accept loop exits (i.e. forever, for a
+    /// foreground `dpc serve`).
+    pub fn wait(self) {
+        let _ = self.accept.join();
+    }
+}
+
+/// Binds `addr` and starts the accept loop and worker pool.
+pub fn serve<A: ToSocketAddrs>(addr: A, cfg: ServeConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        cache: CertCache::new(cfg.cache),
+        metrics: Metrics::new(),
+        queue: JobQueue::new(cfg.queue_capacity),
+        scheme: PlanarityScheme::new(),
+        runner: BatchRunner::with_threads(cfg.prove_threads),
+        cfg,
+        shutdown: AtomicBool::new(false),
+    });
+    let workers = (0..shared.cfg.workers.max(1))
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("dpc-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker")
+        })
+        .collect();
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("dpc-accept".into())
+            .spawn(move || accept_loop(listener, &shared))
+            .expect("spawn accept loop")
+    };
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept,
+        workers,
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        let _ = std::thread::Builder::new()
+            .name("dpc-conn".into())
+            .spawn(move || handle_connection(stream, &shared));
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = mpsc::channel::<(u64, Vec<u8>)>();
+    let writer = std::thread::Builder::new()
+        .name("dpc-conn-writer".into())
+        .spawn(move || writer_loop(write_half, rx))
+        .expect("spawn connection writer");
+    let mut reader = BufReader::new(stream);
+    let mut seq = 0u64;
+    loop {
+        let body = match wire::read_frame(&mut reader) {
+            Ok(Some(body)) => body,
+            Ok(None) | Err(WireError::Io(_)) => break,
+            Err(e) => {
+                // framing itself broke (e.g. oversized frame): answer
+                // once and drop the connection, the stream is desynced
+                shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send((seq, Response::Error(e.to_string()).encode()));
+                break;
+            }
+        };
+        let job = match Request::decode(&body) {
+            Ok(req) => {
+                count_request(&shared.metrics, &req);
+                Job {
+                    req,
+                    seq,
+                    reply: tx.clone(),
+                    received: Instant::now(),
+                }
+            }
+            Err(e) => {
+                shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::Error(e.to_string()).encode();
+                if tx.send((seq, resp)).is_err() {
+                    break;
+                }
+                seq += 1;
+                continue;
+            }
+        };
+        if !shared.queue.push(job) {
+            break; // shutting down
+        }
+        seq += 1;
+    }
+    drop(tx);
+    let _ = writer.join();
+}
+
+/// Receives `(seq, frame body)` in completion order, writes frames in
+/// sequence order.
+fn writer_loop(stream: TcpStream, rx: mpsc::Receiver<(u64, Vec<u8>)>) {
+    let mut out = BufWriter::new(stream);
+    let mut next = 0u64;
+    let mut pending: HashMap<u64, Vec<u8>> = HashMap::new();
+    for (seq, body) in rx {
+        pending.insert(seq, body);
+        let mut wrote = false;
+        while let Some(body) = pending.remove(&next) {
+            if wire::write_frame(&mut out, &body).is_err() {
+                return;
+            }
+            next += 1;
+            wrote = true;
+        }
+        if wrote && out.flush().is_err() {
+            return;
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(batch) = shared.queue.pop_batch(shared.cfg.batch_max) {
+        if matches!(batch[0].req, Request::Certify { .. }) {
+            process_certify_batch(shared, batch);
+        } else {
+            for job in batch {
+                let body = process_single(shared, &job.req);
+                finish(shared, &job, body);
+            }
+        }
+    }
+}
+
+/// Bumps the per-kind request counter. An exhaustive match, so adding
+/// a `Request` variant without deciding its counter fails to compile
+/// instead of silently misattributing it.
+fn count_request(m: &Metrics, req: &Request) {
+    let counter = match req {
+        Request::Certify { .. } => &m.certify,
+        Request::Check { .. } => &m.check,
+        Request::Gen { .. } => &m.gen,
+        Request::SoundnessProbe { .. } => &m.soundness,
+        Request::Stats => &m.stats,
+    };
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+fn finish(shared: &Shared, job: &Job, body: Vec<u8>) {
+    shared.metrics.latency.record(job.received.elapsed());
+    let _ = job.reply.send((job.seq, body));
+}
+
+/// Proves one graph (or explains why not). Connectivity is checked
+/// here because the PLS model assumes a connected network. A panic in
+/// the prover is contained (it would otherwise kill the worker thread
+/// and wedge the response stream) and surfaced as `Err` — an internal
+/// error, *not* a decline: declines are semantic ("outside the
+/// class") and cacheable, a panic is neither.
+fn prove_one(shared: &Shared, g: &Graph) -> Result<ProveResult, String> {
+    if !g.is_connected() {
+        return Ok(ProveResult::Declined {
+            reason: ProveError::NotConnected.to_string(),
+        });
+    }
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        certify_pls(&shared.scheme, g)
+    }));
+    match run {
+        Ok(Ok(certified)) => Ok(ProveResult::Certified {
+            assignment: certified.assignment,
+            outcome: certified.outcome,
+        }),
+        Ok(Err(e)) => Ok(ProveResult::Declined {
+            reason: e.to_string(),
+        }),
+        Err(_) => Err("internal error: the prover panicked on this instance".to_string()),
+    }
+}
+
+fn entry_body(cached: bool, entry: &CacheEntry) -> Vec<u8> {
+    match &entry.result {
+        ProveResult::Certified { .. } => wire::certified_body_from_suffix(cached, &entry.suffix),
+        ProveResult::Declined { .. } => wire::declined_body_from_suffix(cached, &entry.suffix),
+    }
+}
+
+fn process_certify_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
+    if batch.len() > 1 {
+        shared.metrics.batches.fetch_add(1, Ordering::Relaxed);
+        shared
+            .metrics
+            .batched_certifies
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+    }
+    // Phase 1: cache lookups. `to_prove` maps a cache key (plus the
+    // canonical graph bytes, the collision guard) to the jobs waiting
+    // on it, deduplicating identical graphs in the batch; bypass
+    // requests always prove, one prove per request.
+    struct Miss<'a> {
+        graph: &'a Graph,
+        key: Option<(dpc_graph::canon::GraphHash, Vec<u8>)>,
+        waiters: Vec<usize>,
+    }
+    let mut to_prove: Vec<Miss> = Vec::new();
+    let mut done: Vec<Option<Vec<u8>>> = (0..batch.len()).map(|_| None).collect();
+    for (i, job) in batch.iter().enumerate() {
+        let Request::Certify {
+            graph,
+            bypass_cache,
+        } = &job.req
+        else {
+            unreachable!("certify batches contain only certify jobs");
+        };
+        if *bypass_cache {
+            to_prove.push(Miss {
+                graph,
+                key: None,
+                waiters: vec![i],
+            });
+            continue;
+        }
+        // one canonical pass: the wire encoding sorts the edge list,
+        // and the cache key is the hash of those bytes
+        let mut bytes = Vec::new();
+        wire::encode_graph(&mut bytes, graph);
+        let key = hash_bytes(&bytes);
+        match shared.cache.lookup(key, &bytes) {
+            Some(entry) => done[i] = Some(entry_body(true, &entry)),
+            None => {
+                let dup = to_prove
+                    .iter_mut()
+                    .find(|m| matches!(&m.key, Some((k, b)) if *k == key && *b == bytes));
+                match dup {
+                    Some(m) => m.waiters.push(i),
+                    None => to_prove.push(Miss {
+                        graph,
+                        key: Some((key, bytes)),
+                        waiters: vec![i],
+                    }),
+                }
+            }
+        }
+    }
+    // Phase 2: prove all misses through the batch engine.
+    if !to_prove.is_empty() {
+        shared
+            .metrics
+            .proves
+            .fetch_add(to_prove.len() as u64, Ordering::Relaxed);
+        let graphs: Vec<&Graph> = to_prove.iter().map(|m| m.graph).collect();
+        let results = shared.runner.map(&graphs, |g| prove_one(shared, g));
+        for (miss, result) in to_prove.into_iter().zip(results) {
+            match result {
+                Ok(result) => {
+                    let entry = match miss.key {
+                        Some((key, bytes)) => shared
+                            .cache
+                            .insert(key, Arc::new(CacheEntry::new(result, bytes))),
+                        None => Arc::new(CacheEntry::new(result, Vec::new())),
+                    };
+                    for i in miss.waiters {
+                        done[i] = Some(entry_body(false, &entry));
+                    }
+                }
+                Err(msg) => {
+                    // internal failure: answer, count, never cache
+                    shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    let body = Response::Error(msg).encode();
+                    for i in miss.waiters {
+                        done[i] = Some(body.clone());
+                    }
+                }
+            }
+        }
+    }
+    // Phase 3: respond in one pass (the per-connection writers restore
+    // request order).
+    for (job, body) in batch.iter().zip(done) {
+        finish(shared, job, body.expect("every job answered"));
+    }
+}
+
+/// Handles one non-certify request. Panics anywhere in the handlers
+/// are contained into an error response — a panicking handler must
+/// never kill the worker thread or leave a sequence number
+/// unanswered (the connection writer would wait on it forever).
+fn process_single(shared: &Arc<Shared>, req: &Request) -> Vec<u8> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        process_single_inner(shared, req)
+    }))
+    .unwrap_or_else(|_| {
+        shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+        Response::Error("internal error: request handler panicked".into()).encode()
+    })
+}
+
+fn process_single_inner(shared: &Arc<Shared>, req: &Request) -> Vec<u8> {
+    match req {
+        Request::Certify { .. } => unreachable!("certify goes through the batch path"),
+        Request::Check { graph } => check_response(graph).encode(),
+        Request::Gen { family, n, seed } => match gen::make(family, *n, *seed) {
+            Ok(g) => Response::Generated(g).encode(),
+            Err(e) => Response::Error(e).encode(),
+        },
+        Request::SoundnessProbe { graph, seed } => {
+            if !graph.is_connected() {
+                return Response::Error(ProveError::NotConnected.to_string()).encode();
+            }
+            let rows = soundness_report(&shared.scheme, graph, *seed)
+                .into_iter()
+                .map(|row| SoundnessLine {
+                    attack: row.attack.to_string(),
+                    rejects: row.rejects.map(|r| r as u64),
+                })
+                .collect();
+            Response::Soundness(rows).encode()
+        }
+        Request::Stats => Response::Stats(snapshot(shared)).encode(),
+    }
+}
+
+fn check_response(graph: &Graph) -> Response {
+    match planarity(graph) {
+        Planarity::Planar(rot) => {
+            if let Err(e) = rot.euler_check() {
+                return Response::Error(format!("inconsistent embedding: {e}"));
+            }
+            Response::Checked(CheckVerdict::Planar {
+                faces: rot.face_count() as u64,
+                genus: rot.genus(),
+            })
+        }
+        Planarity::NonPlanar => match extract_kuratowski(graph) {
+            Some(w) => Response::Checked(CheckVerdict::NonPlanar {
+                k5: matches!(w.kind, KuratowskiKind::K5),
+                branch_nodes: w.branch_nodes.clone(),
+                witness_edges: w.edges.len() as u64,
+            }),
+            None => Response::Error("inconsistent planarity result".into()),
+        },
+    }
+}
+
+fn snapshot(shared: &Shared) -> StatsSnapshot {
+    let cache = shared.cache.stats();
+    let m = &shared.metrics;
+    StatsSnapshot {
+        certify: m.certify.load(Ordering::Relaxed),
+        check: m.check.load(Ordering::Relaxed),
+        gen: m.gen.load(Ordering::Relaxed),
+        soundness: m.soundness.load(Ordering::Relaxed),
+        stats: m.stats.load(Ordering::Relaxed),
+        errors: m.errors.load(Ordering::Relaxed),
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+        cache_evictions: cache.evictions,
+        cache_entries: cache.entries,
+        cache_bytes: cache.bytes,
+        batches: m.batches.load(Ordering::Relaxed),
+        batched_certifies: m.batched_certifies.load(Ordering::Relaxed),
+        proves: m.proves.load(Ordering::Relaxed),
+        latency: m.latency.snapshot(),
+    }
+}

@@ -1,0 +1,736 @@
+//! The binary wire protocol of the certification service.
+//!
+//! Every message is a *frame*: a little-endian `u32` byte length
+//! followed by that many body bytes. Bodies are sequences of LEB128
+//! varints and raw byte runs (certificate payloads, bitmaps), so the
+//! codec is byte-aligned end to end and decoded certificates are
+//! byte-identical to the encoded ones.
+//!
+//! Graphs travel in a canonical delta encoding: node count, optional
+//! identifier list, then the sorted smaller-endpoint-first edge list
+//! with gap-encoded coordinates. Sortedness is enforced *by
+//! construction* on decode (coordinates are reconstructed from
+//! non-negative gaps), so malformed input can produce `Protocol`
+//! errors but never duplicate edges, self-loops, or panics.
+//!
+//! Request kinds: Certify, Check, Gen, SoundnessProbe, Stats. The
+//! codec is total: `decode(encode(x)) == x` for every request and
+//! response, which the property tests in `tests/wire_props.rs` pin
+//! down across all generator families.
+
+use crate::metrics::StatsSnapshot;
+use dpc_core::harness::Outcome;
+use dpc_core::scheme::Assignment;
+use dpc_graph::{canon, Graph, GraphBuilder};
+use dpc_runtime::{get_bytes, get_uvarint, put_uvarint, DecodeError};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame body, to bound allocation on malicious input.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+/// Upper bound on node count in a wire graph.
+pub const MAX_WIRE_NODES: u64 = 1 << 22;
+
+/// Errors of the wire layer.
+#[derive(Debug)]
+pub enum WireError {
+    /// Transport failure.
+    Io(io::Error),
+    /// A varint or byte run could not be read.
+    Decode(DecodeError),
+    /// Structurally invalid message (bad tag, bounds, trailing bytes).
+    Protocol(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::Decode(e) => write!(f, "malformed frame: {e}"),
+            WireError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl From<DecodeError> for WireError {
+    fn from(e: DecodeError) -> Self {
+        WireError::Decode(e)
+    }
+}
+
+fn protocol(msg: impl Into<String>) -> WireError {
+    WireError::Protocol(msg.into())
+}
+
+// ---------------------------------------------------------------------------
+// Frames.
+
+/// Writes one length-prefixed frame.
+pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> io::Result<()> {
+    debug_assert!(body.len() <= MAX_FRAME_BYTES);
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)
+}
+
+/// Reads one frame. `Ok(None)` means the peer closed the connection
+/// cleanly (EOF at a frame boundary).
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, WireError> {
+    let mut header = [0u8; 4];
+    match r.read_exact(&mut header) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(protocol(format!("frame of {len} bytes exceeds the limit")));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+// ---------------------------------------------------------------------------
+// Graphs.
+
+/// Appends the canonical wire encoding of a graph.
+pub fn encode_graph(out: &mut Vec<u8>, g: &Graph) {
+    put_uvarint(out, g.node_count() as u64);
+    let custom = !g.has_default_ids();
+    put_uvarint(out, custom as u64);
+    if custom {
+        for &id in g.ids() {
+            put_uvarint(out, id);
+        }
+    }
+    let edges = canon::canonical_edges(g);
+    put_uvarint(out, edges.len() as u64);
+    let (mut prev_u, mut prev_v) = (0u32, 0u32);
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        let du = u - prev_u;
+        put_uvarint(out, du as u64);
+        if i == 0 || du > 0 {
+            put_uvarint(out, (v - u - 1) as u64);
+        } else {
+            put_uvarint(out, (v - prev_v - 1) as u64);
+        }
+        prev_u = u;
+        prev_v = v;
+    }
+}
+
+/// Decodes a wire graph from the front of `buf`, advancing it.
+///
+/// Amplification guard: the node count must be roughly covered by the
+/// bytes actually present (any connected graph carries at least
+/// `2(n-1)` edge bytes; the 64x headroom also admits realistically
+/// sparse disconnected graphs sent to Check), so a few-byte frame
+/// cannot materialize a multi-hundred-MB `Graph` before the server
+/// even looks at it. Only pathological near-edgeless graphs beyond a
+/// few hundred nodes are rejected by this bound.
+pub fn decode_graph(buf: &mut &[u8]) -> Result<Graph, WireError> {
+    let n = get_uvarint(buf)?;
+    if n > MAX_WIRE_NODES {
+        return Err(protocol(format!("graph with {n} nodes exceeds the limit")));
+    }
+    if n > 64 * buf.len() as u64 + 1 {
+        return Err(protocol(format!(
+            "{n} nodes is not supported by a {}-byte frame",
+            buf.len()
+        )));
+    }
+    let n = n as u32;
+    let custom_ids = match get_uvarint(buf)? {
+        0 => false,
+        1 => true,
+        x => return Err(protocol(format!("bad id flag {x}"))),
+    };
+    let ids = if custom_ids {
+        if n as usize > buf.len() {
+            return Err(protocol("identifier list longer than the frame"));
+        }
+        let mut ids = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            ids.push(get_uvarint(buf)?);
+        }
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
+            return Err(protocol("duplicate network identifiers"));
+        }
+        Some(ids)
+    } else {
+        None
+    };
+    let m = get_uvarint(buf)?;
+    let max_m = n as u64 * (n as u64).saturating_sub(1) / 2;
+    if m > max_m {
+        return Err(protocol(format!("{m} edges on {n} nodes is impossible")));
+    }
+    if m > buf.len() as u64 / 2 {
+        // each edge is two varints, at least two bytes
+        return Err(protocol("edge list longer than the frame"));
+    }
+    let mut b = GraphBuilder::new(n);
+    if let Some(ids) = ids {
+        b.with_ids(ids);
+    }
+    let (mut prev_u, mut prev_v) = (0u32, 0u32);
+    for i in 0..m {
+        let du = get_uvarint(buf)?;
+        let u = (prev_u as u64)
+            .checked_add(du)
+            .filter(|&u| u < n as u64)
+            .ok_or_else(|| protocol("edge endpoint out of range"))? as u32;
+        let dv = get_uvarint(buf)?;
+        let base = if i == 0 || du > 0 {
+            u as u64
+        } else {
+            prev_v as u64
+        };
+        let v = base
+            .checked_add(dv)
+            .and_then(|x| x.checked_add(1))
+            .filter(|&v| v < n as u64)
+            .ok_or_else(|| protocol("edge endpoint out of range"))? as u32;
+        b.add_edge(u, v)
+            .map_err(|e| protocol(format!("bad edge list: {e}")))?;
+        prev_u = u;
+        prev_v = v;
+    }
+    Ok(b.build())
+}
+
+fn encode_string(out: &mut Vec<u8>, s: &str) {
+    put_uvarint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn decode_string(buf: &mut &[u8]) -> Result<String, WireError> {
+    let len = get_uvarint(buf)? as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(protocol("oversized string"));
+    }
+    let bytes = get_bytes(buf, len)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| protocol("string is not UTF-8"))
+}
+
+// ---------------------------------------------------------------------------
+// Requests.
+
+/// Per-request certify flags.
+pub const CERTIFY_FLAG_BYPASS_CACHE: u64 = 1;
+
+/// A client request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Run the planarity PLS prover (or serve it from cache) and return
+    /// the certificate assignment plus the measured outcome.
+    Certify {
+        /// The network to certify.
+        graph: Graph,
+        /// Skip the cache entirely (used to measure cold latency).
+        bypass_cache: bool,
+    },
+    /// Centralized planarity check with an embedding/witness summary.
+    Check {
+        /// The graph to test.
+        graph: Graph,
+    },
+    /// Generate a graph server-side from a named family.
+    Gen {
+        /// Family name (see [`crate::gen::FAMILIES`]).
+        family: String,
+        /// Approximate node count.
+        n: u32,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Run the adversarial attack battery against the graph.
+    SoundnessProbe {
+        /// The (typically non-planar) instance to attack.
+        graph: Graph,
+        /// Attack seed.
+        seed: u64,
+    },
+    /// Fetch server counters and latency quantiles.
+    Stats,
+}
+
+const REQ_CERTIFY: u64 = 1;
+const REQ_CHECK: u64 = 2;
+const REQ_GEN: u64 = 3;
+const REQ_SOUNDNESS: u64 = 4;
+const REQ_STATS: u64 = 5;
+
+// Borrowing encoders: build a frame body straight from a `&Graph`,
+// without constructing an owned `Request` (the client's hot path —
+// certifying a 10k-node graph should not clone it first).
+
+/// Frame body of a Certify request.
+pub fn encode_certify_request(graph: &Graph, bypass_cache: bool) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_uvarint(&mut out, REQ_CERTIFY);
+    let flags = if bypass_cache {
+        CERTIFY_FLAG_BYPASS_CACHE
+    } else {
+        0
+    };
+    put_uvarint(&mut out, flags);
+    encode_graph(&mut out, graph);
+    out
+}
+
+/// Frame body of a Check request.
+pub fn encode_check_request(graph: &Graph) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_uvarint(&mut out, REQ_CHECK);
+    encode_graph(&mut out, graph);
+    out
+}
+
+/// Frame body of a Gen request.
+pub fn encode_gen_request(family: &str, n: u32, seed: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_uvarint(&mut out, REQ_GEN);
+    encode_string(&mut out, family);
+    put_uvarint(&mut out, n as u64);
+    put_uvarint(&mut out, seed);
+    out
+}
+
+/// Frame body of a SoundnessProbe request.
+pub fn encode_soundness_request(graph: &Graph, seed: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_uvarint(&mut out, REQ_SOUNDNESS);
+    put_uvarint(&mut out, seed);
+    encode_graph(&mut out, graph);
+    out
+}
+
+/// Frame body of a Stats request.
+pub fn encode_stats_request() -> Vec<u8> {
+    let mut out = Vec::new();
+    put_uvarint(&mut out, REQ_STATS);
+    out
+}
+
+impl Request {
+    /// Encodes the request as a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::Certify {
+                graph,
+                bypass_cache,
+            } => encode_certify_request(graph, *bypass_cache),
+            Request::Check { graph } => encode_check_request(graph),
+            Request::Gen { family, n, seed } => encode_gen_request(family, *n, *seed),
+            Request::SoundnessProbe { graph, seed } => encode_soundness_request(graph, *seed),
+            Request::Stats => encode_stats_request(),
+        }
+    }
+
+    /// Decodes a frame body; the whole body must be consumed.
+    pub fn decode(body: &[u8]) -> Result<Request, WireError> {
+        let mut buf = body;
+        let req = match get_uvarint(&mut buf)? {
+            REQ_CERTIFY => {
+                let flags = get_uvarint(&mut buf)?;
+                if flags & !CERTIFY_FLAG_BYPASS_CACHE != 0 {
+                    return Err(protocol(format!("unknown certify flags {flags:#x}")));
+                }
+                Request::Certify {
+                    bypass_cache: flags & CERTIFY_FLAG_BYPASS_CACHE != 0,
+                    graph: decode_graph(&mut buf)?,
+                }
+            }
+            REQ_CHECK => Request::Check {
+                graph: decode_graph(&mut buf)?,
+            },
+            REQ_GEN => Request::Gen {
+                family: decode_string(&mut buf)?,
+                n: get_uvarint(&mut buf)? as u32,
+                seed: get_uvarint(&mut buf)?,
+            },
+            REQ_SOUNDNESS => {
+                let seed = get_uvarint(&mut buf)?;
+                Request::SoundnessProbe {
+                    seed,
+                    graph: decode_graph(&mut buf)?,
+                }
+            }
+            REQ_STATS => Request::Stats,
+            k => return Err(protocol(format!("unknown request kind {k}"))),
+        };
+        if !buf.is_empty() {
+            return Err(protocol(format!("{} trailing bytes", buf.len())));
+        }
+        Ok(req)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses.
+
+/// Planarity verdict of a Check request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckVerdict {
+    /// Planar, with the certified embedding's face count and genus.
+    Planar {
+        /// Number of faces of the embedding.
+        faces: u64,
+        /// Euler genus (0 for a certified planar embedding).
+        genus: i64,
+    },
+    /// Non-planar, with the Kuratowski witness summary.
+    NonPlanar {
+        /// True for a K5 subdivision, false for K3,3.
+        k5: bool,
+        /// Branch nodes of the subdivision.
+        branch_nodes: Vec<u32>,
+        /// Number of edges of the subdivision.
+        witness_edges: u64,
+    },
+}
+
+/// One attack row of a soundness probe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoundnessLine {
+    /// Attack name.
+    pub attack: String,
+    /// Rejecting nodes, or `None` if the attack was inapplicable.
+    pub rejects: Option<u64>,
+}
+
+/// A server response.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// The request failed (malformed input, unknown family, ...).
+    Error(String),
+    /// Certificates for a yes-instance.
+    Certified {
+        /// True when served from the certificate cache.
+        cached: bool,
+        /// Measured verification outcome.
+        outcome: Outcome,
+        /// The certificate assignment itself.
+        assignment: Assignment,
+    },
+    /// The honest prover declined: the instance is outside the class.
+    Declined {
+        /// True when the (negative) result was served from cache.
+        cached: bool,
+        /// The prover's reason.
+        reason: String,
+    },
+    /// Planarity verdict.
+    Checked(CheckVerdict),
+    /// A generated graph.
+    Generated(Graph),
+    /// Soundness probe rows.
+    Soundness(Vec<SoundnessLine>),
+    /// Server counters.
+    Stats(StatsSnapshot),
+}
+
+const RESP_ERROR: u64 = 0;
+const RESP_CERTIFIED: u64 = 1;
+const RESP_DECLINED: u64 = 2;
+const RESP_CHECKED: u64 = 3;
+const RESP_GENERATED: u64 = 4;
+const RESP_SOUNDNESS: u64 = 5;
+const RESP_STATS: u64 = 6;
+
+/// Encodes the cacheable suffix of a Certified response (outcome +
+/// assignment). The cache stores exactly these bytes, so a hit is a
+/// memcpy of a shared buffer, never a re-encode of the certificates.
+pub fn encode_certified_suffix(outcome: &Outcome, assignment: &Assignment) -> Vec<u8> {
+    let mut out = Vec::with_capacity(assignment.byte_size() + 64);
+    outcome.encode_into(&mut out);
+    assignment.encode_into(&mut out);
+    out
+}
+
+/// Builds a full Certified frame body from a pre-encoded suffix.
+pub fn certified_body_from_suffix(cached: bool, suffix: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(suffix.len() + 2);
+    put_uvarint(&mut out, RESP_CERTIFIED);
+    put_uvarint(&mut out, cached as u64);
+    out.extend_from_slice(suffix);
+    out
+}
+
+/// Encodes the cacheable suffix of a Declined response (the reason
+/// string) — the negative-cache counterpart of
+/// [`encode_certified_suffix`].
+pub fn encode_declined_suffix(reason: &str) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_string(&mut out, reason);
+    out
+}
+
+/// Builds a full Declined frame body from a pre-encoded suffix.
+pub fn declined_body_from_suffix(cached: bool, suffix: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(suffix.len() + 2);
+    put_uvarint(&mut out, RESP_DECLINED);
+    put_uvarint(&mut out, cached as u64);
+    out.extend_from_slice(suffix);
+    out
+}
+
+impl Response {
+    /// Encodes the response as a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Error(msg) => {
+                put_uvarint(&mut out, RESP_ERROR);
+                encode_string(&mut out, msg);
+            }
+            Response::Certified {
+                cached,
+                outcome,
+                assignment,
+            } => {
+                return certified_body_from_suffix(
+                    *cached,
+                    &encode_certified_suffix(outcome, assignment),
+                );
+            }
+            Response::Declined { cached, reason } => {
+                return declined_body_from_suffix(*cached, &encode_declined_suffix(reason));
+            }
+            Response::Checked(verdict) => {
+                put_uvarint(&mut out, RESP_CHECKED);
+                match verdict {
+                    CheckVerdict::Planar { faces, genus } => {
+                        put_uvarint(&mut out, 1);
+                        put_uvarint(&mut out, *faces);
+                        put_uvarint(&mut out, *genus as u64);
+                    }
+                    CheckVerdict::NonPlanar {
+                        k5,
+                        branch_nodes,
+                        witness_edges,
+                    } => {
+                        put_uvarint(&mut out, 0);
+                        put_uvarint(&mut out, *k5 as u64);
+                        put_uvarint(&mut out, branch_nodes.len() as u64);
+                        for &b in branch_nodes {
+                            put_uvarint(&mut out, b as u64);
+                        }
+                        put_uvarint(&mut out, *witness_edges);
+                    }
+                }
+            }
+            Response::Generated(g) => {
+                put_uvarint(&mut out, RESP_GENERATED);
+                encode_graph(&mut out, g);
+            }
+            Response::Soundness(rows) => {
+                put_uvarint(&mut out, RESP_SOUNDNESS);
+                put_uvarint(&mut out, rows.len() as u64);
+                for row in rows {
+                    encode_string(&mut out, &row.attack);
+                    match row.rejects {
+                        None => put_uvarint(&mut out, 0),
+                        Some(r) => put_uvarint(&mut out, 1 + r),
+                    }
+                }
+            }
+            Response::Stats(snapshot) => {
+                put_uvarint(&mut out, RESP_STATS);
+                snapshot.encode_into(&mut out);
+            }
+        }
+        out
+    }
+
+    /// Decodes a frame body; the whole body must be consumed.
+    pub fn decode(body: &[u8]) -> Result<Response, WireError> {
+        let mut buf = body;
+        let resp = match get_uvarint(&mut buf)? {
+            RESP_ERROR => Response::Error(decode_string(&mut buf)?),
+            RESP_CERTIFIED => {
+                let cached = get_uvarint(&mut buf)? != 0;
+                let outcome = Outcome::decode_from(&mut buf)?;
+                let assignment = Assignment::decode_from(&mut buf)?;
+                Response::Certified {
+                    cached,
+                    outcome,
+                    assignment,
+                }
+            }
+            RESP_DECLINED => Response::Declined {
+                cached: get_uvarint(&mut buf)? != 0,
+                reason: decode_string(&mut buf)?,
+            },
+            RESP_CHECKED => {
+                let verdict = if get_uvarint(&mut buf)? != 0 {
+                    CheckVerdict::Planar {
+                        faces: get_uvarint(&mut buf)?,
+                        genus: get_uvarint(&mut buf)? as i64,
+                    }
+                } else {
+                    let k5 = get_uvarint(&mut buf)? != 0;
+                    let count = get_uvarint(&mut buf)? as usize;
+                    if count > 6 {
+                        return Err(protocol("too many branch nodes"));
+                    }
+                    let mut branch_nodes = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        branch_nodes.push(get_uvarint(&mut buf)? as u32);
+                    }
+                    CheckVerdict::NonPlanar {
+                        k5,
+                        branch_nodes,
+                        witness_edges: get_uvarint(&mut buf)?,
+                    }
+                };
+                Response::Checked(verdict)
+            }
+            RESP_GENERATED => Response::Generated(decode_graph(&mut buf)?),
+            RESP_SOUNDNESS => {
+                let count = get_uvarint(&mut buf)? as usize;
+                if count > 1024 {
+                    return Err(protocol("too many soundness rows"));
+                }
+                let mut rows = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let attack = decode_string(&mut buf)?;
+                    let rejects = match get_uvarint(&mut buf)? {
+                        0 => None,
+                        r => Some(r - 1),
+                    };
+                    rows.push(SoundnessLine { attack, rejects });
+                }
+                Response::Soundness(rows)
+            }
+            RESP_STATS => Response::Stats(StatsSnapshot::decode_from(&mut buf)?),
+            k => return Err(protocol(format!("unknown response kind {k}"))),
+        };
+        if !buf.is_empty() {
+            return Err(protocol(format!("{} trailing bytes", buf.len())));
+        }
+        Ok(resp)
+    }
+}
+
+/// Structural graph equality (nodes, canonical edges, identifiers) —
+/// what the wire codec preserves.
+pub fn graphs_equal(a: &Graph, b: &Graph) -> bool {
+    a.node_count() == b.node_count()
+        && a.ids() == b.ids()
+        && canon::canonical_edges(a) == canon::canonical_edges(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpc_graph::generators;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_BYTES as u32 + 1).to_le_bytes());
+        let mut cursor = io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(WireError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn graph_roundtrip_with_and_without_ids() {
+        for g in [
+            generators::grid(5, 7),
+            generators::shuffle_ids(&generators::random_planar(40, 0.5, 3), 9),
+            generators::path(1),
+            generators::complete(5),
+        ] {
+            let mut out = Vec::new();
+            encode_graph(&mut out, &g);
+            let mut cursor = out.as_slice();
+            let h = decode_graph(&mut cursor).unwrap();
+            assert!(cursor.is_empty());
+            assert!(graphs_equal(&g, &h));
+        }
+    }
+
+    #[test]
+    fn default_ids_are_not_transmitted() {
+        let g = generators::grid(10, 10);
+        let relabelled = generators::shuffle_ids(&g, 1);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        encode_graph(&mut a, &g);
+        encode_graph(&mut b, &relabelled);
+        assert!(a.len() < b.len(), "custom ids cost wire bytes");
+    }
+
+    #[test]
+    fn malformed_graphs_rejected() {
+        // edge endpoint out of range: n = 2, 1 edge with huge gap
+        let mut out = Vec::new();
+        put_uvarint(&mut out, 2); // n
+        put_uvarint(&mut out, 0); // default ids
+        put_uvarint(&mut out, 1); // m
+        put_uvarint(&mut out, 0); // du
+        put_uvarint(&mut out, 5); // dv -> v = 6 out of range
+        assert!(decode_graph(&mut out.as_slice()).is_err());
+
+        // duplicate ids
+        let mut out = Vec::new();
+        put_uvarint(&mut out, 2);
+        put_uvarint(&mut out, 1); // custom ids
+        put_uvarint(&mut out, 9);
+        put_uvarint(&mut out, 9);
+        put_uvarint(&mut out, 0);
+        assert!(decode_graph(&mut out.as_slice()).is_err());
+
+        // impossible edge count
+        let mut out = Vec::new();
+        put_uvarint(&mut out, 3);
+        put_uvarint(&mut out, 0);
+        put_uvarint(&mut out, 100);
+        assert!(decode_graph(&mut out.as_slice()).is_err());
+    }
+
+    #[test]
+    fn request_tags_are_stable() {
+        let req = Request::Certify {
+            graph: generators::cycle(4),
+            bypass_cache: true,
+        };
+        let body = req.encode();
+        assert_eq!(body[0] as u64, REQ_CERTIFY);
+        match Request::decode(&body).unwrap() {
+            Request::Certify {
+                bypass_cache: true, ..
+            } => {}
+            other => panic!("bad decode: {other:?}"),
+        }
+        assert!(Request::decode(&[42]).is_err(), "unknown kind");
+        let mut trailing = Request::Stats.encode();
+        trailing.push(0);
+        assert!(Request::decode(&trailing).is_err(), "trailing bytes");
+    }
+}

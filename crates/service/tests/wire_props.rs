@@ -1,0 +1,151 @@
+//! Property tests for the wire codec: `decode(encode(x)) == x` across
+//! every generator family, including shuffled-identifier variants.
+
+use dpc_core::harness::certify_pls;
+use dpc_core::schemes::planarity::PlanarityScheme;
+use dpc_graph::{generators, Graph};
+use dpc_service::wire::{self, Request, Response};
+use proptest::prelude::*;
+
+/// One representative of every generator family (the shared
+/// cross-crate table — see `generators::sample_family`).
+fn family_graph(which: u32, n: u32, seed: u64) -> Graph {
+    generators::sample_family(which, n, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Graph wire encoding round-trips every family exactly, with
+    /// default and with shuffled identifiers.
+    #[test]
+    fn graph_codec_identity(which in 0u32..generators::SAMPLE_FAMILY_COUNT, n in 5u32..40, seed in 0u64..1000) {
+        let g = family_graph(which, n, seed);
+        for g in [g.clone(), generators::shuffle_ids(&g, seed)] {
+            let mut out = Vec::new();
+            wire::encode_graph(&mut out, &g);
+            let mut cursor = out.as_slice();
+            let h = wire::decode_graph(&mut cursor).unwrap();
+            prop_assert!(cursor.is_empty(), "full consumption");
+            prop_assert!(wire::graphs_equal(&g, &h));
+            // encoding is canonical: re-encoding the decoded graph is
+            // byte-identical
+            let mut again = Vec::new();
+            wire::encode_graph(&mut again, &h);
+            prop_assert_eq!(out, again);
+        }
+    }
+
+    /// Requests round-trip through the frame body codec.
+    #[test]
+    fn request_codec_identity(which in 0u32..generators::SAMPLE_FAMILY_COUNT, n in 5u32..30, seed in 0u64..500) {
+        let g = family_graph(which, n, seed);
+        let requests = [
+            Request::Certify { graph: g.clone(), bypass_cache: seed.is_multiple_of(2) },
+            Request::Check { graph: g.clone() },
+            Request::Gen { family: "grid".into(), n, seed },
+            Request::SoundnessProbe { graph: g, seed },
+            Request::Stats,
+        ];
+        for req in requests {
+            let back = Request::decode(&req.encode()).unwrap();
+            match (&req, &back) {
+                (Request::Certify { graph: a, bypass_cache: fa },
+                 Request::Certify { graph: b, bypass_cache: fb }) => {
+                    prop_assert!(wire::graphs_equal(a, b));
+                    prop_assert_eq!(fa, fb);
+                }
+                (Request::Check { graph: a }, Request::Check { graph: b }) => {
+                    prop_assert!(wire::graphs_equal(a, b));
+                }
+                (Request::Gen { family: a, n: na, seed: sa },
+                 Request::Gen { family: b, n: nb, seed: sb }) => {
+                    prop_assert_eq!(a, b);
+                    prop_assert_eq!(na, nb);
+                    prop_assert_eq!(sa, sb);
+                }
+                (Request::SoundnessProbe { graph: a, seed: sa },
+                 Request::SoundnessProbe { graph: b, seed: sb }) => {
+                    prop_assert!(wire::graphs_equal(a, b));
+                    prop_assert_eq!(sa, sb);
+                }
+                (Request::Stats, Request::Stats) => {}
+                _ => prop_assert!(false, "kind changed in flight"),
+            }
+        }
+    }
+
+    /// Certified responses round-trip with byte-identical certificates.
+    #[test]
+    fn certified_response_identity(n in 6u32..40, seed in 0u64..500) {
+        let g = generators::stacked_triangulation(n, seed);
+        let certified = certify_pls(&PlanarityScheme::new(), &g).unwrap();
+        let resp = Response::Certified {
+            cached: seed.is_multiple_of(2),
+            outcome: certified.outcome.clone(),
+            assignment: certified.assignment.clone(),
+        };
+        match Response::decode(&resp.encode()).unwrap() {
+            Response::Certified { cached, outcome, assignment } => {
+                prop_assert_eq!(cached, seed.is_multiple_of(2));
+                prop_assert_eq!(outcome, certified.outcome);
+                prop_assert_eq!(
+                    assignment.certs.len(),
+                    certified.assignment.certs.len()
+                );
+                for (a, b) in assignment.certs.iter().zip(&certified.assignment.certs) {
+                    prop_assert_eq!(a.bit_len, b.bit_len);
+                    prop_assert_eq!(a.as_bytes(), b.as_bytes());
+                }
+            }
+            other => prop_assert!(false, "kind changed: {:?}", other),
+        }
+    }
+
+    /// Truncating any encoded request never panics, only errors.
+    #[test]
+    fn truncation_is_an_error_not_a_panic(which in 0u32..generators::SAMPLE_FAMILY_COUNT, n in 5u32..25, seed in 0u64..200) {
+        let g = family_graph(which, n, seed);
+        let body = Request::Certify { graph: g, bypass_cache: false }.encode();
+        for cut in 0..body.len().min(48) {
+            prop_assert!(Request::decode(&body[..cut]).is_err());
+        }
+        // random corruption of the tag byte
+        let mut corrupt = body.clone();
+        corrupt[0] = 99;
+        prop_assert!(Request::decode(&corrupt).is_err());
+    }
+}
+
+#[test]
+fn all_other_response_kinds_roundtrip() {
+    use dpc_service::wire::{CheckVerdict, SoundnessLine};
+    let responses = vec![
+        Response::Error("nope".into()),
+        Response::Declined {
+            cached: true,
+            reason: "instance is not in the class: planar graphs".into(),
+        },
+        Response::Checked(CheckVerdict::Planar { faces: 7, genus: 0 }),
+        Response::Checked(CheckVerdict::NonPlanar {
+            k5: false,
+            branch_nodes: vec![1, 5, 9, 2, 4, 8],
+            witness_edges: 12,
+        }),
+        Response::Generated(generators::grid(4, 4)),
+        Response::Soundness(vec![
+            SoundnessLine {
+                attack: "garbage".into(),
+                rejects: Some(14),
+            },
+            SoundnessLine {
+                attack: "replay-planarized".into(),
+                rejects: None,
+            },
+        ]),
+    ];
+    for resp in responses {
+        let back = Response::decode(&resp.encode()).unwrap();
+        assert_eq!(format!("{resp:?}"), format!("{back:?}"));
+    }
+}

@@ -8,17 +8,30 @@
 //! dpc certify <graph6>      run the Theorem 1 PLS end to end
 //! dpc embed <graph6>        print the rotation system and faces
 //! dpc kuratowski <graph6>   extract a subdivided K5/K3,3
+//! dpc soundness <graph6> [seed]  attack battery on a no-instance
 //! dpc gen <family> <n> [seed]   emit a generated graph as graph6
-//!                           families: tree|cycle|grid|triangulation|
-//!                           planar|outerplanar|k5sub|k33sub
+//!                           (families: dpc_service::gen::FAMILIES)
+//!
+//! dpc serve <addr> [workers] [cache-mb]     long-running service
+//! dpc query <addr> certify [--no-cache] <graph6>
+//! dpc query <addr> check <graph6>
+//! dpc query <addr> gen <family> <n> [seed]
+//! dpc query <addr> soundness <graph6> [seed]
+//! dpc query <addr> stats
+//! dpc bench-serve <addr>|self [hits] [side] load generator; reports
+//!                           cache-hit vs cache-miss latency
 //! ```
 
 use dpc::core::harness::run_pls;
 use dpc::core::scheme::ProofLabelingScheme;
-use dpc::graph::{generators, graph6, Graph};
+use dpc::graph::{graph6, Graph};
 use dpc::planar::kuratowski::extract_kuratowski;
 use dpc::planar::lr::{planarity, Planarity};
 use dpc::prelude::*;
+use dpc_service::cache::CacheConfig;
+use dpc_service::wire::{CheckVerdict, Response};
+use dpc_service::{Client, ServeConfig};
+use std::time::{Duration, Instant};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,6 +52,14 @@ fn run(args: &[&str]) -> Result<String, String> {
         ["certify", s] => certify(parse(s)?),
         ["embed", s] => embed(parse(s)?),
         ["kuratowski", s] => kuratowski(parse(s)?),
+        ["soundness", s, rest @ ..] => {
+            let seed: u64 = match rest {
+                [] => 1,
+                [x] => x.parse().map_err(|_| "seed must be a number".to_string())?,
+                _ => return Err(usage()),
+            };
+            soundness(parse(s)?, seed)
+        }
         ["gen", family, n, rest @ ..] => {
             let n: u32 = n.parse().map_err(|_| "n must be a number".to_string())?;
             let seed: u64 = match rest {
@@ -48,12 +69,19 @@ fn run(args: &[&str]) -> Result<String, String> {
             };
             gen(family, n, seed)
         }
+        ["serve", addr, rest @ ..] => serve_cmd(addr, rest),
+        ["query", addr, rest @ ..] => query_cmd(addr, rest),
+        ["bench-serve", addr, rest @ ..] => bench_serve_cmd(addr, rest),
         _ => Err(usage()),
     }
 }
 
 fn usage() -> String {
-    "usage: dpc check|certify|embed|kuratowski <graph6>  |  dpc gen <family> <n> [seed]".to_string()
+    "usage: dpc check|certify|embed|kuratowski|soundness <graph6>  |  \
+     dpc gen <family> <n> [seed]  |  dpc serve <addr> [workers] [cache-mb]  |  \
+     dpc query <addr> certify|check|gen|soundness|stats ...  |  \
+     dpc bench-serve <addr>|self [hits] [side]"
+        .to_string()
 }
 
 fn parse(s: &str) -> Result<Graph, String> {
@@ -146,21 +174,287 @@ fn kuratowski(g: Graph) -> Result<String, String> {
 }
 
 fn gen(family: &str, n: u32, seed: u64) -> Result<String, String> {
-    let g = match family {
-        "tree" => generators::random_tree(n, seed),
-        "cycle" => generators::cycle(n.max(3)),
-        "grid" => {
-            let side = (n as f64).sqrt().ceil() as u32;
-            generators::grid(side.max(2), side.max(2))
-        }
-        "triangulation" => generators::stacked_triangulation(n.max(3), seed),
-        "planar" => generators::random_planar(n.max(3), 0.5, seed),
-        "outerplanar" => generators::random_maximal_outerplanar(n.max(3), seed),
-        "k5sub" => generators::k5_subdivision(n),
-        "k33sub" => generators::k33_subdivision(n),
-        _ => return Err(format!("unknown family {family:?}")),
-    };
+    let g = dpc_service::gen::make(family, n, seed)?;
     Ok(format!("{}\n", graph6::encode(&g)))
+}
+
+fn soundness(g: Graph, seed: u64) -> Result<String, String> {
+    if !g.is_connected() {
+        return Err("the network must be connected".to_string());
+    }
+    let planar = dpc::planar::lr::is_planar(&g);
+    let rows = dpc::core::adversary::soundness_report(&PlanarityScheme::new(), &g, seed);
+    let mut out = format!(
+        "graph: {} nodes, {} edges ({})\n",
+        g.node_count(),
+        g.edge_count(),
+        if planar {
+            "planar — attacks are expected to succeed; soundness only \
+             quantifies over no-instances"
+        } else {
+            "non-planar no-instance"
+        }
+    );
+    let fooled: Vec<&str> = rows
+        .iter()
+        .filter(|r| r.rejects == Some(0))
+        .map(|r| r.attack)
+        .collect();
+    out.push_str(&soundness_table(
+        rows.iter()
+            .map(|r| (r.attack.to_string(), r.rejects.map(|x| x as u64))),
+    ));
+    if !planar {
+        if fooled.is_empty() {
+            out.push_str("soundness holds for this sample: every applicable attack left at least one rejecting node\n");
+        } else {
+            out.push_str(&format!(
+                "SOUNDNESS VIOLATION: attack(s) {} fooled every node on a no-instance (bug!)\n",
+                fooled.join(", ")
+            ));
+        }
+    }
+    Ok(out)
+}
+
+fn soundness_table(rows: impl Iterator<Item = (String, Option<u64>)>) -> String {
+    let mut out = format!("{:<20} {:>10}\n", "attack", "rejects");
+    for (attack, rejects) in rows {
+        match rejects {
+            Some(r) => out.push_str(&format!("{attack:<20} {r:>10}\n")),
+            None => out.push_str(&format!("{attack:<20} {:>10}\n", "n/a")),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Service subcommands.
+
+fn serve_cmd(addr: &str, rest: &[&str]) -> Result<String, String> {
+    let mut cfg = ServeConfig::default();
+    match rest {
+        [] => {}
+        [workers] => {
+            cfg.workers = workers
+                .parse()
+                .map_err(|_| "workers must be a number".to_string())?;
+        }
+        [workers, cache_mb] => {
+            cfg.workers = workers
+                .parse()
+                .map_err(|_| "workers must be a number".to_string())?;
+            let mb: usize = cache_mb
+                .parse()
+                .map_err(|_| "cache-mb must be a number".to_string())?;
+            cfg.cache = CacheConfig {
+                byte_budget: mb << 20,
+                ..CacheConfig::default()
+            };
+        }
+        _ => return Err(usage()),
+    }
+    let handle =
+        dpc_service::serve(addr, cfg.clone()).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    eprintln!(
+        "dpc serve: listening on {} ({} workers, {} MiB cache, batch {} max)",
+        handle.addr(),
+        cfg.workers,
+        cfg.cache.byte_budget >> 20,
+        cfg.batch_max,
+    );
+    handle.wait();
+    Ok(String::new())
+}
+
+fn connect(addr: &str) -> Result<Client, String> {
+    Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))
+}
+
+fn query_cmd(addr: &str, rest: &[&str]) -> Result<String, String> {
+    let mut client = connect(addr)?;
+    let response = match rest {
+        ["certify", s] => client.certify(&parse(s)?, false),
+        ["certify", "--no-cache", s] => client.certify(&parse(s)?, true),
+        ["check", s] => client.check(&parse(s)?),
+        ["gen", family, n, rest @ ..] => {
+            let n: u32 = n.parse().map_err(|_| "n must be a number".to_string())?;
+            let seed: u64 = match rest {
+                [] => 1,
+                [s] => s.parse().map_err(|_| "seed must be a number".to_string())?,
+                _ => return Err(usage()),
+            };
+            let g = client.gen(family, n, seed).map_err(|e| e.to_string())?;
+            return Ok(format!("{}\n", graph6::encode(&g)));
+        }
+        ["soundness", s, rest @ ..] => {
+            let seed: u64 = match rest {
+                [] => 1,
+                [x] => x.parse().map_err(|_| "seed must be a number".to_string())?,
+                _ => return Err(usage()),
+            };
+            client.soundness(&parse(s)?, seed)
+        }
+        ["stats"] => {
+            let stats = client.stats().map_err(|e| e.to_string())?;
+            return Ok(format!("{stats}\n"));
+        }
+        _ => return Err(usage()),
+    };
+    render_response(response.map_err(|e| e.to_string())?)
+}
+
+fn render_response(resp: Response) -> Result<String, String> {
+    match resp {
+        Response::Error(e) => Err(e),
+        Response::Certified {
+            cached,
+            outcome,
+            assignment,
+        } => Ok(format!(
+            "scheme: planarity (Theorem 1)\ncache: {}\nrounds: {}\nmax certificate: {} bits (avg {:.1})\nassignment: {} certificates, {} bytes\nverdict: {}\n",
+            if cached { "hit" } else { "miss" },
+            outcome.rounds,
+            outcome.max_cert_bits,
+            outcome.avg_cert_bits,
+            assignment.certs.len(),
+            assignment.byte_size(),
+            if outcome.all_accept() {
+                "all nodes accept".to_string()
+            } else {
+                format!("{} nodes reject (bug!)", outcome.reject_count())
+            }
+        )),
+        Response::Declined { cached, reason } => Ok(format!(
+            "prover declines ({}): {reason}\n(the graph is outside the certified class; by soundness no certificate assignment exists)\n",
+            if cached { "cached" } else { "fresh" },
+        )),
+        Response::Checked(CheckVerdict::Planar { faces, genus }) => Ok(format!(
+            "PLANAR (certified: {faces} faces, Euler genus {genus})\n"
+        )),
+        Response::Checked(CheckVerdict::NonPlanar {
+            k5,
+            branch_nodes,
+            witness_edges,
+        }) => Ok(format!(
+            "NOT PLANAR (certified: subdivided {} on {witness_edges} edges, branch nodes {branch_nodes:?})\n",
+            if k5 { "K5" } else { "K33" },
+        )),
+        Response::Generated(g) => Ok(format!("{}\n", graph6::encode(&g))),
+        Response::Soundness(rows) => Ok(soundness_table(
+            rows.into_iter().map(|r| (r.attack, r.rejects)),
+        )),
+        Response::Stats(s) => Ok(format!("{s}\n")),
+    }
+}
+
+fn bench_serve_cmd(addr: &str, rest: &[&str]) -> Result<String, String> {
+    let (hits, side) = match rest {
+        [] => (32usize, 100u32),
+        [hits] => (
+            hits.parse()
+                .map_err(|_| "hits must be a number".to_string())?,
+            100,
+        ),
+        [hits, side] => (
+            hits.parse()
+                .map_err(|_| "hits must be a number".to_string())?,
+            side.parse()
+                .map_err(|_| "side must be a number".to_string())?,
+        ),
+        _ => return Err(usage()),
+    };
+    // at least one sample on each side, or the percentiles (and the
+    // reported speedup) would be fabricated from zero measurements
+    let hits = hits.max(1);
+    let own_server = if addr == "self" {
+        Some(
+            dpc_service::serve("127.0.0.1:0", ServeConfig::default())
+                .map_err(|e| format!("cannot bind loopback: {e}"))?,
+        )
+    } else {
+        None
+    };
+    let target = own_server
+        .as_ref()
+        .map(|h| h.addr().to_string())
+        .unwrap_or_else(|| addr.to_string());
+    let mut client = connect(&target)?;
+    let g = dpc::graph::generators::grid(side, side);
+
+    let expect_certified = |resp: Response, want_cached: bool| -> Result<(), String> {
+        match resp {
+            Response::Certified { cached, .. } if cached == want_cached => Ok(()),
+            other => Err(format!("unexpected response: {other:?}")),
+        }
+    };
+
+    // cold misses: bypass the cache so every query is a fresh prove
+    let misses = 3usize.min(hits.max(1));
+    let mut miss_lat = Vec::with_capacity(misses);
+    for _ in 0..misses {
+        let start = Instant::now();
+        expect_certified(client.certify(&g, true).map_err(|e| e.to_string())?, false)?;
+        miss_lat.push(start.elapsed());
+    }
+
+    // one caching query (a miss on a cold server; a long-running
+    // server may already hold the graph, which is fine), then the
+    // measured hit loop
+    match client.certify(&g, false).map_err(|e| e.to_string())? {
+        Response::Certified { .. } => {}
+        other => return Err(format!("unexpected response: {other:?}")),
+    }
+    let mut hit_lat = Vec::with_capacity(hits);
+    let hit_wall = Instant::now();
+    for _ in 0..hits {
+        let start = Instant::now();
+        expect_certified(client.certify(&g, false).map_err(|e| e.to_string())?, true)?;
+        hit_lat.push(start.elapsed());
+    }
+    let hit_wall = hit_wall.elapsed();
+
+    let stats = client.stats().map_err(|e| e.to_string())?;
+    let miss_p50 = percentile(&mut miss_lat, 0.50);
+    let hit_p50 = percentile(&mut hit_lat, 0.50);
+    let hit_p99 = percentile(&mut hit_lat, 0.99);
+    let speedup = miss_p50.as_secs_f64() / hit_p50.as_secs_f64().max(1e-9);
+    let out = format!(
+        "bench-serve against {target} on grid({side},{side}) ({} nodes)\n\
+         cache-miss (fresh prove): {} queries, p50 {:.3} ms\n\
+         cache-hit: {} queries, p50 {:.3} ms, p99 {:.3} ms, {:.0} req/s\n\
+         speedup (miss p50 / hit p50): {speedup:.1}x {}\n\
+         server: {} hits, {} misses, {} proves, {} cache bytes\n",
+        g.node_count(),
+        misses,
+        miss_p50.as_secs_f64() * 1e3,
+        hits,
+        hit_p50.as_secs_f64() * 1e3,
+        hit_p99.as_secs_f64() * 1e3,
+        hits as f64 / hit_wall.as_secs_f64().max(1e-9),
+        if speedup >= 10.0 {
+            "(>= 10x: cache pays for itself)"
+        } else {
+            "(WARNING: below the 10x acceptance bar)"
+        },
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.proves,
+        stats.cache_bytes,
+    );
+    if let Some(handle) = own_server {
+        handle.shutdown();
+    }
+    Ok(out)
+}
+
+fn percentile(samples: &mut [Duration], q: f64) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    samples.sort_unstable();
+    let idx = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len()) - 1;
+    samples[idx]
 }
 
 #[cfg(test)]
@@ -207,5 +501,68 @@ mod tests {
         assert!(run(&["bogus"]).is_err());
         assert!(run(&["gen", "nosuch", "5"]).is_err());
         assert!(run(&["check", "\u{1}"]).is_err());
+        assert!(
+            run(&["query", "127.0.0.1:1", "stats"]).is_err(),
+            "nothing listens there"
+        );
+        assert!(run(&["serve", "definitely:not:an:addr"]).is_err());
+    }
+
+    #[test]
+    fn soundness_subcommand_prints_the_attack_table() {
+        let g6 = run(&["gen", "planted-k5", "20", "3"]).unwrap();
+        let out = run(&["soundness", g6.trim(), "1"]).unwrap();
+        assert!(out.contains("non-planar no-instance"));
+        assert!(out.contains("attack"));
+        assert!(out.contains("replay-planarized"));
+        assert!(out.contains("soundness holds"));
+        // planar instances get the caveat instead
+        let out = run(&["soundness", "Bw"]).unwrap();
+        assert!(out.contains("attacks are expected to succeed"));
+    }
+
+    #[test]
+    fn gen_covers_the_service_families() {
+        for family in dpc_service::gen::FAMILIES {
+            let out = run(&["gen", family, "20", "2"]).unwrap();
+            assert!(graph6::decode(out.trim()).is_ok(), "{family}");
+        }
+    }
+
+    #[test]
+    fn query_round_trip_against_a_live_server() {
+        let handle = dpc_service::serve("127.0.0.1:0", ServeConfig::default()).unwrap();
+        let addr = handle.addr().to_string();
+        let g6 = run(&["gen", "grid", "49", "1"]).unwrap();
+        let g6 = g6.trim();
+
+        let first = run(&["query", &addr, "certify", g6]).unwrap();
+        assert!(first.contains("cache: miss"));
+        assert!(first.contains("all nodes accept"));
+        let second = run(&["query", &addr, "certify", g6]).unwrap();
+        assert!(second.contains("cache: hit"));
+
+        let checked = run(&["query", &addr, "check", "D~{"]).unwrap();
+        assert!(checked.contains("NOT PLANAR"));
+        let declined = run(&["query", &addr, "certify", "D~{"]).unwrap();
+        assert!(declined.contains("prover declines"));
+
+        let generated = run(&["query", &addr, "gen", "cycle", "12"]).unwrap();
+        assert_eq!(graph6::decode(generated.trim()).unwrap().node_count(), 12);
+
+        let stats = run(&["query", &addr, "stats"]).unwrap();
+        assert!(stats.contains("1 hits"), "{stats}");
+
+        handle.shutdown();
+    }
+
+    #[test]
+    fn bench_serve_reports_the_speedup() {
+        // small grid keeps the test fast; the 10x acceptance bar on
+        // grid(100,100) is asserted in crates/service/tests/service_e2e.rs
+        let out = run(&["bench-serve", "self", "8", "40"]).unwrap();
+        assert!(out.contains("cache-hit"));
+        assert!(out.contains("cache-miss"));
+        assert!(out.contains("speedup"));
     }
 }

@@ -17,7 +17,10 @@
 //!   ([`core`]) — most importantly the `O(log n)`-bit 1-round PLS for
 //!   planarity (Theorem 1);
 //! * the lower-bound constructions of Section 4 ([`lowerbounds`]);
-//! * distributed interactive proofs and a dMAM baseline ([`interactive`]).
+//! * distributed interactive proofs and a dMAM baseline ([`interactive`]);
+//! * the long-running certification service ([`service`]) — binary wire
+//!   protocol, sharded content-addressed certificate cache, batched
+//!   worker pool (`dpc serve` / `dpc query` / `dpc bench-serve`).
 //!
 //! # Quickstart
 //!
@@ -43,6 +46,7 @@ pub use dpc_interactive as interactive;
 pub use dpc_lowerbounds as lowerbounds;
 pub use dpc_planar as planar;
 pub use dpc_runtime as runtime;
+pub use dpc_service as service;
 
 /// Convenient re-exports of the most used items.
 pub mod prelude {
