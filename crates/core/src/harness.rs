@@ -161,6 +161,16 @@ pub fn run_pls<S: ProofLabelingScheme>(scheme: &S, g: &Graph) -> Result<Outcome,
 /// Like [`run_pls`], but returns the certificate assignment alongside
 /// the outcome — the entry point of the certification service, where
 /// the certificates are the product.
+///
+/// ```
+/// use dpc_core::harness::certify_pls;
+/// use dpc_core::schemes::planarity::PlanarityScheme;
+///
+/// let g = dpc_graph::generators::grid(5, 5);
+/// let certified = certify_pls(&PlanarityScheme::new(), &g).unwrap();
+/// assert!(certified.outcome.all_accept());
+/// assert_eq!(certified.assignment.certs.len(), g.node_count());
+/// ```
 pub fn certify_pls<S: ProofLabelingScheme>(scheme: &S, g: &Graph) -> Result<Certified, ProveError> {
     let assignment = scheme.prove(g)?;
     let outcome = run_with_assignment(scheme, g, &assignment);

@@ -29,6 +29,8 @@
 //!   [`schemes::non_planarity::NonPlanarityScheme`] (§2 folklore),
 //!   [`schemes::universal::UniversalScheme`] (O(m log n) baseline).
 
+#![warn(missing_docs)]
+
 pub mod adversary;
 pub mod alg1;
 pub mod batch;

@@ -136,6 +136,24 @@ impl std::error::Error for ProveError {}
 /// knowledge ([`NodeCtx`]), its own certificate, and the certificates of
 /// its neighbors in port order — exactly the information available after
 /// the single communication round of the PLS model.
+///
+/// # Example: build a scheme and certify a graph
+///
+/// ```
+/// use dpc_core::harness::certify_pls;
+/// use dpc_core::scheme::ProofLabelingScheme;
+/// use dpc_core::schemes::bipartite::BipartiteScheme;
+///
+/// let scheme = BipartiteScheme::new();
+/// let g = dpc_graph::generators::grid(4, 5); // grids are bipartite
+/// let certified = certify_pls(&scheme, &g).expect("yes-instance");
+/// assert!(certified.outcome.all_accept());
+/// assert_eq!(certified.assignment.max_bits(), 1); // one bit per node
+///
+/// // an odd cycle is not bipartite: the honest prover refuses
+/// let odd = dpc_graph::generators::cycle(5);
+/// assert!(scheme.prove(&odd).is_err());
+/// ```
 pub trait ProofLabelingScheme {
     /// Human-readable name (for reports).
     fn name(&self) -> &'static str;
@@ -145,6 +163,38 @@ pub trait ProofLabelingScheme {
 
     /// Local verification at one node after the communication round.
     fn verify(&self, ctx: &NodeCtx, own: &Payload, neighbors: &[Payload]) -> bool;
+}
+
+// Delegating impls so `&S`, `&dyn ProofLabelingScheme`, and boxed
+// schemes (e.g. the entries of a scheme registry) run through every
+// generic harness function unchanged.
+
+impl<S: ProofLabelingScheme + ?Sized> ProofLabelingScheme for &S {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn prove(&self, g: &Graph) -> Result<Assignment, ProveError> {
+        (**self).prove(g)
+    }
+
+    fn verify(&self, ctx: &NodeCtx, own: &Payload, neighbors: &[Payload]) -> bool {
+        (**self).verify(ctx, own, neighbors)
+    }
+}
+
+impl<S: ProofLabelingScheme + ?Sized> ProofLabelingScheme for Box<S> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn prove(&self, g: &Graph) -> Result<Assignment, ProveError> {
+        (**self).prove(g)
+    }
+
+    fn verify(&self, ctx: &NodeCtx, own: &Payload, neighbors: &[Payload]) -> bool {
+        (**self).verify(ctx, own, neighbors)
+    }
 }
 
 #[cfg(test)]

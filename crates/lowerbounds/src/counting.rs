@@ -17,7 +17,9 @@
 //!   `2^g` blocks on which **every node accepts**: the soundness failure
 //!   the lemma predicts, reproduced on a real verifier run.
 
-use crate::blocks::{block_size, cycle_of_blocks, path_of_blocks, BlockInstance};
+use crate::blocks::{
+    block_size, cycle_of_blocks, left_part, path_of_blocks, right_part, BlockInstance,
+};
 use dpc_core::scheme::{Assignment, ProofLabelingScheme, ProveError};
 use dpc_graph::Graph;
 use dpc_runtime::bits::BitWriter;
@@ -155,6 +157,176 @@ impl ProofLabelingScheme for ModCounterScheme {
     }
 }
 
+/// [`ModCounterScheme`] with a *generic* honest prover: the PLS for the
+/// class of **paths of blocks** servable through the standard
+/// `prove(&Graph)` entry point (and hence the certification service).
+///
+/// [`ModCounterScheme::prove`] deliberately refuses — the raw scheme
+/// only knows counter values given chain positions. This wrapper
+/// reconstructs the chain from the identifiers (block `r` = `id/(k−1)`,
+/// intra-block offset = `id mod (k−1)`), validates that the graph is
+/// *exactly* a path of blocks (complete intra-block cliques, complete
+/// right-part → left-part connections, path-shaped block adjacency),
+/// and assigns each node its block's chain position mod `2^g`.
+///
+/// Soundness is unchanged (the verifier is the same), so the Lemma 5
+/// forgery still applies: this scheme exists to be served, measured,
+/// and attacked, not to fix the lower bound.
+///
+/// ```
+/// use dpc_lowerbounds::blocks::path_of_blocks;
+/// use dpc_lowerbounds::counting::BlockPathScheme;
+/// use dpc_core::scheme::ProofLabelingScheme;
+///
+/// let scheme = BlockPathScheme::new(4, 8);
+/// let inst = path_of_blocks(4, &[2, 1, 3]);
+/// let outcome = dpc_core::harness::run_pls(&scheme, &inst.graph).unwrap();
+/// assert!(outcome.all_accept());
+/// // a clique is not a path of blocks
+/// assert!(scheme.prove(&dpc_graph::generators::complete(6)).is_err());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BlockPathScheme {
+    inner: ModCounterScheme,
+}
+
+impl BlockPathScheme {
+    /// Wraps `ModCounterScheme::new(k, g)`.
+    pub fn new(k: usize, g: u32) -> Self {
+        BlockPathScheme {
+            inner: ModCounterScheme::new(k, g),
+        }
+    }
+
+    /// The wrapped scheme (for forgery experiments).
+    pub fn inner(&self) -> &ModCounterScheme {
+        &self.inner
+    }
+
+    /// Chain position of every node's block, if the graph is exactly a
+    /// path of blocks for parameter `k`.
+    fn chain_positions(&self, g: &Graph) -> Result<Vec<u64>, ProveError> {
+        const NOT_PATH: ProveError = ProveError::NotInClass("paths of blocks");
+        if !g.is_connected() {
+            return Err(ProveError::NotConnected);
+        }
+        let s = block_size(self.inner.k);
+        let n = g.node_count();
+        if n == 0 || !n.is_multiple_of(s) {
+            return Err(NOT_PATH);
+        }
+        // group nodes by block r = id / s; offsets within a block must
+        // be exactly {0, .., s-1} (ids are distinct, so so are blocks)
+        let mut blocks: std::collections::HashMap<u64, Vec<u32>> = std::collections::HashMap::new();
+        for v in g.nodes() {
+            let id = g.id_of(v);
+            blocks.entry(id / s as u64).or_default().push(v);
+        }
+        for members in blocks.values() {
+            if members.len() != s {
+                return Err(NOT_PATH);
+            }
+            let mut seen = vec![false; s];
+            for &v in members {
+                seen[(g.id_of(v) % s as u64) as usize] = true;
+            }
+            if seen.iter().any(|&b| !b) {
+                return Err(NOT_PATH);
+            }
+            // intra-block edges form a complete clique
+            for (i, &u) in members.iter().enumerate() {
+                for &w in &members[i + 1..] {
+                    if !g.has_edge(u, w) {
+                        return Err(NOT_PATH);
+                    }
+                }
+            }
+        }
+        // classify cross-block edges: always right part -> left part,
+        // and count them per ordered block pair
+        let lp = left_part(self.inner.k) as u64;
+        let rp = right_part(self.inner.k) as u64;
+        let mut links: std::collections::HashMap<(u64, u64), usize> =
+            std::collections::HashMap::new();
+        for e in g.edges() {
+            let (iu, iv) = (g.id_of(e.u), g.id_of(e.v));
+            let (bu, bv) = (iu / s as u64, iv / s as u64);
+            if bu == bv {
+                continue; // clique edge, validated above
+            }
+            let (ou, ov) = (iu % s as u64, iv % s as u64);
+            // the right part is offsets [s-rp, s), the left part [0, lp)
+            let (from, to) = if ou >= s as u64 - rp && ov < lp {
+                (bu, bv)
+            } else if ov >= s as u64 - rp && ou < lp {
+                (bv, bu)
+            } else {
+                return Err(NOT_PATH); // an edge the construction never builds
+            };
+            *links.entry((from, to)).or_insert(0) += 1;
+        }
+        // the block digraph must be a simple directed path covering
+        // every block, with every connection complete (rp * lp edges)
+        let mut succ: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        let mut pred: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for (&(from, to), &count) in &links {
+            if count != (rp * lp) as usize {
+                return Err(NOT_PATH);
+            }
+            if succ.insert(from, to).is_some() || pred.insert(to, from).is_some() {
+                return Err(NOT_PATH);
+            }
+        }
+        let start = match blocks
+            .keys()
+            .filter(|r| !pred.contains_key(r))
+            .collect::<Vec<_>>()[..]
+        {
+            [&r] => r,
+            // no start block: the chain closed into a cycle of blocks
+            // (or several components, already excluded by connectivity)
+            _ => return Err(NOT_PATH),
+        };
+        let mut position = std::collections::HashMap::new();
+        let mut cur = start;
+        for t in 0..blocks.len() as u64 {
+            position.insert(cur, t);
+            match succ.get(&cur) {
+                Some(&next) => cur = next,
+                None if t + 1 == blocks.len() as u64 => {}
+                None => return Err(NOT_PATH),
+            }
+        }
+        Ok(g.nodes()
+            .map(|v| position[&(g.id_of(v) / s as u64)])
+            .collect())
+    }
+}
+
+impl ProofLabelingScheme for BlockPathScheme {
+    fn name(&self) -> &'static str {
+        "mod-counter"
+    }
+
+    fn prove(&self, g: &Graph) -> Result<Assignment, ProveError> {
+        let positions = self.chain_positions(g)?;
+        let m = self.inner.modulus();
+        let certs = positions
+            .into_iter()
+            .map(|t| {
+                let mut w = BitWriter::new();
+                w.write_bits(t % m, self.inner.g);
+                Payload::from_writer(w)
+            })
+            .collect();
+        Ok(Assignment { certs })
+    }
+
+    fn verify(&self, ctx: &NodeCtx, own: &Payload, neighbors: &[Payload]) -> bool {
+        self.inner.verify(ctx, own, neighbors)
+    }
+}
+
 /// Outcome of the forgery experiment.
 #[derive(Debug, Clone)]
 pub struct Forgery {
@@ -251,6 +423,69 @@ mod tests {
         let path = path_of_blocks(4, &[1, 2]);
         let a = scheme.assign(&path);
         assert_eq!(a.max_bits(), 3);
+    }
+
+    #[test]
+    fn block_path_scheme_proves_paths_generically() {
+        let scheme = BlockPathScheme::new(4, 8);
+        for perm in [vec![1, 2, 3], vec![3, 1, 4, 2, 5], vec![2, 1]] {
+            let inst = path_of_blocks(4, &perm);
+            let out = dpc_core::harness::run_pls(&scheme, &inst.graph)
+                .unwrap_or_else(|e| panic!("perm {perm:?}: {e}"));
+            assert!(out.all_accept(), "perm {perm:?}");
+            assert_eq!(out.max_cert_bits, 8);
+        }
+        // k = 5 too
+        let scheme5 = BlockPathScheme::new(5, 4);
+        let inst = path_of_blocks(5, &[2, 3, 1]);
+        assert!(dpc_core::harness::run_pls(&scheme5, &inst.graph)
+            .unwrap()
+            .all_accept());
+    }
+
+    #[test]
+    fn block_path_scheme_survives_wire_roundtrip() {
+        // the service re-decodes graphs from the canonical wire
+        // encoding; ids (not node indices) must carry the structure
+        let scheme = BlockPathScheme::new(4, 8);
+        let inst = path_of_blocks(4, &[2, 1, 3]);
+        let g = &inst.graph;
+        // simulate an id-preserving structural round-trip: rebuild from
+        // sorted edges + ids, as wire decode does
+        let mut edges: Vec<(u32, u32)> = g
+            .edges()
+            .iter()
+            .map(|e| if e.u < e.v { (e.u, e.v) } else { (e.v, e.u) })
+            .collect();
+        edges.sort_unstable();
+        let rebuilt = Graph::from_edges(g.node_count() as u32, &edges).with_ids(g.ids().to_vec());
+        let out = dpc_core::harness::run_pls(&scheme, &rebuilt).unwrap();
+        assert!(out.all_accept());
+    }
+
+    #[test]
+    fn block_path_scheme_declines_non_paths() {
+        let scheme = BlockPathScheme::new(4, 3);
+        // a cycle of blocks is outside the class (pigeonhole instance!)
+        let cyc = cycle_of_blocks(4, &[1, 2, 3, 4]);
+        assert_eq!(
+            scheme.prove(&cyc.graph).unwrap_err(),
+            ProveError::NotInClass("paths of blocks")
+        );
+        // ordinary graphs are outside the class
+        for g in [
+            dpc_graph::generators::complete(6),
+            dpc_graph::generators::grid(3, 3),
+            dpc_graph::generators::path(9),
+        ] {
+            assert!(scheme.prove(&g).is_err(), "{} nodes", g.node_count());
+        }
+        // a path of blocks with one clique edge missing is rejected
+        let inst = path_of_blocks(4, &[1, 2]);
+        let broken = inst.graph.edge_subgraph(|id, _| id != 0);
+        if broken.is_connected() {
+            assert!(scheme.prove(&broken).is_err());
+        }
     }
 
     #[test]

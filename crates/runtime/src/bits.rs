@@ -28,6 +28,8 @@ pub enum DecodeError {
     OutOfBits,
     /// A varint was longer than 64 bits.
     VarintOverflow,
+    /// A length-prefixed string was not valid UTF-8.
+    BadUtf8,
 }
 
 impl fmt::Display for DecodeError {
@@ -35,6 +37,7 @@ impl fmt::Display for DecodeError {
         match self {
             DecodeError::OutOfBits => write!(f, "read past end of bit stream"),
             DecodeError::VarintOverflow => write!(f, "varint longer than 64 bits"),
+            DecodeError::BadUtf8 => write!(f, "string is not UTF-8"),
         }
     }
 }
@@ -244,6 +247,26 @@ pub fn get_bytes<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], DecodeErr
     let (head, rest) = buf.split_at(n);
     *buf = rest;
     Ok(head)
+}
+
+/// Appends a length-prefixed UTF-8 string: uvarint byte length, then
+/// the raw bytes. The one string codec of the wire layer.
+pub fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_uvarint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Decodes a length-prefixed UTF-8 string from the front of `buf`,
+/// advancing it. Inverse of [`put_string`]. The announced length is
+/// implicitly bounded by the remaining buffer ([`get_bytes`] rejects
+/// anything longer), so no separate cap is needed here.
+pub fn get_string(buf: &mut &[u8]) -> Result<String, DecodeError> {
+    let len = get_uvarint(buf)? as usize;
+    if len > buf.len() {
+        return Err(DecodeError::OutOfBits);
+    }
+    let bytes = get_bytes(buf, len)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8)
 }
 
 #[cfg(test)]

@@ -21,5 +21,7 @@ pub mod baseline;
 pub mod bits;
 pub mod sim;
 
-pub use bits::{get_bytes, get_uvarint, put_uvarint, BitReader, BitWriter, DecodeError};
+pub use bits::{
+    get_bytes, get_string, get_uvarint, put_string, put_uvarint, BitReader, BitWriter, DecodeError,
+};
 pub use sim::{run_protocol, run_protocol_states, NodeCtx, Payload, Protocol, RunReport, Step};

@@ -43,24 +43,28 @@ pub enum ProveResult {
 
 /// An immutable cache entry: the result, its pre-encoded wire suffix
 /// (what a Certified/Declined response body contains after the
-/// `cached` flag), and the canonical wire encoding of the graph it was
-/// proved for — compared on every hit, so a 128-bit hash collision
-/// (FNV-1a is not collision-resistant) can never serve one graph's
-/// certificates for another.
+/// `cached` flag), and the *keyed bytes* it was proved for — the
+/// scheme id followed by the canonical wire encoding of the graph.
+/// The keyed bytes are compared on every hit, so a 128-bit hash
+/// collision (FNV-1a is not collision-resistant) can never serve one
+/// graph's certificates for another — and, because the scheme id is
+/// part of the bytes, a certificate proved under one scheme can never
+/// answer a lookup under another.
 #[derive(Debug)]
 pub struct CacheEntry {
     /// The prove result.
     pub result: ProveResult,
     /// Pre-encoded response suffix; a hit memcpys this shared buffer.
     pub suffix: Vec<u8>,
-    /// Canonical wire encoding of the proved graph (collision guard).
-    pub graph: Vec<u8>,
+    /// Keyed bytes: scheme id + canonical wire encoding of the proved
+    /// graph (collision and cross-scheme guard).
+    pub keyed: Vec<u8>,
 }
 
 impl CacheEntry {
-    /// Builds an entry for the given (canonically encoded) graph,
-    /// encoding the wire suffix once.
-    pub fn new(result: ProveResult, graph: Vec<u8>) -> Self {
+    /// Builds an entry for the given keyed bytes (scheme id +
+    /// canonically encoded graph), encoding the wire suffix once.
+    pub fn new(result: ProveResult, keyed: Vec<u8>) -> Self {
         let suffix = match &result {
             ProveResult::Certified {
                 assignment,
@@ -71,7 +75,7 @@ impl CacheEntry {
         CacheEntry {
             result,
             suffix,
-            graph,
+            keyed,
         }
     }
 
@@ -88,7 +92,7 @@ impl CacheEntry {
             // the reason lives (only) in the pre-encoded suffix
             ProveResult::Declined { .. } => 0,
         };
-        payload + self.suffix.len() + self.graph.len() + 96
+        payload + self.suffix.len() + self.keyed.len() + 96
     }
 }
 
@@ -200,15 +204,15 @@ impl CertCache {
         &self.shards[key.low64() as usize & (self.shards.len() - 1)]
     }
 
-    /// Looks up a prove result for the graph with the given key and
-    /// canonical wire encoding, refreshing its recency. The stored
-    /// graph bytes are compared, so a hash collision reads as a miss
-    /// rather than serving the wrong certificates. Counts a hit or a
-    /// miss.
-    pub fn lookup(&self, key: GraphHash, graph: &[u8]) -> Option<Arc<CacheEntry>> {
+    /// Looks up a prove result for the given key and keyed bytes
+    /// (scheme id + canonical wire encoding), refreshing its recency.
+    /// The stored bytes are compared, so a hash collision — or a
+    /// lookup under a different scheme — reads as a miss rather than
+    /// serving the wrong certificates. Counts a hit or a miss.
+    pub fn lookup(&self, key: GraphHash, keyed: &[u8]) -> Option<Arc<CacheEntry>> {
         let mut shard = self.shard(key).lock().expect("cache shard poisoned");
         match shard.map.get(&key.0) {
-            Some(slot) if slot.entry.graph == graph => {
+            Some(slot) if slot.entry.keyed == keyed => {
                 let entry = Arc::clone(&slot.entry);
                 shard.touch(key.0);
                 drop(shard);
@@ -223,16 +227,16 @@ impl CertCache {
     }
 
     /// Inserts a prove result, evicting LRU entries past the byte
-    /// budget. If the key is already present with the same graph (two
-    /// workers proved the same graph concurrently) the existing entry
-    /// wins, so handles already given out stay canonical; on a hash
-    /// collision (same key, different graph) the incumbent also stays
-    /// and the new entry is served uncached. The returned entry is the
-    /// one to answer with.
+    /// budget. If the key is already present with the same keyed bytes
+    /// (two workers proved the same graph concurrently) the existing
+    /// entry wins, so handles already given out stay canonical; on a
+    /// hash collision (same key, different bytes) the incumbent also
+    /// stays and the new entry is served uncached. The returned entry
+    /// is the one to answer with.
     pub fn insert(&self, key: GraphHash, entry: Arc<CacheEntry>) -> Arc<CacheEntry> {
         let mut shard = self.shard(key).lock().expect("cache shard poisoned");
         if let Some(existing) = shard.map.get(&key.0) {
-            return if existing.entry.graph == entry.graph {
+            return if existing.entry.keyed == entry.keyed {
                 Arc::clone(&existing.entry)
             } else {
                 entry // collision: serve fresh, keep the incumbent
@@ -300,7 +304,7 @@ mod tests {
         let cache = CertCache::new(CacheConfig::default());
         let (key, entry) = entry_for(20, 1);
         cache.insert(key, Arc::clone(&entry));
-        let hit = cache.lookup(key, &entry.graph).expect("inserted");
+        let hit = cache.lookup(key, &entry.keyed).expect("inserted");
         assert!(Arc::ptr_eq(&hit, &entry), "a hit is a handle clone");
         assert!(cache
             .lookup(graph_hash(&generators::cycle(9)), b"")
@@ -333,7 +337,7 @@ mod tests {
             shards: 1,
             byte_budget: budget,
         });
-        let (a_graph, b_graph, c_graph) = (a.graph.clone(), b.graph.clone(), c.graph.clone());
+        let (a_graph, b_graph, c_graph) = (a.keyed.clone(), b.keyed.clone(), c.keyed.clone());
         cache.insert(key_a, a);
         cache.insert(key_b, b);
         assert!(
@@ -355,11 +359,43 @@ mod tests {
         let (_, other) = entry_for(25, 2);
         cache.insert(key, Arc::clone(&first));
         // simulate a colliding key: same hash, different graph bytes
-        assert!(cache.lookup(key, &other.graph).is_none());
+        assert!(cache.lookup(key, &other.keyed).is_none());
         let served = cache.insert(key, Arc::clone(&other));
         assert!(Arc::ptr_eq(&served, &other), "collision served uncached");
-        let kept = cache.lookup(key, &first.graph).expect("incumbent intact");
+        let kept = cache.lookup(key, &first.keyed).expect("incumbent intact");
         assert!(Arc::ptr_eq(&kept, &first));
+    }
+
+    #[test]
+    fn scheme_prefix_isolates_identical_graphs() {
+        // the server keys entries by (scheme id, graph): same graph,
+        // different scheme prefix = different key AND different bytes,
+        // so neither lookup can see the other's entry
+        use dpc_graph::canon::hash_bytes;
+        let cache = CertCache::new(CacheConfig::default());
+        let g = generators::grid(4, 4);
+        let mut graph_bytes = Vec::new();
+        wire::encode_graph(&mut graph_bytes, &g);
+        let keyed = |scheme: u64| {
+            let mut b = Vec::new();
+            dpc_runtime::put_uvarint(&mut b, scheme);
+            b.extend_from_slice(&graph_bytes);
+            b
+        };
+        let (ka, kb) = (hash_bytes(&keyed(0)), hash_bytes(&keyed(1)));
+        assert_ne!(ka, kb);
+        let entry = Arc::new(CacheEntry::new(
+            ProveResult::Declined {
+                reason: "scheme 0".into(),
+            },
+            keyed(0),
+        ));
+        cache.insert(ka, entry);
+        assert!(cache.lookup(ka, &keyed(0)).is_some());
+        assert!(cache.lookup(kb, &keyed(1)).is_none());
+        // even a forced same-hash probe with the other scheme's bytes
+        // misses on the byte guard
+        assert!(cache.lookup(ka, &keyed(1)).is_none());
     }
 
     #[test]
@@ -409,7 +445,7 @@ mod tests {
             byte_budget: 1 << 30,
         });
         let (key, entry) = entry_for(15, 0);
-        let graph = entry.graph.clone();
+        let graph = entry.keyed.clone();
         cache.insert(key, entry);
         for _ in 0..1000 {
             cache.lookup(key, &graph);

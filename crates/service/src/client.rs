@@ -8,6 +8,7 @@
 //! order.
 
 use crate::metrics::StatsSnapshot;
+use crate::registry::SchemeId;
 use crate::wire::{self, Request, Response, WireError};
 use dpc_graph::Graph;
 use std::io::{self, BufReader, BufWriter, Write};
@@ -76,21 +77,41 @@ impl Client {
         self.in_flight
     }
 
-    /// Certifies a graph (encoded straight from the borrow — no
-    /// clone). `bypass_cache` forces a fresh prove (cold latency
-    /// measurements).
+    /// Certifies a graph under the planarity scheme (encoded straight
+    /// from the borrow — no clone). `bypass_cache` forces a fresh
+    /// prove (cold latency measurements).
     pub fn certify(&mut self, graph: &Graph, bypass_cache: bool) -> Result<Response, WireError> {
-        self.call_body(&wire::encode_certify_request(graph, bypass_cache))
+        self.certify_scheme(graph, bypass_cache, SchemeId::PLANARITY)
+    }
+
+    /// Certifies a graph under any registered scheme.
+    pub fn certify_scheme(
+        &mut self,
+        graph: &Graph,
+        bypass_cache: bool,
+        scheme: SchemeId,
+    ) -> Result<Response, WireError> {
+        self.call_body(&wire::encode_certify_request(graph, bypass_cache, scheme))
     }
 
     /// Planarity check with witness summary.
     pub fn check(&mut self, graph: &Graph) -> Result<Response, WireError> {
-        self.call_body(&wire::encode_check_request(graph))
+        self.check_scheme(graph, SchemeId::PLANARITY)
+    }
+
+    /// Centralized membership check under any registered scheme.
+    pub fn check_scheme(&mut self, graph: &Graph, scheme: SchemeId) -> Result<Response, WireError> {
+        self.call_body(&wire::encode_check_request(graph, scheme))
     }
 
     /// Server-side graph generation.
     pub fn gen(&mut self, family: &str, n: u32, seed: u64) -> Result<Graph, WireError> {
-        match self.call_body(&wire::encode_gen_request(family, n, seed))? {
+        match self.call_body(&wire::encode_gen_request(
+            family,
+            n,
+            seed,
+            SchemeId::PLANARITY,
+        ))? {
             Response::Generated(g) => Ok(g),
             Response::Error(e) => Err(WireError::Protocol(e)),
             other => Err(WireError::Protocol(format!(
@@ -99,9 +120,20 @@ impl Client {
         }
     }
 
-    /// Adversarial soundness probe.
+    /// Adversarial soundness probe against the planarity scheme.
     pub fn soundness(&mut self, graph: &Graph, seed: u64) -> Result<Response, WireError> {
-        self.call_body(&wire::encode_soundness_request(graph, seed))
+        self.soundness_scheme(graph, seed, SchemeId::PLANARITY)
+    }
+
+    /// Adversarial soundness probe against any registered scheme that
+    /// supports it.
+    pub fn soundness_scheme(
+        &mut self,
+        graph: &Graph,
+        seed: u64,
+        scheme: SchemeId,
+    ) -> Result<Response, WireError> {
+        self.call_body(&wire::encode_soundness_request(graph, seed, scheme))
     }
 
     /// Server counters.

@@ -17,6 +17,7 @@ pub const FAMILIES: &[&str] = &[
     "planted-k5",
     "planted-k33",
     "gnm",
+    "blocks",
 ];
 
 /// Upper bound on requested size: generation is remotely reachable
@@ -56,6 +57,31 @@ pub fn make(family: &str, n: u32, seed: u64) -> Result<Graph, String> {
             // u64 intermediate: n*(n-1) overflows u32 from n = 65536
             let m = (3 * n as u64).min(n as u64 * (n as u64 - 1) / 2) as u32;
             generators::gnm_connected(n, m, seed)
+        }
+        // Lemma 5's path of blocks for k = 4 (block size 3): the
+        // yes-instances of the mod-counter scheme. `n` is the target
+        // node count (3 nodes per block); the seed permutes the
+        // ordinary blocks, exercising non-identity identifier layouts.
+        // NB the block identifiers are load-bearing (the verifier does
+        // id arithmetic) and only travel over the binary wire protocol
+        // — graph6 output drops them.
+        "blocks" => {
+            let p = (n.max(6) / 3).saturating_sub(2).max(1) as usize;
+            let mut perm: Vec<usize> = (1..=p).collect();
+            // splitmix64-driven Fisher–Yates, deterministic in the seed
+            let mut state = seed.wrapping_add(0x9e3779b97f4a7c15);
+            let mut next = || {
+                state = state.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            };
+            for i in (1..perm.len()).rev() {
+                let j = (next() % (i as u64 + 1)) as usize;
+                perm.swap(i, j);
+            }
+            dpc_lowerbounds::blocks::path_of_blocks(4, &perm).graph
         }
         _ => {
             return Err(format!(

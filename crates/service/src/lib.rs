@@ -1,4 +1,4 @@
-//! Long-running certification service for the planarity PLS.
+//! Long-running certification service for proof-labeling schemes.
 //!
 //! The paper's pipeline — compute a compact certificate once, verify
 //! it cheaply everywhere — maps directly onto a serving architecture:
@@ -6,42 +6,64 @@
 //! turns the single-shot library into that system, using only
 //! `std::net` TCP and `std::thread`:
 //!
+//! * [`registry`] — the scheme registry: stable [`registry::SchemeId`]
+//!   (u16) + name → any registered
+//!   [`dpc_core::scheme::ProofLabelingScheme`], with per-scheme
+//!   capabilities; planarity is id 0, the wire default;
 //! * [`wire`] — the binary protocol: length-prefixed frames, varint
 //!   delta-encoded graphs, byte-exact `Assignment`/`Outcome` bodies;
-//!   request kinds Certify / Check / Gen / SoundnessProbe / Stats;
+//!   request kinds Certify / Check / Gen / SoundnessProbe / Stats,
+//!   each graph-carrying kind addressing a scheme via a
+//!   backward-compatible trailing extension (see `docs/WIRE.md`);
 //! * [`cache`] — the sharded, content-addressed certificate cache:
-//!   canonical graph hash → `Arc`-shared prove result, lock-striped
-//!   shards, LRU eviction under a byte budget;
+//!   `(scheme id, canonical graph)` hash → `Arc`-shared prove result,
+//!   lock-striped shards, LRU eviction under a byte budget;
 //! * [`server`] — accept loop, per-connection reader/writer threads,
 //!   and a worker pool that drains a bounded queue, folds concurrent
-//!   Certify requests into [`dpc_core::batch::BatchRunner`] batches,
-//!   and streams responses back in request order per connection;
+//!   same-scheme Certify requests into
+//!   [`dpc_core::batch::BatchRunner`] batches, and streams responses
+//!   back in request order per connection;
 //! * [`client`] — a blocking client with request pipelining;
-//! * [`metrics`] — lock-free counters and the power-of-two latency
-//!   histogram behind the Stats endpoint;
+//! * [`metrics`] — lock-free counters (global and per scheme) and the
+//!   power-of-two latency histogram behind the Stats endpoint;
 //! * [`gen`] — the named graph families servable via Gen.
 //!
-//! ```no_run
+//! # Example: query a server
+//!
+//! ```
+//! use dpc_service::registry::SchemeId;
+//! use dpc_service::wire::Response;
 //! use dpc_service::{client::Client, server};
 //!
 //! let handle = server::serve("127.0.0.1:0", Default::default()).unwrap();
 //! let mut client = Client::connect(handle.addr()).unwrap();
-//! let g = dpc_graph::generators::grid(10, 10);
-//! let first = client.certify(&g, false).unwrap(); // proves
-//! let second = client.certify(&g, false).unwrap(); // cache hit
-//! # let _ = (first, second);
+//! let g = dpc_graph::generators::grid(6, 6);
+//! // planarity (the default scheme): first query proves ...
+//! let first = client.certify(&g, false).unwrap();
+//! assert!(matches!(first, Response::Certified { cached: false, .. }));
+//! // ... the repeat is a cache hit
+//! let second = client.certify(&g, false).unwrap();
+//! assert!(matches!(second, Response::Certified { cached: true, .. }));
+//! // the same graph under another scheme is *not* a hit: caches are
+//! // isolated per scheme id
+//! let bip = client.certify_scheme(&g, false, SchemeId::BIPARTITE).unwrap();
+//! assert!(matches!(bip, Response::Certified { cached: false, .. }));
 //! handle.shutdown();
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod cache;
 pub mod client;
 pub mod gen;
 pub mod metrics;
+pub mod registry;
 pub mod server;
 pub mod wire;
 
 pub use cache::{CacheConfig, CertCache};
 pub use client::Client;
 pub use metrics::StatsSnapshot;
-pub use server::{serve, ServeConfig, ServerHandle};
+pub use registry::{SchemeId, SchemeRegistry};
+pub use server::{serve, serve_with_registry, ServeConfig, ServerHandle};
 pub use wire::{Request, Response, WireError};

@@ -101,6 +101,21 @@ impl HistogramSnapshot {
     }
 }
 
+/// Live counters of one registered scheme (indexed by registry slot).
+#[derive(Debug, Default)]
+pub struct SchemeMetrics {
+    /// Certify requests routed to this scheme.
+    pub certify: AtomicU64,
+    /// Certificate-cache hits under this scheme's keys.
+    pub hits: AtomicU64,
+    /// Certificate-cache misses under this scheme's keys.
+    pub misses: AtomicU64,
+    /// Honest-prover executions for this scheme.
+    pub proves: AtomicU64,
+    /// Certify latency under this scheme (queue + service).
+    pub latency: LatencyHistogram,
+}
+
 /// Live server counters.
 #[derive(Debug, Default)]
 pub struct Metrics {
@@ -124,12 +139,96 @@ pub struct Metrics {
     pub proves: AtomicU64,
     /// End-to-end request latency (queue + service).
     pub latency: LatencyHistogram,
+    /// Per-scheme counters, one slot per registry entry.
+    pub per_scheme: Vec<SchemeMetrics>,
 }
 
 impl Metrics {
-    /// Fresh zeroed counters.
+    /// Fresh zeroed counters with no per-scheme slots.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Fresh zeroed counters with one per-scheme slot per registry
+    /// entry.
+    pub fn with_scheme_slots(slots: usize) -> Self {
+        Metrics {
+            per_scheme: (0..slots).map(|_| SchemeMetrics::default()).collect(),
+            ..Metrics::default()
+        }
+    }
+}
+
+/// A point-in-time copy of one scheme's counters, as shipped in the
+/// per-scheme table of a Stats response.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SchemeStats {
+    /// Stable wire id of the scheme.
+    pub id: u16,
+    /// Scheme name, echoed by the server.
+    pub name: String,
+    /// Certify requests routed to the scheme.
+    pub certify: u64,
+    /// Cache hits under the scheme's keys.
+    pub hits: u64,
+    /// Cache misses under the scheme's keys.
+    pub misses: u64,
+    /// Honest-prover executions for the scheme.
+    pub proves: u64,
+    /// Certify latency histogram of the scheme.
+    pub latency: HistogramSnapshot,
+}
+
+/// Upper bound on per-scheme table rows accepted on decode.
+const MAX_SCHEME_ROWS: usize = 4096;
+
+fn encode_histogram(out: &mut Vec<u8>, h: &HistogramSnapshot) {
+    put_uvarint(out, h.buckets.len() as u64);
+    for &b in &h.buckets {
+        put_uvarint(out, b);
+    }
+}
+
+fn decode_histogram(buf: &mut &[u8]) -> Result<HistogramSnapshot, DecodeError> {
+    let buckets = get_uvarint(buf)? as usize;
+    if buckets > LATENCY_BUCKETS {
+        // our histograms are fixed-width; more buckets is corruption
+        return Err(DecodeError::OutOfBits);
+    }
+    Ok(HistogramSnapshot {
+        buckets: (0..buckets)
+            .map(|_| get_uvarint(buf))
+            .collect::<Result<_, _>>()?,
+    })
+}
+
+impl SchemeStats {
+    /// Appends the wire encoding of one table row.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        put_uvarint(out, self.id as u64);
+        dpc_runtime::put_string(out, &self.name);
+        for v in [self.certify, self.hits, self.misses, self.proves] {
+            put_uvarint(out, v);
+        }
+        encode_histogram(out, &self.latency);
+    }
+
+    /// Decodes one table row from the front of `buf`, advancing it.
+    pub fn decode_from(buf: &mut &[u8]) -> Result<SchemeStats, DecodeError> {
+        let id = get_uvarint(buf)?;
+        if id > u16::MAX as u64 {
+            return Err(DecodeError::OutOfBits);
+        }
+        let mut s = SchemeStats {
+            id: id as u16,
+            name: dpc_runtime::get_string(buf)?,
+            ..SchemeStats::default()
+        };
+        for field in [&mut s.certify, &mut s.hits, &mut s.misses, &mut s.proves] {
+            *field = get_uvarint(buf)?;
+        }
+        s.latency = decode_histogram(buf)?;
+        Ok(s)
     }
 }
 
@@ -168,12 +267,19 @@ pub struct StatsSnapshot {
     pub proves: u64,
     /// Request latency histogram.
     pub latency: HistogramSnapshot,
+    /// Per-scheme counters, one row per registered scheme.
+    pub per_scheme: Vec<SchemeStats>,
 }
 
 impl StatsSnapshot {
     /// Total requests received.
     pub fn requests_total(&self) -> u64 {
         self.certify + self.check + self.gen + self.soundness + self.stats
+    }
+
+    /// The row of a scheme, by name.
+    pub fn scheme(&self, name: &str) -> Option<&SchemeStats> {
+        self.per_scheme.iter().find(|s| s.name == name)
     }
 
     /// Appends the wire encoding.
@@ -196,9 +302,10 @@ impl StatsSnapshot {
         ] {
             put_uvarint(out, v);
         }
-        put_uvarint(out, self.latency.buckets.len() as u64);
-        for &b in &self.latency.buckets {
-            put_uvarint(out, b);
+        encode_histogram(out, &self.latency);
+        put_uvarint(out, self.per_scheme.len() as u64);
+        for row in &self.per_scheme {
+            row.encode_into(out);
         }
     }
 
@@ -223,13 +330,13 @@ impl StatsSnapshot {
         ] {
             *field = get_uvarint(buf)?;
         }
-        let buckets = get_uvarint(buf)? as usize;
-        if buckets > LATENCY_BUCKETS {
-            // our histograms are fixed-width; more buckets is corruption
+        s.latency = decode_histogram(buf)?;
+        let rows = get_uvarint(buf)? as usize;
+        if rows > MAX_SCHEME_ROWS {
             return Err(DecodeError::OutOfBits);
         }
-        s.latency.buckets = (0..buckets)
-            .map(|_| get_uvarint(buf))
+        s.per_scheme = (0..rows)
+            .map(|_| SchemeStats::decode_from(buf))
             .collect::<Result<_, _>>()?;
         Ok(s)
     }
@@ -268,7 +375,21 @@ impl fmt::Display for StatsSnapshot {
             self.latency.count(),
             self.latency.p50_us(),
             self.latency.p99_us(),
-        )
+        )?;
+        for s in &self.per_scheme {
+            write!(
+                f,
+                "\nscheme {:>3} {:<18} {} certifies, {} hits, {} misses, {} proves, p50 {} us",
+                s.id,
+                s.name,
+                s.certify,
+                s.hits,
+                s.misses,
+                s.proves,
+                s.latency.p50_us(),
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -314,6 +435,23 @@ mod tests {
             cache_hits: 9,
             cache_bytes: 1 << 30,
             latency: h.snapshot(),
+            per_scheme: vec![
+                SchemeStats {
+                    id: 0,
+                    name: "planarity".into(),
+                    certify: 7,
+                    hits: 5,
+                    misses: 2,
+                    proves: 2,
+                    latency: h.snapshot(),
+                },
+                SchemeStats {
+                    id: 8,
+                    name: "mod-counter".into(),
+                    certify: 3,
+                    ..SchemeStats::default()
+                },
+            ],
             ..Default::default()
         };
         let mut buf = Vec::new();
@@ -322,5 +460,24 @@ mod tests {
         let back = StatsSnapshot::decode_from(&mut cursor).unwrap();
         assert!(cursor.is_empty());
         assert_eq!(back, snapshot);
+        assert_eq!(back.scheme("mod-counter").unwrap().certify, 3);
+        assert!(back.scheme("nosuch").is_none());
+        let text = format!("{back}");
+        assert!(text.contains("planarity"), "{text}");
+        assert!(text.contains("mod-counter"), "{text}");
+    }
+
+    #[test]
+    fn snapshot_decode_bounds_scheme_rows() {
+        let snapshot = StatsSnapshot::default();
+        let mut buf = Vec::new();
+        snapshot.encode_into(&mut buf);
+        // patch the row count (last varint of an empty-table snapshot)
+        // to a hostile 2^28-1: must be rejected by the row bound, not
+        // allocated
+        *buf.last_mut().unwrap() = 0xff;
+        buf.extend_from_slice(&[0xff, 0xff, 0x7f]);
+        let mut cursor = buf.as_slice();
+        assert!(StatsSnapshot::decode_from(&mut cursor).is_err());
     }
 }

@@ -1,0 +1,341 @@
+//! The scheme registry: stable wire identifiers for every
+//! [`ProofLabelingScheme`] the service can run, with per-scheme
+//! capabilities.
+//!
+//! The PR 2 service hard-wired `PlanarityScheme`; the paper frames
+//! planarity as one instance of a general proof-labeling framework, and
+//! the registry is that framework's serving surface. Every scheme gets
+//! a stable [`SchemeId`] (a `u16` that appears on the wire and in cache
+//! keys — never reuse or renumber one), a human name (the CLI handle),
+//! and a capability record: the class it certifies, the certificate
+//! size bound the paper gives for it, and whether the adversarial
+//! soundness battery applies.
+//!
+//! ```
+//! use dpc_service::registry::{SchemeId, SchemeRegistry};
+//!
+//! let reg = SchemeRegistry::standard();
+//! let bip = reg.by_name("bipartite").unwrap();
+//! assert_eq!(bip.id, SchemeId::BIPARTITE);
+//! let a = bip.scheme().prove(&dpc_graph::generators::grid(3, 4)).unwrap();
+//! assert_eq!(a.max_bits(), 1);
+//! ```
+
+use dpc_core::scheme::ProofLabelingScheme;
+use dpc_core::schemes::bipartite::BipartiteScheme;
+use dpc_core::schemes::non_planarity::NonPlanarityScheme;
+use dpc_core::schemes::path::PathScheme;
+use dpc_core::schemes::path_outerplanar::PathOuterplanarScheme;
+use dpc_core::schemes::planarity::PlanarityScheme;
+use dpc_core::schemes::spanning_tree::SpanningTreeScheme;
+use dpc_core::schemes::tree_class::TreeScheme;
+use dpc_core::schemes::universal::UniversalScheme;
+use dpc_lowerbounds::counting::BlockPathScheme;
+use std::fmt;
+
+/// Stable wire identifier of a registered scheme.
+///
+/// Ids are part of the wire protocol *and* of cache keys: they must
+/// never be renumbered or reused. `SchemeId(0)` is planarity, the
+/// protocol default — a request without an explicit scheme-id
+/// extension means planarity, which is what every pre-registry client
+/// sends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SchemeId(pub u16);
+
+impl SchemeId {
+    /// Theorem 1: 1-round planarity PLS (the wire default).
+    pub const PLANARITY: SchemeId = SchemeId(0);
+    /// 1-bit bipartiteness PLS.
+    pub const BIPARTITE: SchemeId = SchemeId(1);
+    /// PLS for the class of trees.
+    pub const TREE: SchemeId = SchemeId(2);
+    /// Folklore spanning-tree substrate as a standalone scheme.
+    pub const SPANNING_TREE: SchemeId = SchemeId(3);
+    /// §2 warm-up: the network is a path.
+    pub const PATH: SchemeId = SchemeId(4);
+    /// Lemma 2: path-outerplanarity.
+    pub const PATH_OUTERPLANAR: SchemeId = SchemeId(5);
+    /// Folklore non-planarity scheme (subdivided K5 / K3,3 witness).
+    pub const NON_PLANARITY: SchemeId = SchemeId(6);
+    /// O(m log n)-bit universal baseline (ship the whole graph).
+    pub const UNIVERSAL: SchemeId = SchemeId(7);
+    /// Lemma 5's mod-2^g counter scheme on paths of blocks.
+    pub const MOD_COUNTER: SchemeId = SchemeId(8);
+}
+
+impl fmt::Display for SchemeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// What a registered scheme supports, surfaced by `dpc schemes`.
+#[derive(Debug, Clone, Copy)]
+pub struct SchemeCapabilities {
+    /// The graph class the scheme certifies (its yes-instances).
+    pub class: &'static str,
+    /// Certificate-size bound, as stated in the paper.
+    pub cert_bound: &'static str,
+    /// Whether the adversarial soundness battery
+    /// ([`dpc_core::adversary`]) applies: the replay attacks forge from
+    /// a planarized subgraph, which is only a meaningful "best lie"
+    /// for planarity-shaped classes — and classes with no no-instances
+    /// (spanning-tree) have nothing to probe.
+    pub soundness_probe: bool,
+}
+
+/// One registered scheme: stable id, CLI name, capabilities, and the
+/// scheme object itself.
+pub struct SchemeEntry {
+    /// Stable wire id.
+    pub id: SchemeId,
+    /// Human name (`dpc query --scheme <name>`; also
+    /// [`ProofLabelingScheme::name`] of the entry).
+    pub name: &'static str,
+    /// Capability record.
+    pub caps: SchemeCapabilities,
+    scheme: Box<dyn ProofLabelingScheme + Send + Sync>,
+}
+
+impl SchemeEntry {
+    /// The scheme object.
+    pub fn scheme(&self) -> &(dyn ProofLabelingScheme + Send + Sync) {
+        self.scheme.as_ref()
+    }
+}
+
+impl fmt::Debug for SchemeEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SchemeEntry")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("caps", &self.caps)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The registry: `SchemeId` / name → scheme, in stable id order.
+#[derive(Debug)]
+pub struct SchemeRegistry {
+    entries: Vec<SchemeEntry>,
+}
+
+fn entry(
+    id: SchemeId,
+    name: &'static str,
+    class: &'static str,
+    cert_bound: &'static str,
+    soundness_probe: bool,
+    scheme: Box<dyn ProofLabelingScheme + Send + Sync>,
+) -> SchemeEntry {
+    debug_assert_eq!(scheme.name(), name, "registry name must match the scheme");
+    SchemeEntry {
+        id,
+        name,
+        caps: SchemeCapabilities {
+            class,
+            cert_bound,
+            soundness_probe,
+        },
+        scheme,
+    }
+}
+
+impl SchemeRegistry {
+    /// Every scheme this workspace implements with a generic prover.
+    pub fn standard() -> SchemeRegistry {
+        let entries = vec![
+            entry(
+                SchemeId::PLANARITY,
+                "planarity",
+                "planar connected graphs",
+                "O(log n) bits (Theorem 1)",
+                true,
+                Box::new(PlanarityScheme::new()),
+            ),
+            entry(
+                SchemeId::BIPARTITE,
+                "bipartite",
+                "bipartite connected graphs",
+                "1 bit (folklore)",
+                false,
+                Box::new(BipartiteScheme::new()),
+            ),
+            entry(
+                SchemeId::TREE,
+                "tree",
+                "trees",
+                "O(log n) bits (folklore)",
+                false,
+                Box::new(TreeScheme::new()),
+            ),
+            entry(
+                SchemeId::SPANNING_TREE,
+                "spanning-tree",
+                "all connected graphs (tree substrate)",
+                "O(log n) bits (folklore)",
+                false,
+                Box::new(SpanningTreeScheme::new()),
+            ),
+            entry(
+                SchemeId::PATH,
+                "path",
+                "path graphs",
+                "O(log n) bits (Section 2 warm-up)",
+                false,
+                Box::new(PathScheme::new()),
+            ),
+            entry(
+                SchemeId::PATH_OUTERPLANAR,
+                "path-outerplanar",
+                "path-outerplanar graphs",
+                "O(log n) bits (Lemma 2)",
+                true,
+                Box::new(PathOuterplanarScheme::new()),
+            ),
+            entry(
+                SchemeId::NON_PLANARITY,
+                "non-planarity",
+                "non-planar connected graphs",
+                "O(log n) bits (Section 2 folklore)",
+                false,
+                Box::new(NonPlanarityScheme::new()),
+            ),
+            entry(
+                SchemeId::UNIVERSAL,
+                "universal",
+                "planar connected graphs (whole-graph baseline)",
+                "O(m log n) bits (universal scheme)",
+                true,
+                Box::new(UniversalScheme::new()),
+            ),
+            entry(
+                SchemeId::MOD_COUNTER,
+                "mod-counter",
+                "paths of blocks, k = 4 (Lemma 5 instances)",
+                "g = 8 bits (mod-2^g counter)",
+                false,
+                Box::new(BlockPathScheme::new(4, 8)),
+            ),
+        ];
+        debug_assert!(entries.windows(2).all(|w| w[0].id < w[1].id));
+        SchemeRegistry { entries }
+    }
+
+    /// A registry restricted to the named schemes (`dpc serve
+    /// --schemes a,b,c`). Errors on an unknown name.
+    pub fn with_schemes(names: &[&str]) -> Result<SchemeRegistry, String> {
+        let all = SchemeRegistry::standard();
+        if names.is_empty() {
+            return Err("at least one scheme name is required".into());
+        }
+        for name in names {
+            if all.by_name(name).is_none() {
+                return Err(format!(
+                    "unknown scheme {name:?} (expected one of: {})",
+                    all.entries
+                        .iter()
+                        .map(|e| e.name)
+                        .collect::<Vec<_>>()
+                        .join("|")
+                ));
+            }
+        }
+        let entries = all
+            .entries
+            .into_iter()
+            .filter(|e| names.contains(&e.name))
+            .collect();
+        Ok(SchemeRegistry { entries })
+    }
+
+    /// Looks up a scheme by wire id.
+    pub fn get(&self, id: SchemeId) -> Option<&SchemeEntry> {
+        self.entries.iter().find(|e| e.id == id)
+    }
+
+    /// Looks up a scheme by CLI name.
+    pub fn by_name(&self, name: &str) -> Option<&SchemeEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// The dense registry slot of an id (per-scheme metrics index).
+    pub fn slot(&self, id: SchemeId) -> Option<usize> {
+        self.entries.iter().position(|e| e.id == id)
+    }
+
+    /// All entries, in stable id order.
+    pub fn entries(&self) -> &[SchemeEntry] {
+        &self.entries
+    }
+
+    /// Number of registered schemes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no scheme is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Default for SchemeRegistry {
+    fn default() -> Self {
+        SchemeRegistry::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpc_graph::generators;
+
+    #[test]
+    fn standard_registry_is_consistent() {
+        let reg = SchemeRegistry::standard();
+        assert!(reg.len() >= 9);
+        for (slot, e) in reg.entries().iter().enumerate() {
+            assert_eq!(e.scheme().name(), e.name, "{}", e.name);
+            assert_eq!(reg.by_name(e.name).unwrap().id, e.id);
+            assert_eq!(reg.get(e.id).unwrap().name, e.name);
+            assert_eq!(reg.slot(e.id), Some(slot));
+        }
+        assert_eq!(reg.get(SchemeId::PLANARITY).unwrap().name, "planarity");
+        assert!(reg.get(SchemeId(999)).is_none());
+        assert!(reg.by_name("nosuch").is_none());
+    }
+
+    #[test]
+    fn every_registered_scheme_proves_some_yes_instance() {
+        let reg = SchemeRegistry::standard();
+        for e in reg.entries() {
+            let g = match e.name {
+                "planarity" | "universal" => generators::grid(4, 4),
+                "bipartite" => generators::cycle(8),
+                "tree" => generators::random_tree(12, 3),
+                "spanning-tree" => generators::complete(5),
+                "path" | "path-outerplanar" => generators::path(8),
+                "non-planarity" => generators::complete(5),
+                "mod-counter" => dpc_lowerbounds::blocks::path_of_blocks(4, &[1, 2, 3]).graph,
+                other => panic!("no yes-instance wired for {other}"),
+            };
+            let a = e
+                .scheme()
+                .prove(&g)
+                .unwrap_or_else(|err| panic!("{}: {err}", e.name));
+            let out = dpc_core::harness::run_with_assignment(&e.scheme(), &g, &a);
+            assert!(out.all_accept(), "{}", e.name);
+        }
+    }
+
+    #[test]
+    fn restricted_registry() {
+        let reg = SchemeRegistry::with_schemes(&["bipartite", "tree"]).unwrap();
+        assert_eq!(reg.len(), 2);
+        assert!(reg.get(SchemeId::PLANARITY).is_none());
+        assert!(SchemeRegistry::with_schemes(&["nosuch"]).is_err());
+        assert!(SchemeRegistry::with_schemes(&[]).is_err());
+    }
+}

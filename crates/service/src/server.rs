@@ -21,30 +21,33 @@
 //!   pairs from whichever worker finished, reorders, and writes
 //!   responses in request order).
 //! * Workers drain the queue. A popped Certify request greedily
-//!   collects the other Certify requests currently queued (up to
-//!   `batch_max`) and runs the cache misses through the existing
-//!   [`BatchRunner`] in one parallel batch, deduplicating identical
-//!   graphs within the batch.
+//!   collects the other Certify requests currently queued *for the
+//!   same scheme* (up to `batch_max`), resolves the scheme once
+//!   against the [`SchemeRegistry`], and runs the cache misses
+//!   through the existing [`BatchRunner`] in one parallel batch,
+//!   deduplicating identical graphs within the batch.
 //! * The cache is keyed by [`dpc_graph::canon::hash_bytes`] over the
-//!   canonical wire encoding (one sort per request), with the stored
-//!   encoding compared on every hit as a collision guard; a hit
-//!   memcpys the entry's pre-encoded suffix — the prover never runs
-//!   twice for the same graph.
+//!   scheme id followed by the canonical wire encoding (one sort per
+//!   request), with the stored bytes compared on every hit as a
+//!   collision *and cross-scheme* guard; a hit memcpys the entry's
+//!   pre-encoded suffix — the prover never runs twice for the same
+//!   `(scheme, graph)` pair, and no scheme can see another's entries.
 
 use crate::cache::{CacheConfig, CacheEntry, CertCache, ProveResult};
 use crate::gen;
-use crate::metrics::{Metrics, StatsSnapshot};
+use crate::metrics::{Metrics, SchemeStats, StatsSnapshot};
+use crate::registry::{SchemeEntry, SchemeId, SchemeRegistry};
 use crate::wire::{self, CheckVerdict, Request, Response, SoundnessLine, WireError};
 use dpc_core::adversary::soundness_report;
 use dpc_core::batch::BatchRunner;
 use dpc_core::harness::certify_pls;
 use dpc_core::scheme::ProveError;
-use dpc_core::schemes::planarity::PlanarityScheme;
 use dpc_graph::canon::hash_bytes;
 use dpc_graph::minors::KuratowskiKind;
 use dpc_graph::Graph;
 use dpc_planar::kuratowski::extract_kuratowski;
 use dpc_planar::lr::{planarity, Planarity};
+use dpc_runtime::put_uvarint;
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -133,18 +136,23 @@ impl JobQueue {
     }
 
     /// Pops one job; if it is a Certify, greedily extracts up to
-    /// `batch_max - 1` more Certify jobs from anywhere in the queue
-    /// (other request kinds keep their positions). Returns `None` on
-    /// shutdown.
+    /// `batch_max - 1` more Certify jobs *for the same scheme* from
+    /// anywhere in the queue (other request kinds, and certifies for
+    /// other schemes, keep their positions — batches are homogeneous
+    /// per scheme so one registry lookup and one `BatchRunner` call
+    /// serve the whole batch). Returns `None` on shutdown.
     fn pop_batch(&self, batch_max: usize) -> Option<Vec<Job>> {
         let mut jobs = self.jobs.lock().expect("queue poisoned");
         loop {
             if let Some(first) = jobs.pop_front() {
                 let mut batch = vec![first];
-                if matches!(batch[0].req, Request::Certify { .. }) {
+                if let Request::Certify { scheme, .. } = batch[0].req {
                     let mut i = 0;
                     while i < jobs.len() && batch.len() < batch_max {
-                        if matches!(jobs[i].req, Request::Certify { .. }) {
+                        if matches!(
+                            jobs[i].req,
+                            Request::Certify { scheme: s, .. } if s == scheme
+                        ) {
                             batch.push(jobs.remove(i).expect("index in bounds"));
                         } else {
                             i += 1;
@@ -174,9 +182,37 @@ struct Shared {
     cache: CertCache,
     metrics: Metrics,
     queue: JobQueue,
-    scheme: PlanarityScheme,
+    registry: SchemeRegistry,
     runner: BatchRunner,
     shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// The per-scheme metrics slot of a registered id.
+    fn scheme_metrics(&self, id: SchemeId) -> Option<&crate::metrics::SchemeMetrics> {
+        self.registry
+            .slot(id)
+            .map(|slot| &self.metrics.per_scheme[slot])
+    }
+}
+
+/// The error response for a syntactically valid but unregistered
+/// scheme id — a normal answer on a healthy connection, never a
+/// panic or a dropped stream. `count` is the number of requests this
+/// response will answer (a whole certify batch shares one), so the
+/// errors counter tracks error *responses* regardless of batching.
+fn unknown_scheme(shared: &Shared, id: SchemeId, count: u64) -> Response {
+    shared.metrics.errors.fetch_add(count, Ordering::Relaxed);
+    Response::Error(format!(
+        "unknown scheme id {id} (this server registers: {})",
+        shared
+            .registry
+            .entries()
+            .iter()
+            .map(|e| format!("{} = {}", e.id, e.name))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ))
 }
 
 /// A running server. Dropping the handle does **not** stop the server;
@@ -199,6 +235,11 @@ impl ServerHandle {
         snapshot(&self.shared)
     }
 
+    /// The scheme registry this server routes by.
+    pub fn registry(&self) -> &SchemeRegistry {
+        &self.shared.registry
+    }
+
     /// Stops accepting, drains the queue, and joins all server
     /// threads. In-flight requests get their responses.
     pub fn shutdown(self) {
@@ -219,15 +260,26 @@ impl ServerHandle {
     }
 }
 
-/// Binds `addr` and starts the accept loop and worker pool.
+/// Binds `addr` and starts the accept loop and worker pool, serving
+/// every scheme of [`SchemeRegistry::standard`].
 pub fn serve<A: ToSocketAddrs>(addr: A, cfg: ServeConfig) -> io::Result<ServerHandle> {
+    serve_with_registry(addr, cfg, SchemeRegistry::standard())
+}
+
+/// Like [`serve`], with an explicit scheme registry (`dpc serve
+/// --schemes`).
+pub fn serve_with_registry<A: ToSocketAddrs>(
+    addr: A,
+    cfg: ServeConfig,
+    registry: SchemeRegistry,
+) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let shared = Arc::new(Shared {
         cache: CertCache::new(cfg.cache),
-        metrics: Metrics::new(),
+        metrics: Metrics::with_scheme_slots(registry.len()),
         queue: JobQueue::new(cfg.queue_capacity),
-        scheme: PlanarityScheme::new(),
+        registry,
         runner: BatchRunner::with_threads(cfg.prove_threads),
         cfg,
         shutdown: AtomicBool::new(false),
@@ -376,20 +428,34 @@ fn finish(shared: &Shared, job: &Job, body: Vec<u8>) {
     let _ = job.reply.send((job.seq, body));
 }
 
-/// Proves one graph (or explains why not). Connectivity is checked
-/// here because the PLS model assumes a connected network. A panic in
-/// the prover is contained (it would otherwise kill the worker thread
-/// and wedge the response stream) and surfaced as `Err` — an internal
-/// error, *not* a decline: declines are semantic ("outside the
-/// class") and cacheable, a panic is neither.
-fn prove_one(shared: &Shared, g: &Graph) -> Result<ProveResult, String> {
+/// [`finish`], also recording the scheme's certify latency.
+fn finish_certify(
+    shared: &Shared,
+    job: &Job,
+    body: Vec<u8>,
+    per_scheme: Option<&crate::metrics::SchemeMetrics>,
+) {
+    if let Some(m) = per_scheme {
+        m.latency.record(job.received.elapsed());
+    }
+    finish(shared, job, body);
+}
+
+/// Proves one graph under one registered scheme (or explains why
+/// not). Connectivity is checked here because the PLS model assumes a
+/// connected network. A panic in the prover is contained (it would
+/// otherwise kill the worker thread and wedge the response stream)
+/// and surfaced as `Err` — an internal error, *not* a decline:
+/// declines are semantic ("outside the class") and cacheable, a panic
+/// is neither.
+fn prove_one(entry: &SchemeEntry, g: &Graph) -> Result<ProveResult, String> {
     if !g.is_connected() {
         return Ok(ProveResult::Declined {
             reason: ProveError::NotConnected.to_string(),
         });
     }
     let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        certify_pls(&shared.scheme, g)
+        certify_pls(&entry.scheme(), g)
     }));
     match run {
         Ok(Ok(certified)) => Ok(ProveResult::Certified {
@@ -403,6 +469,17 @@ fn prove_one(shared: &Shared, g: &Graph) -> Result<ProveResult, String> {
     }
 }
 
+/// Keyed cache bytes of a certify request: the scheme id, then the
+/// canonical wire encoding of the graph. Hashing (and comparing) the
+/// id alongside the graph keeps every scheme's entries disjoint —
+/// identical graphs certified under two schemes are two cache keys.
+fn keyed_bytes(scheme: SchemeId, graph: &Graph) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    put_uvarint(&mut bytes, scheme.0 as u64);
+    wire::encode_graph(&mut bytes, graph);
+    bytes
+}
+
 fn entry_body(cached: bool, entry: &CacheEntry) -> Vec<u8> {
     match &entry.result {
         ProveResult::Certified { .. } => wire::certified_body_from_suffix(cached, &entry.suffix),
@@ -411,6 +488,25 @@ fn entry_body(cached: bool, entry: &CacheEntry) -> Vec<u8> {
 }
 
 fn process_certify_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
+    // batches are homogeneous by construction (pop_batch groups by
+    // scheme), so the registry is consulted once per batch
+    let scheme_id = match batch[0].req {
+        Request::Certify { scheme, .. } => scheme,
+        _ => unreachable!("certify batches contain only certify jobs"),
+    };
+    let per_scheme = shared.scheme_metrics(scheme_id);
+    if let Some(m) = per_scheme {
+        m.certify.fetch_add(batch.len() as u64, Ordering::Relaxed);
+    }
+    let Some(entry) = shared.registry.get(scheme_id) else {
+        // unknown id: every job in the batch gets a clean error
+        // response; the connection (and its sequence numbers) survive
+        let body = unknown_scheme(shared, scheme_id, batch.len() as u64).encode();
+        for job in &batch {
+            finish_certify(shared, job, body.clone(), None);
+        }
+        return;
+    };
     if batch.len() > 1 {
         shared.metrics.batches.fetch_add(1, Ordering::Relaxed);
         shared
@@ -419,9 +515,9 @@ fn process_certify_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
     }
     // Phase 1: cache lookups. `to_prove` maps a cache key (plus the
-    // canonical graph bytes, the collision guard) to the jobs waiting
-    // on it, deduplicating identical graphs in the batch; bypass
-    // requests always prove, one prove per request.
+    // keyed scheme-id + graph bytes, the collision guard) to the jobs
+    // waiting on it, deduplicating identical graphs in the batch;
+    // bypass requests always prove, one prove per request.
     struct Miss<'a> {
         graph: &'a Graph,
         key: Option<(dpc_graph::canon::GraphHash, Vec<u8>)>,
@@ -433,6 +529,7 @@ fn process_certify_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
         let Request::Certify {
             graph,
             bypass_cache,
+            ..
         } = &job.req
         else {
             unreachable!("certify batches contain only certify jobs");
@@ -446,13 +543,20 @@ fn process_certify_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
             continue;
         }
         // one canonical pass: the wire encoding sorts the edge list,
-        // and the cache key is the hash of those bytes
-        let mut bytes = Vec::new();
-        wire::encode_graph(&mut bytes, graph);
+        // and the cache key is the hash of the scheme-qualified bytes
+        let bytes = keyed_bytes(scheme_id, graph);
         let key = hash_bytes(&bytes);
         match shared.cache.lookup(key, &bytes) {
-            Some(entry) => done[i] = Some(entry_body(true, &entry)),
+            Some(entry) => {
+                if let Some(m) = per_scheme {
+                    m.hits.fetch_add(1, Ordering::Relaxed);
+                }
+                done[i] = Some(entry_body(true, &entry));
+            }
             None => {
+                if let Some(m) = per_scheme {
+                    m.misses.fetch_add(1, Ordering::Relaxed);
+                }
                 let dup = to_prove
                     .iter_mut()
                     .find(|m| matches!(&m.key, Some((k, b)) if *k == key && *b == bytes));
@@ -473,8 +577,11 @@ fn process_certify_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
             .metrics
             .proves
             .fetch_add(to_prove.len() as u64, Ordering::Relaxed);
+        if let Some(m) = per_scheme {
+            m.proves.fetch_add(to_prove.len() as u64, Ordering::Relaxed);
+        }
         let graphs: Vec<&Graph> = to_prove.iter().map(|m| m.graph).collect();
-        let results = shared.runner.map(&graphs, |g| prove_one(shared, g));
+        let results = shared.runner.map(&graphs, |g| prove_one(entry, g));
         for (miss, result) in to_prove.into_iter().zip(results) {
             match result {
                 Ok(result) => {
@@ -502,7 +609,7 @@ fn process_certify_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
     // Phase 3: respond in one pass (the per-connection writers restore
     // request order).
     for (job, body) in batch.iter().zip(done) {
-        finish(shared, job, body.expect("every job answered"));
+        finish_certify(shared, job, body.expect("every job answered"), per_scheme);
     }
 }
 
@@ -523,16 +630,59 @@ fn process_single(shared: &Arc<Shared>, req: &Request) -> Vec<u8> {
 fn process_single_inner(shared: &Arc<Shared>, req: &Request) -> Vec<u8> {
     match req {
         Request::Certify { .. } => unreachable!("certify goes through the batch path"),
-        Request::Check { graph } => check_response(graph).encode(),
-        Request::Gen { family, n, seed } => match gen::make(family, *n, *seed) {
-            Ok(g) => Response::Generated(g).encode(),
-            Err(e) => Response::Error(e).encode(),
-        },
-        Request::SoundnessProbe { graph, seed } => {
+        Request::Check { graph, scheme } => {
+            let Some(entry) = shared.registry.get(*scheme) else {
+                return unknown_scheme(shared, *scheme, 1).encode();
+            };
+            // planarity keeps its rich embedding/witness verdicts; any
+            // other scheme answers the generic membership pair (is the
+            // honest prover willing to certify this instance?)
+            if *scheme == SchemeId::PLANARITY {
+                return check_response(graph).encode();
+            }
+            let verdict = match entry.scheme().prove(graph) {
+                Ok(_) => CheckVerdict::Member {
+                    scheme: entry.name.to_string(),
+                },
+                Err(e) => CheckVerdict::NonMember {
+                    scheme: entry.name.to_string(),
+                    reason: e.to_string(),
+                },
+            };
+            Response::Checked(verdict).encode()
+        }
+        Request::Gen {
+            family, n, seed, ..
+        } => {
+            // generation is scheme-independent: the scheme id is
+            // carried opaquely (reserved for scheme-specific families)
+            // and deliberately NOT validated, so a registry-restricted
+            // server can still generate graphs for any client
+            match gen::make(family, *n, *seed) {
+                Ok(g) => Response::Generated(g).encode(),
+                Err(e) => Response::Error(e).encode(),
+            }
+        }
+        Request::SoundnessProbe {
+            graph,
+            seed,
+            scheme,
+        } => {
+            let Some(entry) = shared.registry.get(*scheme) else {
+                return unknown_scheme(shared, *scheme, 1).encode();
+            };
+            if !entry.caps.soundness_probe {
+                return Response::Error(format!(
+                    "scheme {} does not support soundness probes \
+                     (the replay battery only applies to planarity-shaped classes)",
+                    entry.name
+                ))
+                .encode();
+            }
             if !graph.is_connected() {
                 return Response::Error(ProveError::NotConnected.to_string()).encode();
             }
-            let rows = soundness_report(&shared.scheme, graph, *seed)
+            let rows = soundness_report(&entry.scheme(), graph, *seed)
                 .into_iter()
                 .map(|row| SoundnessLine {
                     attack: row.attack.to_string(),
@@ -570,6 +720,21 @@ fn check_response(graph: &Graph) -> Response {
 fn snapshot(shared: &Shared) -> StatsSnapshot {
     let cache = shared.cache.stats();
     let m = &shared.metrics;
+    let per_scheme = shared
+        .registry
+        .entries()
+        .iter()
+        .zip(&m.per_scheme)
+        .map(|(e, s)| SchemeStats {
+            id: e.id.0,
+            name: e.name.to_string(),
+            certify: s.certify.load(Ordering::Relaxed),
+            hits: s.hits.load(Ordering::Relaxed),
+            misses: s.misses.load(Ordering::Relaxed),
+            proves: s.proves.load(Ordering::Relaxed),
+            latency: s.latency.snapshot(),
+        })
+        .collect();
     StatsSnapshot {
         certify: m.certify.load(Ordering::Relaxed),
         check: m.check.load(Ordering::Relaxed),
@@ -586,5 +751,6 @@ fn snapshot(shared: &Shared) -> StatsSnapshot {
         batched_certifies: m.batched_certifies.load(Ordering::Relaxed),
         proves: m.proves.load(Ordering::Relaxed),
         latency: m.latency.snapshot(),
+        per_scheme,
     }
 }

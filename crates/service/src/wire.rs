@@ -19,6 +19,7 @@
 //! down across all generator families.
 
 use crate::metrics::StatsSnapshot;
+use crate::registry::SchemeId;
 use dpc_core::harness::Outcome;
 use dpc_core::scheme::Assignment;
 use dpc_graph::{canon, Graph, GraphBuilder};
@@ -210,17 +211,69 @@ pub fn decode_graph(buf: &mut &[u8]) -> Result<Graph, WireError> {
 }
 
 fn encode_string(out: &mut Vec<u8>, s: &str) {
-    put_uvarint(out, s.len() as u64);
-    out.extend_from_slice(s.as_bytes());
+    dpc_runtime::put_string(out, s);
 }
 
 fn decode_string(buf: &mut &[u8]) -> Result<String, WireError> {
-    let len = get_uvarint(buf)? as usize;
-    if len > MAX_FRAME_BYTES {
-        return Err(protocol("oversized string"));
+    // the announced length is bounded by the remaining frame bytes
+    // inside get_string, and frames are already capped
+    Ok(dpc_runtime::get_string(buf)?)
+}
+
+// ---------------------------------------------------------------------------
+// Request extensions.
+
+/// Extension tag carrying a scheme id (payload: one varint ≤ `u16::MAX`).
+pub const EXT_SCHEME_ID: u64 = 1;
+
+/// Upper bound on one extension payload.
+const MAX_EXT_BYTES: usize = 1 << 16;
+
+/// Appends the trailing extension block of a request. Extensions are
+/// `(tag, length, payload)` triples after the legacy fields; decoders
+/// skip unknown tags, so the block is the protocol's growth point.
+/// The scheme id is only emitted when it is not the default
+/// ([`SchemeId::PLANARITY`]) — planarity requests are byte-identical
+/// to the pre-registry (v1) encoding.
+fn encode_extensions(out: &mut Vec<u8>, scheme: SchemeId) {
+    if scheme != SchemeId::PLANARITY {
+        put_uvarint(out, EXT_SCHEME_ID);
+        let mut payload = Vec::with_capacity(3);
+        put_uvarint(&mut payload, scheme.0 as u64);
+        put_uvarint(out, payload.len() as u64);
+        out.extend_from_slice(&payload);
     }
-    let bytes = get_bytes(buf, len)?;
-    String::from_utf8(bytes.to_vec()).map_err(|_| protocol("string is not UTF-8"))
+}
+
+/// Decodes the trailing extension block, consuming the rest of `buf`.
+/// Absent block (or absent scheme-id extension) means planarity.
+/// Unknown extension tags are skipped; a duplicate or malformed
+/// scheme-id extension is a protocol error. Note the id is *not*
+/// checked against any registry here — routing a syntactically valid
+/// but unregistered id is the server's job (it answers with a clean
+/// `Error` response), not the codec's.
+fn decode_extensions(buf: &mut &[u8]) -> Result<SchemeId, WireError> {
+    let mut scheme: Option<SchemeId> = None;
+    while !buf.is_empty() {
+        let tag = get_uvarint(buf)?;
+        let len = get_uvarint(buf)? as usize;
+        if len > MAX_EXT_BYTES {
+            return Err(protocol(format!("extension {tag} of {len} bytes")));
+        }
+        let mut payload = get_bytes(buf, len)?;
+        if tag == EXT_SCHEME_ID {
+            if scheme.is_some() {
+                return Err(protocol("duplicate scheme-id extension"));
+            }
+            let id = get_uvarint(&mut payload)?;
+            if id > u16::MAX as u64 || !payload.is_empty() {
+                return Err(protocol(format!("malformed scheme id {id}")));
+            }
+            scheme = Some(SchemeId(id as u16));
+        }
+        // any other tag: skip via its length (forward compatibility)
+    }
+    Ok(scheme.unwrap_or(SchemeId::PLANARITY))
 }
 
 // ---------------------------------------------------------------------------
@@ -232,18 +285,24 @@ pub const CERTIFY_FLAG_BYPASS_CACHE: u64 = 1;
 /// A client request.
 #[derive(Debug, Clone)]
 pub enum Request {
-    /// Run the planarity PLS prover (or serve it from cache) and return
-    /// the certificate assignment plus the measured outcome.
+    /// Run the scheme's prover (or serve it from cache) and return the
+    /// certificate assignment plus the measured outcome.
     Certify {
         /// The network to certify.
         graph: Graph,
         /// Skip the cache entirely (used to measure cold latency).
         bypass_cache: bool,
+        /// The registered scheme to run (default: planarity).
+        scheme: SchemeId,
     },
-    /// Centralized planarity check with an embedding/witness summary.
+    /// Centralized membership check. Under planarity this returns an
+    /// embedding/witness summary; under any other scheme a generic
+    /// in-class/out-of-class verdict.
     Check {
         /// The graph to test.
         graph: Graph,
+        /// The registered scheme whose class is tested.
+        scheme: SchemeId,
     },
     /// Generate a graph server-side from a named family.
     Gen {
@@ -253,16 +312,35 @@ pub enum Request {
         n: u32,
         /// Generator seed.
         seed: u64,
+        /// Carried opaquely and ignored by the server today — reserved
+        /// for scheme-specific families. Not validated, so generation
+        /// works against registry-restricted servers.
+        scheme: SchemeId,
     },
     /// Run the adversarial attack battery against the graph.
     SoundnessProbe {
-        /// The (typically non-planar) instance to attack.
+        /// The (typically no-instance) network to attack.
         graph: Graph,
         /// Attack seed.
         seed: u64,
+        /// The registered scheme to attack (must support probes).
+        scheme: SchemeId,
     },
     /// Fetch server counters and latency quantiles.
     Stats,
+}
+
+impl Request {
+    /// The scheme id the request addresses (`None` for Stats).
+    pub fn scheme(&self) -> Option<SchemeId> {
+        match self {
+            Request::Certify { scheme, .. }
+            | Request::Check { scheme, .. }
+            | Request::Gen { scheme, .. }
+            | Request::SoundnessProbe { scheme, .. } => Some(*scheme),
+            Request::Stats => None,
+        }
+    }
 }
 
 const REQ_CERTIFY: u64 = 1;
@@ -276,7 +354,7 @@ const REQ_STATS: u64 = 5;
 // certifying a 10k-node graph should not clone it first).
 
 /// Frame body of a Certify request.
-pub fn encode_certify_request(graph: &Graph, bypass_cache: bool) -> Vec<u8> {
+pub fn encode_certify_request(graph: &Graph, bypass_cache: bool, scheme: SchemeId) -> Vec<u8> {
     let mut out = Vec::new();
     put_uvarint(&mut out, REQ_CERTIFY);
     let flags = if bypass_cache {
@@ -286,33 +364,37 @@ pub fn encode_certify_request(graph: &Graph, bypass_cache: bool) -> Vec<u8> {
     };
     put_uvarint(&mut out, flags);
     encode_graph(&mut out, graph);
+    encode_extensions(&mut out, scheme);
     out
 }
 
 /// Frame body of a Check request.
-pub fn encode_check_request(graph: &Graph) -> Vec<u8> {
+pub fn encode_check_request(graph: &Graph, scheme: SchemeId) -> Vec<u8> {
     let mut out = Vec::new();
     put_uvarint(&mut out, REQ_CHECK);
     encode_graph(&mut out, graph);
+    encode_extensions(&mut out, scheme);
     out
 }
 
 /// Frame body of a Gen request.
-pub fn encode_gen_request(family: &str, n: u32, seed: u64) -> Vec<u8> {
+pub fn encode_gen_request(family: &str, n: u32, seed: u64, scheme: SchemeId) -> Vec<u8> {
     let mut out = Vec::new();
     put_uvarint(&mut out, REQ_GEN);
     encode_string(&mut out, family);
     put_uvarint(&mut out, n as u64);
     put_uvarint(&mut out, seed);
+    encode_extensions(&mut out, scheme);
     out
 }
 
 /// Frame body of a SoundnessProbe request.
-pub fn encode_soundness_request(graph: &Graph, seed: u64) -> Vec<u8> {
+pub fn encode_soundness_request(graph: &Graph, seed: u64, scheme: SchemeId) -> Vec<u8> {
     let mut out = Vec::new();
     put_uvarint(&mut out, REQ_SOUNDNESS);
     put_uvarint(&mut out, seed);
     encode_graph(&mut out, graph);
+    encode_extensions(&mut out, scheme);
     out
 }
 
@@ -330,10 +412,20 @@ impl Request {
             Request::Certify {
                 graph,
                 bypass_cache,
-            } => encode_certify_request(graph, *bypass_cache),
-            Request::Check { graph } => encode_check_request(graph),
-            Request::Gen { family, n, seed } => encode_gen_request(family, *n, *seed),
-            Request::SoundnessProbe { graph, seed } => encode_soundness_request(graph, *seed),
+                scheme,
+            } => encode_certify_request(graph, *bypass_cache, *scheme),
+            Request::Check { graph, scheme } => encode_check_request(graph, *scheme),
+            Request::Gen {
+                family,
+                n,
+                seed,
+                scheme,
+            } => encode_gen_request(family, *n, *seed, *scheme),
+            Request::SoundnessProbe {
+                graph,
+                seed,
+                scheme,
+            } => encode_soundness_request(graph, *seed, *scheme),
             Request::Stats => encode_stats_request(),
         }
     }
@@ -350,21 +442,25 @@ impl Request {
                 Request::Certify {
                     bypass_cache: flags & CERTIFY_FLAG_BYPASS_CACHE != 0,
                     graph: decode_graph(&mut buf)?,
+                    scheme: decode_extensions(&mut buf)?,
                 }
             }
             REQ_CHECK => Request::Check {
                 graph: decode_graph(&mut buf)?,
+                scheme: decode_extensions(&mut buf)?,
             },
             REQ_GEN => Request::Gen {
                 family: decode_string(&mut buf)?,
                 n: get_uvarint(&mut buf)? as u32,
                 seed: get_uvarint(&mut buf)?,
+                scheme: decode_extensions(&mut buf)?,
             },
             REQ_SOUNDNESS => {
                 let seed = get_uvarint(&mut buf)?;
                 Request::SoundnessProbe {
                     seed,
                     graph: decode_graph(&mut buf)?,
+                    scheme: decode_extensions(&mut buf)?,
                 }
             }
             REQ_STATS => Request::Stats,
@@ -380,7 +476,11 @@ impl Request {
 // ---------------------------------------------------------------------------
 // Responses.
 
-/// Planarity verdict of a Check request.
+/// Verdict of a Check request.
+///
+/// Planarity checks (the scheme-0 default) return the rich
+/// embedding/witness verdicts; every other registered scheme answers
+/// with the generic membership pair.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CheckVerdict {
     /// Planar, with the certified embedding's face count and genus.
@@ -398,6 +498,18 @@ pub enum CheckVerdict {
         branch_nodes: Vec<u32>,
         /// Number of edges of the subdivision.
         witness_edges: u64,
+    },
+    /// In the class of the (non-planarity) scheme named here.
+    Member {
+        /// Scheme name, echoed by the server.
+        scheme: String,
+    },
+    /// Outside the class of the scheme named here.
+    NonMember {
+        /// Scheme name, echoed by the server.
+        scheme: String,
+        /// The prover's refusal reason.
+        reason: String,
     },
 }
 
@@ -529,6 +641,15 @@ impl Response {
                         }
                         put_uvarint(&mut out, *witness_edges);
                     }
+                    CheckVerdict::Member { scheme } => {
+                        put_uvarint(&mut out, 2);
+                        encode_string(&mut out, scheme);
+                    }
+                    CheckVerdict::NonMember { scheme, reason } => {
+                        put_uvarint(&mut out, 3);
+                        encode_string(&mut out, scheme);
+                        encode_string(&mut out, reason);
+                    }
                 }
             }
             Response::Generated(g) => {
@@ -574,26 +695,35 @@ impl Response {
                 reason: decode_string(&mut buf)?,
             },
             RESP_CHECKED => {
-                let verdict = if get_uvarint(&mut buf)? != 0 {
-                    CheckVerdict::Planar {
+                let verdict = match get_uvarint(&mut buf)? {
+                    1 => CheckVerdict::Planar {
                         faces: get_uvarint(&mut buf)?,
                         genus: get_uvarint(&mut buf)? as i64,
+                    },
+                    0 => {
+                        let k5 = get_uvarint(&mut buf)? != 0;
+                        let count = get_uvarint(&mut buf)? as usize;
+                        if count > 6 {
+                            return Err(protocol("too many branch nodes"));
+                        }
+                        let mut branch_nodes = Vec::with_capacity(count);
+                        for _ in 0..count {
+                            branch_nodes.push(get_uvarint(&mut buf)? as u32);
+                        }
+                        CheckVerdict::NonPlanar {
+                            k5,
+                            branch_nodes,
+                            witness_edges: get_uvarint(&mut buf)?,
+                        }
                     }
-                } else {
-                    let k5 = get_uvarint(&mut buf)? != 0;
-                    let count = get_uvarint(&mut buf)? as usize;
-                    if count > 6 {
-                        return Err(protocol("too many branch nodes"));
-                    }
-                    let mut branch_nodes = Vec::with_capacity(count);
-                    for _ in 0..count {
-                        branch_nodes.push(get_uvarint(&mut buf)? as u32);
-                    }
-                    CheckVerdict::NonPlanar {
-                        k5,
-                        branch_nodes,
-                        witness_edges: get_uvarint(&mut buf)?,
-                    }
+                    2 => CheckVerdict::Member {
+                        scheme: decode_string(&mut buf)?,
+                    },
+                    3 => CheckVerdict::NonMember {
+                        scheme: decode_string(&mut buf)?,
+                        reason: decode_string(&mut buf)?,
+                    },
+                    v => return Err(protocol(format!("unknown check verdict {v}"))),
                 };
                 Response::Checked(verdict)
             }
@@ -719,6 +849,7 @@ mod tests {
         let req = Request::Certify {
             graph: generators::cycle(4),
             bypass_cache: true,
+            scheme: SchemeId::PLANARITY,
         };
         let body = req.encode();
         assert_eq!(body[0] as u64, REQ_CERTIFY);
@@ -732,5 +863,89 @@ mod tests {
         let mut trailing = Request::Stats.encode();
         trailing.push(0);
         assert!(Request::decode(&trailing).is_err(), "trailing bytes");
+    }
+
+    #[test]
+    fn scheme_id_rides_the_extension_block() {
+        let g = generators::cycle(6);
+        // default scheme: byte-identical to the v1 encoding (no block)
+        let v1 = encode_certify_request(&g, false, SchemeId::PLANARITY);
+        let req = Request::decode(&v1).unwrap();
+        assert_eq!(req.scheme(), Some(SchemeId::PLANARITY));
+        // explicit scheme: a trailing block old planarity bytes lack
+        let v2 = encode_certify_request(&g, false, SchemeId::BIPARTITE);
+        assert_eq!(&v2[..v1.len()], &v1[..], "extension is strictly trailing");
+        assert_eq!(
+            Request::decode(&v2).unwrap().scheme(),
+            Some(SchemeId::BIPARTITE)
+        );
+        // every graph-carrying kind round-trips its scheme
+        for body in [
+            encode_check_request(&g, SchemeId::TREE),
+            encode_gen_request("grid", 9, 1, SchemeId::SPANNING_TREE),
+            encode_soundness_request(&g, 7, SchemeId::MOD_COUNTER),
+        ] {
+            let req = Request::decode(&body).unwrap();
+            assert_ne!(req.scheme(), Some(SchemeId::PLANARITY));
+        }
+    }
+
+    #[test]
+    fn unknown_extensions_are_skipped_malformed_rejected() {
+        let g = generators::path(3);
+        let mut body = encode_check_request(&g, SchemeId::PLANARITY);
+        // unknown extension tag 99 with a 2-byte payload: skipped
+        put_uvarint(&mut body, 99);
+        put_uvarint(&mut body, 2);
+        body.extend_from_slice(&[0xde, 0xad]);
+        // followed by a scheme id, still honored
+        put_uvarint(&mut body, EXT_SCHEME_ID);
+        put_uvarint(&mut body, 1);
+        put_uvarint(&mut body, SchemeId::BIPARTITE.0 as u64);
+        assert_eq!(
+            Request::decode(&body).unwrap().scheme(),
+            Some(SchemeId::BIPARTITE)
+        );
+
+        // duplicate scheme-id extension: protocol error
+        let mut dup = encode_check_request(&g, SchemeId::BIPARTITE);
+        put_uvarint(&mut dup, EXT_SCHEME_ID);
+        put_uvarint(&mut dup, 1);
+        put_uvarint(&mut dup, 2);
+        assert!(Request::decode(&dup).is_err());
+
+        // out-of-range scheme id: protocol error
+        let mut big = encode_check_request(&g, SchemeId::PLANARITY);
+        put_uvarint(&mut big, EXT_SCHEME_ID);
+        let mut payload = Vec::new();
+        put_uvarint(&mut payload, u16::MAX as u64 + 1);
+        put_uvarint(&mut big, payload.len() as u64);
+        big.extend_from_slice(&payload);
+        assert!(Request::decode(&big).is_err());
+
+        // truncated extension: error, not a panic
+        let mut cut = encode_check_request(&g, SchemeId::PLANARITY);
+        put_uvarint(&mut cut, EXT_SCHEME_ID);
+        put_uvarint(&mut cut, 5); // promises 5 payload bytes, has none
+        assert!(Request::decode(&cut).is_err());
+    }
+
+    #[test]
+    fn member_verdicts_roundtrip() {
+        for verdict in [
+            CheckVerdict::Member {
+                scheme: "bipartite".into(),
+            },
+            CheckVerdict::NonMember {
+                scheme: "tree".into(),
+                reason: "instance is not in the class: trees".into(),
+            },
+        ] {
+            let resp = Response::Checked(verdict.clone());
+            match Response::decode(&resp.encode()).unwrap() {
+                Response::Checked(back) => assert_eq!(back, verdict),
+                other => panic!("{other:?}"),
+            }
+        }
     }
 }

@@ -1,0 +1,85 @@
+//! Keeps `docs/WIRE.md` honest: the worked hex example in the spec is
+//! parsed out of the document itself and round-tripped through the
+//! real codec. If the encoding changes, this test fails until the
+//! spec's bytes are updated — the document cannot silently rot.
+
+use dpc_graph::generators;
+use dpc_service::registry::SchemeId;
+use dpc_service::wire::{self, Request};
+
+const SPEC: &str = include_str!("../../../docs/WIRE.md");
+
+/// The hex bytes of the ```hex fenced block in the spec, comments
+/// (`# ...`) stripped.
+fn spec_example_bytes() -> Vec<u8> {
+    let block = SPEC
+        .split("```hex")
+        .nth(1)
+        .expect("docs/WIRE.md must contain a ```hex block")
+        .split("```")
+        .next()
+        .expect("unterminated ```hex block");
+    let mut bytes = Vec::new();
+    for line in block.lines() {
+        let data = line.split('#').next().unwrap_or("");
+        for tok in data.split_whitespace() {
+            bytes.push(
+                u8::from_str_radix(tok, 16)
+                    .unwrap_or_else(|_| panic!("bad hex token {tok:?} in docs/WIRE.md")),
+            );
+        }
+    }
+    assert!(!bytes.is_empty(), "empty hex example in docs/WIRE.md");
+    bytes
+}
+
+#[test]
+fn spec_hex_example_is_the_real_encoding() {
+    let frame = spec_example_bytes();
+    // the spec's frame is exactly what the codec emits for C4 under
+    // the bipartite scheme
+    let body = wire::encode_certify_request(&generators::cycle(4), false, SchemeId::BIPARTITE);
+    let mut expected = Vec::new();
+    wire::write_frame(&mut expected, &body).unwrap();
+    assert_eq!(
+        frame, expected,
+        "docs/WIRE.md worked example drifted from the codec"
+    );
+}
+
+#[test]
+fn spec_hex_example_decodes_as_documented() {
+    let frame = spec_example_bytes();
+    // frame layer
+    let mut cursor = std::io::Cursor::new(frame.as_slice());
+    let body = wire::read_frame(&mut cursor)
+        .expect("valid frame")
+        .expect("non-empty stream");
+    assert_eq!(cursor.position() as usize, frame.len(), "one whole frame");
+    // request layer: Certify, C4, cache on, scheme 1
+    match Request::decode(&body).expect("valid request") {
+        Request::Certify {
+            graph,
+            bypass_cache,
+            scheme,
+        } => {
+            assert!(!bypass_cache);
+            assert_eq!(scheme, SchemeId::BIPARTITE);
+            assert!(wire::graphs_equal(&graph, &generators::cycle(4)));
+        }
+        other => panic!("spec example decoded as {other:?}"),
+    }
+    // the compatibility claim at the end of the spec: dropping the
+    // 3-byte extension block yields the version-1 planarity request
+    let v1 = &body[..body.len() - 3];
+    match Request::decode(v1).expect("v1 request") {
+        Request::Certify { scheme, .. } => assert_eq!(scheme, SchemeId::PLANARITY),
+        other => panic!("{other:?}"),
+    }
+    let v1_direct = wire::encode_certify_request(&generators::cycle(4), false, SchemeId::PLANARITY);
+    assert_eq!(
+        v1,
+        v1_direct.as_slice(),
+        "scheme-0 encoding is v1-identical"
+    );
+}

@@ -4,6 +4,7 @@
 use dpc_core::harness::certify_pls;
 use dpc_core::schemes::planarity::PlanarityScheme;
 use dpc_graph::{generators, Graph};
+use dpc_service::registry::{SchemeId, SchemeRegistry};
 use dpc_service::wire::{self, Request, Response};
 use proptest::prelude::*;
 
@@ -36,41 +37,51 @@ proptest! {
         }
     }
 
-    /// Requests round-trip through the frame body codec.
+    /// Requests round-trip through the frame body codec — for *every*
+    /// scheme id the standard registry serves, plus an unregistered id
+    /// (the codec is registry-agnostic; routing unknown ids is the
+    /// server's job).
     #[test]
     fn request_codec_identity(which in 0u32..generators::SAMPLE_FAMILY_COUNT, n in 5u32..30, seed in 0u64..500) {
         let g = family_graph(which, n, seed);
-        let requests = [
-            Request::Certify { graph: g.clone(), bypass_cache: seed.is_multiple_of(2) },
-            Request::Check { graph: g.clone() },
-            Request::Gen { family: "grid".into(), n, seed },
-            Request::SoundnessProbe { graph: g, seed },
-            Request::Stats,
-        ];
-        for req in requests {
-            let back = Request::decode(&req.encode()).unwrap();
-            match (&req, &back) {
-                (Request::Certify { graph: a, bypass_cache: fa },
-                 Request::Certify { graph: b, bypass_cache: fb }) => {
-                    prop_assert!(wire::graphs_equal(a, b));
-                    prop_assert_eq!(fa, fb);
+        let registry = SchemeRegistry::standard();
+        let mut ids: Vec<SchemeId> =
+            registry.entries().iter().map(|e| e.id).collect();
+        ids.push(SchemeId(4321)); // unregistered but well-formed
+        for scheme in ids {
+            let requests = [
+                Request::Certify { graph: g.clone(), bypass_cache: seed.is_multiple_of(2), scheme },
+                Request::Check { graph: g.clone(), scheme },
+                Request::Gen { family: "grid".into(), n, seed, scheme },
+                Request::SoundnessProbe { graph: g.clone(), seed, scheme },
+                Request::Stats,
+            ];
+            for req in requests {
+                let back = Request::decode(&req.encode()).unwrap();
+                prop_assert_eq!(req.scheme(), back.scheme(), "scheme changed in flight");
+                match (&req, &back) {
+                    (Request::Certify { graph: a, bypass_cache: fa, .. },
+                     Request::Certify { graph: b, bypass_cache: fb, .. }) => {
+                        prop_assert!(wire::graphs_equal(a, b));
+                        prop_assert_eq!(fa, fb);
+                    }
+                    (Request::Check { graph: a, .. }, Request::Check { graph: b, .. }) => {
+                        prop_assert!(wire::graphs_equal(a, b));
+                    }
+                    (Request::Gen { family: a, n: na, seed: sa, .. },
+                     Request::Gen { family: b, n: nb, seed: sb, .. }) => {
+                        prop_assert_eq!(a, b);
+                        prop_assert_eq!(na, nb);
+                        prop_assert_eq!(sa, sb);
+                    }
+                    (Request::SoundnessProbe { graph: a, seed: sa, .. },
+                     Request::SoundnessProbe { graph: b, seed: sb, .. }) => {
+                        prop_assert!(wire::graphs_equal(a, b));
+                        prop_assert_eq!(sa, sb);
+                    }
+                    (Request::Stats, Request::Stats) => {}
+                    _ => prop_assert!(false, "kind changed in flight"),
                 }
-                (Request::Check { graph: a }, Request::Check { graph: b }) => {
-                    prop_assert!(wire::graphs_equal(a, b));
-                }
-                (Request::Gen { family: a, n: na, seed: sa },
-                 Request::Gen { family: b, n: nb, seed: sb }) => {
-                    prop_assert_eq!(a, b);
-                    prop_assert_eq!(na, nb);
-                    prop_assert_eq!(sa, sb);
-                }
-                (Request::SoundnessProbe { graph: a, seed: sa },
-                 Request::SoundnessProbe { graph: b, seed: sb }) => {
-                    prop_assert!(wire::graphs_equal(a, b));
-                    prop_assert_eq!(sa, sb);
-                }
-                (Request::Stats, Request::Stats) => {}
-                _ => prop_assert!(false, "kind changed in flight"),
             }
         }
     }
@@ -102,14 +113,34 @@ proptest! {
         }
     }
 
-    /// Truncating any encoded request never panics, only errors.
+    /// Truncating any encoded request never panics, only errors —
+    /// including truncation inside the scheme-id extension block.
     #[test]
     fn truncation_is_an_error_not_a_panic(which in 0u32..generators::SAMPLE_FAMILY_COUNT, n in 5u32..25, seed in 0u64..200) {
         let g = family_graph(which, n, seed);
-        let body = Request::Certify { graph: g, bypass_cache: false }.encode();
+        let body = Request::Certify {
+            graph: g.clone(),
+            bypass_cache: false,
+            scheme: SchemeId::PLANARITY,
+        }.encode();
         for cut in 0..body.len().min(48) {
             prop_assert!(Request::decode(&body[..cut]).is_err());
         }
+        // with a scheme-id extension the block sits at the tail:
+        // cutting *inside* it (tag without length, length without
+        // payload) must error; cutting the whole block off falls back
+        // to a valid v1 planarity request — that is the compatibility
+        // rule, not a bug
+        let ext = Request::Certify {
+            graph: g,
+            bypass_cache: false,
+            scheme: SchemeId::MOD_COUNTER,
+        }.encode();
+        for cut in ext.len() - 2..ext.len() {
+            prop_assert!(Request::decode(&ext[..cut]).is_err());
+        }
+        let v1 = Request::decode(&ext[..ext.len() - 3]).unwrap();
+        prop_assert_eq!(v1.scheme(), Some(SchemeId::PLANARITY));
         // random corruption of the tag byte
         let mut corrupt = body.clone();
         corrupt[0] = 99;

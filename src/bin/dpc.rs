@@ -12,11 +12,14 @@
 //! dpc gen <family> <n> [seed]   emit a generated graph as graph6
 //!                           (families: dpc_service::gen::FAMILIES)
 //!
-//! dpc serve <addr> [workers] [cache-mb]     long-running service
-//! dpc query <addr> certify [--no-cache] <graph6>
-//! dpc query <addr> check <graph6>
+//! dpc schemes               list the scheme registry (ids, classes,
+//!                           certificate bounds, capabilities)
+//! dpc serve <addr> [workers] [cache-mb] [--schemes a,b,c]
+//!                           long-running service (default: all schemes)
+//! dpc query <addr> certify [--no-cache] [--scheme <name>] <graph6>
+//! dpc query <addr> check [--scheme <name>] <graph6>
 //! dpc query <addr> gen <family> <n> [seed]
-//! dpc query <addr> soundness <graph6> [seed]
+//! dpc query <addr> soundness [--scheme <name>] <graph6> [seed]
 //! dpc query <addr> stats
 //! dpc bench-serve <addr>|self [hits] [side] load generator; reports
 //!                           cache-hit vs cache-miss latency
@@ -29,6 +32,7 @@ use dpc::planar::kuratowski::extract_kuratowski;
 use dpc::planar::lr::{planarity, Planarity};
 use dpc::prelude::*;
 use dpc_service::cache::CacheConfig;
+use dpc_service::registry::{SchemeId, SchemeRegistry};
 use dpc_service::wire::{CheckVerdict, Response};
 use dpc_service::{Client, ServeConfig};
 use std::time::{Duration, Instant};
@@ -69,6 +73,7 @@ fn run(args: &[&str]) -> Result<String, String> {
             };
             gen(family, n, seed)
         }
+        ["schemes"] => schemes_cmd(),
         ["serve", addr, rest @ ..] => serve_cmd(addr, rest),
         ["query", addr, rest @ ..] => query_cmd(addr, rest),
         ["bench-serve", addr, rest @ ..] => bench_serve_cmd(addr, rest),
@@ -78,10 +83,41 @@ fn run(args: &[&str]) -> Result<String, String> {
 
 fn usage() -> String {
     "usage: dpc check|certify|embed|kuratowski|soundness <graph6>  |  \
-     dpc gen <family> <n> [seed]  |  dpc serve <addr> [workers] [cache-mb]  |  \
-     dpc query <addr> certify|check|gen|soundness|stats ...  |  \
+     dpc gen <family> <n> [seed]  |  dpc schemes  |  \
+     dpc serve <addr> [workers] [cache-mb] [--schemes a,b,c]  |  \
+     dpc query <addr> certify|check|gen|soundness|stats [--scheme <name>] ...  |  \
      dpc bench-serve <addr>|self [hits] [side]"
         .to_string()
+}
+
+/// Resolves a `--scheme <name>` CLI handle against the standard
+/// registry (the server answers with its own error if it registers a
+/// smaller set).
+fn scheme_by_name(name: &str) -> Result<SchemeId, String> {
+    let reg = SchemeRegistry::standard();
+    reg.by_name(name)
+        .map(|e| e.id)
+        .ok_or_else(|| format!("unknown scheme {name:?} (see `dpc schemes`)"))
+}
+
+fn schemes_cmd() -> Result<String, String> {
+    let reg = SchemeRegistry::standard();
+    let mut out = format!(
+        "{:>3}  {:<18} {:<44} {:<34} {}\n",
+        "id", "name", "class", "certificates", "soundness-probe"
+    );
+    for e in reg.entries() {
+        out.push_str(&format!(
+            "{:>3}  {:<18} {:<44} {:<34} {}\n",
+            e.id,
+            e.name,
+            e.caps.class,
+            e.caps.cert_bound,
+            if e.caps.soundness_probe { "yes" } else { "no" },
+        ));
+    }
+    out.push_str("\nid 0 (planarity) is the wire default: requests without a scheme-id extension route there.\n");
+    Ok(out)
 }
 
 fn parse(s: &str) -> Result<Graph, String> {
@@ -233,6 +269,14 @@ fn soundness_table(rows: impl Iterator<Item = (String, Option<u64>)>) -> String 
 
 fn serve_cmd(addr: &str, rest: &[&str]) -> Result<String, String> {
     let mut cfg = ServeConfig::default();
+    // split off a trailing `--schemes a,b,c` restriction first
+    let (rest, registry) = match rest {
+        [head @ .., "--schemes", list] => (
+            head,
+            SchemeRegistry::with_schemes(&list.split(',').collect::<Vec<_>>())?,
+        ),
+        _ => (rest, SchemeRegistry::standard()),
+    };
     match rest {
         [] => {}
         [workers] => {
@@ -254,14 +298,21 @@ fn serve_cmd(addr: &str, rest: &[&str]) -> Result<String, String> {
         }
         _ => return Err(usage()),
     }
-    let handle =
-        dpc_service::serve(addr, cfg.clone()).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let handle = dpc_service::serve_with_registry(addr, cfg.clone(), registry)
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
     eprintln!(
-        "dpc serve: listening on {} ({} workers, {} MiB cache, batch {} max)",
+        "dpc serve: listening on {} ({} workers, {} MiB cache, batch {} max, schemes: {})",
         handle.addr(),
         cfg.workers,
         cfg.cache.byte_budget >> 20,
         cfg.batch_max,
+        handle
+            .registry()
+            .entries()
+            .iter()
+            .map(|e| e.name)
+            .collect::<Vec<_>>()
+            .join(","),
     );
     handle.wait();
     Ok(String::new())
@@ -272,12 +323,34 @@ fn connect(addr: &str) -> Result<Client, String> {
 }
 
 fn query_cmd(addr: &str, rest: &[&str]) -> Result<String, String> {
+    // `--scheme <name>` may appear after the subcommand of any
+    // graph-carrying query; strip it here so the match below stays flat
+    let mut args: Vec<&str> = rest.to_vec();
+    let mut scheme = SchemeId::PLANARITY;
+    let mut scheme_name = "planarity".to_string();
+    if let Some(pos) = args.iter().position(|&a| a == "--scheme") {
+        let name = args
+            .get(pos + 1)
+            .ok_or_else(|| "--scheme needs a name".to_string())?;
+        scheme = scheme_by_name(name)?;
+        scheme_name = name.to_string();
+        args.drain(pos..pos + 2);
+    }
     let mut client = connect(addr)?;
-    let response = match rest {
-        ["certify", s] => client.certify(&parse(s)?, false),
-        ["certify", "--no-cache", s] => client.certify(&parse(s)?, true),
-        ["check", s] => client.check(&parse(s)?),
+    let response = match args.as_slice() {
+        ["certify", s] => client.certify_scheme(&parse(s)?, false, scheme),
+        ["certify", "--no-cache", s] => client.certify_scheme(&parse(s)?, true, scheme),
+        ["check", s] => client.check_scheme(&parse(s)?, scheme),
         ["gen", family, n, rest @ ..] => {
+            if scheme != SchemeId::PLANARITY {
+                // refuse rather than silently ignore the flag:
+                // generation is scheme-independent
+                return Err(
+                    "gen does not take --scheme (families are scheme-independent; \
+                            see `dpc gen` for the list)"
+                        .to_string(),
+                );
+            }
             let n: u32 = n.parse().map_err(|_| "n must be a number".to_string())?;
             let seed: u64 = match rest {
                 [] => 1,
@@ -293,7 +366,7 @@ fn query_cmd(addr: &str, rest: &[&str]) -> Result<String, String> {
                 [x] => x.parse().map_err(|_| "seed must be a number".to_string())?,
                 _ => return Err(usage()),
             };
-            client.soundness(&parse(s)?, seed)
+            client.soundness_scheme(&parse(s)?, seed, scheme)
         }
         ["stats"] => {
             let stats = client.stats().map_err(|e| e.to_string())?;
@@ -301,10 +374,10 @@ fn query_cmd(addr: &str, rest: &[&str]) -> Result<String, String> {
         }
         _ => return Err(usage()),
     };
-    render_response(response.map_err(|e| e.to_string())?)
+    render_response(response.map_err(|e| e.to_string())?, &scheme_name)
 }
 
-fn render_response(resp: Response) -> Result<String, String> {
+fn render_response(resp: Response, scheme: &str) -> Result<String, String> {
     match resp {
         Response::Error(e) => Err(e),
         Response::Certified {
@@ -312,7 +385,7 @@ fn render_response(resp: Response) -> Result<String, String> {
             outcome,
             assignment,
         } => Ok(format!(
-            "scheme: planarity (Theorem 1)\ncache: {}\nrounds: {}\nmax certificate: {} bits (avg {:.1})\nassignment: {} certificates, {} bytes\nverdict: {}\n",
+            "scheme: {scheme}\ncache: {}\nrounds: {}\nmax certificate: {} bits (avg {:.1})\nassignment: {} certificates, {} bytes\nverdict: {}\n",
             if cached { "hit" } else { "miss" },
             outcome.rounds,
             outcome.max_cert_bits,
@@ -340,6 +413,12 @@ fn render_response(resp: Response) -> Result<String, String> {
             "NOT PLANAR (certified: subdivided {} on {witness_edges} edges, branch nodes {branch_nodes:?})\n",
             if k5 { "K5" } else { "K33" },
         )),
+        Response::Checked(CheckVerdict::Member { scheme }) => {
+            Ok(format!("IN CLASS ({scheme}: the honest prover certifies this instance)\n"))
+        }
+        Response::Checked(CheckVerdict::NonMember { scheme, reason }) => {
+            Ok(format!("NOT IN CLASS ({scheme}): {reason}\n"))
+        }
         Response::Generated(g) => Ok(format!("{}\n", graph6::encode(&g))),
         Response::Soundness(rows) => Ok(soundness_table(
             rows.into_iter().map(|r| (r.attack, r.rejects)),
@@ -554,6 +633,92 @@ mod tests {
         assert!(stats.contains("1 hits"), "{stats}");
 
         handle.shutdown();
+    }
+
+    #[test]
+    fn schemes_lists_the_registry() {
+        let out = run(&["schemes"]).unwrap();
+        for name in [
+            "planarity",
+            "bipartite",
+            "tree",
+            "spanning-tree",
+            "path-outerplanar",
+            "non-planarity",
+            "universal",
+            "mod-counter",
+        ] {
+            assert!(out.contains(name), "missing {name} in:\n{out}");
+        }
+        assert!(out.contains("O(log n) bits (Theorem 1)"));
+        assert!(out.contains("wire default"));
+    }
+
+    #[test]
+    fn query_scheme_flag_routes_and_isolates() {
+        let handle = dpc_service::serve("127.0.0.1:0", ServeConfig::default()).unwrap();
+        let addr = handle.addr().to_string();
+        let g6 = run(&["gen", "grid", "36", "1"]).unwrap();
+        let g6 = g6.trim();
+
+        // same graph, two schemes: two cache entries, each with its
+        // own miss-then-hit sequence
+        let plan = run(&["query", &addr, "certify", g6]).unwrap();
+        assert!(plan.contains("scheme: planarity"), "{plan}");
+        assert!(plan.contains("cache: miss"));
+        let bip = run(&["query", &addr, "certify", "--scheme", "bipartite", g6]).unwrap();
+        assert!(bip.contains("scheme: bipartite"), "{bip}");
+        assert!(bip.contains("cache: miss"), "no cross-scheme hit: {bip}");
+        assert!(bip.contains("all nodes accept"));
+        let bip2 = run(&["query", &addr, "certify", "--scheme", "bipartite", g6]).unwrap();
+        assert!(bip2.contains("cache: hit"), "{bip2}");
+
+        // generic membership verdicts
+        let member = run(&["query", &addr, "check", "--scheme", "bipartite", g6]).unwrap();
+        assert!(member.contains("IN CLASS"), "{member}");
+        let non = run(&["query", &addr, "check", "--scheme", "tree", g6]).unwrap();
+        assert!(non.contains("NOT IN CLASS"), "{non}");
+
+        // spanning-tree certifies any connected graph
+        let st = run(&["query", &addr, "certify", "--scheme", "spanning-tree", g6]).unwrap();
+        assert!(st.contains("scheme: spanning-tree"), "{st}");
+        assert!(st.contains("all nodes accept"), "{st}");
+
+        // mod-counter needs the Lemma 5 block identifiers, which the
+        // graph6 format cannot carry (the binary wire protocol can —
+        // see crates/service/tests/registry_e2e.rs): the prover
+        // declines honestly instead of mis-certifying
+        let blocks = run(&["gen", "blocks", "30", "4"]).unwrap();
+        let mc = run(&[
+            "query",
+            &addr,
+            "certify",
+            "--scheme",
+            "mod-counter",
+            blocks.trim(),
+        ])
+        .unwrap();
+        assert!(mc.contains("paths of blocks"), "{mc}");
+
+        // per-scheme stats rows over the wire
+        let stats = run(&["query", &addr, "stats"]).unwrap();
+        assert!(stats.contains("bipartite"), "{stats}");
+        assert!(stats.contains("mod-counter"), "{stats}");
+
+        // unknown scheme name fails client-side with a pointer
+        let err = run(&["query", &addr, "certify", "--scheme", "nosuch", g6]).unwrap_err();
+        assert!(err.contains("dpc schemes"), "{err}");
+
+        // gen refuses --scheme instead of silently ignoring it
+        let err = run(&["query", &addr, "gen", "grid", "9", "--scheme", "bipartite"]).unwrap_err();
+        assert!(err.contains("scheme-independent"), "{err}");
+
+        handle.shutdown();
+    }
+
+    #[test]
+    fn serve_schemes_flag_validates_names() {
+        assert!(run(&["serve", "127.0.0.1:1", "--schemes", "nosuch"]).is_err());
     }
 
     #[test]
