@@ -1,0 +1,70 @@
+//! Storage-tier benches: what a certificate costs to serve from each
+//! tier. `hot_hit` is the lock-striped LRU (an `Arc` clone + memcpy),
+//! `cold_lookup` is the segment store (index probe + one positioned
+//! read + CRC check + suffix decode), `miss_prove` is the full
+//! Theorem 1 prover + verifier run a miss pays. The three together
+//! are the tiering story in numbers: hot ≪ cold ≪ prove.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpc_core::harness::certify_pls;
+use dpc_core::schemes::planarity::PlanarityScheme;
+use dpc_graph::generators;
+use dpc_service::cache::{CacheConfig, CacheEntry, CertCache, ProveResult};
+use dpc_service::store::CertStore;
+use dpc_service::{SegmentConfig, SegmentStore, TieredCache};
+use std::sync::Arc;
+
+fn entry_for(n: u32, seed: u64) -> CacheEntry {
+    let g = generators::stacked_triangulation(n, seed);
+    let certified = certify_pls(&PlanarityScheme::new(), &g).expect("planar instance");
+    let mut keyed = Vec::new();
+    dpc_runtime::put_uvarint(&mut keyed, 0);
+    dpc_service::wire::encode_graph(&mut keyed, &g);
+    CacheEntry::new(
+        ProveResult::Certified {
+            assignment: certified.assignment,
+            outcome: certified.outcome,
+        },
+        keyed,
+    )
+}
+
+fn bench_store(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("dpc-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Arc::new(SegmentStore::open(SegmentConfig::new(&dir)).expect("open store"));
+    let entries: Vec<CacheEntry> = (0..64).map(|s| entry_for(80, s)).collect();
+    for e in &entries {
+        store.put(&e.record()).expect("append");
+    }
+    store.flush().expect("fsync");
+    // hot tier holding every entry (hot_hit), and a cold-only probe
+    // target (cold_lookup goes straight at the segment store)
+    let tiered = TieredCache::with_cold(
+        CertCache::new(CacheConfig::default()),
+        Arc::clone(&store) as Arc<dyn CertStore>,
+    );
+    tiered.warm_load(usize::MAX);
+    let probe = entries[17].record();
+    let g = generators::stacked_triangulation(80, 99);
+
+    let mut group = c.benchmark_group("store");
+    group.bench_function(BenchmarkId::new("hot_hit", "tri80"), |b| {
+        b.iter(|| {
+            tiered
+                .lookup(probe.key(), &probe.keyed)
+                .expect("hot-resident")
+        });
+    });
+    group.bench_function(BenchmarkId::new("cold_lookup", "tri80"), |b| {
+        b.iter(|| store.get(probe.key(), &probe.keyed).expect("stored"));
+    });
+    group.bench_function(BenchmarkId::new("miss_prove", "tri80"), |b| {
+        b.iter(|| certify_pls(&PlanarityScheme::new(), &g).expect("planar"));
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

@@ -79,11 +79,25 @@ impl CacheEntry {
         }
     }
 
+    /// Builds an entry from an *already encoded* wire suffix (the
+    /// warm-restart path: a [`crate::store::StoreRecord`] read back
+    /// from disk reuses its stored suffix byte-for-byte, so a
+    /// certificate served after a restart is provably the same bytes
+    /// the prover produced before it). The caller is responsible for
+    /// `suffix` actually being the encoding of `result`.
+    pub fn with_suffix(result: ProveResult, suffix: Vec<u8>, keyed: Vec<u8>) -> Self {
+        CacheEntry {
+            result,
+            suffix,
+            keyed,
+        }
+    }
+
     /// Bytes charged against the shard budget: certificate payloads
     /// plus the real per-payload overhead (`Payload` struct in the
     /// `Vec` + `Arc<[u8]>` allocation header), the verdict vector, both
     /// encoded buffers, and fixed bookkeeping.
-    fn cost(&self) -> usize {
+    pub(crate) fn cost(&self) -> usize {
         let payload = match &self.result {
             ProveResult::Certified {
                 assignment,
@@ -255,6 +269,18 @@ impl CertCache {
         shard.touch(key.0);
         shard.evict_to(self.shard_budget, &self.evictions);
         entry
+    }
+
+    /// A snapshot of every live entry (the hot half of
+    /// [`crate::store::CertStore::iter`]); the shard locks are taken
+    /// one at a time, so the snapshot is per-shard consistent only.
+    pub(crate) fn entries_snapshot(&self) -> Vec<Arc<CacheEntry>> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard poisoned");
+            out.extend(shard.map.values().map(|slot| Arc::clone(&slot.entry)));
+        }
+        out
     }
 
     /// Counters plus live totals.

@@ -106,12 +106,20 @@ impl Client {
 
     /// Server-side graph generation.
     pub fn gen(&mut self, family: &str, n: u32, seed: u64) -> Result<Graph, WireError> {
-        match self.call_body(&wire::encode_gen_request(
-            family,
-            n,
-            seed,
-            SchemeId::PLANARITY,
-        ))? {
+        self.gen_scheme(family, n, seed, SchemeId::PLANARITY)
+    }
+
+    /// Server-side graph generation with a scheme id, which routes
+    /// the `"default"` family to the scheme's canonical yes-instance
+    /// generator (concrete family names ignore the id).
+    pub fn gen_scheme(
+        &mut self,
+        family: &str,
+        n: u32,
+        seed: u64,
+        scheme: SchemeId,
+    ) -> Result<Graph, WireError> {
+        match self.call_body(&wire::encode_gen_request(family, n, seed, scheme))? {
             Response::Generated(g) => Ok(g),
             Response::Error(e) => Err(WireError::Protocol(e)),
             other => Err(WireError::Protocol(format!(

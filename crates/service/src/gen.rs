@@ -1,11 +1,20 @@
 //! Named graph families servable through the Gen request (and shared
 //! with the `dpc gen` CLI subcommand).
+//!
+//! The special family [`DEFAULT_FAMILY`] (`"default"`) routes through
+//! the Gen request's scheme id to that scheme's canonical
+//! yes-instance generator — `--scheme mod-counter` yields a Lemma 5
+//! path of blocks, `--scheme bipartite` a grid, and so on (see
+//! [`default_family`]). Concrete family names stay
+//! scheme-independent.
 
+use crate::registry::SchemeId;
 use dpc_graph::{generators, Graph};
 
 /// Family names accepted by [`make`].
 pub const FAMILIES: &[&str] = &[
     "tree",
+    "path",
     "cycle",
     "grid",
     "triangulation",
@@ -20,6 +29,40 @@ pub const FAMILIES: &[&str] = &[
     "blocks",
 ];
 
+/// The scheme-routed family name: [`make_scheme`] resolves it to
+/// [`default_family`] of the request's scheme id.
+pub const DEFAULT_FAMILY: &str = "default";
+
+/// The canonical yes-instance family of a registered scheme — the
+/// family whose members the scheme's honest prover always certifies.
+/// `None` for ids outside the standard registry.
+pub fn default_family(scheme: SchemeId) -> Option<&'static str> {
+    Some(match scheme {
+        SchemeId::PLANARITY | SchemeId::UNIVERSAL => "triangulation",
+        SchemeId::BIPARTITE => "grid",
+        SchemeId::TREE => "tree",
+        SchemeId::SPANNING_TREE => "gnm",
+        SchemeId::PATH | SchemeId::PATH_OUTERPLANAR => "path",
+        SchemeId::NON_PLANARITY => "planted-k5",
+        SchemeId::MOD_COUNTER => "blocks",
+        _ => return None,
+    })
+}
+
+/// Like [`make`], with the request's scheme id routing the
+/// [`DEFAULT_FAMILY`]. The id is looked up in the *standard* id
+/// space, not any particular server's registry, so generation keeps
+/// working against registry-restricted servers.
+pub fn make_scheme(family: &str, n: u32, seed: u64, scheme: SchemeId) -> Result<Graph, String> {
+    if family == DEFAULT_FAMILY {
+        let resolved = default_family(scheme).ok_or_else(|| {
+            format!("scheme id {scheme} has no default family (see `dpc schemes`)")
+        })?;
+        return make(resolved, n, seed);
+    }
+    make(family, n, seed)
+}
+
 /// Upper bound on requested size: generation is remotely reachable
 /// (the Gen request), so `n` must be bounded before any family's
 /// arithmetic or allocation sees it.
@@ -32,6 +75,7 @@ pub fn make(family: &str, n: u32, seed: u64) -> Result<Graph, String> {
     }
     let g = match family {
         "tree" => generators::random_tree(n, seed),
+        "path" => generators::path(n.max(2)),
         "cycle" => generators::cycle(n.max(3)),
         "grid" => {
             let side = (n as f64).sqrt().ceil() as u32;
@@ -131,5 +175,32 @@ mod tests {
     fn hypercube_dimension_tracks_n() {
         assert_eq!(make("hypercube", 16, 0).unwrap().node_count(), 16);
         assert_eq!(make("hypercube", 64, 0).unwrap().node_count(), 64);
+    }
+
+    #[test]
+    fn every_schemes_default_family_is_a_yes_instance() {
+        // the point of per-scheme defaults: `gen default --scheme X`
+        // must yield something X's honest prover actually certifies
+        let reg = crate::registry::SchemeRegistry::standard();
+        for e in reg.entries() {
+            let fam =
+                default_family(e.id).unwrap_or_else(|| panic!("{}: no default family", e.name));
+            assert!(FAMILIES.contains(&fam), "{}: {fam} not listed", e.name);
+            let g = make_scheme(DEFAULT_FAMILY, 24, 3, e.id)
+                .unwrap_or_else(|err| panic!("{}: {err}", e.name));
+            e.scheme()
+                .prove(&g)
+                .unwrap_or_else(|err| panic!("{} declines its default family: {err}", e.name));
+        }
+    }
+
+    #[test]
+    fn default_family_requires_a_known_scheme() {
+        let err = make_scheme(DEFAULT_FAMILY, 10, 0, SchemeId(999)).unwrap_err();
+        assert!(err.contains("no default family"), "{err}");
+        // concrete families ignore the scheme id entirely
+        let a = make_scheme("grid", 16, 1, SchemeId(999)).unwrap();
+        let b = make("grid", 16, 1).unwrap();
+        assert_eq!(a.node_count(), b.node_count());
     }
 }

@@ -18,6 +18,11 @@
 //! * [`cache`] — the sharded, content-addressed certificate cache:
 //!   `(scheme id, canonical graph)` hash → `Arc`-shared prove result,
 //!   lock-striped shards, LRU eviction under a byte budget;
+//! * [`store`] — pluggable persistence: the [`store::CertStore`]
+//!   trait, the append-only CRC-checked [`store::SegmentStore`] file
+//!   tier, and [`store::TieredCache`], which runs the LRU cache as a
+//!   hot tier over an optional cold tier (warm restarts, eviction
+//!   demotion, write-behind);
 //! * [`server`] — accept loop, per-connection reader/writer threads,
 //!   and a worker pool that drains a bounded queue, folds concurrent
 //!   same-scheme Certify requests into
@@ -59,6 +64,7 @@ pub mod gen;
 pub mod metrics;
 pub mod registry;
 pub mod server;
+pub mod store;
 pub mod wire;
 
 pub use cache::{CacheConfig, CertCache};
@@ -66,4 +72,5 @@ pub use client::Client;
 pub use metrics::StatsSnapshot;
 pub use registry::{SchemeId, SchemeRegistry};
 pub use server::{serve, serve_with_registry, ServeConfig, ServerHandle};
+pub use store::{CertStore, SegmentConfig, SegmentStore, TieredCache};
 pub use wire::{Request, Response, WireError};

@@ -269,6 +269,26 @@ pub struct StatsSnapshot {
     pub latency: HistogramSnapshot,
     /// Per-scheme counters, one row per registered scheme.
     pub per_scheme: Vec<SchemeStats>,
+    /// Cold-tier lookups that found a record (v3; 0 without a store).
+    pub store_hits: u64,
+    /// Cold-tier lookups that found nothing (v3).
+    pub store_misses: u64,
+    /// Hot-tier evictions demoted to the cold tier instead of lost
+    /// (v3).
+    pub store_demotes: u64,
+    /// Cold hits promoted back into the hot tier (v3).
+    pub store_promotes: u64,
+    /// Live records in the cold tier (v3 gauge).
+    pub store_records: u64,
+    /// Live record bytes in the cold tier (v3 gauge).
+    pub store_bytes: u64,
+    /// Cold-tier segment files (v3 gauge; > 0 iff a store is
+    /// attached).
+    pub store_segments: u64,
+    /// Write-behind appends that failed (v3). Non-zero means up to
+    /// this many certificates are *not* in the store despite the
+    /// demotion counter — they re-prove after a restart.
+    pub store_write_errors: u64,
 }
 
 impl StatsSnapshot {
@@ -307,6 +327,20 @@ impl StatsSnapshot {
         for row in &self.per_scheme {
             row.encode_into(out);
         }
+        // version-3 tail: storage-tier counters and gauges, strictly
+        // after every v2 field so the v2 prefix decodes unchanged
+        for v in [
+            self.store_hits,
+            self.store_misses,
+            self.store_demotes,
+            self.store_promotes,
+            self.store_records,
+            self.store_bytes,
+            self.store_segments,
+            self.store_write_errors,
+        ] {
+            put_uvarint(out, v);
+        }
     }
 
     /// Decodes a snapshot from the front of `buf`, advancing it.
@@ -338,6 +372,22 @@ impl StatsSnapshot {
         s.per_scheme = (0..rows)
             .map(|_| SchemeStats::decode_from(buf))
             .collect::<Result<_, _>>()?;
+        // the v3 storage tail is absent in version-2 bodies; absence
+        // decodes as zeros (no store attached)
+        if !buf.is_empty() {
+            for field in [
+                &mut s.store_hits,
+                &mut s.store_misses,
+                &mut s.store_demotes,
+                &mut s.store_promotes,
+                &mut s.store_records,
+                &mut s.store_bytes,
+                &mut s.store_segments,
+                &mut s.store_write_errors,
+            ] {
+                *field = get_uvarint(buf)?;
+            }
+        }
         Ok(s)
     }
 }
@@ -364,6 +414,29 @@ impl fmt::Display for StatsSnapshot {
             self.cache_entries,
             self.cache_bytes,
         )?;
+        if self.store_segments > 0 {
+            writeln!(
+                f,
+                "store: {} records, {} bytes, {} segments; cold hits {}, \
+                 cold misses {}, demotions {}, promotions {}{}",
+                self.store_records,
+                self.store_bytes,
+                self.store_segments,
+                self.store_hits,
+                self.store_misses,
+                self.store_demotes,
+                self.store_promotes,
+                if self.store_write_errors > 0 {
+                    format!(
+                        " (WARNING: {} write-behind failures — that many \
+                         certificates are not persisted)",
+                        self.store_write_errors
+                    )
+                } else {
+                    String::new()
+                },
+            )?;
+        }
         writeln!(
             f,
             "prover: {} executions; batching: {} batches covering {} requests",
@@ -452,6 +525,14 @@ mod tests {
                     ..SchemeStats::default()
                 },
             ],
+            store_hits: 11,
+            store_misses: 4,
+            store_demotes: 2,
+            store_promotes: 9,
+            store_records: 40,
+            store_bytes: 1 << 16,
+            store_segments: 2,
+            store_write_errors: 1,
             ..Default::default()
         };
         let mut buf = Vec::new();
@@ -465,16 +546,40 @@ mod tests {
         let text = format!("{back}");
         assert!(text.contains("planarity"), "{text}");
         assert!(text.contains("mod-counter"), "{text}");
+        assert!(text.contains("demotions 2"), "{text}");
+        assert!(text.contains("1 write-behind failure"), "{text}");
+    }
+
+    #[test]
+    fn v2_stats_body_decodes_with_zero_store_fields() {
+        // a version-2 body is a version-3 body minus the 8 trailing
+        // store fields; a v3 decoder reads it as "no store attached"
+        let v2_like = StatsSnapshot {
+            certify: 5,
+            cache_hits: 3,
+            ..StatsSnapshot::default()
+        };
+        let mut v3 = Vec::new();
+        v2_like.encode_into(&mut v3);
+        let v2 = &v3[..v3.len() - 8]; // the 8 store fields are all 0x00
+        let mut cursor = v2;
+        let back = StatsSnapshot::decode_from(&mut cursor).unwrap();
+        assert!(cursor.is_empty());
+        assert_eq!(back, v2_like);
+        assert_eq!(back.store_segments, 0);
+        // and the store line stays out of the rendered text
+        assert!(!format!("{back}").contains("store:"));
     }
 
     #[test]
     fn snapshot_decode_bounds_scheme_rows() {
+        // a v2-shaped body whose per-scheme row count (its last
+        // varint) is a hostile 2^28-1: must be rejected by the row
+        // bound, not allocated
         let snapshot = StatsSnapshot::default();
         let mut buf = Vec::new();
         snapshot.encode_into(&mut buf);
-        // patch the row count (last varint of an empty-table snapshot)
-        // to a hostile 2^28-1: must be rejected by the row bound, not
-        // allocated
+        buf.truncate(buf.len() - 8); // drop the v3 store tail
         *buf.last_mut().unwrap() = 0xff;
         buf.extend_from_slice(&[0xff, 0xff, 0x7f]);
         let mut cursor = buf.as_slice();

@@ -83,6 +83,12 @@ pub struct SchemeCapabilities {
     /// for planarity-shaped classes — and classes with no no-instances
     /// (spanning-tree) have nothing to probe.
     pub soundness_probe: bool,
+    /// Whether the scheme reads the network identifiers themselves
+    /// (mod-counter's verifier does id arithmetic over the Lemma 5
+    /// blocks). Such schemes can only be served meaningfully over the
+    /// binary wire protocol — the graph6 exchange format drops
+    /// identifiers, so `dpc query --scheme <name>` refuses up front.
+    pub needs_ids: bool,
 }
 
 /// One registered scheme: stable id, CLI name, capabilities, and the
@@ -137,6 +143,9 @@ fn entry(
             class,
             cert_bound,
             soundness_probe,
+            // set after construction for the (single) id-reading
+            // scheme, so this builder keeps one signature
+            needs_ids: false,
         },
         scheme,
     }
@@ -219,6 +228,12 @@ impl SchemeRegistry {
                 Box::new(BlockPathScheme::new(4, 8)),
             ),
         ];
+        let mut entries = entries;
+        // mod-counter reconstructs the block chain from identifiers
+        entries
+            .iter_mut()
+            .filter(|e| e.id == SchemeId::MOD_COUNTER)
+            .for_each(|e| e.caps.needs_ids = true);
         debug_assert!(entries.windows(2).all(|w| w[0].id < w[1].id));
         SchemeRegistry { entries }
     }
@@ -327,6 +342,19 @@ mod tests {
                 .unwrap_or_else(|err| panic!("{}: {err}", e.name));
             let out = dpc_core::harness::run_with_assignment(&e.scheme(), &g, &a);
             assert!(out.all_accept(), "{}", e.name);
+        }
+    }
+
+    #[test]
+    fn only_mod_counter_needs_identifiers() {
+        let reg = SchemeRegistry::standard();
+        for e in reg.entries() {
+            assert_eq!(
+                e.caps.needs_ids,
+                e.name == "mod-counter",
+                "{}: identifier capability",
+                e.name
+            );
         }
     }
 

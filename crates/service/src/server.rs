@@ -32,11 +32,17 @@
 //!   collision *and cross-scheme* guard; a hit memcpys the entry's
 //!   pre-encoded suffix — the prover never runs twice for the same
 //!   `(scheme, graph)` pair, and no scheme can see another's entries.
+//! * With `--store-dir` the cache is the hot tier of a
+//!   [`TieredCache`]: inserts write behind to an append-only segment
+//!   store, hot evictions demote instead of vanish, cold hits promote
+//!   back, the store is warm-loaded on boot (so restarts keep their
+//!   hits) and fsynced on graceful shutdown.
 
 use crate::cache::{CacheConfig, CacheEntry, CertCache, ProveResult};
 use crate::gen;
 use crate::metrics::{Metrics, SchemeStats, StatsSnapshot};
 use crate::registry::{SchemeEntry, SchemeId, SchemeRegistry};
+use crate::store::{SegmentConfig, SegmentStore, TieredCache};
 use crate::wire::{self, CheckVerdict, Request, Response, SoundnessLine, WireError};
 use dpc_core::adversary::soundness_report;
 use dpc_core::batch::BatchRunner;
@@ -55,7 +61,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Server sizing. Defaults suit an interactive localhost deployment.
 #[derive(Debug, Clone)]
@@ -68,8 +74,12 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Max Certify requests folded into one worker batch.
     pub batch_max: usize,
-    /// Certificate-cache sizing.
+    /// Certificate-cache (hot tier) sizing.
     pub cache: CacheConfig,
+    /// Optional persistent cold tier (`dpc serve --store-dir`): the
+    /// cache warm-loads from it on boot, writes behind on insert, and
+    /// fsyncs it on graceful shutdown.
+    pub store: Option<SegmentConfig>,
 }
 
 impl Default for ServeConfig {
@@ -83,6 +93,7 @@ impl Default for ServeConfig {
             queue_capacity: 1024,
             batch_max: 32,
             cache: CacheConfig::default(),
+            store: None,
         }
     }
 }
@@ -179,7 +190,7 @@ impl JobQueue {
 
 struct Shared {
     cfg: ServeConfig,
-    cache: CertCache,
+    cache: TieredCache,
     metrics: Metrics,
     queue: JobQueue,
     registry: SchemeRegistry,
@@ -222,6 +233,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
+    flusher: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -241,7 +253,10 @@ impl ServerHandle {
     }
 
     /// Stops accepting, drains the queue, and joins all server
-    /// threads. In-flight requests get their responses.
+    /// threads. In-flight requests get their responses, and the
+    /// persistent store (if any) is fsynced — the graceful half of
+    /// warm restarts (an ungraceful kill loses at most the records
+    /// the OS had not yet written back).
     pub fn shutdown(self) {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.queue.close();
@@ -251,6 +266,10 @@ impl ServerHandle {
         for w in self.workers {
             let _ = w.join();
         }
+        if let Some(f) = self.flusher {
+            let _ = f.join();
+        }
+        let _ = self.shared.cache.flush();
     }
 
     /// Blocks until the accept loop exits (i.e. forever, for a
@@ -275,8 +294,21 @@ pub fn serve_with_registry<A: ToSocketAddrs>(
 ) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
+    // the hot tier, optionally fronting a persistent cold tier; a
+    // warm restart replays the store into the hot tier (bounded by
+    // its byte budget) so the first post-restart query is already a
+    // hit and the prover never re-runs for a stored graph
+    let hot = CertCache::new(cfg.cache);
+    let cache = match &cfg.store {
+        Some(store_cfg) => {
+            let store = SegmentStore::open(store_cfg.clone())?;
+            TieredCache::with_cold(hot, Arc::new(store))
+        }
+        None => TieredCache::hot_only(hot),
+    };
+    cache.warm_load(cfg.cache.byte_budget);
     let shared = Arc::new(Shared {
-        cache: CertCache::new(cfg.cache),
+        cache,
         metrics: Metrics::with_scheme_slots(registry.len()),
         queue: JobQueue::new(cfg.queue_capacity),
         registry,
@@ -300,11 +332,37 @@ pub fn serve_with_registry<A: ToSocketAddrs>(
             .spawn(move || accept_loop(listener, &shared))
             .expect("spawn accept loop")
     };
+    // a foreground `dpc serve` only ever dies by signal, so graceful
+    // shutdown alone cannot be the durability story: a background
+    // flusher fsyncs the store every few seconds, bounding what a
+    // kill -9 (or power loss right after a SIGTERM) can lose
+    let flusher = shared.cache.cold().is_some().then(|| {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("dpc-store-flush".into())
+            .spawn(move || {
+                let mut ticks = 0u32;
+                while !shared.shutdown.load(Ordering::Acquire) {
+                    std::thread::sleep(Duration::from_millis(250));
+                    ticks += 1;
+                    if ticks.is_multiple_of(20) {
+                        // every ~5 s: compaction (if garbage piled
+                        // up) and fsync — both deliberately off the
+                        // request path; an fsync with nothing dirty
+                        // is cheap
+                        let _ = shared.cache.maintain();
+                        let _ = shared.cache.flush();
+                    }
+                }
+            })
+            .expect("spawn store flusher")
+    });
     Ok(ServerHandle {
         addr,
         shared,
         accept,
         workers,
+        flusher,
     })
 }
 
@@ -652,13 +710,18 @@ fn process_single_inner(shared: &Arc<Shared>, req: &Request) -> Vec<u8> {
             Response::Checked(verdict).encode()
         }
         Request::Gen {
-            family, n, seed, ..
+            family,
+            n,
+            seed,
+            scheme,
         } => {
-            // generation is scheme-independent: the scheme id is
-            // carried opaquely (reserved for scheme-specific families)
-            // and deliberately NOT validated, so a registry-restricted
-            // server can still generate graphs for any client
-            match gen::make(family, *n, *seed) {
+            // the scheme id routes the "default" family to the
+            // scheme's canonical yes-instance generator; any concrete
+            // family name stays scheme-independent, and the id is
+            // deliberately NOT validated against this server's
+            // registry, so a registry-restricted server still
+            // generates graphs for any client
+            match gen::make_scheme(family, *n, *seed, *scheme) {
                 Ok(g) => Response::Generated(g).encode(),
                 Err(e) => Response::Error(e).encode(),
             }
@@ -718,7 +781,9 @@ fn check_response(graph: &Graph) -> Response {
 }
 
 fn snapshot(shared: &Shared) -> StatsSnapshot {
-    let cache = shared.cache.stats();
+    let tiered = shared.cache.stats();
+    let cache = tiered.hot;
+    let store = tiered.cold.unwrap_or_default();
     let m = &shared.metrics;
     let per_scheme = shared
         .registry
@@ -752,5 +817,13 @@ fn snapshot(shared: &Shared) -> StatsSnapshot {
         proves: m.proves.load(Ordering::Relaxed),
         latency: m.latency.snapshot(),
         per_scheme,
+        store_hits: store.hits,
+        store_misses: store.misses,
+        store_demotes: tiered.demotions,
+        store_promotes: tiered.promotions,
+        store_records: store.records,
+        store_bytes: store.live_bytes,
+        store_segments: store.segments,
+        store_write_errors: tiered.write_errors,
     }
 }

@@ -1,0 +1,563 @@
+//! Pluggable certificate storage: the [`CertStore`] trait and the
+//! tiered stack built on it.
+//!
+//! The paper's central artifact — a once-computed, locally checkable
+//! certificate assignment — is immutable and content-addressed, which
+//! makes it the ideal unit of persistent storage: a record never
+//! changes, never conflicts, and two stores holding the same key hold
+//! the same bytes. This module turns the previously RAM-only
+//! [`CertCache`] into the *hot tier* of a pluggable storage stack:
+//!
+//! * [`CertStore`] — the backend trait (get / put / len / bytes /
+//!   stats / flush / iter). Implemented by the in-memory
+//!   [`MemStore`], by the lock-striped [`CertCache`] itself, and by
+//!   the persistent [`SegmentStore`].
+//! * [`segment`] — the append-only segment-file store (the cold
+//!   tier): CRC-checked length-prefixed records, an in-memory index
+//!   built by scanning segments at startup, tombstone-free
+//!   compaction, fsync on flush.
+//! * [`tiered`] — [`TieredCache`], the composition the server runs:
+//!   the LRU cache in front of an optional cold tier, with warm-load
+//!   on boot, write-behind on insert, and promotion on cold hits.
+//!
+//! The unit of exchange is the [`StoreRecord`]: the *keyed bytes*
+//! (scheme id + canonical wire graph — the content address) plus the
+//! pre-encoded response suffix, exactly the stable byte formats the
+//! wire protocol already pins. A record round-trips byte-identically
+//! through any backend, so a certificate served after a restart is
+//! the same bytes the prover produced before it.
+
+use crate::cache::{CacheEntry, CertCache, ProveResult};
+use dpc_core::harness::Outcome;
+use dpc_core::scheme::Assignment;
+use dpc_graph::canon::{hash_bytes, GraphHash};
+use dpc_runtime::{get_string, get_uvarint, put_uvarint};
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+pub mod segment;
+pub mod tiered;
+
+pub use segment::{SegmentConfig, SegmentStore};
+pub use tiered::{TieredCache, TieredStats};
+
+/// What kind of prove result a [`StoreRecord`] holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A yes-instance: the suffix is `outcome` + `assignment` wire
+    /// bytes ([`crate::wire::encode_certified_suffix`]).
+    Certified,
+    /// A cached refusal: the suffix is the reason string
+    /// ([`crate::wire::encode_declined_suffix`]).
+    Declined,
+}
+
+impl RecordKind {
+    fn to_u64(self) -> u64 {
+        match self {
+            RecordKind::Certified => 1,
+            RecordKind::Declined => 2,
+        }
+    }
+
+    fn from_u64(v: u64) -> Option<RecordKind> {
+        match v {
+            1 => Some(RecordKind::Certified),
+            2 => Some(RecordKind::Declined),
+            _ => None,
+        }
+    }
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// One stored prove result, in the stable byte formats the wire
+/// protocol pins: the keyed content address (uvarint scheme id +
+/// canonical graph encoding) and the pre-encoded response suffix.
+/// Every backend exchanges exactly these bytes, so a record is
+/// byte-identical wherever it has been.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreRecord {
+    /// Certified or Declined (selects the suffix layout).
+    pub kind: RecordKind,
+    /// Scheme id + canonical wire graph: the content address.
+    pub keyed: Vec<u8>,
+    /// Pre-encoded response suffix (what a hit memcpys).
+    pub suffix: Vec<u8>,
+}
+
+impl StoreRecord {
+    /// The 128-bit content hash of the keyed bytes — the index key of
+    /// every store tier (the same hash the hot cache shards by).
+    pub fn key(&self) -> GraphHash {
+        hash_bytes(&self.keyed)
+    }
+
+    /// The scheme id from the front of the keyed bytes, if the keyed
+    /// bytes are well-formed (`None` for e.g. an empty bypass key).
+    pub fn scheme_id(&self) -> Option<u16> {
+        let mut buf = self.keyed.as_slice();
+        let id = get_uvarint(&mut buf).ok()?;
+        u16::try_from(id).ok()
+    }
+
+    /// Encodes the record body: kind, keyed length + bytes, suffix
+    /// length + bytes. (Framing — length prefix and CRC — is the
+    /// segment file's concern, see [`segment`].)
+    pub fn encode_body(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.keyed.len() + self.suffix.len() + 12);
+        put_uvarint(&mut out, self.kind.to_u64());
+        put_uvarint(&mut out, self.keyed.len() as u64);
+        out.extend_from_slice(&self.keyed);
+        put_uvarint(&mut out, self.suffix.len() as u64);
+        out.extend_from_slice(&self.suffix);
+        out
+    }
+
+    /// Inverse of [`StoreRecord::encode_body`]; the whole body must be
+    /// consumed.
+    pub fn decode_body(body: &[u8]) -> io::Result<StoreRecord> {
+        let mut buf = body;
+        let kind = RecordKind::from_u64(get_uvarint(&mut buf).map_err(|e| bad(e.to_string()))?)
+            .ok_or_else(|| bad("unknown record kind"))?;
+        let keyed_len = get_uvarint(&mut buf).map_err(|e| bad(e.to_string()))? as usize;
+        if keyed_len > buf.len() {
+            return Err(bad("keyed bytes longer than the record"));
+        }
+        let keyed = buf[..keyed_len].to_vec();
+        buf = &buf[keyed_len..];
+        let suffix_len = get_uvarint(&mut buf).map_err(|e| bad(e.to_string()))? as usize;
+        if suffix_len > buf.len() {
+            return Err(bad("suffix longer than the record"));
+        }
+        let suffix = buf[..suffix_len].to_vec();
+        buf = &buf[suffix_len..];
+        if !buf.is_empty() {
+            return Err(bad("trailing record bytes"));
+        }
+        Ok(StoreRecord {
+            kind,
+            keyed,
+            suffix,
+        })
+    }
+
+    /// Rebuilds a full cache entry by decoding the suffix (the codec
+    /// is byte-exact, so the entry's re-served bytes are identical to
+    /// the stored ones — the stored suffix is reused as-is).
+    pub fn to_entry(&self) -> io::Result<CacheEntry> {
+        let mut buf = self.suffix.as_slice();
+        let result = match self.kind {
+            RecordKind::Certified => {
+                let outcome = Outcome::decode_from(&mut buf).map_err(|e| bad(e.to_string()))?;
+                let assignment =
+                    Assignment::decode_from(&mut buf).map_err(|e| bad(e.to_string()))?;
+                ProveResult::Certified {
+                    assignment,
+                    outcome,
+                }
+            }
+            RecordKind::Declined => ProveResult::Declined {
+                reason: get_string(&mut buf).map_err(|e| bad(e.to_string()))?,
+            },
+        };
+        if !buf.is_empty() {
+            return Err(bad("trailing suffix bytes"));
+        }
+        Ok(CacheEntry::with_suffix(
+            result,
+            self.suffix.clone(),
+            self.keyed.clone(),
+        ))
+    }
+}
+
+impl CacheEntry {
+    /// The entry as a storable record (clones the shared byte
+    /// buffers; the decoded assignment is not needed — the suffix
+    /// already holds its exact wire bytes).
+    pub fn record(&self) -> StoreRecord {
+        StoreRecord {
+            kind: match self.result {
+                ProveResult::Certified { .. } => RecordKind::Certified,
+                ProveResult::Declined { .. } => RecordKind::Declined,
+            },
+            keyed: self.keyed.clone(),
+            suffix: self.suffix.clone(),
+        }
+    }
+}
+
+/// Point-in-time counters and gauges of one store tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Live (indexed) records.
+    pub records: u64,
+    /// Bytes of live records (as stored, framing included).
+    pub live_bytes: u64,
+    /// Bytes on disk across all segment files (0 for memory tiers).
+    pub file_bytes: u64,
+    /// Segment files (0 for memory tiers).
+    pub segments: u64,
+    /// Lookups that returned a record.
+    pub hits: u64,
+    /// Lookups that found nothing (or failed the keyed-byte guard).
+    pub misses: u64,
+    /// Records appended.
+    pub appends: u64,
+    /// Records dropped by the byte budget (oldest first).
+    pub dropped: u64,
+    /// Read failures (I/O errors, CRC mismatches on the read path).
+    pub read_errors: u64,
+}
+
+/// A certificate store backend.
+///
+/// Records are immutable and content-addressed: `put` of an
+/// already-present key is a no-op, `get` verifies the stored keyed
+/// bytes against the caller's (so a 128-bit hash collision reads as a
+/// miss, never as the wrong certificates). All methods take `&self`;
+/// implementations are internally synchronized.
+pub trait CertStore: Send + Sync {
+    /// Looks up a record by content hash, verifying the keyed bytes.
+    fn get(&self, key: GraphHash, keyed: &[u8]) -> Option<StoreRecord>;
+
+    /// Stores a record. Returns `Ok(true)` if newly stored,
+    /// `Ok(false)` if the key was already present (content addressing
+    /// makes the existing record equivalent).
+    fn put(&self, record: &StoreRecord) -> io::Result<bool>;
+
+    /// Number of live records.
+    fn len(&self) -> u64;
+
+    /// True when the store holds no records.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes of live records.
+    fn bytes(&self) -> u64;
+
+    /// Counters and gauges.
+    fn stats(&self) -> StoreStats;
+
+    /// Makes previously written records durable (fsync for file
+    /// tiers, a no-op for memory tiers).
+    fn flush(&self) -> io::Result<()>;
+
+    /// Periodic background maintenance — for file tiers, compaction
+    /// once garbage outweighs the live records. Deliberately *not*
+    /// part of `put`: maintenance can rewrite the whole store, and
+    /// that cost belongs on a background thread, never on the request
+    /// path that happened to insert one record.
+    fn maintain(&self) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Iterates every live record in insertion order. Items are
+    /// `Err` when a record cannot be read back (I/O error, CRC
+    /// mismatch); iteration continues past them.
+    fn iter(&self) -> Box<dyn Iterator<Item = io::Result<StoreRecord>> + '_>;
+
+    /// Like [`CertStore::iter`], newest first — the order warm loads
+    /// want, so a bounded hot tier fills with the records most likely
+    /// to be queried next (budget drops discard oldest-first, this is
+    /// the mirror image). The default materializes `iter`; file
+    /// tiers override it to reverse the index instead of the reads.
+    fn iter_newest_first(&self) -> Box<dyn Iterator<Item = io::Result<StoreRecord>> + '_> {
+        let mut all: Vec<_> = self.iter().collect();
+        all.reverse();
+        Box::new(all.into_iter())
+    }
+}
+
+/// A trivial in-memory [`CertStore`] (tests, and the degenerate cold
+/// tier for benchmarks). Insertion-ordered, no budget.
+#[derive(Default)]
+pub struct MemStore {
+    inner: Mutex<MemInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    appends: AtomicU64,
+}
+
+#[derive(Default)]
+struct MemInner {
+    index: HashMap<u128, usize>,
+    records: Vec<StoreRecord>,
+    bytes: u64,
+}
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CertStore for MemStore {
+    fn get(&self, key: GraphHash, keyed: &[u8]) -> Option<StoreRecord> {
+        let inner = self.inner.lock().expect("mem store poisoned");
+        match inner.index.get(&key.0) {
+            Some(&i) if inner.records[i].keyed == keyed => {
+                let rec = inner.records[i].clone();
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(rec)
+            }
+            _ => {
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn put(&self, record: &StoreRecord) -> io::Result<bool> {
+        let mut inner = self.inner.lock().expect("mem store poisoned");
+        let key = record.key().0;
+        if inner.index.contains_key(&key) {
+            return Ok(false);
+        }
+        let i = inner.records.len();
+        inner.bytes += (record.keyed.len() + record.suffix.len()) as u64;
+        inner.records.push(record.clone());
+        inner.index.insert(key, i);
+        drop(inner);
+        self.appends.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.lock().expect("mem store poisoned").records.len() as u64
+    }
+
+    fn bytes(&self) -> u64 {
+        self.inner.lock().expect("mem store poisoned").bytes
+    }
+
+    fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock().expect("mem store poisoned");
+        StoreStats {
+            records: inner.records.len() as u64,
+            live_bytes: inner.bytes,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            appends: self.appends.load(Ordering::Relaxed),
+            ..StoreStats::default()
+        }
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn iter(&self) -> Box<dyn Iterator<Item = io::Result<StoreRecord>> + '_> {
+        let records = self
+            .inner
+            .lock()
+            .expect("mem store poisoned")
+            .records
+            .clone();
+        Box::new(records.into_iter().map(Ok))
+    }
+}
+
+/// The hot tier speaks the same trait: a [`CertCache`] is a
+/// [`CertStore`] whose records live decoded behind `Arc`s (the
+/// adapter re-encodes on the trait boundary; the server's hot path
+/// uses the cache's native `Arc`-sharing API instead).
+impl CertStore for CertCache {
+    fn get(&self, key: GraphHash, keyed: &[u8]) -> Option<StoreRecord> {
+        self.lookup(key, keyed).map(|entry| entry.record())
+    }
+
+    fn put(&self, record: &StoreRecord) -> io::Result<bool> {
+        let entry = Arc::new(record.to_entry()?);
+        let kept = self.insert(record.key(), Arc::clone(&entry));
+        Ok(Arc::ptr_eq(&kept, &entry))
+    }
+
+    fn len(&self) -> u64 {
+        CertCache::stats(self).entries
+    }
+
+    fn bytes(&self) -> u64 {
+        CertCache::stats(self).bytes
+    }
+
+    fn stats(&self) -> StoreStats {
+        let s = CertCache::stats(self);
+        StoreStats {
+            records: s.entries,
+            live_bytes: s.bytes,
+            hits: s.hits,
+            misses: s.misses,
+            dropped: s.evictions,
+            ..StoreStats::default()
+        }
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn iter(&self) -> Box<dyn Iterator<Item = io::Result<StoreRecord>> + '_> {
+        Box::new(
+            self.entries_snapshot()
+                .into_iter()
+                .map(|entry| Ok(entry.record())),
+        )
+    }
+}
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial) — the per-record
+/// integrity check of the segment file format.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xedb8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = TABLE[((crc ^ b as u32) & 0xff) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+    use crate::wire;
+    use dpc_core::harness::certify_pls;
+    use dpc_core::schemes::planarity::PlanarityScheme;
+    use dpc_graph::generators;
+
+    pub(crate) fn sample_entry(n: u32, seed: u64) -> CacheEntry {
+        let g = generators::stacked_triangulation(n, seed);
+        let certified = certify_pls(&PlanarityScheme::new(), &g).unwrap();
+        let mut keyed = Vec::new();
+        put_uvarint(&mut keyed, 0);
+        wire::encode_graph(&mut keyed, &g);
+        CacheEntry::new(
+            ProveResult::Certified {
+                assignment: certified.assignment,
+                outcome: certified.outcome,
+            },
+            keyed,
+        )
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // standard check value of CRC-32/ISO-HDLC
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn record_body_roundtrip() {
+        let entry = sample_entry(20, 1);
+        let rec = entry.record();
+        assert_eq!(rec.kind, RecordKind::Certified);
+        assert_eq!(rec.scheme_id(), Some(0));
+        let body = rec.encode_body();
+        let back = StoreRecord::decode_body(&body).unwrap();
+        assert_eq!(back, rec);
+        // truncation and garbage are errors, not panics
+        assert!(StoreRecord::decode_body(&body[..body.len() - 1]).is_err());
+        assert!(StoreRecord::decode_body(&[]).is_err());
+        let mut trailing = body.clone();
+        trailing.push(0);
+        assert!(StoreRecord::decode_body(&trailing).is_err());
+    }
+
+    #[test]
+    fn record_rebuilds_a_byte_identical_entry() {
+        let entry = sample_entry(25, 2);
+        let rec = entry.record();
+        let rebuilt = rec.to_entry().unwrap();
+        assert_eq!(rebuilt.suffix, entry.suffix, "suffix is reused as-is");
+        assert_eq!(rebuilt.keyed, entry.keyed);
+        assert_eq!(rebuilt.record(), rec, "round-trip is lossless");
+    }
+
+    #[test]
+    fn declined_records_roundtrip() {
+        let rec = CacheEntry::new(
+            ProveResult::Declined {
+                reason: "instance is not in the class".into(),
+            },
+            vec![0, 1, 2],
+        )
+        .record();
+        assert_eq!(rec.kind, RecordKind::Declined);
+        let entry = rec.to_entry().unwrap();
+        match &entry.result {
+            ProveResult::Declined { reason } => {
+                assert_eq!(reason, "instance is not in the class")
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_suffix_is_an_error_not_a_panic() {
+        let mut rec = sample_entry(15, 3).record();
+        rec.suffix.truncate(rec.suffix.len() / 2);
+        assert!(rec.to_entry().is_err());
+        rec.suffix.clear();
+        assert!(rec.to_entry().is_err());
+    }
+
+    #[test]
+    fn mem_store_implements_the_trait() {
+        let store = MemStore::new();
+        let rec = sample_entry(18, 4).record();
+        assert!(store.put(&rec).unwrap());
+        assert!(!store.put(&rec).unwrap(), "second put is a no-op");
+        assert_eq!(store.len(), 1);
+        assert!(store.bytes() > 0);
+        let got = store.get(rec.key(), &rec.keyed).unwrap();
+        assert_eq!(got, rec);
+        assert!(store.get(rec.key(), b"other").is_none(), "keyed guard");
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.appends), (1, 1, 1));
+        let all: Vec<_> = store.iter().map(|r| r.unwrap()).collect();
+        assert_eq!(all, vec![rec]);
+        store.flush().unwrap();
+    }
+
+    #[test]
+    fn cert_cache_implements_the_trait() {
+        let cache = CertCache::new(CacheConfig::default());
+        let rec = sample_entry(20, 5).record();
+        assert!(CertStore::put(&cache, &rec).unwrap());
+        assert!(!CertStore::put(&cache, &rec).unwrap());
+        assert_eq!(CertStore::len(&cache), 1);
+        let got = CertStore::get(&cache, rec.key(), &rec.keyed).unwrap();
+        assert_eq!(got.suffix, rec.suffix);
+        let all: Vec<_> = CertStore::iter(&cache).map(|r| r.unwrap()).collect();
+        assert_eq!(all.len(), 1);
+    }
+}

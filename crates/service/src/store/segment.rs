@@ -1,0 +1,835 @@
+//! The append-only segment-file certificate store (the cold tier).
+//!
+//! Certificates are immutable, so the on-disk format never updates in
+//! place: records are appended to numbered *segment files* and the
+//! only index is in memory, rebuilt by scanning the segments at
+//! startup. Reads go through positioned `pread`s (`read_exact_at`) on
+//! shared file handles — the page cache does the caching, which is
+//! the moral equivalent of an mmap'd store without the `unsafe`.
+//!
+//! File format (everything little-endian / LEB128):
+//!
+//! ```text
+//! segment  := magic "DPCSEG1\n" , record*
+//! record   := total u32 LE      bytes after this field (body + crc)
+//!             body              kind uvarint, keyed len+bytes,
+//!                               suffix len+bytes   (StoreRecord body)
+//!             crc   u32 LE      CRC-32 (IEEE) over the body
+//! ```
+//!
+//! Crash behavior: appends are ordinary buffered writes (write-behind;
+//! [`SegmentStore::flush`] fsyncs), so a torn final record is possible
+//! after a hard crash. The startup scan stops a segment at the first
+//! bad record; for the *active* (last) segment the torn tail is
+//! truncated so new appends start clean.
+//!
+//! There are no tombstones: a record leaves the index either by a
+//! byte-budget drop (oldest first) or never, and compaction simply
+//! rewrites the live records into fresh segments and deletes the old
+//! files. It runs off the request path — `maintain` (called by the
+//! server's background flusher) compacts once dead bytes exceed the
+//! live ones (and a floor); `dpc store compact` forces it offline.
+
+use super::{crc32, CertStore, StoreRecord, StoreStats};
+use crate::registry::{SchemeId, SchemeRegistry};
+use dpc_graph::canon::GraphHash;
+use std::collections::{HashMap, VecDeque};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// First bytes of every segment file.
+pub const SEGMENT_MAGIC: &[u8; 8] = b"DPCSEG1\n";
+
+/// Upper bound on one framed record (matches the wire frame cap).
+pub const MAX_RECORD_BYTES: usize = 64 << 20;
+
+/// Sizing and location of a [`SegmentStore`].
+#[derive(Debug, Clone)]
+pub struct SegmentConfig {
+    /// Directory holding the segment files (created if absent).
+    pub dir: PathBuf,
+    /// Roll to a new segment file once the active one exceeds this.
+    pub segment_max_bytes: u64,
+    /// Optional budget on live record bytes; exceeding it drops the
+    /// oldest records (they were proved earliest and, being content
+    /// addressed, can always be re-proved).
+    pub byte_budget: Option<u64>,
+}
+
+impl SegmentConfig {
+    /// A store in `dir` with default sizing (64 MiB segments, no
+    /// budget).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        SegmentConfig {
+            dir: dir.into(),
+            segment_max_bytes: 64 << 20,
+            byte_budget: None,
+        }
+    }
+}
+
+struct Segment {
+    id: u64,
+    path: PathBuf,
+    file: Arc<File>,
+    len: u64,
+}
+
+#[derive(Clone, Copy)]
+struct Loc {
+    seg: usize,
+    offset: u64,
+    /// Whole framed record: length prefix + body + crc.
+    len: u32,
+}
+
+#[derive(Default)]
+struct Inner {
+    segments: Vec<Segment>,
+    index: HashMap<u128, Loc>,
+    /// Keys in insertion order (budget drops pop the front).
+    order: VecDeque<u128>,
+    live_bytes: u64,
+}
+
+impl Inner {
+    fn file_bytes(&self) -> u64 {
+        self.segments.iter().map(|s| s.len).sum()
+    }
+
+    fn garbage_bytes(&self) -> u64 {
+        let headers = self.segments.len() as u64 * SEGMENT_MAGIC.len() as u64;
+        self.file_bytes()
+            .saturating_sub(headers)
+            .saturating_sub(self.live_bytes)
+    }
+}
+
+/// What [`SegmentStore::verify`] found.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyReport {
+    /// Live records successfully read and CRC-checked.
+    pub records: u64,
+    /// Records holding certificates.
+    pub certified: u64,
+    /// Records holding cached refusals.
+    pub declined: u64,
+    /// Bytes of live records.
+    pub bytes: u64,
+    /// Human-readable problems (unreadable records, undecodable
+    /// suffixes, scheme ids absent from the registry). Empty = clean.
+    pub problems: Vec<String>,
+}
+
+/// The append-only segment-file store. All methods take `&self`;
+/// writers serialize on an internal mutex, reads only hold it long
+/// enough to resolve the index.
+pub struct SegmentStore {
+    cfg: SegmentConfig,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    appends: AtomicU64,
+    dropped: AtomicU64,
+    read_errors: AtomicU64,
+    compactions: AtomicU64,
+}
+
+enum FrameErr {
+    /// Fewer bytes than the record announces (torn tail).
+    Truncated,
+    /// CRC or structural mismatch.
+    Bad(String),
+}
+
+fn frame(record: &StoreRecord) -> Vec<u8> {
+    let body = record.encode_body();
+    let mut out = Vec::with_capacity(body.len() + 8);
+    out.extend_from_slice(&((body.len() + 4) as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out
+}
+
+/// Parses one framed record from the front of `buf`; returns the
+/// record and the framed byte count.
+fn parse_frame(buf: &[u8]) -> Result<(StoreRecord, usize), FrameErr> {
+    if buf.len() < 4 {
+        return Err(FrameErr::Truncated);
+    }
+    let total = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
+    if !(4..=MAX_RECORD_BYTES).contains(&total) {
+        return Err(FrameErr::Bad(format!("record of {total} bytes")));
+    }
+    if buf.len() < 4 + total {
+        return Err(FrameErr::Truncated);
+    }
+    let body = &buf[4..total];
+    let crc = u32::from_le_bytes(buf[total..4 + total].try_into().expect("4 bytes"));
+    if crc32(body) != crc {
+        return Err(FrameErr::Bad("CRC mismatch".into()));
+    }
+    let record = StoreRecord::decode_body(body).map_err(|e| FrameErr::Bad(e.to_string()))?;
+    Ok((record, 4 + total))
+}
+
+fn segment_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("seg-{id:06}.dpcs"))
+}
+
+fn open_segment(dir: &Path, id: u64, create: bool) -> io::Result<Segment> {
+    let path = segment_path(dir, id);
+    let file = OpenOptions::new()
+        .read(true)
+        .append(true)
+        .create(create)
+        .open(&path)?;
+    let mut len = file.metadata()?.len();
+    if create && len == 0 {
+        (&file).write_all(SEGMENT_MAGIC)?;
+        len = SEGMENT_MAGIC.len() as u64;
+    }
+    Ok(Segment {
+        id,
+        path,
+        file: Arc::new(file),
+        len,
+    })
+}
+
+impl SegmentStore {
+    /// Opens (or creates) the store in `cfg.dir`, scanning every
+    /// segment to rebuild the in-memory index. A torn tail on the
+    /// active segment is truncated; corruption elsewhere stops that
+    /// segment's scan (the bytes beyond it become garbage for the
+    /// next compaction) and is counted in `stats().read_errors`.
+    pub fn open(cfg: SegmentConfig) -> io::Result<SegmentStore> {
+        fs::create_dir_all(&cfg.dir)?;
+        let mut ids = Vec::new();
+        for entry in fs::read_dir(&cfg.dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(id) = name
+                .strip_prefix("seg-")
+                .and_then(|s| s.strip_suffix(".dpcs"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                ids.push(id);
+            }
+        }
+        ids.sort_unstable();
+        let store = SegmentStore {
+            cfg,
+            inner: Mutex::new(Inner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            appends: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            read_errors: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+        };
+        {
+            let mut inner = store.inner.lock().expect("store poisoned");
+            if ids.is_empty() {
+                inner.segments.push(open_segment(&store.cfg.dir, 0, true)?);
+            } else {
+                for (pos, &id) in ids.iter().enumerate() {
+                    let last = pos == ids.len() - 1;
+                    let seg = open_segment(&store.cfg.dir, id, false)?;
+                    store.scan_segment(&mut inner, seg, last)?;
+                }
+            }
+            store.enforce_budget(&mut inner);
+        }
+        Ok(store)
+    }
+
+    /// Scans one segment, indexing its records (first key wins —
+    /// matching the cache's duplicate-insert semantics), then adds it
+    /// to the segment list. `active` marks the last segment, whose
+    /// torn tail (if any) is truncated.
+    fn scan_segment(&self, inner: &mut Inner, mut seg: Segment, active: bool) -> io::Result<()> {
+        // positioned read of the whole segment (append-mode handles
+        // share no cursor, so read_exact_at from offset 0 is exact)
+        let mut bytes = vec![0u8; seg.len as usize];
+        seg.file.read_exact_at(&mut bytes, 0)?;
+        let mut offset = SEGMENT_MAGIC.len();
+        let seg_idx = inner.segments.len();
+        if bytes.len() < offset || &bytes[..offset] != SEGMENT_MAGIC {
+            // not one of ours (or torn before the magic finished):
+            // usable only if active and resettable
+            self.read_errors.fetch_add(1, Ordering::Relaxed);
+            if active {
+                seg.file.set_len(0)?;
+                (&*seg.file).write_all(SEGMENT_MAGIC)?;
+                seg.len = SEGMENT_MAGIC.len() as u64;
+            }
+            inner.segments.push(seg);
+            return Ok(());
+        }
+        loop {
+            if offset == bytes.len() {
+                break;
+            }
+            match parse_frame(&bytes[offset..]) {
+                Ok((record, framed)) => {
+                    let key = record.key().0;
+                    if let std::collections::hash_map::Entry::Vacant(slot) = inner.index.entry(key)
+                    {
+                        slot.insert(Loc {
+                            seg: seg_idx,
+                            offset: offset as u64,
+                            len: framed as u32,
+                        });
+                        inner.order.push_back(key);
+                        inner.live_bytes += framed as u64;
+                    }
+                    offset += framed;
+                }
+                Err(FrameErr::Truncated) => {
+                    if active {
+                        // torn tail after a crash: truncate so the
+                        // next append starts at a record boundary
+                        seg.file.set_len(offset as u64)?;
+                        seg.len = offset as u64;
+                    } else {
+                        self.read_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    break;
+                }
+                Err(FrameErr::Bad(_)) => {
+                    // corruption: stop scanning this segment; the
+                    // remainder is garbage until compaction
+                    self.read_errors.fetch_add(1, Ordering::Relaxed);
+                    if active {
+                        seg.file.set_len(offset as u64)?;
+                        seg.len = offset as u64;
+                    }
+                    break;
+                }
+            }
+        }
+        inner.segments.push(seg);
+        Ok(())
+    }
+
+    fn enforce_budget(&self, inner: &mut Inner) {
+        let Some(budget) = self.cfg.byte_budget else {
+            return;
+        };
+        while inner.live_bytes > budget && inner.index.len() > 1 {
+            let Some(key) = inner.order.pop_front() else {
+                break;
+            };
+            if let Some(loc) = inner.index.remove(&key) {
+                inner.live_bytes -= loc.len as u64;
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Rewrites the live records into fresh segments and deletes the
+    /// old files. Returns `(file_bytes_before, file_bytes_after)`.
+    pub fn compact(&self) -> io::Result<(u64, u64)> {
+        let mut inner = self.inner.lock().expect("store poisoned");
+        self.compact_locked(&mut inner)
+    }
+
+    fn compact_locked(&self, inner: &mut Inner) -> io::Result<(u64, u64)> {
+        let before = inner.file_bytes();
+        let next_id = inner.segments.last().map_or(0, |s| s.id + 1);
+        // stream each live framed record (in insertion order, raw —
+        // already CRC-checked on scan) straight into fresh segments;
+        // memory stays O(one record), not O(store). An error leaves
+        // `inner` untouched: the orphan new files have higher ids
+        // than the originals, so the next scan indexes the originals
+        // first and the orphan copies read as duplicates (garbage).
+        let mut new_segments = vec![open_segment(&self.cfg.dir, next_id, true)?];
+        let mut index = HashMap::with_capacity(inner.order.len());
+        let mut live_bytes = 0u64;
+        let mut framed = Vec::new();
+        for &key in &inner.order {
+            let loc = inner.index[&key];
+            let old_seg = &inner.segments[loc.seg];
+            framed.resize(loc.len as usize, 0);
+            old_seg.file.read_exact_at(&mut framed, loc.offset)?;
+            if new_segments.last().expect("nonempty").len + framed.len() as u64
+                > self.cfg.segment_max_bytes
+                && new_segments.last().expect("nonempty").len > SEGMENT_MAGIC.len() as u64
+            {
+                let id = new_segments.last().expect("nonempty").id + 1;
+                new_segments.push(open_segment(&self.cfg.dir, id, true)?);
+            }
+            let seg_idx = new_segments.len() - 1;
+            let seg = new_segments.last_mut().expect("nonempty");
+            (&*seg.file).write_all(&framed)?;
+            index.insert(
+                key,
+                Loc {
+                    seg: seg_idx,
+                    offset: seg.len,
+                    len: framed.len() as u32,
+                },
+            );
+            seg.len += framed.len() as u64;
+            live_bytes += framed.len() as u64;
+        }
+        for seg in &new_segments {
+            seg.file.sync_all()?;
+        }
+        let old = std::mem::replace(&mut inner.segments, new_segments);
+        for seg in old {
+            let _ = fs::remove_file(&seg.path);
+        }
+        inner.index = index;
+        inner.live_bytes = live_bytes;
+        // order is unchanged: every key it names survived compaction
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        Ok((before, inner.file_bytes()))
+    }
+
+    /// Re-reads every live record, checking its CRC, decoding its
+    /// suffix, and checking its scheme id against `registry`.
+    pub fn verify(&self, registry: &SchemeRegistry) -> VerifyReport {
+        let mut report = VerifyReport::default();
+        for (i, item) in self.iter().enumerate() {
+            match item {
+                Ok(record) => {
+                    report.records += 1;
+                    report.bytes += (record.keyed.len() + record.suffix.len()) as u64;
+                    match record.kind {
+                        super::RecordKind::Certified => report.certified += 1,
+                        super::RecordKind::Declined => report.declined += 1,
+                    }
+                    if let Err(e) = record.to_entry() {
+                        report
+                            .problems
+                            .push(format!("record {i}: undecodable suffix: {e}"));
+                    }
+                    match record.scheme_id() {
+                        Some(id) if registry.get(SchemeId(id)).is_some() => {}
+                        Some(id) => report
+                            .problems
+                            .push(format!("record {i}: scheme id {id} is not registered")),
+                        None => report
+                            .problems
+                            .push(format!("record {i}: keyed bytes carry no scheme id")),
+                    }
+                }
+                Err(e) => report.problems.push(format!("record {i}: unreadable: {e}")),
+            }
+        }
+        report
+    }
+
+    /// The configuration the store was opened with.
+    pub fn config(&self) -> &SegmentConfig {
+        &self.cfg
+    }
+
+    /// Insertion-ordered `(file handle, location)` snapshot of the
+    /// live index, taken under the lock; reads happen lock-free.
+    fn loc_snapshot(&self) -> Vec<(Arc<File>, Loc)> {
+        let inner = self.inner.lock().expect("store poisoned");
+        inner
+            .order
+            .iter()
+            .filter_map(|key| {
+                inner
+                    .index
+                    .get(key)
+                    .map(|&loc| (Arc::clone(&inner.segments[loc.seg].file), loc))
+            })
+            .collect()
+    }
+
+    fn read_loc(&self, file: &File, loc: Loc) -> io::Result<StoreRecord> {
+        let mut buf = vec![0u8; loc.len as usize];
+        file.read_exact_at(&mut buf, loc.offset)?;
+        match parse_frame(&buf) {
+            Ok((record, consumed)) if consumed == buf.len() => Ok(record),
+            Ok(_) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "record shorter than its index entry",
+            )),
+            Err(FrameErr::Truncated) => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "record truncated under its index entry",
+            )),
+            Err(FrameErr::Bad(msg)) => Err(io::Error::new(io::ErrorKind::InvalidData, msg)),
+        }
+    }
+}
+
+impl CertStore for SegmentStore {
+    fn get(&self, key: GraphHash, keyed: &[u8]) -> Option<StoreRecord> {
+        let target = {
+            let inner = self.inner.lock().expect("store poisoned");
+            match inner.index.get(&key.0) {
+                Some(&loc) => (Arc::clone(&inner.segments[loc.seg].file), loc),
+                None => {
+                    drop(inner);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
+            }
+        };
+        match self.read_loc(&target.0, target.1) {
+            Ok(record) if record.keyed == keyed => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(record)
+            }
+            Ok(_) => {
+                // 128-bit collision (or stale read during compaction):
+                // the keyed guard turns it into a miss, never into the
+                // wrong certificates
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Err(_) => {
+                self.read_errors.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn put(&self, record: &StoreRecord) -> io::Result<bool> {
+        let framed = frame(record);
+        if framed.len() > MAX_RECORD_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "record exceeds the size limit",
+            ));
+        }
+        let key = record.key().0;
+        let mut inner = self.inner.lock().expect("store poisoned");
+        if inner.index.contains_key(&key) {
+            return Ok(false);
+        }
+        let roll = {
+            let active = inner.segments.last().expect("at least one segment");
+            active.len + framed.len() as u64 > self.cfg.segment_max_bytes
+                && active.len > SEGMENT_MAGIC.len() as u64
+        };
+        if roll {
+            let id = inner.segments.last().expect("nonempty").id + 1;
+            inner.segments.push(open_segment(&self.cfg.dir, id, true)?);
+        }
+        let seg_idx = inner.segments.len() - 1;
+        let seg = inner.segments.last_mut().expect("nonempty");
+        let offset = seg.len;
+        if let Err(e) = (&*seg.file).write_all(&framed) {
+            // the append may have partially landed (e.g. transient
+            // ENOSPC): roll the file back to the last record boundary
+            // so the tracked length — and with it the offset of every
+            // future record — stays truthful. If even the truncate
+            // fails, adopt the file's real length: the partial bytes
+            // then read as one corrupt record (CRC), dropped by the
+            // next scan or compaction.
+            if seg.file.set_len(offset).is_err() {
+                if let Ok(meta) = seg.file.metadata() {
+                    seg.len = meta.len();
+                }
+            }
+            return Err(e);
+        }
+        seg.len += framed.len() as u64;
+        inner.index.insert(
+            key,
+            Loc {
+                seg: seg_idx,
+                offset,
+                len: framed.len() as u32,
+            },
+        );
+        inner.order.push_back(key);
+        inner.live_bytes += framed.len() as u64;
+        self.appends.fetch_add(1, Ordering::Relaxed);
+        self.enforce_budget(&mut inner);
+        // GC is NOT triggered here: the record is durable and indexed
+        // at this point, and compaction is O(live bytes) — that cost
+        // belongs to `maintain` (the server's background thread or
+        // `dpc store compact`), never to the insert that tipped the
+        // garbage threshold
+        Ok(true)
+    }
+
+    fn maintain(&self) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("store poisoned");
+        // tombstone-free GC: once dead bytes outweigh the live ones
+        // (and a floor that keeps small stores from churning), fold
+        // the live records into fresh segments
+        if inner.garbage_bytes() > inner.live_bytes.max(1 << 20) {
+            self.compact_locked(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.lock().expect("store poisoned").index.len() as u64
+    }
+
+    fn bytes(&self) -> u64 {
+        self.inner.lock().expect("store poisoned").live_bytes
+    }
+
+    fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock().expect("store poisoned");
+        StoreStats {
+            records: inner.index.len() as u64,
+            live_bytes: inner.live_bytes,
+            file_bytes: inner.file_bytes(),
+            segments: inner.segments.len() as u64,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            appends: self.appends.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            read_errors: self.read_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        let inner = self.inner.lock().expect("store poisoned");
+        for seg in &inner.segments {
+            seg.file.sync_all()?;
+        }
+        Ok(())
+    }
+
+    fn iter(&self) -> Box<dyn Iterator<Item = io::Result<StoreRecord>> + '_> {
+        let locs = self.loc_snapshot();
+        Box::new(
+            locs.into_iter()
+                .map(move |(file, loc)| self.read_loc(&file, loc)),
+        )
+    }
+
+    fn iter_newest_first(&self) -> Box<dyn Iterator<Item = io::Result<StoreRecord>> + '_> {
+        // reverse the (cheap) location list, not the (expensive)
+        // record reads — records are only read as the iterator is
+        // consumed, so a budget-bounded warm load touches the disk
+        // exactly as many times as it loads entries
+        let locs = self.loc_snapshot();
+        Box::new(
+            locs.into_iter()
+                .rev()
+                .map(move |(file, loc)| self.read_loc(&file, loc)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::sample_entry;
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    /// Unique scratch directory, removed on drop (std only — the
+    /// workspace has no tempfile crate).
+    pub(crate) struct TempDir(pub PathBuf);
+
+    impl TempDir {
+        pub(crate) fn new(tag: &str) -> TempDir {
+            static COUNTER: AtomicU32 = AtomicU32::new(0);
+            let path = std::env::temp_dir().join(format!(
+                "dpc-{tag}-{}-{}",
+                std::process::id(),
+                COUNTER.fetch_add(1, Ordering::Relaxed)
+            ));
+            let _ = fs::remove_dir_all(&path);
+            TempDir(path)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn records(n: usize) -> Vec<StoreRecord> {
+        (0..n)
+            .map(|i| sample_entry(14 + (i % 5) as u32, i as u64).record())
+            .collect()
+    }
+
+    #[test]
+    fn put_get_and_reopen() {
+        let dir = TempDir::new("segstore");
+        let recs = records(5);
+        {
+            let store = SegmentStore::open(SegmentConfig::new(&dir.0)).unwrap();
+            for r in &recs {
+                assert!(store.put(r).unwrap());
+                assert!(!store.put(r).unwrap(), "duplicate put is a no-op");
+            }
+            for r in &recs {
+                assert_eq!(store.get(r.key(), &r.keyed).unwrap(), *r);
+            }
+            assert!(store.get(recs[0].key(), b"not the keyed bytes").is_none());
+            store.flush().unwrap();
+            let s = store.stats();
+            assert_eq!(s.records, 5);
+            assert_eq!(s.segments, 1);
+            assert!(s.live_bytes > 0);
+        }
+        // reopen: the scan rebuilds the index from the files alone
+        let store = SegmentStore::open(SegmentConfig::new(&dir.0)).unwrap();
+        assert_eq!(store.len(), 5);
+        for r in &recs {
+            assert_eq!(store.get(r.key(), &r.keyed).unwrap(), *r, "byte-identical");
+        }
+        let order: Vec<_> = store.iter().map(|r| r.unwrap()).collect();
+        assert_eq!(order, recs, "iter preserves insertion order");
+        let newest: Vec<_> = store.iter_newest_first().map(|r| r.unwrap()).collect();
+        let reversed: Vec<_> = recs.iter().rev().cloned().collect();
+        assert_eq!(newest, reversed, "iter_newest_first is the mirror");
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_reopen() {
+        let dir = TempDir::new("segtorn");
+        let recs = records(3);
+        let path = {
+            let store = SegmentStore::open(SegmentConfig::new(&dir.0)).unwrap();
+            for r in &recs {
+                store.put(r).unwrap();
+            }
+            store.flush().unwrap();
+            segment_path(&dir.0, 0)
+        };
+        // tear the last record: chop half of the file's final bytes
+        let len = fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 7).unwrap();
+        drop(f);
+        let store = SegmentStore::open(SegmentConfig::new(&dir.0)).unwrap();
+        assert_eq!(store.len(), 2, "torn record dropped");
+        assert_eq!(store.get(recs[0].key(), &recs[0].keyed).unwrap(), recs[0]);
+        assert!(store.get(recs[2].key(), &recs[2].keyed).is_none());
+        // and the tail was truncated, so a new append reads back fine
+        store.put(&recs[2]).unwrap();
+        drop(store);
+        let store = SegmentStore::open(SegmentConfig::new(&dir.0)).unwrap();
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.get(recs[2].key(), &recs[2].keyed).unwrap(), recs[2]);
+    }
+
+    #[test]
+    fn corrupted_record_fails_crc_and_stops_the_scan() {
+        let dir = TempDir::new("segcrc");
+        let recs = records(3);
+        {
+            let store = SegmentStore::open(SegmentConfig::new(&dir.0)).unwrap();
+            for r in &recs {
+                store.put(r).unwrap();
+            }
+            store.flush().unwrap();
+        }
+        // flip a byte inside the second record's body
+        let path = segment_path(&dir.0, 0);
+        let mut bytes = fs::read(&path).unwrap();
+        let second_start = SEGMENT_MAGIC.len() + frame(&recs[0]).len();
+        bytes[second_start + 10] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        let store = SegmentStore::open(SegmentConfig::new(&dir.0)).unwrap();
+        assert_eq!(store.len(), 1, "scan stops at the corrupt record");
+        assert!(store.stats().read_errors >= 1);
+        assert_eq!(store.get(recs[0].key(), &recs[0].keyed).unwrap(), recs[0]);
+    }
+
+    #[test]
+    fn segments_roll_and_budget_drops_the_oldest() {
+        let dir = TempDir::new("segbudget");
+        let recs = records(8);
+        let per = frame(&recs[0]).len() as u64;
+        let cfg = SegmentConfig {
+            dir: dir.0.clone(),
+            segment_max_bytes: per * 2,
+            byte_budget: Some(per * 4),
+        };
+        let store = SegmentStore::open(cfg.clone()).unwrap();
+        for r in &recs {
+            store.put(r).unwrap();
+        }
+        let s = store.stats();
+        assert!(s.segments >= 2, "small segment_max forces rolls: {s:?}");
+        assert!(s.dropped >= 1, "budget drops records: {s:?}");
+        assert!(
+            s.live_bytes <= per * 5,
+            "live bytes within budget slack: {s:?}"
+        );
+        // the newest records survive, the oldest were dropped
+        let last = recs.last().unwrap();
+        assert!(store.get(last.key(), &last.keyed).is_some());
+        assert!(store.get(recs[0].key(), &recs[0].keyed).is_none());
+        // reopen under the same budget: scan + enforcement agree
+        drop(store);
+        let store = SegmentStore::open(cfg).unwrap();
+        assert!(store.bytes() <= per * 5);
+        assert!(store.get(last.key(), &last.keyed).is_some());
+    }
+
+    #[test]
+    fn compaction_reclaims_dropped_records() {
+        let dir = TempDir::new("segcompact");
+        let recs = records(8);
+        let per = frame(&recs[0]).len() as u64;
+        let store = SegmentStore::open(SegmentConfig {
+            dir: dir.0.clone(),
+            segment_max_bytes: per * 3,
+            byte_budget: Some(per * 3),
+        })
+        .unwrap();
+        for r in &recs {
+            store.put(r).unwrap();
+        }
+        let (before, after) = store.compact().unwrap();
+        assert!(
+            after < before,
+            "compaction reclaims bytes: {before} -> {after}"
+        );
+        let s = store.stats();
+        assert_eq!(
+            s.file_bytes,
+            s.live_bytes + s.segments * SEGMENT_MAGIC.len() as u64,
+            "no garbage after compaction: {s:?}"
+        );
+        // survivors still readable, in order, and the store reopens
+        let survivors: Vec<_> = store.iter().map(|r| r.unwrap()).collect();
+        assert!(!survivors.is_empty());
+        for r in &survivors {
+            assert_eq!(store.get(r.key(), &r.keyed).unwrap(), *r);
+        }
+        drop(store);
+        let store = SegmentStore::open(SegmentConfig::new(&dir.0)).unwrap();
+        let reopened: Vec<_> = store.iter().map(|r| r.unwrap()).collect();
+        assert_eq!(reopened, survivors);
+    }
+
+    #[test]
+    fn verify_flags_unknown_schemes_and_passes_clean_stores() {
+        let dir = TempDir::new("segverify");
+        let store = SegmentStore::open(SegmentConfig::new(&dir.0)).unwrap();
+        for r in records(3) {
+            store.put(&r).unwrap();
+        }
+        let report = store.verify(&SchemeRegistry::standard());
+        assert_eq!(report.records, 3);
+        assert_eq!(report.certified, 3);
+        assert!(report.problems.is_empty(), "{:?}", report.problems);
+        // a record whose scheme id is not registered is flagged
+        let mut alien = sample_entry(16, 99).record();
+        alien.keyed[0] = 0x7f; // scheme id 127
+        store.put(&alien).unwrap();
+        let report = store.verify(&SchemeRegistry::standard());
+        assert_eq!(report.records, 4);
+        assert_eq!(report.problems.len(), 1);
+        assert!(report.problems[0].contains("scheme id 127"), "{report:?}");
+    }
+}

@@ -1,0 +1,254 @@
+//! The two-tier certificate store the server runs: the lock-striped
+//! LRU [`CertCache`] as the hot tier, fronting an optional persistent
+//! cold tier (any [`CertStore`], in practice the
+//! [`super::SegmentStore`]).
+//!
+//! Data flow:
+//!
+//! * **lookup** — hot first (an `Arc` handle clone); on a hot miss
+//!   the cold tier is probed, and a cold hit is *promoted*: rebuilt
+//!   into a full entry and re-inserted into the hot tier so the next
+//!   lookup is a pure memory hit.
+//! * **insert** — write-behind: the entry lands in the hot tier and
+//!   its record is appended to the cold tier in the same call (no
+//!   fsync — durability is [`TieredCache::flush`]'s job, on graceful
+//!   shutdown). Because every cached entry is already on disk, a hot
+//!   LRU eviction is a *demotion* — the certificate is still
+//!   servable, just one positioned read away — instead of a loss.
+//! * **warm load** — at boot the cold tier is replayed into the hot
+//!   tier (newest first would need no budget; instead the load stops
+//!   at the hot byte budget, and everything else stays cold).
+
+use super::{CertStore, StoreStats};
+use crate::cache::{CacheEntry, CacheStats, CertCache};
+use dpc_graph::canon::GraphHash;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Combined counters of both tiers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TieredStats {
+    /// Hot-tier (LRU cache) counters.
+    pub hot: CacheStats,
+    /// Cold-tier counters, if a cold tier is attached.
+    pub cold: Option<StoreStats>,
+    /// Cold hits rebuilt and re-inserted into the hot tier.
+    pub promotions: u64,
+    /// Hot evictions while a cold tier is attached (the entry
+    /// normally remains servable from disk — unless its write-behind
+    /// failed, see `write_errors`). Equal to hot evictions when a
+    /// cold tier is attached, 0 otherwise.
+    pub demotions: u64,
+    /// Cold-tier appends that failed (the request still succeeds
+    /// from the hot tier; the record is just not durable).
+    pub write_errors: u64,
+}
+
+/// Hot LRU cache over an optional persistent cold tier.
+pub struct TieredCache {
+    hot: CertCache,
+    cold: Option<Arc<dyn CertStore>>,
+    promotions: AtomicU64,
+    write_errors: AtomicU64,
+}
+
+impl TieredCache {
+    /// A memory-only stack (the pre-store behavior).
+    pub fn hot_only(hot: CertCache) -> TieredCache {
+        TieredCache {
+            hot,
+            cold: None,
+            promotions: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// A hot tier fronting the given cold tier.
+    pub fn with_cold(hot: CertCache, cold: Arc<dyn CertStore>) -> TieredCache {
+        TieredCache {
+            hot,
+            cold: Some(cold),
+            promotions: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// The cold tier, if one is attached.
+    pub fn cold(&self) -> Option<&Arc<dyn CertStore>> {
+        self.cold.as_ref()
+    }
+
+    /// Looks up an entry in the hot tier, falling back to the cold
+    /// tier (and promoting the record into the hot tier on a cold
+    /// hit). Either way a `Some` means the certificate bytes were
+    /// proved before this call — the server answers `cached = true`.
+    pub fn lookup(&self, key: GraphHash, keyed: &[u8]) -> Option<Arc<CacheEntry>> {
+        if let Some(entry) = self.hot.lookup(key, keyed) {
+            return Some(entry);
+        }
+        let cold = self.cold.as_ref()?;
+        let record = cold.get(key, keyed)?;
+        // an undecodable record reads as a miss (the prover re-runs);
+        // the read path already counted the corruption
+        let entry = record.to_entry().ok()?;
+        let entry = self.hot.insert(key, Arc::new(entry));
+        self.promotions.fetch_add(1, Ordering::Relaxed);
+        Some(entry)
+    }
+
+    /// Inserts a freshly proved entry: hot tier plus a write-behind
+    /// append to the cold tier (entries with empty keyed bytes —
+    /// cache bypasses — are not persisted). Returns the canonical
+    /// entry to answer with, as [`CertCache::insert`] does.
+    pub fn insert(&self, key: GraphHash, entry: Arc<CacheEntry>) -> Arc<CacheEntry> {
+        let kept = self.hot.insert(key, entry);
+        if let Some(cold) = &self.cold {
+            if !kept.keyed.is_empty() && cold.put(&kept.record()).is_err() {
+                self.write_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        kept
+    }
+
+    /// Replays the cold tier into the hot tier, newest records first
+    /// (the likeliest next queries), until roughly `max_bytes` of
+    /// entry cost has been loaded — the rest stays cold, one
+    /// positioned read away. Returns the number of entries loaded.
+    /// Unreadable records are skipped; they re-prove on demand.
+    pub fn warm_load(&self, max_bytes: usize) -> u64 {
+        let Some(cold) = &self.cold else {
+            return 0;
+        };
+        let mut loaded = 0u64;
+        let mut bytes = 0usize;
+        for record in cold.iter_newest_first() {
+            let Ok(record) = record else { continue };
+            let Ok(entry) = record.to_entry() else {
+                continue;
+            };
+            let key = record.key();
+            bytes += entry.cost();
+            self.hot.insert(key, Arc::new(entry));
+            loaded += 1;
+            if bytes >= max_bytes {
+                break;
+            }
+        }
+        loaded
+    }
+
+    /// Fsyncs the cold tier (graceful-shutdown durability).
+    pub fn flush(&self) -> io::Result<()> {
+        match &self.cold {
+            Some(cold) => cold.flush(),
+            None => Ok(()),
+        }
+    }
+
+    /// Runs the cold tier's background maintenance (compaction once
+    /// garbage outweighs live records) — called from the server's
+    /// flusher thread, never from a request.
+    pub fn maintain(&self) -> io::Result<()> {
+        match &self.cold {
+            Some(cold) => cold.maintain(),
+            None => Ok(()),
+        }
+    }
+
+    /// Counters of both tiers.
+    pub fn stats(&self) -> TieredStats {
+        let hot = self.hot.stats();
+        let cold = self.cold.as_ref().map(|c| c.stats());
+        TieredStats {
+            demotions: if cold.is_some() { hot.evictions } else { 0 },
+            hot,
+            cold,
+            promotions: self.promotions.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::sample_entry;
+    use super::super::MemStore;
+    use super::*;
+    use crate::cache::CacheConfig;
+
+    fn tiny_hot(entries: usize) -> CertCache {
+        let cost = sample_entry(20, 0).cost();
+        CertCache::new(CacheConfig {
+            shards: 1,
+            byte_budget: cost * entries,
+        })
+    }
+
+    #[test]
+    fn cold_hit_promotes_and_serves_identical_bytes() {
+        let tiered = TieredCache::with_cold(tiny_hot(2), Arc::new(MemStore::new()));
+        let entries: Vec<_> = (0..6u64).map(|s| Arc::new(sample_entry(20, s))).collect();
+        for e in &entries {
+            tiered.insert(e.record().key(), Arc::clone(e));
+        }
+        let stats = tiered.stats();
+        assert!(stats.demotions >= 3, "tiny hot tier demotes: {stats:?}");
+        assert_eq!(stats.cold.unwrap().records, 6, "write-behind persisted all");
+        // every entry is retrievable, hot or cold
+        for e in &entries {
+            let got = tiered
+                .lookup(e.record().key(), &e.keyed)
+                .expect("retrievable");
+            assert_eq!(got.suffix, e.suffix, "byte-identical suffix");
+        }
+        let stats = tiered.stats();
+        assert!(stats.promotions >= 1, "cold hits promote: {stats:?}");
+        // the most recently promoted entry is now a pure hot hit
+        let e = entries.last().unwrap();
+        let hot_hits_before = tiered.stats().hot.hits;
+        tiered.lookup(e.record().key(), &e.keyed).unwrap();
+        assert!(tiered.stats().hot.hits > hot_hits_before);
+    }
+
+    #[test]
+    fn warm_load_respects_the_byte_limit() {
+        let store = Arc::new(MemStore::new());
+        let entries: Vec<_> = (0..8u64).map(|s| sample_entry(20, s)).collect();
+        for e in &entries {
+            store.put(&e.record()).unwrap();
+        }
+        let cost = entries[0].cost();
+        let tiered = TieredCache::with_cold(tiny_hot(8), Arc::clone(&store) as _);
+        let loaded = tiered.warm_load(cost * 3);
+        assert!(
+            (3..=4).contains(&(loaded as usize)),
+            "loads until the limit: {loaded}"
+        );
+        // the *newest* records were loaded: looking them up is a pure
+        // hot hit, no promotion
+        let last = entries.last().unwrap();
+        assert!(tiered.lookup(last.record().key(), &last.keyed).is_some());
+        assert_eq!(tiered.stats().promotions, 0, "newest were warm-loaded");
+        // the oldest stayed cold and still serves (via promotion)
+        let first = &entries[0];
+        assert!(tiered.lookup(first.record().key(), &first.keyed).is_some());
+        assert_eq!(tiered.stats().promotions, 1, "oldest came from cold");
+    }
+
+    #[test]
+    fn hot_only_stack_behaves_like_the_old_cache() {
+        let tiered = TieredCache::hot_only(tiny_hot(2));
+        let e = Arc::new(sample_entry(20, 1));
+        tiered.insert(e.record().key(), Arc::clone(&e));
+        assert!(tiered.lookup(e.record().key(), &e.keyed).is_some());
+        let missing = sample_entry(20, 9);
+        assert!(tiered
+            .lookup(missing.record().key(), &missing.keyed)
+            .is_none());
+        let stats = tiered.stats();
+        assert!(stats.cold.is_none());
+        assert_eq!(stats.demotions, 0);
+        tiered.flush().unwrap();
+    }
+}

@@ -312,9 +312,11 @@ pub enum Request {
         n: u32,
         /// Generator seed.
         seed: u64,
-        /// Carried opaquely and ignored by the server today — reserved
-        /// for scheme-specific families. Not validated, so generation
-        /// works against registry-restricted servers.
+        /// Routes the `"default"` family to the scheme's canonical
+        /// yes-instance generator ([`crate::gen::default_family`]);
+        /// concrete family names ignore it. Never validated against
+        /// the server's registry, so generation works against
+        /// registry-restricted servers.
         scheme: SchemeId,
     },
     /// Run the adversarial attack battery against the graph.

@@ -321,3 +321,130 @@ fn cache_hit_is_10x_faster_than_miss_on_grid_100() {
     );
     handle.shutdown();
 }
+
+/// Unique scratch directory for store tests (std only; removed by
+/// the test that owns it).
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("dpc-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&path);
+    path
+}
+
+#[test]
+fn warm_restart_serves_byte_identical_certificates_without_reproving() {
+    use dpc_service::wire::encode_certified_suffix;
+    use dpc_service::SegmentConfig;
+
+    let dir = scratch_dir("warm-restart");
+    let cfg = ServeConfig {
+        store: Some(SegmentConfig::new(&dir)),
+        ..ServeConfig::default()
+    };
+
+    // first life: prove a graph and a decline, then shut down
+    // gracefully (fsyncs the store)
+    let g = generators::stacked_triangulation(50, 11);
+    let k5 = generators::complete(5);
+    let (fresh_suffix, declined_reason) = {
+        let handle = serve("127.0.0.1:0", cfg.clone()).unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let Response::Certified {
+            cached: false,
+            outcome,
+            assignment,
+        } = client.certify(&g, false).unwrap()
+        else {
+            panic!("first certify must prove");
+        };
+        let Response::Declined {
+            cached: false,
+            reason,
+        } = client.certify(&k5, false).unwrap()
+        else {
+            panic!("K5 must decline");
+        };
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.store_records, 2, "write-behind persisted both");
+        assert!(stats.store_segments >= 1);
+        handle.shutdown();
+        (encode_certified_suffix(&outcome, &assignment), reason)
+    };
+
+    // second life, same directory: the warm load makes the very first
+    // query a cache hit — the prover never runs
+    let handle = serve("127.0.0.1:0", cfg).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let Response::Certified {
+        cached: true,
+        outcome,
+        assignment,
+    } = client.certify(&g, false).unwrap()
+    else {
+        panic!("restart must serve a hit");
+    };
+    assert_eq!(
+        encode_certified_suffix(&outcome, &assignment),
+        fresh_suffix,
+        "restart serves byte-identical certificate wire bytes"
+    );
+    let Response::Declined {
+        cached: true,
+        reason,
+    } = client.certify(&k5, false).unwrap()
+    else {
+        panic!("restart must serve the cached decline");
+    };
+    assert_eq!(reason, declined_reason);
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.proves, 0, "the prover never ran after the restart");
+    assert_eq!(stats.cache_hits, 2);
+    assert_eq!(stats.store_records, 2);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tiny_hot_tier_demotes_to_the_store_and_keeps_serving() {
+    use dpc_service::SegmentConfig;
+
+    let dir = scratch_dir("demote");
+    let handle = serve(
+        "127.0.0.1:0",
+        ServeConfig {
+            // hot tier with room for roughly one entry: almost every
+            // insert evicts, i.e. demotes to the cold tier
+            cache: CacheConfig {
+                shards: 1,
+                byte_budget: 4 << 10,
+            },
+            store: Some(SegmentConfig::new(&dir)),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let graphs: Vec<_> = (0..6u64)
+        .map(|s| generators::stacked_triangulation(40, s))
+        .collect();
+    for g in &graphs {
+        match client.certify(g, false).unwrap() {
+            Response::Certified { cached: false, .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+    // every graph still answers cached=true, hot or via cold promotion
+    for g in &graphs {
+        match client.certify(g, false).unwrap() {
+            Response::Certified { cached: true, .. } => {}
+            other => panic!("not served from a tier: {other:?}"),
+        }
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.proves, 6, "each graph proved exactly once");
+    assert_eq!(stats.store_records, 6);
+    assert!(stats.store_demotes >= 4, "{stats:?}");
+    assert!(stats.store_promotes >= 4, "{stats:?}");
+    assert!(stats.store_hits >= 4, "{stats:?}");
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

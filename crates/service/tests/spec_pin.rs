@@ -1,21 +1,28 @@
-//! Keeps `docs/WIRE.md` honest: the worked hex example in the spec is
-//! parsed out of the document itself and round-tripped through the
-//! real codec. If the encoding changes, this test fails until the
+//! Keeps `docs/WIRE.md` honest: the worked hex examples in the spec
+//! are parsed out of the document itself and round-tripped through
+//! the real codec. If an encoding changes, these tests fail until the
 //! spec's bytes are updated — the document cannot silently rot.
 
 use dpc_graph::generators;
+use dpc_runtime::get_uvarint;
+use dpc_service::metrics::{HistogramSnapshot, SchemeStats, StatsSnapshot};
 use dpc_service::registry::SchemeId;
 use dpc_service::wire::{self, Request};
 
 const SPEC: &str = include_str!("../../../docs/WIRE.md");
 
-/// The hex bytes of the ```hex fenced block in the spec, comments
-/// (`# ...`) stripped.
-fn spec_example_bytes() -> Vec<u8> {
+/// Document order of the ```hex blocks: §5.1 (Stats v3) comes before
+/// §7 (Certify).
+const STATS_BLOCK: usize = 1;
+const CERTIFY_BLOCK: usize = 2;
+
+/// The hex bytes of the `index`-th ```hex fenced block in the spec
+/// (1-based), comments (`# ...`) stripped.
+fn spec_example_bytes(index: usize) -> Vec<u8> {
     let block = SPEC
         .split("```hex")
-        .nth(1)
-        .expect("docs/WIRE.md must contain a ```hex block")
+        .nth(index)
+        .expect("docs/WIRE.md must contain enough ```hex blocks")
         .split("```")
         .next()
         .expect("unterminated ```hex block");
@@ -33,9 +40,39 @@ fn spec_example_bytes() -> Vec<u8> {
     bytes
 }
 
+/// The snapshot the Stats example in docs/WIRE.md §5.1 describes.
+fn spec_stats_snapshot() -> StatsSnapshot {
+    StatsSnapshot {
+        certify: 7,
+        check: 2,
+        gen: 1,
+        soundness: 0,
+        stats: 3,
+        errors: 1,
+        cache_hits: 5,
+        cache_misses: 2,
+        cache_evictions: 1,
+        cache_entries: 1,
+        cache_bytes: 4096,
+        batches: 1,
+        batched_certifies: 2,
+        proves: 2,
+        latency: HistogramSnapshot::default(),
+        per_scheme: Vec::<SchemeStats>::new(),
+        store_hits: 4,
+        store_misses: 2,
+        store_demotes: 1,
+        store_promotes: 3,
+        store_records: 6,
+        store_bytes: 2048,
+        store_segments: 1,
+        store_write_errors: 0,
+    }
+}
+
 #[test]
 fn spec_hex_example_is_the_real_encoding() {
-    let frame = spec_example_bytes();
+    let frame = spec_example_bytes(CERTIFY_BLOCK);
     // the spec's frame is exactly what the codec emits for C4 under
     // the bipartite scheme
     let body = wire::encode_certify_request(&generators::cycle(4), false, SchemeId::BIPARTITE);
@@ -49,7 +86,7 @@ fn spec_hex_example_is_the_real_encoding() {
 
 #[test]
 fn spec_hex_example_decodes_as_documented() {
-    let frame = spec_example_bytes();
+    let frame = spec_example_bytes(CERTIFY_BLOCK);
     // frame layer
     let mut cursor = std::io::Cursor::new(frame.as_slice());
     let body = wire::read_frame(&mut cursor)
@@ -82,4 +119,49 @@ fn spec_hex_example_decodes_as_documented() {
         v1_direct.as_slice(),
         "scheme-0 encoding is v1-identical"
     );
+}
+
+#[test]
+fn spec_stats_v3_example_is_the_real_encoding() {
+    let doc = spec_example_bytes(STATS_BLOCK);
+    let mut encoded = Vec::new();
+    spec_stats_snapshot().encode_into(&mut encoded);
+    assert_eq!(
+        doc, encoded,
+        "docs/WIRE.md §5.1 stats example drifted from the codec"
+    );
+    // and it decodes back to the documented counters
+    let mut cursor = doc.as_slice();
+    let back = StatsSnapshot::decode_from(&mut cursor).expect("valid snapshot");
+    assert!(cursor.is_empty(), "one whole snapshot");
+    assert_eq!(back, spec_stats_snapshot());
+}
+
+#[test]
+fn spec_stats_v3_example_keeps_the_v2_prefix_decodable() {
+    // prefix-level compatibility (WIRE.md §5.1): decoding the body
+    // with the v2 field order (14 counters, histogram, per-scheme
+    // table) must yield exactly the documented v2 values, with only
+    // the 9-byte / 8-field v3 tail beyond that horizon
+    let doc = spec_example_bytes(STATS_BLOCK);
+    let mut buf = doc.as_slice();
+    let mut v2 = [0u64; 14];
+    for field in &mut v2 {
+        *field = get_uvarint(&mut buf).expect("v2 counter");
+    }
+    assert_eq!(
+        v2,
+        [7, 2, 1, 0, 3, 1, 5, 2, 1, 1, 4096, 1, 2, 2],
+        "v2 counter prefix"
+    );
+    let buckets = get_uvarint(&mut buf).expect("histogram length");
+    assert_eq!(buckets, 0, "empty histogram");
+    let rows = get_uvarint(&mut buf).expect("per-scheme rows");
+    assert_eq!(rows, 0, "empty per-scheme table");
+    // what remains is exactly the documented 8-field v3 tail
+    let tail: Vec<u64> = (0..8)
+        .map(|_| get_uvarint(&mut buf).expect("v3 field"))
+        .collect();
+    assert_eq!(tail, vec![4, 2, 1, 3, 6, 2048, 1, 0]);
+    assert!(buf.is_empty());
 }

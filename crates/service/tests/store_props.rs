@@ -1,0 +1,149 @@
+//! Property tests for the tiered certificate store: under any insert
+//! sequence and a tiny hot budget, nothing certified is ever lost —
+//! every graph stays retrievable (hot or cold), and a restart on the
+//! same directory returns byte-identical wire suffixes.
+
+use dpc_core::harness::certify_pls;
+use dpc_core::schemes::planarity::PlanarityScheme;
+use dpc_graph::generators;
+use dpc_runtime::put_uvarint;
+use dpc_service::cache::{CacheConfig, CacheEntry, CertCache, ProveResult};
+use dpc_service::store::{CertStore, StoreRecord};
+use dpc_service::{SegmentConfig, SegmentStore, TieredCache};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU32 = AtomicU32::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "dpc-props-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&path);
+    path
+}
+
+/// A certified entry for a seed-derived planar graph, keyed the way
+/// the server keys it (scheme id 0 + canonical wire graph).
+fn entry_for(n: u32, seed: u64) -> CacheEntry {
+    let g = generators::stacked_triangulation(n, seed);
+    let certified = certify_pls(&PlanarityScheme::new(), &g).unwrap();
+    let mut keyed = Vec::new();
+    put_uvarint(&mut keyed, 0);
+    dpc_service::wire::encode_graph(&mut keyed, &g);
+    CacheEntry::new(
+        ProveResult::Certified {
+            assignment: certified.assignment,
+            outcome: certified.outcome,
+        },
+        keyed,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// For any insert sequence (graph sizes and seeds drawn from the
+    /// strategy, duplicates included) under a hot budget of roughly
+    /// two entries, every certified graph remains retrievable with
+    /// its exact suffix bytes, and reopening the store on the same
+    /// directory serves the same bytes again.
+    #[test]
+    fn every_insert_survives_tiny_hot_budgets_and_restarts(
+        seq_seed in 0u64..1_000_000,
+        count in 4usize..12,
+    ) {
+        let dir = scratch_dir("surv");
+        // seed-derived pseudo-random insert sequence with repeats
+        let entries: Vec<CacheEntry> = (0..count)
+            .map(|i| {
+                let s = seq_seed.wrapping_mul(31).wrapping_add(i as u64);
+                entry_for(16 + (s % 13) as u32, s % 7)
+            })
+            .collect();
+        // roughly two entries' worth (cost ≈ payload + suffix + keyed
+        // + bookkeeping; the exact constant does not matter — the
+        // point is that most inserts evict)
+        let hot_budget = (entries[0].suffix.len() + entries[0].keyed.len() + 512) * 2;
+        {
+            let cold = Arc::new(SegmentStore::open(SegmentConfig::new(&dir)).unwrap());
+            let tiered = TieredCache::with_cold(
+                CertCache::new(CacheConfig { shards: 1, byte_budget: hot_budget }),
+                cold,
+            );
+            for e in &entries {
+                let rec = e.record();
+                tiered.insert(rec.key(), Arc::new(e.record().to_entry().unwrap()));
+            }
+            // retrievable from some tier, byte-identical
+            for e in &entries {
+                let rec = e.record();
+                let got = tiered.lookup(rec.key(), &rec.keyed);
+                prop_assert!(got.is_some(), "lost a certified graph");
+                prop_assert_eq!(&got.unwrap().suffix, &e.suffix);
+            }
+            tiered.flush().unwrap();
+        }
+        // restart: new store over the same directory, fresh hot tier
+        let cold = Arc::new(SegmentStore::open(SegmentConfig::new(&dir)).unwrap());
+        let tiered = TieredCache::with_cold(
+            CertCache::new(CacheConfig { shards: 1, byte_budget: hot_budget }),
+            Arc::clone(&cold) as Arc<dyn CertStore>,
+        );
+        tiered.warm_load(hot_budget);
+        for e in &entries {
+            let rec = e.record();
+            let got = tiered.lookup(rec.key(), &rec.keyed);
+            prop_assert!(got.is_some(), "restart lost a certified graph");
+            prop_assert_eq!(
+                &got.unwrap().suffix, &e.suffix,
+                "restart must serve byte-identical wire suffixes"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The segment store itself round-trips any record it accepted,
+    /// across budget pressure: whatever `get` returns is always the
+    /// exact bytes that were put (never a torn or foreign record).
+    #[test]
+    fn store_reads_are_exactly_what_was_written(
+        seq_seed in 0u64..1_000_000,
+        budget_entries in 2u64..6,
+    ) {
+        let dir = scratch_dir("exact");
+        let records: Vec<StoreRecord> = (0..8u64)
+            .map(|i| entry_for(15 + ((seq_seed + i) % 9) as u32, seq_seed % 5 + i).record())
+            .collect();
+        let per = records[0].keyed.len() as u64 + records[0].suffix.len() as u64 + 32;
+        let store = SegmentStore::open(SegmentConfig {
+            byte_budget: Some(per * budget_entries),
+            ..SegmentConfig::new(&dir)
+        })
+        .unwrap();
+        for r in &records {
+            store.put(r).unwrap();
+        }
+        for r in &records {
+            if let Some(got) = store.get(r.key(), &r.keyed) {
+                prop_assert_eq!(&got, r, "a served record is the written record");
+            }
+        }
+        // the budget kept only a suffix of the insert order: once a
+        // record is dropped, no earlier record may still be present
+        let present: Vec<bool> = records
+            .iter()
+            .map(|r| store.get(r.key(), &r.keyed).is_some())
+            .collect();
+        let first_kept = present.iter().position(|&p| p).unwrap_or(present.len());
+        prop_assert!(
+            present[first_kept..].iter().all(|&p| p),
+            "drops are oldest-first: {:?}",
+            present
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -15,14 +15,24 @@
 //! dpc schemes               list the scheme registry (ids, classes,
 //!                           certificate bounds, capabilities)
 //! dpc serve <addr> [workers] [cache-mb] [--schemes a,b,c]
-//!                           long-running service (default: all schemes)
+//!           [--store-dir <path>] [--store-budget-bytes <n>]
+//!                           long-running service (default: all
+//!                           schemes, no persistence); with a store
+//!                           dir the certificate cache survives
+//!                           restarts
+//! dpc store stat|compact|verify <dir>
+//!                           offline tools for a --store-dir (do not
+//!                           run against a live server)
 //! dpc query <addr> certify [--no-cache] [--scheme <name>] <graph6>
 //! dpc query <addr> check [--scheme <name>] <graph6>
-//! dpc query <addr> gen <family> <n> [seed]
+//! dpc query <addr> gen <family> <n> [seed] [--scheme <name>]
+//!                           family "default" routes to the scheme's
+//!                           canonical yes-instance generator
 //! dpc query <addr> soundness [--scheme <name>] <graph6> [seed]
 //! dpc query <addr> stats
 //! dpc bench-serve <addr>|self [hits] [side] load generator; reports
-//!                           cache-hit vs cache-miss latency
+//!                           cache-hit vs cache-miss latency (plus a
+//!                           machine-readable JSON summary line)
 //! ```
 
 use dpc::core::harness::run_pls;
@@ -34,7 +44,7 @@ use dpc::prelude::*;
 use dpc_service::cache::CacheConfig;
 use dpc_service::registry::{SchemeId, SchemeRegistry};
 use dpc_service::wire::{CheckVerdict, Response};
-use dpc_service::{Client, ServeConfig};
+use dpc_service::{Client, SegmentConfig, SegmentStore, ServeConfig};
 use std::time::{Duration, Instant};
 
 fn main() {
@@ -75,6 +85,7 @@ fn run(args: &[&str]) -> Result<String, String> {
         }
         ["schemes"] => schemes_cmd(),
         ["serve", addr, rest @ ..] => serve_cmd(addr, rest),
+        ["store", sub, dir] => store_cmd(sub, dir),
         ["query", addr, rest @ ..] => query_cmd(addr, rest),
         ["bench-serve", addr, rest @ ..] => bench_serve_cmd(addr, rest),
         _ => Err(usage()),
@@ -84,7 +95,9 @@ fn run(args: &[&str]) -> Result<String, String> {
 fn usage() -> String {
     "usage: dpc check|certify|embed|kuratowski|soundness <graph6>  |  \
      dpc gen <family> <n> [seed]  |  dpc schemes  |  \
-     dpc serve <addr> [workers] [cache-mb] [--schemes a,b,c]  |  \
+     dpc serve <addr> [workers] [cache-mb] [--schemes a,b,c] \
+     [--store-dir <path>] [--store-budget-bytes <n>]  |  \
+     dpc store stat|compact|verify <dir>  |  \
      dpc query <addr> certify|check|gen|soundness|stats [--scheme <name>] ...  |  \
      dpc bench-serve <addr>|self [hits] [side]"
         .to_string()
@@ -103,17 +116,22 @@ fn scheme_by_name(name: &str) -> Result<SchemeId, String> {
 fn schemes_cmd() -> Result<String, String> {
     let reg = SchemeRegistry::standard();
     let mut out = format!(
-        "{:>3}  {:<18} {:<44} {:<34} {}\n",
-        "id", "name", "class", "certificates", "soundness-probe"
+        "{:>3}  {:<18} {:<44} {:<34} {:<16} {}\n",
+        "id", "name", "class", "certificates", "soundness-probe", "needs-ids"
     );
     for e in reg.entries() {
         out.push_str(&format!(
-            "{:>3}  {:<18} {:<44} {:<34} {}\n",
+            "{:>3}  {:<18} {:<44} {:<34} {:<16} {}\n",
             e.id,
             e.name,
             e.caps.class,
             e.caps.cert_bound,
             if e.caps.soundness_probe { "yes" } else { "no" },
+            if e.caps.needs_ids {
+                "yes (binary wire only)"
+            } else {
+                "no"
+            },
         ));
     }
     out.push_str("\nid 0 (planarity) is the wire default: requests without a scheme-id extension route there.\n");
@@ -210,7 +228,9 @@ fn kuratowski(g: Graph) -> Result<String, String> {
 }
 
 fn gen(family: &str, n: u32, seed: u64) -> Result<String, String> {
-    let g = dpc_service::gen::make(family, n, seed)?;
+    // the local subcommand has no --scheme flag, so "default" routes
+    // to the wire default scheme (planarity)
+    let g = dpc_service::gen::make_scheme(family, n, seed, SchemeId::PLANARITY)?;
     Ok(format!("{}\n", graph6::encode(&g)))
 }
 
@@ -269,15 +289,35 @@ fn soundness_table(rows: impl Iterator<Item = (String, Option<u64>)>) -> String 
 
 fn serve_cmd(addr: &str, rest: &[&str]) -> Result<String, String> {
     let mut cfg = ServeConfig::default();
-    // split off a trailing `--schemes a,b,c` restriction first
-    let (rest, registry) = match rest {
-        [head @ .., "--schemes", list] => (
-            head,
-            SchemeRegistry::with_schemes(&list.split(',').collect::<Vec<_>>())?,
-        ),
-        _ => (rest, SchemeRegistry::standard()),
-    };
-    match rest {
+    let mut registry = SchemeRegistry::standard();
+    let mut store_dir: Option<&str> = None;
+    let mut store_budget: Option<u64> = None;
+    let mut positional = Vec::new();
+    let mut args = rest.iter();
+    while let Some(&arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .copied()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg {
+            "--schemes" => {
+                let list = value("--schemes")?;
+                registry = SchemeRegistry::with_schemes(&list.split(',').collect::<Vec<_>>())?;
+            }
+            "--store-dir" => store_dir = Some(value("--store-dir")?),
+            "--store-budget-bytes" => {
+                store_budget = Some(
+                    value("--store-budget-bytes")?
+                        .parse()
+                        .map_err(|_| "store-budget-bytes must be a number".to_string())?,
+                );
+            }
+            flag if flag.starts_with("--") => return Err(usage()),
+            p => positional.push(p),
+        }
+    }
+    match positional.as_slice() {
         [] => {}
         [workers] => {
             cfg.workers = workers
@@ -298,14 +338,29 @@ fn serve_cmd(addr: &str, rest: &[&str]) -> Result<String, String> {
         }
         _ => return Err(usage()),
     }
+    match (store_dir, store_budget) {
+        (Some(dir), budget) => {
+            let mut sc = SegmentConfig::new(dir);
+            sc.byte_budget = budget;
+            cfg.store = Some(sc);
+        }
+        (None, Some(_)) => {
+            return Err("--store-budget-bytes requires --store-dir".to_string());
+        }
+        (None, None) => {}
+    }
     let handle = dpc_service::serve_with_registry(addr, cfg.clone(), registry)
         .map_err(|e| format!("cannot bind {addr}: {e}"))?;
     eprintln!(
-        "dpc serve: listening on {} ({} workers, {} MiB cache, batch {} max, schemes: {})",
+        "dpc serve: listening on {} ({} workers, {} MiB cache, batch {} max, store: {}, schemes: {})",
         handle.addr(),
         cfg.workers,
         cfg.cache.byte_budget >> 20,
         cfg.batch_max,
+        cfg.store
+            .as_ref()
+            .map(|s| s.dir.display().to_string())
+            .unwrap_or_else(|| "none".to_string()),
         handle
             .registry()
             .entries()
@@ -316,6 +371,74 @@ fn serve_cmd(addr: &str, rest: &[&str]) -> Result<String, String> {
     );
     handle.wait();
     Ok(String::new())
+}
+
+/// Offline tools over a `--store-dir`: `stat` summarizes, `compact`
+/// folds live records into fresh segments, `verify` re-checks every
+/// record's CRC and scheme id against the standard registry. Not
+/// safe against a concurrently serving store.
+fn store_cmd(sub: &str, dir: &str) -> Result<String, String> {
+    use dpc_service::store::CertStore;
+    let store = SegmentStore::open(SegmentConfig::new(dir))
+        .map_err(|e| format!("cannot open store at {dir}: {e}"))?;
+    let reg = SchemeRegistry::standard();
+    match sub {
+        "stat" => {
+            let s = store.stats();
+            let mut by_scheme: std::collections::BTreeMap<Option<u16>, u64> =
+                std::collections::BTreeMap::new();
+            for record in store.iter().flatten() {
+                *by_scheme.entry(record.scheme_id()).or_default() += 1;
+            }
+            let mut out = format!(
+                "store at {dir}: {} records, {} live bytes, {} file bytes, {} segments\n",
+                s.records, s.live_bytes, s.file_bytes, s.segments
+            );
+            if s.read_errors > 0 {
+                out.push_str(&format!(
+                    "WARNING: {} unreadable records skipped by the startup scan\n",
+                    s.read_errors
+                ));
+            }
+            for (id, count) in by_scheme {
+                let name = id
+                    .and_then(|id| reg.get(SchemeId(id)).map(|e| e.name))
+                    .unwrap_or("<unknown>");
+                out.push_str(&format!(
+                    "  scheme {:>3} {:<18} {count} records\n",
+                    id.map(|i| i.to_string()).unwrap_or_else(|| "?".into()),
+                    name,
+                ));
+            }
+            Ok(out)
+        }
+        "compact" => {
+            let (before, after) = store
+                .compact()
+                .map_err(|e| format!("compaction failed: {e}"))?;
+            store.flush().map_err(|e| format!("fsync failed: {e}"))?;
+            Ok(format!(
+                "compacted {dir}: {before} -> {after} file bytes ({} records live)\n",
+                store.len()
+            ))
+        }
+        "verify" => {
+            let report = store.verify(&reg);
+            if report.problems.is_empty() {
+                Ok(format!(
+                    "store at {dir} verifies clean: {} records ({} certified, {} declined), {} payload bytes, every CRC and scheme id checked\n",
+                    report.records, report.certified, report.declined, report.bytes
+                ))
+            } else {
+                Err(format!(
+                    "store at {dir} has {} problem(s):\n  {}",
+                    report.problems.len(),
+                    report.problems.join("\n  ")
+                ))
+            }
+        }
+        _ => Err(usage()),
+    }
 }
 
 fn connect(addr: &str) -> Result<Client, String> {
@@ -336,28 +459,42 @@ fn query_cmd(addr: &str, rest: &[&str]) -> Result<String, String> {
         scheme_name = name.to_string();
         args.drain(pos..pos + 2);
     }
+    // id-reading schemes cannot travel through this subcommand's
+    // graph exchange format — inbound (certify/check/soundness parse
+    // graph6, which has no id field) or outbound (gen prints graph6,
+    // which would silently drop the load-bearing ids): fail fast,
+    // before touching the network
+    let needs_ids = SchemeRegistry::standard()
+        .get(scheme)
+        .is_some_and(|e| e.caps.needs_ids);
+    if needs_ids
+        && matches!(
+            args.first(),
+            Some(&"certify") | Some(&"check") | Some(&"soundness") | Some(&"gen")
+        )
+    {
+        return Err(format!(
+            "scheme {scheme_name} reads network identifiers, which graph6 cannot carry \
+             (encoding a graph drops its ids) — use the binary wire protocol instead \
+             (dpc_service::Client::certify_scheme, or the `blocks` family in \
+             crates/service/tests/registry_e2e.rs)"
+        ));
+    }
     let mut client = connect(addr)?;
     let response = match args.as_slice() {
         ["certify", s] => client.certify_scheme(&parse(s)?, false, scheme),
         ["certify", "--no-cache", s] => client.certify_scheme(&parse(s)?, true, scheme),
         ["check", s] => client.check_scheme(&parse(s)?, scheme),
         ["gen", family, n, rest @ ..] => {
-            if scheme != SchemeId::PLANARITY {
-                // refuse rather than silently ignore the flag:
-                // generation is scheme-independent
-                return Err(
-                    "gen does not take --scheme (families are scheme-independent; \
-                            see `dpc gen` for the list)"
-                        .to_string(),
-                );
-            }
             let n: u32 = n.parse().map_err(|_| "n must be a number".to_string())?;
             let seed: u64 = match rest {
                 [] => 1,
                 [s] => s.parse().map_err(|_| "seed must be a number".to_string())?,
                 _ => return Err(usage()),
             };
-            let g = client.gen(family, n, seed).map_err(|e| e.to_string())?;
+            let g = client
+                .gen_scheme(family, n, seed, scheme)
+                .map_err(|e| e.to_string())?;
             return Ok(format!("{}\n", graph6::encode(&g)));
         }
         ["soundness", s, rest @ ..] => {
@@ -498,19 +635,40 @@ fn bench_serve_cmd(addr: &str, rest: &[&str]) -> Result<String, String> {
     let hit_p50 = percentile(&mut hit_lat, 0.50);
     let hit_p99 = percentile(&mut hit_lat, 0.99);
     let speedup = miss_p50.as_secs_f64() / hit_p50.as_secs_f64().max(1e-9);
+    let hit_rps = hits as f64 / hit_wall.as_secs_f64().max(1e-9);
+    // machine-readable trailer (one JSON object per run, on its own
+    // line) so benchmark trajectories can be scraped into BENCH_*.json
+    let json = format!(
+        "{{\"bench\":\"serve\",\"graph\":\"grid({side},{side})\",\"nodes\":{},\
+         \"miss_queries\":{misses},\"miss_p50_us\":{},\"hit_queries\":{hits},\
+         \"hit_p50_us\":{},\"hit_p99_us\":{},\"hit_rps\":{hit_rps:.0},\
+         \"speedup\":{speedup:.2},\"cache_hits\":{},\"cache_misses\":{},\
+         \"proves\":{},\"cache_bytes\":{},\"store_records\":{},\"store_segments\":{}}}",
+        g.node_count(),
+        miss_p50.as_micros(),
+        hit_p50.as_micros(),
+        hit_p99.as_micros(),
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.proves,
+        stats.cache_bytes,
+        stats.store_records,
+        stats.store_segments,
+    );
     let out = format!(
         "bench-serve against {target} on grid({side},{side}) ({} nodes)\n\
          cache-miss (fresh prove): {} queries, p50 {:.3} ms\n\
          cache-hit: {} queries, p50 {:.3} ms, p99 {:.3} ms, {:.0} req/s\n\
          speedup (miss p50 / hit p50): {speedup:.1}x {}\n\
-         server: {} hits, {} misses, {} proves, {} cache bytes\n",
+         server: {} hits, {} misses, {} proves, {} cache bytes\n\
+         {json}\n",
         g.node_count(),
         misses,
         miss_p50.as_secs_f64() * 1e3,
         hits,
         hit_p50.as_secs_f64() * 1e3,
         hit_p99.as_secs_f64() * 1e3,
-        hits as f64 / hit_wall.as_secs_f64().max(1e-9),
+        hit_rps,
         if speedup >= 10.0 {
             "(>= 10x: cache pays for itself)"
         } else {
@@ -684,22 +842,6 @@ mod tests {
         assert!(st.contains("scheme: spanning-tree"), "{st}");
         assert!(st.contains("all nodes accept"), "{st}");
 
-        // mod-counter needs the Lemma 5 block identifiers, which the
-        // graph6 format cannot carry (the binary wire protocol can —
-        // see crates/service/tests/registry_e2e.rs): the prover
-        // declines honestly instead of mis-certifying
-        let blocks = run(&["gen", "blocks", "30", "4"]).unwrap();
-        let mc = run(&[
-            "query",
-            &addr,
-            "certify",
-            "--scheme",
-            "mod-counter",
-            blocks.trim(),
-        ])
-        .unwrap();
-        assert!(mc.contains("paths of blocks"), "{mc}");
-
         // per-scheme stats rows over the wire
         let stats = run(&["query", &addr, "stats"]).unwrap();
         assert!(stats.contains("bipartite"), "{stats}");
@@ -709,16 +851,146 @@ mod tests {
         let err = run(&["query", &addr, "certify", "--scheme", "nosuch", g6]).unwrap_err();
         assert!(err.contains("dpc schemes"), "{err}");
 
-        // gen refuses --scheme instead of silently ignoring it
-        let err = run(&["query", &addr, "gen", "grid", "9", "--scheme", "bipartite"]).unwrap_err();
-        assert!(err.contains("scheme-independent"), "{err}");
+        // gen accepts --scheme now: "default" routes to the scheme's
+        // canonical yes-instance family
+        let bip_gen = run(&[
+            "query",
+            &addr,
+            "gen",
+            "default",
+            "25",
+            "--scheme",
+            "bipartite",
+        ])
+        .unwrap();
+        let g = graph6::decode(bip_gen.trim()).unwrap();
+        let member = run(&[
+            "query",
+            &addr,
+            "check",
+            "--scheme",
+            "bipartite",
+            bip_gen.trim(),
+        ])
+        .unwrap();
+        assert!(member.contains("IN CLASS"), "{member}");
+        assert!(g.node_count() >= 25);
 
         handle.shutdown();
     }
 
     #[test]
+    fn mod_counter_over_graph6_declines_with_a_pointer_to_the_wire() {
+        // the guard fires client-side, before any connection: the
+        // address below has nothing listening, and must not matter
+        let blocks = run(&["gen", "blocks", "30", "4"]).unwrap();
+        for sub in ["certify", "check", "soundness"] {
+            let err = run(&[
+                "query",
+                "127.0.0.1:1",
+                sub,
+                "--scheme",
+                "mod-counter",
+                blocks.trim(),
+            ])
+            .unwrap_err();
+            assert!(!err.contains('\n'), "one-line error: {err:?}");
+            assert!(err.contains("graph6"), "{err}");
+            assert!(err.contains("identifiers"), "{err}");
+            assert!(err.contains("binary wire"), "{err}");
+        }
+        // gen is guarded too: its graph6 *output* would silently drop
+        // the load-bearing identifiers
+        let err = run(&[
+            "query",
+            "127.0.0.1:1",
+            "gen",
+            "default",
+            "30",
+            "--scheme",
+            "mod-counter",
+        ])
+        .unwrap_err();
+        assert!(err.contains("graph6"), "{err}");
+        // id-free schemes still pass the guard (and then fail on the
+        // dead address, proving the guard came first above)
+        let err = run(&[
+            "query",
+            "127.0.0.1:1",
+            "certify",
+            "--scheme",
+            "bipartite",
+            blocks.trim(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("cannot connect"), "{err}");
+    }
+
+    #[test]
+    fn gen_default_family_routes_by_scheme() {
+        // local subcommand: "default" means the wire-default scheme
+        let out = run(&["gen", "default", "30", "1"]).unwrap();
+        let g = graph6::decode(out.trim()).unwrap();
+        assert!(dpc::planar::lr::is_planar(&g), "planarity default family");
+    }
+
+    #[test]
     fn serve_schemes_flag_validates_names() {
         assert!(run(&["serve", "127.0.0.1:1", "--schemes", "nosuch"]).is_err());
+        // store flags validate before binding anything
+        assert!(run(&["serve", "127.0.0.1:1", "--store-budget-bytes", "4096"]).is_err());
+        assert!(run(&["serve", "127.0.0.1:1", "--store-dir"]).is_err());
+        assert!(run(&["serve", "127.0.0.1:1", "--bogus-flag", "x"]).is_err());
+    }
+
+    #[test]
+    fn schemes_lists_the_needs_ids_capability() {
+        let out = run(&["schemes"]).unwrap();
+        assert!(out.contains("needs-ids"), "{out}");
+        let mc_line = out
+            .lines()
+            .find(|l| l.contains("mod-counter"))
+            .expect("mod-counter row");
+        assert!(mc_line.contains("binary wire only"), "{mc_line}");
+    }
+
+    #[test]
+    fn store_subcommands_stat_compact_verify() {
+        use dpc_service::store::CertStore;
+        let dir = std::env::temp_dir().join(format!("dpc-cli-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.display().to_string();
+        // seed a store with two certified planarity records
+        {
+            let store = SegmentStore::open(SegmentConfig::new(&dir)).unwrap();
+            for seed in 0..2u64 {
+                let g = dpc::graph::generators::stacked_triangulation(18, seed);
+                let certified =
+                    dpc::core::harness::certify_pls(&PlanarityScheme::new(), &g).unwrap();
+                let mut keyed = Vec::new();
+                dpc_runtime::put_uvarint(&mut keyed, 0);
+                dpc_service::wire::encode_graph(&mut keyed, &g);
+                let entry = dpc_service::cache::CacheEntry::new(
+                    dpc_service::cache::ProveResult::Certified {
+                        assignment: certified.assignment,
+                        outcome: certified.outcome,
+                    },
+                    keyed,
+                );
+                store.put(&entry.record()).unwrap();
+            }
+            store.flush().unwrap();
+        }
+        let stat = run(&["store", "stat", &dir_s]).unwrap();
+        assert!(stat.contains("2 records"), "{stat}");
+        assert!(stat.contains("planarity"), "{stat}");
+        let verify = run(&["store", "verify", &dir_s]).unwrap();
+        assert!(verify.contains("verifies clean"), "{verify}");
+        assert!(verify.contains("2 records"), "{verify}");
+        let compact = run(&["store", "compact", &dir_s]).unwrap();
+        assert!(compact.contains("2 records live"), "{compact}");
+        assert!(run(&["store", "nosuch", &dir_s]).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -729,5 +1001,21 @@ mod tests {
         assert!(out.contains("cache-hit"));
         assert!(out.contains("cache-miss"));
         assert!(out.contains("speedup"));
+        // the machine-readable trailer: one JSON object on its own line
+        let json = out
+            .lines()
+            .find(|l| l.starts_with('{'))
+            .expect("JSON summary line");
+        assert!(json.ends_with('}'), "{json}");
+        for key in [
+            "\"bench\":\"serve\"",
+            "\"hit_p50_us\":",
+            "\"miss_p50_us\":",
+            "\"speedup\":",
+            "\"hit_rps\":",
+            "\"store_records\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
     }
 }
