@@ -13,6 +13,7 @@ use crate::wire::{self, Request, Response, WireError};
 use dpc_graph::Graph;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 /// A connected client.
 pub struct Client {
@@ -32,6 +33,25 @@ impl Client {
             writer: BufWriter::new(write_half),
             in_flight: 0,
         })
+    }
+
+    /// Connects, retrying refused/failed dials for up to `wait`
+    /// (polling every 25 ms). Made for racing a server that is still
+    /// booting — `dpc query --wait-ms` and CI smoke steps use this
+    /// instead of shell sleep loops. The last dial error is returned
+    /// when the deadline passes.
+    pub fn connect_with_retry<A: ToSocketAddrs + Copy>(
+        addr: A,
+        wait: Duration,
+    ) -> io::Result<Client> {
+        let deadline = Instant::now() + wait;
+        loop {
+            match Client::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(25)),
+            }
+        }
     }
 
     /// Sends a request without waiting (pipelining). Pair with

@@ -29,6 +29,12 @@
 //!   [`dpc_core::batch::BatchRunner`] batches, and streams responses
 //!   back in request order per connection;
 //! * [`client`] — a blocking client with request pipelining;
+//! * [`cluster`] — client-side horizontal scale: a
+//!   [`cluster::ClusterClient`] rendezvous-hashes each request's
+//!   content key (`uvarint(scheme id)` + canonical graph hash) across
+//!   N server addresses and fails over down the ranking when a node
+//!   is unreachable — the servers themselves stay share-nothing and
+//!   completely unchanged;
 //! * [`metrics`] — lock-free counters (global and per scheme) and the
 //!   power-of-two latency histogram behind the Stats endpoint;
 //! * [`gen`] — the named graph families servable via Gen.
@@ -60,6 +66,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod cluster;
 pub mod gen;
 pub mod metrics;
 pub mod registry;
@@ -69,6 +76,7 @@ pub mod wire;
 
 pub use cache::{CacheConfig, CertCache};
 pub use client::Client;
+pub use cluster::{ClusterClient, ClusterStats, Ring};
 pub use metrics::StatsSnapshot;
 pub use registry::{SchemeId, SchemeRegistry};
 pub use server::{serve, serve_with_registry, ServeConfig, ServerHandle};

@@ -99,6 +99,19 @@ impl HistogramSnapshot {
     pub fn p99_us(&self) -> u64 {
         self.quantile_us(0.99)
     }
+
+    /// Adds another histogram bucket-wise (the shorter side is
+    /// zero-padded). Power-of-two buckets make fleet aggregation
+    /// exact: the merged quantiles are the quantiles of the pooled
+    /// observations, bucket-resolution included.
+    pub fn absorb(&mut self, other: &HistogramSnapshot) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+    }
 }
 
 /// Live counters of one registered scheme (indexed by registry slot).
@@ -229,6 +242,16 @@ impl SchemeStats {
         }
         s.latency = decode_histogram(buf)?;
         Ok(s)
+    }
+
+    /// Adds another row's counters and latency into this one (same
+    /// scheme measured on another node).
+    pub fn absorb(&mut self, other: &SchemeStats) {
+        self.certify += other.certify;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.proves += other.proves;
+        self.latency.absorb(&other.latency);
     }
 }
 
@@ -389,6 +412,44 @@ impl StatsSnapshot {
             }
         }
         Ok(s)
+    }
+
+    /// Folds another node's snapshot into this one: the fleet view
+    /// `dpc cluster-stats` renders. Counters and gauges sum (gauges
+    /// like `cache_entries` or `store_records` become fleet totals),
+    /// latency histograms add bucket-wise, and per-scheme rows merge
+    /// by scheme id — a scheme registered on only some nodes still
+    /// gets one row.
+    pub fn absorb(&mut self, other: &StatsSnapshot) {
+        self.certify += other.certify;
+        self.check += other.check;
+        self.gen += other.gen;
+        self.soundness += other.soundness;
+        self.stats += other.stats;
+        self.errors += other.errors;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
+        self.cache_entries += other.cache_entries;
+        self.cache_bytes += other.cache_bytes;
+        self.batches += other.batches;
+        self.batched_certifies += other.batched_certifies;
+        self.proves += other.proves;
+        self.latency.absorb(&other.latency);
+        for row in &other.per_scheme {
+            match self.per_scheme.iter_mut().find(|r| r.id == row.id) {
+                Some(mine) => mine.absorb(row),
+                None => self.per_scheme.push(row.clone()),
+            }
+        }
+        self.store_hits += other.store_hits;
+        self.store_misses += other.store_misses;
+        self.store_demotes += other.store_demotes;
+        self.store_promotes += other.store_promotes;
+        self.store_records += other.store_records;
+        self.store_bytes += other.store_bytes;
+        self.store_segments += other.store_segments;
+        self.store_write_errors += other.store_write_errors;
     }
 }
 
@@ -569,6 +630,63 @@ mod tests {
         assert_eq!(back.store_segments, 0);
         // and the store line stays out of the rendered text
         assert!(!format!("{back}").contains("store:"));
+    }
+
+    #[test]
+    fn absorb_folds_two_nodes_into_one_fleet_view() {
+        let h1 = LatencyHistogram::new();
+        h1.record(Duration::from_micros(3)); // bucket 1
+        let h2 = LatencyHistogram::new();
+        h2.record(Duration::from_micros(100)); // bucket 6
+        let mut a = StatsSnapshot {
+            certify: 4,
+            cache_hits: 2,
+            store_records: 10,
+            latency: h1.snapshot(),
+            per_scheme: vec![SchemeStats {
+                id: 0,
+                name: "planarity".into(),
+                certify: 4,
+                hits: 2,
+                misses: 2,
+                proves: 2,
+                latency: h1.snapshot(),
+            }],
+            ..StatsSnapshot::default()
+        };
+        let b = StatsSnapshot {
+            certify: 3,
+            cache_hits: 1,
+            store_records: 7,
+            latency: h2.snapshot(),
+            per_scheme: vec![
+                SchemeStats {
+                    id: 0,
+                    name: "planarity".into(),
+                    certify: 2,
+                    ..SchemeStats::default()
+                },
+                SchemeStats {
+                    id: 1,
+                    name: "bipartite".into(),
+                    certify: 1,
+                    ..SchemeStats::default()
+                },
+            ],
+            ..StatsSnapshot::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.certify, 7);
+        assert_eq!(a.cache_hits, 3);
+        assert_eq!(a.store_records, 17, "gauges sum to fleet totals");
+        assert_eq!(a.latency.count(), 2, "histograms pool observations");
+        assert_eq!(a.latency.buckets[1], 1);
+        assert_eq!(a.latency.buckets[6], 1);
+        // rows merged by id; the scheme present on only one node
+        // still shows up
+        assert_eq!(a.per_scheme.len(), 2);
+        assert_eq!(a.scheme("planarity").unwrap().certify, 6);
+        assert_eq!(a.scheme("bipartite").unwrap().certify, 1);
     }
 
     #[test]

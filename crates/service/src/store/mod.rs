@@ -40,7 +40,7 @@ use std::sync::{Arc, Mutex};
 pub mod segment;
 pub mod tiered;
 
-pub use segment::{SegmentConfig, SegmentStore};
+pub use segment::{MergeReport, SegmentConfig, SegmentStore};
 pub use tiered::{TieredCache, TieredStats};
 
 /// What kind of prove result a [`StoreRecord`] holds.

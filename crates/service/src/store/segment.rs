@@ -109,6 +109,21 @@ impl Inner {
     }
 }
 
+/// What one [`SegmentStore::merge_from`] call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeReport {
+    /// Records read from the source.
+    pub scanned: u64,
+    /// Records newly appended to the destination.
+    pub merged: u64,
+    /// Records the destination already held (same content key — the
+    /// existing bytes are equivalent by content addressing).
+    pub duplicates: u64,
+    /// Source records that could not be read back (I/O error or CRC
+    /// mismatch on the read path); they are skipped, not copied.
+    pub source_errors: u64,
+}
+
 /// What [`SegmentStore::verify`] found.
 #[derive(Debug, Clone, Default)]
 pub struct VerifyReport {
@@ -429,6 +444,37 @@ impl SegmentStore {
     /// The configuration the store was opened with.
     pub fn config(&self) -> &SegmentConfig {
         &self.cfg
+    }
+
+    /// Streams every live record of `src` into this store, deduplicating
+    /// by content key: a record whose keyed bytes this store already
+    /// indexes is skipped (content addressing makes the resident copy
+    /// equivalent — certificates are immutable). This is how a drained
+    /// or dead node's certificates rehome without re-proving: records
+    /// are read one at a time (CRC-checked by the source's read path)
+    /// and appended through the ordinary [`CertStore::put`], so memory
+    /// stays O(one record) and destination invariants (segment roll,
+    /// byte budget, index) hold throughout. Call [`CertStore::flush`]
+    /// afterwards to make the union durable.
+    ///
+    /// Destination write errors abort with `Err`; source read errors
+    /// skip the record and are counted in the report.
+    pub fn merge_from(&self, src: &dyn CertStore) -> io::Result<MergeReport> {
+        let mut report = MergeReport::default();
+        for item in src.iter() {
+            match item {
+                Ok(record) => {
+                    report.scanned += 1;
+                    if self.put(&record)? {
+                        report.merged += 1;
+                    } else {
+                        report.duplicates += 1;
+                    }
+                }
+                Err(_) => report.source_errors += 1,
+            }
+        }
+        Ok(report)
     }
 
     /// Insertion-ordered `(file handle, location)` snapshot of the
@@ -810,6 +856,43 @@ mod tests {
         let store = SegmentStore::open(SegmentConfig::new(&dir.0)).unwrap();
         let reopened: Vec<_> = store.iter().map(|r| r.unwrap()).collect();
         assert_eq!(reopened, survivors);
+    }
+
+    #[test]
+    fn merge_unions_two_stores_and_deduplicates() {
+        let dir_a = TempDir::new("segmerge-a");
+        let dir_b = TempDir::new("segmerge-b");
+        let recs = records(6);
+        // a holds records 0..4, b holds 2..6: overlap of two
+        let a = SegmentStore::open(SegmentConfig::new(&dir_a.0)).unwrap();
+        for r in &recs[..4] {
+            a.put(r).unwrap();
+        }
+        let b = SegmentStore::open(SegmentConfig::new(&dir_b.0)).unwrap();
+        for r in &recs[2..] {
+            b.put(r).unwrap();
+        }
+        let report = a.merge_from(&b).unwrap();
+        assert_eq!(report.scanned, 4);
+        assert_eq!(report.merged, 2, "only the records a did not hold");
+        assert_eq!(report.duplicates, 2);
+        assert_eq!(report.source_errors, 0);
+        assert_eq!(a.len(), 6);
+        // merged records are byte-identical to the source's
+        for r in &recs {
+            assert_eq!(a.get(r.key(), &r.keyed).unwrap(), *r);
+        }
+        // the union survives a restart and verifies clean
+        a.flush().unwrap();
+        drop(a);
+        let a = SegmentStore::open(SegmentConfig::new(&dir_a.0)).unwrap();
+        assert_eq!(a.len(), 6);
+        assert!(a.verify(&SchemeRegistry::standard()).problems.is_empty());
+        // merging the same source again is a pure no-op
+        let again = a.merge_from(&b).unwrap();
+        assert_eq!(again.merged, 0);
+        assert_eq!(again.duplicates, 4);
+        assert_eq!(a.len(), 6);
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! End-to-end cluster test: three unmodified `dpc serve` nodes behind
+//! a [`ClusterClient`] — rendezvous routing spreads mixed-scheme
+//! traffic, a killed node fails over without losing a single request,
+//! and the dead node's segment store merges into a survivor with
+//! byte-identical certificate suffixes and deduplicated records.
+
+use dpc_graph::generators;
+use dpc_service::cluster::{graphs_by_owner, ClusterClient, Ring};
+use dpc_service::registry::{SchemeId, SchemeRegistry};
+use dpc_service::store::{CertStore, StoreRecord};
+use dpc_service::wire::Response;
+use dpc_service::{serve, SegmentConfig, SegmentStore, ServeConfig, ServerHandle};
+use std::path::PathBuf;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("dpc-cluster-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&path);
+    path
+}
+
+fn ring_of(n: usize, base: &std::path::Path) -> Vec<ServerHandle> {
+    (0..n)
+        .map(|i| {
+            let cfg = ServeConfig {
+                store: Some(SegmentConfig::new(base.join(format!("node-{i}")))),
+                ..ServeConfig::default()
+            };
+            serve("127.0.0.1:0", cfg).unwrap()
+        })
+        .collect()
+}
+
+/// Mixed-scheme workload: planar triangulations under planarity,
+/// grids under bipartite, and one spanning-tree certify.
+fn workload() -> Vec<(dpc_graph::Graph, SchemeId)> {
+    let mut work = Vec::new();
+    for seed in 0..8u64 {
+        work.push((
+            generators::stacked_triangulation(18 + seed as u32, seed),
+            SchemeId::PLANARITY,
+        ));
+    }
+    for side in 3..7u32 {
+        work.push((generators::grid(side, side), SchemeId::BIPARTITE));
+    }
+    work.push((generators::grid(5, 4), SchemeId::SPANNING_TREE));
+    work
+}
+
+#[test]
+fn three_node_ring_survives_a_kill_and_merges_the_dead_store() {
+    let base = scratch_dir("ring");
+    let mut handles = ring_of(3, &base);
+    let addrs: Vec<String> = handles.iter().map(|h| h.addr().to_string()).collect();
+    let ring = Ring::new(addrs.clone()).unwrap();
+    let mut cc = ClusterClient::over(ring.clone());
+
+    // ---- phase 1: mixed-scheme traffic over the full ring ----
+    // the fixed workload plus one ring-selected graph per node, so
+    // every node deterministically owns at least one key
+    let mut work = workload();
+    for bucket in graphs_by_owner(&ring, 1, 20) {
+        for g in bucket {
+            work.push((g, SchemeId::PLANARITY));
+        }
+    }
+    for (g, scheme) in &work {
+        let resp = cc.certify_scheme(g, false, *scheme).unwrap();
+        assert!(
+            matches!(resp, Response::Certified { cached: false, .. }),
+            "fresh key must prove: {resp:?}"
+        );
+        // the repeat is a cache hit on the same owning node
+        let again = cc.certify_scheme(g, false, *scheme).unwrap();
+        assert!(
+            matches!(again, Response::Certified { cached: true, .. }),
+            "{again:?}"
+        );
+    }
+    let routing = cc.stats().clone();
+    assert_eq!(routing.requests, 2 * work.len() as u64);
+    assert_eq!(routing.failovers, 0, "all nodes are up: {routing:?}");
+    assert_eq!(
+        routing.nodes_used(),
+        3,
+        "every node serves its selected key: {routing:?}"
+    );
+    // per-node server stats agree that traffic spread
+    let (fleet, per_node) = cc.fleet_stats().unwrap();
+    assert_eq!(fleet.certify, 2 * work.len() as u64);
+    assert!(per_node.iter().all(|(_, r)| r.is_ok()));
+
+    // ---- phase 2: kill the busiest node; every request still answers ----
+    let victim = routing
+        .per_node
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, n)| n.routed)
+        .map(|(i, _)| i)
+        .unwrap();
+    let victim_addr = addrs[victim].clone();
+    let victim_dir = base.join(format!("node-{victim}"));
+    handles.remove(victim).shutdown();
+
+    let mut cc = ClusterClient::new(addrs.clone()).unwrap();
+    for (g, scheme) in &work {
+        let resp = cc.certify_scheme(g, false, *scheme).unwrap();
+        assert!(
+            matches!(resp, Response::Certified { .. }),
+            "failover must answer: {resp:?}"
+        );
+    }
+    let routing = cc.stats().clone();
+    assert_eq!(routing.requests, work.len() as u64, "no request was lost");
+    assert_eq!(routing.exhausted, 0);
+    assert!(routing.failovers > 0, "the victim owned keys: {routing:?}");
+    let victim_row = routing
+        .per_node
+        .iter()
+        .find(|n| n.addr == victim_addr)
+        .unwrap();
+    assert_eq!(victim_row.routed, 0, "a dead node answers nothing");
+    assert!(victim_row.failures > 0);
+
+    // ---- phase 3: merge the dead node's store into a survivor ----
+    for h in handles {
+        h.shutdown(); // stores must be offline for dpc-store tools
+    }
+    let survivor_idx = (0..3).find(|&i| i != victim).unwrap();
+    let survivor_dir = base.join(format!("node-{survivor_idx}"));
+    let victim_store = SegmentStore::open(SegmentConfig::new(&victim_dir)).unwrap();
+    let victim_records: Vec<StoreRecord> = victim_store.iter().map(|r| r.unwrap()).collect();
+    assert!(
+        !victim_records.is_empty(),
+        "the busiest node persisted its certificates"
+    );
+    let survivor = SegmentStore::open(SegmentConfig::new(&survivor_dir)).unwrap();
+    let before = survivor.len();
+    let report = survivor.merge_from(&victim_store).unwrap();
+    assert_eq!(report.scanned, victim_records.len() as u64);
+    assert_eq!(report.source_errors, 0);
+    assert_eq!(
+        report.merged + report.duplicates,
+        report.scanned,
+        "every record lands exactly once: {report:?}"
+    );
+    assert_eq!(
+        survivor.len(),
+        before + report.merged,
+        "dedup by content key: {report:?}"
+    );
+    // the rehomed certificates are byte-identical to what the victim
+    // served: same keyed bytes, same pre-encoded wire suffix
+    for record in &victim_records {
+        let merged = survivor
+            .get(record.key(), &record.keyed)
+            .expect("merged record is retrievable");
+        assert_eq!(merged.suffix, record.suffix, "byte-identical suffix");
+        assert_eq!(merged, *record);
+    }
+    // the union verifies clean against the standard registry
+    survivor.flush().unwrap();
+    let verify = survivor.verify(&SchemeRegistry::standard());
+    assert!(verify.problems.is_empty(), "{:?}", verify.problems);
+    assert_eq!(verify.records, survivor.len());
+    // merging the same source twice is a pure no-op
+    let again = survivor.merge_from(&victim_store).unwrap();
+    assert_eq!(again.merged, 0);
+    assert_eq!(again.duplicates, report.scanned);
+    assert_eq!(survivor.len(), before + report.merged);
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn restarted_survivor_serves_the_merged_certificates_without_reproving() {
+    // the payoff of merge: after rehoming, a single node answers the
+    // whole ring's keys from its store — zero prover executions
+    let base = scratch_dir("rehome");
+    let handles = ring_of(2, &base);
+    let addrs: Vec<String> = handles.iter().map(|h| h.addr().to_string()).collect();
+    let ring = Ring::new(addrs).unwrap();
+    let mut cc = ClusterClient::over(ring.clone());
+    // three ring-selected graphs per node: both stores fill, certainly
+    let graphs: Vec<_> = graphs_by_owner(&ring, 3, 20)
+        .into_iter()
+        .flatten()
+        .collect();
+    for g in &graphs {
+        assert!(matches!(
+            cc.certify(g, false).unwrap(),
+            Response::Certified { cached: false, .. }
+        ));
+    }
+    assert_eq!(
+        cc.stats().nodes_used(),
+        2,
+        "both nodes took traffic: {:?}",
+        cc.stats()
+    );
+    for h in handles {
+        h.shutdown();
+    }
+    // merge node-1 into node-0, then restart only node-0
+    let src = SegmentStore::open(SegmentConfig::new(base.join("node-1"))).unwrap();
+    let dst = SegmentStore::open(SegmentConfig::new(base.join("node-0"))).unwrap();
+    dst.merge_from(&src).unwrap();
+    dst.flush().unwrap();
+    assert_eq!(dst.len(), graphs.len() as u64);
+    drop((src, dst));
+    let cfg = ServeConfig {
+        store: Some(SegmentConfig::new(base.join("node-0"))),
+        ..ServeConfig::default()
+    };
+    let survivor = serve("127.0.0.1:0", cfg).unwrap();
+    let mut cc = ClusterClient::new([survivor.addr().to_string()]).unwrap();
+    for g in &graphs {
+        // every key — including those the dead node proved — is a hit
+        assert!(matches!(
+            cc.certify(g, false).unwrap(),
+            Response::Certified { cached: true, .. }
+        ));
+    }
+    assert_eq!(survivor.stats().proves, 0, "nothing was re-proved");
+    survivor.shutdown();
+    let _ = std::fs::remove_dir_all(&base);
+}

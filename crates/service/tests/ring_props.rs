@@ -1,0 +1,133 @@
+//! Property tests for the rendezvous-hashing ring: routing is a pure
+//! function of (key, address set), removing a node remaps only that
+//! node's keys, and keys spread close to uniformly.
+//!
+//! Keys are drawn the way real traffic produces them — the same
+//! `uvarint(scheme id) + graph_hash` byte layout
+//! [`dpc_service::cluster::graph_key`] emits — but over synthetic
+//! random hashes, so a thousand keys cost nothing to generate.
+
+use dpc_runtime::put_uvarint;
+use dpc_service::cluster::Ring;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn node_addrs(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("10.1.{i}.7:4700")).collect()
+}
+
+/// A key shaped like the client's routing keys: a small scheme id
+/// varint followed by 16 random bytes standing in for the canonical
+/// graph hash.
+fn synthetic_key(rng: &mut StdRng) -> Vec<u8> {
+    let mut key = Vec::with_capacity(19);
+    put_uvarint(&mut key, rng.gen_range(0u64..9));
+    let hash: u128 = (rng.gen::<u64>() as u128) << 64 | rng.gen::<u64>() as u128;
+    key.extend_from_slice(&hash.to_le_bytes());
+    key
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The same key always routes to the same node: rankings are
+    /// deterministic, independent of the address list's order, and
+    /// reproducible across freshly built rings.
+    #[test]
+    fn same_key_always_routes_to_the_same_node(seed in 0u64..1_000_000, n in 3usize..=8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let addrs = node_addrs(n);
+        let ring = Ring::new(addrs.clone()).unwrap();
+        let rebuilt = Ring::new(addrs.clone()).unwrap();
+        let mut shuffled = addrs.clone();
+        shuffled.reverse();
+        let reordered = Ring::new(shuffled).unwrap();
+        for _ in 0..200 {
+            let key = synthetic_key(&mut rng);
+            let rank = ring.rank(&key);
+            prop_assert_eq!(&rank, &rebuilt.rank(&key), "rings are stateless");
+            prop_assert_eq!(ring.owner(&key), rank[0]);
+            prop_assert_eq!(
+                &addrs[ring.owner(&key)],
+                &reordered.addrs()[reordered.owner(&key)],
+                "ownership is a property of the address, not its position"
+            );
+            // a ranking is a permutation of the node set
+            let mut sorted = rank.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+        }
+    }
+
+    /// Rendezvous stability: removing one node remaps exactly the
+    /// keys that node owned — every other key keeps its owner. (This
+    /// is the property that makes `dpc store merge` of a drained
+    /// node's segments into a survivor sufficient: no third node's
+    /// keys move.)
+    #[test]
+    fn removing_a_node_remaps_only_its_keys(seed in 0u64..1_000_000, n in 3usize..=8) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(17));
+        let addrs = node_addrs(n);
+        let full = Ring::new(addrs.clone()).unwrap();
+        let removed = rng.gen_range(0..n);
+        let survivors: Vec<String> = addrs
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != removed)
+            .map(|(_, a)| a.clone())
+            .collect();
+        let shrunk = Ring::new(survivors).unwrap();
+        let mut remapped = 0usize;
+        const KEYS: usize = 300;
+        for _ in 0..KEYS {
+            let key = synthetic_key(&mut rng);
+            let before = &addrs[full.owner(&key)];
+            let after = &shrunk.addrs()[shrunk.owner(&key)];
+            if *before == addrs[removed] {
+                remapped += 1;
+                prop_assert!(
+                    after != &addrs[removed],
+                    "the removed node cannot keep keys"
+                );
+                // and the new owner is the key's old rank-2 node
+                let full_rank = full.rank(&key);
+                prop_assert_eq!(
+                    after,
+                    &addrs[full_rank[1]],
+                    "orphaned keys fall to their next-ranked node"
+                );
+            } else {
+                prop_assert_eq!(before, after, "a surviving node's keys never move");
+            }
+        }
+        // sanity: the removed node actually owned something
+        prop_assert!(remapped > 0, "no key ever routed to node {removed}");
+    }
+
+    /// Load balance: over >= 1k random keys the busiest node stays
+    /// within 2x of the uniform share, for every ring size 3..=8.
+    #[test]
+    fn distribution_stays_within_2x_of_uniform(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(39));
+        const KEYS: usize = 1024;
+        let keys: Vec<Vec<u8>> = (0..KEYS).map(|_| synthetic_key(&mut rng)).collect();
+        for n in 3usize..=8 {
+            let ring = Ring::new(node_addrs(n)).unwrap();
+            let mut counts = vec![0usize; n];
+            for key in &keys {
+                counts[ring.owner(key)] += 1;
+            }
+            let max = *counts.iter().max().unwrap();
+            let bound = 2 * KEYS / n;
+            prop_assert!(
+                max <= bound,
+                "{n} nodes: busiest owns {max} of {KEYS} keys (bound {bound}): {counts:?}"
+            );
+            prop_assert!(
+                counts.iter().all(|&c| c > 0),
+                "{n} nodes: some node owns nothing: {counts:?}"
+            );
+        }
+    }
+}

@@ -23,6 +23,10 @@
 //! dpc store stat|compact|verify <dir>
 //!                           offline tools for a --store-dir (do not
 //!                           run against a live server)
+//! dpc store merge <dst> <src...>
+//!                           stream every record of the source stores
+//!                           into <dst>, deduplicating by content key
+//!                           (rehomes a drained node's certificates)
 //! dpc query <addr> certify [--no-cache] [--scheme <name>] <graph6>
 //! dpc query <addr> check [--scheme <name>] <graph6>
 //! dpc query <addr> gen <family> <n> [seed] [--scheme <name>]
@@ -30,9 +34,19 @@
 //!                           canonical yes-instance generator
 //! dpc query <addr> soundness [--scheme <name>] <graph6> [seed]
 //! dpc query <addr> stats
+//!   every query accepts --wait-ms <n> (retry refused connects for n
+//!   milliseconds — races with a booting server) and --nodes a,b,c
+//!   in place of <addr> (client-side rendezvous routing across a
+//!   cluster of servers, with failover; see dpc_service::cluster)
+//! dpc cluster-stats --nodes a,b,c
+//!                           per-node reachability + Stats, plus the
+//!                           fleet-aggregated view
 //! dpc bench-serve <addr>|self [hits] [side] load generator; reports
 //!                           cache-hit vs cache-miss latency (plus a
 //!                           machine-readable JSON summary line)
+//! dpc bench-serve --nodes a,b,c [hits] [side]
+//!                           same, but driving the whole ring with
+//!                           two owner-selected graphs per node
 //! ```
 
 use dpc::core::harness::run_pls;
@@ -42,6 +56,7 @@ use dpc::planar::kuratowski::extract_kuratowski;
 use dpc::planar::lr::{planarity, Planarity};
 use dpc::prelude::*;
 use dpc_service::cache::CacheConfig;
+use dpc_service::cluster::ClusterClient;
 use dpc_service::registry::{SchemeId, SchemeRegistry};
 use dpc_service::wire::{CheckVerdict, Response};
 use dpc_service::{Client, SegmentConfig, SegmentStore, ServeConfig};
@@ -85,9 +100,11 @@ fn run(args: &[&str]) -> Result<String, String> {
         }
         ["schemes"] => schemes_cmd(),
         ["serve", addr, rest @ ..] => serve_cmd(addr, rest),
+        ["store", "merge", dst, srcs @ ..] if !srcs.is_empty() => store_merge_cmd(dst, srcs),
         ["store", sub, dir] => store_cmd(sub, dir),
-        ["query", addr, rest @ ..] => query_cmd(addr, rest),
-        ["bench-serve", addr, rest @ ..] => bench_serve_cmd(addr, rest),
+        ["query", rest @ ..] => query_cmd(rest),
+        ["cluster-stats", rest @ ..] => cluster_stats_cmd(rest),
+        ["bench-serve", rest @ ..] => bench_serve_cmd(rest),
         _ => Err(usage()),
     }
 }
@@ -98,9 +115,48 @@ fn usage() -> String {
      dpc serve <addr> [workers] [cache-mb] [--schemes a,b,c] \
      [--store-dir <path>] [--store-budget-bytes <n>]  |  \
      dpc store stat|compact|verify <dir>  |  \
-     dpc query <addr> certify|check|gen|soundness|stats [--scheme <name>] ...  |  \
-     dpc bench-serve <addr>|self [hits] [side]"
+     dpc store merge <dst> <src...>  |  \
+     dpc query <addr>|--nodes a,b,c certify|check|gen|soundness|stats \
+     [--scheme <name>] [--wait-ms <n>] ...  |  \
+     dpc cluster-stats --nodes a,b,c [--wait-ms <n>]  |  \
+     dpc bench-serve <addr>|self|--nodes a,b,c [hits] [side]"
         .to_string()
+}
+
+/// Removes `flag value` from `args` wherever it appears; `Ok(None)`
+/// when the flag is absent. A repeated flag is an error — silently
+/// ignoring the second occurrence would reinterpret it as a
+/// positional argument (e.g. a server address).
+fn take_flag_value(args: &mut Vec<&str>, flag: &str) -> Result<Option<String>, String> {
+    let Some(pos) = args.iter().position(|&a| a == flag) else {
+        return Ok(None);
+    };
+    let value = args
+        .get(pos + 1)
+        .ok_or_else(|| format!("{flag} needs a value"))?
+        .to_string();
+    args.drain(pos..pos + 2);
+    if args.contains(&flag) {
+        return Err(format!("{flag} given more than once"));
+    }
+    Ok(Some(value))
+}
+
+/// Parses the shared connection flags: `--wait-ms <n>` (connect
+/// retry window) and `--nodes a,b,c` (cluster routing).
+fn take_conn_flags(
+    args: &mut Vec<&str>,
+) -> Result<(Option<Duration>, Option<Vec<String>>), String> {
+    let wait = take_flag_value(args, "--wait-ms")?
+        .map(|v| {
+            v.parse::<u64>()
+                .map(Duration::from_millis)
+                .map_err(|_| "wait-ms must be a number".to_string())
+        })
+        .transpose()?;
+    let nodes = take_flag_value(args, "--nodes")?
+        .map(|csv| csv.split(',').map(str::to_string).collect::<Vec<_>>());
+    Ok((wait, nodes))
 }
 
 /// Resolves a `--scheme <name>` CLI handle against the standard
@@ -379,6 +435,13 @@ fn serve_cmd(addr: &str, rest: &[&str]) -> Result<String, String> {
 /// safe against a concurrently serving store.
 fn store_cmd(sub: &str, dir: &str) -> Result<String, String> {
     use dpc_service::store::CertStore;
+    // validate the subcommand before opening: open *creates* a store
+    // at `dir`, and a typo (`dpc store merge <dst>` with the sources
+    // forgotten, `dpc store bogus <dir>`) must not leave a fresh
+    // empty store behind its usage error
+    if !matches!(sub, "stat" | "compact" | "verify") {
+        return Err(usage());
+    }
     let store = SegmentStore::open(SegmentConfig::new(dir))
         .map_err(|e| format!("cannot open store at {dir}: {e}"))?;
     let reg = SchemeRegistry::standard();
@@ -441,24 +504,223 @@ fn store_cmd(sub: &str, dir: &str) -> Result<String, String> {
     }
 }
 
-fn connect(addr: &str) -> Result<Client, String> {
-    Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))
+/// A cluster client over `nodes`, with the optional connect-retry
+/// window applied (shared by query --nodes, cluster-stats, and
+/// bench-serve --nodes).
+fn ring_client(nodes: Vec<String>, wait: Option<Duration>) -> Result<ClusterClient, String> {
+    let cc = ClusterClient::new(nodes)?;
+    Ok(match wait {
+        Some(w) => cc.with_connect_wait(w),
+        None => cc,
+    })
 }
 
-fn query_cmd(addr: &str, rest: &[&str]) -> Result<String, String> {
-    // `--scheme <name>` may appear after the subcommand of any
-    // graph-carrying query; strip it here so the match below stays flat
+fn connect_wait(addr: &str, wait: Option<Duration>) -> Result<Client, String> {
+    match wait {
+        Some(w) => Client::connect_with_retry(addr, w),
+        None => Client::connect(addr),
+    }
+    .map_err(|e| format!("cannot connect to {addr}: {e}"))
+}
+
+/// Where a query goes: one server, or a rendezvous-routed ring of
+/// them. The ring speaks the identical wire protocol — only the
+/// client-side node choice (and failover) differs.
+enum Target {
+    Single(Client),
+    Ring(Box<ClusterClient>),
+}
+
+impl Target {
+    fn open(
+        addr: Option<&str>,
+        nodes: Option<Vec<String>>,
+        wait: Option<Duration>,
+    ) -> Result<Target, String> {
+        match nodes {
+            Some(addrs) => Ok(Target::Ring(Box::new(ring_client(addrs, wait)?))),
+            None => {
+                let addr = addr.ok_or_else(usage)?;
+                Ok(Target::Single(connect_wait(addr, wait)?))
+            }
+        }
+    }
+
+    fn certify(
+        &mut self,
+        g: &Graph,
+        bypass: bool,
+        scheme: SchemeId,
+    ) -> Result<Response, dpc_service::WireError> {
+        match self {
+            Target::Single(c) => c.certify_scheme(g, bypass, scheme),
+            Target::Ring(cc) => cc.certify_scheme(g, bypass, scheme),
+        }
+    }
+
+    fn check(&mut self, g: &Graph, scheme: SchemeId) -> Result<Response, dpc_service::WireError> {
+        match self {
+            Target::Single(c) => c.check_scheme(g, scheme),
+            Target::Ring(cc) => cc.check_scheme(g, scheme),
+        }
+    }
+
+    fn gen(
+        &mut self,
+        family: &str,
+        n: u32,
+        seed: u64,
+        scheme: SchemeId,
+    ) -> Result<Graph, dpc_service::WireError> {
+        match self {
+            Target::Single(c) => c.gen_scheme(family, n, seed, scheme),
+            Target::Ring(cc) => cc.gen_scheme(family, n, seed, scheme),
+        }
+    }
+
+    fn soundness(
+        &mut self,
+        g: &Graph,
+        seed: u64,
+        scheme: SchemeId,
+    ) -> Result<Response, dpc_service::WireError> {
+        match self {
+            Target::Single(c) => c.soundness_scheme(g, seed, scheme),
+            Target::Ring(cc) => cc.soundness_scheme(g, seed, scheme),
+        }
+    }
+
+    fn stats_text(&mut self) -> Result<String, String> {
+        match self {
+            Target::Single(c) => {
+                let stats = c.stats().map_err(|e| e.to_string())?;
+                Ok(format!("{stats}\n"))
+            }
+            Target::Ring(cc) => render_fleet(cc),
+        }
+    }
+}
+
+/// The per-node + fleet-aggregated Stats view of a ring.
+fn render_fleet(cc: &mut ClusterClient) -> Result<String, String> {
+    let (fleet, per_node) = cc.fleet_stats().map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let mut up = 0usize;
+    for (addr, result) in &per_node {
+        match result {
+            Ok(s) => {
+                up += 1;
+                out.push_str(&format!(
+                    "node {addr}: up — {} requests (certify {}), {} cache hits, {} proves, {} store records\n",
+                    s.requests_total(),
+                    s.certify,
+                    s.cache_hits,
+                    s.proves,
+                    s.store_records,
+                ));
+            }
+            Err(e) => out.push_str(&format!("node {addr}: DOWN ({e})\n")),
+        }
+    }
+    out.push_str(&format!(
+        "fleet ({up}/{} nodes up):\n{fleet}\n",
+        per_node.len()
+    ));
+    Ok(out)
+}
+
+fn cluster_stats_cmd(rest: &[&str]) -> Result<String, String> {
     let mut args: Vec<&str> = rest.to_vec();
+    let (wait, mut nodes) = take_conn_flags(&mut args)?;
+    // a bare csv positional works too: `dpc cluster-stats a,b,c`
+    if nodes.is_none() && args.len() == 1 {
+        nodes = Some(args.remove(0).split(',').map(str::to_string).collect());
+    }
+    if !args.is_empty() {
+        return Err(usage());
+    }
+    let nodes = nodes.ok_or_else(usage)?;
+    let mut cc = ring_client(nodes, wait)?;
+    render_fleet(&mut cc)
+}
+
+/// Offline union of segment stores: streams every record of each
+/// source into `dst`, deduplicating by content key. Like the other
+/// `dpc store` tools, not safe against a concurrently serving store.
+fn store_merge_cmd(dst: &str, srcs: &[&str]) -> Result<String, String> {
+    use dpc_service::store::CertStore;
+    // a mistyped destination must not silently become a brand-new
+    // store holding the merged records while the real one stays empty
+    if !std::path::Path::new(dst).is_dir() {
+        return Err(format!(
+            "destination store {dst} does not exist (mkdir it first to merge into a fresh store)"
+        ));
+    }
+    for src in srcs {
+        if !std::path::Path::new(src).is_dir() {
+            return Err(format!("source store {src} does not exist"));
+        }
+    }
+    let dst_store = SegmentStore::open(SegmentConfig::new(dst))
+        .map_err(|e| format!("cannot open store at {dst}: {e}"))?;
+    let dst_canon = std::fs::canonicalize(dst).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    for src in srcs {
+        if std::fs::canonicalize(src).map_err(|e| e.to_string())? == dst_canon {
+            return Err(format!("cannot merge store {src} into itself"));
+        }
+        let src_store = SegmentStore::open(SegmentConfig::new(src))
+            .map_err(|e| format!("cannot open store at {src}: {e}"))?;
+        let report = dst_store
+            .merge_from(&src_store)
+            .map_err(|e| format!("merge from {src} failed: {e}"))?;
+        out.push_str(&format!(
+            "merged {src}: {} records scanned, {} new, {} duplicates skipped{}\n",
+            report.scanned,
+            report.merged,
+            report.duplicates,
+            if report.source_errors > 0 {
+                format!(
+                    " (WARNING: {} unreadable source records)",
+                    report.source_errors
+                )
+            } else {
+                String::new()
+            },
+        ));
+    }
+    dst_store
+        .flush()
+        .map_err(|e| format!("fsync failed: {e}"))?;
+    out.push_str(&format!(
+        "store at {dst}: now {} records, {} live bytes\n",
+        dst_store.len(),
+        dst_store.bytes()
+    ));
+    Ok(out)
+}
+
+fn query_cmd(rest: &[&str]) -> Result<String, String> {
+    // flags may appear anywhere: `--scheme <name>` on any
+    // graph-carrying query, `--wait-ms <n>` / `--nodes a,b,c` on all
+    // of them; strip them here so the match below stays flat
+    let mut args: Vec<&str> = rest.to_vec();
+    let (wait, nodes) = take_conn_flags(&mut args)?;
     let mut scheme = SchemeId::PLANARITY;
     let mut scheme_name = "planarity".to_string();
-    if let Some(pos) = args.iter().position(|&a| a == "--scheme") {
-        let name = args
-            .get(pos + 1)
-            .ok_or_else(|| "--scheme needs a name".to_string())?;
-        scheme = scheme_by_name(name)?;
-        scheme_name = name.to_string();
-        args.drain(pos..pos + 2);
+    if let Some(name) = take_flag_value(&mut args, "--scheme")? {
+        scheme = scheme_by_name(&name)?;
+        scheme_name = name;
     }
+    // without --nodes, the first positional is the server address
+    let addr = if nodes.is_none() {
+        if args.is_empty() {
+            return Err(usage());
+        }
+        Some(args.remove(0))
+    } else {
+        None
+    };
     // id-reading schemes cannot travel through this subcommand's
     // graph exchange format — inbound (certify/check/soundness parse
     // graph6, which has no id field) or outbound (gen prints graph6,
@@ -480,11 +742,11 @@ fn query_cmd(addr: &str, rest: &[&str]) -> Result<String, String> {
              crates/service/tests/registry_e2e.rs)"
         ));
     }
-    let mut client = connect(addr)?;
+    let mut target = Target::open(addr, nodes, wait)?;
     let response = match args.as_slice() {
-        ["certify", s] => client.certify_scheme(&parse(s)?, false, scheme),
-        ["certify", "--no-cache", s] => client.certify_scheme(&parse(s)?, true, scheme),
-        ["check", s] => client.check_scheme(&parse(s)?, scheme),
+        ["certify", s] => target.certify(&parse(s)?, false, scheme),
+        ["certify", "--no-cache", s] => target.certify(&parse(s)?, true, scheme),
+        ["check", s] => target.check(&parse(s)?, scheme),
         ["gen", family, n, rest @ ..] => {
             let n: u32 = n.parse().map_err(|_| "n must be a number".to_string())?;
             let seed: u64 = match rest {
@@ -492,8 +754,8 @@ fn query_cmd(addr: &str, rest: &[&str]) -> Result<String, String> {
                 [s] => s.parse().map_err(|_| "seed must be a number".to_string())?,
                 _ => return Err(usage()),
             };
-            let g = client
-                .gen_scheme(family, n, seed, scheme)
+            let g = target
+                .gen(family, n, seed, scheme)
                 .map_err(|e| e.to_string())?;
             return Ok(format!("{}\n", graph6::encode(&g)));
         }
@@ -503,12 +765,9 @@ fn query_cmd(addr: &str, rest: &[&str]) -> Result<String, String> {
                 [x] => x.parse().map_err(|_| "seed must be a number".to_string())?,
                 _ => return Err(usage()),
             };
-            client.soundness_scheme(&parse(s)?, seed, scheme)
+            target.soundness(&parse(s)?, seed, scheme)
         }
-        ["stats"] => {
-            let stats = client.stats().map_err(|e| e.to_string())?;
-            return Ok(format!("{stats}\n"));
-        }
+        ["stats"] => return target.stats_text(),
         _ => return Err(usage()),
     };
     render_response(response.map_err(|e| e.to_string())?, &scheme_name)
@@ -564,8 +823,18 @@ fn render_response(resp: Response, scheme: &str) -> Result<String, String> {
     }
 }
 
-fn bench_serve_cmd(addr: &str, rest: &[&str]) -> Result<String, String> {
-    let (hits, side) = match rest {
+fn bench_serve_cmd(rest: &[&str]) -> Result<String, String> {
+    let mut args: Vec<&str> = rest.to_vec();
+    let (wait, nodes) = take_conn_flags(&mut args)?;
+    let addr = if nodes.is_none() {
+        if args.is_empty() {
+            return Err(usage());
+        }
+        Some(args.remove(0).to_string())
+    } else {
+        None
+    };
+    let (hits, side) = match args.as_slice() {
         [] => (32usize, 100u32),
         [hits] => (
             hits.parse()
@@ -583,6 +852,19 @@ fn bench_serve_cmd(addr: &str, rest: &[&str]) -> Result<String, String> {
     // at least one sample on each side, or the percentiles (and the
     // reported speedup) would be fabricated from zero measurements
     let hits = hits.max(1);
+    match (addr, nodes) {
+        (Some(addr), None) => bench_single(&addr, hits, side, wait),
+        (None, Some(nodes)) => bench_ring(nodes, hits, side, wait),
+        _ => unreachable!("addr xor nodes by construction"),
+    }
+}
+
+fn bench_single(
+    addr: &str,
+    hits: usize,
+    side: u32,
+    wait: Option<Duration>,
+) -> Result<String, String> {
     let own_server = if addr == "self" {
         Some(
             dpc_service::serve("127.0.0.1:0", ServeConfig::default())
@@ -595,7 +877,7 @@ fn bench_serve_cmd(addr: &str, rest: &[&str]) -> Result<String, String> {
         .as_ref()
         .map(|h| h.addr().to_string())
         .unwrap_or_else(|| addr.to_string());
-    let mut client = connect(&target)?;
+    let mut client = connect_wait(&target, wait)?;
     let g = dpc::graph::generators::grid(side, side);
 
     let expect_certified = |resp: Response, want_cached: bool| -> Result<(), String> {
@@ -683,6 +965,109 @@ fn bench_serve_cmd(addr: &str, rest: &[&str]) -> Result<String, String> {
         handle.shutdown();
     }
     Ok(out)
+}
+
+/// Drives a whole ring: distinct same-size graphs (two per node, so
+/// rendezvous routing exercises every server) through miss and hit
+/// rounds, then reports fleet-aggregated stats plus the client-side
+/// routing counters — and the same machine-readable JSON trailer the
+/// single-node bench emits, extended with `ring_*` fields.
+fn bench_ring(
+    nodes: Vec<String>,
+    hits: usize,
+    side: u32,
+    wait: Option<Duration>,
+) -> Result<String, String> {
+    let mut cc = ring_client(nodes, wait)?;
+    let ring_nodes = cc.ring().len();
+    let n = side * side;
+    // two graphs selected per node BY OWNER, so the bench provably
+    // drives every server (a blind sample could skip one and skew
+    // the JSON trajectory's ring_spread)
+    let graphs: Vec<Graph> = dpc_service::cluster::graphs_by_owner(cc.ring(), 2, n)
+        .into_iter()
+        .flatten()
+        .collect();
+
+    let expect_certified = |resp: Response, want_cached: bool| -> Result<(), String> {
+        match resp {
+            Response::Certified { cached, .. } if cached == want_cached => Ok(()),
+            other => Err(format!("unexpected response: {other:?}")),
+        }
+    };
+
+    // cold misses: one bypass prove per graph, measured
+    let mut miss_lat = Vec::with_capacity(graphs.len());
+    for g in &graphs {
+        let start = Instant::now();
+        expect_certified(cc.certify(g, true).map_err(|e| e.to_string())?, false)?;
+        miss_lat.push(start.elapsed());
+    }
+    // one caching round (fresh servers prove here), then the hit loop
+    for g in &graphs {
+        match cc.certify(g, false).map_err(|e| e.to_string())? {
+            Response::Certified { .. } => {}
+            other => return Err(format!("unexpected response: {other:?}")),
+        }
+    }
+    let mut hit_lat = Vec::with_capacity(hits);
+    let hit_wall = Instant::now();
+    for i in 0..hits {
+        let g = &graphs[i % graphs.len()];
+        let start = Instant::now();
+        expect_certified(cc.certify(g, false).map_err(|e| e.to_string())?, true)?;
+        hit_lat.push(start.elapsed());
+    }
+    let hit_wall = hit_wall.elapsed();
+
+    let routing = cc.stats().clone();
+    let (fleet, _per_node) = cc.fleet_stats().map_err(|e| e.to_string())?;
+    let misses = miss_lat.len();
+    let miss_p50 = percentile(&mut miss_lat, 0.50);
+    let hit_p50 = percentile(&mut hit_lat, 0.50);
+    let hit_p99 = percentile(&mut hit_lat, 0.99);
+    let speedup = miss_p50.as_secs_f64() / hit_p50.as_secs_f64().max(1e-9);
+    let hit_rps = hits as f64 / hit_wall.as_secs_f64().max(1e-9);
+    let json = format!(
+        "{{\"bench\":\"serve\",\"mode\":\"ring\",\"graph\":\"stacked_triangulation({n})x{}\",\
+         \"nodes\":{n},\"ring_nodes\":{ring_nodes},\"ring_spread\":{},\"failovers\":{},\
+         \"miss_queries\":{misses},\"miss_p50_us\":{},\"hit_queries\":{hits},\
+         \"hit_p50_us\":{},\"hit_p99_us\":{},\"hit_rps\":{hit_rps:.0},\
+         \"speedup\":{speedup:.2},\"cache_hits\":{},\"cache_misses\":{},\
+         \"proves\":{},\"cache_bytes\":{},\"store_records\":{},\"store_segments\":{}}}",
+        graphs.len(),
+        routing.nodes_used(),
+        routing.failovers,
+        miss_p50.as_micros(),
+        hit_p50.as_micros(),
+        hit_p99.as_micros(),
+        fleet.cache_hits,
+        fleet.cache_misses,
+        fleet.proves,
+        fleet.cache_bytes,
+        fleet.store_records,
+        fleet.store_segments,
+    );
+    Ok(format!(
+        "bench-serve against a ring of {ring_nodes} node(s), {} graphs of {n} nodes each\n\
+         routing: {}/{ring_nodes} nodes served traffic, {} failovers\n\
+         cache-miss (fresh prove): {misses} queries, p50 {:.3} ms\n\
+         cache-hit: {hits} queries, p50 {:.3} ms, p99 {:.3} ms, {:.0} req/s\n\
+         speedup (miss p50 / hit p50): {speedup:.1}x\n\
+         fleet: {} hits, {} misses, {} proves, {} store records\n\
+         {json}\n",
+        graphs.len(),
+        routing.nodes_used(),
+        routing.failovers,
+        miss_p50.as_secs_f64() * 1e3,
+        hit_p50.as_secs_f64() * 1e3,
+        hit_p99.as_secs_f64() * 1e3,
+        hit_rps,
+        fleet.cache_hits,
+        fleet.cache_misses,
+        fleet.proves,
+        fleet.store_records,
+    ))
 }
 
 fn percentile(samples: &mut [Duration], q: f64) -> Duration {
@@ -991,6 +1376,208 @@ mod tests {
         assert!(compact.contains("2 records live"), "{compact}");
         assert!(run(&["store", "nosuch", &dir_s]).is_err());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Starts `n` servers, each with a store under `base`; returns
+    /// handles and the comma-joined `--nodes` list.
+    fn ring_of(n: usize, base: &std::path::Path) -> (Vec<dpc_service::ServerHandle>, String) {
+        let handles: Vec<dpc_service::ServerHandle> = (0..n)
+            .map(|i| {
+                let cfg = ServeConfig {
+                    store: Some(SegmentConfig::new(base.join(format!("node-{i}")))),
+                    ..ServeConfig::default()
+                };
+                dpc_service::serve("127.0.0.1:0", cfg).unwrap()
+            })
+            .collect();
+        let csv = handles
+            .iter()
+            .map(|h| h.addr().to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        (handles, csv)
+    }
+
+    #[test]
+    fn query_nodes_routes_a_ring_with_failover_and_cluster_stats() {
+        let base = std::env::temp_dir().join(format!("dpc-cli-ring-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let (mut handles, csv) = ring_of(3, &base);
+
+        // the node ports are OS-assigned, so pick the traffic through
+        // the pure ring: two triangulations per node — the spread
+        // assertion below is then deterministic, not probabilistic
+        use dpc_service::cluster::{graphs_by_owner, Ring};
+        let ring = Ring::new(csv.split(',')).unwrap();
+        let g6s: Vec<String> = graphs_by_owner(&ring, 2, 24)
+            .into_iter()
+            .flatten()
+            .map(|g| graph6::encode(&g))
+            .collect();
+
+        // mixed-scheme traffic through the ring
+        for g6 in &g6s {
+            let out = run(&["query", "--nodes", &csv, "certify", g6]).unwrap();
+            assert!(out.contains("all nodes accept"), "{out}");
+        }
+        let grid = run(&["gen", "grid", "36", "1"]).unwrap();
+        let bip = run(&[
+            "query",
+            "--nodes",
+            &csv,
+            "certify",
+            "--scheme",
+            "bipartite",
+            grid.trim(),
+        ])
+        .unwrap();
+        assert!(bip.contains("scheme: bipartite"), "{bip}");
+
+        // the fleet view sees every node and the spread
+        let stats = run(&["cluster-stats", "--nodes", &csv]).unwrap();
+        assert!(stats.contains("fleet (3/3 nodes up)"), "{stats}");
+        let spread = stats
+            .lines()
+            .filter(|l| l.starts_with("node ") && !l.contains("certify 0"))
+            .count();
+        assert!(spread >= 2, "keys spread across >= 2 nodes:\n{stats}");
+
+        // kill one node: routed queries keep succeeding via failover
+        handles.remove(0).shutdown();
+        for g6 in &g6s {
+            let out = run(&["query", "--nodes", &csv, "certify", g6]).unwrap();
+            assert!(out.contains("all nodes accept"), "{out}");
+        }
+        let stats = run(&["cluster-stats", "--nodes", &csv]).unwrap();
+        assert!(stats.contains("DOWN"), "{stats}");
+        assert!(stats.contains("fleet (2/3 nodes up)"), "{stats}");
+
+        // `query --nodes stats` renders the same fleet view
+        let qstats = run(&["query", "--nodes", &csv, "stats"]).unwrap();
+        assert!(qstats.contains("fleet (2/3 nodes up)"), "{qstats}");
+
+        for h in handles {
+            h.shutdown();
+        }
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn store_merge_subcommand_unions_and_deduplicates() {
+        use dpc_service::store::CertStore;
+        let base = std::env::temp_dir().join(format!("dpc-cli-merge-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let (a_dir, b_dir) = (base.join("a"), base.join("b"));
+        let seed_store = |dir: &std::path::Path, seeds: std::ops::Range<u64>| {
+            let store = SegmentStore::open(SegmentConfig::new(dir)).unwrap();
+            for seed in seeds {
+                let g = dpc::graph::generators::stacked_triangulation(18, seed);
+                let certified =
+                    dpc::core::harness::certify_pls(&PlanarityScheme::new(), &g).unwrap();
+                let mut keyed = Vec::new();
+                dpc_runtime::put_uvarint(&mut keyed, 0);
+                dpc_service::wire::encode_graph(&mut keyed, &g);
+                let entry = dpc_service::cache::CacheEntry::new(
+                    dpc_service::cache::ProveResult::Certified {
+                        assignment: certified.assignment,
+                        outcome: certified.outcome,
+                    },
+                    keyed,
+                );
+                store.put(&entry.record()).unwrap();
+            }
+            store.flush().unwrap();
+        };
+        seed_store(&a_dir, 0..3); // seeds 0,1,2
+        seed_store(&b_dir, 2..5); // seeds 2,3,4 — one overlap
+        let (a_s, b_s) = (a_dir.display().to_string(), b_dir.display().to_string());
+        let out = run(&["store", "merge", &a_s, &b_s]).unwrap();
+        assert!(
+            out.contains("3 records scanned, 2 new, 1 duplicates skipped"),
+            "{out}"
+        );
+        assert!(out.contains("now 5 records"), "{out}");
+        // merged store verifies clean; re-merging is a pure no-op
+        assert!(run(&["store", "verify", &a_s])
+            .unwrap()
+            .contains("verifies clean"));
+        let again = run(&["store", "merge", &a_s, &b_s]).unwrap();
+        assert!(again.contains("0 new, 3 duplicates skipped"), "{again}");
+        assert!(again.contains("now 5 records"), "{again}");
+        // guard rails: self-merge, missing sources, and a mistyped
+        // destination (which must not become a fresh store) all refuse
+        assert!(run(&["store", "merge", &a_s, &a_s]).is_err());
+        let ghost = base.join("nosuch").display().to_string();
+        assert!(run(&["store", "merge", &a_s, &ghost]).is_err());
+        assert!(run(&["store", "merge", &ghost, &b_s]).is_err());
+        assert!(!base.join("nosuch").exists(), "no store was created");
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn wait_ms_retries_the_connect_until_the_deadline() {
+        let start = Instant::now();
+        let err = run(&["query", "127.0.0.1:1", "stats", "--wait-ms", "150"]).unwrap_err();
+        assert!(err.contains("cannot connect"), "{err}");
+        assert!(
+            start.elapsed() >= Duration::from_millis(150),
+            "the deadline was honored: {:?}",
+            start.elapsed()
+        );
+        assert!(run(&["query", "127.0.0.1:1", "stats", "--wait-ms", "abc"]).is_err());
+    }
+
+    #[test]
+    fn bench_serve_ring_drives_every_node() {
+        let base = std::env::temp_dir().join(format!("dpc-cli-benchring-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let (handles, csv) = ring_of(2, &base);
+        let out = run(&["bench-serve", "--nodes", &csv, "6", "8"]).unwrap();
+        let json = out
+            .lines()
+            .find(|l| l.starts_with('{'))
+            .expect("JSON summary line");
+        for key in [
+            "\"bench\":\"serve\"",
+            "\"mode\":\"ring\"",
+            "\"ring_nodes\":2",
+            "\"ring_spread\":2",
+            "\"failovers\":0",
+            "\"hit_p50_us\":",
+            "\"speedup\":",
+            "\"store_records\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        for h in handles {
+            h.shutdown();
+        }
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn cluster_flags_validate() {
+        // duplicate nodes are a configuration error, caught before
+        // any connection
+        assert!(run(&["query", "--nodes", "a:1,a:1", "stats"]).is_err());
+        assert!(run(&["cluster-stats"]).is_err(), "--nodes is required");
+        // a repeated flag is a loud error, never a positional
+        let err = run(&[
+            "query",
+            "--wait-ms",
+            "100",
+            "--wait-ms",
+            "200",
+            "127.0.0.1:1",
+            "stats",
+        ])
+        .unwrap_err();
+        assert!(err.contains("more than once"), "{err}");
+        assert!(run(&["query", "--nodes"]).is_err(), "--nodes needs a value");
+        assert!(
+            run(&["store", "merge", "/tmp/only-dst"]).is_err(),
+            "needs sources"
+        );
     }
 
     #[test]
