@@ -36,10 +36,12 @@ impl Client {
     }
 
     /// Connects, retrying refused/failed dials for up to `wait`
-    /// (polling every 25 ms). Made for racing a server that is still
-    /// booting — `dpc query --wait-ms` and CI smoke steps use this
-    /// instead of shell sleep loops. The last dial error is returned
-    /// when the deadline passes.
+    /// (polling every 25 ms, with the final sleep clipped to the
+    /// remaining budget so the deadline is honored exactly rather
+    /// than overshot by up to a full poll interval). Made for racing
+    /// a server that is still booting — `dpc query --wait-ms` and CI
+    /// smoke steps use this instead of shell sleep loops. The last
+    /// dial error is returned when the deadline passes.
     pub fn connect_with_retry<A: ToSocketAddrs + Copy>(
         addr: A,
         wait: Duration,
@@ -48,8 +50,10 @@ impl Client {
         loop {
             match Client::connect(addr) {
                 Ok(client) => return Ok(client),
-                Err(e) if Instant::now() >= deadline => return Err(e),
-                Err(_) => std::thread::sleep(Duration::from_millis(25)),
+                Err(e) => match retry_sleep(Instant::now(), deadline) {
+                    Some(pause) => std::thread::sleep(pause),
+                    None => return Err(e),
+                },
             }
         }
     }
@@ -173,5 +177,64 @@ impl Client {
                 "unexpected response to Stats: {other:?}"
             ))),
         }
+    }
+}
+
+/// Poll interval of [`Client::connect_with_retry`].
+const RETRY_POLL: Duration = Duration::from_millis(25);
+
+/// How long the retry loop may sleep after a failed dial at `now`:
+/// the 25 ms poll interval, clipped to the time left before
+/// `deadline`. `None` means the deadline has passed and the loop must
+/// return the dial error instead of sleeping — the caller never
+/// oversleeps its `--wait-ms` budget by a partial poll.
+fn retry_sleep(now: Instant, deadline: Instant) -> Option<Duration> {
+    if now >= deadline {
+        return None;
+    }
+    Some((deadline - now).min(RETRY_POLL))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_sleep_clips_to_the_remaining_budget() {
+        let now = Instant::now();
+        let deadline = now + Duration::from_millis(7);
+        assert_eq!(retry_sleep(now, deadline), Some(Duration::from_millis(7)));
+        let deadline = now + Duration::from_secs(10);
+        assert_eq!(retry_sleep(now, deadline), Some(RETRY_POLL));
+    }
+
+    #[test]
+    fn retry_sleep_refuses_past_deadlines() {
+        let now = Instant::now();
+        assert_eq!(retry_sleep(now, now), None);
+        assert_eq!(retry_sleep(now + Duration::from_millis(1), now), None);
+    }
+
+    #[test]
+    fn connect_with_retry_honors_sub_poll_deadlines() {
+        // a port with (almost certainly) no listener: bind-and-drop
+        // reserves one the OS will refuse connections to
+        let addr = {
+            let sock = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            sock.local_addr().unwrap()
+        };
+        let wait = Duration::from_millis(40);
+        let started = Instant::now();
+        let err = Client::connect_with_retry(addr, wait);
+        let took = started.elapsed();
+        assert!(err.is_err(), "no listener, the dial must fail");
+        // the pre-fix loop slept a flat 25 ms past the deadline and
+        // could overshoot to ~65 ms; the clipped loop stays within
+        // one dial + scheduling slop of the budget
+        assert!(
+            took < wait + Duration::from_millis(15),
+            "overshot --wait-ms: {took:?} for a {wait:?} budget"
+        );
+        assert!(took >= wait, "returned before the deadline: {took:?}");
     }
 }

@@ -68,7 +68,9 @@ pub mod cache;
 pub mod client;
 pub mod cluster;
 pub mod gen;
+pub mod loadgen;
 pub mod metrics;
+pub(crate) mod reactor;
 pub mod registry;
 pub mod server;
 pub mod store;

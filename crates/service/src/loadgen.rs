@@ -1,0 +1,280 @@
+//! Connection-storm load generator (`dpc bench-serve
+//! --connections`).
+//!
+//! Holds N concurrent connections open against one server and drives
+//! a fixed number of pipelined requests down each, using the same
+//! epoll readiness loop as the server's reactor — one thread
+//! multiplexing every socket, so a single bench process can model
+//! 10k+ clients without 10k threads. Each connection:
+//!
+//! 1. dials (blocking, with a brief retry for listen-backlog
+//!    overflow), then goes nonblocking;
+//! 2. writes `requests_per_conn` copies of the request frame,
+//!    pipelined — all bytes queued before any response is read;
+//! 3. reads frames until every response arrived, decoding each and
+//!    counting `Response::Error` separately from transport failures.
+//!
+//! The report's wall-clock spans first write to last response
+//! (connect time excluded), and [`StormReport::failed`] is the
+//! number of expected responses that never arrived well-formed — the
+//! quantity the CI smoke gate asserts to be zero.
+
+use crate::wire::{self, Response};
+use epoll::{Epoll, Events, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Sizing of one storm run.
+#[derive(Debug, Clone)]
+pub struct StormConfig {
+    /// Concurrent connections to hold open.
+    pub connections: usize,
+    /// Pipelined requests sent down each connection.
+    pub requests_per_conn: usize,
+    /// The request frame *body* every request sends.
+    pub body: Vec<u8>,
+    /// Safety valve: give up (counting what is missing as failed)
+    /// after this long.
+    pub deadline: Duration,
+}
+
+impl Default for StormConfig {
+    fn default() -> Self {
+        StormConfig {
+            connections: 64,
+            requests_per_conn: 4,
+            body: Vec::new(),
+            deadline: Duration::from_secs(120),
+        }
+    }
+}
+
+/// What one storm run measured.
+#[derive(Debug, Clone)]
+pub struct StormReport {
+    /// Connections the run was asked to open.
+    pub connections: usize,
+    /// Requests the run was asked to send (`connections ×
+    /// requests_per_conn`).
+    pub requests: u64,
+    /// Well-formed, non-`Error` responses received.
+    pub ok: u64,
+    /// `Response::Error` bodies received (the server answered; the
+    /// answer was a refusal).
+    pub errors: u64,
+    /// Dials that never produced a connection.
+    pub connect_failures: u64,
+    /// Connections that died (EOF or I/O error) before delivering
+    /// every response.
+    pub io_failures: u64,
+    /// First write to last response.
+    pub elapsed: Duration,
+}
+
+impl StormReport {
+    /// Expected responses that did not arrive as well-formed
+    /// responses (transport losses; server refusals count separately
+    /// in [`StormReport::errors`]).
+    pub fn failed(&self) -> u64 {
+        self.requests.saturating_sub(self.ok + self.errors)
+    }
+
+    /// Well-formed responses per second of storm wall-clock.
+    pub fn rps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.ok as f64 / secs
+        }
+    }
+}
+
+struct StormConn {
+    stream: TcpStream,
+    /// Remaining bytes to write (suffix of the pipelined burst).
+    wbuf: Vec<u8>,
+    woff: usize,
+    rbuf: Vec<u8>,
+    roff: usize,
+    got: u64,
+}
+
+/// Runs one storm. Fails only on setup errors (no epoll, no target);
+/// per-connection failures are *reported*, not raised, so a partial
+/// outage shows up as numbers instead of aborting the measurement.
+pub fn storm(addr: SocketAddr, cfg: &StormConfig) -> io::Result<StormReport> {
+    let epoll = Epoll::new()?;
+    let per_conn = cfg.requests_per_conn.max(1);
+    let mut frame = Vec::with_capacity(4 + cfg.body.len());
+    frame.extend_from_slice(&(cfg.body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&cfg.body);
+    let burst: Vec<u8> = frame.repeat(per_conn);
+
+    let mut report = StormReport {
+        connections: cfg.connections,
+        requests: (cfg.connections * per_conn) as u64,
+        ok: 0,
+        errors: 0,
+        connect_failures: 0,
+        io_failures: 0,
+        elapsed: Duration::ZERO,
+    };
+
+    // dial everyone first so the measured window is all request
+    // traffic; a refused dial (listen backlog overflow under the
+    // initial thundering herd) gets two quick retries
+    let mut conns: HashMap<u64, StormConn> = HashMap::new();
+    for token in 0..cfg.connections as u64 {
+        let mut dialed = None;
+        for attempt in 0..3 {
+            match TcpStream::connect(addr) {
+                Ok(s) => {
+                    dialed = Some(s);
+                    break;
+                }
+                Err(_) if attempt < 2 => std::thread::sleep(Duration::from_millis(20)),
+                Err(_) => {}
+            }
+        }
+        let Some(stream) = dialed else {
+            report.connect_failures += 1;
+            continue;
+        };
+        let _ = stream.set_nodelay(true);
+        if stream.set_nonblocking(true).is_err()
+            || epoll
+                .add(&stream, token, EPOLLIN | EPOLLOUT | EPOLLRDHUP)
+                .is_err()
+        {
+            report.connect_failures += 1;
+            continue;
+        }
+        conns.insert(
+            token,
+            StormConn {
+                stream,
+                wbuf: burst.clone(),
+                woff: 0,
+                rbuf: Vec::new(),
+                roff: 0,
+                got: 0,
+            },
+        );
+    }
+
+    let started = Instant::now();
+    let deadline = started + cfg.deadline;
+    let mut events = Events::with_capacity(1024);
+    let mut done: Vec<u64> = Vec::new();
+    while !conns.is_empty() {
+        let now = Instant::now();
+        if now >= deadline {
+            // whatever is still open never delivered: failed
+            report.io_failures += conns.len() as u64;
+            break;
+        }
+        let timeout = (deadline - now).min(Duration::from_millis(200));
+        epoll.wait(&mut events, Some(timeout))?;
+        done.clear();
+        for ev in events.iter() {
+            let Some(conn) = conns.get_mut(&ev.token) else {
+                continue;
+            };
+            match pump(conn, per_conn as u64, &mut report) {
+                Pump::Keep => {
+                    // writes drained: stop asking for writability
+                    if conn.woff == conn.wbuf.len() {
+                        let _ = epoll.modify(&conn.stream, ev.token, EPOLLIN | EPOLLRDHUP);
+                    }
+                }
+                Pump::Done => done.push(ev.token),
+            }
+        }
+        for token in done.drain(..) {
+            conns.remove(&token);
+        }
+    }
+    report.elapsed = started.elapsed();
+    Ok(report)
+}
+
+enum Pump {
+    Keep,
+    Done,
+}
+
+/// Advances one connection: flush pending writes, read and decode
+/// every complete response frame. Returns [`Pump::Done`] when the
+/// connection finished (all responses in) or died (counted).
+fn pump(conn: &mut StormConn, expect: u64, report: &mut StormReport) -> Pump {
+    // write side
+    while conn.woff < conn.wbuf.len() {
+        match conn.stream.write(&conn.wbuf[conn.woff..]) {
+            Ok(0) => {
+                report.io_failures += 1;
+                return Pump::Done;
+            }
+            Ok(n) => conn.woff += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                report.io_failures += 1;
+                return Pump::Done;
+            }
+        }
+    }
+    // read side
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                report.io_failures += 1;
+                return Pump::Done;
+            }
+            Ok(n) => conn.rbuf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                report.io_failures += 1;
+                return Pump::Done;
+            }
+        }
+    }
+    // frame + decode
+    loop {
+        let avail = conn.rbuf.len() - conn.roff;
+        if avail < 4 {
+            break;
+        }
+        let header: [u8; 4] = conn.rbuf[conn.roff..conn.roff + 4]
+            .try_into()
+            .expect("4 bytes");
+        let len = u32::from_le_bytes(header) as usize;
+        if len > wire::MAX_FRAME_BYTES {
+            report.io_failures += 1;
+            return Pump::Done;
+        }
+        if avail < 4 + len {
+            break;
+        }
+        let body = &conn.rbuf[conn.roff + 4..conn.roff + 4 + len];
+        match Response::decode(body) {
+            Ok(Response::Error(_)) => report.errors += 1,
+            Ok(_) => report.ok += 1,
+            Err(_) => report.errors += 1,
+        }
+        conn.roff += 4 + len;
+        conn.got += 1;
+        if conn.got == expect {
+            return Pump::Done;
+        }
+    }
+    if conn.roff > 0 {
+        conn.rbuf.drain(..conn.roff);
+        conn.roff = 0;
+    }
+    Pump::Keep
+}

@@ -154,6 +154,18 @@ pub struct Metrics {
     pub latency: LatencyHistogram,
     /// Per-scheme counters, one slot per registry entry.
     pub per_scheme: Vec<SchemeMetrics>,
+    /// Currently open connections (gauge: incremented on accept,
+    /// decremented on close).
+    pub conns_open: AtomicU64,
+    /// Connections accepted since boot.
+    pub conns_accepted: AtomicU64,
+    /// Accept attempts that returned `EAGAIN` — one per reactor
+    /// accept burst, so the ratio to `conns_accepted` reads as
+    /// connections-per-wakeup (always 0 in threaded mode, whose
+    /// accept call blocks).
+    pub accept_eagain: AtomicU64,
+    /// Connections closed by the idle-connection timeout.
+    pub idle_timeouts: AtomicU64,
 }
 
 impl Metrics {
@@ -312,6 +324,15 @@ pub struct StatsSnapshot {
     /// this many certificates are *not* in the store despite the
     /// demotion counter — they re-prove after a restart.
     pub store_write_errors: u64,
+    /// Currently open connections (v4 gauge).
+    pub conns_open: u64,
+    /// Connections accepted since boot (v4).
+    pub conns_accepted: u64,
+    /// Accept attempts that returned `EAGAIN` (v4; reactor only —
+    /// the threaded accept loop blocks instead).
+    pub accept_eagain: u64,
+    /// Connections closed by the idle timeout (v4).
+    pub idle_timeouts: u64,
 }
 
 impl StatsSnapshot {
@@ -364,6 +385,16 @@ impl StatsSnapshot {
         ] {
             put_uvarint(out, v);
         }
+        // version-4 tail: connection counters, strictly after the v3
+        // tail for the same reason
+        for v in [
+            self.conns_open,
+            self.conns_accepted,
+            self.accept_eagain,
+            self.idle_timeouts,
+        ] {
+            put_uvarint(out, v);
+        }
     }
 
     /// Decodes a snapshot from the front of `buf`, advancing it.
@@ -411,6 +442,18 @@ impl StatsSnapshot {
                 *field = get_uvarint(buf)?;
             }
         }
+        // the v4 connection tail is absent in v2/v3 bodies; absence
+        // decodes as zeros (a server predating connection accounting)
+        if !buf.is_empty() {
+            for field in [
+                &mut s.conns_open,
+                &mut s.conns_accepted,
+                &mut s.accept_eagain,
+                &mut s.idle_timeouts,
+            ] {
+                *field = get_uvarint(buf)?;
+            }
+        }
         Ok(s)
     }
 
@@ -450,6 +493,10 @@ impl StatsSnapshot {
         self.store_bytes += other.store_bytes;
         self.store_segments += other.store_segments;
         self.store_write_errors += other.store_write_errors;
+        self.conns_open += other.conns_open;
+        self.conns_accepted += other.conns_accepted;
+        self.accept_eagain += other.accept_eagain;
+        self.idle_timeouts += other.idle_timeouts;
     }
 }
 
@@ -496,6 +543,13 @@ impl fmt::Display for StatsSnapshot {
                 } else {
                     String::new()
                 },
+            )?;
+        }
+        if self.conns_accepted > 0 || self.conns_open > 0 {
+            writeln!(
+                f,
+                "connections: {} open, {} accepted, {} accept retries, {} idle-timeouts",
+                self.conns_open, self.conns_accepted, self.accept_eagain, self.idle_timeouts,
             )?;
         }
         writeln!(
@@ -594,6 +648,10 @@ mod tests {
             store_bytes: 1 << 16,
             store_segments: 2,
             store_write_errors: 1,
+            conns_open: 3,
+            conns_accepted: 12,
+            accept_eagain: 5,
+            idle_timeouts: 1,
             ..Default::default()
         };
         let mut buf = Vec::new();
@@ -609,27 +667,56 @@ mod tests {
         assert!(text.contains("mod-counter"), "{text}");
         assert!(text.contains("demotions 2"), "{text}");
         assert!(text.contains("1 write-behind failure"), "{text}");
+        assert!(
+            text.contains("connections: 3 open, 12 accepted, 5 accept retries, 1 idle-timeouts"),
+            "{text}"
+        );
     }
 
     #[test]
     fn v2_stats_body_decodes_with_zero_store_fields() {
-        // a version-2 body is a version-3 body minus the 8 trailing
-        // store fields; a v3 decoder reads it as "no store attached"
+        // a version-2 body is a version-4 body minus the 8 trailing
+        // store fields and the 4 trailing connection fields; a v4
+        // decoder reads it as "no store attached, no connections seen"
         let v2_like = StatsSnapshot {
             certify: 5,
             cache_hits: 3,
             ..StatsSnapshot::default()
         };
-        let mut v3 = Vec::new();
-        v2_like.encode_into(&mut v3);
-        let v2 = &v3[..v3.len() - 8]; // the 8 store fields are all 0x00
+        let mut v4 = Vec::new();
+        v2_like.encode_into(&mut v4);
+        let v2 = &v4[..v4.len() - 12]; // the 12 tail fields are all 0x00
         let mut cursor = v2;
         let back = StatsSnapshot::decode_from(&mut cursor).unwrap();
         assert!(cursor.is_empty());
         assert_eq!(back, v2_like);
         assert_eq!(back.store_segments, 0);
-        // and the store line stays out of the rendered text
+        assert_eq!(back.conns_accepted, 0);
+        // and the store/connection lines stay out of the rendered text
         assert!(!format!("{back}").contains("store:"));
+        assert!(!format!("{back}").contains("connections:"));
+    }
+
+    #[test]
+    fn v3_stats_body_decodes_with_zero_connection_fields() {
+        // a version-3 body is a version-4 body minus the 4 trailing
+        // connection fields; the store tail must still land in the
+        // store fields, not bleed into the connection fields
+        let v3_like = StatsSnapshot {
+            certify: 5,
+            store_hits: 7,
+            store_segments: 2,
+            ..StatsSnapshot::default()
+        };
+        let mut v4 = Vec::new();
+        v3_like.encode_into(&mut v4);
+        let v3 = &v4[..v4.len() - 4]; // the 4 connection fields are 0x00
+        let mut cursor = v3;
+        let back = StatsSnapshot::decode_from(&mut cursor).unwrap();
+        assert!(cursor.is_empty());
+        assert_eq!(back, v3_like);
+        assert_eq!(back.store_hits, 7);
+        assert_eq!(back.conns_open, 0);
     }
 
     #[test]
@@ -697,7 +784,7 @@ mod tests {
         let snapshot = StatsSnapshot::default();
         let mut buf = Vec::new();
         snapshot.encode_into(&mut buf);
-        buf.truncate(buf.len() - 8); // drop the v3 store tail
+        buf.truncate(buf.len() - 12); // drop the v3 store + v4 conn tails
         *buf.last_mut().unwrap() = 0xff;
         buf.extend_from_slice(&[0xff, 0xff, 0x7f]);
         let mut cursor = buf.as_slice();

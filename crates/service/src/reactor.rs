@@ -1,0 +1,689 @@
+//! The readiness-driven event-loop front end (`dpc serve
+//! --event-loop`, the default where epoll exists).
+//!
+//! ```text
+//!                      ┌───────────────── reactor loop ─────────────────┐
+//!   TCP ──▶ listener ──▶ accept → register                              │
+//!                      │    epoll_wait ──▶ per-connection state machine │
+//!                      │      read ▶ decode ▶ try_push ──────────┐      │
+//!                      │      ▲                                  ▼      │
+//!                      │      │ eventfd wake            bounded queue   │
+//!                      │  completion inbox ◀── reply ──── worker pool   │
+//!                      │      │                          (threads,      │
+//!                      │      ▼                           BatchRunner)  │
+//!                      │  reorder by seq ▶ batched writev flush ──▶ TCP │
+//!                      └────────────────────────────────────────────────┘
+//! ```
+//!
+//! One loop (or a small `--event-loops N` set, loop 0 owning the
+//! listener and dealing new connections round-robin) multiplexes
+//! every connection over a single [`epoll::Epoll`] set. Proving work
+//! never runs on the loop: decoded requests go to the same bounded
+//! [`JobQueue`](crate::server) the threaded front end uses, and
+//! workers hand finished `(conn, seq, body)` triples to the loop's
+//! [`Inbox`], whose eventfd waker is registered in the same epoll
+//! set — the wakeup path from the worker pool is just another
+//! readable fd.
+//!
+//! Per-connection state machine (all stages explicit, no thread
+//! parks):
+//!
+//! * **read** — drain the socket into `rbuf` until `EAGAIN` (bounded
+//!   per wakeup so one firehose cannot starve its neighbors);
+//! * **decode** — peel every complete length-prefixed frame: this is
+//!   where pipelining falls out, a single read can yield many
+//!   requests, each tagged with the connection's next sequence
+//!   number;
+//! * **respond** — completions land in a `seq → body` reorder map
+//!   and move to the write queue strictly in sequence order, exactly
+//!   the contract the threaded writer enforces;
+//! * **write** — everything ready is coalesced into one vectored
+//!   (`writev`-style) flush per wakeup; a short write arms
+//!   `EPOLLOUT` and the flush resumes when the socket drains.
+//!
+//! Back-pressure: when the job queue is full the decoded job parks in
+//! the connection's `stalled` slot and the loop drops read interest
+//! for that connection — bytes pile up in the kernel socket buffer
+//! and TCP flow control pushes back on the client, mirroring the
+//! blocking `push` of the threaded front end. Idle connections
+//! (no bytes, no responses owed) are reaped after
+//! [`ServeConfig::idle_timeout`](crate::ServeConfig).
+
+use crate::server::{count_request, Job, ReplyTo, Shared};
+use crate::wire::{self, Request, Response, WireError};
+use epoll::{Epoll, Events, Waker, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, IoSlice, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+const TOKEN_WAKER: u64 = 0;
+const TOKEN_LISTENER: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// Read granularity, and the per-wakeup read bound (one connection
+/// may consume at most `READ_BURST` chunks per readiness event; the
+/// level-triggered set re-reports it immediately if more is pending).
+const READ_CHUNK: usize = 16 * 1024;
+const READ_BURST: usize = 4;
+
+/// Max frames folded into one vectored flush call.
+const MAX_FLUSH_SLICES: usize = 64;
+
+/// Events drained per `epoll_wait`.
+const WAIT_BATCH: usize = 1024;
+
+/// One finished response on its way back to a connection.
+pub(crate) struct Completion {
+    pub(crate) conn: u64,
+    pub(crate) seq: u64,
+    pub(crate) body: Vec<u8>,
+}
+
+/// The worker → reactor handoff: completions (and, between loops,
+/// freshly accepted sockets) guarded by a mutex, plus the eventfd
+/// that makes the owning loop's `epoll_wait` return.
+pub(crate) struct Inbox {
+    waker: Waker,
+    completions: Mutex<Vec<Completion>>,
+    incoming: Mutex<Vec<TcpStream>>,
+}
+
+impl Inbox {
+    fn new() -> io::Result<Inbox> {
+        Ok(Inbox {
+            waker: Waker::new()?,
+            completions: Mutex::new(Vec::new()),
+            incoming: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Queues a finished response and wakes the loop (only the first
+    /// completion after a drain pays the eventfd write — the waker
+    /// stays readable until drained, so later sends just append).
+    pub(crate) fn send(&self, conn: u64, seq: u64, body: Vec<u8>) {
+        let mut q = self.completions.lock().expect("inbox poisoned");
+        let was_empty = q.is_empty();
+        q.push(Completion { conn, seq, body });
+        drop(q);
+        if was_empty {
+            let _ = self.waker.wake();
+        }
+    }
+
+    /// Makes the owning loop spin one iteration (shutdown nudge).
+    pub(crate) fn wake(&self) {
+        let _ = self.waker.wake();
+    }
+
+    /// Hands an accepted socket to the owning loop (cross-loop deal
+    /// from the listener-owning loop 0).
+    fn hand_off(&self, stream: TcpStream) {
+        self.incoming.lock().expect("inbox poisoned").push(stream);
+        let _ = self.waker.wake();
+    }
+}
+
+/// What [`spawn`] hands back: one join handle and one inbox per loop.
+pub(crate) type ReactorHandles = (Vec<JoinHandle<()>>, Vec<Arc<Inbox>>);
+
+/// Starts `cfg.event_loops` reactor threads sharing one nonblocking
+/// listener (owned by loop 0). Fails — before any thread spawns — on
+/// targets without epoll, which the caller treats as "use the
+/// threaded front end".
+pub(crate) fn spawn(shared: &Arc<Shared>, listener: TcpListener) -> io::Result<ReactorHandles> {
+    listener.set_nonblocking(true)?;
+    let n = shared.cfg.event_loops.max(1);
+    let mut epolls = Vec::with_capacity(n);
+    let mut inboxes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let epoll = Epoll::new()?;
+        let inbox = Arc::new(Inbox::new()?);
+        inbox.waker.register(&epoll, TOKEN_WAKER)?;
+        epolls.push(epoll);
+        inboxes.push(inbox);
+    }
+    epolls[0].add(&listener, TOKEN_LISTENER, EPOLLIN)?;
+    let mut listener = Some(listener);
+    let threads = epolls
+        .into_iter()
+        .enumerate()
+        .map(|(idx, epoll)| {
+            let lp = EventLoop {
+                idx,
+                epoll,
+                listener: listener.take(),
+                inboxes: inboxes.clone(),
+                shared: Arc::clone(shared),
+                conns: HashMap::new(),
+                stalled: Vec::new(),
+                next_token: FIRST_CONN_TOKEN,
+                dealt: 0,
+            };
+            std::thread::Builder::new()
+                .name(format!("dpc-reactor-{idx}"))
+                .spawn(move || lp.run())
+                .expect("spawn reactor loop")
+        })
+        .collect();
+    Ok((threads, inboxes))
+}
+
+/// Why a connection is being torn down (metrics accounting differs).
+enum Close {
+    /// Clean or errored teardown.
+    Gone,
+    /// Reaped by the idle timeout.
+    Idle,
+}
+
+struct Conn {
+    stream: TcpStream,
+    /// Unparsed inbound bytes (`roff..` is live).
+    rbuf: Vec<u8>,
+    roff: usize,
+    /// Sequence number the next decoded request gets.
+    next_seq: u64,
+    /// Sequence number the next written response must carry.
+    next_write: u64,
+    /// Finished responses that arrived out of order.
+    pending: HashMap<u64, Vec<u8>>,
+    /// Encoded frames ready to write (front may be partially sent).
+    wqueue: VecDeque<Vec<u8>>,
+    woff: usize,
+    /// Decoded job waiting for queue space (connection stops reading
+    /// while set — kernel-buffer back-pressure).
+    stalled: Option<Job>,
+    /// Requests decoded whose responses are not yet in `wqueue`.
+    awaiting: u64,
+    /// Read side saw EOF: no new requests, drain what is owed.
+    peer_closed: bool,
+    /// Fatal framing error: answer what we can, then drop.
+    closing: bool,
+    /// Interest bits currently registered in the epoll set.
+    interest: u32,
+    last_activity: Instant,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            roff: 0,
+            next_seq: 0,
+            next_write: 0,
+            pending: HashMap::new(),
+            wqueue: VecDeque::new(),
+            woff: 0,
+            stalled: None,
+            awaiting: 0,
+            peer_closed: false,
+            closing: false,
+            interest: EPOLLIN | EPOLLRDHUP,
+            last_activity: Instant::now(),
+        }
+    }
+
+    /// Files one finished response and promotes every response that
+    /// is now in sequence order into the write queue — the same
+    /// reorder-by-seq contract as the threaded connection writer.
+    fn deliver(&mut self, seq: u64, body: Vec<u8>) {
+        self.last_activity = Instant::now();
+        self.pending.insert(seq, body);
+        while let Some(body) = self.pending.remove(&self.next_write) {
+            debug_assert!(body.len() <= wire::MAX_FRAME_BYTES);
+            let mut frame = Vec::with_capacity(4 + body.len());
+            frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+            frame.extend_from_slice(&body);
+            self.wqueue.push_back(frame);
+            self.next_write += 1;
+            self.awaiting -= 1;
+        }
+    }
+
+    /// One vectored flush: every queued frame (up to
+    /// [`MAX_FLUSH_SLICES`] per call) rides a single `writev`-style
+    /// write. Returns without error on `EAGAIN`; the caller arms
+    /// `EPOLLOUT` if frames remain.
+    fn flush(&mut self) -> io::Result<()> {
+        while !self.wqueue.is_empty() {
+            let mut slices: Vec<IoSlice<'_>> =
+                Vec::with_capacity(self.wqueue.len().min(MAX_FLUSH_SLICES));
+            let mut frames = self.wqueue.iter();
+            let front = frames.next().expect("non-empty queue");
+            slices.push(IoSlice::new(&front[self.woff..]));
+            slices.extend(frames.take(MAX_FLUSH_SLICES - 1).map(|f| IoSlice::new(f)));
+            match self.stream.write_vectored(&slices) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(mut n) => {
+                    self.last_activity = Instant::now();
+                    while n > 0 {
+                        let left =
+                            self.wqueue.front().expect("bytes imply a frame").len() - self.woff;
+                        if n >= left {
+                            self.wqueue.pop_front();
+                            self.woff = 0;
+                            n -= left;
+                        } else {
+                            self.woff += n;
+                            n = 0;
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Everything owed has been written and no more can arrive.
+    fn drained(&self) -> bool {
+        (self.peer_closed || self.closing)
+            && self.awaiting == 0
+            && self.wqueue.is_empty()
+            && self.stalled.is_none()
+    }
+
+    /// The interest bits this connection's state wants.
+    fn desired_interest(&self) -> u32 {
+        let mut want = EPOLLRDHUP;
+        if !self.peer_closed && !self.closing && self.stalled.is_none() {
+            want |= EPOLLIN;
+        }
+        if !self.wqueue.is_empty() {
+            want |= EPOLLOUT;
+        }
+        want
+    }
+}
+
+struct EventLoop {
+    idx: usize,
+    epoll: Epoll,
+    /// Loop 0 owns the listener; the others accept nothing.
+    listener: Option<TcpListener>,
+    /// Every loop's inbox; `inboxes[idx]` is ours.
+    inboxes: Vec<Arc<Inbox>>,
+    shared: Arc<Shared>,
+    conns: HashMap<u64, Conn>,
+    /// Tokens of connections holding a stalled (queue-full) job.
+    stalled: Vec<u64>,
+    next_token: u64,
+    /// Round-robin position for dealing accepted sockets to loops.
+    dealt: u64,
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        let idle = self.shared.cfg.idle_timeout;
+        // the wait timeout bounds three latencies: shutdown response,
+        // stalled-job retry when *other* loops freed queue space, and
+        // idle-scan resolution
+        let tick = if idle.is_zero() {
+            Duration::from_millis(500)
+        } else {
+            (idle / 4).clamp(Duration::from_millis(10), Duration::from_millis(500))
+        };
+        let mut events = Events::with_capacity(WAIT_BATCH);
+        let mut last_scan = Instant::now();
+        // connections touched this wakeup, flushed together at the end
+        let mut dirty: Vec<u64> = Vec::new();
+        loop {
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                self.drain_for_shutdown();
+                return;
+            }
+            if self.epoll.wait(&mut events, Some(tick)).is_err() {
+                // a broken epoll fd cannot make progress; re-check
+                // shutdown at tick cadence instead of spinning
+                std::thread::sleep(tick);
+                continue;
+            }
+            dirty.clear();
+            let mut accept_ready = false;
+            let mut wake_ready = false;
+            for ev in events.iter() {
+                match ev.token {
+                    TOKEN_WAKER => wake_ready = true,
+                    TOKEN_LISTENER => accept_ready = true,
+                    token => {
+                        if ev.readable() && !self.on_readable(token) {
+                            self.close(token, Close::Gone);
+                            continue;
+                        }
+                        if self.conns.contains_key(&token) {
+                            dirty.push(token);
+                        }
+                    }
+                }
+            }
+            if wake_ready {
+                self.inboxes[self.idx].waker.drain();
+            }
+            if accept_ready {
+                self.on_accept();
+            }
+            // drain the inbox every pass (not only on a waker event:
+            // a completion racing the drain just means one spurious
+            // extra wakeup later, never a lost response)
+            self.adopt_incoming();
+            self.route_completions(&mut dirty);
+            self.retry_stalled(&mut dirty);
+            dirty.sort_unstable();
+            dirty.dedup();
+            for token in dirty.drain(..) {
+                self.finalize(token);
+            }
+            if last_scan.elapsed() >= tick {
+                last_scan = Instant::now();
+                self.scan_idle(idle);
+            }
+        }
+    }
+
+    /// Accepts until `EAGAIN`, dealing sockets round-robin across
+    /// loops.
+    fn on_accept(&mut self) {
+        loop {
+            let accepted = match self.listener.as_ref() {
+                Some(listener) => listener.accept(),
+                None => return,
+            };
+            match accepted {
+                Ok((stream, _)) => {
+                    let m = &self.shared.metrics;
+                    m.conns_accepted.fetch_add(1, Ordering::Relaxed);
+                    m.conns_open.fetch_add(1, Ordering::Relaxed);
+                    let target = (self.dealt % self.inboxes.len() as u64) as usize;
+                    self.dealt += 1;
+                    if target == self.idx {
+                        self.register_conn(stream);
+                    } else {
+                        self.inboxes[target].hand_off(stream);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.shared
+                        .metrics
+                        .accept_eagain
+                        .fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // transient accept failure (e.g. fd exhaustion):
+                    // yield this burst, the level-triggered listener
+                    // re-reports pending connections next wait
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Adopts sockets dealt to this loop by the accepting loop.
+    fn adopt_incoming(&mut self) {
+        let incoming = std::mem::take(
+            &mut *self.inboxes[self.idx]
+                .incoming
+                .lock()
+                .expect("inbox poisoned"),
+        );
+        for stream in incoming {
+            self.register_conn(stream);
+        }
+    }
+
+    fn register_conn(&mut self, stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
+        let token = self.next_token;
+        self.next_token += 1;
+        if stream.set_nonblocking(true).is_err()
+            || self
+                .epoll
+                .add(&stream, token, EPOLLIN | EPOLLRDHUP)
+                .is_err()
+        {
+            self.shared
+                .metrics
+                .conns_open
+                .fetch_sub(1, Ordering::Relaxed);
+            return;
+        }
+        self.conns.insert(token, Conn::new(stream));
+    }
+
+    /// Routes finished responses to their connections' reorder maps.
+    fn route_completions(&mut self, dirty: &mut Vec<u64>) {
+        let completions = std::mem::take(
+            &mut *self.inboxes[self.idx]
+                .completions
+                .lock()
+                .expect("inbox poisoned"),
+        );
+        for c in completions {
+            // a connection that died with requests in flight simply
+            // drops its late completions here
+            if let Some(conn) = self.conns.get_mut(&c.conn) {
+                conn.deliver(c.seq, c.body);
+                dirty.push(c.conn);
+            }
+        }
+    }
+
+    /// Reads until `EAGAIN` (bounded), then decodes and dispatches
+    /// every complete frame. `false` means the connection broke.
+    fn on_readable(&mut self, token: u64) -> bool {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return true;
+        };
+        if conn.peer_closed || conn.closing || conn.stalled.is_some() {
+            return true;
+        }
+        let mut chunk = [0u8; READ_CHUNK];
+        let mut bursts = 0;
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.peer_closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.last_activity = Instant::now();
+                    conn.rbuf.extend_from_slice(&chunk[..n]);
+                    bursts += 1;
+                    if bursts >= READ_BURST {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        self.decode_frames(token);
+        true
+    }
+
+    /// Peels complete frames off the read buffer: each one becomes a
+    /// sequence-numbered job for the worker queue (or an immediate
+    /// error response). Stops at a partial frame, a stall, or a
+    /// framing error. This loop *is* request pipelining — nothing
+    /// waits for a response before the next frame is decoded.
+    fn decode_frames(&mut self, token: u64) {
+        let shared = Arc::clone(&self.shared);
+        let inbox = Arc::clone(&self.inboxes[self.idx]);
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        while conn.stalled.is_none() && !conn.closing {
+            let avail = conn.rbuf.len() - conn.roff;
+            if avail < 4 {
+                break;
+            }
+            let header: [u8; 4] = conn.rbuf[conn.roff..conn.roff + 4]
+                .try_into()
+                .expect("4 bytes");
+            let len = u32::from_le_bytes(header) as usize;
+            if len > wire::MAX_FRAME_BYTES {
+                // same contract as the threaded reader: answer once,
+                // then drop — the stream cannot be resynchronized
+                let msg = WireError::Protocol(format!("frame of {len} bytes exceeds the limit"))
+                    .to_string();
+                shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                let seq = conn.next_seq;
+                conn.next_seq += 1;
+                conn.awaiting += 1;
+                conn.deliver(seq, Response::Error(msg).encode());
+                conn.closing = true;
+                break;
+            }
+            if avail < 4 + len {
+                break;
+            }
+            let body = &conn.rbuf[conn.roff + 4..conn.roff + 4 + len];
+            let seq = conn.next_seq;
+            match Request::decode(body) {
+                Ok(req) => {
+                    count_request(&shared.metrics, &req);
+                    let job = Job {
+                        req,
+                        seq,
+                        reply: ReplyTo::Reactor {
+                            conn: token,
+                            inbox: Arc::clone(&inbox),
+                        },
+                        received: Instant::now(),
+                    };
+                    conn.next_seq += 1;
+                    conn.awaiting += 1;
+                    conn.roff += 4 + len;
+                    if let Err(job) = shared.queue.try_push(job) {
+                        // queue full: park the job, stop reading; the
+                        // retry runs on completion wakeups and ticks
+                        conn.stalled = Some(job);
+                        self.stalled.push(token);
+                    }
+                }
+                Err(e) => {
+                    // request-level decode error: a normal answer on
+                    // a healthy connection (framing is intact)
+                    shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    conn.next_seq += 1;
+                    conn.awaiting += 1;
+                    conn.roff += 4 + len;
+                    conn.deliver(seq, Response::Error(e.to_string()).encode());
+                }
+            }
+        }
+        if conn.roff > 0 {
+            conn.rbuf.drain(..conn.roff);
+            conn.roff = 0;
+        }
+    }
+
+    /// Re-offers stalled jobs to the queue; on success the connection
+    /// resumes decoding right where it stopped.
+    fn retry_stalled(&mut self, dirty: &mut Vec<u64>) {
+        if self.stalled.is_empty() {
+            return;
+        }
+        let candidates = std::mem::take(&mut self.stalled);
+        for token in candidates {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                continue;
+            };
+            let Some(job) = conn.stalled.take() else {
+                continue;
+            };
+            match self.shared.queue.try_push(job) {
+                Ok(()) => {
+                    self.decode_frames(token);
+                    dirty.push(token);
+                }
+                Err(job) => {
+                    conn.stalled = Some(job);
+                    self.stalled.push(token);
+                }
+            }
+        }
+    }
+
+    /// End-of-wakeup settling: one batched flush, interest re-arm,
+    /// and teardown once a finished connection has drained.
+    fn finalize(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.flush().is_err() {
+            self.close(token, Close::Gone);
+            return;
+        }
+        if conn.drained() {
+            self.close(token, Close::Gone);
+            return;
+        }
+        let want = conn.desired_interest();
+        if want != conn.interest && self.epoll.modify(&conn.stream, token, want).is_ok() {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.interest = want;
+            }
+        }
+    }
+
+    /// Reaps connections idle past the timeout. A connection with a
+    /// response still owed (in-flight prove or queued write) is
+    /// working, not idle — only truly quiet sockets are reaped, so a
+    /// prove outlasting the timeout cannot kill its own client.
+    fn scan_idle(&mut self, idle: Duration) {
+        if idle.is_zero() {
+            return;
+        }
+        let now = Instant::now();
+        let reap: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| {
+                c.awaiting == 0
+                    && c.stalled.is_none()
+                    && c.wqueue.is_empty()
+                    && now.duration_since(c.last_activity) >= idle
+            })
+            .map(|(&t, _)| t)
+            .collect();
+        for token in reap {
+            self.close(token, Close::Idle);
+        }
+    }
+
+    fn close(&mut self, token: u64, why: Close) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.epoll.delete(&conn.stream);
+            let m = &self.shared.metrics;
+            m.conns_open.fetch_sub(1, Ordering::Relaxed);
+            if matches!(why, Close::Idle) {
+                m.idle_timeouts.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.stalled.retain(|&t| t != token);
+    }
+
+    /// Best-effort final delivery at shutdown: responses already
+    /// finished by workers get one last routed flush before the fds
+    /// drop (mirrors the threaded writer draining its channel).
+    fn drain_for_shutdown(&mut self) {
+        let mut dirty = Vec::new();
+        self.route_completions(&mut dirty);
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                let _ = conn.flush();
+            }
+        }
+    }
+}

@@ -1,6 +1,17 @@
 //! The long-running certification server.
 //!
-//! Architecture (one box per thread kind):
+//! Two interchangeable connection front ends feed one worker pool
+//! (the wire protocol and response bytes are identical under both):
+//!
+//! * **event loop** (default where epoll exists; `dpc serve
+//!   --event-loop`): the readiness-driven reactor in the `reactor`
+//!   module — nonblocking sockets, per-connection state machines,
+//!   request pipelining, batched vectored writes. Scales to tens of
+//!   thousands of connections on a handful of threads.
+//! * **threaded** (`dpc serve --threaded`, and the fallback on
+//!   targets without epoll): two threads per connection, shown below.
+//!
+//! Threaded architecture (one box per thread kind):
 //!
 //! ```text
 //!                 ┌────────────┐   bounded   ┌──────────────┐
@@ -14,12 +25,15 @@
 //!                 └────────────┘
 //! ```
 //!
-//! * Every connection gets a reader thread (parses frames, tags each
-//!   request with a per-connection sequence number, pushes into the
-//!   shared bounded queue — blocking when full, which back-pressures
-//!   the TCP socket) and a writer thread (receives `(seq, frame)`
-//!   pairs from whichever worker finished, reorders, and writes
-//!   responses in request order).
+//! * In threaded mode every connection gets a reader thread (parses
+//!   frames, tags each request with a per-connection sequence
+//!   number, pushes into the shared bounded queue — blocking when
+//!   full, which back-pressures the TCP socket) and a writer thread
+//!   (receives `(seq, frame)` pairs from whichever worker finished,
+//!   reorders, and writes responses in request order). The reactor
+//!   implements the same stages — and the same reorder-by-seq
+//!   contract — as nonblocking state transitions instead of parked
+//!   threads.
 //! * Workers drain the queue. A popped Certify request greedily
 //!   collects the other Certify requests currently queued *for the
 //!   same scheme* (up to `batch_max`), resolves the scheme once
@@ -80,6 +94,19 @@ pub struct ServeConfig {
     /// cache warm-loads from it on boot, writes behind on insert, and
     /// fsyncs it on graceful shutdown.
     pub store: Option<SegmentConfig>,
+    /// Use the epoll event-loop front end (`--event-loop`). Defaults
+    /// to true where the platform supports it; when false — or when
+    /// epoll is unavailable — connections get the thread-per-
+    /// connection front end (`--threaded`).
+    pub event_loop: bool,
+    /// Reactor threads when `event_loop` is set (loop 0 owns the
+    /// listener and deals connections round-robin).
+    pub event_loops: usize,
+    /// Reap event-loop connections quiet for this long (no bytes in
+    /// either direction, no response owed). Zero disables reaping.
+    /// Threaded mode does not reap (its threads park in blocking
+    /// reads).
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -94,21 +121,50 @@ impl Default for ServeConfig {
             batch_max: 32,
             cache: CacheConfig::default(),
             store: None,
+            event_loop: epoll::supported(),
+            event_loops: 1,
+            idle_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Where a finished response goes: the per-connection writer thread
+/// (threaded front end) or a reactor loop's completion inbox (event
+/// loop). Workers are agnostic — both front ends share the queue.
+pub(crate) enum ReplyTo {
+    /// Channel to a threaded connection's writer.
+    Channel(mpsc::Sender<(u64, Vec<u8>)>),
+    /// Completion inbox of the reactor loop owning connection `conn`.
+    Reactor {
+        /// Loop-local connection token.
+        conn: u64,
+        /// The owning loop's inbox (wakes its epoll set on send).
+        inbox: Arc<crate::reactor::Inbox>,
+    },
+}
+
+impl ReplyTo {
+    fn send(&self, seq: u64, body: Vec<u8>) {
+        match self {
+            // a dead connection just drops the response, same as the
+            // reactor routing a completion to a closed token
+            ReplyTo::Channel(tx) => drop(tx.send((seq, body))),
+            ReplyTo::Reactor { conn, inbox } => inbox.send(*conn, seq, body),
         }
     }
 }
 
 /// A job: one decoded request plus everything needed to answer it.
-struct Job {
-    req: Request,
-    seq: u64,
-    reply: mpsc::Sender<(u64, Vec<u8>)>,
-    received: Instant,
+pub(crate) struct Job {
+    pub(crate) req: Request,
+    pub(crate) seq: u64,
+    pub(crate) reply: ReplyTo,
+    pub(crate) received: Instant,
 }
 
 /// Bounded MPMC queue (Mutex + two Condvars — std has no bounded
 /// channel with multiple consumers).
-struct JobQueue {
+pub(crate) struct JobQueue {
     jobs: Mutex<VecDeque<Job>>,
     not_empty: Condvar,
     not_full: Condvar,
@@ -144,6 +200,24 @@ impl JobQueue {
         drop(jobs);
         self.not_empty.notify_one();
         true
+    }
+
+    /// Nonblocking push for the reactor (its loop must never park on
+    /// the queue). `Err` returns the job — full queue or shutdown —
+    /// and the caller parks it in the connection's stalled slot.
+    #[allow(clippy::result_large_err)] // Err *is* the handed-back job
+    pub(crate) fn try_push(&self, job: Job) -> Result<(), Job> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(job);
+        }
+        let mut jobs = self.jobs.lock().expect("queue poisoned");
+        if jobs.len() >= self.capacity {
+            return Err(job);
+        }
+        jobs.push_back(job);
+        drop(jobs);
+        self.not_empty.notify_one();
+        Ok(())
     }
 
     /// Pops one job; if it is a Certify, greedily extracts up to
@@ -188,14 +262,14 @@ impl JobQueue {
     }
 }
 
-struct Shared {
-    cfg: ServeConfig,
-    cache: TieredCache,
-    metrics: Metrics,
-    queue: JobQueue,
-    registry: SchemeRegistry,
-    runner: BatchRunner,
-    shutdown: AtomicBool,
+pub(crate) struct Shared {
+    pub(crate) cfg: ServeConfig,
+    pub(crate) cache: TieredCache,
+    pub(crate) metrics: Metrics,
+    pub(crate) queue: JobQueue,
+    pub(crate) registry: SchemeRegistry,
+    pub(crate) runner: BatchRunner,
+    pub(crate) shutdown: AtomicBool,
 }
 
 impl Shared {
@@ -231,7 +305,14 @@ fn unknown_scheme(shared: &Shared, id: SchemeId, count: u64) -> Response {
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
+    /// Threaded mode: the accept thread. Event-loop mode: reactor
+    /// loop 0 (which owns the listener).
     accept: JoinHandle<()>,
+    /// Event-loop mode: reactor loops 1..n.
+    extra_loops: Vec<JoinHandle<()>>,
+    /// Event-loop mode: every loop's inbox (to wake them at
+    /// shutdown). Empty in threaded mode.
+    inboxes: Vec<Arc<crate::reactor::Inbox>>,
     workers: Vec<JoinHandle<()>>,
     flusher: Option<JoinHandle<()>>,
 }
@@ -260,9 +341,18 @@ impl ServerHandle {
     pub fn shutdown(self) {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.queue.close();
-        // unblock the accept loop
-        let _ = TcpStream::connect(self.addr);
+        if self.inboxes.is_empty() {
+            // unblock the threaded accept loop's blocking accept
+            let _ = TcpStream::connect(self.addr);
+        }
+        // unblock reactor loops parked in epoll_wait
+        for inbox in &self.inboxes {
+            inbox.wake();
+        }
         let _ = self.accept.join();
+        for lp in self.extra_loops {
+            let _ = lp.join();
+        }
         for w in self.workers {
             let _ = w.join();
         }
@@ -325,7 +415,18 @@ pub fn serve_with_registry<A: ToSocketAddrs>(
                 .expect("spawn worker")
         })
         .collect();
-    let accept = {
+    // the connection front end: reactor loops where requested and
+    // possible, otherwise one blocking accept thread spawning two
+    // threads per connection. Workers never know which one runs.
+    let mut inboxes = Vec::new();
+    let mut extra_loops = Vec::new();
+    let accept = if shared.cfg.event_loop && epoll::supported() {
+        let (mut loops, loop_inboxes) = crate::reactor::spawn(&shared, listener)?;
+        inboxes = loop_inboxes;
+        let first = loops.remove(0);
+        extra_loops = loops;
+        first
+    } else {
         let shared = Arc::clone(&shared);
         std::thread::Builder::new()
             .name("dpc-accept".into())
@@ -361,6 +462,8 @@ pub fn serve_with_registry<A: ToSocketAddrs>(
         addr,
         shared,
         accept,
+        extra_loops,
+        inboxes,
         workers,
         flusher,
     })
@@ -380,6 +483,16 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
 }
 
 fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    shared
+        .metrics
+        .conns_accepted
+        .fetch_add(1, Ordering::Relaxed);
+    shared.metrics.conns_open.fetch_add(1, Ordering::Relaxed);
+    handle_connection_inner(stream, shared);
+    shared.metrics.conns_open.fetch_sub(1, Ordering::Relaxed);
+}
+
+fn handle_connection_inner(stream: TcpStream, shared: &Arc<Shared>) {
     let _ = stream.set_nodelay(true);
     let Ok(write_half) = stream.try_clone() else {
         return;
@@ -409,7 +522,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                 Job {
                     req,
                     seq,
-                    reply: tx.clone(),
+                    reply: ReplyTo::Channel(tx.clone()),
                     received: Instant::now(),
                 }
             }
@@ -470,7 +583,7 @@ fn worker_loop(shared: &Arc<Shared>) {
 /// Bumps the per-kind request counter. An exhaustive match, so adding
 /// a `Request` variant without deciding its counter fails to compile
 /// instead of silently misattributing it.
-fn count_request(m: &Metrics, req: &Request) {
+pub(crate) fn count_request(m: &Metrics, req: &Request) {
     let counter = match req {
         Request::Certify { .. } => &m.certify,
         Request::Check { .. } => &m.check,
@@ -483,7 +596,7 @@ fn count_request(m: &Metrics, req: &Request) {
 
 fn finish(shared: &Shared, job: &Job, body: Vec<u8>) {
     shared.metrics.latency.record(job.received.elapsed());
-    let _ = job.reply.send((job.seq, body));
+    job.reply.send(job.seq, body);
 }
 
 /// [`finish`], also recording the scheme's certify latency.
@@ -825,5 +938,9 @@ fn snapshot(shared: &Shared) -> StatsSnapshot {
         store_bytes: store.live_bytes,
         store_segments: store.segments,
         store_write_errors: tiered.write_errors,
+        conns_open: m.conns_open.load(Ordering::Relaxed),
+        conns_accepted: m.conns_accepted.load(Ordering::Relaxed),
+        accept_eagain: m.accept_eagain.load(Ordering::Relaxed),
+        idle_timeouts: m.idle_timeouts.load(Ordering::Relaxed),
     }
 }

@@ -11,7 +11,7 @@ use dpc_service::wire::{self, Request};
 
 const SPEC: &str = include_str!("../../../docs/WIRE.md");
 
-/// Document order of the ```hex blocks: §5.1 (Stats v3) comes before
+/// Document order of the ```hex blocks: §5.2 (Stats) comes before
 /// §7 (Certify).
 const STATS_BLOCK: usize = 1;
 const CERTIFY_BLOCK: usize = 2;
@@ -67,6 +67,10 @@ fn spec_stats_snapshot() -> StatsSnapshot {
         store_bytes: 2048,
         store_segments: 1,
         store_write_errors: 0,
+        conns_open: 2,
+        conns_accepted: 9,
+        accept_eagain: 3,
+        idle_timeouts: 1,
     }
 }
 
@@ -122,7 +126,7 @@ fn spec_hex_example_decodes_as_documented() {
 }
 
 #[test]
-fn spec_stats_v3_example_is_the_real_encoding() {
+fn spec_stats_example_is_the_real_encoding() {
     let doc = spec_example_bytes(STATS_BLOCK);
     let mut encoded = Vec::new();
     spec_stats_snapshot().encode_into(&mut encoded);
@@ -138,11 +142,12 @@ fn spec_stats_v3_example_is_the_real_encoding() {
 }
 
 #[test]
-fn spec_stats_v3_example_keeps_the_v2_prefix_decodable() {
-    // prefix-level compatibility (WIRE.md §5.1): decoding the body
-    // with the v2 field order (14 counters, histogram, per-scheme
-    // table) must yield exactly the documented v2 values, with only
-    // the 9-byte / 8-field v3 tail beyond that horizon
+fn spec_stats_example_keeps_the_v2_prefix_decodable() {
+    // prefix-level compatibility (WIRE.md §5.1–5.2): decoding the
+    // body with the v2 field order (14 counters, histogram,
+    // per-scheme table) must yield exactly the documented v2 values,
+    // with only the v3 store tail and the v4 connection tail beyond
+    // that horizon
     let doc = spec_example_bytes(STATS_BLOCK);
     let mut buf = doc.as_slice();
     let mut v2 = [0u64; 14];
@@ -158,10 +163,15 @@ fn spec_stats_v3_example_keeps_the_v2_prefix_decodable() {
     assert_eq!(buckets, 0, "empty histogram");
     let rows = get_uvarint(&mut buf).expect("per-scheme rows");
     assert_eq!(rows, 0, "empty per-scheme table");
-    // what remains is exactly the documented 8-field v3 tail
+    // what remains is exactly the documented 8-field v3 store tail…
     let tail: Vec<u64> = (0..8)
         .map(|_| get_uvarint(&mut buf).expect("v3 field"))
         .collect();
     assert_eq!(tail, vec![4, 2, 1, 3, 6, 2048, 1, 0]);
+    // …then the 4-field v4 connection tail, and nothing else
+    let tail: Vec<u64> = (0..4)
+        .map(|_| get_uvarint(&mut buf).expect("v4 field"))
+        .collect();
+    assert_eq!(tail, vec![2, 9, 3, 1]);
     assert!(buf.is_empty());
 }

@@ -1,0 +1,507 @@
+//! Offline shim over the Linux `epoll`/`eventfd` syscalls.
+//!
+//! The build environment has no access to crates.io, so — like the
+//! `rand` and `proptest` shims — this crate vendors the one platform
+//! surface `std` does not expose that the service's event loop needs:
+//! readiness notification. It declares the handful of libc symbols
+//! directly (`std` already links libc on every supported target; no
+//! `libc` crate involved) and wraps them in a safe API:
+//!
+//! * [`Epoll`] — an epoll instance: `add`/`modify`/`delete` interest
+//!   registration by fd, and [`Epoll::wait`] filling an [`Events`]
+//!   buffer;
+//! * [`Events`] / [`Event`] — the readiness list, each entry carrying
+//!   the caller's `u64` token and the readiness bits;
+//! * [`Waker`] — an `eventfd` that other threads write to wake a
+//!   loop blocked in `wait` (the worker-pool → reactor completion
+//!   path).
+//!
+//! Level-triggered only (the reactor re-arms nothing and cannot miss
+//! an edge), `EPOLL_CLOEXEC`/`EFD_CLOEXEC` always set. On non-Linux
+//! targets every constructor returns [`std::io::ErrorKind::Unsupported`],
+//! which the server treats as "fall back to the threaded accept
+//! loop" — the crate still compiles everywhere.
+
+/// Readiness bit: the fd is readable (or a peer connected/sent data).
+pub const EPOLLIN: u32 = 0x001;
+/// Readiness bit: the fd is writable without blocking.
+pub const EPOLLOUT: u32 = 0x004;
+/// Readiness bit: an error condition (reported even when unrequested).
+pub const EPOLLERR: u32 = 0x008;
+/// Readiness bit: hangup — the peer closed (reported even when
+/// unrequested).
+pub const EPOLLHUP: u32 = 0x010;
+/// Readiness bit: the peer shut down its write half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+/// One readiness notification: the registered token plus the bits
+/// that fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The `u64` the fd was registered with.
+    pub token: u64,
+    /// The `EPOLL*` readiness bits.
+    pub events: u32,
+}
+
+impl Event {
+    /// Data can be read (includes error/hangup states, which a read
+    /// surfaces as `Ok(0)` or an error — exactly what a connection
+    /// state machine wants to observe through its read path).
+    pub fn readable(&self) -> bool {
+        self.events & (EPOLLIN | EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0
+    }
+
+    /// Writing would not block.
+    pub fn writable(&self) -> bool {
+        self.events & (EPOLLOUT | EPOLLERR) != 0
+    }
+
+    /// The peer is gone or the fd is in an error state.
+    pub fn closed(&self) -> bool {
+        self.events & (EPOLLERR | EPOLLHUP) != 0
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::{Event, EPOLLIN};
+    use std::io;
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+    use std::time::Duration;
+
+    // The raw libc surface. `std` links libc unconditionally on
+    // Linux, so these resolve without any crate dependency.
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut RawEpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut RawEpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    }
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EFD_CLOEXEC: i32 = 0o2000000;
+    const EFD_NONBLOCK: i32 = 0o4000;
+
+    /// The kernel's `struct epoll_event`. Packed on x86-64 (the
+    /// 32-bit-era ABI quirk every architecture but x86-64 dropped).
+    #[cfg(target_arch = "x86_64")]
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    pub(super) struct RawEpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    /// The kernel's `struct epoll_event`, naturally aligned.
+    #[cfg(not(target_arch = "x86_64"))]
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub(super) struct RawEpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    fn cvt(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    /// An epoll instance (level-triggered).
+    #[derive(Debug)]
+    pub struct Epoll {
+        fd: OwnedFd,
+    }
+
+    impl Epoll {
+        /// Creates a fresh epoll instance.
+        pub fn new() -> io::Result<Epoll> {
+            // SAFETY: epoll_create1 takes a flag word and returns a
+            // new fd or -1; no memory is exchanged.
+            let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            // SAFETY: `fd` was just returned by the kernel and is
+            // owned by nobody else.
+            Ok(Epoll {
+                fd: unsafe { OwnedFd::from_raw_fd(fd) },
+            })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, token: u64, interest: u32) -> io::Result<()> {
+            let mut ev = RawEpollEvent {
+                events: interest,
+                data: token,
+            };
+            // SAFETY: `ev` outlives the call; the kernel copies it.
+            cvt(unsafe { epoll_ctl(self.fd.as_raw_fd(), op, fd, &mut ev) })?;
+            Ok(())
+        }
+
+        /// Registers `fd` with interest bits and a caller token.
+        pub fn add(&self, fd: &impl AsRawFd, token: u64, interest: u32) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd.as_raw_fd(), token, interest)
+        }
+
+        /// Replaces the interest bits (and token) of a registered fd.
+        pub fn modify(&self, fd: &impl AsRawFd, token: u64, interest: u32) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd.as_raw_fd(), token, interest)
+        }
+
+        /// Deregisters an fd. Closing the fd deregisters implicitly;
+        /// this exists for fds that outlive their registration.
+        pub fn delete(&self, fd: &impl AsRawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd.as_raw_fd(), 0, 0)
+        }
+
+        /// Blocks until at least one registered fd is ready (or the
+        /// timeout lapses — `None` blocks forever), filling `out`.
+        /// `EINTR` retries internally. Returns the ready count.
+        pub fn wait(&self, out: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+            let timeout_ms: i32 = match timeout {
+                None => -1,
+                Some(d) => {
+                    // round up so a 0 < d < 1 ms timeout still sleeps
+                    let ms = d.as_millis();
+                    if ms == 0 && !d.is_zero() {
+                        1
+                    } else {
+                        ms.min(i32::MAX as u128) as i32
+                    }
+                }
+            };
+            loop {
+                let buf = &mut out.raw;
+                // SAFETY: `buf` holds `buf.len()` initialized entries
+                // the kernel may overwrite; the fd is a live epoll fd.
+                let n = unsafe {
+                    epoll_wait(
+                        self.fd.as_raw_fd(),
+                        buf.as_mut_ptr(),
+                        buf.len() as i32,
+                        timeout_ms,
+                    )
+                };
+                match cvt(n) {
+                    Ok(n) => {
+                        out.len = n as usize;
+                        return Ok(out.len);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+
+    /// A buffer of readiness notifications for [`Epoll::wait`].
+    #[derive(Debug)]
+    pub struct Events {
+        pub(super) raw: Vec<RawEpollEvent>,
+        pub(super) len: usize,
+    }
+
+    impl std::fmt::Debug for RawEpollEvent {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            // copy out of the (possibly packed) struct before borrowing
+            let (events, data) = (self.events, self.data);
+            f.debug_struct("RawEpollEvent")
+                .field("events", &events)
+                .field("data", &data)
+                .finish()
+        }
+    }
+
+    impl Events {
+        /// A buffer receiving at most `capacity` events per wait.
+        pub fn with_capacity(capacity: usize) -> Events {
+            Events {
+                raw: vec![RawEpollEvent { events: 0, data: 0 }; capacity.max(1)],
+                len: 0,
+            }
+        }
+
+        /// The notifications the last wait produced.
+        pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+            self.raw[..self.len].iter().map(|raw| Event {
+                token: raw.data,
+                events: raw.events,
+            })
+        }
+
+        /// Number of notifications the last wait produced.
+        pub fn len(&self) -> usize {
+            self.len
+        }
+
+        /// Whether the last wait produced nothing (timeout).
+        pub fn is_empty(&self) -> bool {
+            self.len == 0
+        }
+    }
+
+    /// An `eventfd`-backed wakeup handle: any thread calls
+    /// [`Waker::wake`], the loop that registered it observes a
+    /// readable event and calls [`Waker::drain`].
+    #[derive(Debug)]
+    pub struct Waker {
+        fd: OwnedFd,
+    }
+
+    impl Waker {
+        /// A fresh, nonblocking eventfd.
+        pub fn new() -> io::Result<Waker> {
+            // SAFETY: eventfd takes scalars and returns an fd or -1.
+            let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+            // SAFETY: freshly created fd, sole owner.
+            Ok(Waker {
+                fd: unsafe { OwnedFd::from_raw_fd(fd) },
+            })
+        }
+
+        /// Registers the waker in an epoll set under `token`.
+        pub fn register(&self, epoll: &Epoll, token: u64) -> io::Result<()> {
+            epoll.add(&self.fd, token, EPOLLIN)
+        }
+
+        /// Makes the owning loop's next (or current) wait return.
+        /// Saturation (`EAGAIN` after 2^64-2 unconsumed wakes) already
+        /// means "a wake is pending", so it reports success.
+        pub fn wake(&self) -> io::Result<()> {
+            let one = 1u64.to_ne_bytes();
+            // SAFETY: `one` is 8 valid bytes; eventfd writes consume
+            // exactly 8.
+            let n = unsafe { write(self.fd.as_raw_fd(), one.as_ptr(), one.len()) };
+            if n >= 0 {
+                return Ok(());
+            }
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::WouldBlock {
+                Ok(())
+            } else {
+                Err(e)
+            }
+        }
+
+        /// Consumes pending wakes so the (level-triggered) readable
+        /// state clears.
+        pub fn drain(&self) {
+            let mut buf = [0u8; 8];
+            // SAFETY: `buf` is 8 writable bytes; the fd is nonblocking
+            // so the read never parks the loop.
+            let _ = unsafe { read(self.fd.as_raw_fd(), buf.as_mut_ptr(), buf.len()) };
+        }
+    }
+
+    impl AsRawFd for Waker {
+        fn as_raw_fd(&self) -> RawFd {
+            self.fd.as_raw_fd()
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    use super::Event;
+    use std::io;
+    use std::os::fd::{AsRawFd, RawFd};
+    use std::time::Duration;
+
+    fn unsupported<T>() -> io::Result<T> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "epoll is Linux-only; the dpc server falls back to threaded mode",
+        ))
+    }
+
+    /// Stub epoll instance: every constructor fails with
+    /// [`io::ErrorKind::Unsupported`] on non-Linux targets.
+    #[derive(Debug)]
+    pub struct Epoll {
+        never: std::convert::Infallible,
+    }
+
+    impl Epoll {
+        /// Always `Unsupported` off Linux.
+        pub fn new() -> io::Result<Epoll> {
+            unsupported()
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn add(&self, _fd: &impl AsRawFd, _token: u64, _interest: u32) -> io::Result<()> {
+            match self.never {}
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn modify(&self, _fd: &impl AsRawFd, _token: u64, _interest: u32) -> io::Result<()> {
+            match self.never {}
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn delete(&self, _fd: &impl AsRawFd) -> io::Result<()> {
+            match self.never {}
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn wait(&self, _out: &mut Events, _timeout: Option<Duration>) -> io::Result<usize> {
+            match self.never {}
+        }
+    }
+
+    /// Stub event buffer (constructible, always empty).
+    #[derive(Debug)]
+    pub struct Events;
+
+    impl Events {
+        /// An empty buffer.
+        pub fn with_capacity(_capacity: usize) -> Events {
+            Events
+        }
+
+        /// Always empty.
+        pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+            std::iter::empty()
+        }
+
+        /// Always zero.
+        pub fn len(&self) -> usize {
+            0
+        }
+
+        /// Always true.
+        pub fn is_empty(&self) -> bool {
+            true
+        }
+    }
+
+    /// Stub waker: constructor fails with `Unsupported` off Linux.
+    #[derive(Debug)]
+    pub struct Waker {
+        never: std::convert::Infallible,
+    }
+
+    impl Waker {
+        /// Always `Unsupported` off Linux.
+        pub fn new() -> io::Result<Waker> {
+            unsupported()
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn register(&self, _epoll: &Epoll, _token: u64) -> io::Result<()> {
+            match self.never {}
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn wake(&self) -> io::Result<()> {
+            match self.never {}
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn drain(&self) {
+            match self.never {}
+        }
+    }
+
+    impl AsRawFd for Waker {
+        fn as_raw_fd(&self) -> RawFd {
+            match self.never {}
+        }
+    }
+}
+
+pub use sys::{Epoll, Events, Waker};
+
+/// True when this target has a real epoll (and the server's event
+/// loop is available).
+pub fn supported() -> bool {
+    cfg!(target_os = "linux")
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Duration;
+
+    #[test]
+    fn waker_wakes_and_drains() {
+        let epoll = Epoll::new().unwrap();
+        let waker = Waker::new().unwrap();
+        waker.register(&epoll, 7).unwrap();
+        let mut events = Events::with_capacity(8);
+        // nothing pending: a short wait times out empty
+        let n = epoll
+            .wait(&mut events, Some(Duration::from_millis(1)))
+            .unwrap();
+        assert_eq!(n, 0);
+        // a wake (even several) surfaces as one readable event
+        waker.wake().unwrap();
+        waker.wake().unwrap();
+        let n = epoll
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.token, 7);
+        assert!(ev.readable());
+        assert!(!ev.closed());
+        // drained, the level-triggered readability clears
+        waker.drain();
+        let n = epoll
+            .wait(&mut events, Some(Duration::from_millis(1)))
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn socket_readability_is_reported_with_the_token() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let epoll = Epoll::new().unwrap();
+        epoll.add(&server, 42, EPOLLIN | EPOLLRDHUP).unwrap();
+        let mut events = Events::with_capacity(4);
+
+        client.write_all(b"ping").unwrap();
+        let n = epoll
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.token, 42);
+        assert!(ev.readable());
+
+        let mut buf = [0u8; 16];
+        let mut server_rd = &server;
+        assert_eq!(server_rd.read(&mut buf).unwrap(), 4);
+
+        // interest can be rewritten and removed
+        epoll.modify(&server, 42, EPOLLIN | EPOLLOUT).unwrap();
+        let n = epoll
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(n >= 1);
+        assert!(events.iter().any(|e| e.writable()));
+        epoll.delete(&server).unwrap();
+        drop(client);
+        let n = epoll
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0, "deregistered fd reports nothing");
+    }
+
+    #[test]
+    fn supported_is_true_on_linux() {
+        assert!(supported());
+    }
+}

@@ -16,10 +16,14 @@
 //!                           certificate bounds, capabilities)
 //! dpc serve <addr> [workers] [cache-mb] [--schemes a,b,c]
 //!           [--store-dir <path>] [--store-budget-bytes <n>]
+//!           [--event-loop|--threaded] [--event-loops <n>]
+//!           [--idle-timeout-ms <n>]
 //!                           long-running service (default: all
 //!                           schemes, no persistence); with a store
 //!                           dir the certificate cache survives
-//!                           restarts
+//!                           restarts. The front end defaults to the
+//!                           epoll event loop on Linux; --threaded
+//!                           restores thread-per-connection
 //! dpc store stat|compact|verify <dir>
 //!                           offline tools for a --store-dir (do not
 //!                           run against a live server)
@@ -47,6 +51,13 @@
 //! dpc bench-serve --nodes a,b,c [hits] [side]
 //!                           same, but driving the whole ring with
 //!                           two owner-selected graphs per node
+//! dpc bench-serve <addr>|self --connections N[,N...]
+//!                 [--requests-per-conn <k>] [--threaded|--event-loop]
+//!                           connection-storm mode: hold N concurrent
+//!                           connections, pipeline k requests down
+//!                           each, report an rps-vs-connections curve
+//!                           (one JSON line); `self` spawns the server
+//!                           in-process with the chosen front end
 //! ```
 
 use dpc::core::harness::run_pls;
@@ -60,6 +71,7 @@ use dpc_service::cluster::ClusterClient;
 use dpc_service::registry::{SchemeId, SchemeRegistry};
 use dpc_service::wire::{CheckVerdict, Response};
 use dpc_service::{Client, SegmentConfig, SegmentStore, ServeConfig};
+use std::net::ToSocketAddrs;
 use std::time::{Duration, Instant};
 
 fn main() {
@@ -113,13 +125,16 @@ fn usage() -> String {
     "usage: dpc check|certify|embed|kuratowski|soundness <graph6>  |  \
      dpc gen <family> <n> [seed]  |  dpc schemes  |  \
      dpc serve <addr> [workers] [cache-mb] [--schemes a,b,c] \
-     [--store-dir <path>] [--store-budget-bytes <n>]  |  \
+     [--store-dir <path>] [--store-budget-bytes <n>] \
+     [--event-loop|--threaded] [--event-loops <n>] [--idle-timeout-ms <n>]  |  \
      dpc store stat|compact|verify <dir>  |  \
      dpc store merge <dst> <src...>  |  \
      dpc query <addr>|--nodes a,b,c certify|check|gen|soundness|stats \
      [--scheme <name>] [--wait-ms <n>] ...  |  \
      dpc cluster-stats --nodes a,b,c [--wait-ms <n>]  |  \
-     dpc bench-serve <addr>|self|--nodes a,b,c [hits] [side]"
+     dpc bench-serve <addr>|self|--nodes a,b,c [hits] [side] \
+     [--connections N[,N...] [--requests-per-conn <k>] \
+     [--threaded|--event-loop]]"
         .to_string()
 }
 
@@ -369,6 +384,21 @@ fn serve_cmd(addr: &str, rest: &[&str]) -> Result<String, String> {
                         .map_err(|_| "store-budget-bytes must be a number".to_string())?,
                 );
             }
+            "--event-loop" => cfg.event_loop = true,
+            "--threaded" => cfg.event_loop = false,
+            "--event-loops" => {
+                cfg.event_loops = value("--event-loops")?
+                    .parse::<usize>()
+                    .map_err(|_| "event-loops must be a number".to_string())?
+                    .max(1);
+            }
+            "--idle-timeout-ms" => {
+                cfg.idle_timeout = Duration::from_millis(
+                    value("--idle-timeout-ms")?
+                        .parse()
+                        .map_err(|_| "idle-timeout-ms must be a number".to_string())?,
+                );
+            }
             flag if flag.starts_with("--") => return Err(usage()),
             p => positional.push(p),
         }
@@ -408,8 +438,13 @@ fn serve_cmd(addr: &str, rest: &[&str]) -> Result<String, String> {
     let handle = dpc_service::serve_with_registry(addr, cfg.clone(), registry)
         .map_err(|e| format!("cannot bind {addr}: {e}"))?;
     eprintln!(
-        "dpc serve: listening on {} ({} workers, {} MiB cache, batch {} max, store: {}, schemes: {})",
+        "dpc serve: listening on {} ({}, {} workers, {} MiB cache, batch {} max, store: {}, schemes: {})",
         handle.addr(),
+        if cfg.event_loop && epoll::supported() {
+            "event-loop"
+        } else {
+            "threaded"
+        },
         cfg.workers,
         cfg.cache.byte_budget >> 20,
         cfg.batch_max,
@@ -826,6 +861,39 @@ fn render_response(resp: Response, scheme: &str) -> Result<String, String> {
 fn bench_serve_cmd(rest: &[&str]) -> Result<String, String> {
     let mut args: Vec<&str> = rest.to_vec();
     let (wait, nodes) = take_conn_flags(&mut args)?;
+    let connections = take_flag_value(&mut args, "--connections")?;
+    let per_conn = take_flag_value(&mut args, "--requests-per-conn")?
+        .map(|v| {
+            v.parse::<usize>()
+                .map_err(|_| "requests-per-conn must be a number".to_string())
+        })
+        .transpose()?
+        .unwrap_or(4)
+        .max(1);
+    let threaded = args.contains(&"--threaded");
+    let mode_flagged = threaded || args.contains(&"--event-loop");
+    args.retain(|&a| a != "--threaded" && a != "--event-loop");
+    if let Some(csv) = connections {
+        if nodes.is_some() {
+            return Err("--connections drives a single server, not --nodes".to_string());
+        }
+        if args.is_empty() {
+            return Err(usage());
+        }
+        let addr = args.remove(0).to_string();
+        if !args.is_empty() {
+            return Err(usage());
+        }
+        let counts: Vec<usize> = csv
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad connection count {t:?}"))
+            })
+            .collect::<Result<_, _>>()?;
+        return bench_storm(&addr, &counts, per_conn, threaded, mode_flagged, wait);
+    }
     let addr = if nodes.is_none() {
         if args.is_empty() {
             return Err(usage());
@@ -965,6 +1033,118 @@ fn bench_single(
         handle.shutdown();
     }
     Ok(out)
+}
+
+/// Connection-storm mode (`--connections N[,N...]`): for each count,
+/// hold that many concurrent connections and pipeline
+/// `--requests-per-conn` certify requests down each, reporting an
+/// rps-vs-connections curve. `self` spawns the in-process server with
+/// the chosen front end (`--threaded` vs the event-loop default), so
+/// the two can be compared like for like; against a remote address
+/// the flag only labels the JSON (`mode`) — the server's front end is
+/// whatever it was started with, and without a flag the label is
+/// `"remote"`.
+fn bench_storm(
+    addr: &str,
+    counts: &[usize],
+    per_conn: usize,
+    threaded: bool,
+    mode_flagged: bool,
+    wait: Option<Duration>,
+) -> Result<String, String> {
+    use dpc_service::loadgen::{storm, StormConfig};
+    if counts.is_empty() {
+        return Err("--connections needs at least one count".to_string());
+    }
+    let own_server = if addr == "self" {
+        let cfg = ServeConfig {
+            event_loop: !threaded,
+            ..ServeConfig::default()
+        };
+        Some(
+            dpc_service::serve("127.0.0.1:0", cfg)
+                .map_err(|e| format!("cannot bind loopback: {e}"))?,
+        )
+    } else {
+        None
+    };
+    let mode = if own_server.is_some() || mode_flagged {
+        if threaded {
+            "threaded"
+        } else {
+            "event-loop"
+        }
+    } else {
+        "remote"
+    };
+    let target = own_server
+        .as_ref()
+        .map(|h| h.addr().to_string())
+        .unwrap_or_else(|| addr.to_string());
+    // probe (and honor --wait-ms) before the storm, and warm the
+    // cache so the storm measures serving, not proving
+    let g = dpc::graph::generators::grid(6, 6);
+    let body = dpc_service::wire::encode_certify_request(&g, false, SchemeId::PLANARITY);
+    {
+        let mut probe = connect_wait(&target, wait)?;
+        probe.certify(&g, false).map_err(|e| e.to_string())?;
+    }
+    let sock_addr = target
+        .to_socket_addrs()
+        .map_err(|e| format!("bad address {target}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("bad address {target}"))?;
+
+    let mut human = format!("bench-serve storm against {target} ({mode}, {per_conn} req/conn)\n");
+    let mut curve = Vec::new();
+    for &connections in counts {
+        let report = storm(
+            sock_addr,
+            &StormConfig {
+                connections,
+                requests_per_conn: per_conn,
+                body: body.clone(),
+                ..StormConfig::default()
+            },
+        )
+        .map_err(|e| format!("storm failed: {e}"))?;
+        human.push_str(&format!(
+            "  {:>6} conns: {} ok, {} errors, {} failed ({} connect, {} io), {:.0} req/s over {:.0} ms\n",
+            report.connections,
+            report.ok,
+            report.errors,
+            report.failed(),
+            report.connect_failures,
+            report.io_failures,
+            report.rps(),
+            report.elapsed.as_secs_f64() * 1e3,
+        ));
+        curve.push(format!(
+            "{{\"connections\":{},\"requests\":{},\"ok\":{},\"errors\":{},\
+             \"failed\":{},\"connect_failures\":{},\"io_failures\":{},\
+             \"rps\":{:.0},\"elapsed_ms\":{:.0}}}",
+            report.connections,
+            report.requests,
+            report.ok,
+            report.errors,
+            report.failed(),
+            report.connect_failures,
+            report.io_failures,
+            report.rps(),
+            report.elapsed.as_secs_f64() * 1e3,
+        ));
+    }
+    let json = format!(
+        "{{\"bench\":\"serve-storm\",\"mode\":\"{mode}\",\"graph\":\"grid(6,6)\",\
+         \"requests_per_conn\":{per_conn},\"curve\":[{}]}}",
+        curve.join(",")
+    );
+    human.push_str(&json);
+    human.push('\n');
+    if let Some(handle) = own_server {
+        handle.shutdown();
+    }
+    Ok(human)
 }
 
 /// Drives a whole ring: distinct same-size graphs (two per node, so
