@@ -5,6 +5,7 @@
 //!   cargo run -p dpc-bench --release --bin experiments -- e1 e7 e8
 
 use dpc_bench::experiments;
+use dpc_runtime::log_error;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -18,7 +19,8 @@ fn main() {
     };
     for id in &ids {
         if !experiments::run(id) {
-            eprintln!(
+            log_error!(
+                "experiments",
                 "unknown experiment id: {id} (known: {:?})",
                 experiments::all_ids()
             );

@@ -15,10 +15,14 @@
 //!   are reference-counted: delivering a broadcast over an edge is an
 //!   O(1) handle clone, never a byte copy;
 //! * [`baseline`] — the deep-copy reference executor kept for
-//!   benchmarking the zero-copy delivery path against.
+//!   benchmarking the zero-copy delivery path against;
+//! * [`log`] — a tiny level-filtered structured logger
+//!   (`DPC_LOG=debug,reactor=trace`) shared by every binary in the
+//!   workspace.
 
 pub mod baseline;
 pub mod bits;
+pub mod log;
 pub mod sim;
 
 pub use bits::{

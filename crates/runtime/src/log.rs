@@ -1,0 +1,199 @@
+//! Tiny level-filtered structured logger (no deps, no global mutex).
+//!
+//! Every log line carries a *target* (a short subsystem name such as
+//! `"serve"` or `"reactor"`) and a [`Level`]. What gets printed is
+//! controlled by the `DPC_LOG` environment variable, parsed once on
+//! first use:
+//!
+//! ```text
+//! DPC_LOG=info                  # default level for every target
+//! DPC_LOG=debug,reactor=trace   # debug everywhere, trace for reactor
+//! DPC_LOG=warn,serve=info       # quiet except the serve banner
+//! ```
+//!
+//! Unset means [`Level::Info`]. Unknown level names are ignored (the
+//! directive is skipped), so a typo degrades to the default rather
+//! than panicking at startup. Lines go to stderr as
+//! `dpc[target] LEVEL: message` — structured enough to grep, cheap
+//! enough to leave in hot paths behind an [`enabled`] check (one
+//! atomic load after first use).
+//!
+//! Use through the macros: [`log_error!`](crate::log_error),
+//! [`log_warn!`](crate::log_warn), [`log_info!`](crate::log_info),
+//! [`log_debug!`](crate::log_debug), [`log_trace!`](crate::log_trace).
+
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Log severity, ordered from quietest to chattiest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or operator-actionable problems.
+    Error,
+    /// Degraded but continuing.
+    Warn,
+    /// Lifecycle events (startup banner, shutdown). The default.
+    Info,
+    /// Per-operation detail for debugging.
+    Debug,
+    /// Hot-path event detail (per-frame, per-stall).
+    Trace,
+}
+
+impl Level {
+    fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+}
+
+struct Config {
+    default: Level,
+    /// `(target, level)` overrides, first match wins.
+    targets: Vec<(String, Level)>,
+}
+
+fn parse_spec(spec: &str) -> Config {
+    let mut cfg = Config {
+        default: Level::Info,
+        targets: Vec::new(),
+    };
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        match part.split_once('=') {
+            None => {
+                if let Some(level) = Level::parse(part) {
+                    cfg.default = level;
+                }
+            }
+            Some((target, level)) => {
+                if let Some(level) = Level::parse(level) {
+                    cfg.targets.push((target.trim().to_string(), level));
+                }
+            }
+        }
+    }
+    cfg
+}
+
+fn config() -> &'static Config {
+    static CONFIG: OnceLock<Config> = OnceLock::new();
+    CONFIG.get_or_init(|| parse_spec(&std::env::var("DPC_LOG").unwrap_or_default()))
+}
+
+/// Would a line at `level` for `target` be printed? Cheap after the
+/// first call (env parsed once); use to guard expensive formatting.
+pub fn enabled(target: &str, level: Level) -> bool {
+    let cfg = config();
+    let max = cfg
+        .targets
+        .iter()
+        .find(|(t, _)| t == target)
+        .map(|&(_, l)| l)
+        .unwrap_or(cfg.default);
+    level <= max
+}
+
+/// Prints one line to stderr if `level` passes the filter for
+/// `target`. Prefer the `log_*!` macros, which build the
+/// [`fmt::Arguments`] lazily.
+pub fn log(target: &str, level: Level, args: fmt::Arguments<'_>) {
+    if enabled(target, level) {
+        eprintln!("dpc[{target}] {}: {args}", level.label());
+    }
+}
+
+/// Logs at [`Level::Error`]: `log_error!("serve", "bind failed: {e}")`.
+#[macro_export]
+macro_rules! log_error {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::log($target, $crate::log::Level::Error, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Warn`].
+#[macro_export]
+macro_rules! log_warn {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::log($target, $crate::log::Level::Warn, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Info`].
+#[macro_export]
+macro_rules! log_info {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::log($target, $crate::log::Level::Info, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Debug`].
+#[macro_export]
+macro_rules! log_debug {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::log($target, $crate::log::Level::Debug, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Trace`].
+#[macro_export]
+macro_rules! log_trace {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::log($target, $crate::log::Level::Trace, format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_default_and_overrides() {
+        let cfg = parse_spec("debug,reactor=trace, serve=warn");
+        assert_eq!(cfg.default, Level::Debug);
+        assert_eq!(cfg.targets.len(), 2);
+        assert_eq!(cfg.targets[0], ("reactor".to_string(), Level::Trace));
+        assert_eq!(cfg.targets[1], ("serve".to_string(), Level::Warn));
+    }
+
+    #[test]
+    fn empty_spec_defaults_to_info() {
+        let cfg = parse_spec("");
+        assert_eq!(cfg.default, Level::Info);
+        assert!(cfg.targets.is_empty());
+    }
+
+    #[test]
+    fn unknown_directives_are_skipped() {
+        let cfg = parse_spec("chatty,reactor=verbose,store=debug");
+        assert_eq!(cfg.default, Level::Info);
+        assert_eq!(cfg.targets, vec![("store".to_string(), Level::Debug)]);
+    }
+
+    #[test]
+    fn levels_order_quietest_first() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert!(Level::Debug < Level::Trace);
+    }
+}

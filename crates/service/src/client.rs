@@ -7,7 +7,7 @@
 //! request order per connection, so responses come back in send
 //! order.
 
-use crate::metrics::StatsSnapshot;
+use crate::metrics::{SlowLogEntry, StatsSnapshot};
 use crate::registry::SchemeId;
 use crate::wire::{self, Request, Response, WireError};
 use dpc_graph::Graph;
@@ -171,10 +171,22 @@ impl Client {
     /// Server counters.
     pub fn stats(&mut self) -> Result<StatsSnapshot, WireError> {
         match self.call_body(&wire::encode_stats_request())? {
-            Response::Stats(s) => Ok(s),
+            Response::Stats(s) => Ok(*s),
             Response::Error(e) => Err(WireError::Protocol(e)),
             other => Err(WireError::Protocol(format!(
                 "unexpected response to Stats: {other:?}"
+            ))),
+        }
+    }
+
+    /// The server's slow-request log, newest first (requests whose
+    /// end-to-end latency crossed its `--slow-ms` threshold).
+    pub fn slowlog(&mut self) -> Result<Vec<SlowLogEntry>, WireError> {
+        match self.call_body(&wire::encode_slowlog_request())? {
+            Response::SlowLog(entries) => Ok(entries),
+            Response::Error(e) => Err(WireError::Protocol(e)),
+            other => Err(WireError::Protocol(format!(
+                "unexpected response to SlowLog: {other:?}"
             ))),
         }
     }

@@ -30,7 +30,7 @@
 //! client-side mirror of the servers' Stats.
 
 use crate::client::Client;
-use crate::metrics::StatsSnapshot;
+use crate::metrics::{SlowLogEntry, StatsSnapshot};
 use crate::registry::SchemeId;
 use crate::wire::{self, Response, WireError};
 use dpc_graph::canon;
@@ -445,6 +445,32 @@ impl ClusterClient {
         let client = self.ensure_conn(idx)?;
         match client.stats() {
             Ok(s) => Ok(s),
+            Err(e) => {
+                self.conns[idx] = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// Every node's slow-request log (`Err` for unreachable nodes).
+    /// Like [`ClusterClient::node_stats`], a broadcast: no routing
+    /// key, no [`ClusterStats`] accounting.
+    pub fn node_slowlog(&mut self) -> Vec<(String, Result<Vec<SlowLogEntry>, WireError>)> {
+        let addrs: Vec<String> = self.ring.addrs().to_vec();
+        addrs
+            .into_iter()
+            .enumerate()
+            .map(|(idx, addr)| {
+                let result = self.slowlog_of(idx);
+                (addr, result)
+            })
+            .collect()
+    }
+
+    fn slowlog_of(&mut self, idx: usize) -> Result<Vec<SlowLogEntry>, WireError> {
+        let client = self.ensure_conn(idx)?;
+        match client.slowlog() {
+            Ok(entries) => Ok(entries),
             Err(e) => {
                 self.conns[idx] = None;
                 Err(e)

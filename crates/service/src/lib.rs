@@ -35,8 +35,12 @@
 //!   N server addresses and fails over down the ranking when a node
 //!   is unreachable — the servers themselves stay share-nothing and
 //!   completely unchanged;
-//! * [`metrics`] — lock-free counters (global and per scheme) and the
-//!   power-of-two latency histogram behind the Stats endpoint;
+//! * [`metrics`] — lock-free counters (global and per scheme), the
+//!   power-of-two latency histograms behind the Stats endpoint
+//!   (including the per-stage request-trace histograms: read/decode,
+//!   queue wait, service, reorder wait, write flush), the capped
+//!   slow-request log, and the hand-rolled Prometheus text
+//!   exposition (`dpc serve --metrics-addr`);
 //! * [`gen`] — the named graph families servable via Gen.
 //!
 //! # Example: query a server
@@ -79,7 +83,9 @@ pub mod wire;
 pub use cache::{CacheConfig, CertCache};
 pub use client::Client;
 pub use cluster::{ClusterClient, ClusterStats, Ring};
-pub use metrics::StatsSnapshot;
+pub use metrics::{
+    prometheus_text, HistogramSnapshot, SlowLogEntry, StageSnapshot, StatsSnapshot, STAGE_NAMES,
+};
 pub use registry::{SchemeId, SchemeRegistry};
 pub use server::{serve, serve_with_registry, ServeConfig, ServerHandle};
 pub use store::{CertStore, SegmentConfig, SegmentStore, TieredCache};

@@ -1,17 +1,30 @@
-//! Service counters and the integer latency histogram.
+//! Service counters, per-stage latency histograms, the slow-request
+//! log, and the Prometheus text renderer.
 //!
-//! Everything here is lock-free (`AtomicU64` with relaxed ordering —
-//! counters need atomicity, not ordering) so the request hot path
-//! never serializes on a metrics mutex. Latencies go into a
+//! Everything on the hot path is lock-free (`AtomicU64` with relaxed
+//! ordering — counters need atomicity, not ordering) so requests
+//! never serialize on a metrics mutex. Latencies go into a
 //! power-of-two histogram: bucket `i` counts requests that took
 //! `[2^i, 2^(i+1))` microseconds, and quantiles are read back as the
 //! lower bound of the bucket where the cumulative count crosses the
 //! target — integer in, integer out, no floating-point accumulation.
+//!
+//! Beyond the end-to-end latency histogram, every request is traced
+//! through five pipeline stages ([`STAGE_NAMES`]): a [`Trace`] is
+//! stamped when the frame is decoded and rides with the request to
+//! the final write flush, depositing one observation per stage into
+//! [`StageMetrics`]. Requests whose stage total crosses the server's
+//! `--slow-ms` threshold additionally leave a full breakdown in the
+//! capped [`SlowLog`]. The only lock in this module guards that log,
+//! and it is touched exclusively by slow requests and `SlowLog`
+//! snapshots.
 
 use dpc_runtime::{get_uvarint, put_uvarint, DecodeError};
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Number of power-of-two latency buckets (covers up to ~2^39 µs).
 pub const LATENCY_BUCKETS: usize = 40;
@@ -112,6 +125,296 @@ impl HistogramSnapshot {
             *mine += theirs;
         }
     }
+
+    /// Bucket-wise saturating subtraction of an earlier snapshot of
+    /// the *same* histogram: the observations recorded between the
+    /// two snapshots. This is what `dpc top` renders per poll
+    /// interval.
+    pub fn diff(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| b.saturating_sub(earlier.buckets.get(i).copied().unwrap_or(0)))
+                .collect(),
+        }
+    }
+}
+
+/// The five traced pipeline stages, in request order. Index `i` here
+/// matches field order in [`StageMetrics`] / [`StageSnapshot`] and
+/// the v5 wire order.
+pub const STAGE_NAMES: [&str; 5] = [
+    "read_decode",
+    "queue_wait",
+    "service",
+    "reorder_wait",
+    "write_flush",
+];
+
+/// Lock-free per-stage latency histograms, one per traced stage.
+#[derive(Debug, Default)]
+pub struct StageMetrics {
+    /// Frame bytes available → request decoded.
+    pub read_decode: LatencyHistogram,
+    /// Enqueued → dequeued by a worker.
+    pub queue_wait: LatencyHistogram,
+    /// Dequeued → response body built (cache/store lookup, batch,
+    /// prove).
+    pub service: LatencyHistogram,
+    /// Response ready → eligible to write (pipelined predecessors
+    /// flushed first).
+    pub reorder_wait: LatencyHistogram,
+    /// Write-eligible → frame fully handed to the kernel.
+    pub write_flush: LatencyHistogram,
+}
+
+impl StageMetrics {
+    /// A point-in-time copy of every stage histogram.
+    pub fn snapshot(&self) -> StageSnapshot {
+        StageSnapshot {
+            read_decode: self.read_decode.snapshot(),
+            queue_wait: self.queue_wait.snapshot(),
+            service: self.service.snapshot(),
+            reorder_wait: self.reorder_wait.snapshot(),
+            write_flush: self.write_flush.snapshot(),
+        }
+    }
+}
+
+/// Immutable per-stage histograms, as shipped in the Stats v5 tail.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StageSnapshot {
+    /// Frame bytes available → request decoded.
+    pub read_decode: HistogramSnapshot,
+    /// Enqueued → dequeued by a worker.
+    pub queue_wait: HistogramSnapshot,
+    /// Dequeued → response body built.
+    pub service: HistogramSnapshot,
+    /// Response ready → eligible to write.
+    pub reorder_wait: HistogramSnapshot,
+    /// Write-eligible → frame fully handed to the kernel.
+    pub write_flush: HistogramSnapshot,
+}
+
+impl StageSnapshot {
+    /// The stages paired with their [`STAGE_NAMES`] labels, in wire
+    /// order.
+    pub fn named(&self) -> [(&'static str, &HistogramSnapshot); 5] {
+        [
+            (STAGE_NAMES[0], &self.read_decode),
+            (STAGE_NAMES[1], &self.queue_wait),
+            (STAGE_NAMES[2], &self.service),
+            (STAGE_NAMES[3], &self.reorder_wait),
+            (STAGE_NAMES[4], &self.write_flush),
+        ]
+    }
+
+    /// Adds another node's stage histograms bucket-wise.
+    pub fn absorb(&mut self, other: &StageSnapshot) {
+        self.read_decode.absorb(&other.read_decode);
+        self.queue_wait.absorb(&other.queue_wait);
+        self.service.absorb(&other.service);
+        self.reorder_wait.absorb(&other.reorder_wait);
+        self.write_flush.absorb(&other.write_flush);
+    }
+
+    /// Stage-wise [`HistogramSnapshot::diff`] against an earlier
+    /// snapshot.
+    pub fn diff(&self, earlier: &StageSnapshot) -> StageSnapshot {
+        StageSnapshot {
+            read_decode: self.read_decode.diff(&earlier.read_decode),
+            queue_wait: self.queue_wait.diff(&earlier.queue_wait),
+            service: self.service.diff(&earlier.service),
+            reorder_wait: self.reorder_wait.diff(&earlier.reorder_wait),
+            write_flush: self.write_flush.diff(&earlier.write_flush),
+        }
+    }
+}
+
+/// One request's identity and accumulated stage timings, stamped at
+/// decode and threaded along the reply path to the final write.
+/// Microsecond stage fields are filled in as each stage completes;
+/// the reorder/write stages are measured (and the slow-log decision
+/// made) by whichever component performs the write.
+#[derive(Debug, Clone, Copy)]
+pub struct Trace {
+    /// `connection_id << 32 | sequence` — unique per request within
+    /// one server process.
+    pub trace_id: u64,
+    /// Request wire tag (`wire::REQ_*`).
+    pub kind: u8,
+    /// Scheme wire id, or 0 for requests that carry no scheme.
+    pub scheme: u16,
+    /// When the request frame was decoded (birth of the trace).
+    pub born: Instant,
+    /// Frame bytes available → decoded.
+    pub read_decode_us: u64,
+    /// Enqueued → dequeued.
+    pub queue_wait_us: u64,
+    /// Dequeued → response built.
+    pub service_us: u64,
+}
+
+impl Trace {
+    /// A fresh trace born now, with all stage timings zero.
+    pub fn new(trace_id: u64, kind: u8, scheme: u16) -> Trace {
+        Trace {
+            trace_id,
+            kind,
+            scheme,
+            born: Instant::now(),
+            read_decode_us: 0,
+            queue_wait_us: 0,
+            service_us: 0,
+        }
+    }
+}
+
+/// Upper bound on retained slow-request entries; the oldest entry is
+/// dropped when a new one arrives at capacity.
+pub const SLOW_LOG_CAP: usize = 128;
+
+/// One slow request's full stage breakdown, as shipped in a SlowLog
+/// response.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SlowLogEntry {
+    /// `connection_id << 32 | sequence` of the offending request.
+    pub trace_id: u64,
+    /// Request wire tag (`wire::REQ_*`).
+    pub kind: u8,
+    /// Scheme wire id, or 0 for requests that carry no scheme.
+    pub scheme: u16,
+    /// How long ago the entry was recorded, stamped when the log is
+    /// snapshotted for a response.
+    pub age_us: u64,
+    /// Sum of the five stage timings.
+    pub total_us: u64,
+    /// Frame bytes available → decoded.
+    pub read_decode_us: u64,
+    /// Enqueued → dequeued.
+    pub queue_wait_us: u64,
+    /// Dequeued → response built.
+    pub service_us: u64,
+    /// Response built → eligible to write.
+    pub reorder_wait_us: u64,
+    /// Write-eligible → flushed to the kernel.
+    pub write_flush_us: u64,
+}
+
+impl SlowLogEntry {
+    /// Human label for the request tag (mirrors `wire::REQ_*`).
+    pub fn kind_name(&self) -> &'static str {
+        match self.kind {
+            1 => "certify",
+            2 => "check",
+            3 => "gen",
+            4 => "soundness",
+            5 => "stats",
+            6 => "slowlog",
+            _ => "?",
+        }
+    }
+
+    /// Appends the wire encoding of one slow-log entry (10 uvarints).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        for v in [
+            self.trace_id,
+            self.kind as u64,
+            self.scheme as u64,
+            self.age_us,
+            self.total_us,
+            self.read_decode_us,
+            self.queue_wait_us,
+            self.service_us,
+            self.reorder_wait_us,
+            self.write_flush_us,
+        ] {
+            put_uvarint(out, v);
+        }
+    }
+
+    /// Decodes one entry from the front of `buf`, advancing it.
+    pub fn decode_from(buf: &mut &[u8]) -> Result<SlowLogEntry, DecodeError> {
+        let trace_id = get_uvarint(buf)?;
+        let kind = get_uvarint(buf)?;
+        let scheme = get_uvarint(buf)?;
+        if kind > u8::MAX as u64 || scheme > u16::MAX as u64 {
+            return Err(DecodeError::OutOfBits);
+        }
+        let mut e = SlowLogEntry {
+            trace_id,
+            kind: kind as u8,
+            scheme: scheme as u16,
+            ..SlowLogEntry::default()
+        };
+        for field in [
+            &mut e.age_us,
+            &mut e.total_us,
+            &mut e.read_decode_us,
+            &mut e.queue_wait_us,
+            &mut e.service_us,
+            &mut e.reorder_wait_us,
+            &mut e.write_flush_us,
+        ] {
+            *field = get_uvarint(buf)?;
+        }
+        Ok(e)
+    }
+}
+
+/// Capped in-memory log of requests whose stage total crossed the
+/// server's slow threshold. The mutex is off the fast path: only
+/// slow requests and `dpc slowlog` snapshots take it.
+#[derive(Debug)]
+pub struct SlowLog {
+    threshold_us: u64,
+    entries: Mutex<VecDeque<(Instant, SlowLogEntry)>>,
+}
+
+impl SlowLog {
+    /// A log that records requests slower than `threshold_us`
+    /// (0 disables recording entirely).
+    pub fn new(threshold_us: u64) -> SlowLog {
+        SlowLog {
+            threshold_us,
+            entries: Mutex::new(VecDeque::with_capacity(8)),
+        }
+    }
+
+    /// The configured threshold in microseconds (0 = disabled).
+    pub fn threshold_us(&self) -> u64 {
+        self.threshold_us
+    }
+
+    /// Records one slow request, evicting the oldest entry at
+    /// capacity. `entry.age_us` is ignored; age is stamped at
+    /// snapshot time.
+    pub fn record(&self, entry: SlowLogEntry) {
+        if self.threshold_us == 0 {
+            return;
+        }
+        let mut entries = self.entries.lock().expect("slow log poisoned");
+        if entries.len() >= SLOW_LOG_CAP {
+            entries.pop_front();
+        }
+        entries.push_back((Instant::now(), entry));
+    }
+
+    /// The retained entries, newest first, with `age_us` stamped.
+    pub fn snapshot(&self) -> Vec<SlowLogEntry> {
+        let entries = self.entries.lock().expect("slow log poisoned");
+        entries
+            .iter()
+            .rev()
+            .map(|(at, e)| {
+                let mut e = e.clone();
+                e.age_us = at.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                e
+            })
+            .collect()
+    }
 }
 
 /// Live counters of one registered scheme (indexed by registry slot).
@@ -166,6 +469,23 @@ pub struct Metrics {
     pub accept_eagain: AtomicU64,
     /// Connections closed by the idle-connection timeout.
     pub idle_timeouts: AtomicU64,
+    /// Per-stage request latency (v5).
+    pub stages: StageMetrics,
+    /// Jobs that found the worker queue full and parked on their
+    /// connection instead (v5; reactor only — the threaded reader
+    /// blocks in `push`).
+    pub queue_full_stalls: AtomicU64,
+    /// Times a stalled connection's read interest was dropped so the
+    /// kernel buffers the back-pressure (v5).
+    pub read_interest_drops: AtomicU64,
+    /// Times a parked job finally enqueued and read interest was
+    /// restored (v5).
+    pub read_interest_restores: AtomicU64,
+    /// Times a worker completion had to wake an event loop via its
+    /// eventfd (v5) — completions that landed while the loop was
+    /// already awake don't count, so the ratio to responses reads as
+    /// wakeups-per-response.
+    pub inbox_wakeups: AtomicU64,
 }
 
 impl Metrics {
@@ -333,6 +653,19 @@ pub struct StatsSnapshot {
     pub accept_eagain: u64,
     /// Connections closed by the idle timeout (v4).
     pub idle_timeouts: u64,
+    /// Per-stage latency histograms (v5).
+    pub stages: StageSnapshot,
+    /// Jobs parked on their connection because the worker queue was
+    /// full (v5; reactor only).
+    pub queue_full_stalls: u64,
+    /// Read-interest drops while a job was parked (v5).
+    pub read_interest_drops: u64,
+    /// Read-interest restores after a parked job enqueued (v5).
+    pub read_interest_restores: u64,
+    /// Worker completions that had to wake an event loop (v5).
+    pub inbox_wakeups: u64,
+    /// Jobs sitting in the worker queue right now (v5 gauge).
+    pub queue_depth: u64,
 }
 
 impl StatsSnapshot {
@@ -395,6 +728,20 @@ impl StatsSnapshot {
         ] {
             put_uvarint(out, v);
         }
+        // version-5 tail: per-stage histograms then back-pressure
+        // counters, strictly after the v4 tail
+        for (_, h) in self.stages.named() {
+            encode_histogram(out, h);
+        }
+        for v in [
+            self.queue_full_stalls,
+            self.read_interest_drops,
+            self.read_interest_restores,
+            self.inbox_wakeups,
+            self.queue_depth,
+        ] {
+            put_uvarint(out, v);
+        }
     }
 
     /// Decodes a snapshot from the front of `buf`, advancing it.
@@ -454,6 +801,26 @@ impl StatsSnapshot {
                 *field = get_uvarint(buf)?;
             }
         }
+        // the v5 tracing tail is absent in v2–v4 bodies; absence
+        // decodes as zeros (a server predating stage tracing)
+        if !buf.is_empty() {
+            s.stages = StageSnapshot {
+                read_decode: decode_histogram(buf)?,
+                queue_wait: decode_histogram(buf)?,
+                service: decode_histogram(buf)?,
+                reorder_wait: decode_histogram(buf)?,
+                write_flush: decode_histogram(buf)?,
+            };
+            for field in [
+                &mut s.queue_full_stalls,
+                &mut s.read_interest_drops,
+                &mut s.read_interest_restores,
+                &mut s.inbox_wakeups,
+                &mut s.queue_depth,
+            ] {
+                *field = get_uvarint(buf)?;
+            }
+        }
         Ok(s)
     }
 
@@ -497,6 +864,12 @@ impl StatsSnapshot {
         self.conns_accepted += other.conns_accepted;
         self.accept_eagain += other.accept_eagain;
         self.idle_timeouts += other.idle_timeouts;
+        self.stages.absorb(&other.stages);
+        self.queue_full_stalls += other.queue_full_stalls;
+        self.read_interest_drops += other.read_interest_drops;
+        self.read_interest_restores += other.read_interest_restores;
+        self.inbox_wakeups += other.inbox_wakeups;
+        self.queue_depth += other.queue_depth;
     }
 }
 
@@ -564,6 +937,36 @@ impl fmt::Display for StatsSnapshot {
             self.latency.p50_us(),
             self.latency.p99_us(),
         )?;
+        if self.stages.named().iter().any(|(_, h)| h.count() > 0) {
+            for (name, h) in self.stages.named() {
+                write!(
+                    f,
+                    "\nstage {:<12} {} samples, p50 {} us, p99 {} us",
+                    name,
+                    h.count(),
+                    h.p50_us(),
+                    h.p99_us(),
+                )?;
+            }
+        }
+        if self.queue_full_stalls
+            + self.read_interest_drops
+            + self.read_interest_restores
+            + self.inbox_wakeups
+            + self.queue_depth
+            > 0
+        {
+            write!(
+                f,
+                "\nbackpressure: {} queue-full stalls, {} read-interest drops, \
+                 {} restores, {} inbox wakeups, {} queued now",
+                self.queue_full_stalls,
+                self.read_interest_drops,
+                self.read_interest_restores,
+                self.inbox_wakeups,
+                self.queue_depth,
+            )?;
+        }
         for s in &self.per_scheme {
             write!(
                 f,
@@ -579,6 +982,244 @@ impl fmt::Display for StatsSnapshot {
         }
         Ok(())
     }
+}
+
+/// Renders a snapshot in Prometheus text exposition format 0.0.4 —
+/// what `dpc serve --metrics-addr` serves to scrapers. Pure function
+/// so the rendering is unit-testable without a socket.
+///
+/// Histogram buckets hold integer microseconds in `[2^i, 2^(i+1))`,
+/// so the cumulative count through bucket `i` is exactly the number
+/// of observations `<= 2^(i+1) - 1` — that value (1, 3, 7, 15, …) is
+/// the emitted inclusive `le` bound. No `_sum` series is emitted —
+/// the source histograms record bucket counts only. Counters end in
+/// `_total`; gauges don't.
+pub fn prometheus_text(s: &StatsSnapshot) -> String {
+    use std::fmt::Write;
+    let mut out = String::with_capacity(4096);
+    let mut metric = |name: &str, kind: &str, help: &str, series: &[(String, u64)]| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        for (labels, value) in series {
+            let _ = writeln!(out, "{name}{labels} {value}");
+        }
+    };
+    metric(
+        "dpc_requests_total",
+        "counter",
+        "Requests received, by wire kind.",
+        &[
+            ("{kind=\"certify\"}".into(), s.certify),
+            ("{kind=\"check\"}".into(), s.check),
+            ("{kind=\"gen\"}".into(), s.gen),
+            ("{kind=\"soundness\"}".into(), s.soundness),
+            ("{kind=\"stats\"}".into(), s.stats),
+        ],
+    );
+    let plain: [(&str, &str, &str, u64); 21] = [
+        (
+            "dpc_errors_total",
+            "counter",
+            "Malformed requests answered with an error.",
+            s.errors,
+        ),
+        (
+            "dpc_proves_total",
+            "counter",
+            "Honest-prover executions.",
+            s.proves,
+        ),
+        (
+            "dpc_batches_total",
+            "counter",
+            "Worker batches with more than one certify.",
+            s.batches,
+        ),
+        (
+            "dpc_batched_certifies_total",
+            "counter",
+            "Certify requests that rode in a multi-request batch.",
+            s.batched_certifies,
+        ),
+        (
+            "dpc_cache_hits_total",
+            "counter",
+            "Cache hits.",
+            s.cache_hits,
+        ),
+        (
+            "dpc_cache_misses_total",
+            "counter",
+            "Cache misses.",
+            s.cache_misses,
+        ),
+        (
+            "dpc_cache_evictions_total",
+            "counter",
+            "Cache evictions.",
+            s.cache_evictions,
+        ),
+        (
+            "dpc_cache_entries",
+            "gauge",
+            "Live cache entries.",
+            s.cache_entries,
+        ),
+        (
+            "dpc_cache_bytes",
+            "gauge",
+            "Bytes charged against the cache budget.",
+            s.cache_bytes,
+        ),
+        (
+            "dpc_store_hits_total",
+            "counter",
+            "Cold-tier lookups that found a record.",
+            s.store_hits,
+        ),
+        (
+            "dpc_store_misses_total",
+            "counter",
+            "Cold-tier lookups that found nothing.",
+            s.store_misses,
+        ),
+        (
+            "dpc_store_records",
+            "gauge",
+            "Live records in the cold tier.",
+            s.store_records,
+        ),
+        (
+            "dpc_store_bytes",
+            "gauge",
+            "Live record bytes in the cold tier.",
+            s.store_bytes,
+        ),
+        (
+            "dpc_conns_open",
+            "gauge",
+            "Currently open connections.",
+            s.conns_open,
+        ),
+        (
+            "dpc_conns_accepted_total",
+            "counter",
+            "Connections accepted since boot.",
+            s.conns_accepted,
+        ),
+        (
+            "dpc_idle_timeouts_total",
+            "counter",
+            "Connections closed by the idle timeout.",
+            s.idle_timeouts,
+        ),
+        (
+            "dpc_queue_depth",
+            "gauge",
+            "Jobs waiting in the worker queue.",
+            s.queue_depth,
+        ),
+        (
+            "dpc_queue_full_stalls_total",
+            "counter",
+            "Jobs parked on their connection because the queue was full.",
+            s.queue_full_stalls,
+        ),
+        (
+            "dpc_read_interest_drops_total",
+            "counter",
+            "Read-interest drops while a job was parked.",
+            s.read_interest_drops,
+        ),
+        (
+            "dpc_read_interest_restores_total",
+            "counter",
+            "Read-interest restores after a parked job enqueued.",
+            s.read_interest_restores,
+        ),
+        (
+            "dpc_inbox_wakeups_total",
+            "counter",
+            "Worker completions that had to wake an event loop.",
+            s.inbox_wakeups,
+        ),
+    ];
+    for (name, kind, help, value) in plain {
+        metric(name, kind, help, &[(String::new(), value)]);
+    }
+    let mut histogram = |name: &str, help: &str, series: &[(&str, &HistogramSnapshot)]| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        for (label, h) in series {
+            let sep = if label.is_empty() { "" } else { "," };
+            let last_nonzero = h
+                .buckets
+                .iter()
+                .rposition(|&b| b > 0)
+                .map(|i| i + 1)
+                .unwrap_or(0);
+            let mut cum = 0u64;
+            for (i, &b) in h.buckets[..last_nonzero].iter().enumerate() {
+                cum += b;
+                let le = (1u64 << (i + 1)) - 1;
+                let _ = writeln!(out, "{name}_bucket{{{label}{sep}le=\"{le}\"}} {cum}");
+            }
+            let count = h.count();
+            let _ = writeln!(out, "{name}_bucket{{{label}{sep}le=\"+Inf\"}} {count}");
+            if label.is_empty() {
+                let _ = writeln!(out, "{name}_count {count}");
+            } else {
+                let _ = writeln!(out, "{name}_count{{{label}}} {count}");
+            }
+        }
+    };
+    histogram(
+        "dpc_request_duration_us",
+        "End-to-end request latency (enqueue to response built), microseconds.",
+        &[("", &s.latency)],
+    );
+    let stage_series: Vec<(String, &HistogramSnapshot)> = s
+        .stages
+        .named()
+        .iter()
+        .map(|&(name, h)| (format!("stage=\"{name}\""), h))
+        .collect();
+    histogram(
+        "dpc_stage_duration_us",
+        "Per-stage request latency, microseconds.",
+        &stage_series
+            .iter()
+            .map(|(l, h)| (l.as_str(), *h))
+            .collect::<Vec<_>>(),
+    );
+    if !s.per_scheme.is_empty() {
+        type SchemeField = fn(&SchemeStats) -> u64;
+        let families: [(&str, &str, SchemeField); 3] = [
+            (
+                "dpc_scheme_certify_total",
+                "Certify requests routed to the scheme.",
+                |r| r.certify,
+            ),
+            (
+                "dpc_scheme_hits_total",
+                "Cache hits under the scheme's keys.",
+                |r| r.hits,
+            ),
+            (
+                "dpc_scheme_proves_total",
+                "Honest-prover executions for the scheme.",
+                |r| r.proves,
+            ),
+        ];
+        for (name, help, get) in families {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            for row in &s.per_scheme {
+                let _ = writeln!(out, "{name}{{scheme=\"{}\"}} {}", row.name, get(row));
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -652,6 +1293,14 @@ mod tests {
             conns_accepted: 12,
             accept_eagain: 5,
             idle_timeouts: 1,
+            stages: StageSnapshot {
+                queue_wait: h.snapshot(),
+                write_flush: h.snapshot(),
+                ..StageSnapshot::default()
+            },
+            queue_full_stalls: 2,
+            inbox_wakeups: 6,
+            queue_depth: 1,
             ..Default::default()
         };
         let mut buf = Vec::new();
@@ -671,21 +1320,24 @@ mod tests {
             text.contains("connections: 3 open, 12 accepted, 5 accept retries, 1 idle-timeouts"),
             "{text}"
         );
+        assert!(text.contains("stage queue_wait"), "{text}");
+        assert!(text.contains("backpressure: 2 queue-full stalls"), "{text}");
     }
 
     #[test]
     fn v2_stats_body_decodes_with_zero_store_fields() {
-        // a version-2 body is a version-4 body minus the 8 trailing
-        // store fields and the 4 trailing connection fields; a v4
-        // decoder reads it as "no store attached, no connections seen"
+        // a version-2 body is a version-5 body minus the v3 store
+        // tail (8 varints), the v4 connection tail (4 varints), and
+        // the v5 tracing tail (5 empty histograms + 5 varints); a v5
+        // decoder reads it as "no store, no connections, no tracing"
         let v2_like = StatsSnapshot {
             certify: 5,
             cache_hits: 3,
             ..StatsSnapshot::default()
         };
-        let mut v4 = Vec::new();
-        v2_like.encode_into(&mut v4);
-        let v2 = &v4[..v4.len() - 12]; // the 12 tail fields are all 0x00
+        let mut v5 = Vec::new();
+        v2_like.encode_into(&mut v5);
+        let v2 = &v5[..v5.len() - 22]; // the 22 tail bytes are all 0x00
         let mut cursor = v2;
         let back = StatsSnapshot::decode_from(&mut cursor).unwrap();
         assert!(cursor.is_empty());
@@ -699,24 +1351,48 @@ mod tests {
 
     #[test]
     fn v3_stats_body_decodes_with_zero_connection_fields() {
-        // a version-3 body is a version-4 body minus the 4 trailing
-        // connection fields; the store tail must still land in the
-        // store fields, not bleed into the connection fields
+        // a version-3 body is a version-5 body minus the v4 and v5
+        // tails; the store tail must still land in the store fields,
+        // not bleed into the connection fields
         let v3_like = StatsSnapshot {
             certify: 5,
             store_hits: 7,
             store_segments: 2,
             ..StatsSnapshot::default()
         };
-        let mut v4 = Vec::new();
-        v3_like.encode_into(&mut v4);
-        let v3 = &v4[..v4.len() - 4]; // the 4 connection fields are 0x00
+        let mut v5 = Vec::new();
+        v3_like.encode_into(&mut v5);
+        let v3 = &v5[..v5.len() - 14]; // v4 (4) + v5 (10) tails are 0x00
         let mut cursor = v3;
         let back = StatsSnapshot::decode_from(&mut cursor).unwrap();
         assert!(cursor.is_empty());
         assert_eq!(back, v3_like);
         assert_eq!(back.store_hits, 7);
         assert_eq!(back.conns_open, 0);
+    }
+
+    #[test]
+    fn v4_stats_body_decodes_with_zero_tracing_fields() {
+        // a version-4 body is a version-5 body minus the tracing
+        // tail (5 empty histograms + 5 counters, all 0x00 when
+        // empty); the connection tail must still land in the
+        // connection fields
+        let v4_like = StatsSnapshot {
+            certify: 5,
+            conns_open: 2,
+            conns_accepted: 9,
+            ..StatsSnapshot::default()
+        };
+        let mut v5 = Vec::new();
+        v4_like.encode_into(&mut v5);
+        let v4 = &v5[..v5.len() - 10];
+        let mut cursor = v4;
+        let back = StatsSnapshot::decode_from(&mut cursor).unwrap();
+        assert!(cursor.is_empty());
+        assert_eq!(back, v4_like);
+        assert_eq!(back.conns_accepted, 9);
+        assert_eq!(back.stages, StageSnapshot::default());
+        assert_eq!(back.queue_full_stalls, 0);
     }
 
     #[test]
@@ -784,10 +1460,139 @@ mod tests {
         let snapshot = StatsSnapshot::default();
         let mut buf = Vec::new();
         snapshot.encode_into(&mut buf);
-        buf.truncate(buf.len() - 12); // drop the v3 store + v4 conn tails
+        buf.truncate(buf.len() - 22); // drop the v3 + v4 + v5 tails
         *buf.last_mut().unwrap() = 0xff;
         buf.extend_from_slice(&[0xff, 0xff, 0x7f]);
         let mut cursor = buf.as_slice();
         assert!(StatsSnapshot::decode_from(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn histogram_diff_is_the_between_snapshot_delta() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(3)); // bucket 1
+        let earlier = h.snapshot();
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_micros(100)); // bucket 6
+        let delta = h.snapshot().diff(&earlier);
+        assert_eq!(delta.count(), 2);
+        assert_eq!(delta.buckets[1], 1);
+        assert_eq!(delta.buckets[6], 1);
+        // diff against a longer "earlier" saturates instead of
+        // underflowing
+        let short = HistogramSnapshot {
+            buckets: vec![5, 5],
+        };
+        assert_eq!(short.diff(&earlier).buckets, vec![5, 4]);
+    }
+
+    #[test]
+    fn slow_log_caps_and_orders_newest_first() {
+        let log = SlowLog::new(1000);
+        assert_eq!(log.threshold_us(), 1000);
+        for i in 0..(SLOW_LOG_CAP as u64 + 10) {
+            log.record(SlowLogEntry {
+                trace_id: i,
+                total_us: 2000 + i,
+                ..SlowLogEntry::default()
+            });
+        }
+        let entries = log.snapshot();
+        assert_eq!(entries.len(), SLOW_LOG_CAP);
+        // newest first; the 10 oldest were evicted
+        assert_eq!(entries[0].trace_id, SLOW_LOG_CAP as u64 + 9);
+        assert_eq!(entries.last().unwrap().trace_id, 10);
+
+        let disabled = SlowLog::new(0);
+        disabled.record(SlowLogEntry::default());
+        assert!(disabled.snapshot().is_empty());
+    }
+
+    #[test]
+    fn slow_log_entry_wire_roundtrip() {
+        let entry = SlowLogEntry {
+            trace_id: (7 << 32) | 3,
+            kind: 1,
+            scheme: 4,
+            age_us: 1_000_000,
+            total_us: 52_000,
+            read_decode_us: 12,
+            queue_wait_us: 800,
+            service_us: 50_000,
+            reorder_wait_us: 38,
+            write_flush_us: 1_150,
+        };
+        assert_eq!(entry.kind_name(), "certify");
+        let mut buf = Vec::new();
+        entry.encode_into(&mut buf);
+        let mut cursor = buf.as_slice();
+        let back = SlowLogEntry::decode_from(&mut cursor).unwrap();
+        assert!(cursor.is_empty());
+        assert_eq!(back, entry);
+    }
+
+    #[test]
+    fn prometheus_text_renders_counters_and_histograms() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(3)); // bucket 1: le 3
+        h.record(Duration::from_micros(100)); // bucket 6: le 127
+        let s = StatsSnapshot {
+            certify: 7,
+            cache_hits: 5,
+            conns_open: 2,
+            queue_full_stalls: 1,
+            latency: h.snapshot(),
+            stages: StageSnapshot {
+                queue_wait: h.snapshot(),
+                ..StageSnapshot::default()
+            },
+            per_scheme: vec![SchemeStats {
+                id: 0,
+                name: "planarity".into(),
+                certify: 7,
+                hits: 5,
+                proves: 2,
+                ..SchemeStats::default()
+            }],
+            ..StatsSnapshot::default()
+        };
+        let text = prometheus_text(&s);
+        assert!(
+            text.contains("dpc_requests_total{kind=\"certify\"} 7"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE dpc_requests_total counter"), "{text}");
+        assert!(text.contains("dpc_cache_hits_total 5"), "{text}");
+        assert!(text.contains("dpc_conns_open 2"), "{text}");
+        assert!(text.contains("dpc_queue_full_stalls_total 1"), "{text}");
+        // cumulative buckets: 1 through le=3, 2 through le=127, +Inf
+        assert!(
+            text.contains("dpc_request_duration_us_bucket{le=\"3\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dpc_request_duration_us_bucket{le=\"127\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dpc_request_duration_us_bucket{le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("dpc_request_duration_us_count 2"), "{text}");
+        assert!(
+            text.contains("dpc_stage_duration_us_bucket{stage=\"queue_wait\",le=\"3\"} 1"),
+            "{text}"
+        );
+        // empty stages still expose a zero count
+        assert!(
+            text.contains("dpc_stage_duration_us_count{stage=\"write_flush\"} 0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dpc_scheme_certify_total{scheme=\"planarity\"} 7"),
+            "{text}"
+        );
+        // one HELP/TYPE per family, even with multiple series
+        assert_eq!(text.matches("# TYPE dpc_scheme_certify_total").count(), 1);
     }
 }

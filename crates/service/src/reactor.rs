@@ -49,7 +49,10 @@
 //! (no bytes, no responses owed) are reaped after
 //! [`ServeConfig::idle_timeout`](crate::ServeConfig).
 
-use crate::server::{count_request, Job, ReplyTo, Shared};
+use crate::metrics::{Metrics, Trace};
+use crate::server::{
+    count_request, duration_us, trace_written, Job, ReplyTo, Shared, NEXT_CONN_ID,
+};
 use crate::wire::{self, Request, Response, WireError};
 use epoll::{Epoll, Events, Waker, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use std::collections::{HashMap, VecDeque};
@@ -81,6 +84,10 @@ pub(crate) struct Completion {
     pub(crate) conn: u64,
     pub(crate) seq: u64,
     pub(crate) body: Vec<u8>,
+    /// When the worker finished building the body (reorder-wait
+    /// starts here).
+    pub(crate) finished: Instant,
+    pub(crate) trace: Option<Trace>,
 }
 
 /// The worker → reactor handoff: completions (and, between loops,
@@ -90,26 +97,37 @@ pub(crate) struct Inbox {
     waker: Waker,
     completions: Mutex<Vec<Completion>>,
     incoming: Mutex<Vec<TcpStream>>,
+    /// Counts eventfd wakeups; Arc'd (not reached through `Shared`)
+    /// because jobs hold the inbox while `Shared` holds the queue.
+    metrics: Arc<Metrics>,
 }
 
 impl Inbox {
-    fn new() -> io::Result<Inbox> {
+    fn new(metrics: Arc<Metrics>) -> io::Result<Inbox> {
         Ok(Inbox {
             waker: Waker::new()?,
             completions: Mutex::new(Vec::new()),
             incoming: Mutex::new(Vec::new()),
+            metrics,
         })
     }
 
     /// Queues a finished response and wakes the loop (only the first
     /// completion after a drain pays the eventfd write — the waker
     /// stays readable until drained, so later sends just append).
-    pub(crate) fn send(&self, conn: u64, seq: u64, body: Vec<u8>) {
+    pub(crate) fn send(&self, conn: u64, seq: u64, body: Vec<u8>, trace: Option<Trace>) {
         let mut q = self.completions.lock().expect("inbox poisoned");
         let was_empty = q.is_empty();
-        q.push(Completion { conn, seq, body });
+        q.push(Completion {
+            conn,
+            seq,
+            body,
+            finished: Instant::now(),
+            trace,
+        });
         drop(q);
         if was_empty {
+            self.metrics.inbox_wakeups.fetch_add(1, Ordering::Relaxed);
             let _ = self.waker.wake();
         }
     }
@@ -141,7 +159,7 @@ pub(crate) fn spawn(shared: &Arc<Shared>, listener: TcpListener) -> io::Result<R
     let mut inboxes = Vec::with_capacity(n);
     for _ in 0..n {
         let epoll = Epoll::new()?;
-        let inbox = Arc::new(Inbox::new()?);
+        let inbox = Arc::new(Inbox::new(Arc::clone(&shared.metrics))?);
         inbox.waker.register(&epoll, TOKEN_WAKER)?;
         epolls.push(epoll);
         inboxes.push(inbox);
@@ -180,8 +198,21 @@ enum Close {
     Idle,
 }
 
+/// A frame in the write queue, carrying what its trace still needs:
+/// when it became write-eligible (write-flush starts there) and the
+/// reorder-wait it already paid.
+struct OutFrame {
+    bytes: Vec<u8>,
+    queued_at: Instant,
+    reorder_us: u64,
+    trace: Option<Trace>,
+}
+
 struct Conn {
     stream: TcpStream,
+    /// Trace-id prefix: process-wide connection id (epoll tokens are
+    /// per-loop and collide across loops, so they cannot be it).
+    id: u64,
     /// Unparsed inbound bytes (`roff..` is live).
     rbuf: Vec<u8>,
     roff: usize,
@@ -190,9 +221,9 @@ struct Conn {
     /// Sequence number the next written response must carry.
     next_write: u64,
     /// Finished responses that arrived out of order.
-    pending: HashMap<u64, Vec<u8>>,
+    pending: HashMap<u64, Completion>,
     /// Encoded frames ready to write (front may be partially sent).
-    wqueue: VecDeque<Vec<u8>>,
+    wqueue: VecDeque<OutFrame>,
     woff: usize,
     /// Decoded job waiting for queue space (connection stops reading
     /// while set — kernel-buffer back-pressure).
@@ -212,6 +243,7 @@ impl Conn {
     fn new(stream: TcpStream) -> Conn {
         Conn {
             stream,
+            id: NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed),
             rbuf: Vec::new(),
             roff: 0,
             next_seq: 0,
@@ -231,15 +263,25 @@ impl Conn {
     /// Files one finished response and promotes every response that
     /// is now in sequence order into the write queue — the same
     /// reorder-by-seq contract as the threaded connection writer.
-    fn deliver(&mut self, seq: u64, body: Vec<u8>) {
+    /// Promotion is where a response becomes write-eligible, so the
+    /// reorder-wait stage closes here.
+    fn deliver(&mut self, c: Completion, metrics: &Metrics) {
         self.last_activity = Instant::now();
-        self.pending.insert(seq, body);
-        while let Some(body) = self.pending.remove(&self.next_write) {
-            debug_assert!(body.len() <= wire::MAX_FRAME_BYTES);
-            let mut frame = Vec::with_capacity(4 + body.len());
-            frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
-            frame.extend_from_slice(&body);
-            self.wqueue.push_back(frame);
+        self.pending.insert(c.seq, c);
+        while let Some(c) = self.pending.remove(&self.next_write) {
+            debug_assert!(c.body.len() <= wire::MAX_FRAME_BYTES);
+            let now = Instant::now();
+            let reorder = now.saturating_duration_since(c.finished);
+            metrics.stages.reorder_wait.record(reorder);
+            let mut bytes = Vec::with_capacity(4 + c.body.len());
+            bytes.extend_from_slice(&(c.body.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&c.body);
+            self.wqueue.push_back(OutFrame {
+                bytes,
+                queued_at: now,
+                reorder_us: duration_us(reorder),
+                trace: c.trace,
+            });
             self.next_write += 1;
             self.awaiting -= 1;
         }
@@ -248,24 +290,44 @@ impl Conn {
     /// One vectored flush: every queued frame (up to
     /// [`MAX_FLUSH_SLICES`] per call) rides a single `writev`-style
     /// write. Returns without error on `EAGAIN`; the caller arms
-    /// `EPOLLOUT` if frames remain.
-    fn flush(&mut self) -> io::Result<()> {
+    /// `EPOLLOUT` if frames remain. A frame fully handed to the
+    /// kernel closes its write-flush stage (and its whole trace).
+    fn flush(&mut self, shared: &Shared) -> io::Result<()> {
         while !self.wqueue.is_empty() {
             let mut slices: Vec<IoSlice<'_>> =
                 Vec::with_capacity(self.wqueue.len().min(MAX_FLUSH_SLICES));
             let mut frames = self.wqueue.iter();
             let front = frames.next().expect("non-empty queue");
-            slices.push(IoSlice::new(&front[self.woff..]));
-            slices.extend(frames.take(MAX_FLUSH_SLICES - 1).map(|f| IoSlice::new(f)));
+            slices.push(IoSlice::new(&front.bytes[self.woff..]));
+            slices.extend(
+                frames
+                    .take(MAX_FLUSH_SLICES - 1)
+                    .map(|f| IoSlice::new(&f.bytes)),
+            );
             match self.stream.write_vectored(&slices) {
                 Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
                 Ok(mut n) => {
                     self.last_activity = Instant::now();
                     while n > 0 {
-                        let left =
-                            self.wqueue.front().expect("bytes imply a frame").len() - self.woff;
+                        let left = self
+                            .wqueue
+                            .front()
+                            .expect("bytes imply a frame")
+                            .bytes
+                            .len()
+                            - self.woff;
                         if n >= left {
-                            self.wqueue.pop_front();
+                            let fr = self.wqueue.pop_front().expect("bytes imply a frame");
+                            let write_flush = fr.queued_at.elapsed();
+                            shared.metrics.stages.write_flush.record(write_flush);
+                            if let Some(trace) = fr.trace {
+                                trace_written(
+                                    shared,
+                                    &trace,
+                                    fr.reorder_us,
+                                    duration_us(write_flush),
+                                );
+                            }
                             self.woff = 0;
                             n -= left;
                         } else {
@@ -470,8 +532,9 @@ impl EventLoop {
             // a connection that died with requests in flight simply
             // drops its late completions here
             if let Some(conn) = self.conns.get_mut(&c.conn) {
-                conn.deliver(c.seq, c.body);
-                dirty.push(c.conn);
+                let token = c.conn;
+                conn.deliver(c, &self.shared.metrics);
+                dirty.push(token);
             }
         }
     }
@@ -539,7 +602,16 @@ impl EventLoop {
                 let seq = conn.next_seq;
                 conn.next_seq += 1;
                 conn.awaiting += 1;
-                conn.deliver(seq, Response::Error(msg).encode());
+                conn.deliver(
+                    Completion {
+                        conn: token,
+                        seq,
+                        body: Response::Error(msg).encode(),
+                        finished: Instant::now(),
+                        trace: None,
+                    },
+                    &shared.metrics,
+                );
                 conn.closing = true;
                 break;
             }
@@ -548,9 +620,19 @@ impl EventLoop {
             }
             let body = &conn.rbuf[conn.roff + 4..conn.roff + 4 + len];
             let seq = conn.next_seq;
+            let decode_start = Instant::now();
             match Request::decode(body) {
                 Ok(req) => {
                     count_request(&shared.metrics, &req);
+                    let read_decode = decode_start.elapsed();
+                    shared.metrics.stages.read_decode.record(read_decode);
+                    let mut trace = Trace::new(
+                        (conn.id << 32) | (seq & 0xffff_ffff),
+                        req.kind_tag(),
+                        req.scheme().map(|s| s.0).unwrap_or(0),
+                    );
+                    trace.read_decode_us = duration_us(read_decode);
+                    let received = Instant::now();
                     let job = Job {
                         req,
                         seq,
@@ -558,7 +640,9 @@ impl EventLoop {
                             conn: token,
                             inbox: Arc::clone(&inbox),
                         },
-                        received: Instant::now(),
+                        received,
+                        dequeued: received,
+                        trace,
                     };
                     conn.next_seq += 1;
                     conn.awaiting += 1;
@@ -566,6 +650,9 @@ impl EventLoop {
                     if let Err(job) = shared.queue.try_push(job) {
                         // queue full: park the job, stop reading; the
                         // retry runs on completion wakeups and ticks
+                        let m = &shared.metrics;
+                        m.queue_full_stalls.fetch_add(1, Ordering::Relaxed);
+                        m.read_interest_drops.fetch_add(1, Ordering::Relaxed);
                         conn.stalled = Some(job);
                         self.stalled.push(token);
                     }
@@ -577,7 +664,16 @@ impl EventLoop {
                     conn.next_seq += 1;
                     conn.awaiting += 1;
                     conn.roff += 4 + len;
-                    conn.deliver(seq, Response::Error(e.to_string()).encode());
+                    conn.deliver(
+                        Completion {
+                            conn: token,
+                            seq,
+                            body: Response::Error(e.to_string()).encode(),
+                            finished: Instant::now(),
+                            trace: None,
+                        },
+                        &shared.metrics,
+                    );
                 }
             }
         }
@@ -603,6 +699,10 @@ impl EventLoop {
             };
             match self.shared.queue.try_push(job) {
                 Ok(()) => {
+                    self.shared
+                        .metrics
+                        .read_interest_restores
+                        .fetch_add(1, Ordering::Relaxed);
                     self.decode_frames(token);
                     dirty.push(token);
                 }
@@ -620,7 +720,7 @@ impl EventLoop {
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
-        if conn.flush().is_err() {
+        if conn.flush(&self.shared).is_err() {
             self.close(token, Close::Gone);
             return;
         }
@@ -682,7 +782,7 @@ impl EventLoop {
         let tokens: Vec<u64> = self.conns.keys().copied().collect();
         for token in tokens {
             if let Some(conn) = self.conns.get_mut(&token) {
-                let _ = conn.flush();
+                let _ = conn.flush(&self.shared);
             }
         }
     }

@@ -54,7 +54,9 @@
 
 use crate::cache::{CacheConfig, CacheEntry, CertCache, ProveResult};
 use crate::gen;
-use crate::metrics::{Metrics, SchemeStats, StatsSnapshot};
+use crate::metrics::{
+    prometheus_text, Metrics, SchemeStats, SlowLog, SlowLogEntry, StatsSnapshot, Trace,
+};
 use crate::registry::{SchemeEntry, SchemeId, SchemeRegistry};
 use crate::store::{SegmentConfig, SegmentStore, TieredCache};
 use crate::wire::{self, CheckVerdict, Request, Response, SoundnessLine, WireError};
@@ -69,9 +71,9 @@ use dpc_planar::kuratowski::extract_kuratowski;
 use dpc_planar::lr::{planarity, Planarity};
 use dpc_runtime::put_uvarint;
 use std::collections::{HashMap, VecDeque};
-use std::io::{self, BufReader, BufWriter, Write};
+use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -107,6 +109,13 @@ pub struct ServeConfig {
     /// Threaded mode does not reap (its threads park in blocking
     /// reads).
     pub idle_timeout: Duration,
+    /// Serve Prometheus text metrics over plain HTTP on this address
+    /// (`dpc serve --metrics-addr`). `None` disables the endpoint.
+    pub metrics_addr: Option<String>,
+    /// Requests whose summed stage time crosses this threshold leave
+    /// a full stage breakdown in the slow log (`dpc slowlog`). Zero
+    /// disables the log.
+    pub slow_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -124,8 +133,26 @@ impl Default for ServeConfig {
             event_loop: epoll::supported(),
             event_loops: 1,
             idle_timeout: Duration::from_secs(60),
+            metrics_addr: None,
+            slow_ms: 1000,
         }
     }
+}
+
+/// Microseconds of a duration, saturating.
+pub(crate) fn duration_us(d: Duration) -> u64 {
+    d.as_micros().min(u64::MAX as u128) as u64
+}
+
+/// One finished response on its way to a threaded connection's
+/// writer: the frame body, when the worker finished it (start of the
+/// reorder-wait stage), and the request's trace (`None` for error
+/// responses synthesized outside the worker pool).
+pub(crate) struct Done {
+    pub(crate) seq: u64,
+    pub(crate) body: Vec<u8>,
+    pub(crate) finished: Instant,
+    pub(crate) trace: Option<Trace>,
 }
 
 /// Where a finished response goes: the per-connection writer thread
@@ -133,7 +160,7 @@ impl Default for ServeConfig {
 /// loop). Workers are agnostic — both front ends share the queue.
 pub(crate) enum ReplyTo {
     /// Channel to a threaded connection's writer.
-    Channel(mpsc::Sender<(u64, Vec<u8>)>),
+    Channel(mpsc::Sender<Done>),
     /// Completion inbox of the reactor loop owning connection `conn`.
     Reactor {
         /// Loop-local connection token.
@@ -144,12 +171,17 @@ pub(crate) enum ReplyTo {
 }
 
 impl ReplyTo {
-    fn send(&self, seq: u64, body: Vec<u8>) {
+    fn send(&self, seq: u64, body: Vec<u8>, trace: Option<Trace>) {
         match self {
             // a dead connection just drops the response, same as the
             // reactor routing a completion to a closed token
-            ReplyTo::Channel(tx) => drop(tx.send((seq, body))),
-            ReplyTo::Reactor { conn, inbox } => inbox.send(*conn, seq, body),
+            ReplyTo::Channel(tx) => drop(tx.send(Done {
+                seq,
+                body,
+                finished: Instant::now(),
+                trace,
+            })),
+            ReplyTo::Reactor { conn, inbox } => inbox.send(*conn, seq, body, trace),
         }
     }
 }
@@ -160,6 +192,12 @@ pub(crate) struct Job {
     pub(crate) seq: u64,
     pub(crate) reply: ReplyTo,
     pub(crate) received: Instant,
+    /// When a worker dequeued the job (initialized to `received`;
+    /// stamped in `worker_loop`). `received → dequeued` is the
+    /// queue-wait stage, `dequeued → finish` the service stage.
+    pub(crate) dequeued: Instant,
+    /// The request's trace, carried to the final write.
+    pub(crate) trace: Trace,
 }
 
 /// Bounded MPMC queue (Mutex + two Condvars — std has no bounded
@@ -260,16 +298,24 @@ impl JobQueue {
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
+
+    /// Jobs waiting right now (the queue-depth gauge).
+    pub(crate) fn len(&self) -> usize {
+        self.jobs.lock().expect("queue poisoned").len()
+    }
 }
 
 pub(crate) struct Shared {
     pub(crate) cfg: ServeConfig,
     pub(crate) cache: TieredCache,
-    pub(crate) metrics: Metrics,
+    /// Arc'd so reactor inboxes can count wakeups without a
+    /// reference cycle through `Shared`.
+    pub(crate) metrics: Arc<Metrics>,
     pub(crate) queue: JobQueue,
     pub(crate) registry: SchemeRegistry,
     pub(crate) runner: BatchRunner,
     pub(crate) shutdown: AtomicBool,
+    pub(crate) slow: SlowLog,
 }
 
 impl Shared {
@@ -278,6 +324,30 @@ impl Shared {
         self.registry
             .slot(id)
             .map(|slot| &self.metrics.per_scheme[slot])
+    }
+}
+
+/// Completes a trace at write time: given the measured reorder-wait
+/// and write-flush, records a slow-log entry if the summed stage time
+/// crossed the threshold. Called by both front ends after the frame
+/// was handed to the kernel.
+pub(crate) fn trace_written(shared: &Shared, trace: &Trace, reorder_us: u64, write_us: u64) {
+    let total_us =
+        trace.read_decode_us + trace.queue_wait_us + trace.service_us + reorder_us + write_us;
+    let threshold = shared.slow.threshold_us();
+    if threshold > 0 && total_us >= threshold {
+        shared.slow.record(SlowLogEntry {
+            trace_id: trace.trace_id,
+            kind: trace.kind,
+            scheme: trace.scheme,
+            age_us: 0,
+            total_us,
+            read_decode_us: trace.read_decode_us,
+            queue_wait_us: trace.queue_wait_us,
+            service_us: trace.service_us,
+            reorder_wait_us: reorder_us,
+            write_flush_us: write_us,
+        });
     }
 }
 
@@ -315,6 +385,9 @@ pub struct ServerHandle {
     inboxes: Vec<Arc<crate::reactor::Inbox>>,
     workers: Vec<JoinHandle<()>>,
     flusher: Option<JoinHandle<()>>,
+    /// The Prometheus exposition listener, when configured.
+    metrics_thread: Option<JoinHandle<()>>,
+    metrics_addr: Option<SocketAddr>,
 }
 
 impl ServerHandle {
@@ -323,9 +396,21 @@ impl ServerHandle {
         self.addr
     }
 
+    /// The bound Prometheus endpoint address, when configured
+    /// (useful with port 0).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
     /// A stats snapshot without going through the wire.
     pub fn stats(&self) -> StatsSnapshot {
         snapshot(&self.shared)
+    }
+
+    /// The retained slow-request entries without going through the
+    /// wire (newest first).
+    pub fn slowlog(&self) -> Vec<SlowLogEntry> {
+        self.shared.slow.snapshot()
     }
 
     /// The scheme registry this server routes by.
@@ -358,6 +443,9 @@ impl ServerHandle {
         }
         if let Some(f) = self.flusher {
             let _ = f.join();
+        }
+        if let Some(m) = self.metrics_thread {
+            let _ = m.join();
         }
         let _ = self.shared.cache.flush();
     }
@@ -399,10 +487,11 @@ pub fn serve_with_registry<A: ToSocketAddrs>(
     cache.warm_load(cfg.cache.byte_budget);
     let shared = Arc::new(Shared {
         cache,
-        metrics: Metrics::with_scheme_slots(registry.len()),
+        metrics: Arc::new(Metrics::with_scheme_slots(registry.len())),
         queue: JobQueue::new(cfg.queue_capacity),
         registry,
         runner: BatchRunner::with_threads(cfg.prove_threads),
+        slow: SlowLog::new(cfg.slow_ms.saturating_mul(1000)),
         cfg,
         shutdown: AtomicBool::new(false),
     });
@@ -458,6 +547,22 @@ pub fn serve_with_registry<A: ToSocketAddrs>(
             })
             .expect("spawn store flusher")
     });
+    // the Prometheus exposition endpoint: a plain-HTTP listener off
+    // the request path, polled nonblocking so shutdown never hangs
+    // on a quiet socket
+    let (metrics_thread, metrics_addr) = match &shared.cfg.metrics_addr {
+        Some(addr) => {
+            let listener = TcpListener::bind(addr.as_str())?;
+            let bound = listener.local_addr()?;
+            let shared = Arc::clone(&shared);
+            let thread = std::thread::Builder::new()
+                .name("dpc-metrics".into())
+                .spawn(move || metrics_loop(listener, &shared))
+                .expect("spawn metrics listener");
+            (Some(thread), Some(bound))
+        }
+        None => (None, None),
+    };
     Ok(ServerHandle {
         addr,
         shared,
@@ -466,7 +571,70 @@ pub fn serve_with_registry<A: ToSocketAddrs>(
         inboxes,
         workers,
         flusher,
+        metrics_thread,
+        metrics_addr,
     })
+}
+
+/// Accept loop of the Prometheus endpoint. Scrapes are rare and the
+/// payload is small, so requests are handled inline; the listener is
+/// nonblocking so the loop notices shutdown within one poll tick.
+fn metrics_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    let _ = listener.set_nonblocking(true);
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = serve_scrape(stream, shared);
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+/// Answers one HTTP request on the metrics endpoint — a hand-rolled
+/// HTTP/1.1 responder (GET only, `Connection: close`), so standard
+/// scrapers work without pulling in an HTTP stack.
+fn serve_scrape(mut stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut req = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        req.extend_from_slice(&chunk[..n]);
+        if req.windows(4).any(|w| w == b"\r\n\r\n") || req.len() > 8192 {
+            break;
+        }
+    }
+    let line = req
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .unwrap_or(&[]);
+    let line = String::from_utf8_lossy(line);
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "only GET is supported\n".to_string(),
+        )
+    } else if path == "/metrics" || path == "/" {
+        ("200 OK", prometheus_text(&snapshot(shared)))
+    } else {
+        ("404 Not Found", "try /metrics\n".to_string())
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())
 }
 
 fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
@@ -481,6 +649,10 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
             .spawn(move || handle_connection(stream, &shared));
     }
 }
+
+/// Process-wide connection counter: the high 32 bits of every trace
+/// id, shared by both front ends so ids stay unique across them.
+pub(crate) static NEXT_CONN_ID: AtomicU64 = AtomicU64::new(1);
 
 fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     shared
@@ -497,11 +669,21 @@ fn handle_connection_inner(stream: TcpStream, shared: &Arc<Shared>) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
-    let (tx, rx) = mpsc::channel::<(u64, Vec<u8>)>();
-    let writer = std::thread::Builder::new()
-        .name("dpc-conn-writer".into())
-        .spawn(move || writer_loop(write_half, rx))
-        .expect("spawn connection writer");
+    let conn_id = NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed);
+    let (tx, rx) = mpsc::channel::<Done>();
+    let writer = {
+        let shared = Arc::clone(shared);
+        std::thread::Builder::new()
+            .name("dpc-conn-writer".into())
+            .spawn(move || writer_loop(write_half, rx, &shared))
+            .expect("spawn connection writer")
+    };
+    let error_done = |seq, body| Done {
+        seq,
+        body,
+        finished: Instant::now(),
+        trace: None,
+    };
     let mut reader = BufReader::new(stream);
     let mut seq = 0u64;
     loop {
@@ -512,24 +694,36 @@ fn handle_connection_inner(stream: TcpStream, shared: &Arc<Shared>) {
                 // framing itself broke (e.g. oversized frame): answer
                 // once and drop the connection, the stream is desynced
                 shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-                let _ = tx.send((seq, Response::Error(e.to_string()).encode()));
+                let _ = tx.send(error_done(seq, Response::Error(e.to_string()).encode()));
                 break;
             }
         };
+        let decode_start = Instant::now();
         let job = match Request::decode(&body) {
             Ok(req) => {
                 count_request(&shared.metrics, &req);
+                let read_decode = decode_start.elapsed();
+                shared.metrics.stages.read_decode.record(read_decode);
+                let mut trace = Trace::new(
+                    (conn_id << 32) | (seq & 0xffff_ffff),
+                    req.kind_tag(),
+                    req.scheme().map(|s| s.0).unwrap_or(0),
+                );
+                trace.read_decode_us = duration_us(read_decode);
+                let received = Instant::now();
                 Job {
                     req,
                     seq,
                     reply: ReplyTo::Channel(tx.clone()),
-                    received: Instant::now(),
+                    received,
+                    dequeued: received,
+                    trace,
                 }
             }
             Err(e) => {
                 shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
                 let resp = Response::Error(e.to_string()).encode();
-                if tx.send((seq, resp)).is_err() {
+                if tx.send(error_done(seq, resp)).is_err() {
                     break;
                 }
                 seq += 1;
@@ -545,30 +739,54 @@ fn handle_connection_inner(stream: TcpStream, shared: &Arc<Shared>) {
     let _ = writer.join();
 }
 
-/// Receives `(seq, frame body)` in completion order, writes frames in
-/// sequence order.
-fn writer_loop(stream: TcpStream, rx: mpsc::Receiver<(u64, Vec<u8>)>) {
+/// Receives finished responses in completion order, writes frames in
+/// sequence order — and closes each trace: the gap between a
+/// worker's finish and the in-order write is the reorder-wait stage,
+/// and the write+flush of the burst it rode in is its write-flush
+/// stage (frames flushed together share one measured flush).
+fn writer_loop(stream: TcpStream, rx: mpsc::Receiver<Done>, shared: &Arc<Shared>) {
     let mut out = BufWriter::new(stream);
     let mut next = 0u64;
-    let mut pending: HashMap<u64, Vec<u8>> = HashMap::new();
-    for (seq, body) in rx {
-        pending.insert(seq, body);
-        let mut wrote = false;
-        while let Some(body) = pending.remove(&next) {
-            if wire::write_frame(&mut out, &body).is_err() {
+    let mut pending: HashMap<u64, Done> = HashMap::new();
+    for done in rx {
+        pending.insert(done.seq, done);
+        let mut burst: Vec<(Option<Trace>, u64)> = Vec::new();
+        let mut burst_start: Option<Instant> = None;
+        while let Some(d) = pending.remove(&next) {
+            let write_start = Instant::now();
+            burst_start.get_or_insert(write_start);
+            let reorder = write_start.saturating_duration_since(d.finished);
+            shared.metrics.stages.reorder_wait.record(reorder);
+            if wire::write_frame(&mut out, &d.body).is_err() {
                 return;
             }
             next += 1;
-            wrote = true;
+            burst.push((d.trace, duration_us(reorder)));
         }
-        if wrote && out.flush().is_err() {
-            return;
+        if let Some(start) = burst_start {
+            if out.flush().is_err() {
+                return;
+            }
+            let write_flush = start.elapsed();
+            for (trace, reorder_us) in burst {
+                shared.metrics.stages.write_flush.record(write_flush);
+                if let Some(trace) = trace {
+                    trace_written(shared, &trace, reorder_us, duration_us(write_flush));
+                }
+            }
         }
     }
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
-    while let Some(batch) = shared.queue.pop_batch(shared.cfg.batch_max) {
+    while let Some(mut batch) = shared.queue.pop_batch(shared.cfg.batch_max) {
+        let now = Instant::now();
+        for job in &mut batch {
+            let waited = now.saturating_duration_since(job.received);
+            shared.metrics.stages.queue_wait.record(waited);
+            job.trace.queue_wait_us = duration_us(waited);
+            job.dequeued = now;
+        }
         if matches!(batch[0].req, Request::Certify { .. }) {
             process_certify_batch(shared, batch);
         } else {
@@ -589,14 +807,21 @@ pub(crate) fn count_request(m: &Metrics, req: &Request) {
         Request::Check { .. } => &m.check,
         Request::Gen { .. } => &m.gen,
         Request::SoundnessProbe { .. } => &m.soundness,
-        Request::Stats => &m.stats,
+        // both introspection kinds share the stats counter — the v2
+        // prefix is frozen, and "how often is this server inspected"
+        // is the question either way
+        Request::Stats | Request::SlowLog => &m.stats,
     };
     counter.fetch_add(1, Ordering::Relaxed);
 }
 
 fn finish(shared: &Shared, job: &Job, body: Vec<u8>) {
     shared.metrics.latency.record(job.received.elapsed());
-    job.reply.send(job.seq, body);
+    let service = job.dequeued.elapsed();
+    shared.metrics.stages.service.record(service);
+    let mut trace = job.trace;
+    trace.service_us = duration_us(service);
+    job.reply.send(job.seq, body, Some(trace));
 }
 
 /// [`finish`], also recording the scheme's certify latency.
@@ -867,7 +1092,8 @@ fn process_single_inner(shared: &Arc<Shared>, req: &Request) -> Vec<u8> {
                 .collect();
             Response::Soundness(rows).encode()
         }
-        Request::Stats => Response::Stats(snapshot(shared)).encode(),
+        Request::Stats => Response::Stats(Box::new(snapshot(shared))).encode(),
+        Request::SlowLog => Response::SlowLog(shared.slow.snapshot()).encode(),
     }
 }
 
@@ -942,5 +1168,11 @@ fn snapshot(shared: &Shared) -> StatsSnapshot {
         conns_accepted: m.conns_accepted.load(Ordering::Relaxed),
         accept_eagain: m.accept_eagain.load(Ordering::Relaxed),
         idle_timeouts: m.idle_timeouts.load(Ordering::Relaxed),
+        stages: m.stages.snapshot(),
+        queue_full_stalls: m.queue_full_stalls.load(Ordering::Relaxed),
+        read_interest_drops: m.read_interest_drops.load(Ordering::Relaxed),
+        read_interest_restores: m.read_interest_restores.load(Ordering::Relaxed),
+        inbox_wakeups: m.inbox_wakeups.load(Ordering::Relaxed),
+        queue_depth: shared.queue.len() as u64,
     }
 }

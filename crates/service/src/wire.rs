@@ -13,12 +13,12 @@
 //! non-negative gaps), so malformed input can produce `Protocol`
 //! errors but never duplicate edges, self-loops, or panics.
 //!
-//! Request kinds: Certify, Check, Gen, SoundnessProbe, Stats. The
-//! codec is total: `decode(encode(x)) == x` for every request and
-//! response, which the property tests in `tests/wire_props.rs` pin
-//! down across all generator families.
+//! Request kinds: Certify, Check, Gen, SoundnessProbe, Stats,
+//! SlowLog. The codec is total: `decode(encode(x)) == x` for every
+//! request and response, which the property tests in
+//! `tests/wire_props.rs` pin down across all generator families.
 
-use crate::metrics::StatsSnapshot;
+use crate::metrics::{SlowLogEntry, StatsSnapshot};
 use crate::registry::SchemeId;
 use dpc_core::harness::Outcome;
 use dpc_core::scheme::Assignment;
@@ -330,18 +330,35 @@ pub enum Request {
     },
     /// Fetch server counters and latency quantiles.
     Stats,
+    /// Fetch the retained slow-request log (stage breakdowns of
+    /// requests that crossed the server's `--slow-ms` threshold).
+    SlowLog,
 }
 
 impl Request {
-    /// The scheme id the request addresses (`None` for Stats).
+    /// The scheme id the request addresses (`None` for Stats and
+    /// SlowLog).
     pub fn scheme(&self) -> Option<SchemeId> {
         match self {
             Request::Certify { scheme, .. }
             | Request::Check { scheme, .. }
             | Request::Gen { scheme, .. }
             | Request::SoundnessProbe { scheme, .. } => Some(*scheme),
-            Request::Stats => None,
+            Request::Stats | Request::SlowLog => None,
         }
+    }
+
+    /// The request's wire tag — what a [`crate::metrics::Trace`]
+    /// carries as its `kind` and slow-log entries echo back.
+    pub fn kind_tag(&self) -> u8 {
+        (match self {
+            Request::Certify { .. } => REQ_CERTIFY,
+            Request::Check { .. } => REQ_CHECK,
+            Request::Gen { .. } => REQ_GEN,
+            Request::SoundnessProbe { .. } => REQ_SOUNDNESS,
+            Request::Stats => REQ_STATS,
+            Request::SlowLog => REQ_SLOWLOG,
+        }) as u8
     }
 }
 
@@ -350,6 +367,7 @@ const REQ_CHECK: u64 = 2;
 const REQ_GEN: u64 = 3;
 const REQ_SOUNDNESS: u64 = 4;
 const REQ_STATS: u64 = 5;
+const REQ_SLOWLOG: u64 = 6;
 
 // Borrowing encoders: build a frame body straight from a `&Graph`,
 // without constructing an owned `Request` (the client's hot path —
@@ -407,6 +425,13 @@ pub fn encode_stats_request() -> Vec<u8> {
     out
 }
 
+/// Frame body of a SlowLog request.
+pub fn encode_slowlog_request() -> Vec<u8> {
+    let mut out = Vec::new();
+    put_uvarint(&mut out, REQ_SLOWLOG);
+    out
+}
+
 impl Request {
     /// Encodes the request as a frame body.
     pub fn encode(&self) -> Vec<u8> {
@@ -429,6 +454,7 @@ impl Request {
                 scheme,
             } => encode_soundness_request(graph, *seed, *scheme),
             Request::Stats => encode_stats_request(),
+            Request::SlowLog => encode_slowlog_request(),
         }
     }
 
@@ -466,6 +492,7 @@ impl Request {
                 }
             }
             REQ_STATS => Request::Stats,
+            REQ_SLOWLOG => Request::SlowLog,
             k => return Err(protocol(format!("unknown request kind {k}"))),
         };
         if !buf.is_empty() {
@@ -551,8 +578,10 @@ pub enum Response {
     Generated(Graph),
     /// Soundness probe rows.
     Soundness(Vec<SoundnessLine>),
-    /// Server counters.
-    Stats(StatsSnapshot),
+    /// Server counters (boxed: the snapshot dwarfs every other variant).
+    Stats(Box<StatsSnapshot>),
+    /// Retained slow-request entries, newest first.
+    SlowLog(Vec<SlowLogEntry>),
 }
 
 const RESP_ERROR: u64 = 0;
@@ -562,6 +591,12 @@ const RESP_CHECKED: u64 = 3;
 const RESP_GENERATED: u64 = 4;
 const RESP_SOUNDNESS: u64 = 5;
 const RESP_STATS: u64 = 6;
+const RESP_SLOWLOG: u64 = 7;
+
+/// Upper bound on slow-log rows accepted on decode (well above
+/// [`crate::metrics::SLOW_LOG_CAP`], leaving room for future
+/// fleet-side aggregation).
+const MAX_SLOWLOG_ROWS: usize = 4096;
 
 /// Encodes the cacheable suffix of a Certified response (outcome +
 /// assignment). The cache stores exactly these bytes, so a hit is a
@@ -673,6 +708,13 @@ impl Response {
                 put_uvarint(&mut out, RESP_STATS);
                 snapshot.encode_into(&mut out);
             }
+            Response::SlowLog(entries) => {
+                put_uvarint(&mut out, RESP_SLOWLOG);
+                put_uvarint(&mut out, entries.len() as u64);
+                for entry in entries {
+                    entry.encode_into(&mut out);
+                }
+            }
         }
         out
     }
@@ -746,7 +788,18 @@ impl Response {
                 }
                 Response::Soundness(rows)
             }
-            RESP_STATS => Response::Stats(StatsSnapshot::decode_from(&mut buf)?),
+            RESP_STATS => Response::Stats(Box::new(StatsSnapshot::decode_from(&mut buf)?)),
+            RESP_SLOWLOG => {
+                let count = get_uvarint(&mut buf)? as usize;
+                if count > MAX_SLOWLOG_ROWS {
+                    return Err(protocol("too many slow-log rows"));
+                }
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    entries.push(SlowLogEntry::decode_from(&mut buf)?);
+                }
+                Response::SlowLog(entries)
+            }
             k => return Err(protocol(format!("unknown response kind {k}"))),
         };
         if !buf.is_empty() {
@@ -930,6 +983,42 @@ mod tests {
         put_uvarint(&mut cut, EXT_SCHEME_ID);
         put_uvarint(&mut cut, 5); // promises 5 payload bytes, has none
         assert!(Request::decode(&cut).is_err());
+    }
+
+    #[test]
+    fn slowlog_frames_roundtrip() {
+        let body = encode_slowlog_request();
+        assert_eq!(body, vec![REQ_SLOWLOG as u8], "bare one-byte request");
+        assert!(matches!(Request::decode(&body).unwrap(), Request::SlowLog));
+        assert_eq!(Request::SlowLog.scheme(), None);
+        assert_eq!(Request::SlowLog.kind_tag(), REQ_SLOWLOG as u8);
+
+        let entries = vec![
+            SlowLogEntry {
+                trace_id: (3 << 32) | 7,
+                kind: REQ_CERTIFY as u8,
+                scheme: 2,
+                age_us: 5_000_000,
+                total_us: 61_000,
+                read_decode_us: 14,
+                queue_wait_us: 420,
+                service_us: 59_000,
+                reorder_wait_us: 66,
+                write_flush_us: 1_500,
+            },
+            SlowLogEntry::default(),
+        ];
+        let resp = Response::SlowLog(entries.clone());
+        match Response::decode(&resp.encode()).unwrap() {
+            Response::SlowLog(back) => assert_eq!(back, entries),
+            other => panic!("{other:?}"),
+        }
+
+        // hostile row count: rejected by the bound, not allocated
+        let mut hostile = Vec::new();
+        put_uvarint(&mut hostile, RESP_SLOWLOG);
+        put_uvarint(&mut hostile, 1 << 30);
+        assert!(Response::decode(&hostile).is_err());
     }
 
     #[test]

@@ -5,16 +5,18 @@
 
 use dpc_graph::generators;
 use dpc_runtime::get_uvarint;
-use dpc_service::metrics::{HistogramSnapshot, SchemeStats, StatsSnapshot};
+use dpc_service::metrics::{HistogramSnapshot, SchemeStats, SlowLogEntry, StatsSnapshot};
 use dpc_service::registry::SchemeId;
-use dpc_service::wire::{self, Request};
+use dpc_service::wire::{self, Request, Response};
+use dpc_service::StageSnapshot;
 
 const SPEC: &str = include_str!("../../../docs/WIRE.md");
 
-/// Document order of the ```hex blocks: §5.2 (Stats) comes before
-/// §7 (Certify).
+/// Document order of the ```hex blocks: §5.3 (Stats) comes before
+/// §5.4 (SlowLog), which comes before §7 (Certify).
 const STATS_BLOCK: usize = 1;
-const CERTIFY_BLOCK: usize = 2;
+const SLOWLOG_BLOCK: usize = 2;
+const CERTIFY_BLOCK: usize = 3;
 
 /// The hex bytes of the `index`-th ```hex fenced block in the spec
 /// (1-based), comments (`# ...`) stripped.
@@ -71,6 +73,34 @@ fn spec_stats_snapshot() -> StatsSnapshot {
         conns_accepted: 9,
         accept_eagain: 3,
         idle_timeouts: 1,
+        stages: StageSnapshot {
+            queue_wait: HistogramSnapshot {
+                buckets: vec![1, 3],
+            },
+            ..StageSnapshot::default()
+        },
+        queue_full_stalls: 1,
+        read_interest_drops: 1,
+        read_interest_restores: 1,
+        inbox_wakeups: 4,
+        queue_depth: 0,
+    }
+}
+
+/// The slow-log entry the SlowLog example in docs/WIRE.md §5.4
+/// describes.
+fn spec_slowlog_entry() -> SlowLogEntry {
+    SlowLogEntry {
+        trace_id: (1 << 32) | 2,
+        kind: 1,
+        scheme: 0,
+        age_us: 128,
+        total_us: 1_000_000,
+        read_decode_us: 2,
+        queue_wait_us: 100,
+        service_us: 999_000,
+        reorder_wait_us: 8,
+        write_flush_us: 890,
     }
 }
 
@@ -168,10 +198,50 @@ fn spec_stats_example_keeps_the_v2_prefix_decodable() {
         .map(|_| get_uvarint(&mut buf).expect("v3 field"))
         .collect();
     assert_eq!(tail, vec![4, 2, 1, 3, 6, 2048, 1, 0]);
-    // …then the 4-field v4 connection tail, and nothing else
+    // …then the 4-field v4 connection tail…
     let tail: Vec<u64> = (0..4)
         .map(|_| get_uvarint(&mut buf).expect("v4 field"))
         .collect();
     assert_eq!(tail, vec![2, 9, 3, 1]);
+    // …then the v5 tracing tail: five stage histograms (only
+    // queue_wait is populated in the example) and five back-pressure
+    // counters, and nothing else
+    for (idx, expected) in [&[][..], &[1, 3], &[], &[], &[]].iter().enumerate() {
+        let buckets = get_uvarint(&mut buf).expect("stage bucket count");
+        let counts: Vec<u64> = (0..buckets)
+            .map(|_| get_uvarint(&mut buf).expect("stage bucket"))
+            .collect();
+        assert_eq!(&counts, expected, "stage histogram {idx}");
+    }
+    let tail: Vec<u64> = (0..5)
+        .map(|_| get_uvarint(&mut buf).expect("v5 counter"))
+        .collect();
+    assert_eq!(tail, vec![1, 1, 1, 4, 0]);
     assert!(buf.is_empty());
+}
+
+#[test]
+fn spec_slowlog_example_is_the_real_encoding() {
+    let doc = spec_example_bytes(SLOWLOG_BLOCK);
+    let encoded = Response::SlowLog(vec![spec_slowlog_entry()]).encode();
+    assert_eq!(
+        doc, encoded,
+        "docs/WIRE.md §5.4 slow-log example drifted from the codec"
+    );
+    match Response::decode(&doc).expect("valid response") {
+        Response::SlowLog(entries) => {
+            assert_eq!(entries, vec![spec_slowlog_entry()]);
+            // the documented invariant: total is the sum of the stages
+            let e = &entries[0];
+            assert_eq!(
+                e.total_us,
+                e.read_decode_us
+                    + e.queue_wait_us
+                    + e.service_us
+                    + e.reorder_wait_us
+                    + e.write_flush_us
+            );
+        }
+        other => panic!("spec example decoded as {other:?}"),
+    }
 }

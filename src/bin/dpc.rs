@@ -17,13 +17,18 @@
 //! dpc serve <addr> [workers] [cache-mb] [--schemes a,b,c]
 //!           [--store-dir <path>] [--store-budget-bytes <n>]
 //!           [--event-loop|--threaded] [--event-loops <n>]
-//!           [--idle-timeout-ms <n>]
+//!           [--idle-timeout-ms <n>] [--metrics-addr <addr>]
+//!           [--slow-ms <n>]
 //!                           long-running service (default: all
 //!                           schemes, no persistence); with a store
 //!                           dir the certificate cache survives
 //!                           restarts. The front end defaults to the
 //!                           epoll event loop on Linux; --threaded
-//!                           restores thread-per-connection
+//!                           restores thread-per-connection.
+//!                           --metrics-addr serves Prometheus text
+//!                           over plain HTTP GET /metrics; --slow-ms
+//!                           sets the slow-request log threshold
+//!                           (default 1000, 0 disables)
 //! dpc store stat|compact|verify <dir>
 //!                           offline tools for a --store-dir (do not
 //!                           run against a live server)
@@ -45,6 +50,16 @@
 //! dpc cluster-stats --nodes a,b,c
 //!                           per-node reachability + Stats, plus the
 //!                           fleet-aggregated view
+//! dpc slowlog <addr>|--nodes a,b,c
+//!                           the slow-request log: every request whose
+//!                           end-to-end latency crossed the server's
+//!                           --slow-ms threshold, with its full
+//!                           per-stage breakdown, newest first
+//! dpc top <addr>|--nodes a,b,c [--once] [--interval-ms <n>]
+//!                           live fleet dashboard from repeated Stats
+//!                           polls: per-interval rps, per-stage
+//!                           p50/p99, queue depth, connections, cache
+//!                           hit ratio; --once prints one frame
 //! dpc bench-serve <addr>|self [hits] [side] load generator; reports
 //!                           cache-hit vs cache-miss latency (plus a
 //!                           machine-readable JSON summary line)
@@ -66,11 +81,12 @@ use dpc::graph::{graph6, Graph};
 use dpc::planar::kuratowski::extract_kuratowski;
 use dpc::planar::lr::{planarity, Planarity};
 use dpc::prelude::*;
+use dpc_runtime::log_info;
 use dpc_service::cache::CacheConfig;
 use dpc_service::cluster::ClusterClient;
 use dpc_service::registry::{SchemeId, SchemeRegistry};
 use dpc_service::wire::{CheckVerdict, Response};
-use dpc_service::{Client, SegmentConfig, SegmentStore, ServeConfig};
+use dpc_service::{Client, SegmentConfig, SegmentStore, ServeConfig, SlowLogEntry, StatsSnapshot};
 use std::net::ToSocketAddrs;
 use std::time::{Duration, Instant};
 
@@ -116,6 +132,8 @@ fn run(args: &[&str]) -> Result<String, String> {
         ["store", sub, dir] => store_cmd(sub, dir),
         ["query", rest @ ..] => query_cmd(rest),
         ["cluster-stats", rest @ ..] => cluster_stats_cmd(rest),
+        ["slowlog", rest @ ..] => slowlog_cmd(rest),
+        ["top", rest @ ..] => top_cmd(rest),
         ["bench-serve", rest @ ..] => bench_serve_cmd(rest),
         _ => Err(usage()),
     }
@@ -126,12 +144,15 @@ fn usage() -> String {
      dpc gen <family> <n> [seed]  |  dpc schemes  |  \
      dpc serve <addr> [workers] [cache-mb] [--schemes a,b,c] \
      [--store-dir <path>] [--store-budget-bytes <n>] \
-     [--event-loop|--threaded] [--event-loops <n>] [--idle-timeout-ms <n>]  |  \
+     [--event-loop|--threaded] [--event-loops <n>] [--idle-timeout-ms <n>] \
+     [--metrics-addr <addr>] [--slow-ms <n>]  |  \
      dpc store stat|compact|verify <dir>  |  \
      dpc store merge <dst> <src...>  |  \
      dpc query <addr>|--nodes a,b,c certify|check|gen|soundness|stats \
      [--scheme <name>] [--wait-ms <n>] ...  |  \
      dpc cluster-stats --nodes a,b,c [--wait-ms <n>]  |  \
+     dpc slowlog <addr>|--nodes a,b,c [--wait-ms <n>]  |  \
+     dpc top <addr>|--nodes a,b,c [--once] [--interval-ms <n>] [--wait-ms <n>]  |  \
      dpc bench-serve <addr>|self|--nodes a,b,c [hits] [side] \
      [--connections N[,N...] [--requests-per-conn <k>] \
      [--threaded|--event-loop]]"
@@ -399,6 +420,12 @@ fn serve_cmd(addr: &str, rest: &[&str]) -> Result<String, String> {
                         .map_err(|_| "idle-timeout-ms must be a number".to_string())?,
                 );
             }
+            "--metrics-addr" => cfg.metrics_addr = Some(value("--metrics-addr")?.to_string()),
+            "--slow-ms" => {
+                cfg.slow_ms = value("--slow-ms")?
+                    .parse()
+                    .map_err(|_| "slow-ms must be a number".to_string())?;
+            }
             flag if flag.starts_with("--") => return Err(usage()),
             p => positional.push(p),
         }
@@ -437,8 +464,9 @@ fn serve_cmd(addr: &str, rest: &[&str]) -> Result<String, String> {
     }
     let handle = dpc_service::serve_with_registry(addr, cfg.clone(), registry)
         .map_err(|e| format!("cannot bind {addr}: {e}"))?;
-    eprintln!(
-        "dpc serve: listening on {} ({}, {} workers, {} MiB cache, batch {} max, store: {}, schemes: {})",
+    log_info!(
+        "serve",
+        "listening on {} ({}, {} workers, {} MiB cache, batch {} max, store: {}, schemes: {})",
         handle.addr(),
         if cfg.event_loop && epoll::supported() {
             "event-loop"
@@ -460,6 +488,9 @@ fn serve_cmd(addr: &str, rest: &[&str]) -> Result<String, String> {
             .collect::<Vec<_>>()
             .join(","),
     );
+    if let Some(m) = handle.metrics_addr() {
+        log_info!("serve", "metrics on http://{m}/metrics");
+    }
     handle.wait();
     Ok(String::new())
 }
@@ -634,6 +665,23 @@ impl Target {
             Target::Ring(cc) => render_fleet(cc),
         }
     }
+
+    /// One labeled Stats poll per node (`None` = unreachable), used
+    /// by `dpc top` to diff consecutive polls. A single server errors
+    /// hard instead — there is nothing to keep watching.
+    fn stats_all(&mut self) -> Result<Vec<(String, Option<StatsSnapshot>)>, String> {
+        match self {
+            Target::Single(c) => {
+                let s = c.stats().map_err(|e| e.to_string())?;
+                Ok(vec![("server".to_string(), Some(s))])
+            }
+            Target::Ring(cc) => Ok(cc
+                .node_stats()
+                .into_iter()
+                .map(|(addr, result)| (addr, result.ok()))
+                .collect()),
+        }
+    }
 }
 
 /// The per-node + fleet-aggregated Stats view of a ring.
@@ -677,6 +725,183 @@ fn cluster_stats_cmd(rest: &[&str]) -> Result<String, String> {
     let nodes = nodes.ok_or_else(usage)?;
     let mut cc = ring_client(nodes, wait)?;
     render_fleet(&mut cc)
+}
+
+/// One slow-log table (shared by the single-server and per-node
+/// views): newest first, one row per slow request with its full
+/// stage breakdown.
+fn render_slowlog(entries: &[SlowLogEntry]) -> String {
+    if entries.is_empty() {
+        return "slow log is empty (no request crossed the server's --slow-ms threshold)\n"
+            .to_string();
+    }
+    let mut out = format!(
+        "{:<18} {:<10} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+        "trace",
+        "kind",
+        "scheme",
+        "age_ms",
+        "total_us",
+        "decode",
+        "queue",
+        "service",
+        "reorder",
+        "write",
+    );
+    for e in entries {
+        out.push_str(&format!(
+            "{:<18} {:<10} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+            format!("{:#x}", e.trace_id),
+            e.kind_name(),
+            e.scheme,
+            e.age_us / 1000,
+            e.total_us,
+            e.read_decode_us,
+            e.queue_wait_us,
+            e.service_us,
+            e.reorder_wait_us,
+            e.write_flush_us,
+        ));
+    }
+    out
+}
+
+fn slowlog_cmd(rest: &[&str]) -> Result<String, String> {
+    let mut args: Vec<&str> = rest.to_vec();
+    let (wait, nodes) = take_conn_flags(&mut args)?;
+    match nodes {
+        Some(addrs) => {
+            if !args.is_empty() {
+                return Err(usage());
+            }
+            let mut cc = ring_client(addrs, wait)?;
+            let mut out = String::new();
+            for (addr, result) in cc.node_slowlog() {
+                match result {
+                    Ok(entries) => {
+                        out.push_str(&format!("node {addr}: {} slow request(s)\n", entries.len()));
+                        out.push_str(&render_slowlog(&entries));
+                    }
+                    Err(e) => out.push_str(&format!("node {addr}: DOWN ({e})\n")),
+                }
+            }
+            Ok(out)
+        }
+        None => {
+            let [addr] = args.as_slice() else {
+                return Err(usage());
+            };
+            let mut client = connect_wait(addr, wait)?;
+            let entries = client.slowlog().map_err(|e| e.to_string())?;
+            Ok(render_slowlog(&entries))
+        }
+    }
+}
+
+/// One `dpc top` frame: what happened between two Stats polls
+/// `dt` seconds apart — request rate, per-stage latency of exactly
+/// the interval's traffic (histogram subtraction), live queue depth,
+/// connections, and the interval's cache hit ratio.
+fn render_top_frame(label: &str, prev: &StatsSnapshot, cur: &StatsSnapshot, dt: f64) -> String {
+    let requests = cur.requests_total().saturating_sub(prev.requests_total());
+    let hits = cur.cache_hits.saturating_sub(prev.cache_hits);
+    let misses = cur.cache_misses.saturating_sub(prev.cache_misses);
+    let lookups = hits + misses;
+    let latency = cur.latency.diff(&prev.latency);
+    let mut out = format!(
+        "{label}: {:.0} req/s, latency p50 {} us p99 {} us, queue {}, conns {}, hit ratio {}\n",
+        requests as f64 / dt.max(1e-9),
+        latency.p50_us(),
+        latency.p99_us(),
+        cur.queue_depth,
+        cur.conns_open,
+        if lookups == 0 {
+            "n/a".to_string()
+        } else {
+            format!("{:.0}%", hits as f64 * 100.0 / lookups as f64)
+        },
+    );
+    let stages = cur.stages.diff(&prev.stages);
+    for (name, h) in stages.named() {
+        if h.count() == 0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "  stage {name:<12} {:>8} samples, p50 {:>7} us, p99 {:>7} us\n",
+            h.count(),
+            h.p50_us(),
+            h.p99_us(),
+        ));
+    }
+    out
+}
+
+/// Polls Stats and renders interval deltas. With `--once`, prints a
+/// single frame (two polls, one interval) and exits — made for CI
+/// smoke steps; otherwise frames stream until the process is killed.
+fn top_cmd(rest: &[&str]) -> Result<String, String> {
+    let mut args: Vec<&str> = rest.to_vec();
+    let (wait, nodes) = take_conn_flags(&mut args)?;
+    let once = args.contains(&"--once");
+    args.retain(|&a| a != "--once");
+    let interval = take_flag_value(&mut args, "--interval-ms")?
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| "interval-ms must be a number".to_string())
+        })
+        .transpose()?
+        .unwrap_or(1000)
+        .max(1);
+    let interval = Duration::from_millis(interval);
+    let addr = match nodes {
+        None => {
+            if args.is_empty() {
+                return Err(usage());
+            }
+            Some(args.remove(0))
+        }
+        Some(_) => None,
+    };
+    if !args.is_empty() {
+        return Err(usage());
+    }
+    let mut target = Target::open(addr, nodes, wait)?;
+    let mut prev = target.stats_all()?;
+    let mut prev_at = Instant::now();
+    loop {
+        std::thread::sleep(interval);
+        let cur = target.stats_all()?;
+        let now = Instant::now();
+        let dt = now.duration_since(prev_at).as_secs_f64();
+        let mut frame = String::new();
+        for (label, cur_snap) in &cur {
+            match prev.iter().find(|(l, _)| l == label) {
+                Some((_, Some(prev_snap))) => {
+                    if let Some(cur_snap) = cur_snap {
+                        frame.push_str(&render_top_frame(label, prev_snap, cur_snap, dt));
+                    } else {
+                        frame.push_str(&format!("{label}: DOWN\n"));
+                    }
+                }
+                _ => frame.push_str(&format!(
+                    "{label}: {}\n",
+                    if cur_snap.is_some() {
+                        "warming up"
+                    } else {
+                        "DOWN"
+                    }
+                )),
+            }
+        }
+        if once {
+            return Ok(frame);
+        }
+        println!("{frame}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        prev = cur;
+        prev_at = now;
+    }
 }
 
 /// Offline union of segment stores: streams every record of each
@@ -855,6 +1080,7 @@ fn render_response(resp: Response, scheme: &str) -> Result<String, String> {
             rows.into_iter().map(|r| (r.attack, r.rejects)),
         )),
         Response::Stats(s) => Ok(format!("{s}\n")),
+        Response::SlowLog(entries) => Ok(render_slowlog(&entries)),
     }
 }
 
@@ -983,7 +1209,9 @@ fn bench_single(
     let stats = client.stats().map_err(|e| e.to_string())?;
     let miss_p50 = percentile(&mut miss_lat, 0.50);
     let hit_p50 = percentile(&mut hit_lat, 0.50);
+    let hit_p90 = percentile(&mut hit_lat, 0.90);
     let hit_p99 = percentile(&mut hit_lat, 0.99);
+    let hit_p999 = percentile(&mut hit_lat, 0.999);
     let speedup = miss_p50.as_secs_f64() / hit_p50.as_secs_f64().max(1e-9);
     let hit_rps = hits as f64 / hit_wall.as_secs_f64().max(1e-9);
     // machine-readable trailer (one JSON object per run, on its own
@@ -991,33 +1219,49 @@ fn bench_single(
     let json = format!(
         "{{\"bench\":\"serve\",\"graph\":\"grid({side},{side})\",\"nodes\":{},\
          \"miss_queries\":{misses},\"miss_p50_us\":{},\"hit_queries\":{hits},\
-         \"hit_p50_us\":{},\"hit_p99_us\":{},\"hit_rps\":{hit_rps:.0},\
+         \"hit_p50_us\":{},\"hit_p90_us\":{},\"hit_p99_us\":{},\"hit_p999_us\":{},\
+         \"hit_rps\":{hit_rps:.0},\
          \"speedup\":{speedup:.2},\"cache_hits\":{},\"cache_misses\":{},\
-         \"proves\":{},\"cache_bytes\":{},\"store_records\":{},\"store_segments\":{}}}",
+         \"proves\":{},\"cache_bytes\":{},\"store_records\":{},\"store_segments\":{},\
+         {}}}",
         g.node_count(),
         miss_p50.as_micros(),
         hit_p50.as_micros(),
+        hit_p90.as_micros(),
         hit_p99.as_micros(),
+        hit_p999.as_micros(),
         stats.cache_hits,
         stats.cache_misses,
         stats.proves,
         stats.cache_bytes,
         stats.store_records,
         stats.store_segments,
+        stage_json(&stats.stages),
     );
+    let stage_human: String = stats
+        .stages
+        .named()
+        .iter()
+        .filter(|(_, h)| h.count() > 0)
+        .map(|(name, h)| format!("{name} p50 {} us", h.p50_us()))
+        .collect::<Vec<_>>()
+        .join(", ");
     let out = format!(
         "bench-serve against {target} on grid({side},{side}) ({} nodes)\n\
          cache-miss (fresh prove): {} queries, p50 {:.3} ms\n\
-         cache-hit: {} queries, p50 {:.3} ms, p99 {:.3} ms, {:.0} req/s\n\
+         cache-hit: {} queries, p50 {:.3} ms, p90 {:.3} ms, p99 {:.3} ms, p99.9 {:.3} ms, {:.0} req/s\n\
          speedup (miss p50 / hit p50): {speedup:.1}x {}\n\
          server: {} hits, {} misses, {} proves, {} cache bytes\n\
+         stages: {stage_human}\n\
          {json}\n",
         g.node_count(),
         misses,
         miss_p50.as_secs_f64() * 1e3,
         hits,
         hit_p50.as_secs_f64() * 1e3,
+        hit_p90.as_secs_f64() * 1e3,
         hit_p99.as_secs_f64() * 1e3,
+        hit_p999.as_secs_f64() * 1e3,
         hit_rps,
         if speedup >= 10.0 {
             "(>= 10x: cache pays for itself)"
@@ -1098,6 +1342,13 @@ fn bench_storm(
     let mut human = format!("bench-serve storm against {target} ({mode}, {per_conn} req/conn)\n");
     let mut curve = Vec::new();
     for &connections in counts {
+        // bracket each storm with a Stats poll: the diff isolates the
+        // storm's own per-stage latency and back-pressure stalls from
+        // whatever ran before it on a long-lived server. Best-effort:
+        // a server the storm just collapsed (the threaded 10k case)
+        // still gets its failure row, only with empty stage data.
+        let poll = |wait| connect_wait(&target, wait).ok()?.stats().ok();
+        let before = poll(wait);
         let report = storm(
             sock_addr,
             &StormConfig {
@@ -1108,8 +1359,17 @@ fn bench_storm(
             },
         )
         .map_err(|e| format!("storm failed: {e}"))?;
+        let after = poll(None);
+        let (stages, stalls) = match (&before, &after) {
+            (Some(b), Some(a)) => (
+                a.stages.diff(&b.stages),
+                a.queue_full_stalls.saturating_sub(b.queue_full_stalls),
+            ),
+            _ => (Default::default(), 0),
+        };
         human.push_str(&format!(
-            "  {:>6} conns: {} ok, {} errors, {} failed ({} connect, {} io), {:.0} req/s over {:.0} ms\n",
+            "  {:>6} conns: {} ok, {} errors, {} failed ({} connect, {} io), {:.0} req/s over {:.0} ms\n\
+             {:>10} queue-wait p50 {} us, write-flush p50 {} us, {stalls} queue-full stalls\n",
             report.connections,
             report.ok,
             report.errors,
@@ -1118,11 +1378,14 @@ fn bench_storm(
             report.io_failures,
             report.rps(),
             report.elapsed.as_secs_f64() * 1e3,
+            "",
+            stages.queue_wait.p50_us(),
+            stages.write_flush.p50_us(),
         ));
         curve.push(format!(
             "{{\"connections\":{},\"requests\":{},\"ok\":{},\"errors\":{},\
              \"failed\":{},\"connect_failures\":{},\"io_failures\":{},\
-             \"rps\":{:.0},\"elapsed_ms\":{:.0}}}",
+             \"rps\":{:.0},\"elapsed_ms\":{:.0},\"queue_full_stalls\":{stalls},{}}}",
             report.connections,
             report.requests,
             report.ok,
@@ -1132,6 +1395,7 @@ fn bench_storm(
             report.io_failures,
             report.rps(),
             report.elapsed.as_secs_f64() * 1e3,
+            stage_json(&stages),
         ));
     }
     let json = format!(
@@ -1205,34 +1469,41 @@ fn bench_ring(
     let misses = miss_lat.len();
     let miss_p50 = percentile(&mut miss_lat, 0.50);
     let hit_p50 = percentile(&mut hit_lat, 0.50);
+    let hit_p90 = percentile(&mut hit_lat, 0.90);
     let hit_p99 = percentile(&mut hit_lat, 0.99);
+    let hit_p999 = percentile(&mut hit_lat, 0.999);
     let speedup = miss_p50.as_secs_f64() / hit_p50.as_secs_f64().max(1e-9);
     let hit_rps = hits as f64 / hit_wall.as_secs_f64().max(1e-9);
     let json = format!(
         "{{\"bench\":\"serve\",\"mode\":\"ring\",\"graph\":\"stacked_triangulation({n})x{}\",\
          \"nodes\":{n},\"ring_nodes\":{ring_nodes},\"ring_spread\":{},\"failovers\":{},\
          \"miss_queries\":{misses},\"miss_p50_us\":{},\"hit_queries\":{hits},\
-         \"hit_p50_us\":{},\"hit_p99_us\":{},\"hit_rps\":{hit_rps:.0},\
+         \"hit_p50_us\":{},\"hit_p90_us\":{},\"hit_p99_us\":{},\"hit_p999_us\":{},\
+         \"hit_rps\":{hit_rps:.0},\
          \"speedup\":{speedup:.2},\"cache_hits\":{},\"cache_misses\":{},\
-         \"proves\":{},\"cache_bytes\":{},\"store_records\":{},\"store_segments\":{}}}",
+         \"proves\":{},\"cache_bytes\":{},\"store_records\":{},\"store_segments\":{},\
+         {}}}",
         graphs.len(),
         routing.nodes_used(),
         routing.failovers,
         miss_p50.as_micros(),
         hit_p50.as_micros(),
+        hit_p90.as_micros(),
         hit_p99.as_micros(),
+        hit_p999.as_micros(),
         fleet.cache_hits,
         fleet.cache_misses,
         fleet.proves,
         fleet.cache_bytes,
         fleet.store_records,
         fleet.store_segments,
+        stage_json(&fleet.stages),
     );
     Ok(format!(
         "bench-serve against a ring of {ring_nodes} node(s), {} graphs of {n} nodes each\n\
          routing: {}/{ring_nodes} nodes served traffic, {} failovers\n\
          cache-miss (fresh prove): {misses} queries, p50 {:.3} ms\n\
-         cache-hit: {hits} queries, p50 {:.3} ms, p99 {:.3} ms, {:.0} req/s\n\
+         cache-hit: {hits} queries, p50 {:.3} ms, p90 {:.3} ms, p99 {:.3} ms, p99.9 {:.3} ms, {:.0} req/s\n\
          speedup (miss p50 / hit p50): {speedup:.1}x\n\
          fleet: {} hits, {} misses, {} proves, {} store records\n\
          {json}\n",
@@ -1241,13 +1512,35 @@ fn bench_ring(
         routing.failovers,
         miss_p50.as_secs_f64() * 1e3,
         hit_p50.as_secs_f64() * 1e3,
+        hit_p90.as_secs_f64() * 1e3,
         hit_p99.as_secs_f64() * 1e3,
+        hit_p999.as_secs_f64() * 1e3,
         hit_rps,
         fleet.cache_hits,
         fleet.cache_misses,
         fleet.proves,
         fleet.store_records,
     ))
+}
+
+/// The per-stage breakdown as a `"stages":{...}` JSON fragment for
+/// the bench trailers: server-side sample count and p50/p99 per
+/// traced stage (stages with no samples are included at zero, so a
+/// scraper can rely on the keys).
+fn stage_json(stages: &dpc_service::StageSnapshot) -> String {
+    let fields: Vec<String> = stages
+        .named()
+        .iter()
+        .map(|(name, h)| {
+            format!(
+                "\"{name}\":{{\"count\":{},\"p50_us\":{},\"p99_us\":{}}}",
+                h.count(),
+                h.p50_us(),
+                h.p99_us(),
+            )
+        })
+        .collect();
+    format!("\"stages\":{{{}}}", fields.join(","))
 }
 
 fn percentile(samples: &mut [Duration], q: f64) -> Duration {
