@@ -61,6 +61,7 @@ fn bench_throughput(c: &mut Criterion) {
                         .send(&dpc_service::Request::Certify {
                             graph: g.clone(),
                             bypass_cache: false,
+                            cached_only: false,
                             scheme: dpc_service::SchemeId::PLANARITY,
                         })
                         .expect("send");

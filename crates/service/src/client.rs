@@ -9,6 +9,7 @@
 
 use crate::metrics::{SlowLogEntry, StatsSnapshot};
 use crate::registry::SchemeId;
+use crate::store::StoreRecord;
 use crate::wire::{self, Request, Response, WireError};
 use dpc_graph::Graph;
 use std::io::{self, BufReader, BufWriter, Write};
@@ -187,6 +188,32 @@ impl Client {
             Response::Error(e) => Err(WireError::Protocol(e)),
             other => Err(WireError::Protocol(format!(
                 "unexpected response to SlowLog: {other:?}"
+            ))),
+        }
+    }
+
+    /// The server's store content-key digests — the cheap half of an
+    /// anti-entropy exchange (see [`Client::store_push`]).
+    pub fn store_list(&mut self) -> Result<Vec<u128>, WireError> {
+        match self.call_body(&wire::encode_store_list_request())? {
+            Response::StoreKeys(keys) => Ok(keys),
+            Response::Error(e) => Err(WireError::Protocol(e)),
+            other => Err(WireError::Protocol(format!(
+                "unexpected response to StoreList: {other:?}"
+            ))),
+        }
+    }
+
+    /// Streams certificate records into the server's store; returns
+    /// `(merged, duplicates)` — records absorbed vs. keys the server
+    /// already held. Replica writes, read-repair, and the anti-entropy
+    /// sweep all funnel through this one request kind.
+    pub fn store_push(&mut self, records: &[StoreRecord]) -> Result<(u64, u64), WireError> {
+        match self.call_body(&wire::encode_store_push_request(records))? {
+            Response::StorePushed { merged, duplicates } => Ok((merged, duplicates)),
+            Response::Error(e) => Err(WireError::Protocol(e)),
+            other => Err(WireError::Protocol(format!(
+                "unexpected response to StorePush: {other:?}"
             ))),
         }
     }

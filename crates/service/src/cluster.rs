@@ -4,13 +4,23 @@
 //! Certificates are content-addressed (`uvarint(scheme id)` + the
 //! canonical [`dpc_graph::canon::graph_hash`]), and the client
 //! computes that key deterministically *before* opening any
-//! connection — so request routing needs no coordinator, no gossip,
-//! and no server-side changes at all. A [`ClusterClient`] holds N
-//! server addresses, ranks them per key by rendezvous (highest-
-//! random-weight) hashing, sends each request to the top-ranked node,
-//! and fails over down the ranking when a node cannot be reached.
-//! Servers stay share-nothing: each node's cache and store simply
-//! fill with the keys the ring assigns it.
+//! connection — so request routing needs no coordinator and no
+//! gossip. A [`ClusterClient`] holds N server addresses, ranks them
+//! per key by rendezvous (highest-random-weight) hashing, sends each
+//! request to the top-ranked node, and fails over down the ranking
+//! when a node cannot be reached. Servers stay share-nothing on the
+//! request path: each node's cache and store simply fill with the
+//! keys the ring assigns it.
+//!
+//! With a replication factor above one
+//! ([`ClusterClient::with_replication`]) each certificate lives on
+//! the top-k nodes of its ranking instead of just the owner: fresh
+//! proves are StorePush-copied to the other replicas, reads walk the
+//! top-k with cheap cached-only probes and **read-repair** any
+//! higher-ranked replica that missed, and the servers' own
+//! anti-entropy sweep (`dpc serve --peers`) converges whatever the
+//! client could not reach — so killing any single node loses no
+//! cached certificate and forces no re-prove.
 //!
 //! Rendezvous hashing (rather than a ring of virtual tokens) keeps
 //! the stability property the store layer wants: when a node leaves,
@@ -32,6 +42,7 @@
 use crate::client::Client;
 use crate::metrics::{SlowLogEntry, StatsSnapshot};
 use crate::registry::SchemeId;
+use crate::store::{RecordKind, StoreRecord};
 use crate::wire::{self, Response, WireError};
 use dpc_graph::canon;
 use dpc_graph::Graph;
@@ -221,6 +232,15 @@ pub struct ClusterStats {
     pub failovers: u64,
     /// Requests that exhausted every node without an answer.
     pub exhausted: u64,
+    /// Certificates copied synchronously to the other top-k replicas
+    /// after a fresh prove (replication factor > 1 only).
+    pub replica_writes: u64,
+    /// Cached hits served by a lower-ranked replica that triggered an
+    /// asynchronous backfill of the replicas ranked above it.
+    pub read_repairs: u64,
+    /// Replica copies that failed (target unreachable or errored);
+    /// the servers' anti-entropy sweep repairs these later.
+    pub replica_errors: u64,
     /// Per-node counters, indexed like the ring's addresses.
     pub per_node: Vec<NodeStats>,
 }
@@ -261,6 +281,9 @@ pub struct ClusterClient {
     /// a dead node costs the window once per client, not per request.
     dialed: Vec<bool>,
     connect_wait: Option<Duration>,
+    /// Copies of each certificate to keep, on the top-k ranked nodes.
+    /// 1 (the default) is the original single-owner routing.
+    replication: usize,
     stats: ClusterStats,
 }
 
@@ -285,8 +308,28 @@ impl ClusterClient {
             conns,
             dialed,
             connect_wait: None,
+            replication: 1,
             stats,
         }
+    }
+
+    /// Keeps each certificate on the top-`k` nodes of its rendezvous
+    /// ranking (clamped to `1..=ring.len()`). With `k == 1` routing
+    /// is byte-identical to the unreplicated client. With `k > 1`,
+    /// non-bypass certifies probe the top-k replicas with cached-only
+    /// requests (a probe never triggers a prove), read-repair any
+    /// higher-ranked replica that missed, and copy fresh proves to
+    /// every replica — so any single node can die without losing a
+    /// cached certificate.
+    pub fn with_replication(mut self, k: usize) -> ClusterClient {
+        self.replication = k.clamp(1, self.ring.len());
+        self
+    }
+
+    /// The configured replication factor (see
+    /// [`ClusterClient::with_replication`]).
+    pub fn replication(&self) -> usize {
+        self.replication
     }
 
     /// Retries each node's *first* dial (in this client's lifetime)
@@ -372,18 +415,98 @@ impl ClusterClient {
         }
     }
 
-    /// Certifies a graph under a scheme on the owning node.
+    /// Certifies a graph under a scheme on the owning node (or, with
+    /// a replication factor above one, across the top-k replicas —
+    /// bypass requests always take the plain single-owner path, since
+    /// their whole point is a fresh prove).
     pub fn certify_scheme(
         &mut self,
         graph: &Graph,
         bypass_cache: bool,
         scheme: SchemeId,
     ) -> Result<Response, WireError> {
+        if self.replication > 1 && !bypass_cache {
+            return self.certify_replicated(graph, scheme);
+        }
         let key = graph_key(scheme, graph);
         self.route(
             &key,
             &wire::encode_certify_request(graph, bypass_cache, scheme),
         )
+    }
+
+    /// The k>1 certify path: walk the top-k replicas with cached-only
+    /// probes; a hit anywhere answers immediately (read-repairing the
+    /// higher-ranked replicas that missed); an all-miss falls back to
+    /// one full certify routed down the whole ranking, whose result
+    /// is then copied to the other replicas.
+    fn certify_replicated(
+        &mut self,
+        graph: &Graph,
+        scheme: SchemeId,
+    ) -> Result<Response, WireError> {
+        let key = graph_key(scheme, graph);
+        let ranked = self.ring.rank(&key);
+        let replicas: Vec<usize> = ranked[..self.replication.min(ranked.len())].to_vec();
+        let probe = wire::encode_certify_probe_request(graph, scheme);
+        let mut hops = 0u64;
+        let mut missed: Vec<usize> = Vec::new();
+        for &idx in &replicas {
+            match self.try_node(idx, &probe) {
+                Ok(Response::Error(e)) if e == wire::NOT_CACHED => missed.push(idx),
+                Ok(resp) => {
+                    self.stats.requests += 1;
+                    self.stats.failovers += hops;
+                    self.stats.per_node[idx].routed += 1;
+                    if !missed.is_empty() {
+                        if let Some(record) = response_record(scheme, graph, &resp) {
+                            // backfill the better-ranked replicas off
+                            // the request path: the caller already
+                            // has its answer
+                            self.stats.read_repairs += 1;
+                            let targets: Vec<String> = missed
+                                .iter()
+                                .map(|&i| self.ring.addrs()[i].clone())
+                                .collect();
+                            read_repair(targets, record);
+                        }
+                    }
+                    return Ok(resp);
+                }
+                Err(_) => {
+                    hops += 1;
+                    self.stats.per_node[idx].failures += 1;
+                }
+            }
+        }
+        // no replica holds it (or none was reachable): one real
+        // certify, failing over down the full ranking as usual
+        let resp = self.route(&key, &wire::encode_certify_request(graph, false, scheme))?;
+        if let Some(record) = response_record(scheme, graph, &resp) {
+            // the answering node cached and stored the result itself;
+            // the other replicas get an explicit copy (a push to a
+            // node that already holds the key is a cheap duplicate)
+            for &idx in &replicas[1..] {
+                match self.push_record(idx, &record) {
+                    Ok(()) => self.stats.replica_writes += 1,
+                    Err(_) => self.stats.replica_errors += 1,
+                }
+            }
+        }
+        Ok(resp)
+    }
+
+    /// Pushes one record to one node over the cached connection; any
+    /// error drops the connection, like every other per-node call.
+    fn push_record(&mut self, idx: usize, record: &StoreRecord) -> Result<(), WireError> {
+        let client = self.ensure_conn(idx)?;
+        match client.store_push(std::slice::from_ref(record)) {
+            Ok(_) => Ok(()),
+            Err(e) => {
+                self.conns[idx] = None;
+                Err(e)
+            }
+        }
     }
 
     /// Certifies under the planarity scheme.
@@ -510,6 +633,53 @@ impl ClusterClient {
             ))),
         }
     }
+}
+
+/// Reconstructs the store record a server retains for a certify
+/// response — the unit replica writes, read-repair, and anti-entropy
+/// all push. The keyed bytes are rebuilt from the scheme id and the
+/// canonical graph encoding (exactly what the server keys its cache
+/// by), so the record is byte-identical to the one the answering node
+/// wrote. `None` for responses that are never cached (errors).
+pub fn response_record(scheme: SchemeId, graph: &Graph, resp: &Response) -> Option<StoreRecord> {
+    let (kind, suffix) = match resp {
+        Response::Certified {
+            outcome,
+            assignment,
+            ..
+        } => (
+            RecordKind::Certified,
+            wire::encode_certified_suffix(outcome, assignment),
+        ),
+        Response::Declined { reason, .. } => {
+            (RecordKind::Declined, wire::encode_declined_suffix(reason))
+        }
+        _ => return None,
+    };
+    let mut keyed = Vec::new();
+    put_uvarint(&mut keyed, scheme.0 as u64);
+    wire::encode_graph(&mut keyed, graph);
+    Some(StoreRecord {
+        kind,
+        keyed,
+        suffix,
+    })
+}
+
+/// Fire-and-forget backfill of replicas that missed a read: a
+/// detached thread with its own connections, so the repair never
+/// blocks the request path (and a dead target costs the caller
+/// nothing — anti-entropy converges it later).
+fn read_repair(targets: Vec<String>, record: StoreRecord) {
+    let _ = std::thread::Builder::new()
+        .name("dpc-read-repair".into())
+        .spawn(move || {
+            for addr in targets {
+                if let Ok(mut client) = Client::connect(addr.as_str()) {
+                    let _ = client.store_push(std::slice::from_ref(&record));
+                }
+            }
+        });
 }
 
 #[cfg(test)]

@@ -33,8 +33,12 @@
 //!   [`cluster::ClusterClient`] rendezvous-hashes each request's
 //!   content key (`uvarint(scheme id)` + canonical graph hash) across
 //!   N server addresses and fails over down the ranking when a node
-//!   is unreachable — the servers themselves stay share-nothing and
-//!   completely unchanged;
+//!   is unreachable — the servers stay share-nothing on the request
+//!   path, and with [`ClusterClient::with_replication`] each
+//!   certificate is written to the key's top-k ranked nodes, reads
+//!   read-repair cold replicas, and `dpc serve --peers` adds a
+//!   server-side anti-entropy sweep that streams missing store
+//!   records between peers;
 //! * [`metrics`] — lock-free counters (global and per scheme), the
 //!   power-of-two latency histograms behind the Stats endpoint
 //!   (including the per-stage request-trace histograms: read/decode,

@@ -313,6 +313,8 @@ impl SlowLogEntry {
             4 => "soundness",
             5 => "stats",
             6 => "slowlog",
+            7 => "storelist",
+            8 => "storepush",
             _ => "?",
         }
     }
@@ -486,6 +488,21 @@ pub struct Metrics {
     /// already awake don't count, so the ratio to responses reads as
     /// wakeups-per-response.
     pub inbox_wakeups: AtomicU64,
+    /// Records absorbed from StorePush frames (v6) — replica writes,
+    /// read-repair backfills, and peer anti-entropy all land here.
+    pub repl_push_merged: AtomicU64,
+    /// StorePush records already present, deduplicated by content
+    /// key (v6).
+    pub repl_push_duplicates: AtomicU64,
+    /// Records this node pushed to peers that were missing them (v6;
+    /// anti-entropy sweep client side).
+    pub repl_pushed: AtomicU64,
+    /// Completed anti-entropy sweep rounds over the peer set (v6).
+    pub repl_sweeps: AtomicU64,
+    /// Peer exchanges that failed mid-sweep (dial or wire errors;
+    /// v6). The sweep retries on its next round, so a transient
+    /// non-zero value here is self-healing.
+    pub repl_errors: AtomicU64,
 }
 
 impl Metrics {
@@ -666,6 +683,17 @@ pub struct StatsSnapshot {
     pub inbox_wakeups: u64,
     /// Jobs sitting in the worker queue right now (v5 gauge).
     pub queue_depth: u64,
+    /// Records absorbed from StorePush frames (v6): replica writes,
+    /// read-repair backfills, and peer anti-entropy pushes.
+    pub repl_push_merged: u64,
+    /// StorePush records that were already present (v6).
+    pub repl_push_duplicates: u64,
+    /// Records this node pushed to peers that lacked them (v6).
+    pub repl_pushed: u64,
+    /// Completed anti-entropy sweep rounds (v6).
+    pub repl_sweeps: u64,
+    /// Failed peer exchanges during sweeps (v6).
+    pub repl_errors: u64,
 }
 
 impl StatsSnapshot {
@@ -739,6 +767,17 @@ impl StatsSnapshot {
             self.read_interest_restores,
             self.inbox_wakeups,
             self.queue_depth,
+        ] {
+            put_uvarint(out, v);
+        }
+        // version-6 tail: replication counters, strictly after the v5
+        // tail so every older decoder still reads its own prefix
+        for v in [
+            self.repl_push_merged,
+            self.repl_push_duplicates,
+            self.repl_pushed,
+            self.repl_sweeps,
+            self.repl_errors,
         ] {
             put_uvarint(out, v);
         }
@@ -821,6 +860,19 @@ impl StatsSnapshot {
                 *field = get_uvarint(buf)?;
             }
         }
+        // the v6 replication tail is absent in v2–v5 bodies; absence
+        // decodes as zeros (a server predating replication)
+        if !buf.is_empty() {
+            for field in [
+                &mut s.repl_push_merged,
+                &mut s.repl_push_duplicates,
+                &mut s.repl_pushed,
+                &mut s.repl_sweeps,
+                &mut s.repl_errors,
+            ] {
+                *field = get_uvarint(buf)?;
+            }
+        }
         Ok(s)
     }
 
@@ -870,6 +922,11 @@ impl StatsSnapshot {
         self.read_interest_restores += other.read_interest_restores;
         self.inbox_wakeups += other.inbox_wakeups;
         self.queue_depth += other.queue_depth;
+        self.repl_push_merged += other.repl_push_merged;
+        self.repl_push_duplicates += other.repl_push_duplicates;
+        self.repl_pushed += other.repl_pushed;
+        self.repl_sweeps += other.repl_sweeps;
+        self.repl_errors += other.repl_errors;
     }
 }
 
@@ -967,6 +1024,24 @@ impl fmt::Display for StatsSnapshot {
                 self.queue_depth,
             )?;
         }
+        if self.repl_push_merged
+            + self.repl_push_duplicates
+            + self.repl_pushed
+            + self.repl_sweeps
+            + self.repl_errors
+            > 0
+        {
+            write!(
+                f,
+                "\nreplication: {} absorbed, {} duplicates, {} pushed to peers, \
+                 {} sweeps, {} sweep errors",
+                self.repl_push_merged,
+                self.repl_push_duplicates,
+                self.repl_pushed,
+                self.repl_sweeps,
+                self.repl_errors,
+            )?;
+        }
         for s in &self.per_scheme {
             write!(
                 f,
@@ -1016,7 +1091,7 @@ pub fn prometheus_text(s: &StatsSnapshot) -> String {
             ("{kind=\"stats\"}".into(), s.stats),
         ],
     );
-    let plain: [(&str, &str, &str, u64); 21] = [
+    let plain: [(&str, &str, &str, u64); 26] = [
         (
             "dpc_errors_total",
             "counter",
@@ -1142,6 +1217,36 @@ pub fn prometheus_text(s: &StatsSnapshot) -> String {
             "counter",
             "Worker completions that had to wake an event loop.",
             s.inbox_wakeups,
+        ),
+        (
+            "dpc_repl_push_merged_total",
+            "counter",
+            "Records absorbed from StorePush frames.",
+            s.repl_push_merged,
+        ),
+        (
+            "dpc_repl_push_duplicates_total",
+            "counter",
+            "StorePush records that were already present.",
+            s.repl_push_duplicates,
+        ),
+        (
+            "dpc_repl_pushed_total",
+            "counter",
+            "Records pushed to peers that lacked them.",
+            s.repl_pushed,
+        ),
+        (
+            "dpc_repl_sweeps_total",
+            "counter",
+            "Completed anti-entropy sweep rounds.",
+            s.repl_sweeps,
+        ),
+        (
+            "dpc_repl_errors_total",
+            "counter",
+            "Failed peer exchanges during sweeps.",
+            s.repl_errors,
         ),
     ];
     for (name, kind, help, value) in plain {
@@ -1301,6 +1406,11 @@ mod tests {
             queue_full_stalls: 2,
             inbox_wakeups: 6,
             queue_depth: 1,
+            repl_push_merged: 13,
+            repl_push_duplicates: 4,
+            repl_pushed: 9,
+            repl_sweeps: 3,
+            repl_errors: 1,
             ..Default::default()
         };
         let mut buf = Vec::new();
@@ -1322,22 +1432,27 @@ mod tests {
         );
         assert!(text.contains("stage queue_wait"), "{text}");
         assert!(text.contains("backpressure: 2 queue-full stalls"), "{text}");
+        assert!(
+            text.contains("replication: 13 absorbed, 4 duplicates, 9 pushed to peers"),
+            "{text}"
+        );
     }
 
     #[test]
     fn v2_stats_body_decodes_with_zero_store_fields() {
-        // a version-2 body is a version-5 body minus the v3 store
-        // tail (8 varints), the v4 connection tail (4 varints), and
-        // the v5 tracing tail (5 empty histograms + 5 varints); a v5
-        // decoder reads it as "no store, no connections, no tracing"
+        // a version-2 body is a version-6 body minus the v3 store
+        // tail (8 varints), the v4 connection tail (4 varints), the
+        // v5 tracing tail (5 empty histograms + 5 varints), and the
+        // v6 replication tail (5 varints); a v6 decoder reads it as
+        // "no store, no connections, no tracing, no replication"
         let v2_like = StatsSnapshot {
             certify: 5,
             cache_hits: 3,
             ..StatsSnapshot::default()
         };
-        let mut v5 = Vec::new();
-        v2_like.encode_into(&mut v5);
-        let v2 = &v5[..v5.len() - 22]; // the 22 tail bytes are all 0x00
+        let mut v6 = Vec::new();
+        v2_like.encode_into(&mut v6);
+        let v2 = &v6[..v6.len() - 27]; // the 27 tail bytes are all 0x00
         let mut cursor = v2;
         let back = StatsSnapshot::decode_from(&mut cursor).unwrap();
         assert!(cursor.is_empty());
@@ -1351,18 +1466,18 @@ mod tests {
 
     #[test]
     fn v3_stats_body_decodes_with_zero_connection_fields() {
-        // a version-3 body is a version-5 body minus the v4 and v5
-        // tails; the store tail must still land in the store fields,
-        // not bleed into the connection fields
+        // a version-3 body is a version-6 body minus the v4, v5, and
+        // v6 tails; the store tail must still land in the store
+        // fields, not bleed into the connection fields
         let v3_like = StatsSnapshot {
             certify: 5,
             store_hits: 7,
             store_segments: 2,
             ..StatsSnapshot::default()
         };
-        let mut v5 = Vec::new();
-        v3_like.encode_into(&mut v5);
-        let v3 = &v5[..v5.len() - 14]; // v4 (4) + v5 (10) tails are 0x00
+        let mut v6 = Vec::new();
+        v3_like.encode_into(&mut v6);
+        let v3 = &v6[..v6.len() - 19]; // v4 (4) + v5 (10) + v6 (5) tails are 0x00
         let mut cursor = v3;
         let back = StatsSnapshot::decode_from(&mut cursor).unwrap();
         assert!(cursor.is_empty());
@@ -1373,19 +1488,19 @@ mod tests {
 
     #[test]
     fn v4_stats_body_decodes_with_zero_tracing_fields() {
-        // a version-4 body is a version-5 body minus the tracing
+        // a version-4 body is a version-6 body minus the tracing
         // tail (5 empty histograms + 5 counters, all 0x00 when
-        // empty); the connection tail must still land in the
-        // connection fields
+        // empty) and the v6 replication tail (5 counters); the
+        // connection tail must still land in the connection fields
         let v4_like = StatsSnapshot {
             certify: 5,
             conns_open: 2,
             conns_accepted: 9,
             ..StatsSnapshot::default()
         };
-        let mut v5 = Vec::new();
-        v4_like.encode_into(&mut v5);
-        let v4 = &v5[..v5.len() - 10];
+        let mut v6 = Vec::new();
+        v4_like.encode_into(&mut v6);
+        let v4 = &v6[..v6.len() - 15];
         let mut cursor = v4;
         let back = StatsSnapshot::decode_from(&mut cursor).unwrap();
         assert!(cursor.is_empty());
@@ -1393,6 +1508,31 @@ mod tests {
         assert_eq!(back.conns_accepted, 9);
         assert_eq!(back.stages, StageSnapshot::default());
         assert_eq!(back.queue_full_stalls, 0);
+    }
+
+    #[test]
+    fn v5_stats_body_decodes_with_zero_replication_fields() {
+        // a version-5 body is a version-6 body minus the replication
+        // tail (5 varints, all 0x00 when zero); the tracing tail must
+        // still land in the tracing fields
+        let v5_like = StatsSnapshot {
+            certify: 5,
+            queue_full_stalls: 3,
+            queue_depth: 2,
+            ..StatsSnapshot::default()
+        };
+        let mut v6 = Vec::new();
+        v5_like.encode_into(&mut v6);
+        let v5 = &v6[..v6.len() - 5];
+        let mut cursor = v5;
+        let back = StatsSnapshot::decode_from(&mut cursor).unwrap();
+        assert!(cursor.is_empty());
+        assert_eq!(back, v5_like);
+        assert_eq!(back.queue_full_stalls, 3);
+        assert_eq!(back.repl_push_merged, 0);
+        assert_eq!(back.repl_sweeps, 0);
+        // and the replication line stays out of the rendered text
+        assert!(!format!("{back}").contains("replication:"));
     }
 
     #[test]
@@ -1460,7 +1600,7 @@ mod tests {
         let snapshot = StatsSnapshot::default();
         let mut buf = Vec::new();
         snapshot.encode_into(&mut buf);
-        buf.truncate(buf.len() - 22); // drop the v3 + v4 + v5 tails
+        buf.truncate(buf.len() - 27); // drop the v3 + v4 + v5 + v6 tails
         *buf.last_mut().unwrap() = 0xff;
         buf.extend_from_slice(&[0xff, 0xff, 0x7f]);
         let mut cursor = buf.as_slice();
@@ -1541,6 +1681,7 @@ mod tests {
             cache_hits: 5,
             conns_open: 2,
             queue_full_stalls: 1,
+            repl_sweeps: 4,
             latency: h.snapshot(),
             stages: StageSnapshot {
                 queue_wait: h.snapshot(),
@@ -1565,6 +1706,7 @@ mod tests {
         assert!(text.contains("dpc_cache_hits_total 5"), "{text}");
         assert!(text.contains("dpc_conns_open 2"), "{text}");
         assert!(text.contains("dpc_queue_full_stalls_total 1"), "{text}");
+        assert!(text.contains("dpc_repl_sweeps_total 4"), "{text}");
         // cumulative buckets: 1 through le=3, 2 through le=127, +Inf
         assert!(
             text.contains("dpc_request_duration_us_bucket{le=\"3\"} 1"),

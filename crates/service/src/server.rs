@@ -116,6 +116,14 @@ pub struct ServeConfig {
     /// a full stage breakdown in the slow log (`dpc slowlog`). Zero
     /// disables the log.
     pub slow_ms: u64,
+    /// Peer node addresses for the anti-entropy sweep (`dpc serve
+    /// --peers`). Every second or so the store maintenance thread
+    /// asks each peer for its store key digests (StoreList) and
+    /// streams it the records it lacks (StorePush) — so a node that
+    /// restarted empty converges back to the fleet's certificate set
+    /// without an offline `dpc store merge`. Empty disables the
+    /// sweep; the server still *absorbs* pushes either way.
+    pub peers: Vec<String>,
 }
 
 impl Default for ServeConfig {
@@ -135,6 +143,7 @@ impl Default for ServeConfig {
             idle_timeout: Duration::from_secs(60),
             metrics_addr: None,
             slow_ms: 1000,
+            peers: Vec::new(),
         }
     }
 }
@@ -526,7 +535,7 @@ pub fn serve_with_registry<A: ToSocketAddrs>(
     // shutdown alone cannot be the durability story: a background
     // flusher fsyncs the store every few seconds, bounding what a
     // kill -9 (or power loss right after a SIGTERM) can lose
-    let flusher = shared.cache.cold().is_some().then(|| {
+    let flusher = (shared.cache.cold().is_some() || !shared.cfg.peers.is_empty()).then(|| {
         let shared = Arc::clone(&shared);
         std::thread::Builder::new()
             .name("dpc-store-flush".into())
@@ -542,6 +551,13 @@ pub fn serve_with_registry<A: ToSocketAddrs>(
                         // is cheap
                         let _ = shared.cache.maintain();
                         let _ = shared.cache.flush();
+                    }
+                    if !shared.cfg.peers.is_empty() && ticks.is_multiple_of(4) {
+                        // every ~1 s: anti-entropy — ask each peer
+                        // for its key digests and stream it whatever
+                        // it lacks; converged peers exchange only
+                        // the digest list, never a record
+                        anti_entropy_sweep(&shared);
                     }
                 }
             })
@@ -807,10 +823,13 @@ pub(crate) fn count_request(m: &Metrics, req: &Request) {
         Request::Check { .. } => &m.check,
         Request::Gen { .. } => &m.gen,
         Request::SoundnessProbe { .. } => &m.soundness,
-        // both introspection kinds share the stats counter — the v2
-        // prefix is frozen, and "how often is this server inspected"
-        // is the question either way
-        Request::Stats | Request::SlowLog => &m.stats,
+        // introspection and replication-maintenance kinds share the
+        // stats counter — the v2 prefix is frozen, and the v6
+        // replication counters already break StoreList/StorePush
+        // traffic out by what it *did* (merged/duplicate records)
+        Request::Stats | Request::SlowLog | Request::StoreList | Request::StorePush { .. } => {
+            &m.stats
+        }
     };
     counter.fetch_add(1, Ordering::Relaxed);
 }
@@ -925,6 +944,7 @@ fn process_certify_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
         let Request::Certify {
             graph,
             bypass_cache,
+            cached_only,
             ..
         } = &job.req
         else {
@@ -952,6 +972,14 @@ fn process_certify_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
             None => {
                 if let Some(m) = per_scheme {
                     m.misses.fetch_add(1, Ordering::Relaxed);
+                }
+                if *cached_only {
+                    // replica probe: the caller only wants to know
+                    // whether this node already holds the answer —
+                    // a miss must never trigger a prove, so it gets
+                    // the sentinel error instead of joining the batch
+                    done[i] = Some(Response::Error(wire::NOT_CACHED.into()).encode());
+                    continue;
                 }
                 let dup = to_prove
                     .iter_mut()
@@ -1094,7 +1122,83 @@ fn process_single_inner(shared: &Arc<Shared>, req: &Request) -> Vec<u8> {
         }
         Request::Stats => Response::Stats(Box::new(snapshot(shared))).encode(),
         Request::SlowLog => Response::SlowLog(shared.slow.snapshot()).encode(),
+        Request::StoreList => Response::StoreKeys(shared.cache.content_keys()).encode(),
+        Request::StorePush { records } => {
+            // absorb replicated records with the same dedup-by-key
+            // semantics as an offline `dpc store merge`: a key the
+            // store already holds is a no-op, everything else lands
+            // in the cold tier (and warms the hot tier)
+            let mut merged = 0u64;
+            let mut duplicates = 0u64;
+            for record in records {
+                match shared.cache.absorb(record) {
+                    Ok(true) => merged += 1,
+                    Ok(false) => duplicates += 1,
+                    Err(e) => {
+                        shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                        return Response::Error(format!("store push failed: {e}")).encode();
+                    }
+                }
+            }
+            let m = &shared.metrics;
+            m.repl_push_merged.fetch_add(merged, Ordering::Relaxed);
+            m.repl_push_duplicates
+                .fetch_add(duplicates, Ordering::Relaxed);
+            Response::StorePushed { merged, duplicates }.encode()
+        }
     }
+}
+
+/// One round of push-based anti-entropy: for every configured peer,
+/// fetch its store key digests and stream it the records this node
+/// holds that the peer lacks. Dedup happens on *both* sides — the
+/// digest list filters the bulk here, and the peer's `absorb` path
+/// drops anything that raced in between list and push — so a repeat
+/// sweep between converged peers transfers zero records.
+fn anti_entropy_sweep(shared: &Arc<Shared>) {
+    shared.metrics.repl_sweeps.fetch_add(1, Ordering::Relaxed);
+    for peer in &shared.cfg.peers {
+        match sweep_peer(shared, peer) {
+            Ok(pushed) => {
+                if pushed > 0 {
+                    shared
+                        .metrics
+                        .repl_pushed
+                        .fetch_add(pushed, Ordering::Relaxed);
+                }
+            }
+            Err(_) => {
+                // a dead or restarting peer is the normal case this
+                // sweep exists for; count it and retry next round
+                shared.metrics.repl_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Exchanges store contents with one peer; returns how many records
+/// the peer actually merged (its own duplicates excluded).
+fn sweep_peer(shared: &Arc<Shared>, peer: &str) -> Result<u64, WireError> {
+    const SWEEP_BATCH: usize = 256;
+    let mut client = crate::client::Client::connect(peer)?;
+    let theirs: std::collections::HashSet<u128> = client.store_list()?.into_iter().collect();
+    let mut merged = 0u64;
+    let mut batch: Vec<crate::store::StoreRecord> = Vec::new();
+    for record in shared.cache.iter_content() {
+        let Ok(record) = record else { continue };
+        if record.keyed.is_empty() || theirs.contains(&record.key().0) {
+            continue;
+        }
+        batch.push(record);
+        if batch.len() >= SWEEP_BATCH {
+            merged += client.store_push(&batch)?.0;
+            batch.clear();
+        }
+    }
+    if !batch.is_empty() {
+        merged += client.store_push(&batch)?.0;
+    }
+    Ok(merged)
 }
 
 fn check_response(graph: &Graph) -> Response {
@@ -1174,5 +1278,10 @@ fn snapshot(shared: &Shared) -> StatsSnapshot {
         read_interest_restores: m.read_interest_restores.load(Ordering::Relaxed),
         inbox_wakeups: m.inbox_wakeups.load(Ordering::Relaxed),
         queue_depth: shared.queue.len() as u64,
+        repl_push_merged: m.repl_push_merged.load(Ordering::Relaxed),
+        repl_push_duplicates: m.repl_push_duplicates.load(Ordering::Relaxed),
+        repl_pushed: m.repl_pushed.load(Ordering::Relaxed),
+        repl_sweeps: m.repl_sweeps.load(Ordering::Relaxed),
+        repl_errors: m.repl_errors.load(Ordering::Relaxed),
     }
 }

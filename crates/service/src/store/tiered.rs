@@ -19,7 +19,7 @@
 //!   tier (newest first would need no budget; instead the load stops
 //!   at the hot byte budget, and everything else stays cold).
 
-use super::{CertStore, StoreStats};
+use super::{CertStore, StoreRecord, StoreStats};
 use crate::cache::{CacheEntry, CacheStats, CertCache};
 use dpc_graph::canon::GraphHash;
 use std::io;
@@ -109,6 +109,55 @@ impl TieredCache {
             }
         }
         kept
+    }
+
+    /// Absorbs a record that arrived over the wire (a replica write,
+    /// a read-repair backfill, or a peer's anti-entropy push):
+    /// `SegmentStore::merge_from`'s dedup-by-key semantics, one
+    /// record at a time. Returns `Ok(true)` if the record was newly
+    /// stored. A fresh record also lands in the hot tier, so a
+    /// replica serves it from memory immediately — that is what lets
+    /// a killed owner's traffic stay prove-free on its replicas.
+    pub fn absorb(&self, record: &StoreRecord) -> io::Result<bool> {
+        match &self.cold {
+            Some(cold) => {
+                let fresh = cold.put(record)?;
+                if fresh {
+                    // an undecodable-but-CRC-valid record stays cold
+                    // only; it is served via promotion if it ever
+                    // becomes readable
+                    if let Ok(entry) = record.to_entry() {
+                        self.hot.insert(record.key(), Arc::new(entry));
+                    }
+                }
+                Ok(fresh)
+            }
+            None => CertStore::put(&self.hot, record),
+        }
+    }
+
+    /// The content keys of every retained record — the store digest a
+    /// StoreList response carries. Reads the cold tier when one is
+    /// attached (the authoritative set); hot-only stacks report the
+    /// cache, minus bypass entries (empty keyed bytes), which are
+    /// not addressable by key.
+    pub fn content_keys(&self) -> Vec<u128> {
+        self.iter_content()
+            .filter_map(|r| r.ok())
+            .filter(|r| !r.keyed.is_empty())
+            .map(|r| r.key().0)
+            .collect()
+    }
+
+    /// Iterates every retained record from the same tier
+    /// [`content_keys`](Self::content_keys) reads — what an
+    /// anti-entropy sweep streams to a peer that lacks some of them.
+    pub fn iter_content(&self) -> Box<dyn Iterator<Item = std::io::Result<StoreRecord>> + '_> {
+        let source: &dyn CertStore = match &self.cold {
+            Some(cold) => cold.as_ref(),
+            None => &self.hot,
+        };
+        source.iter()
     }
 
     /// Replays the cold tier into the hot tier, newest records first
@@ -234,6 +283,24 @@ mod tests {
         let first = &entries[0];
         assert!(tiered.lookup(first.record().key(), &first.keyed).is_some());
         assert_eq!(tiered.stats().promotions, 1, "oldest came from cold");
+    }
+
+    #[test]
+    fn absorb_dedups_by_key_and_warms_the_hot_tier() {
+        let tiered = TieredCache::with_cold(tiny_hot(4), Arc::new(MemStore::new()));
+        let e = sample_entry(20, 1);
+        assert!(tiered.absorb(&e.record()).unwrap(), "fresh record");
+        assert!(!tiered.absorb(&e.record()).unwrap(), "duplicate is a no-op");
+        assert_eq!(tiered.content_keys(), vec![e.record().key().0]);
+        // absorbed records serve from the hot tier without promotion
+        assert!(tiered.lookup(e.record().key(), &e.keyed).is_some());
+        assert_eq!(tiered.stats().promotions, 0);
+
+        // hot-only stacks absorb too (nothing durable, still deduped)
+        let hot_only = TieredCache::hot_only(tiny_hot(4));
+        assert!(hot_only.absorb(&e.record()).unwrap());
+        assert!(!hot_only.absorb(&e.record()).unwrap());
+        assert_eq!(hot_only.content_keys(), vec![e.record().key().0]);
     }
 
     #[test]

@@ -14,12 +14,19 @@
 //! errors but never duplicate edges, self-loops, or panics.
 //!
 //! Request kinds: Certify, Check, Gen, SoundnessProbe, Stats,
-//! SlowLog. The codec is total: `decode(encode(x)) == x` for every
-//! request and response, which the property tests in
-//! `tests/wire_props.rs` pin down across all generator families.
+//! SlowLog, StoreList, StorePush. The codec is total:
+//! `decode(encode(x)) == x` for every request and response, which the
+//! property tests in `tests/wire_props.rs` pin down across all
+//! generator families.
+//!
+//! StoreList and StorePush are the replication plane (wire v6): a
+//! peer lists another peer's store key digests, then streams it the
+//! records it lacks as CRC-checked [`StoreRecord`] bodies — the
+//! over-TCP twin of `SegmentStore::merge_from`'s dedup-by-key merge.
 
 use crate::metrics::{SlowLogEntry, StatsSnapshot};
 use crate::registry::SchemeId;
+use crate::store::{crc32, StoreRecord};
 use dpc_core::harness::Outcome;
 use dpc_core::scheme::Assignment;
 use dpc_graph::{canon, Graph, GraphBuilder};
@@ -281,6 +288,17 @@ fn decode_extensions(buf: &mut &[u8]) -> Result<SchemeId, WireError> {
 
 /// Per-request certify flags.
 pub const CERTIFY_FLAG_BYPASS_CACHE: u64 = 1;
+/// Certify flag: answer only if the certificate is already cached;
+/// on a miss the server replies `Error(`[`NOT_CACHED`]`)` and never
+/// runs the prover. This is the replica probe of a replicated read —
+/// a `ClusterClient` walks the rendezvous ranking with it so a warm
+/// rank-2 node can answer without the cold rank-1 node proving.
+pub const CERTIFY_FLAG_CACHED_ONLY: u64 = 2;
+
+/// The exact `Error` payload a cached-only certify miss carries.
+/// Clients match it verbatim to tell "cold replica, keep walking"
+/// from a real failure.
+pub const NOT_CACHED: &str = "not cached";
 
 /// A client request.
 #[derive(Debug, Clone)]
@@ -292,6 +310,10 @@ pub enum Request {
         graph: Graph,
         /// Skip the cache entirely (used to measure cold latency).
         bypass_cache: bool,
+        /// Only answer from cache; a miss is `Error(`[`NOT_CACHED`]`)`
+        /// and never a prove (replica probes). Mutually exclusive
+        /// with `bypass_cache`.
+        cached_only: bool,
         /// The registered scheme to run (default: planarity).
         scheme: SchemeId,
     },
@@ -333,18 +355,30 @@ pub enum Request {
     /// Fetch the retained slow-request log (stage breakdowns of
     /// requests that crossed the server's `--slow-ms` threshold).
     SlowLog,
+    /// List the key digests of the server's certificate store
+    /// (anti-entropy phase 1: "what do you have?").
+    StoreList,
+    /// Stream store records into the server's store, deduplicated by
+    /// content key (anti-entropy phase 2, replica writes, and
+    /// read-repair backfills).
+    StorePush {
+        /// The records to absorb, each CRC-checked on the wire.
+        records: Vec<StoreRecord>,
+    },
 }
 
 impl Request {
-    /// The scheme id the request addresses (`None` for Stats and
-    /// SlowLog).
+    /// The scheme id the request addresses (`None` for the
+    /// scheme-less kinds: Stats, SlowLog, StoreList, StorePush).
     pub fn scheme(&self) -> Option<SchemeId> {
         match self {
             Request::Certify { scheme, .. }
             | Request::Check { scheme, .. }
             | Request::Gen { scheme, .. }
             | Request::SoundnessProbe { scheme, .. } => Some(*scheme),
-            Request::Stats | Request::SlowLog => None,
+            Request::Stats | Request::SlowLog | Request::StoreList | Request::StorePush { .. } => {
+                None
+            }
         }
     }
 
@@ -358,6 +392,8 @@ impl Request {
             Request::SoundnessProbe { .. } => REQ_SOUNDNESS,
             Request::Stats => REQ_STATS,
             Request::SlowLog => REQ_SLOWLOG,
+            Request::StoreList => REQ_STORELIST,
+            Request::StorePush { .. } => REQ_STOREPUSH,
         }) as u8
     }
 }
@@ -368,6 +404,8 @@ const REQ_GEN: u64 = 3;
 const REQ_SOUNDNESS: u64 = 4;
 const REQ_STATS: u64 = 5;
 const REQ_SLOWLOG: u64 = 6;
+const REQ_STORELIST: u64 = 7;
+const REQ_STOREPUSH: u64 = 8;
 
 // Borrowing encoders: build a frame body straight from a `&Graph`,
 // without constructing an owned `Request` (the client's hot path —
@@ -375,13 +413,24 @@ const REQ_SLOWLOG: u64 = 6;
 
 /// Frame body of a Certify request.
 pub fn encode_certify_request(graph: &Graph, bypass_cache: bool, scheme: SchemeId) -> Vec<u8> {
-    let mut out = Vec::new();
-    put_uvarint(&mut out, REQ_CERTIFY);
     let flags = if bypass_cache {
         CERTIFY_FLAG_BYPASS_CACHE
     } else {
         0
     };
+    certify_body(graph, flags, scheme)
+}
+
+/// Frame body of a cached-only Certify probe (see
+/// [`CERTIFY_FLAG_CACHED_ONLY`]): a warm server answers from cache, a
+/// cold one replies `Error(`[`NOT_CACHED`]`)` without proving.
+pub fn encode_certify_probe_request(graph: &Graph, scheme: SchemeId) -> Vec<u8> {
+    certify_body(graph, CERTIFY_FLAG_CACHED_ONLY, scheme)
+}
+
+fn certify_body(graph: &Graph, flags: u64, scheme: SchemeId) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_uvarint(&mut out, REQ_CERTIFY);
     put_uvarint(&mut out, flags);
     encode_graph(&mut out, graph);
     encode_extensions(&mut out, scheme);
@@ -432,6 +481,31 @@ pub fn encode_slowlog_request() -> Vec<u8> {
     out
 }
 
+/// Frame body of a StoreList request.
+pub fn encode_store_list_request() -> Vec<u8> {
+    let mut out = Vec::new();
+    put_uvarint(&mut out, REQ_STORELIST);
+    out
+}
+
+/// Frame body of a StorePush request: a record count, then each
+/// record as `uvarint(body_len) ‖ body ‖ crc32_le(body)` where `body`
+/// is [`StoreRecord::encode_body`]'s framing. The CRC guards the
+/// certificate bytes in transit exactly like the segment files guard
+/// them at rest.
+pub fn encode_store_push_request(records: &[StoreRecord]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_uvarint(&mut out, REQ_STOREPUSH);
+    put_uvarint(&mut out, records.len() as u64);
+    for record in records {
+        let body = record.encode_body();
+        put_uvarint(&mut out, body.len() as u64);
+        out.extend_from_slice(&body);
+        out.extend_from_slice(&crc32(&body).to_le_bytes());
+    }
+    out
+}
+
 impl Request {
     /// Encodes the request as a frame body.
     pub fn encode(&self) -> Vec<u8> {
@@ -439,8 +513,18 @@ impl Request {
             Request::Certify {
                 graph,
                 bypass_cache,
+                cached_only,
                 scheme,
-            } => encode_certify_request(graph, *bypass_cache, *scheme),
+            } => {
+                let mut flags = 0;
+                if *bypass_cache {
+                    flags |= CERTIFY_FLAG_BYPASS_CACHE;
+                }
+                if *cached_only {
+                    flags |= CERTIFY_FLAG_CACHED_ONLY;
+                }
+                certify_body(graph, flags, *scheme)
+            }
             Request::Check { graph, scheme } => encode_check_request(graph, *scheme),
             Request::Gen {
                 family,
@@ -455,6 +539,8 @@ impl Request {
             } => encode_soundness_request(graph, *seed, *scheme),
             Request::Stats => encode_stats_request(),
             Request::SlowLog => encode_slowlog_request(),
+            Request::StoreList => encode_store_list_request(),
+            Request::StorePush { records } => encode_store_push_request(records),
         }
     }
 
@@ -464,11 +550,16 @@ impl Request {
         let req = match get_uvarint(&mut buf)? {
             REQ_CERTIFY => {
                 let flags = get_uvarint(&mut buf)?;
-                if flags & !CERTIFY_FLAG_BYPASS_CACHE != 0 {
+                if flags & !(CERTIFY_FLAG_BYPASS_CACHE | CERTIFY_FLAG_CACHED_ONLY) != 0 {
                     return Err(protocol(format!("unknown certify flags {flags:#x}")));
+                }
+                if flags == CERTIFY_FLAG_BYPASS_CACHE | CERTIFY_FLAG_CACHED_ONLY {
+                    // "skip the cache" and "only the cache" cannot both hold
+                    return Err(protocol("contradictory certify flags"));
                 }
                 Request::Certify {
                     bypass_cache: flags & CERTIFY_FLAG_BYPASS_CACHE != 0,
+                    cached_only: flags & CERTIFY_FLAG_CACHED_ONLY != 0,
                     graph: decode_graph(&mut buf)?,
                     scheme: decode_extensions(&mut buf)?,
                 }
@@ -493,6 +584,36 @@ impl Request {
             }
             REQ_STATS => Request::Stats,
             REQ_SLOWLOG => Request::SlowLog,
+            REQ_STORELIST => Request::StoreList,
+            REQ_STOREPUSH => {
+                let count = get_uvarint(&mut buf)?;
+                // the smallest record is ~8 bytes (1-byte length, a
+                // 3-byte body, 4 CRC bytes), so a hostile count is
+                // rejected before any allocation
+                if count > buf.len() as u64 / 8 {
+                    return Err(protocol("store push longer than the frame"));
+                }
+                let mut records = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let len = get_uvarint(&mut buf)? as usize;
+                    if len > buf.len() {
+                        return Err(protocol("store record longer than the frame"));
+                    }
+                    let body = get_bytes(&mut buf, len)?;
+                    let crc = u32::from_le_bytes(
+                        get_bytes(&mut buf, 4)?
+                            .try_into()
+                            .expect("get_bytes returned 4 bytes"),
+                    );
+                    if crc32(body) != crc {
+                        return Err(protocol("store record failed its CRC check"));
+                    }
+                    let record = StoreRecord::decode_body(body)
+                        .map_err(|e| protocol(format!("bad store record: {e}")))?;
+                    records.push(record);
+                }
+                Request::StorePush { records }
+            }
             k => return Err(protocol(format!("unknown request kind {k}"))),
         };
         if !buf.is_empty() {
@@ -582,6 +703,16 @@ pub enum Response {
     Stats(Box<StatsSnapshot>),
     /// Retained slow-request entries, newest first.
     SlowLog(Vec<SlowLogEntry>),
+    /// The content-key digests of the server's store (StoreList
+    /// answer): 128-bit keys, one per retained record.
+    StoreKeys(Vec<u128>),
+    /// Outcome of a StorePush.
+    StorePushed {
+        /// Records newly absorbed into the store.
+        merged: u64,
+        /// Records already present (deduplicated by content key).
+        duplicates: u64,
+    },
 }
 
 const RESP_ERROR: u64 = 0;
@@ -592,6 +723,8 @@ const RESP_GENERATED: u64 = 4;
 const RESP_SOUNDNESS: u64 = 5;
 const RESP_STATS: u64 = 6;
 const RESP_SLOWLOG: u64 = 7;
+const RESP_STOREKEYS: u64 = 8;
+const RESP_STOREPUSHED: u64 = 9;
 
 /// Upper bound on slow-log rows accepted on decode (well above
 /// [`crate::metrics::SLOW_LOG_CAP`], leaving room for future
@@ -715,6 +848,18 @@ impl Response {
                     entry.encode_into(&mut out);
                 }
             }
+            Response::StoreKeys(keys) => {
+                put_uvarint(&mut out, RESP_STOREKEYS);
+                put_uvarint(&mut out, keys.len() as u64);
+                for key in keys {
+                    out.extend_from_slice(&key.to_le_bytes());
+                }
+            }
+            Response::StorePushed { merged, duplicates } => {
+                put_uvarint(&mut out, RESP_STOREPUSHED);
+                put_uvarint(&mut out, *merged);
+                put_uvarint(&mut out, *duplicates);
+            }
         }
         out
     }
@@ -800,6 +945,26 @@ impl Response {
                 }
                 Response::SlowLog(entries)
             }
+            RESP_STOREKEYS => {
+                let count = get_uvarint(&mut buf)?;
+                // each key is exactly 16 bytes, so the count is
+                // bounded by the remaining frame before allocating
+                if count > buf.len() as u64 / 16 {
+                    return Err(protocol("key list longer than the frame"));
+                }
+                let mut keys = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let raw = get_bytes(&mut buf, 16)?;
+                    keys.push(u128::from_le_bytes(
+                        raw.try_into().expect("get_bytes returned 16 bytes"),
+                    ));
+                }
+                Response::StoreKeys(keys)
+            }
+            RESP_STOREPUSHED => Response::StorePushed {
+                merged: get_uvarint(&mut buf)?,
+                duplicates: get_uvarint(&mut buf)?,
+            },
             k => return Err(protocol(format!("unknown response kind {k}"))),
         };
         if !buf.is_empty() {
@@ -904,6 +1069,7 @@ mod tests {
         let req = Request::Certify {
             graph: generators::cycle(4),
             bypass_cache: true,
+            cached_only: false,
             scheme: SchemeId::PLANARITY,
         };
         let body = req.encode();
@@ -1018,6 +1184,112 @@ mod tests {
         let mut hostile = Vec::new();
         put_uvarint(&mut hostile, RESP_SLOWLOG);
         put_uvarint(&mut hostile, 1 << 30);
+        assert!(Response::decode(&hostile).is_err());
+    }
+
+    #[test]
+    fn cached_only_probe_frames() {
+        let g = generators::cycle(5);
+        let body = encode_certify_probe_request(&g, SchemeId::BIPARTITE);
+        match Request::decode(&body).unwrap() {
+            Request::Certify {
+                bypass_cache: false,
+                cached_only: true,
+                scheme,
+                ..
+            } => assert_eq!(scheme, SchemeId::BIPARTITE),
+            other => panic!("bad decode: {other:?}"),
+        }
+        // plain certify stays byte-identical to the pre-v6 encoding:
+        // flags byte 0, no new fields
+        let plain = encode_certify_request(&g, false, SchemeId::PLANARITY);
+        assert_eq!(plain[1], 0, "flags byte");
+
+        // bypass + cached-only contradict each other: rejected
+        let mut both = Vec::new();
+        put_uvarint(&mut both, REQ_CERTIFY);
+        put_uvarint(
+            &mut both,
+            CERTIFY_FLAG_BYPASS_CACHE | CERTIFY_FLAG_CACHED_ONLY,
+        );
+        encode_graph(&mut both, &g);
+        assert!(Request::decode(&both).is_err());
+    }
+
+    #[test]
+    fn store_push_frames_roundtrip_and_reject_corruption() {
+        use crate::store::RecordKind;
+
+        let body = encode_store_list_request();
+        assert_eq!(body, vec![REQ_STORELIST as u8], "bare one-byte request");
+        assert!(matches!(
+            Request::decode(&body).unwrap(),
+            Request::StoreList
+        ));
+        assert_eq!(Request::StoreList.scheme(), None);
+
+        let records = vec![
+            StoreRecord {
+                kind: RecordKind::Declined,
+                keyed: vec![0x00],
+                suffix: vec![0x02, b'n', b'o'],
+            },
+            StoreRecord {
+                kind: RecordKind::Certified,
+                keyed: vec![1, 2, 3, 4],
+                suffix: vec![9; 40],
+            },
+        ];
+        let body = encode_store_push_request(&records);
+        match Request::decode(&body).unwrap() {
+            Request::StorePush { records: back } => {
+                assert_eq!(back.len(), 2);
+                assert_eq!(back[0].keyed, records[0].keyed);
+                assert_eq!(back[1].suffix, records[1].suffix);
+                assert_eq!(back[0].key(), records[0].key());
+            }
+            other => panic!("bad decode: {other:?}"),
+        }
+
+        // flip one certificate byte: the CRC catches it
+        let mut corrupt = body.clone();
+        let last = corrupt.len() - 5; // inside record 2's body, before its CRC
+        corrupt[last] ^= 0x01;
+        assert!(Request::decode(&corrupt).is_err(), "corruption detected");
+
+        // hostile record count: rejected by the bound, not allocated
+        let mut hostile = Vec::new();
+        put_uvarint(&mut hostile, REQ_STOREPUSH);
+        put_uvarint(&mut hostile, 1 << 40);
+        assert!(Request::decode(&hostile).is_err());
+    }
+
+    #[test]
+    fn store_keys_and_pushed_responses_roundtrip() {
+        let keys = vec![0u128, 1, u128::MAX, 0xdead_beef];
+        match Response::decode(&Response::StoreKeys(keys.clone()).encode()).unwrap() {
+            Response::StoreKeys(back) => assert_eq!(back, keys),
+            other => panic!("{other:?}"),
+        }
+        match Response::decode(
+            &Response::StorePushed {
+                merged: 7,
+                duplicates: 3,
+            }
+            .encode(),
+        )
+        .unwrap()
+        {
+            Response::StorePushed { merged, duplicates } => {
+                assert_eq!((merged, duplicates), (7, 3));
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // hostile key count: bounded by the remaining frame bytes
+        let mut hostile = Vec::new();
+        put_uvarint(&mut hostile, RESP_STOREKEYS);
+        put_uvarint(&mut hostile, 1 << 40);
         assert!(Response::decode(&hostile).is_err());
     }
 

@@ -294,6 +294,7 @@ fn interleaved_schemes_keep_request_order() {
             .send(&Request::Certify {
                 graph: generators::grid(2, n),
                 bypass_cache: true,
+                cached_only: false,
                 scheme,
             })
             .unwrap();

@@ -105,6 +105,98 @@ proptest! {
         prop_assert!(remapped > 0, "no key ever routed to node {removed}");
     }
 
+    /// Replica placement (`--replication k` takes the top-k of the
+    /// same ranking): the top-k set is deterministic and independent
+    /// of the address list's order.
+    #[test]
+    fn top_k_placement_is_deterministic_and_order_independent(
+        seed in 0u64..1_000_000,
+        n in 3usize..=8,
+        k in 2usize..=3,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(71));
+        let addrs = node_addrs(n);
+        let ring = Ring::new(addrs.clone()).unwrap();
+        let mut shuffled = addrs.clone();
+        shuffled.reverse();
+        let reordered = Ring::new(shuffled).unwrap();
+        for _ in 0..200 {
+            let key = synthetic_key(&mut rng);
+            let top: Vec<&String> = ring.rank(&key)[..k].iter().map(|&i| &addrs[i]).collect();
+            prop_assert_eq!(
+                &top,
+                &ring.rank(&key)[..k].iter().map(|&i| &addrs[i]).collect::<Vec<_>>(),
+                "placement is a pure function of the key"
+            );
+            let top_reordered: Vec<&String> = reordered.rank(&key)[..k]
+                .iter()
+                .map(|&i| &reordered.addrs()[i])
+                .collect();
+            prop_assert_eq!(
+                top, top_reordered,
+                "the replica set is a property of the addresses, not their positions"
+            );
+        }
+    }
+
+    /// Replica stability under node loss: removing one node promotes
+    /// exactly that node's replicas — each key it served replica-r
+    /// for keeps its other replicas in rank order and gains exactly
+    /// one new last-ranked replica — and a key whose whole top-k set
+    /// survives keeps that set verbatim.
+    #[test]
+    fn removing_a_node_promotes_exactly_its_replicas(
+        seed in 0u64..1_000_000,
+        n in 3usize..=8,
+        k in 2usize..=3,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(113));
+        let addrs = node_addrs(n);
+        let full = Ring::new(addrs.clone()).unwrap();
+        let removed = rng.gen_range(0..n);
+        let survivors: Vec<String> = addrs
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != removed)
+            .map(|(_, a)| a.clone())
+            .collect();
+        let shrunk = Ring::new(survivors).unwrap();
+        let mut touched = 0usize;
+        for _ in 0..300 {
+            let key = synthetic_key(&mut rng);
+            let before: Vec<&String> = full.rank(&key)[..k].iter().map(|&i| &addrs[i]).collect();
+            let after: Vec<&String> = shrunk.rank(&key)[..k]
+                .iter()
+                .map(|&i| &shrunk.addrs()[i])
+                .collect();
+            if let Some(pos) = before.iter().position(|a| **a == addrs[removed]) {
+                touched += 1;
+                // the survivors of the old top-k keep their relative
+                // order, shifted up past the hole...
+                let kept: Vec<&String> = before
+                    .iter()
+                    .copied()
+                    .filter(|a| **a != addrs[removed])
+                    .collect();
+                prop_assert_eq!(
+                    &after[..k - 1],
+                    kept.as_slice(),
+                    "removing rank-{} promotes without reshuffling", pos + 1
+                );
+                // ...and exactly one new replica enters, at the tail —
+                // the key's old rank-(k+1) node
+                prop_assert_eq!(
+                    after[k - 1],
+                    &addrs[full.rank(&key)[k]],
+                    "the promoted node is the old next-in-line"
+                );
+            } else {
+                prop_assert_eq!(before, after, "an intact top-{k} set never remaps");
+            }
+        }
+        prop_assert!(touched > 0, "node {removed} never appeared in a top-{k} set");
+    }
+
     /// Load balance: over >= 1k random keys the busiest node stays
     /// within 2x of the uniform share, for every ring size 3..=8.
     #[test]

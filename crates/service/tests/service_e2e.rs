@@ -178,6 +178,7 @@ fn pipelined_responses_come_back_in_request_order() {
             .send(&Request::Certify {
                 graph: generators::stacked_triangulation(n, 1),
                 bypass_cache: false,
+                cached_only: false,
                 scheme: dpc_service::SchemeId::PLANARITY,
             })
             .unwrap();

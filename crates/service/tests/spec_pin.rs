@@ -7,16 +7,21 @@ use dpc_graph::generators;
 use dpc_runtime::get_uvarint;
 use dpc_service::metrics::{HistogramSnapshot, SchemeStats, SlowLogEntry, StatsSnapshot};
 use dpc_service::registry::SchemeId;
+use dpc_service::store::{RecordKind, StoreRecord};
 use dpc_service::wire::{self, Request, Response};
 use dpc_service::StageSnapshot;
 
 const SPEC: &str = include_str!("../../../docs/WIRE.md");
 
 /// Document order of the ```hex blocks: §5.3 (Stats) comes before
-/// §5.4 (SlowLog), which comes before §7 (Certify).
+/// §5.4 (SlowLog), which comes before §7 (Certify), which comes
+/// before the three §8 replication examples.
 const STATS_BLOCK: usize = 1;
 const SLOWLOG_BLOCK: usize = 2;
 const CERTIFY_BLOCK: usize = 3;
+const STOREPUSH_BLOCK: usize = 4;
+const STOREKEYS_BLOCK: usize = 5;
+const STOREPUSHED_BLOCK: usize = 6;
 
 /// The hex bytes of the `index`-th ```hex fenced block in the spec
 /// (1-based), comments (`# ...`) stripped.
@@ -84,6 +89,11 @@ fn spec_stats_snapshot() -> StatsSnapshot {
         read_interest_restores: 1,
         inbox_wakeups: 4,
         queue_depth: 0,
+        repl_push_merged: 2,
+        repl_push_duplicates: 1,
+        repl_pushed: 2,
+        repl_sweeps: 4,
+        repl_errors: 0,
     }
 }
 
@@ -133,6 +143,7 @@ fn spec_hex_example_decodes_as_documented() {
             graph,
             bypass_cache,
             scheme,
+            ..
         } => {
             assert!(!bypass_cache);
             assert_eq!(scheme, SchemeId::BIPARTITE);
@@ -217,7 +228,76 @@ fn spec_stats_example_keeps_the_v2_prefix_decodable() {
         .map(|_| get_uvarint(&mut buf).expect("v5 counter"))
         .collect();
     assert_eq!(tail, vec![1, 1, 1, 4, 0]);
+    // …and finally the v6 replication tail, and nothing else
+    let tail: Vec<u64> = (0..5)
+        .map(|_| get_uvarint(&mut buf).expect("v6 counter"))
+        .collect();
+    assert_eq!(tail, vec![2, 1, 2, 4, 0]);
     assert!(buf.is_empty());
+}
+
+/// The short Declined record the §8 replication examples describe:
+/// keyed = scheme id 0 (no graph bytes), reason = "no".
+fn spec_store_record() -> StoreRecord {
+    StoreRecord {
+        kind: RecordKind::Declined,
+        keyed: vec![0x00],
+        suffix: vec![0x02, b'n', b'o'],
+    }
+}
+
+#[test]
+fn spec_store_push_example_is_the_real_encoding() {
+    let doc = spec_example_bytes(STOREPUSH_BLOCK);
+    let encoded = wire::encode_store_push_request(std::slice::from_ref(&spec_store_record()));
+    assert_eq!(
+        doc, encoded,
+        "docs/WIRE.md §8 StorePush example drifted from the codec"
+    );
+    match Request::decode(&doc).expect("valid request") {
+        Request::StorePush { records } => assert_eq!(records, vec![spec_store_record()]),
+        other => panic!("spec example decoded as {other:?}"),
+    }
+}
+
+#[test]
+fn spec_store_keys_example_is_the_real_encoding() {
+    let doc = spec_example_bytes(STOREKEYS_BLOCK);
+    // the documented key is the record's real content key
+    let key = spec_store_record().key().0;
+    assert_eq!(
+        key, 0xd228cb69101a8caf78912b704e4a147f,
+        "docs/WIRE.md §8 documents the wrong FNV-1a-128 key"
+    );
+    let encoded = Response::StoreKeys(vec![key]).encode();
+    assert_eq!(
+        doc, encoded,
+        "docs/WIRE.md §8 StoreKeys example drifted from the codec"
+    );
+    match Response::decode(&doc).expect("valid response") {
+        Response::StoreKeys(keys) => assert_eq!(keys, vec![key]),
+        other => panic!("spec example decoded as {other:?}"),
+    }
+}
+
+#[test]
+fn spec_store_pushed_example_is_the_real_encoding() {
+    let doc = spec_example_bytes(STOREPUSHED_BLOCK);
+    let encoded = Response::StorePushed {
+        merged: 1,
+        duplicates: 0,
+    }
+    .encode();
+    assert_eq!(
+        doc, encoded,
+        "docs/WIRE.md §8 StorePushed example drifted from the codec"
+    );
+    match Response::decode(&doc).expect("valid response") {
+        Response::StorePushed { merged, duplicates } => {
+            assert_eq!((merged, duplicates), (1, 0));
+        }
+        other => panic!("spec example decoded as {other:?}"),
+    }
 }
 
 #[test]

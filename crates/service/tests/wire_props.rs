@@ -50,7 +50,7 @@ proptest! {
         ids.push(SchemeId(4321)); // unregistered but well-formed
         for scheme in ids {
             let requests = [
-                Request::Certify { graph: g.clone(), bypass_cache: seed.is_multiple_of(2), scheme },
+                Request::Certify { graph: g.clone(), bypass_cache: seed.is_multiple_of(2), cached_only: false, scheme },
                 Request::Check { graph: g.clone(), scheme },
                 Request::Gen { family: "grid".into(), n, seed, scheme },
                 Request::SoundnessProbe { graph: g.clone(), seed, scheme },
@@ -121,6 +121,7 @@ proptest! {
         let body = Request::Certify {
             graph: g.clone(),
             bypass_cache: false,
+            cached_only: false,
             scheme: SchemeId::PLANARITY,
         }.encode();
         for cut in 0..body.len().min(48) {
@@ -134,6 +135,7 @@ proptest! {
         let ext = Request::Certify {
             graph: g,
             bypass_cache: false,
+            cached_only: false,
             scheme: SchemeId::MOD_COUNTER,
         }.encode();
         for cut in ext.len() - 2..ext.len() {

@@ -143,18 +143,18 @@ fn usage() -> String {
     "usage: dpc check|certify|embed|kuratowski|soundness <graph6>  |  \
      dpc gen <family> <n> [seed]  |  dpc schemes  |  \
      dpc serve <addr> [workers] [cache-mb] [--schemes a,b,c] \
-     [--store-dir <path>] [--store-budget-bytes <n>] \
+     [--store-dir <path>] [--store-budget-bytes <n>] [--peers a,b,c] \
      [--event-loop|--threaded] [--event-loops <n>] [--idle-timeout-ms <n>] \
      [--metrics-addr <addr>] [--slow-ms <n>]  |  \
      dpc store stat|compact|verify <dir>  |  \
      dpc store merge <dst> <src...>  |  \
      dpc query <addr>|--nodes a,b,c certify|check|gen|soundness|stats \
-     [--scheme <name>] [--wait-ms <n>] ...  |  \
+     [--scheme <name>] [--wait-ms <n>] [--replication <k>] ...  |  \
      dpc cluster-stats --nodes a,b,c [--wait-ms <n>]  |  \
      dpc slowlog <addr>|--nodes a,b,c [--wait-ms <n>]  |  \
      dpc top <addr>|--nodes a,b,c [--once] [--interval-ms <n>] [--wait-ms <n>]  |  \
      dpc bench-serve <addr>|self|--nodes a,b,c [hits] [side] \
-     [--connections N[,N...] [--requests-per-conn <k>] \
+     [--replication <k>] [--connections N[,N...] [--requests-per-conn <k>] \
      [--threaded|--event-loop]]"
         .to_string()
 }
@@ -178,11 +178,19 @@ fn take_flag_value(args: &mut Vec<&str>, flag: &str) -> Result<Option<String>, S
     Ok(Some(value))
 }
 
+/// The shared connection flags of every client-side command.
+struct ConnFlags {
+    wait: Option<Duration>,
+    nodes: Option<Vec<String>>,
+    replication: usize,
+}
+
 /// Parses the shared connection flags: `--wait-ms <n>` (connect
-/// retry window) and `--nodes a,b,c` (cluster routing).
-fn take_conn_flags(
-    args: &mut Vec<&str>,
-) -> Result<(Option<Duration>, Option<Vec<String>>), String> {
+/// retry window), `--nodes a,b,c` (cluster routing), and
+/// `--replication <k>` (copies of each certificate on the top-k
+/// ranked nodes; default 2, capped at the ring size, 1 restores
+/// single-owner routing). Replication only applies to ring targets.
+fn take_conn_flags(args: &mut Vec<&str>) -> Result<ConnFlags, String> {
     let wait = take_flag_value(args, "--wait-ms")?
         .map(|v| {
             v.parse::<u64>()
@@ -192,7 +200,18 @@ fn take_conn_flags(
         .transpose()?;
     let nodes = take_flag_value(args, "--nodes")?
         .map(|csv| csv.split(',').map(str::to_string).collect::<Vec<_>>());
-    Ok((wait, nodes))
+    let replication = take_flag_value(args, "--replication")?
+        .map(|v| match v.parse::<usize>() {
+            Ok(0) | Err(_) => Err("replication must be a number >= 1".to_string()),
+            Ok(k) => Ok(k),
+        })
+        .transpose()?
+        .unwrap_or(2);
+    Ok(ConnFlags {
+        wait,
+        nodes,
+        replication,
+    })
 }
 
 /// Resolves a `--scheme <name>` CLI handle against the standard
@@ -398,6 +417,13 @@ fn serve_cmd(addr: &str, rest: &[&str]) -> Result<String, String> {
                 registry = SchemeRegistry::with_schemes(&list.split(',').collect::<Vec<_>>())?;
             }
             "--store-dir" => store_dir = Some(value("--store-dir")?),
+            "--peers" => {
+                cfg.peers = value("--peers")?
+                    .split(',')
+                    .map(|a| a.trim().to_string())
+                    .filter(|a| !a.is_empty())
+                    .collect();
+            }
             "--store-budget-bytes" => {
                 store_budget = Some(
                     value("--store-budget-bytes")?
@@ -491,6 +517,9 @@ fn serve_cmd(addr: &str, rest: &[&str]) -> Result<String, String> {
     if let Some(m) = handle.metrics_addr() {
         log_info!("serve", "metrics on http://{m}/metrics");
     }
+    if !cfg.peers.is_empty() {
+        log_info!("serve", "anti-entropy peers: {}", cfg.peers.join(","));
+    }
     handle.wait();
     Ok(String::new())
 }
@@ -571,10 +600,14 @@ fn store_cmd(sub: &str, dir: &str) -> Result<String, String> {
 }
 
 /// A cluster client over `nodes`, with the optional connect-retry
-/// window applied (shared by query --nodes, cluster-stats, and
-/// bench-serve --nodes).
-fn ring_client(nodes: Vec<String>, wait: Option<Duration>) -> Result<ClusterClient, String> {
-    let cc = ClusterClient::new(nodes)?;
+/// window and the replication factor applied (shared by query
+/// --nodes, cluster-stats, and bench-serve --nodes).
+fn ring_client(
+    nodes: Vec<String>,
+    wait: Option<Duration>,
+    replication: usize,
+) -> Result<ClusterClient, String> {
+    let cc = ClusterClient::new(nodes)?.with_replication(replication);
     Ok(match wait {
         Some(w) => cc.with_connect_wait(w),
         None => cc,
@@ -602,9 +635,14 @@ impl Target {
         addr: Option<&str>,
         nodes: Option<Vec<String>>,
         wait: Option<Duration>,
+        replication: usize,
     ) -> Result<Target, String> {
         match nodes {
-            Some(addrs) => Ok(Target::Ring(Box::new(ring_client(addrs, wait)?))),
+            Some(addrs) => Ok(Target::Ring(Box::new(ring_client(
+                addrs,
+                wait,
+                replication,
+            )?))),
             None => {
                 let addr = addr.ok_or_else(usage)?;
                 Ok(Target::Single(connect_wait(addr, wait)?))
@@ -694,12 +732,15 @@ fn render_fleet(cc: &mut ClusterClient) -> Result<String, String> {
             Ok(s) => {
                 up += 1;
                 out.push_str(&format!(
-                    "node {addr}: up — {} requests (certify {}), {} cache hits, {} proves, {} store records\n",
+                    "node {addr}: up — {} requests (certify {}), {} cache hits, {} proves, {} store records, repl {} absorbed / {} pushed / {} sweeps\n",
                     s.requests_total(),
                     s.certify,
                     s.cache_hits,
                     s.proves,
                     s.store_records,
+                    s.repl_push_merged,
+                    s.repl_pushed,
+                    s.repl_sweeps,
                 ));
             }
             Err(e) => out.push_str(&format!("node {addr}: DOWN ({e})\n")),
@@ -714,7 +755,11 @@ fn render_fleet(cc: &mut ClusterClient) -> Result<String, String> {
 
 fn cluster_stats_cmd(rest: &[&str]) -> Result<String, String> {
     let mut args: Vec<&str> = rest.to_vec();
-    let (wait, mut nodes) = take_conn_flags(&mut args)?;
+    let ConnFlags {
+        wait,
+        mut nodes,
+        replication,
+    } = take_conn_flags(&mut args)?;
     // a bare csv positional works too: `dpc cluster-stats a,b,c`
     if nodes.is_none() && args.len() == 1 {
         nodes = Some(args.remove(0).split(',').map(str::to_string).collect());
@@ -723,7 +768,7 @@ fn cluster_stats_cmd(rest: &[&str]) -> Result<String, String> {
         return Err(usage());
     }
     let nodes = nodes.ok_or_else(usage)?;
-    let mut cc = ring_client(nodes, wait)?;
+    let mut cc = ring_client(nodes, wait, replication)?;
     render_fleet(&mut cc)
 }
 
@@ -768,13 +813,17 @@ fn render_slowlog(entries: &[SlowLogEntry]) -> String {
 
 fn slowlog_cmd(rest: &[&str]) -> Result<String, String> {
     let mut args: Vec<&str> = rest.to_vec();
-    let (wait, nodes) = take_conn_flags(&mut args)?;
+    let ConnFlags {
+        wait,
+        nodes,
+        replication,
+    } = take_conn_flags(&mut args)?;
     match nodes {
         Some(addrs) => {
             if !args.is_empty() {
                 return Err(usage());
             }
-            let mut cc = ring_client(addrs, wait)?;
+            let mut cc = ring_client(addrs, wait, replication)?;
             let mut out = String::new();
             for (addr, result) in cc.node_slowlog() {
                 match result {
@@ -841,7 +890,11 @@ fn render_top_frame(label: &str, prev: &StatsSnapshot, cur: &StatsSnapshot, dt: 
 /// smoke steps; otherwise frames stream until the process is killed.
 fn top_cmd(rest: &[&str]) -> Result<String, String> {
     let mut args: Vec<&str> = rest.to_vec();
-    let (wait, nodes) = take_conn_flags(&mut args)?;
+    let ConnFlags {
+        wait,
+        nodes,
+        replication,
+    } = take_conn_flags(&mut args)?;
     let once = args.contains(&"--once");
     args.retain(|&a| a != "--once");
     let interval = take_flag_value(&mut args, "--interval-ms")?
@@ -865,7 +918,7 @@ fn top_cmd(rest: &[&str]) -> Result<String, String> {
     if !args.is_empty() {
         return Err(usage());
     }
-    let mut target = Target::open(addr, nodes, wait)?;
+    let mut target = Target::open(addr, nodes, wait, replication)?;
     let mut prev = target.stats_all()?;
     let mut prev_at = Instant::now();
     loop {
@@ -965,7 +1018,11 @@ fn query_cmd(rest: &[&str]) -> Result<String, String> {
     // graph-carrying query, `--wait-ms <n>` / `--nodes a,b,c` on all
     // of them; strip them here so the match below stays flat
     let mut args: Vec<&str> = rest.to_vec();
-    let (wait, nodes) = take_conn_flags(&mut args)?;
+    let ConnFlags {
+        wait,
+        nodes,
+        replication,
+    } = take_conn_flags(&mut args)?;
     let mut scheme = SchemeId::PLANARITY;
     let mut scheme_name = "planarity".to_string();
     if let Some(name) = take_flag_value(&mut args, "--scheme")? {
@@ -1002,7 +1059,7 @@ fn query_cmd(rest: &[&str]) -> Result<String, String> {
              crates/service/tests/registry_e2e.rs)"
         ));
     }
-    let mut target = Target::open(addr, nodes, wait)?;
+    let mut target = Target::open(addr, nodes, wait, replication)?;
     let response = match args.as_slice() {
         ["certify", s] => target.certify(&parse(s)?, false, scheme),
         ["certify", "--no-cache", s] => target.certify(&parse(s)?, true, scheme),
@@ -1081,12 +1138,22 @@ fn render_response(resp: Response, scheme: &str) -> Result<String, String> {
         )),
         Response::Stats(s) => Ok(format!("{s}\n")),
         Response::SlowLog(entries) => Ok(render_slowlog(&entries)),
+        // maintenance kinds: no query subcommand issues these, but a
+        // response renderer must stay total
+        Response::StoreKeys(keys) => Ok(format!("{} store keys\n", keys.len())),
+        Response::StorePushed { merged, duplicates } => Ok(format!(
+            "store push: {merged} merged, {duplicates} duplicates\n"
+        )),
     }
 }
 
 fn bench_serve_cmd(rest: &[&str]) -> Result<String, String> {
     let mut args: Vec<&str> = rest.to_vec();
-    let (wait, nodes) = take_conn_flags(&mut args)?;
+    let ConnFlags {
+        wait,
+        nodes,
+        replication,
+    } = take_conn_flags(&mut args)?;
     let connections = take_flag_value(&mut args, "--connections")?;
     let per_conn = take_flag_value(&mut args, "--requests-per-conn")?
         .map(|v| {
@@ -1148,7 +1215,7 @@ fn bench_serve_cmd(rest: &[&str]) -> Result<String, String> {
     let hits = hits.max(1);
     match (addr, nodes) {
         (Some(addr), None) => bench_single(&addr, hits, side, wait),
-        (None, Some(nodes)) => bench_ring(nodes, hits, side, wait),
+        (None, Some(nodes)) => bench_ring(nodes, hits, side, wait, replication),
         _ => unreachable!("addr xor nodes by construction"),
     }
 }
@@ -1421,9 +1488,11 @@ fn bench_ring(
     hits: usize,
     side: u32,
     wait: Option<Duration>,
+    replication: usize,
 ) -> Result<String, String> {
-    let mut cc = ring_client(nodes, wait)?;
+    let mut cc = ring_client(nodes, wait, replication)?;
     let ring_nodes = cc.ring().len();
+    let replication = cc.replication();
     let n = side * side;
     // two graphs selected per node BY OWNER, so the bench provably
     // drives every server (a blind sample could skip one and skew
@@ -1454,13 +1523,19 @@ fn bench_ring(
             other => return Err(format!("unexpected response: {other:?}")),
         }
     }
+    // the hit loop tolerates failures instead of aborting: the CI
+    // chaos step kills a node mid-loop, and the whole point of
+    // replication is that `failed` stays 0 anyway
+    let mut failed = 0usize;
     let mut hit_lat = Vec::with_capacity(hits);
     let hit_wall = Instant::now();
     for i in 0..hits {
         let g = &graphs[i % graphs.len()];
         let start = Instant::now();
-        expect_certified(cc.certify(g, false).map_err(|e| e.to_string())?, true)?;
-        hit_lat.push(start.elapsed());
+        match cc.certify(g, false) {
+            Ok(Response::Certified { .. }) => hit_lat.push(start.elapsed()),
+            Ok(_) | Err(_) => failed += 1,
+        }
     }
     let hit_wall = hit_wall.elapsed();
 
@@ -1477,6 +1552,8 @@ fn bench_ring(
     let json = format!(
         "{{\"bench\":\"serve\",\"mode\":\"ring\",\"graph\":\"stacked_triangulation({n})x{}\",\
          \"nodes\":{n},\"ring_nodes\":{ring_nodes},\"ring_spread\":{},\"failovers\":{},\
+         \"replication\":{replication},\"failed\":{failed},\"replica_writes\":{},\
+         \"read_repairs\":{},\"replica_errors\":{},\
          \"miss_queries\":{misses},\"miss_p50_us\":{},\"hit_queries\":{hits},\
          \"hit_p50_us\":{},\"hit_p90_us\":{},\"hit_p99_us\":{},\"hit_p999_us\":{},\
          \"hit_rps\":{hit_rps:.0},\
@@ -1486,6 +1563,9 @@ fn bench_ring(
         graphs.len(),
         routing.nodes_used(),
         routing.failovers,
+        routing.replica_writes,
+        routing.read_repairs,
+        routing.replica_errors,
         miss_p50.as_micros(),
         hit_p50.as_micros(),
         hit_p90.as_micros(),
@@ -1500,7 +1580,7 @@ fn bench_ring(
         stage_json(&fleet.stages),
     );
     Ok(format!(
-        "bench-serve against a ring of {ring_nodes} node(s), {} graphs of {n} nodes each\n\
+        "bench-serve against a ring of {ring_nodes} node(s), {} graphs of {n} nodes each (replication {replication}, {failed} failed)\n\
          routing: {}/{ring_nodes} nodes served traffic, {} failovers\n\
          cache-miss (fresh prove): {misses} queries, p50 {:.3} ms\n\
          cache-hit: {hits} queries, p50 {:.3} ms, p90 {:.3} ms, p99 {:.3} ms, p99.9 {:.3} ms, {:.0} req/s\n\
@@ -2016,6 +2096,10 @@ mod tests {
             "\"ring_nodes\":2",
             "\"ring_spread\":2",
             "\"failovers\":0",
+            "\"replication\":2",
+            "\"failed\":0",
+            "\"replica_writes\":",
+            "\"read_repairs\":0",
             "\"hit_p50_us\":",
             "\"speedup\":",
             "\"store_records\":",
@@ -2051,6 +2135,12 @@ mod tests {
             run(&["store", "merge", "/tmp/only-dst"]).is_err(),
             "needs sources"
         );
+        // replication must be a positive count
+        for bad in ["0", "abc"] {
+            let err =
+                run(&["query", "--nodes", "a:1,b:1", "--replication", bad, "stats"]).unwrap_err();
+            assert!(err.contains("replication"), "{err}");
+        }
     }
 
     #[test]
