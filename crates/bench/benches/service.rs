@@ -62,6 +62,7 @@ fn bench_throughput(c: &mut Criterion) {
                             graph: g.clone(),
                             bypass_cache: false,
                             cached_only: false,
+                            summary: false,
                             scheme: dpc_service::SchemeId::PLANARITY,
                         })
                         .expect("send");

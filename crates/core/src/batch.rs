@@ -59,8 +59,19 @@ pub struct BatchSummary {
 impl BatchSummary {
     /// Folds the summary from index-ordered per-instance results.
     pub fn from_results(results: &[InstanceResult]) -> Self {
+        Self::fold(results.iter().map(|r| r.as_ref().ok()))
+    }
+
+    /// Folds the summary from index-ordered per-instance outcomes,
+    /// with `None` marking a declined instance. This is the one
+    /// integer fold behind every summary in the workspace — local
+    /// batches ([`Self::from_results`]) and fleet-distributed merges
+    /// (which carry outcomes without a `ProveError`) go through it,
+    /// which is what makes a distributed summary byte-identical to
+    /// the sequential single-node one.
+    pub fn fold<'a>(outcomes: impl Iterator<Item = Option<&'a Outcome>>) -> Self {
         let mut s = BatchSummary {
-            instances: results.len(),
+            instances: 0,
             proved: 0,
             declined: 0,
             accepted: 0,
@@ -72,9 +83,10 @@ impl BatchSummary {
             total_message_bits: 0,
             max_rounds: 0,
         };
-        for r in results {
+        for r in outcomes {
+            s.instances += 1;
             match r {
-                Ok(out) => {
+                Some(out) => {
                     s.proved += 1;
                     if out.all_accept() {
                         s.accepted += 1;
@@ -87,7 +99,7 @@ impl BatchSummary {
                     s.total_message_bits += out.total_message_bits;
                     s.max_rounds = s.max_rounds.max(out.rounds);
                 }
-                Err(_) => s.declined += 1,
+                None => s.declined += 1,
             }
         }
         s

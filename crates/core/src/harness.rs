@@ -99,6 +99,52 @@ impl Outcome {
             },
         })
     }
+
+    /// Merges per-component outcomes back into one graph-level
+    /// outcome: verdicts are scattered to each node's original index,
+    /// totals are summed and maxima folded with plain integer
+    /// arithmetic, so the merge is order-independent and the merged
+    /// outcome is byte-identical no matter which machine proved which
+    /// component. `parts` must partition `0..n`: each pair carries a
+    /// component's original node indices alongside the outcome
+    /// measured on its induced subgraph (whose verdict `i` belongs to
+    /// original node `nodes[i]`).
+    ///
+    /// # Panics
+    /// If an index is out of range or a part's verdict count does not
+    /// match its node list — both are caller bugs, not wire inputs.
+    pub fn merge_components(n: usize, parts: &[(Vec<u32>, Outcome)]) -> Outcome {
+        let mut merged = Outcome {
+            verdicts: vec![false; n],
+            rounds: 0,
+            max_message_bits: 0,
+            total_message_bits: 0,
+            max_cert_bits: 0,
+            total_cert_bits: 0,
+            avg_cert_bits: 0.0,
+        };
+        for (nodes, outcome) in parts {
+            assert_eq!(
+                nodes.len(),
+                outcome.verdicts.len(),
+                "component outcome must cover exactly its nodes"
+            );
+            for (i, &node) in nodes.iter().enumerate() {
+                merged.verdicts[node as usize] = outcome.verdicts[i];
+            }
+            merged.rounds = merged.rounds.max(outcome.rounds);
+            merged.max_message_bits = merged.max_message_bits.max(outcome.max_message_bits);
+            merged.total_message_bits += outcome.total_message_bits;
+            merged.max_cert_bits = merged.max_cert_bits.max(outcome.max_cert_bits);
+            merged.total_cert_bits += outcome.total_cert_bits;
+        }
+        merged.avg_cert_bits = if n == 0 {
+            0.0
+        } else {
+            merged.total_cert_bits as f64 / n as f64
+        };
+        merged
+    }
 }
 
 /// A prove-and-verify result that *retains* the certificate

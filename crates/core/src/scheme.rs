@@ -88,8 +88,10 @@ impl Assignment {
 }
 
 /// Upper bound on certificates (= nodes) in one wire assignment,
-/// matching the service's graph-size cap.
-pub const MAX_WIRE_CERTS: usize = 1 << 22;
+/// matching the service's *streamed* graph-size cap: chunk-uploaded
+/// giant graphs produce outcomes larger than any single-frame graph,
+/// and their summaries must still decode.
+pub const MAX_WIRE_CERTS: usize = 1 << 24;
 
 /// Certificate-size statistics of an [`Assignment`].
 #[derive(Debug, Clone, Copy, PartialEq)]

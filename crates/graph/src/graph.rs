@@ -346,6 +346,68 @@ impl Graph {
         crate::traversal::bfs_order(self, 0).len() == self.n as usize
     }
 
+    /// The connected components, each as a sorted list of node
+    /// indices, ordered by smallest member. The output is fully
+    /// determined by the graph, so every machine that splits the same
+    /// graph agrees on the same partition — the property
+    /// fleet-distributed proving relies on.
+    pub fn components(&self) -> Vec<Vec<NodeId>> {
+        let mut seen = vec![false; self.n as usize];
+        let mut out = Vec::new();
+        let mut stack = Vec::new();
+        for start in 0..self.n {
+            if seen[start as usize] {
+                continue;
+            }
+            seen[start as usize] = true;
+            stack.push(start);
+            let mut comp = Vec::new();
+            while let Some(v) = stack.pop() {
+                comp.push(v);
+                for &(w, _) in self.adjacency(v) {
+                    if !seen[w as usize] {
+                        seen[w as usize] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            out.push(comp);
+        }
+        out
+    }
+
+    /// The subgraph induced by `nodes` (sorted, duplicate-free),
+    /// re-indexed densely in that order but keeping each node's
+    /// original network identifier. Edges with an endpoint outside
+    /// `nodes` are dropped. Verdict `i` of an outcome measured on the
+    /// result belongs to original node `nodes[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is unsorted, has duplicates, or contains an
+    /// out-of-range index.
+    pub fn induced_subgraph(&self, nodes: &[NodeId]) -> Graph {
+        assert!(
+            nodes.windows(2).all(|w| w[0] < w[1]),
+            "induced node list must be sorted and duplicate-free"
+        );
+        let local =
+            |v: NodeId| -> Option<NodeId> { nodes.binary_search(&v).ok().map(|i| i as NodeId) };
+        let mut edges = Vec::new();
+        for (lu, &u) in nodes.iter().enumerate() {
+            for &(w, _) in self.adjacency(u) {
+                if u < w {
+                    if let Some(lw) = local(w) {
+                        edges.push(Edge::new(lu as NodeId, lw));
+                    }
+                }
+            }
+        }
+        let ids = nodes.iter().map(|&v| self.ids[v as usize]).collect();
+        Graph::from_parts(nodes.len() as u32, edges, ids)
+    }
+
     /// Returns the subgraph induced by keeping exactly the edges for which
     /// `keep` returns true (same node set).
     pub fn edge_subgraph(&self, mut keep: impl FnMut(EdgeId, Edge) -> bool) -> Graph {
@@ -466,6 +528,28 @@ mod tests {
         assert!(p.is_connected());
         let d = Graph::from_edges(4, &[(0, 1), (2, 3)]);
         assert!(!d.is_connected());
+    }
+
+    #[test]
+    fn components_partition_and_induce() {
+        let g = Graph::from_edges(7, &[(0, 2), (2, 4), (1, 3), (5, 6)]);
+        let comps = g.components();
+        assert_eq!(comps, vec![vec![0, 2, 4], vec![1, 3], vec![5, 6]]);
+
+        let sub = g.induced_subgraph(&comps[0]);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 2);
+        assert!(sub.is_connected());
+        // original identifiers survive the re-indexing
+        assert_eq!(sub.id_of(0), g.id_of(0));
+        assert_eq!(sub.id_of(1), g.id_of(2));
+        assert_eq!(sub.id_of(2), g.id_of(4));
+
+        // a connected graph is one component: itself
+        let p = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert_eq!(p.components(), vec![vec![0, 1, 2]]);
+        // the empty graph has none
+        assert!(Graph::from_edges(0, &[]).components().is_empty());
     }
 
     #[test]

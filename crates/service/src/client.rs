@@ -119,6 +119,81 @@ impl Client {
         self.call_body(&wire::encode_certify_request(graph, bypass_cache, scheme))
     }
 
+    /// Certifies a graph but asks for only the measured outcome —
+    /// no certificate assignment on the wire. The response shape the
+    /// distributed prover merges.
+    pub fn certify_summary(
+        &mut self,
+        graph: &Graph,
+        bypass_cache: bool,
+        scheme: SchemeId,
+    ) -> Result<Response, WireError> {
+        self.call_body(&wire::encode_certify_summary_request(
+            graph,
+            bypass_cache,
+            scheme,
+        ))
+    }
+
+    /// Streams a graph to the server in CRC-checked chunks and
+    /// returns the final summary-certify response. The encoding
+    /// happens here in one pass; what the chunking bounds is the
+    /// *server's* peak reassembly memory (per-chunk, not per-graph),
+    /// which is the side that matters when many clients upload giant
+    /// graphs at once. `chunk_bytes` is clipped to
+    /// [`wire::MAX_CHUNK_BYTES`]; pass
+    /// [`wire::DEFAULT_CHUNK_BYTES`] unless measuring.
+    ///
+    /// All frames are pipelined — Begin, every chunk, End go out
+    /// before the first ack is read — so the upload costs one round
+    /// trip plus bandwidth, and every ack is still verified (session
+    /// id and running chunk count) before the final response is
+    /// returned.
+    pub fn certify_chunked(
+        &mut self,
+        graph: &Graph,
+        bypass_cache: bool,
+        scheme: SchemeId,
+        chunk_bytes: usize,
+    ) -> Result<Response, WireError> {
+        let chunk_bytes = chunk_bytes.clamp(1, wire::MAX_CHUNK_BYTES);
+        let mut payload = Vec::new();
+        wire::encode_graph(&mut payload, graph);
+        let session = NEXT_CHUNK_SESSION.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.send_body(&wire::encode_chunk_begin_request(
+            session,
+            bypass_cache,
+            scheme,
+        ))?;
+        let mut chunks = 0u64;
+        for piece in payload.chunks(chunk_bytes) {
+            self.send_body(&wire::encode_chunk_request(session, chunks, piece))?;
+            chunks += 1;
+        }
+        self.send_body(&wire::encode_chunk_end_request(
+            session,
+            chunks,
+            payload.len() as u64,
+            crate::store::crc32(&payload),
+        ))?;
+        // the Begin ack plus one ack per chunk, in order
+        for expect in 0..=chunks {
+            match self.recv()? {
+                Response::ChunkAck {
+                    session: s,
+                    received,
+                } if s == session && received == expect => {}
+                Response::Error(e) => return Err(WireError::Protocol(e)),
+                other => {
+                    return Err(WireError::Protocol(format!(
+                        "unexpected chunk ack: {other:?}"
+                    )))
+                }
+            }
+        }
+        self.recv()
+    }
+
     /// Planarity check with witness summary.
     pub fn check(&mut self, graph: &Graph) -> Result<Response, WireError> {
         self.check_scheme(graph, SchemeId::PLANARITY)
@@ -218,6 +293,12 @@ impl Client {
         }
     }
 }
+
+/// Process-wide chunk-session id source. Session ids only need to be
+/// distinct per connection (the server tracks one session per
+/// connection), but globally unique ids make interleaved-upload logs
+/// unambiguous for free.
+static NEXT_CHUNK_SESSION: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 /// Poll interval of [`Client::connect_with_retry`].
 const RETRY_POLL: Duration = Duration::from_millis(25);

@@ -44,11 +44,13 @@ use crate::metrics::{SlowLogEntry, StatsSnapshot};
 use crate::registry::SchemeId;
 use crate::store::{RecordKind, StoreRecord};
 use crate::wire::{self, Response, WireError};
+use dpc_core::batch::BatchSummary;
+use dpc_core::harness::Outcome;
 use dpc_graph::canon;
 use dpc_graph::Graph;
 use dpc_runtime::put_uvarint;
 use std::io;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Domain separator between the routing key and the node address in
 /// a rendezvous score (neither side can fake a boundary shift).
@@ -262,6 +264,37 @@ impl ClusterStats {
     /// Number of nodes that answered at least one request.
     pub fn nodes_used(&self) -> usize {
         self.per_node.iter().filter(|n| n.routed > 0).count()
+    }
+}
+
+/// The result of one [`ClusterClient::certify_distributed`] sweep.
+#[derive(Debug)]
+pub struct DistributedReport {
+    /// Per-graph answers, in input order: the measured outcome of a
+    /// certified graph, or the decline reason / error text otherwise.
+    pub results: Vec<Result<Outcome, String>>,
+    /// [`BatchSummary::fold`] over the outcomes, in input order — the
+    /// same integer fold a single node applies, so this summary is
+    /// byte-identical to the sequential one over the same graphs.
+    pub summary: BatchSummary,
+    /// Nodes that answered at least one certify in this sweep.
+    pub nodes_used: usize,
+    /// Graphs certified by the fleet (outcome obtained).
+    pub delegated: u64,
+    /// Graphs whose every ranked node failed at the connection level.
+    pub delegate_errors: u64,
+    /// Wall time of the client-side summary fold.
+    pub merge_wall: Duration,
+}
+
+/// Maps a summary-certify response into its fold input: the outcome
+/// of a certified graph, the decline reason or error text otherwise.
+fn summary_result(resp: Response) -> Result<Outcome, String> {
+    match resp {
+        Response::CertifiedSummary { outcome, .. } => Ok(outcome),
+        Response::Declined { reason, .. } => Err(reason),
+        Response::Error(e) => Err(e),
+        other => Err(format!("unexpected response to Certify: {other:?}")),
     }
 }
 
@@ -507,6 +540,145 @@ impl ClusterClient {
                 Err(e)
             }
         }
+    }
+
+    /// Certifies a batch of graphs across the whole fleet: each graph
+    /// is summary-certified on its rendezvous owner, with all of one
+    /// node's graphs pipelined on its connection (send the window,
+    /// then read answers — bandwidth plus one round trip, not one
+    /// round trip per graph). A node that dies mid-pipeline fails its
+    /// unanswered graphs over down the ranking one by one, like any
+    /// routed request.
+    ///
+    /// Results come back in input order and are folded with
+    /// [`BatchSummary::fold`] — the same integer fold a single node
+    /// applies to the same graphs in the same order, so the
+    /// distributed summary is byte-identical to the sequential one.
+    pub fn certify_distributed(
+        &mut self,
+        graphs: &[Graph],
+        bypass_cache: bool,
+        scheme: SchemeId,
+    ) -> DistributedReport {
+        let keys: Vec<Vec<u8>> = graphs.iter().map(|g| graph_key(scheme, g)).collect();
+        let bodies: Vec<Vec<u8>> = graphs
+            .iter()
+            .map(|g| wire::encode_certify_summary_request(g, bypass_cache, scheme))
+            .collect();
+        let mut buckets: Vec<Vec<usize>> = (0..self.ring.len()).map(|_| Vec::new()).collect();
+        for (i, key) in keys.iter().enumerate() {
+            buckets[self.ring.owner(key)].push(i);
+        }
+        let mut results: Vec<Option<Result<Outcome, String>>> =
+            (0..graphs.len()).map(|_| None).collect();
+        // nodes_used is per sweep, not per client lifetime: diff the
+        // per-node routed counters around the sweep
+        let routed_before: Vec<u64> = self.stats.per_node.iter().map(|n| n.routed).collect();
+        let mut delegate_errors = 0u64;
+        for (node, idxs) in buckets.into_iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            let unanswered = self.pipeline_summaries(node, &idxs, &bodies, &mut results);
+            // the owner died mid-pipeline: its leftovers take the
+            // ordinary ranked route, one round trip each
+            for i in unanswered {
+                match self.route(&keys[i], &bodies[i]) {
+                    Ok(resp) => results[i] = Some(summary_result(resp)),
+                    Err(e) => {
+                        delegate_errors += 1;
+                        results[i] = Some(Err(e.to_string()));
+                    }
+                }
+            }
+        }
+        let nodes_used = self
+            .stats
+            .per_node
+            .iter()
+            .zip(routed_before)
+            .filter(|(n, before)| n.routed > *before)
+            .count();
+        let results: Vec<Result<Outcome, String>> = results
+            .into_iter()
+            .map(|r| r.expect("every graph answered"))
+            .collect();
+        let merge_start = Instant::now();
+        let summary = BatchSummary::fold(results.iter().map(|r| r.as_ref().ok()));
+        let merge_wall = merge_start.elapsed();
+        DistributedReport {
+            delegated: results.iter().filter(|r| r.is_ok()).count() as u64,
+            delegate_errors,
+            nodes_used,
+            results,
+            summary,
+            merge_wall,
+        }
+    }
+
+    /// Pipelines pre-encoded summary-certify bodies (`idxs` into
+    /// `bodies`) on one node's connection, filling `results` as
+    /// answers land. Returns the indices left unanswered when the
+    /// connection failed (empty on a clean run); the caller routes
+    /// those individually. Window-bounded like the server's own
+    /// peer delegation.
+    fn pipeline_summaries(
+        &mut self,
+        node: usize,
+        idxs: &[usize],
+        bodies: &[Vec<u8>],
+        results: &mut [Option<Result<Outcome, String>>],
+    ) -> Vec<usize> {
+        const WINDOW: usize = 64;
+        if self.ensure_conn(node).is_err() {
+            self.stats.per_node[node].failures += 1;
+            return idxs.to_vec();
+        }
+        // take the connection out of its slot for the duration: the
+        // stats fields stay borrowable while the pipeline runs
+        let mut client = self.conns[node].take().expect("just connected");
+        let mut queue: std::collections::VecDeque<usize> = idxs.iter().copied().collect();
+        let mut pending: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        let mut unanswered: Vec<usize> = Vec::new();
+        let mut answered = 0u64;
+        let mut dead = false;
+        loop {
+            while !dead && pending.len() < WINDOW {
+                let Some(i) = queue.pop_front() else { break };
+                match client.send_body(&bodies[i]) {
+                    Ok(()) => pending.push_back(i),
+                    Err(_) => {
+                        dead = true;
+                        unanswered.push(i);
+                    }
+                }
+            }
+            let Some(i) = pending.pop_front() else { break };
+            if dead {
+                unanswered.push(i);
+                continue;
+            }
+            match client.recv() {
+                Ok(resp) => {
+                    answered += 1;
+                    results[i] = Some(summary_result(resp));
+                }
+                Err(_) => {
+                    dead = true;
+                    unanswered.push(i);
+                }
+            }
+        }
+        unanswered.extend(queue);
+        self.stats.requests += answered;
+        self.stats.per_node[node].routed += answered;
+        if dead {
+            // a broken stream poisons the pipeline ordering: re-dial
+            self.stats.per_node[node].failures += 1;
+        } else {
+            self.conns[node] = Some(client);
+        }
+        unanswered
     }
 
     /// Certifies under the planarity scheme.

@@ -86,7 +86,7 @@ pub mod wire;
 
 pub use cache::{CacheConfig, CertCache};
 pub use client::Client;
-pub use cluster::{ClusterClient, ClusterStats, Ring};
+pub use cluster::{ClusterClient, ClusterStats, DistributedReport, Ring};
 pub use metrics::{
     prometheus_text, HistogramSnapshot, SlowLogEntry, StageSnapshot, StatsSnapshot, STAGE_NAMES,
 };

@@ -315,6 +315,9 @@ impl SlowLogEntry {
             6 => "slowlog",
             7 => "storelist",
             8 => "storepush",
+            9 => "chunkbegin",
+            10 => "chunk",
+            11 => "chunkend",
             _ => "?",
         }
     }
@@ -503,6 +506,29 @@ pub struct Metrics {
     /// v6). The sweep retries on its next round, so a transient
     /// non-zero value here is self-healing.
     pub repl_errors: AtomicU64,
+    /// Chunked graph-upload sessions opened (v7).
+    pub chunk_sessions: AtomicU64,
+    /// GraphChunk frames accepted into a session (v7).
+    pub chunk_chunks: AtomicU64,
+    /// Payload bytes streamed through chunk sessions (v7).
+    pub chunk_bytes: AtomicU64,
+    /// Chunk sessions aborted: replaced by a new Begin, killed by a
+    /// protocol error, or abandoned when the connection closed (v7).
+    pub chunk_aborts: AtomicU64,
+    /// High-water mark of the stream decoder's carry buffer in bytes
+    /// (v7 max-gauge, `fetch_max`). Bounded by one varint (< 10), so
+    /// this *is* the proof that reassembly memory is O(chunk), not
+    /// O(graph encoding).
+    pub chunk_carry_peak: AtomicU64,
+    /// Graph components this node delegated to ring peers during a
+    /// composite summary certify (v7).
+    pub delegated_proves: AtomicU64,
+    /// Delegations that failed (peer unreachable, broken stream, or
+    /// error response) and fell back to a local prove (v7).
+    pub delegated_errors: AtomicU64,
+    /// Component outcomes folded into one merged Outcome (v7; one per
+    /// composite certify, not per component).
+    pub outcome_merges: AtomicU64,
 }
 
 impl Metrics {
@@ -694,6 +720,23 @@ pub struct StatsSnapshot {
     pub repl_sweeps: u64,
     /// Failed peer exchanges during sweeps (v6).
     pub repl_errors: u64,
+    /// Chunked graph-upload sessions opened (v7).
+    pub chunk_sessions: u64,
+    /// GraphChunk frames accepted into a session (v7).
+    pub chunk_chunks: u64,
+    /// Payload bytes streamed through chunk sessions (v7).
+    pub chunk_bytes: u64,
+    /// Chunk sessions aborted or abandoned (v7).
+    pub chunk_aborts: u64,
+    /// Peak carry-buffer bytes across all chunk sessions (v7 gauge;
+    /// < 10 proves O(chunk) reassembly memory).
+    pub chunk_carry_peak: u64,
+    /// Components delegated to ring peers (v7).
+    pub delegated_proves: u64,
+    /// Delegations that fell back to a local prove (v7).
+    pub delegated_errors: u64,
+    /// Merged component outcomes (v7; one per composite certify).
+    pub outcome_merges: u64,
 }
 
 impl StatsSnapshot {
@@ -778,6 +821,20 @@ impl StatsSnapshot {
             self.repl_pushed,
             self.repl_sweeps,
             self.repl_errors,
+        ] {
+            put_uvarint(out, v);
+        }
+        // version-7 tail: chunked-upload and distributed-proving
+        // counters, strictly after the v6 tail
+        for v in [
+            self.chunk_sessions,
+            self.chunk_chunks,
+            self.chunk_bytes,
+            self.chunk_aborts,
+            self.chunk_carry_peak,
+            self.delegated_proves,
+            self.delegated_errors,
+            self.outcome_merges,
         ] {
             put_uvarint(out, v);
         }
@@ -873,6 +930,22 @@ impl StatsSnapshot {
                 *field = get_uvarint(buf)?;
             }
         }
+        // the v7 chunk/distribution tail is absent in v2–v6 bodies;
+        // absence decodes as zeros (a server predating giant graphs)
+        if !buf.is_empty() {
+            for field in [
+                &mut s.chunk_sessions,
+                &mut s.chunk_chunks,
+                &mut s.chunk_bytes,
+                &mut s.chunk_aborts,
+                &mut s.chunk_carry_peak,
+                &mut s.delegated_proves,
+                &mut s.delegated_errors,
+                &mut s.outcome_merges,
+            ] {
+                *field = get_uvarint(buf)?;
+            }
+        }
         Ok(s)
     }
 
@@ -927,6 +1000,16 @@ impl StatsSnapshot {
         self.repl_pushed += other.repl_pushed;
         self.repl_sweeps += other.repl_sweeps;
         self.repl_errors += other.repl_errors;
+        self.chunk_sessions += other.chunk_sessions;
+        self.chunk_chunks += other.chunk_chunks;
+        self.chunk_bytes += other.chunk_bytes;
+        self.chunk_aborts += other.chunk_aborts;
+        // a peak is a max, not a sum: the fleet's high-water mark is
+        // the worst node's high-water mark
+        self.chunk_carry_peak = self.chunk_carry_peak.max(other.chunk_carry_peak);
+        self.delegated_proves += other.delegated_proves;
+        self.delegated_errors += other.delegated_errors;
+        self.outcome_merges += other.outcome_merges;
     }
 }
 
@@ -1042,6 +1125,26 @@ impl fmt::Display for StatsSnapshot {
                 self.repl_errors,
             )?;
         }
+        if self.chunk_sessions + self.chunk_aborts > 0 {
+            write!(
+                f,
+                "\nchunked uploads: {} sessions, {} chunks, {} bytes, \
+                 {} aborted, carry peak {} bytes",
+                self.chunk_sessions,
+                self.chunk_chunks,
+                self.chunk_bytes,
+                self.chunk_aborts,
+                self.chunk_carry_peak,
+            )?;
+        }
+        if self.delegated_proves + self.delegated_errors + self.outcome_merges > 0 {
+            write!(
+                f,
+                "\ndistributed: {} components delegated, {} delegation \
+                 failures, {} outcome merges",
+                self.delegated_proves, self.delegated_errors, self.outcome_merges,
+            )?;
+        }
         for s in &self.per_scheme {
             write!(
                 f,
@@ -1091,7 +1194,7 @@ pub fn prometheus_text(s: &StatsSnapshot) -> String {
             ("{kind=\"stats\"}".into(), s.stats),
         ],
     );
-    let plain: [(&str, &str, &str, u64); 26] = [
+    let plain: [(&str, &str, &str, u64); 34] = [
         (
             "dpc_errors_total",
             "counter",
@@ -1247,6 +1350,54 @@ pub fn prometheus_text(s: &StatsSnapshot) -> String {
             "counter",
             "Failed peer exchanges during sweeps.",
             s.repl_errors,
+        ),
+        (
+            "dpc_chunk_sessions_total",
+            "counter",
+            "Chunked graph-upload sessions opened.",
+            s.chunk_sessions,
+        ),
+        (
+            "dpc_chunk_chunks_total",
+            "counter",
+            "GraphChunk frames accepted into a session.",
+            s.chunk_chunks,
+        ),
+        (
+            "dpc_chunk_bytes_total",
+            "counter",
+            "Payload bytes streamed through chunk sessions.",
+            s.chunk_bytes,
+        ),
+        (
+            "dpc_chunk_aborts_total",
+            "counter",
+            "Chunk sessions aborted or abandoned.",
+            s.chunk_aborts,
+        ),
+        (
+            "dpc_chunk_carry_peak_bytes",
+            "gauge",
+            "Peak stream-decoder carry buffer across chunk sessions.",
+            s.chunk_carry_peak,
+        ),
+        (
+            "dpc_delegated_proves_total",
+            "counter",
+            "Graph components delegated to ring peers.",
+            s.delegated_proves,
+        ),
+        (
+            "dpc_delegated_errors_total",
+            "counter",
+            "Delegations that fell back to a local prove.",
+            s.delegated_errors,
+        ),
+        (
+            "dpc_outcome_merges_total",
+            "counter",
+            "Component outcomes folded into one merged Outcome.",
+            s.outcome_merges,
         ),
     ];
     for (name, kind, help, value) in plain {
@@ -1411,6 +1562,14 @@ mod tests {
             repl_pushed: 9,
             repl_sweeps: 3,
             repl_errors: 1,
+            chunk_sessions: 2,
+            chunk_chunks: 17,
+            chunk_bytes: 1 << 22,
+            chunk_aborts: 1,
+            chunk_carry_peak: 9,
+            delegated_proves: 6,
+            delegated_errors: 1,
+            outcome_merges: 2,
             ..Default::default()
         };
         let mut buf = Vec::new();
@@ -1436,15 +1595,24 @@ mod tests {
             text.contains("replication: 13 absorbed, 4 duplicates, 9 pushed to peers"),
             "{text}"
         );
+        assert!(
+            text.contains("chunked uploads: 2 sessions, 17 chunks"),
+            "{text}"
+        );
+        assert!(
+            text.contains("distributed: 6 components delegated, 1 delegation"),
+            "{text}"
+        );
     }
 
     #[test]
     fn v2_stats_body_decodes_with_zero_store_fields() {
-        // a version-2 body is a version-6 body minus the v3 store
+        // a version-2 body is a version-7 body minus the v3 store
         // tail (8 varints), the v4 connection tail (4 varints), the
-        // v5 tracing tail (5 empty histograms + 5 varints), and the
-        // v6 replication tail (5 varints); a v6 decoder reads it as
-        // "no store, no connections, no tracing, no replication"
+        // v5 tracing tail (5 empty histograms + 5 varints), the v6
+        // replication tail (5 varints), and the v7 chunk tail (8
+        // varints); a v7 decoder reads it as "no store, no
+        // connections, no tracing, no replication, no chunking"
         let v2_like = StatsSnapshot {
             certify: 5,
             cache_hits: 3,
@@ -1452,7 +1620,7 @@ mod tests {
         };
         let mut v6 = Vec::new();
         v2_like.encode_into(&mut v6);
-        let v2 = &v6[..v6.len() - 27]; // the 27 tail bytes are all 0x00
+        let v2 = &v6[..v6.len() - 35]; // the 35 tail bytes are all 0x00
         let mut cursor = v2;
         let back = StatsSnapshot::decode_from(&mut cursor).unwrap();
         assert!(cursor.is_empty());
@@ -1466,8 +1634,8 @@ mod tests {
 
     #[test]
     fn v3_stats_body_decodes_with_zero_connection_fields() {
-        // a version-3 body is a version-6 body minus the v4, v5, and
-        // v6 tails; the store tail must still land in the store
+        // a version-3 body is a version-7 body minus the v4, v5, v6,
+        // and v7 tails; the store tail must still land in the store
         // fields, not bleed into the connection fields
         let v3_like = StatsSnapshot {
             certify: 5,
@@ -1477,7 +1645,7 @@ mod tests {
         };
         let mut v6 = Vec::new();
         v3_like.encode_into(&mut v6);
-        let v3 = &v6[..v6.len() - 19]; // v4 (4) + v5 (10) + v6 (5) tails are 0x00
+        let v3 = &v6[..v6.len() - 27]; // v4 (4) + v5 (10) + v6 (5) + v7 (8) tails are 0x00
         let mut cursor = v3;
         let back = StatsSnapshot::decode_from(&mut cursor).unwrap();
         assert!(cursor.is_empty());
@@ -1488,10 +1656,11 @@ mod tests {
 
     #[test]
     fn v4_stats_body_decodes_with_zero_tracing_fields() {
-        // a version-4 body is a version-6 body minus the tracing
+        // a version-4 body is a version-7 body minus the tracing
         // tail (5 empty histograms + 5 counters, all 0x00 when
-        // empty) and the v6 replication tail (5 counters); the
-        // connection tail must still land in the connection fields
+        // empty), the v6 replication tail (5 counters), and the v7
+        // chunk tail (8 counters); the connection tail must still
+        // land in the connection fields
         let v4_like = StatsSnapshot {
             certify: 5,
             conns_open: 2,
@@ -1500,7 +1669,7 @@ mod tests {
         };
         let mut v6 = Vec::new();
         v4_like.encode_into(&mut v6);
-        let v4 = &v6[..v6.len() - 15];
+        let v4 = &v6[..v6.len() - 23];
         let mut cursor = v4;
         let back = StatsSnapshot::decode_from(&mut cursor).unwrap();
         assert!(cursor.is_empty());
@@ -1512,9 +1681,10 @@ mod tests {
 
     #[test]
     fn v5_stats_body_decodes_with_zero_replication_fields() {
-        // a version-5 body is a version-6 body minus the replication
-        // tail (5 varints, all 0x00 when zero); the tracing tail must
-        // still land in the tracing fields
+        // a version-5 body is a version-7 body minus the replication
+        // tail (5 varints) and the chunk tail (8 varints, all 0x00
+        // when zero); the tracing tail must still land in the
+        // tracing fields
         let v5_like = StatsSnapshot {
             certify: 5,
             queue_full_stalls: 3,
@@ -1523,7 +1693,7 @@ mod tests {
         };
         let mut v6 = Vec::new();
         v5_like.encode_into(&mut v6);
-        let v5 = &v6[..v6.len() - 5];
+        let v5 = &v6[..v6.len() - 13];
         let mut cursor = v5;
         let back = StatsSnapshot::decode_from(&mut cursor).unwrap();
         assert!(cursor.is_empty());
@@ -1533,6 +1703,32 @@ mod tests {
         assert_eq!(back.repl_sweeps, 0);
         // and the replication line stays out of the rendered text
         assert!(!format!("{back}").contains("replication:"));
+    }
+
+    #[test]
+    fn v6_stats_body_decodes_with_zero_chunk_fields() {
+        // a version-6 body is a version-7 body minus the chunk tail
+        // (8 varints, all 0x00 when zero); the replication tail must
+        // still land in the replication fields
+        let v6_like = StatsSnapshot {
+            certify: 5,
+            repl_push_merged: 4,
+            repl_sweeps: 2,
+            ..StatsSnapshot::default()
+        };
+        let mut v7 = Vec::new();
+        v6_like.encode_into(&mut v7);
+        let v6 = &v7[..v7.len() - 8];
+        let mut cursor = v6;
+        let back = StatsSnapshot::decode_from(&mut cursor).unwrap();
+        assert!(cursor.is_empty());
+        assert_eq!(back, v6_like);
+        assert_eq!(back.repl_push_merged, 4);
+        assert_eq!(back.chunk_sessions, 0);
+        assert_eq!(back.delegated_proves, 0);
+        // and the chunk/distribution lines stay out of the text
+        assert!(!format!("{back}").contains("chunked uploads:"));
+        assert!(!format!("{back}").contains("distributed:"));
     }
 
     #[test]
@@ -1600,7 +1796,7 @@ mod tests {
         let snapshot = StatsSnapshot::default();
         let mut buf = Vec::new();
         snapshot.encode_into(&mut buf);
-        buf.truncate(buf.len() - 27); // drop the v3 + v4 + v5 + v6 tails
+        buf.truncate(buf.len() - 35); // drop the v3 + v4 + v5 + v6 + v7 tails
         *buf.last_mut().unwrap() = 0xff;
         buf.extend_from_slice(&[0xff, 0xff, 0x7f]);
         let mut cursor = buf.as_slice();
@@ -1682,6 +1878,9 @@ mod tests {
             conns_open: 2,
             queue_full_stalls: 1,
             repl_sweeps: 4,
+            chunk_sessions: 3,
+            chunk_carry_peak: 9,
+            delegated_proves: 5,
             latency: h.snapshot(),
             stages: StageSnapshot {
                 queue_wait: h.snapshot(),
@@ -1707,6 +1906,9 @@ mod tests {
         assert!(text.contains("dpc_conns_open 2"), "{text}");
         assert!(text.contains("dpc_queue_full_stalls_total 1"), "{text}");
         assert!(text.contains("dpc_repl_sweeps_total 4"), "{text}");
+        assert!(text.contains("dpc_chunk_sessions_total 3"), "{text}");
+        assert!(text.contains("dpc_chunk_carry_peak_bytes 9"), "{text}");
+        assert!(text.contains("dpc_delegated_proves_total 5"), "{text}");
         // cumulative buckets: 1 through le=3, 2 through le=127, +Inf
         assert!(
             text.contains("dpc_request_duration_us_bucket{le=\"3\"} 1"),

@@ -51,7 +51,8 @@
 
 use crate::metrics::{Metrics, Trace};
 use crate::server::{
-    count_request, duration_us, trace_written, Job, ReplyTo, Shared, NEXT_CONN_ID,
+    count_request, duration_us, trace_written, ChunkSessions, ChunkStep, Job, ReplyTo, Shared,
+    NEXT_CONN_ID,
 };
 use crate::wire::{self, Request, Response, WireError};
 use epoll::{Epoll, Events, Waker, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
@@ -237,6 +238,8 @@ struct Conn {
     /// Interest bits currently registered in the epoll set.
     interest: u32,
     last_activity: Instant,
+    /// Chunked-upload reassembly state (at most one open session).
+    chunks: ChunkSessions,
 }
 
 impl Conn {
@@ -257,6 +260,7 @@ impl Conn {
             closing: false,
             interest: EPOLLIN | EPOLLRDHUP,
             last_activity: Instant::now(),
+            chunks: ChunkSessions::default(),
         }
     }
 
@@ -623,14 +627,55 @@ impl EventLoop {
             let decode_start = Instant::now();
             match Request::decode(body) {
                 Ok(req) => {
-                    count_request(&shared.metrics, &req);
+                    // capture the wire kind before the chunk filter
+                    // consumes the request: a certify born from a
+                    // GraphChunkEnd keeps "chunkend" in its trace
+                    let kind = req.kind_tag();
+                    let scheme = req.scheme().map(|s| s.0).unwrap_or(0);
+                    let req = match conn.chunks.step(req, &shared.metrics) {
+                        ChunkStep::Reply(resp) => {
+                            // chunk acks and chunk protocol errors are
+                            // answered on the loop, never queued; they
+                            // still occupy a sequence slot so the
+                            // reorder contract holds
+                            shared.metrics.stats.fetch_add(1, Ordering::Relaxed);
+                            conn.next_seq += 1;
+                            conn.awaiting += 1;
+                            conn.roff += 4 + len;
+                            conn.deliver(
+                                Completion {
+                                    conn: token,
+                                    seq,
+                                    body: resp.encode(),
+                                    finished: Instant::now(),
+                                    trace: None,
+                                },
+                                &shared.metrics,
+                            );
+                            continue;
+                        }
+                        ChunkStep::Pass(req) => {
+                            count_request(&shared.metrics, &req);
+                            req
+                        }
+                        ChunkStep::Certify {
+                            graph,
+                            bypass_cache,
+                            scheme,
+                        } => {
+                            shared.metrics.certify.fetch_add(1, Ordering::Relaxed);
+                            Request::Certify {
+                                graph,
+                                bypass_cache,
+                                cached_only: false,
+                                summary: true,
+                                scheme,
+                            }
+                        }
+                    };
                     let read_decode = decode_start.elapsed();
                     shared.metrics.stages.read_decode.record(read_decode);
-                    let mut trace = Trace::new(
-                        (conn.id << 32) | (seq & 0xffff_ffff),
-                        req.kind_tag(),
-                        req.scheme().map(|s| s.0).unwrap_or(0),
-                    );
+                    let mut trace = Trace::new((conn.id << 32) | (seq & 0xffff_ffff), kind, scheme);
                     trace.read_decode_us = duration_us(read_decode);
                     let received = Instant::now();
                     let job = Job {
@@ -762,9 +807,10 @@ impl EventLoop {
     }
 
     fn close(&mut self, token: u64, why: Close) {
-        if let Some(conn) = self.conns.remove(&token) {
+        if let Some(mut conn) = self.conns.remove(&token) {
             let _ = self.epoll.delete(&conn.stream);
             let m = &self.shared.metrics;
+            conn.chunks.abandon(m);
             m.conns_open.fetch_sub(1, Ordering::Relaxed);
             if matches!(why, Close::Idle) {
                 m.idle_timeouts.fetch_add(1, Ordering::Relaxed);

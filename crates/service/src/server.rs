@@ -53,16 +53,17 @@
 //!   hits) and fsynced on graceful shutdown.
 
 use crate::cache::{CacheConfig, CacheEntry, CertCache, ProveResult};
+use crate::cluster;
 use crate::gen;
 use crate::metrics::{
     prometheus_text, Metrics, SchemeStats, SlowLog, SlowLogEntry, StatsSnapshot, Trace,
 };
 use crate::registry::{SchemeEntry, SchemeId, SchemeRegistry};
-use crate::store::{SegmentConfig, SegmentStore, TieredCache};
+use crate::store::{crc32_update, SegmentConfig, SegmentStore, TieredCache};
 use crate::wire::{self, CheckVerdict, Request, Response, SoundnessLine, WireError};
 use dpc_core::adversary::soundness_report;
 use dpc_core::batch::BatchRunner;
-use dpc_core::harness::certify_pls;
+use dpc_core::harness::{certify_pls, Outcome};
 use dpc_core::scheme::ProveError;
 use dpc_graph::canon::hash_bytes;
 use dpc_graph::minors::KuratowskiKind;
@@ -325,6 +326,10 @@ pub(crate) struct Shared {
     pub(crate) runner: BatchRunner,
     pub(crate) shutdown: AtomicBool,
     pub(crate) slow: SlowLog,
+    /// The bound listen address as a string — this node's identity in
+    /// the rendezvous ring formed by `peers ∪ {self}`, so composite
+    /// certifies partition components the same way every node would.
+    pub(crate) self_addr: String,
 }
 
 impl Shared {
@@ -503,6 +508,7 @@ pub fn serve_with_registry<A: ToSocketAddrs>(
         slow: SlowLog::new(cfg.slow_ms.saturating_mul(1000)),
         cfg,
         shutdown: AtomicBool::new(false),
+        self_addr: addr.to_string(),
     });
     let workers = (0..shared.cfg.workers.max(1))
         .map(|i| {
@@ -694,13 +700,14 @@ fn handle_connection_inner(stream: TcpStream, shared: &Arc<Shared>) {
             .spawn(move || writer_loop(write_half, rx, &shared))
             .expect("spawn connection writer")
     };
-    let error_done = |seq, body| Done {
+    let local_done = |seq, body| Done {
         seq,
         body,
         finished: Instant::now(),
         trace: None,
     };
     let mut reader = BufReader::new(stream);
+    let mut sessions = ChunkSessions::default();
     let mut seq = 0u64;
     loop {
         let body = match wire::read_frame(&mut reader) {
@@ -710,21 +717,53 @@ fn handle_connection_inner(stream: TcpStream, shared: &Arc<Shared>) {
                 // framing itself broke (e.g. oversized frame): answer
                 // once and drop the connection, the stream is desynced
                 shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-                let _ = tx.send(error_done(seq, Response::Error(e.to_string()).encode()));
+                let _ = tx.send(local_done(seq, Response::Error(e.to_string()).encode()));
                 break;
             }
         };
         let decode_start = Instant::now();
         let job = match Request::decode(&body) {
             Ok(req) => {
-                count_request(&shared.metrics, &req);
+                // the trace keeps the original wire kind: a certify
+                // born from a GraphChunkEnd shows up as "chunkend" in
+                // the slow log, which is what the operator sent
+                let kind = req.kind_tag();
+                let scheme = req.scheme().map(|s| s.0).unwrap_or(0);
+                let req = match sessions.step(req, &shared.metrics) {
+                    ChunkStep::Reply(resp) => {
+                        // chunk acks and chunk protocol errors are
+                        // answered at the connection layer; they
+                        // share the stats counter bucket like the
+                        // other maintenance kinds
+                        shared.metrics.stats.fetch_add(1, Ordering::Relaxed);
+                        if tx.send(local_done(seq, resp.encode())).is_err() {
+                            break;
+                        }
+                        seq += 1;
+                        continue;
+                    }
+                    ChunkStep::Pass(req) => {
+                        count_request(&shared.metrics, &req);
+                        req
+                    }
+                    ChunkStep::Certify {
+                        graph,
+                        bypass_cache,
+                        scheme,
+                    } => {
+                        shared.metrics.certify.fetch_add(1, Ordering::Relaxed);
+                        Request::Certify {
+                            graph,
+                            bypass_cache,
+                            cached_only: false,
+                            summary: true,
+                            scheme,
+                        }
+                    }
+                };
                 let read_decode = decode_start.elapsed();
                 shared.metrics.stages.read_decode.record(read_decode);
-                let mut trace = Trace::new(
-                    (conn_id << 32) | (seq & 0xffff_ffff),
-                    req.kind_tag(),
-                    req.scheme().map(|s| s.0).unwrap_or(0),
-                );
+                let mut trace = Trace::new((conn_id << 32) | (seq & 0xffff_ffff), kind, scheme);
                 trace.read_decode_us = duration_us(read_decode);
                 let received = Instant::now();
                 Job {
@@ -739,7 +778,7 @@ fn handle_connection_inner(stream: TcpStream, shared: &Arc<Shared>) {
             Err(e) => {
                 shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
                 let resp = Response::Error(e.to_string()).encode();
-                if tx.send(error_done(seq, resp)).is_err() {
+                if tx.send(local_done(seq, resp)).is_err() {
                     break;
                 }
                 seq += 1;
@@ -751,6 +790,7 @@ fn handle_connection_inner(stream: TcpStream, shared: &Arc<Shared>) {
         }
         seq += 1;
     }
+    sessions.abandon(&shared.metrics);
     drop(tx);
     let _ = writer.join();
 }
@@ -830,8 +870,207 @@ pub(crate) fn count_request(m: &Metrics, req: &Request) {
         Request::Stats | Request::SlowLog | Request::StoreList | Request::StorePush { .. } => {
             &m.stats
         }
+        // chunk kinds never reach the queue (the connection layer
+        // intercepts them): Begin/Chunk acks ride the stats bucket at
+        // the interception site, and a completed End is re-counted as
+        // the certify it becomes. These arms only keep the match
+        // exhaustive for the impossible pass-through.
+        Request::GraphChunkBegin { .. }
+        | Request::GraphChunk { .. }
+        | Request::GraphChunkEnd { .. } => &m.stats,
     };
     counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// One open chunked-upload session: the incremental graph decoder
+/// plus the sequencing and integrity state the protocol checks.
+/// Memory here is O(chunk): the decoder holds the graph *index* under
+/// construction and a < 10-byte carry, never the full encoding.
+struct ChunkSession {
+    session: u64,
+    bypass_cache: bool,
+    scheme: SchemeId,
+    decoder: wire::GraphStreamDecoder,
+    /// Chunks accepted so far == the seq the next chunk must carry.
+    received: u64,
+    /// Payload bytes accepted so far.
+    bytes: u64,
+    /// Running CRC-32 state over the whole payload (`!0` initial;
+    /// finalized with a complement at End).
+    crc: u32,
+}
+
+/// What the connection layer does with a decoded request after the
+/// chunk-session filter has seen it.
+pub(crate) enum ChunkStep {
+    /// Not a chunk kind: process it like any other request.
+    Pass(Request),
+    /// Answered right here at the connection layer (chunk acks and
+    /// chunk protocol errors) — never enqueued, so every chunk
+    /// request still consumes exactly one sequence number and yields
+    /// exactly one response, preserving the pipelining contract.
+    Reply(Response),
+    /// A `GraphChunkEnd` closed its session cleanly: enqueue this as
+    /// a summary-mode certify answering the End's sequence number.
+    Certify {
+        /// The reassembled graph.
+        graph: Graph,
+        /// Skip the cache, as requested at Begin.
+        bypass_cache: bool,
+        /// The scheme requested at Begin.
+        scheme: SchemeId,
+    },
+}
+
+/// Per-connection chunk-session tracker (at most one active session —
+/// a second Begin aborts the first, which is also the client's clean
+/// reset path after its own error). Both front ends own one per
+/// connection and run every decoded request through [`step`].
+///
+/// [`step`]: ChunkSessions::step
+#[derive(Default)]
+pub(crate) struct ChunkSessions {
+    active: Option<ChunkSession>,
+}
+
+impl ChunkSessions {
+    /// Kills the active session (if any) with an error response. The
+    /// session dies; the connection — and its sequence numbers —
+    /// survive, so the client can Begin again.
+    fn fail(&mut self, m: &Metrics, msg: String) -> ChunkStep {
+        if self.active.take().is_some() {
+            m.chunk_aborts.fetch_add(1, Ordering::Relaxed);
+        }
+        m.errors.fetch_add(1, Ordering::Relaxed);
+        ChunkStep::Reply(Response::Error(msg))
+    }
+
+    /// Counts an abandoned session when its connection closes (idle
+    /// reap, EOF, or error teardown) with the upload unfinished.
+    pub(crate) fn abandon(&mut self, m: &Metrics) {
+        if self.active.take().is_some() {
+            m.chunk_aborts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Runs one decoded request through the session state machine.
+    pub(crate) fn step(&mut self, req: Request, m: &Metrics) -> ChunkStep {
+        match req {
+            Request::GraphChunkBegin {
+                session,
+                bypass_cache,
+                scheme,
+            } => {
+                if self.active.take().is_some() {
+                    // a fresh Begin replaces a half-done session:
+                    // this is how a client resets after deciding to
+                    // abandon an upload without reconnecting
+                    m.chunk_aborts.fetch_add(1, Ordering::Relaxed);
+                }
+                m.chunk_sessions.fetch_add(1, Ordering::Relaxed);
+                self.active = Some(ChunkSession {
+                    session,
+                    bypass_cache,
+                    scheme,
+                    decoder: wire::GraphStreamDecoder::new(),
+                    received: 0,
+                    bytes: 0,
+                    crc: !0,
+                });
+                ChunkStep::Reply(Response::ChunkAck {
+                    session,
+                    received: 0,
+                })
+            }
+            Request::GraphChunk {
+                session,
+                seq,
+                payload,
+            } => {
+                let Some(st) = self.active.as_mut() else {
+                    return self.fail(m, "graph chunk outside a chunk session".into());
+                };
+                if st.session != session {
+                    let open = st.session;
+                    return self.fail(
+                        m,
+                        format!("chunk for session {session} but session {open} is open"),
+                    );
+                }
+                if seq != st.received {
+                    // out-of-order, duplicated, or gapped chunk: the
+                    // stream cannot be trusted past this point
+                    let expect = st.received;
+                    return self.fail(
+                        m,
+                        format!("chunk seq {seq} out of order (expected {expect})"),
+                    );
+                }
+                st.crc = crc32_update(st.crc, &payload);
+                st.bytes += payload.len() as u64;
+                st.received += 1;
+                if let Err(e) = st.decoder.feed(&payload) {
+                    return self.fail(m, e.to_string());
+                }
+                m.chunk_chunks.fetch_add(1, Ordering::Relaxed);
+                m.chunk_bytes
+                    .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                m.chunk_carry_peak
+                    .fetch_max(st.decoder.carry_len() as u64, Ordering::Relaxed);
+                ChunkStep::Reply(Response::ChunkAck {
+                    session,
+                    received: st.received,
+                })
+            }
+            Request::GraphChunkEnd {
+                session,
+                total_chunks,
+                total_bytes,
+                crc,
+            } => {
+                let Some(st) = self.active.take() else {
+                    return self.fail(m, "chunk end outside a chunk session".into());
+                };
+                if st.session != session {
+                    m.chunk_aborts.fetch_add(1, Ordering::Relaxed);
+                    m.errors.fetch_add(1, Ordering::Relaxed);
+                    return ChunkStep::Reply(Response::Error(format!(
+                        "chunk end for session {session} but session {} is open",
+                        st.session
+                    )));
+                }
+                if total_chunks != st.received || total_bytes != st.bytes {
+                    m.chunk_aborts.fetch_add(1, Ordering::Relaxed);
+                    m.errors.fetch_add(1, Ordering::Relaxed);
+                    return ChunkStep::Reply(Response::Error(format!(
+                        "chunk totals mismatch: client sent {total_chunks} chunks / \
+                         {total_bytes} bytes, server saw {} / {}",
+                        st.received, st.bytes
+                    )));
+                }
+                if !st.crc != crc {
+                    m.chunk_aborts.fetch_add(1, Ordering::Relaxed);
+                    m.errors.fetch_add(1, Ordering::Relaxed);
+                    return ChunkStep::Reply(Response::Error(
+                        "reassembled graph payload failed its CRC check".into(),
+                    ));
+                }
+                match st.decoder.finish() {
+                    Ok(graph) => ChunkStep::Certify {
+                        graph,
+                        bypass_cache: st.bypass_cache,
+                        scheme: st.scheme,
+                    },
+                    Err(e) => {
+                        m.chunk_aborts.fetch_add(1, Ordering::Relaxed);
+                        m.errors.fetch_add(1, Ordering::Relaxed);
+                        ChunkStep::Reply(Response::Error(e.to_string()))
+                    }
+                }
+            }
+            other => ChunkStep::Pass(other),
+        }
+    }
 }
 
 fn finish(shared: &Shared, job: &Job, body: Vec<u8>) {
@@ -895,9 +1134,20 @@ fn keyed_bytes(scheme: SchemeId, graph: &Graph) -> Vec<u8> {
     bytes
 }
 
-fn entry_body(cached: bool, entry: &CacheEntry) -> Vec<u8> {
+/// Response bytes for a cache entry, in either the full or the
+/// summary shape. A certified entry's suffix starts with the outcome,
+/// so the summary body is carved from the same cached bytes without
+/// re-encoding; declined entries answer identically in both shapes.
+fn entry_body(cached: bool, entry: &CacheEntry, summary: bool) -> Vec<u8> {
     match &entry.result {
-        ProveResult::Certified { .. } => wire::certified_body_from_suffix(cached, &entry.suffix),
+        ProveResult::Certified { .. } => {
+            if summary {
+                wire::summary_body_from_suffix(cached, &entry.suffix)
+                    .unwrap_or_else(|e| Response::Error(e.to_string()).encode())
+            } else {
+                wire::certified_body_from_suffix(cached, &entry.suffix)
+            }
+        }
         ProveResult::Declined { .. } => wire::declined_body_from_suffix(cached, &entry.suffix),
     }
 }
@@ -939,17 +1189,30 @@ fn process_certify_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
         waiters: Vec<usize>,
     }
     let mut to_prove: Vec<Miss> = Vec::new();
+    // disconnected summary certifies (the chunked-upload path): their
+    // components are proved piecewise — possibly on peers — and the
+    // outcomes merged, so they bypass both directions of the cache
+    // (a plain certify would cache `Declined: not connected` under
+    // the very same key, and a composite result must never shadow it)
+    let mut composites: Vec<(usize, &Graph, bool)> = Vec::new();
     let mut done: Vec<Option<Vec<u8>>> = (0..batch.len()).map(|_| None).collect();
+    let mut summaries: Vec<bool> = Vec::with_capacity(batch.len());
     for (i, job) in batch.iter().enumerate() {
         let Request::Certify {
             graph,
             bypass_cache,
             cached_only,
+            summary,
             ..
         } = &job.req
         else {
             unreachable!("certify batches contain only certify jobs");
         };
+        summaries.push(*summary);
+        if *summary && !graph.is_connected() {
+            composites.push((i, graph, *bypass_cache));
+            continue;
+        }
         if *bypass_cache {
             to_prove.push(Miss {
                 graph,
@@ -967,7 +1230,7 @@ fn process_certify_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
                 if let Some(m) = per_scheme {
                     m.hits.fetch_add(1, Ordering::Relaxed);
                 }
-                done[i] = Some(entry_body(true, &entry));
+                done[i] = Some(entry_body(true, &entry, *summary));
             }
             None => {
                 if let Some(m) = per_scheme {
@@ -1016,7 +1279,7 @@ fn process_certify_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
                         None => Arc::new(CacheEntry::new(result, Vec::new())),
                     };
                     for i in miss.waiters {
-                        done[i] = Some(entry_body(false, &entry));
+                        done[i] = Some(entry_body(false, &entry, summaries[i]));
                     }
                 }
                 Err(msg) => {
@@ -1030,10 +1293,232 @@ fn process_certify_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
             }
         }
     }
+    // Phase 2b: composite (disconnected summary) certifies. These run
+    // after the batch engine has drained so the scoped runner is free
+    // for the local component shares, one composite at a time.
+    for (i, graph, bypass) in composites {
+        done[i] = Some(prove_composite(
+            shared, entry, scheme_id, graph, bypass, per_scheme,
+        ));
+    }
     // Phase 3: respond in one pass (the per-connection writers restore
     // request order).
     for (job, body) in batch.iter().zip(done) {
         finish_certify(shared, job, body.expect("every job answered"), per_scheme);
+    }
+}
+
+/// Delegated component certifies a peer may hold in flight at once.
+/// Bounds the bodies buffered on either side of the wire while still
+/// pipelining enough to hide the round trip.
+const DELEGATE_WINDOW: usize = 64;
+
+/// One component's answer while a composite certify is in flight.
+enum CompAnswer {
+    /// The component certified; its outcome joins the merge.
+    Outcome(Outcome),
+    /// The honest prover declined the component.
+    Declined(String),
+    /// Internal failure (prover panic) — surfaces as an error.
+    Failed(String),
+}
+
+/// Certifies a *disconnected* summary request — the shape a chunked
+/// giant-graph upload produces — by splitting it into connected
+/// components, proving each on its rendezvous-ranked fleet node, and
+/// merging the per-component outcomes with
+/// [`Outcome::merge_components`]. The merge is the same integer fold
+/// a single node applies, so the merged outcome is byte-identical to
+/// a sequential prove of the whole graph.
+///
+/// Components routed to this node (or whose delegated frame would
+/// exceed [`wire::MAX_FRAME_BYTES`]) prove locally through the shared
+/// [`BatchRunner`]; the rest are pipelined as summary certifies over
+/// fresh peer connections. Every delegation failure — dead peer, torn
+/// connection, error response — falls back to a local prove, so the
+/// answer never depends on fleet health, only its latency does.
+fn prove_composite(
+    shared: &Arc<Shared>,
+    entry: &SchemeEntry,
+    scheme_id: SchemeId,
+    graph: &Graph,
+    bypass_cache: bool,
+    per_scheme: Option<&crate::metrics::SchemeMetrics>,
+) -> Vec<u8> {
+    let components = graph.components();
+    let subs: Vec<Graph> = components
+        .iter()
+        .map(|c| graph.induced_subgraph(c))
+        .collect();
+    // the fleet is this node plus its peers, deduped: a single-node
+    // fleet (or a peers list that only aliases this node) degenerates
+    // to the all-local path
+    let ring = {
+        let mut fleet = shared.cfg.peers.clone();
+        fleet.push(shared.self_addr.clone());
+        fleet.sort_unstable();
+        fleet.dedup();
+        if fleet.len() >= 2 {
+            cluster::Ring::new(fleet).ok()
+        } else {
+            None
+        }
+    };
+    let mut answers: Vec<Option<CompAnswer>> = (0..subs.len()).map(|_| None).collect();
+    let mut local: Vec<usize> = Vec::new();
+    if let Some(ring) = ring {
+        let self_idx = ring
+            .addrs()
+            .iter()
+            .position(|a| *a == shared.self_addr)
+            .expect("self address was pushed into the fleet");
+        // partition components by owning node; each delegated body is
+        // encoded once, here, and reused on the wire
+        let mut assigned: Vec<Vec<(usize, Vec<u8>)>> =
+            (0..ring.len()).map(|_| Vec::new()).collect();
+        for (j, sub) in subs.iter().enumerate() {
+            let owner = ring.owner(&cluster::graph_key(scheme_id, sub));
+            if owner == self_idx {
+                local.push(j);
+                continue;
+            }
+            let body = wire::encode_certify_summary_request(sub, bypass_cache, scheme_id);
+            if body.len() > wire::MAX_FRAME_BYTES {
+                // one component too large to delegate in one frame:
+                // keep it home rather than open a second chunk leg
+                local.push(j);
+                continue;
+            }
+            assigned[owner].push((j, body));
+        }
+        for (node, comps) in assigned.into_iter().enumerate() {
+            if comps.is_empty() {
+                continue;
+            }
+            delegate_to_peer(shared, &ring.addrs()[node], comps, &mut answers, &mut local);
+        }
+    } else {
+        local.extend(0..subs.len());
+    }
+    // local share (plus every delegation fallback) through the batch
+    // engine — exactly the prove a peer would have run
+    if !local.is_empty() {
+        local.sort_unstable();
+        shared
+            .metrics
+            .proves
+            .fetch_add(local.len() as u64, Ordering::Relaxed);
+        if let Some(m) = per_scheme {
+            m.proves.fetch_add(local.len() as u64, Ordering::Relaxed);
+        }
+        let graphs: Vec<&Graph> = local.iter().map(|&j| &subs[j]).collect();
+        let results = shared.runner.map(&graphs, |g| prove_one(entry, g));
+        for (&j, result) in local.iter().zip(results) {
+            answers[j] = Some(match result {
+                Ok(ProveResult::Certified { outcome, .. }) => CompAnswer::Outcome(outcome),
+                Ok(ProveResult::Declined { reason }) => CompAnswer::Declined(reason),
+                Err(msg) => CompAnswer::Failed(msg),
+            });
+        }
+    }
+    // fold in component order: the first non-certifying component
+    // (lowest index) decides a decline, deterministically, no matter
+    // which machine answered it
+    let mut parts: Vec<(Vec<u32>, Outcome)> = Vec::with_capacity(subs.len());
+    for (j, answer) in answers.into_iter().enumerate() {
+        match answer.expect("every component answered") {
+            CompAnswer::Outcome(outcome) => parts.push((components[j].clone(), outcome)),
+            CompAnswer::Declined(reason) => {
+                return Response::Declined {
+                    cached: false,
+                    reason,
+                }
+                .encode();
+            }
+            CompAnswer::Failed(msg) => {
+                shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                return Response::Error(msg).encode();
+            }
+        }
+    }
+    shared
+        .metrics
+        .outcome_merges
+        .fetch_add(1, Ordering::Relaxed);
+    let outcome = Outcome::merge_components(graph.node_count(), &parts);
+    Response::CertifiedSummary {
+        cached: false,
+        outcome,
+    }
+    .encode()
+}
+
+/// Pipelines `comps` (component index, pre-encoded summary-certify
+/// body) to one peer, keeping at most [`DELEGATE_WINDOW`] requests in
+/// flight. Successful answers land in `answers`; every failure —
+/// dial, transport, or error response — pushes the component index
+/// onto `local` for the fallback prove and counts a delegation error.
+fn delegate_to_peer(
+    shared: &Arc<Shared>,
+    addr: &str,
+    comps: Vec<(usize, Vec<u8>)>,
+    answers: &mut [Option<CompAnswer>],
+    local: &mut Vec<usize>,
+) {
+    let m = &shared.metrics;
+    let mut fall_back = |j: usize| {
+        m.delegated_errors.fetch_add(1, Ordering::Relaxed);
+        local.push(j);
+    };
+    let mut client = match crate::client::Client::connect(addr) {
+        Ok(client) => client,
+        Err(_) => {
+            for (j, _) in comps {
+                fall_back(j);
+            }
+            return;
+        }
+    };
+    let mut queue: std::collections::VecDeque<(usize, Vec<u8>)> = comps.into();
+    let mut pending: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    let mut dead = false;
+    loop {
+        while !dead && pending.len() < DELEGATE_WINDOW {
+            let Some((j, body)) = queue.pop_front() else {
+                break;
+            };
+            match client.send_body(&body) {
+                Ok(()) => pending.push_back(j),
+                Err(_) => {
+                    dead = true;
+                    fall_back(j);
+                }
+            }
+        }
+        let Some(j) = pending.pop_front() else { break };
+        if dead {
+            fall_back(j);
+            continue;
+        }
+        match client.recv() {
+            Ok(Response::CertifiedSummary { outcome, .. }) => {
+                m.delegated_proves.fetch_add(1, Ordering::Relaxed);
+                answers[j] = Some(CompAnswer::Outcome(outcome));
+            }
+            Ok(Response::Declined { reason, .. }) => {
+                m.delegated_proves.fetch_add(1, Ordering::Relaxed);
+                answers[j] = Some(CompAnswer::Declined(reason));
+            }
+            Ok(_) => fall_back(j),
+            Err(_) => {
+                dead = true;
+                fall_back(j);
+            }
+        }
+    }
+    // the transport died before everything was even sent
+    for (j, _) in queue {
+        fall_back(j);
     }
 }
 
@@ -1145,6 +1630,16 @@ fn process_single_inner(shared: &Arc<Shared>, req: &Request) -> Vec<u8> {
             m.repl_push_duplicates
                 .fetch_add(duplicates, Ordering::Relaxed);
             Response::StorePushed { merged, duplicates }.encode()
+        }
+        Request::GraphChunkBegin { .. }
+        | Request::GraphChunk { .. }
+        | Request::GraphChunkEnd { .. } => {
+            // chunk frames are intercepted by ChunkSessions at the
+            // connection layer and never reach a worker; answer
+            // cleanly anyway so a future front end that forgets the
+            // interception fails loudly instead of wedging
+            shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            Response::Error("chunk frames are handled at the connection layer".into()).encode()
         }
     }
 }
@@ -1283,5 +1778,13 @@ fn snapshot(shared: &Shared) -> StatsSnapshot {
         repl_pushed: m.repl_pushed.load(Ordering::Relaxed),
         repl_sweeps: m.repl_sweeps.load(Ordering::Relaxed),
         repl_errors: m.repl_errors.load(Ordering::Relaxed),
+        chunk_sessions: m.chunk_sessions.load(Ordering::Relaxed),
+        chunk_chunks: m.chunk_chunks.load(Ordering::Relaxed),
+        chunk_bytes: m.chunk_bytes.load(Ordering::Relaxed),
+        chunk_aborts: m.chunk_aborts.load(Ordering::Relaxed),
+        chunk_carry_peak: m.chunk_carry_peak.load(Ordering::Relaxed),
+        delegated_proves: m.delegated_proves.load(Ordering::Relaxed),
+        delegated_errors: m.delegated_errors.load(Ordering::Relaxed),
+        outcome_merges: m.outcome_merges.load(Ordering::Relaxed),
     }
 }

@@ -415,33 +415,42 @@ impl CertStore for CertCache {
     }
 }
 
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// Folds `bytes` into a running CRC-32 state. Start from `!0`, feed
+/// the data in any slicing, and complement the final state:
+/// `crc32(a ‖ b) == !crc32_update(crc32_update(!0, a), b)`. The
+/// chunked graph upload uses this to CRC a whole streamed payload
+/// without ever holding it in one buffer.
+pub fn crc32_update(mut state: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        state = CRC32_TABLE[((state ^ b as u32) & 0xff) as usize] ^ (state >> 8);
+    }
+    state
+}
+
 /// CRC-32 (IEEE 802.3, the zlib polynomial) — the per-record
 /// integrity check of the segment file format.
 pub fn crc32(bytes: &[u8]) -> u32 {
-    const TABLE: [u32; 256] = {
-        let mut table = [0u32; 256];
-        let mut i = 0;
-        while i < 256 {
-            let mut c = i as u32;
-            let mut k = 0;
-            while k < 8 {
-                c = if c & 1 != 0 {
-                    0xedb8_8320 ^ (c >> 1)
-                } else {
-                    c >> 1
-                };
-                k += 1;
-            }
-            table[i] = c;
-            i += 1;
-        }
-        table
-    };
-    let mut crc = !0u32;
-    for &b in bytes {
-        crc = TABLE[((crc ^ b as u32) & 0xff) as usize] ^ (crc >> 8);
-    }
-    !crc
+    !crc32_update(!0, bytes)
 }
 
 #[cfg(test)]
@@ -473,6 +482,12 @@ mod tests {
         // standard check value of CRC-32/ISO-HDLC
         assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
         assert_eq!(crc32(b""), 0);
+        // incremental folding over any slicing matches the one-shot
+        let data = b"123456789";
+        for split in 0..data.len() {
+            let state = crc32_update(crc32_update(!0, &data[..split]), &data[split..]);
+            assert_eq!(!state, 0xcbf4_3926);
+        }
     }
 
     #[test]

@@ -14,15 +14,23 @@
 //! errors but never duplicate edges, self-loops, or panics.
 //!
 //! Request kinds: Certify, Check, Gen, SoundnessProbe, Stats,
-//! SlowLog, StoreList, StorePush. The codec is total:
-//! `decode(encode(x)) == x` for every request and response, which the
-//! property tests in `tests/wire_props.rs` pin down across all
-//! generator families.
+//! SlowLog, StoreList, StorePush, GraphChunkBegin, GraphChunk,
+//! GraphChunkEnd. The codec is total: `decode(encode(x)) == x` for
+//! every request and response, which the property tests in
+//! `tests/wire_props.rs` pin down across all generator families.
 //!
 //! StoreList and StorePush are the replication plane (wire v6): a
 //! peer lists another peer's store key digests, then streams it the
 //! records it lacks as CRC-checked [`StoreRecord`] bodies — the
 //! over-TCP twin of `SegmentStore::merge_from`'s dedup-by-key merge.
+//!
+//! The GraphChunk* kinds are the giant-graph plane (wire v7): a
+//! client streams one graph's canonical encoding as CRC-checked,
+//! sequence-numbered chunks, and the server reassembles it
+//! *incrementally* through [`GraphStreamDecoder`] — between chunks it
+//! keeps only a partial trailing varint (a handful of bytes) plus the
+//! graph being built, so peak reassembly memory is O(chunk + graph
+//! index) no matter how large the upload is.
 
 use crate::metrics::{SlowLogEntry, StatsSnapshot};
 use crate::registry::SchemeId;
@@ -38,6 +46,15 @@ use std::io::{self, Read, Write};
 pub const MAX_FRAME_BYTES: usize = 64 << 20;
 /// Upper bound on node count in a wire graph.
 pub const MAX_WIRE_NODES: u64 = 1 << 22;
+/// Upper bound on node count in a chunk-streamed graph. Streamed
+/// graphs are not bounded by one frame, so the cap is above
+/// [`MAX_WIRE_NODES`]; it matches `MAX_WIRE_CERTS`, keeping the
+/// merged `Outcome` of a giant graph decodable by ordinary clients.
+pub const MAX_STREAM_NODES: u64 = 1 << 24;
+/// Upper bound on one `GraphChunk` payload the server will buffer.
+pub const MAX_CHUNK_BYTES: usize = 4 << 20;
+/// Default client-side chunk payload size for streamed uploads.
+pub const DEFAULT_CHUNK_BYTES: usize = 256 << 10;
 
 /// Errors of the wire layer.
 #[derive(Debug)]
@@ -217,6 +234,244 @@ pub fn decode_graph(buf: &mut &[u8]) -> Result<Graph, WireError> {
     Ok(b.build())
 }
 
+/// Reads one uvarint if its terminating byte is present, advancing
+/// `buf`. `Ok(None)` means the varint is split across a chunk
+/// boundary — feed more bytes. An unterminated run of 10+ bytes can
+/// never complete into a valid `u64` varint and is rejected here
+/// rather than buffered forever.
+fn try_uvarint(buf: &mut &[u8]) -> Result<Option<u64>, WireError> {
+    match buf.iter().position(|b| b & 0x80 == 0) {
+        Some(end) => {
+            let mut head = &buf[..=end];
+            let v = get_uvarint(&mut head)?;
+            *buf = &buf[end + 1..];
+            Ok(Some(v))
+        }
+        None if buf.len() >= 10 => Err(protocol("unterminated varint in graph stream")),
+        None => Ok(None),
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StreamStage {
+    NodeCount,
+    IdFlag,
+    Ids,
+    EdgeCount,
+    Edges,
+    Done,
+}
+
+/// Incremental decoder for the canonical graph encoding of
+/// [`encode_graph`], fed one chunk at a time.
+///
+/// The decoder consumes every complete varint of each chunk as it
+/// arrives and carries at most one *partial* trailing varint (under
+/// ten bytes) to the next `feed` call, so its transient memory is
+/// O(chunk) and its resident state is the graph under construction
+/// itself — never the raw upload. [`GraphStreamDecoder::carry_len`]
+/// exposes the carried remnant so callers can meter the bound
+/// (`chunk_carry_peak` in the server stats).
+///
+/// The grammar and validity checks match [`decode_graph`] exactly —
+/// same gap decoding, same endpoint bounds, same duplicate-id
+/// rejection — except that the node cap is [`MAX_STREAM_NODES`] and
+/// the frame-proportional amplification guards are replaced by the
+/// bytes the stream actually delivers. A decoded stream re-encodes
+/// byte-identically to the single-frame form.
+pub struct GraphStreamDecoder {
+    stage: StreamStage,
+    carry: Vec<u8>,
+    n: u32,
+    ids: Vec<u64>,
+    custom_ids: bool,
+    m: u64,
+    edges_done: u64,
+    prev_u: u32,
+    prev_v: u32,
+    pending_du: Option<u64>,
+    builder: Option<GraphBuilder>,
+}
+
+impl Default for GraphStreamDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GraphStreamDecoder {
+    /// A decoder at the start of the graph grammar.
+    pub fn new() -> Self {
+        GraphStreamDecoder {
+            stage: StreamStage::NodeCount,
+            carry: Vec::new(),
+            n: 0,
+            ids: Vec::new(),
+            custom_ids: false,
+            m: 0,
+            edges_done: 0,
+            prev_u: 0,
+            prev_v: 0,
+            pending_du: None,
+            builder: None,
+        }
+    }
+
+    /// Bytes carried over from the previous chunk (a split varint).
+    pub fn carry_len(&self) -> usize {
+        self.carry.len()
+    }
+
+    /// Consumes one chunk of the encoding.
+    pub fn feed(&mut self, chunk: &[u8]) -> Result<(), WireError> {
+        let joined;
+        let mut buf: &[u8] = if self.carry.is_empty() {
+            chunk
+        } else {
+            let mut v = std::mem::take(&mut self.carry);
+            v.extend_from_slice(chunk);
+            joined = v;
+            &joined
+        };
+        self.advance(&mut buf)?;
+        self.carry = buf.to_vec();
+        Ok(())
+    }
+
+    fn advance(&mut self, buf: &mut &[u8]) -> Result<(), WireError> {
+        loop {
+            match self.stage {
+                StreamStage::NodeCount => {
+                    let Some(n) = try_uvarint(buf)? else {
+                        return Ok(());
+                    };
+                    if n > MAX_STREAM_NODES {
+                        return Err(protocol(format!(
+                            "streamed graph with {n} nodes exceeds the limit"
+                        )));
+                    }
+                    self.n = n as u32;
+                    self.stage = StreamStage::IdFlag;
+                }
+                StreamStage::IdFlag => {
+                    let Some(flag) = try_uvarint(buf)? else {
+                        return Ok(());
+                    };
+                    self.custom_ids = match flag {
+                        0 => false,
+                        1 => true,
+                        x => return Err(protocol(format!("bad id flag {x}"))),
+                    };
+                    self.stage = if self.custom_ids {
+                        StreamStage::Ids
+                    } else {
+                        StreamStage::EdgeCount
+                    };
+                }
+                StreamStage::Ids => {
+                    while (self.ids.len() as u64) < self.n as u64 {
+                        let Some(id) = try_uvarint(buf)? else {
+                            return Ok(());
+                        };
+                        self.ids.push(id);
+                    }
+                    let mut sorted = self.ids.clone();
+                    sorted.sort_unstable();
+                    if sorted.windows(2).any(|w| w[0] == w[1]) {
+                        return Err(protocol("duplicate network identifiers"));
+                    }
+                    self.stage = StreamStage::EdgeCount;
+                }
+                StreamStage::EdgeCount => {
+                    let Some(m) = try_uvarint(buf)? else {
+                        return Ok(());
+                    };
+                    let max_m = self.n as u64 * (self.n as u64).saturating_sub(1) / 2;
+                    if m > max_m {
+                        return Err(protocol(format!(
+                            "{m} edges on {} nodes is impossible",
+                            self.n
+                        )));
+                    }
+                    self.m = m;
+                    let mut b = GraphBuilder::new(self.n);
+                    if self.custom_ids {
+                        b.with_ids(std::mem::take(&mut self.ids));
+                    }
+                    self.builder = Some(b);
+                    self.stage = StreamStage::Edges;
+                }
+                StreamStage::Edges => {
+                    while self.edges_done < self.m {
+                        let du = match self.pending_du.take() {
+                            Some(du) => du,
+                            None => {
+                                let Some(du) = try_uvarint(buf)? else {
+                                    return Ok(());
+                                };
+                                du
+                            }
+                        };
+                        let Some(dv) = try_uvarint(buf)? else {
+                            // half an edge: remember du for the next chunk
+                            self.pending_du = Some(du);
+                            return Ok(());
+                        };
+                        let n = self.n;
+                        let u = (self.prev_u as u64)
+                            .checked_add(du)
+                            .filter(|&u| u < n as u64)
+                            .ok_or_else(|| protocol("edge endpoint out of range"))?
+                            as u32;
+                        let base = if self.edges_done == 0 || du > 0 {
+                            u as u64
+                        } else {
+                            self.prev_v as u64
+                        };
+                        let v = base
+                            .checked_add(dv)
+                            .and_then(|x| x.checked_add(1))
+                            .filter(|&v| v < n as u64)
+                            .ok_or_else(|| protocol("edge endpoint out of range"))?
+                            as u32;
+                        self.builder
+                            .as_mut()
+                            .expect("builder exists in Edges stage")
+                            .add_edge(u, v)
+                            .map_err(|e| protocol(format!("bad edge list: {e}")))?;
+                        self.prev_u = u;
+                        self.prev_v = v;
+                        self.edges_done += 1;
+                    }
+                    self.stage = StreamStage::Done;
+                }
+                StreamStage::Done => {
+                    if buf.is_empty() {
+                        return Ok(());
+                    }
+                    return Err(protocol(format!(
+                        "{} trailing bytes after the edge list",
+                        buf.len()
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Completes the decode; the stream must have delivered the whole
+    /// grammar, down to the last edge.
+    pub fn finish(mut self) -> Result<Graph, WireError> {
+        if self.stage != StreamStage::Done || !self.carry.is_empty() {
+            return Err(protocol("truncated graph stream"));
+        }
+        Ok(self
+            .builder
+            .take()
+            .expect("builder exists once the grammar completed")
+            .build())
+    }
+}
+
 fn encode_string(out: &mut Vec<u8>, s: &str) {
     dpc_runtime::put_string(out, s);
 }
@@ -295,6 +550,16 @@ pub const CERTIFY_FLAG_BYPASS_CACHE: u64 = 1;
 /// rank-2 node can answer without the cold rank-1 node proving.
 pub const CERTIFY_FLAG_CACHED_ONLY: u64 = 2;
 
+/// Certify flag: answer with a [`Response::CertifiedSummary`]
+/// (outcome only, no assignment) instead of a full `Certified`. This
+/// is how fleet-distributed proving stays frame-bounded: a giant
+/// graph's assignment would not fit one response frame, but its
+/// verdict bitmap and fold totals always do. Summary mode also
+/// unlocks component-split proving of disconnected graphs (the plain
+/// path declines them). Mutually exclusive with
+/// [`CERTIFY_FLAG_CACHED_ONLY`].
+pub const CERTIFY_FLAG_SUMMARY: u64 = 4;
+
 /// The exact `Error` payload a cached-only certify miss carries.
 /// Clients match it verbatim to tell "cold replica, keep walking"
 /// from a real failure.
@@ -314,6 +579,10 @@ pub enum Request {
         /// and never a prove (replica probes). Mutually exclusive
         /// with `bypass_cache`.
         cached_only: bool,
+        /// Answer with the outcome summary only (no assignment), and
+        /// prove disconnected graphs component by component instead
+        /// of declining them (see [`CERTIFY_FLAG_SUMMARY`]).
+        summary: bool,
         /// The registered scheme to run (default: planarity).
         scheme: SchemeId,
     },
@@ -365,6 +634,45 @@ pub enum Request {
         /// The records to absorb, each CRC-checked on the wire.
         records: Vec<StoreRecord>,
     },
+    /// Open a chunked graph upload session on this connection. The
+    /// graph streamed through the session is certified in summary
+    /// mode once `GraphChunkEnd` closes it. Answered with a
+    /// [`Response::ChunkAck`].
+    GraphChunkBegin {
+        /// Client-chosen session id; `GraphChunk`/`GraphChunkEnd`
+        /// frames on the same connection must echo it.
+        session: u64,
+        /// Skip the cache for the final certify.
+        bypass_cache: bool,
+        /// The registered scheme to run (default: planarity).
+        scheme: SchemeId,
+    },
+    /// One CRC-checked slice of the streamed graph encoding.
+    /// Answered with a [`Response::ChunkAck`].
+    GraphChunk {
+        /// Session id from `GraphChunkBegin`.
+        session: u64,
+        /// Zero-based chunk sequence number; chunks must arrive in
+        /// order, without gaps or duplicates.
+        seq: u64,
+        /// The encoding slice (at most [`MAX_CHUNK_BYTES`]).
+        payload: Vec<u8>,
+    },
+    /// Close a chunk session: the server checks the totals and the
+    /// whole-payload CRC, finishes the incremental decode, and
+    /// certifies the graph in summary mode. Answered with the
+    /// certify's [`Response::CertifiedSummary`] / `Declined` /
+    /// `Error`.
+    GraphChunkEnd {
+        /// Session id from `GraphChunkBegin`.
+        session: u64,
+        /// Number of `GraphChunk` frames the client sent.
+        total_chunks: u64,
+        /// Total payload bytes across all chunks.
+        total_bytes: u64,
+        /// CRC-32 of the whole reassembled payload.
+        crc: u32,
+    },
 }
 
 impl Request {
@@ -375,10 +683,14 @@ impl Request {
             Request::Certify { scheme, .. }
             | Request::Check { scheme, .. }
             | Request::Gen { scheme, .. }
-            | Request::SoundnessProbe { scheme, .. } => Some(*scheme),
-            Request::Stats | Request::SlowLog | Request::StoreList | Request::StorePush { .. } => {
-                None
-            }
+            | Request::SoundnessProbe { scheme, .. }
+            | Request::GraphChunkBegin { scheme, .. } => Some(*scheme),
+            Request::Stats
+            | Request::SlowLog
+            | Request::StoreList
+            | Request::StorePush { .. }
+            | Request::GraphChunk { .. }
+            | Request::GraphChunkEnd { .. } => None,
         }
     }
 
@@ -394,6 +706,9 @@ impl Request {
             Request::SlowLog => REQ_SLOWLOG,
             Request::StoreList => REQ_STORELIST,
             Request::StorePush { .. } => REQ_STOREPUSH,
+            Request::GraphChunkBegin { .. } => REQ_CHUNK_BEGIN,
+            Request::GraphChunk { .. } => REQ_CHUNK,
+            Request::GraphChunkEnd { .. } => REQ_CHUNK_END,
         }) as u8
     }
 }
@@ -406,6 +721,9 @@ const REQ_STATS: u64 = 5;
 const REQ_SLOWLOG: u64 = 6;
 const REQ_STORELIST: u64 = 7;
 const REQ_STOREPUSH: u64 = 8;
+const REQ_CHUNK_BEGIN: u64 = 9;
+const REQ_CHUNK: u64 = 10;
+const REQ_CHUNK_END: u64 = 11;
 
 // Borrowing encoders: build a frame body straight from a `&Graph`,
 // without constructing an owned `Request` (the client's hot path —
@@ -426,6 +744,69 @@ pub fn encode_certify_request(graph: &Graph, bypass_cache: bool, scheme: SchemeI
 /// cold one replies `Error(`[`NOT_CACHED`]`)` without proving.
 pub fn encode_certify_probe_request(graph: &Graph, scheme: SchemeId) -> Vec<u8> {
     certify_body(graph, CERTIFY_FLAG_CACHED_ONLY, scheme)
+}
+
+/// Frame body of a summary Certify (see [`CERTIFY_FLAG_SUMMARY`]):
+/// the answer carries the outcome fold but no assignment, and
+/// disconnected graphs are proved component by component. This is
+/// the frame fleet-distributed proving sends for each partition.
+pub fn encode_certify_summary_request(
+    graph: &Graph,
+    bypass_cache: bool,
+    scheme: SchemeId,
+) -> Vec<u8> {
+    let mut flags = CERTIFY_FLAG_SUMMARY;
+    if bypass_cache {
+        flags |= CERTIFY_FLAG_BYPASS_CACHE;
+    }
+    certify_body(graph, flags, scheme)
+}
+
+/// Frame body of a GraphChunkBegin request.
+pub fn encode_chunk_begin_request(session: u64, bypass_cache: bool, scheme: SchemeId) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_uvarint(&mut out, REQ_CHUNK_BEGIN);
+    put_uvarint(&mut out, session);
+    put_uvarint(
+        &mut out,
+        if bypass_cache {
+            CERTIFY_FLAG_BYPASS_CACHE
+        } else {
+            0
+        },
+    );
+    encode_extensions(&mut out, scheme);
+    out
+}
+
+/// Frame body of a GraphChunk request:
+/// `session ‖ seq ‖ uvarint(len) ‖ payload ‖ crc32_le(payload)`.
+pub fn encode_chunk_request(session: u64, seq: u64, payload: &[u8]) -> Vec<u8> {
+    debug_assert!(payload.len() <= MAX_CHUNK_BYTES);
+    let mut out = Vec::with_capacity(payload.len() + 32);
+    put_uvarint(&mut out, REQ_CHUNK);
+    put_uvarint(&mut out, session);
+    put_uvarint(&mut out, seq);
+    put_uvarint(&mut out, payload.len() as u64);
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out
+}
+
+/// Frame body of a GraphChunkEnd request.
+pub fn encode_chunk_end_request(
+    session: u64,
+    total_chunks: u64,
+    total_bytes: u64,
+    crc: u32,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_uvarint(&mut out, REQ_CHUNK_END);
+    put_uvarint(&mut out, session);
+    put_uvarint(&mut out, total_chunks);
+    put_uvarint(&mut out, total_bytes);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
 }
 
 fn certify_body(graph: &Graph, flags: u64, scheme: SchemeId) -> Vec<u8> {
@@ -514,6 +895,7 @@ impl Request {
                 graph,
                 bypass_cache,
                 cached_only,
+                summary,
                 scheme,
             } => {
                 let mut flags = 0;
@@ -522,6 +904,9 @@ impl Request {
                 }
                 if *cached_only {
                     flags |= CERTIFY_FLAG_CACHED_ONLY;
+                }
+                if *summary {
+                    flags |= CERTIFY_FLAG_SUMMARY;
                 }
                 certify_body(graph, flags, *scheme)
             }
@@ -541,6 +926,22 @@ impl Request {
             Request::SlowLog => encode_slowlog_request(),
             Request::StoreList => encode_store_list_request(),
             Request::StorePush { records } => encode_store_push_request(records),
+            Request::GraphChunkBegin {
+                session,
+                bypass_cache,
+                scheme,
+            } => encode_chunk_begin_request(*session, *bypass_cache, *scheme),
+            Request::GraphChunk {
+                session,
+                seq,
+                payload,
+            } => encode_chunk_request(*session, *seq, payload),
+            Request::GraphChunkEnd {
+                session,
+                total_chunks,
+                total_bytes,
+                crc,
+            } => encode_chunk_end_request(*session, *total_chunks, *total_bytes, *crc),
         }
     }
 
@@ -550,16 +951,22 @@ impl Request {
         let req = match get_uvarint(&mut buf)? {
             REQ_CERTIFY => {
                 let flags = get_uvarint(&mut buf)?;
-                if flags & !(CERTIFY_FLAG_BYPASS_CACHE | CERTIFY_FLAG_CACHED_ONLY) != 0 {
+                let known =
+                    CERTIFY_FLAG_BYPASS_CACHE | CERTIFY_FLAG_CACHED_ONLY | CERTIFY_FLAG_SUMMARY;
+                if flags & !known != 0 {
                     return Err(protocol(format!("unknown certify flags {flags:#x}")));
                 }
-                if flags == CERTIFY_FLAG_BYPASS_CACHE | CERTIFY_FLAG_CACHED_ONLY {
-                    // "skip the cache" and "only the cache" cannot both hold
+                if flags & CERTIFY_FLAG_CACHED_ONLY != 0
+                    && flags & (CERTIFY_FLAG_BYPASS_CACHE | CERTIFY_FLAG_SUMMARY) != 0
+                {
+                    // "only the cache" contradicts both "skip the
+                    // cache" and the prove-components summary mode
                     return Err(protocol("contradictory certify flags"));
                 }
                 Request::Certify {
                     bypass_cache: flags & CERTIFY_FLAG_BYPASS_CACHE != 0,
                     cached_only: flags & CERTIFY_FLAG_CACHED_ONLY != 0,
+                    summary: flags & CERTIFY_FLAG_SUMMARY != 0,
                     graph: decode_graph(&mut buf)?,
                     scheme: decode_extensions(&mut buf)?,
                 }
@@ -613,6 +1020,59 @@ impl Request {
                     records.push(record);
                 }
                 Request::StorePush { records }
+            }
+            REQ_CHUNK_BEGIN => {
+                let session = get_uvarint(&mut buf)?;
+                let flags = get_uvarint(&mut buf)?;
+                if flags & !CERTIFY_FLAG_BYPASS_CACHE != 0 {
+                    return Err(protocol(format!("unknown chunk-begin flags {flags:#x}")));
+                }
+                Request::GraphChunkBegin {
+                    session,
+                    bypass_cache: flags & CERTIFY_FLAG_BYPASS_CACHE != 0,
+                    scheme: decode_extensions(&mut buf)?,
+                }
+            }
+            REQ_CHUNK => {
+                let session = get_uvarint(&mut buf)?;
+                let seq = get_uvarint(&mut buf)?;
+                let len = get_uvarint(&mut buf)? as usize;
+                if len > MAX_CHUNK_BYTES {
+                    return Err(protocol(format!("chunk of {len} bytes exceeds the limit")));
+                }
+                if len > buf.len() {
+                    return Err(protocol("chunk payload longer than the frame"));
+                }
+                let payload = get_bytes(&mut buf, len)?;
+                let crc = u32::from_le_bytes(
+                    get_bytes(&mut buf, 4)?
+                        .try_into()
+                        .expect("get_bytes returned 4 bytes"),
+                );
+                if crc32(payload) != crc {
+                    return Err(protocol("graph chunk failed its CRC check"));
+                }
+                Request::GraphChunk {
+                    session,
+                    seq,
+                    payload: payload.to_vec(),
+                }
+            }
+            REQ_CHUNK_END => {
+                let session = get_uvarint(&mut buf)?;
+                let total_chunks = get_uvarint(&mut buf)?;
+                let total_bytes = get_uvarint(&mut buf)?;
+                let crc = u32::from_le_bytes(
+                    get_bytes(&mut buf, 4)?
+                        .try_into()
+                        .expect("get_bytes returned 4 bytes"),
+                );
+                Request::GraphChunkEnd {
+                    session,
+                    total_chunks,
+                    total_bytes,
+                    crc,
+                }
             }
             k => return Err(protocol(format!("unknown request kind {k}"))),
         };
@@ -713,6 +1173,21 @@ pub enum Response {
         /// Records already present (deduplicated by content key).
         duplicates: u64,
     },
+    /// A summary-mode certify answer: the measured outcome without
+    /// the assignment, so the frame stays small for giant graphs.
+    CertifiedSummary {
+        /// True when served from the certificate cache.
+        cached: bool,
+        /// Measured (possibly component-merged) verification outcome.
+        outcome: Outcome,
+    },
+    /// Acknowledges a `GraphChunkBegin` or `GraphChunk` frame.
+    ChunkAck {
+        /// The session the ack belongs to.
+        session: u64,
+        /// Chunks received in the session so far (0 for the Begin ack).
+        received: u64,
+    },
 }
 
 const RESP_ERROR: u64 = 0;
@@ -725,6 +1200,8 @@ const RESP_STATS: u64 = 6;
 const RESP_SLOWLOG: u64 = 7;
 const RESP_STOREKEYS: u64 = 8;
 const RESP_STOREPUSHED: u64 = 9;
+const RESP_CERTIFIED_SUMMARY: u64 = 10;
+const RESP_CHUNK_ACK: u64 = 11;
 
 /// Upper bound on slow-log rows accepted on decode (well above
 /// [`crate::metrics::SLOW_LOG_CAP`], leaving room for future
@@ -766,6 +1243,21 @@ pub fn declined_body_from_suffix(cached: bool, suffix: &[u8]) -> Vec<u8> {
     put_uvarint(&mut out, cached as u64);
     out.extend_from_slice(suffix);
     out
+}
+
+/// Builds a CertifiedSummary frame body from a cached Certified
+/// suffix (outcome ‖ assignment): the outcome prefix is re-framed,
+/// the assignment bytes are dropped. This is how a summary-mode
+/// cache hit answers without re-encoding certificates it will not
+/// send.
+pub fn summary_body_from_suffix(cached: bool, suffix: &[u8]) -> Result<Vec<u8>, WireError> {
+    let mut rest = suffix;
+    let outcome = Outcome::decode_from(&mut rest)?;
+    let mut out = Vec::new();
+    put_uvarint(&mut out, RESP_CERTIFIED_SUMMARY);
+    put_uvarint(&mut out, cached as u64);
+    outcome.encode_into(&mut out);
+    Ok(out)
 }
 
 impl Response {
@@ -859,6 +1351,16 @@ impl Response {
                 put_uvarint(&mut out, RESP_STOREPUSHED);
                 put_uvarint(&mut out, *merged);
                 put_uvarint(&mut out, *duplicates);
+            }
+            Response::CertifiedSummary { cached, outcome } => {
+                put_uvarint(&mut out, RESP_CERTIFIED_SUMMARY);
+                put_uvarint(&mut out, *cached as u64);
+                outcome.encode_into(&mut out);
+            }
+            Response::ChunkAck { session, received } => {
+                put_uvarint(&mut out, RESP_CHUNK_ACK);
+                put_uvarint(&mut out, *session);
+                put_uvarint(&mut out, *received);
             }
         }
         out
@@ -965,6 +1467,14 @@ impl Response {
                 merged: get_uvarint(&mut buf)?,
                 duplicates: get_uvarint(&mut buf)?,
             },
+            RESP_CERTIFIED_SUMMARY => Response::CertifiedSummary {
+                cached: get_uvarint(&mut buf)? != 0,
+                outcome: Outcome::decode_from(&mut buf)?,
+            },
+            RESP_CHUNK_ACK => Response::ChunkAck {
+                session: get_uvarint(&mut buf)?,
+                received: get_uvarint(&mut buf)?,
+            },
             k => return Err(protocol(format!("unknown response kind {k}"))),
         };
         if !buf.is_empty() {
@@ -1070,6 +1580,7 @@ mod tests {
             graph: generators::cycle(4),
             bypass_cache: true,
             cached_only: false,
+            summary: false,
             scheme: SchemeId::PLANARITY,
         };
         let body = req.encode();
@@ -1291,6 +1802,189 @@ mod tests {
         put_uvarint(&mut hostile, RESP_STOREKEYS);
         put_uvarint(&mut hostile, 1 << 40);
         assert!(Response::decode(&hostile).is_err());
+    }
+
+    #[test]
+    fn summary_certify_frames() {
+        let g = generators::grid(3, 4);
+        let body = encode_certify_summary_request(&g, true, SchemeId::BIPARTITE);
+        match Request::decode(&body).unwrap() {
+            Request::Certify {
+                bypass_cache: true,
+                cached_only: false,
+                summary: true,
+                scheme,
+                ..
+            } => assert_eq!(scheme, SchemeId::BIPARTITE),
+            other => panic!("bad decode: {other:?}"),
+        }
+
+        // summary + cached-only contradict each other: rejected
+        let mut both = Vec::new();
+        put_uvarint(&mut both, REQ_CERTIFY);
+        put_uvarint(&mut both, CERTIFY_FLAG_SUMMARY | CERTIFY_FLAG_CACHED_ONLY);
+        encode_graph(&mut both, &g);
+        assert!(Request::decode(&both).is_err());
+
+        // a summary response carries the outcome and nothing else
+        let outcome = Outcome {
+            verdicts: vec![true, true, false, true],
+            rounds: 1,
+            max_message_bits: 12,
+            total_message_bits: 48,
+            max_cert_bits: 9,
+            total_cert_bits: 36,
+            avg_cert_bits: 9.0,
+        };
+        let resp = Response::CertifiedSummary {
+            cached: true,
+            outcome: outcome.clone(),
+        };
+        match Response::decode(&resp.encode()).unwrap() {
+            Response::CertifiedSummary { cached, outcome: o } => {
+                assert!(cached);
+                assert_eq!(o, outcome);
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // summary_body_from_suffix drops the assignment bytes but
+        // preserves the outcome exactly
+        let assignment = Assignment::empty(4);
+        let suffix = encode_certified_suffix(&outcome, &assignment);
+        let body = summary_body_from_suffix(false, &suffix).unwrap();
+        match Response::decode(&body).unwrap() {
+            Response::CertifiedSummary {
+                cached: false,
+                outcome: o,
+            } => assert_eq!(o, outcome),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn chunk_frames_roundtrip_and_reject_corruption() {
+        let begin = encode_chunk_begin_request(7, true, SchemeId::TREE);
+        match Request::decode(&begin).unwrap() {
+            Request::GraphChunkBegin {
+                session: 7,
+                bypass_cache: true,
+                scheme,
+            } => assert_eq!(scheme, SchemeId::TREE),
+            other => panic!("bad decode: {other:?}"),
+        }
+        assert_eq!(Request::decode(&begin).unwrap().kind_tag(), 9);
+
+        let chunk = encode_chunk_request(7, 3, b"edge bytes");
+        match Request::decode(&chunk).unwrap() {
+            Request::GraphChunk {
+                session: 7,
+                seq: 3,
+                payload,
+            } => assert_eq!(payload, b"edge bytes"),
+            other => panic!("bad decode: {other:?}"),
+        }
+
+        // flip one payload byte: the CRC catches it
+        let mut corrupt = chunk.clone();
+        let idx = chunk.len() - 6; // inside the payload, before the CRC
+        corrupt[idx] ^= 0x40;
+        assert!(Request::decode(&corrupt).is_err(), "corruption detected");
+
+        // hostile payload length: rejected before allocation
+        let mut hostile = Vec::new();
+        put_uvarint(&mut hostile, REQ_CHUNK);
+        put_uvarint(&mut hostile, 7);
+        put_uvarint(&mut hostile, 0);
+        put_uvarint(&mut hostile, (MAX_CHUNK_BYTES as u64) + 1);
+        assert!(Request::decode(&hostile).is_err());
+
+        let end = encode_chunk_end_request(7, 4, 40_000, 0xdead_beef);
+        match Request::decode(&end).unwrap() {
+            Request::GraphChunkEnd {
+                session: 7,
+                total_chunks: 4,
+                total_bytes: 40_000,
+                crc: 0xdead_beef,
+            } => {}
+            other => panic!("bad decode: {other:?}"),
+        }
+
+        let ack = Response::ChunkAck {
+            session: 7,
+            received: 4,
+        };
+        match Response::decode(&ack.encode()).unwrap() {
+            Response::ChunkAck { session, received } => assert_eq!((session, received), (7, 4)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn stream_decoder_matches_single_frame_decode() {
+        let graphs = [
+            generators::shuffle_ids(&generators::grid(9, 11), 5),
+            generators::random_planar(60, 0.4, 2),
+            generators::path(1),
+            generators::grid(1, 1),
+        ];
+        for g in &graphs {
+            let mut enc = Vec::new();
+            encode_graph(&mut enc, g);
+            // every chunk size, down to one byte at a time, lands on
+            // the same graph and re-encodes byte-identically
+            for chunk_size in [1usize, 2, 3, 7, enc.len().max(1)] {
+                let mut dec = GraphStreamDecoder::new();
+                for chunk in enc.chunks(chunk_size) {
+                    dec.feed(chunk).unwrap();
+                    assert!(dec.carry_len() < 10, "carry is a partial varint at most");
+                }
+                let h = dec.finish().unwrap();
+                assert!(graphs_equal(g, &h));
+                let mut re = Vec::new();
+                encode_graph(&mut re, &h);
+                assert_eq!(re, enc, "stream decode is canonical");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_decoder_rejects_malformed_streams() {
+        let g = generators::grid(4, 4);
+        let mut enc = Vec::new();
+        encode_graph(&mut enc, &g);
+
+        // truncated: grammar incomplete at finish
+        let mut dec = GraphStreamDecoder::new();
+        dec.feed(&enc[..enc.len() - 1]).unwrap();
+        assert!(dec.finish().is_err());
+
+        // trailing garbage after the last edge
+        let mut dec = GraphStreamDecoder::new();
+        let mut long = enc.clone();
+        long.push(0x00);
+        assert!(dec.feed(&long).is_err());
+
+        // an unterminated varint can never complete
+        let mut dec = GraphStreamDecoder::new();
+        assert!(dec.feed(&[0x80; 16]).is_err());
+
+        // node count beyond the stream cap
+        let mut dec = GraphStreamDecoder::new();
+        let mut big = Vec::new();
+        put_uvarint(&mut big, MAX_STREAM_NODES + 1);
+        assert!(dec.feed(&big).is_err());
+
+        // duplicate ids, split across feeds
+        let mut bad = Vec::new();
+        put_uvarint(&mut bad, 2);
+        put_uvarint(&mut bad, 1);
+        put_uvarint(&mut bad, 9);
+        put_uvarint(&mut bad, 9);
+        let mut dec = GraphStreamDecoder::new();
+        let (a, b) = bad.split_at(2);
+        dec.feed(a).unwrap();
+        assert!(dec.feed(b).is_err());
     }
 
     #[test]

@@ -225,3 +225,121 @@ fn restarted_survivor_serves_the_merged_certificates_without_reproving() {
     survivor.shutdown();
     let _ = std::fs::remove_dir_all(&base);
 }
+
+/// Reserves `n` distinct loopback ports by binding and dropping
+/// listeners, so peer lists can name every address up front.
+fn reserve_addrs(n: usize) -> Vec<String> {
+    let listeners: Vec<std::net::TcpListener> = (0..n)
+        .map(|_| std::net::TcpListener::bind("127.0.0.1:0").unwrap())
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().unwrap().to_string())
+        .collect()
+}
+
+/// Two or more disjoint stacked triangulations glued into one graph
+/// by shifting each component past the previous one.
+fn disjoint_union(sizes: &[u32], seed: u64) -> dpc_graph::Graph {
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut base = 0u32;
+    for (i, &n) in sizes.iter().enumerate() {
+        let part = generators::stacked_triangulation(n, seed + i as u64);
+        edges.extend(part.edges().iter().map(|e| (e.u + base, e.v + base)));
+        base += n;
+    }
+    dpc_graph::Graph::from_edges(base, &edges)
+}
+
+#[test]
+fn distributed_summary_fold_is_byte_identical_to_the_sequential_one() {
+    use dpc_core::batch::BatchSummary;
+    use dpc_service::client::Client;
+    use std::time::Duration;
+
+    // every node knows the other two as peers, so a summary certify
+    // of a disconnected graph can delegate components across the ring
+    let addrs = reserve_addrs(3);
+    let handles: Vec<ServerHandle> = (0..3)
+        .map(|i| {
+            let cfg = ServeConfig {
+                peers: addrs
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, a)| a.clone())
+                    .collect(),
+                ..ServeConfig::default()
+            };
+            serve(addrs[i].as_str(), cfg).unwrap()
+        })
+        .collect();
+
+    // connected instances plus disconnected ones (twelve components
+    // total across the unions — some are all but certain to rank onto
+    // a peer of whichever node receives the graph)
+    let mut graphs: Vec<dpc_graph::Graph> = (0..9)
+        .map(|seed| generators::stacked_triangulation(16 + seed as u32, seed))
+        .collect();
+    for seed in 0..4u64 {
+        graphs.push(disjoint_union(&[11, 14, 17], 100 + 10 * seed));
+    }
+
+    // the sequential reference: one node folds every outcome itself,
+    // in input order, with the cache bypassed so both sweeps prove
+    let mut single = Client::connect_with_retry(addrs[0].as_str(), Duration::from_secs(5)).unwrap();
+    let seq_results: Vec<Result<_, String>> = graphs
+        .iter()
+        .map(|g| {
+            match single
+                .certify_summary(g, true, SchemeId::PLANARITY)
+                .unwrap()
+            {
+                Response::CertifiedSummary { outcome, .. } => Ok(outcome),
+                Response::Declined { reason, .. } => Err(reason),
+                other => panic!("{other:?}"),
+            }
+        })
+        .collect();
+    let seq_summary = BatchSummary::fold(seq_results.iter().map(|r| r.as_ref().ok()));
+    assert_eq!(seq_summary.instances, graphs.len());
+    assert_eq!(seq_summary.proved, graphs.len(), "planar inputs all prove");
+
+    // the distributed sweep over the full ring
+    let mut cc = ClusterClient::new(addrs.clone()).unwrap();
+    let report = cc.certify_distributed(&graphs, true, SchemeId::PLANARITY);
+    assert_eq!(
+        report.summary, seq_summary,
+        "the merged summary must equal the sequential fold exactly"
+    );
+    for (i, (d, s)) in report.results.iter().zip(&seq_results).enumerate() {
+        assert_eq!(
+            d.as_ref().ok(),
+            s.as_ref().ok(),
+            "per-graph outcome {i} diverged"
+        );
+    }
+    assert!(
+        report.nodes_used >= 2,
+        "rendezvous must spread 13 graphs: {report:?}"
+    );
+    assert_eq!(report.delegated, graphs.len() as u64);
+    assert_eq!(report.delegate_errors, 0);
+
+    // server-side evidence: the fleet merged disconnected outcomes,
+    // and at least one component prove crossed the ring to a peer
+    let mut merges = 0u64;
+    let mut delegated = 0u64;
+    for addr in &addrs {
+        let mut c = Client::connect(addr.as_str()).unwrap();
+        let stats = c.stats().unwrap();
+        merges += stats.outcome_merges;
+        delegated += stats.delegated_proves;
+    }
+    assert!(merges >= 4, "each disjoint union merges: {merges}");
+    assert!(delegated >= 1, "no component prove was delegated");
+
+    for h in handles {
+        h.shutdown();
+    }
+}

@@ -266,3 +266,94 @@ fn storm_sees_zero_failed_requests() {
     assert!(stats.conns_accepted >= 128);
     handle.shutdown();
 }
+
+/// A chunked upload driven as one pipelined burst — Begin, every
+/// chunk, and End written before a single ack is read — produces
+/// byte-identical ack and summary frames from the reactor and the
+/// threaded front end; and dribbling the same burst into the reactor
+/// one byte at a time changes nothing but the cached flag.
+#[test]
+fn chunked_upload_frames_are_byte_identical_across_front_ends() {
+    let g = generators::stacked_triangulation(40, 2);
+    let mut payload = Vec::new();
+    wire::encode_graph(&mut payload, &g);
+    let scheme = dpc_service::SchemeId::PLANARITY;
+    let pieces: Vec<&[u8]> = payload.chunks(16).collect();
+    let mut burst = Vec::new();
+    burst.extend(frame(&wire::encode_chunk_begin_request(3, false, scheme)));
+    for (seq, piece) in pieces.iter().enumerate() {
+        burst.extend(frame(&wire::encode_chunk_request(3, seq as u64, piece)));
+    }
+    burst.extend(frame(&wire::encode_chunk_end_request(
+        3,
+        pieces.len() as u64,
+        payload.len() as u64,
+        dpc_service::store::crc32(&payload),
+    )));
+    // one ack for Begin, one per chunk, then the summary
+    let n_frames = pieces.len() + 2;
+
+    let mut transcripts = Vec::new();
+    for event_loop in [true, false] {
+        let handle = server(event_loop);
+        let mut s = TcpStream::connect(handle.addr()).unwrap();
+        s.write_all(&burst).unwrap();
+        let frames = read_frames(&mut s, n_frames);
+        for (i, f) in frames[..n_frames - 1].iter().enumerate() {
+            match Response::decode(&f[4..]).unwrap() {
+                Response::ChunkAck {
+                    session: 3,
+                    received,
+                } => assert_eq!(received, i as u64),
+                other => panic!("frame {i}: {other:?}"),
+            }
+        }
+        match Response::decode(&frames[n_frames - 1][4..]).unwrap() {
+            Response::CertifiedSummary {
+                cached: false,
+                outcome,
+            } => assert!(outcome.all_accept()),
+            other => panic!("{other:?}"),
+        }
+
+        // dribble the identical burst in one byte per write: the only
+        // difference allowed is that the summary now comes from cache
+        let mut slow = TcpStream::connect(handle.addr()).unwrap();
+        for b in &burst {
+            slow.write_all(std::slice::from_ref(b)).unwrap();
+        }
+        let dribbled = read_frames(&mut slow, n_frames);
+        assert_eq!(
+            dribbled[..n_frames - 1],
+            frames[..n_frames - 1],
+            "ack bytes depend on how the chunks arrived"
+        );
+        match (
+            Response::decode(&dribbled[n_frames - 1][4..]).unwrap(),
+            Response::decode(&frames[n_frames - 1][4..]).unwrap(),
+        ) {
+            (
+                Response::CertifiedSummary {
+                    cached: true,
+                    outcome: a,
+                },
+                Response::CertifiedSummary { outcome: b, .. },
+            ) => assert_eq!(a, b),
+            (a, b) => panic!("{a:?} vs {b:?}"),
+        }
+
+        // the chunk counters moved on this front end
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.chunk_sessions, 2);
+        assert_eq!(stats.chunk_chunks, 2 * pieces.len() as u64);
+        assert_eq!(stats.chunk_bytes, 2 * payload.len() as u64);
+        assert_eq!(stats.chunk_aborts, 0);
+        handle.shutdown();
+        transcripts.push(frames.concat());
+    }
+    assert_eq!(
+        transcripts[0], transcripts[1],
+        "front ends disagree on chunk-stream response bytes"
+    );
+}

@@ -295,6 +295,7 @@ fn interleaved_schemes_keep_request_order() {
                 graph: generators::grid(2, n),
                 bypass_cache: true,
                 cached_only: false,
+                summary: false,
                 scheme,
             })
             .unwrap();

@@ -179,6 +179,7 @@ fn pipelined_responses_come_back_in_request_order() {
                 graph: generators::stacked_triangulation(n, 1),
                 bypass_cache: false,
                 cached_only: false,
+                summary: false,
                 scheme: dpc_service::SchemeId::PLANARITY,
             })
             .unwrap();
@@ -448,4 +449,207 @@ fn tiny_hot_tier_demotes_to_the_store_and_keeps_serving() {
     assert!(stats.store_hits >= 4, "{stats:?}");
     handle.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Chunked streaming upload (wire v7).
+
+/// Two disjoint stacked triangulations as one graph: nodes of the
+/// second are shifted past the first.
+fn two_components(n1: u32, n2: u32, seed: u64) -> dpc_graph::Graph {
+    let a = generators::stacked_triangulation(n1, seed);
+    let b = generators::stacked_triangulation(n2, seed + 1);
+    let mut edges: Vec<(u32, u32)> = a.edges().iter().map(|e| (e.u, e.v)).collect();
+    edges.extend(b.edges().iter().map(|e| (e.u + n1, e.v + n1)));
+    dpc_graph::Graph::from_edges(n1 + n2, &edges)
+}
+
+#[test]
+fn chunked_upload_certifies_like_a_single_frame() {
+    let handle = test_server();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    // n = 200 makes the node-count uvarint two bytes, so 1-byte chunks
+    // force the decoder to carry a split uvarint across a chunk
+    let g = generators::stacked_triangulation(200, 3);
+    let reference = certify_pls(&PlanarityScheme::new(), &g).unwrap();
+
+    match client.certify_chunked(&g, false, dpc_service::SchemeId::PLANARITY, 1) {
+        Ok(Response::CertifiedSummary {
+            cached: false,
+            outcome,
+        }) => assert_eq!(outcome, reference.outcome, "streamed prove diverged"),
+        other => panic!("{other:?}"),
+    }
+    // the chunked path shares the cache with the plain certify path
+    match client.certify(&g, false).unwrap() {
+        Response::Certified {
+            cached: true,
+            outcome,
+            ..
+        } => assert_eq!(outcome, reference.outcome),
+        other => panic!("{other:?}"),
+    }
+    // and a repeated chunked upload answers the summary from cache
+    match client.certify_chunked(&g, false, dpc_service::SchemeId::PLANARITY, 64) {
+        Ok(Response::CertifiedSummary {
+            cached: true,
+            outcome,
+        }) => assert_eq!(outcome, reference.outcome),
+        other => panic!("{other:?}"),
+    }
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.chunk_sessions, 2, "two chunked uploads");
+    assert!(
+        stats.chunk_chunks > 100,
+        "1-byte chunks: {}",
+        stats.chunk_chunks
+    );
+    assert!(stats.chunk_bytes > 0);
+    assert_eq!(stats.chunk_aborts, 0);
+    assert!(
+        (1..=9).contains(&stats.chunk_carry_peak),
+        "a split uvarint must have been carried, within the bound: {}",
+        stats.chunk_carry_peak
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn chunked_upload_of_a_disconnected_graph_merges_components() {
+    let handle = test_server();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let g = two_components(30, 40, 7);
+    assert!(!g.is_connected());
+
+    // the plain path still declines disconnected graphs…
+    match client.certify(&g, false).unwrap() {
+        Response::Declined { reason, .. } => assert!(reason.contains("connected")),
+        other => panic!("{other:?}"),
+    }
+    // …but the summary path proves per component and merges: the
+    // merged outcome must equal the whole-graph reference fold built
+    // from the components in node order
+    let outcome = match client.certify_chunked(&g, false, dpc_service::SchemeId::PLANARITY, 64) {
+        Ok(Response::CertifiedSummary {
+            cached: false,
+            outcome,
+        }) => outcome,
+        other => panic!("{other:?}"),
+    };
+    let parts: Vec<_> = g
+        .components()
+        .into_iter()
+        .map(|nodes| {
+            let sub = g.induced_subgraph(&nodes);
+            let part = certify_pls(&PlanarityScheme::new(), &sub).unwrap().outcome;
+            (nodes, part)
+        })
+        .collect();
+    let reference = dpc_core::harness::Outcome::merge_components(g.node_count(), &parts);
+    assert_eq!(outcome, reference, "merged summary diverged");
+    assert!(outcome.all_accept());
+    assert_eq!(outcome.verdicts.len(), g.node_count());
+
+    let stats = client.stats().unwrap();
+    assert!(stats.outcome_merges >= 1);
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_chunk_streams_abort_cleanly_and_the_connection_survives() {
+    use dpc_service::wire;
+    let handle = test_server();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let g = generators::stacked_triangulation(20, 1);
+    let mut payload = Vec::new();
+    wire::encode_graph(&mut payload, &g);
+    let scheme = dpc_service::SchemeId::PLANARITY;
+
+    // a chunk for a session that was never begun
+    client
+        .send_body(&wire::encode_chunk_request(99, 0, &payload))
+        .unwrap();
+    match client.recv().unwrap() {
+        Response::Error(e) => assert!(e.contains("session"), "{e}"),
+        other => panic!("{other:?}"),
+    }
+
+    // out-of-order seq aborts the session
+    client
+        .send_body(&wire::encode_chunk_begin_request(5, false, scheme))
+        .unwrap();
+    match client.recv().unwrap() {
+        Response::ChunkAck {
+            session: 5,
+            received: 0,
+        } => {}
+        other => panic!("{other:?}"),
+    }
+    client
+        .send_body(&wire::encode_chunk_request(5, 1, &payload))
+        .unwrap();
+    match client.recv().unwrap() {
+        Response::Error(e) => assert!(e.contains("seq") || e.contains("order"), "{e}"),
+        other => panic!("{other:?}"),
+    }
+    // …so the End of the aborted session is an error too
+    client
+        .send_body(&wire::encode_chunk_end_request(
+            5,
+            1,
+            payload.len() as u64,
+            dpc_service::store::crc32(&payload),
+        ))
+        .unwrap();
+    match client.recv().unwrap() {
+        Response::Error(_) => {}
+        other => panic!("{other:?}"),
+    }
+
+    // a whole-payload CRC mismatch at End aborts
+    client
+        .send_body(&wire::encode_chunk_begin_request(6, false, scheme))
+        .unwrap();
+    client
+        .send_body(&wire::encode_chunk_request(6, 0, &payload))
+        .unwrap();
+    client
+        .send_body(&wire::encode_chunk_end_request(
+            6,
+            1,
+            payload.len() as u64,
+            !dpc_service::store::crc32(&payload),
+        ))
+        .unwrap();
+    match client.recv().unwrap() {
+        Response::ChunkAck { session: 6, .. } => {}
+        other => panic!("{other:?}"),
+    }
+    match client.recv().unwrap() {
+        Response::ChunkAck {
+            session: 6,
+            received: 1,
+        } => {}
+        other => panic!("{other:?}"),
+    }
+    match client.recv().unwrap() {
+        Response::Error(e) => assert!(e.to_lowercase().contains("crc"), "{e}"),
+        other => panic!("{other:?}"),
+    }
+
+    // the connection survives it all: a clean upload and a plain
+    // certify still answer normally
+    match client.certify_chunked(&g, false, scheme, 7) {
+        Ok(Response::CertifiedSummary { outcome, .. }) => assert!(outcome.all_accept()),
+        other => panic!("{other:?}"),
+    }
+    match client.certify(&g, false).unwrap() {
+        Response::Certified { .. } => {}
+        other => panic!("{other:?}"),
+    }
+
+    let stats = client.stats().unwrap();
+    assert!(stats.chunk_aborts >= 2, "aborts: {}", stats.chunk_aborts);
+    handle.shutdown();
 }

@@ -7,7 +7,7 @@ use dpc_graph::generators;
 use dpc_runtime::get_uvarint;
 use dpc_service::metrics::{HistogramSnapshot, SchemeStats, SlowLogEntry, StatsSnapshot};
 use dpc_service::registry::SchemeId;
-use dpc_service::store::{RecordKind, StoreRecord};
+use dpc_service::store::{crc32, RecordKind, StoreRecord};
 use dpc_service::wire::{self, Request, Response};
 use dpc_service::StageSnapshot;
 
@@ -22,6 +22,11 @@ const CERTIFY_BLOCK: usize = 3;
 const STOREPUSH_BLOCK: usize = 4;
 const STOREKEYS_BLOCK: usize = 5;
 const STOREPUSHED_BLOCK: usize = 6;
+/// §9's chunked-upload conversation (four request frames) and the
+/// server's first ack, appended after the earlier blocks so their
+/// indices stay stable.
+const CHUNK_STREAM_BLOCK: usize = 7;
+const CHUNK_ACK_BLOCK: usize = 8;
 
 /// The hex bytes of the `index`-th ```hex fenced block in the spec
 /// (1-based), comments (`# ...`) stripped.
@@ -94,6 +99,14 @@ fn spec_stats_snapshot() -> StatsSnapshot {
         repl_pushed: 2,
         repl_sweeps: 4,
         repl_errors: 0,
+        chunk_sessions: 0,
+        chunk_chunks: 0,
+        chunk_bytes: 0,
+        chunk_aborts: 0,
+        chunk_carry_peak: 0,
+        delegated_proves: 0,
+        delegated_errors: 0,
+        outcome_merges: 0,
     }
 }
 
@@ -228,11 +241,17 @@ fn spec_stats_example_keeps_the_v2_prefix_decodable() {
         .map(|_| get_uvarint(&mut buf).expect("v5 counter"))
         .collect();
     assert_eq!(tail, vec![1, 1, 1, 4, 0]);
-    // …and finally the v6 replication tail, and nothing else
+    // …then the v6 replication tail…
     let tail: Vec<u64> = (0..5)
         .map(|_| get_uvarint(&mut buf).expect("v6 counter"))
         .collect();
     assert_eq!(tail, vec![2, 1, 2, 4, 0]);
+    // …and finally the v7 chunked-upload + distributed-proving tail
+    // (all zero in the worked example), and nothing else
+    let tail: Vec<u64> = (0..8)
+        .map(|_| get_uvarint(&mut buf).expect("v7 counter"))
+        .collect();
+    assert_eq!(tail, vec![0; 8]);
     assert!(buf.is_empty());
 }
 
@@ -296,6 +315,76 @@ fn spec_store_pushed_example_is_the_real_encoding() {
         Response::StorePushed { merged, duplicates } => {
             assert_eq!((merged, duplicates), (1, 0));
         }
+        other => panic!("spec example decoded as {other:?}"),
+    }
+}
+
+#[test]
+fn spec_chunk_stream_example_is_the_real_encoding() {
+    let doc = spec_example_bytes(CHUNK_STREAM_BLOCK);
+    // the documented conversation: C4's graph encoding streamed under
+    // session 7 in two chunks, split down the middle
+    let mut payload = Vec::new();
+    wire::encode_graph(&mut payload, &generators::cycle(4));
+    let split = payload.len() / 2;
+    let mut expected = Vec::new();
+    for body in [
+        wire::encode_chunk_begin_request(7, false, SchemeId::PLANARITY),
+        wire::encode_chunk_request(7, 0, &payload[..split]),
+        wire::encode_chunk_request(7, 1, &payload[split..]),
+        wire::encode_chunk_end_request(7, 2, payload.len() as u64, crc32(&payload)),
+    ] {
+        wire::write_frame(&mut expected, &body).unwrap();
+    }
+    assert_eq!(
+        doc, expected,
+        "docs/WIRE.md §9 chunked-upload example drifted from the codec"
+    );
+    // and the documented frames decode to the documented requests
+    let mut cursor = std::io::Cursor::new(doc.as_slice());
+    let mut decoded = Vec::new();
+    while let Some(body) = wire::read_frame(&mut cursor).expect("valid frame") {
+        decoded.push(Request::decode(&body).expect("valid request"));
+    }
+    match decoded.as_slice() {
+        [Request::GraphChunkBegin {
+            session: 7,
+            bypass_cache: false,
+            scheme: SchemeId::PLANARITY,
+        }, Request::GraphChunk {
+            session: 7, seq: 0, ..
+        }, Request::GraphChunk {
+            session: 7, seq: 1, ..
+        }, Request::GraphChunkEnd {
+            session: 7,
+            total_chunks: 2,
+            total_bytes,
+            crc,
+        }] => {
+            assert_eq!(*total_bytes, payload.len() as u64);
+            assert_eq!(*crc, crc32(&payload));
+        }
+        other => panic!("spec example decoded as {other:?}"),
+    }
+}
+
+#[test]
+fn spec_chunk_ack_example_is_the_real_encoding() {
+    let doc = spec_example_bytes(CHUNK_ACK_BLOCK);
+    let encoded = Response::ChunkAck {
+        session: 7,
+        received: 0,
+    }
+    .encode();
+    assert_eq!(
+        doc, encoded,
+        "docs/WIRE.md §9 ChunkAck example drifted from the codec"
+    );
+    match Response::decode(&doc).expect("valid response") {
+        Response::ChunkAck {
+            session: 7,
+            received: 0,
+        } => {}
         other => panic!("spec example decoded as {other:?}"),
     }
 }

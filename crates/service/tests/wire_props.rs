@@ -50,7 +50,7 @@ proptest! {
         ids.push(SchemeId(4321)); // unregistered but well-formed
         for scheme in ids {
             let requests = [
-                Request::Certify { graph: g.clone(), bypass_cache: seed.is_multiple_of(2), cached_only: false, scheme },
+                Request::Certify { graph: g.clone(), bypass_cache: seed.is_multiple_of(2), cached_only: false, summary: false, scheme },
                 Request::Check { graph: g.clone(), scheme },
                 Request::Gen { family: "grid".into(), n, seed, scheme },
                 Request::SoundnessProbe { graph: g.clone(), seed, scheme },
@@ -113,6 +113,77 @@ proptest! {
         }
     }
 
+    /// Streaming the canonical graph bytes through the incremental
+    /// decoder in arbitrary chunk sizes reconstructs exactly the graph
+    /// a single-frame decode yields — for every generator family, with
+    /// default and with shuffled identifiers — and the decoder's
+    /// between-chunk carry never exceeds one partial uvarint.
+    #[test]
+    fn chunked_reassembly_matches_single_frame(
+        which in 0u32..generators::SAMPLE_FAMILY_COUNT,
+        n in 5u32..40,
+        seed in 0u64..1000,
+        chunk in 1usize..64,
+    ) {
+        let g = family_graph(which, n, seed);
+        for g in [g.clone(), generators::shuffle_ids(&g, seed)] {
+            let mut payload = Vec::new();
+            wire::encode_graph(&mut payload, &g);
+            let mut dec = wire::GraphStreamDecoder::new();
+            for piece in payload.chunks(chunk) {
+                dec.feed(piece).unwrap();
+                prop_assert!(dec.carry_len() <= 9, "carry stays bounded");
+            }
+            let h = dec.finish().unwrap();
+            prop_assert!(wire::graphs_equal(&g, &h));
+            // canonicality survives the streamed path: re-encoding the
+            // reassembled graph is byte-identical to the original
+            let mut again = Vec::new();
+            wire::encode_graph(&mut again, &h);
+            prop_assert_eq!(payload, again);
+        }
+    }
+
+    /// Malformed chunk traffic never panics, only errors: truncating a
+    /// chunk frame body anywhere, flipping a payload byte under its
+    /// CRC, tearing the stream short, or feeding garbage bytes.
+    #[test]
+    fn malformed_chunk_frames_error_cleanly(
+        which in 0u32..generators::SAMPLE_FAMILY_COUNT,
+        n in 5u32..25,
+        seed in 0u64..200,
+        victim in 0usize..1024,
+    ) {
+        let g = family_graph(which, n, seed);
+        let mut payload = Vec::new();
+        wire::encode_graph(&mut payload, &g);
+        let body = wire::encode_chunk_request(9, 0, &payload);
+        // truncation anywhere inside the body is an error
+        for cut in 0..body.len() {
+            prop_assert!(Request::decode(&body[..cut]).is_err());
+        }
+        // flipping any payload byte breaks the per-chunk CRC
+        let payload_start = body.len() - 4 - payload.len();
+        let mut corrupt = body.clone();
+        corrupt[payload_start + victim % payload.len()] ^= 0x5a;
+        prop_assert!(Request::decode(&corrupt).is_err());
+        // a torn stream (missing tail bytes) fails at finish
+        let mut dec = wire::GraphStreamDecoder::new();
+        dec.feed(&payload[..payload.len() - 1]).unwrap();
+        prop_assert!(dec.finish().is_err());
+        // garbage must be handled without panicking — an error, or a
+        // decode that still round-trips canonically, never a crash
+        let garbage: Vec<u8> = payload.iter().map(|b| !b).collect();
+        let mut dec = wire::GraphStreamDecoder::new();
+        if dec.feed(&garbage).is_ok() {
+            if let Ok(h) = dec.finish() {
+                let mut again = Vec::new();
+                wire::encode_graph(&mut again, &h);
+                prop_assert_eq!(garbage, again, "accepted bytes must be canonical");
+            }
+        }
+    }
+
     /// Truncating any encoded request never panics, only errors —
     /// including truncation inside the scheme-id extension block.
     #[test]
@@ -122,6 +193,7 @@ proptest! {
             graph: g.clone(),
             bypass_cache: false,
             cached_only: false,
+            summary: false,
             scheme: SchemeId::PLANARITY,
         }.encode();
         for cut in 0..body.len().min(48) {
@@ -136,6 +208,7 @@ proptest! {
             graph: g,
             bypass_cache: false,
             cached_only: false,
+            summary: false,
             scheme: SchemeId::MOD_COUNTER,
         }.encode();
         for cut in ext.len() - 2..ext.len() {

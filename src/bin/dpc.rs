@@ -17,8 +17,8 @@
 //! dpc serve <addr> [workers] [cache-mb] [--schemes a,b,c]
 //!           [--store-dir <path>] [--store-budget-bytes <n>]
 //!           [--event-loop|--threaded] [--event-loops <n>]
-//!           [--idle-timeout-ms <n>] [--metrics-addr <addr>]
-//!           [--slow-ms <n>]
+//!           [--prove-threads <n>] [--idle-timeout-ms <n>]
+//!           [--metrics-addr <addr>] [--slow-ms <n>]
 //!                           long-running service (default: all
 //!                           schemes, no persistence); with a store
 //!                           dir the certificate cache survives
@@ -36,7 +36,11 @@
 //!                           stream every record of the source stores
 //!                           into <dst>, deduplicating by content key
 //!                           (rehomes a drained node's certificates)
-//! dpc query <addr> certify [--no-cache] [--scheme <name>] <graph6>
+//! dpc query <addr> certify [--no-cache] [--chunked] [--scheme <name>] <graph6>
+//!                           --chunked streams the graph through the
+//!                           chunked-upload frames (GraphChunkBegin/
+//!                           Chunk/End) instead of one certify frame,
+//!                           and answers with the compact summary
 //! dpc query <addr> check [--scheme <name>] <graph6>
 //! dpc query <addr> gen <family> <n> [seed] [--scheme <name>]
 //!                           family "default" routes to the scheme's
@@ -60,12 +64,22 @@
 //!                           polls: per-interval rps, per-stage
 //!                           p50/p99, queue depth, connections, cache
 //!                           hit ratio; --once prints one frame
-//! dpc bench-serve <addr>|self [hits] [side] load generator; reports
-//!                           cache-hit vs cache-miss latency (plus a
-//!                           machine-readable JSON summary line)
+//! dpc bench-serve <addr>|self [hits] [side] [--graph grid:RxC|gnm:N:M|tri:N]
+//!                           load generator; reports cache-hit vs
+//!                           cache-miss latency (plus a
+//!                           machine-readable JSON summary line);
+//!                           --graph overrides the default grid sizing
 //! dpc bench-serve --nodes a,b,c [hits] [side]
 //!                           same, but driving the whole ring with
 //!                           two owner-selected graphs per node
+//! dpc bench-serve --nodes a,b,c --distributed [count]
+//!                 [--graph grid:RxC|gnm:N:M|tri:N]
+//!                           distributed-proving bench: `count` seeded
+//!                           graphs through certify_distributed vs a
+//!                           sequential single-connection sweep; the
+//!                           two BatchSummary folds must be identical,
+//!                           and the JSON reports nodes used, delegated
+//!                           proves, merge time, and the speedup
 //! dpc bench-serve <addr>|self --connections N[,N...]
 //!                 [--requests-per-conn <k>] [--threaded|--event-loop]
 //!                           connection-storm mode: hold N concurrent
@@ -144,16 +158,17 @@ fn usage() -> String {
      dpc gen <family> <n> [seed]  |  dpc schemes  |  \
      dpc serve <addr> [workers] [cache-mb] [--schemes a,b,c] \
      [--store-dir <path>] [--store-budget-bytes <n>] [--peers a,b,c] \
-     [--event-loop|--threaded] [--event-loops <n>] [--idle-timeout-ms <n>] \
-     [--metrics-addr <addr>] [--slow-ms <n>]  |  \
+     [--event-loop|--threaded] [--event-loops <n>] [--prove-threads <n>] \
+     [--idle-timeout-ms <n>] [--metrics-addr <addr>] [--slow-ms <n>]  |  \
      dpc store stat|compact|verify <dir>  |  \
      dpc store merge <dst> <src...>  |  \
      dpc query <addr>|--nodes a,b,c certify|check|gen|soundness|stats \
-     [--scheme <name>] [--wait-ms <n>] [--replication <k>] ...  |  \
+     [--chunked] [--scheme <name>] [--wait-ms <n>] [--replication <k>] ...  |  \
      dpc cluster-stats --nodes a,b,c [--wait-ms <n>]  |  \
      dpc slowlog <addr>|--nodes a,b,c [--wait-ms <n>]  |  \
      dpc top <addr>|--nodes a,b,c [--once] [--interval-ms <n>] [--wait-ms <n>]  |  \
      dpc bench-serve <addr>|self|--nodes a,b,c [hits] [side] \
+     [--graph grid:RxC|gnm:N:M|tri:N] [--distributed [count]] \
      [--replication <k>] [--connections N[,N...] [--requests-per-conn <k>] \
      [--threaded|--event-loop]]"
         .to_string()
@@ -439,6 +454,12 @@ fn serve_cmd(addr: &str, rest: &[&str]) -> Result<String, String> {
                     .map_err(|_| "event-loops must be a number".to_string())?
                     .max(1);
             }
+            "--prove-threads" => {
+                cfg.prove_threads = value("--prove-threads")?
+                    .parse::<usize>()
+                    .map_err(|_| "prove-threads must be a number".to_string())?
+                    .max(1);
+            }
             "--idle-timeout-ms" => {
                 cfg.idle_timeout = Duration::from_millis(
                     value("--idle-timeout-ms")?
@@ -492,7 +513,7 @@ fn serve_cmd(addr: &str, rest: &[&str]) -> Result<String, String> {
         .map_err(|e| format!("cannot bind {addr}: {e}"))?;
     log_info!(
         "serve",
-        "listening on {} ({}, {} workers, {} MiB cache, batch {} max, store: {}, schemes: {})",
+        "listening on {} ({}, {} workers, {} prove threads, {} MiB cache, batch {} max, store: {}, schemes: {})",
         handle.addr(),
         if cfg.event_loop && epoll::supported() {
             "event-loop"
@@ -500,6 +521,7 @@ fn serve_cmd(addr: &str, rest: &[&str]) -> Result<String, String> {
             "threaded"
         },
         cfg.workers,
+        cfg.prove_threads,
         cfg.cache.byte_budget >> 20,
         cfg.batch_max,
         cfg.store
@@ -659,6 +681,23 @@ impl Target {
         match self {
             Target::Single(c) => c.certify_scheme(g, bypass, scheme),
             Target::Ring(cc) => cc.certify_scheme(g, bypass, scheme),
+        }
+    }
+
+    /// Streams the graph through the chunked-upload frames instead of
+    /// one `Certify` frame. Single-server only — `query_cmd` rejects
+    /// the ring combination before a `Target` is even opened.
+    fn certify_chunked(
+        &mut self,
+        g: &Graph,
+        bypass: bool,
+        scheme: SchemeId,
+    ) -> Result<Response, dpc_service::WireError> {
+        match self {
+            Target::Single(c) => {
+                c.certify_chunked(g, bypass, scheme, dpc_service::wire::DEFAULT_CHUNK_BYTES)
+            }
+            Target::Ring(_) => unreachable!("--chunked with --nodes is rejected in query_cmd"),
         }
     }
 
@@ -1029,6 +1068,14 @@ fn query_cmd(rest: &[&str]) -> Result<String, String> {
         scheme = scheme_by_name(&name)?;
         scheme_name = name;
     }
+    let chunked = args.contains(&"--chunked");
+    args.retain(|&a| a != "--chunked");
+    if chunked && nodes.is_some() {
+        // a chunk session lives on one connection; rendezvous routing
+        // would need the graph key, which requires the whole graph
+        // anyway — query the owner directly instead
+        return Err("--chunked streams to a single server (drop --nodes)".to_string());
+    }
     // without --nodes, the first positional is the server address
     let addr = if nodes.is_none() {
         if args.is_empty() {
@@ -1061,8 +1108,11 @@ fn query_cmd(rest: &[&str]) -> Result<String, String> {
     }
     let mut target = Target::open(addr, nodes, wait, replication)?;
     let response = match args.as_slice() {
+        ["certify", s] if chunked => target.certify_chunked(&parse(s)?, false, scheme),
+        ["certify", "--no-cache", s] if chunked => target.certify_chunked(&parse(s)?, true, scheme),
         ["certify", s] => target.certify(&parse(s)?, false, scheme),
         ["certify", "--no-cache", s] => target.certify(&parse(s)?, true, scheme),
+        _ if chunked => return Err("--chunked only applies to certify".to_string()),
         ["check", s] => target.check(&parse(s)?, scheme),
         ["gen", family, n, rest @ ..] => {
             let n: u32 = n.parse().map_err(|_| "n must be a number".to_string())?;
@@ -1111,6 +1161,18 @@ fn render_response(resp: Response, scheme: &str) -> Result<String, String> {
                 format!("{} nodes reject (bug!)", outcome.reject_count())
             }
         )),
+        Response::CertifiedSummary { cached, outcome } => Ok(format!(
+            "scheme: {scheme}\ncache: {}\nrounds: {}\nmax certificate: {} bits (avg {:.1})\nverdict: {}\n",
+            if cached { "hit" } else { "miss" },
+            outcome.rounds,
+            outcome.max_cert_bits,
+            outcome.avg_cert_bits,
+            if outcome.all_accept() {
+                "all nodes accept".to_string()
+            } else {
+                format!("{} nodes reject (bug!)", outcome.reject_count())
+            }
+        )),
         Response::Declined { cached, reason } => Ok(format!(
             "prover declines ({}): {reason}\n(the graph is outside the certified class; by soundness no certificate assignment exists)\n",
             if cached { "cached" } else { "fresh" },
@@ -1144,6 +1206,80 @@ fn render_response(resp: Response, scheme: &str) -> Result<String, String> {
         Response::StorePushed { merged, duplicates } => Ok(format!(
             "store push: {merged} merged, {duplicates} duplicates\n"
         )),
+        // the chunked-upload client consumes every per-chunk ack
+        // itself; one leaking through to the renderer is a bug worth
+        // printing, not panicking over
+        Response::ChunkAck { session, received } => Ok(format!(
+            "chunk ack: session {session:#x}, {received} frame(s) received\n"
+        )),
+    }
+}
+
+/// A `--graph` sizing spec for the benches: `grid:RxC` (one
+/// deterministic planar graph), `gnm:N:M` (seeded connected
+/// `G(n, m)` — a fresh graph per seed, usually non-planar well below
+/// `m = 3n - 6`), or `tri:N` (seeded planar triangulation — a fresh
+/// provable graph per seed, what the distributed bench wants).
+#[derive(Clone, Copy)]
+enum GraphSpec {
+    Grid(u32, u32),
+    Gnm(u32, u32),
+    Tri(u32),
+}
+
+impl GraphSpec {
+    fn parse(s: &str) -> Result<GraphSpec, String> {
+        let bad = || format!("bad --graph {s:?} (want grid:RxC, gnm:N:M, or tri:N)");
+        if let Some(n) = s.strip_prefix("tri:") {
+            let n = n.parse::<u32>().map_err(|_| bad())?;
+            if n < 3 {
+                return Err(format!("--graph tri:{n} needs n >= 3"));
+            }
+            return Ok(GraphSpec::Tri(n));
+        }
+        if let Some(dims) = s.strip_prefix("grid:") {
+            let (r, c) = dims.split_once('x').ok_or_else(bad)?;
+            let (r, c) = (
+                r.parse::<u32>().map_err(|_| bad())?,
+                c.parse::<u32>().map_err(|_| bad())?,
+            );
+            if r == 0 || c == 0 {
+                return Err(bad());
+            }
+            return Ok(GraphSpec::Grid(r, c));
+        }
+        if let Some(dims) = s.strip_prefix("gnm:") {
+            let (n, m) = dims.split_once(':').ok_or_else(bad)?;
+            let (n, m) = (
+                n.parse::<u32>().map_err(|_| bad())?,
+                m.parse::<u32>().map_err(|_| bad())?,
+            );
+            // gnm_connected asserts these; fail with a usage error
+            // instead of a panic
+            if n < 2 || m + 1 < n || m as u64 > n as u64 * (n as u64 - 1) / 2 {
+                return Err(format!(
+                    "--graph gnm:{n}:{m} needs 2 <= n, n-1 <= m <= n(n-1)/2"
+                ));
+            }
+            return Ok(GraphSpec::Gnm(n, m));
+        }
+        Err(bad())
+    }
+
+    fn make(&self, seed: u64) -> Graph {
+        match *self {
+            GraphSpec::Grid(r, c) => dpc::graph::generators::grid(r, c),
+            GraphSpec::Gnm(n, m) => dpc::graph::generators::gnm_connected(n, m, seed),
+            GraphSpec::Tri(n) => dpc::graph::generators::stacked_triangulation(n, seed),
+        }
+    }
+
+    fn label(&self) -> String {
+        match *self {
+            GraphSpec::Grid(r, c) => format!("grid({r},{c})"),
+            GraphSpec::Gnm(n, m) => format!("gnm({n},{m})"),
+            GraphSpec::Tri(n) => format!("tri({n})"),
+        }
     }
 }
 
@@ -1154,6 +1290,11 @@ fn bench_serve_cmd(rest: &[&str]) -> Result<String, String> {
         nodes,
         replication,
     } = take_conn_flags(&mut args)?;
+    let graph_spec = take_flag_value(&mut args, "--graph")?
+        .map(|s| GraphSpec::parse(&s))
+        .transpose()?;
+    let distributed = args.contains(&"--distributed");
+    args.retain(|&a| a != "--distributed");
     let connections = take_flag_value(&mut args, "--connections")?;
     let per_conn = take_flag_value(&mut args, "--requests-per-conn")?
         .map(|v| {
@@ -1187,6 +1328,17 @@ fn bench_serve_cmd(rest: &[&str]) -> Result<String, String> {
             .collect::<Result<_, _>>()?;
         return bench_storm(&addr, &counts, per_conn, threaded, mode_flagged, wait);
     }
+    if distributed {
+        let nodes = nodes.ok_or("--distributed drives a ring: give --nodes a,b,c")?;
+        let count = match args.as_slice() {
+            [] => 12usize,
+            [c] => c
+                .parse()
+                .map_err(|_| "count must be a number".to_string())?,
+            _ => return Err(usage()),
+        };
+        return bench_distributed(nodes, count.max(1), graph_spec, wait, replication);
+    }
     let addr = if nodes.is_none() {
         if args.is_empty() {
             return Err(usage());
@@ -1214,8 +1366,17 @@ fn bench_serve_cmd(rest: &[&str]) -> Result<String, String> {
     // reported speedup) would be fabricated from zero measurements
     let hits = hits.max(1);
     match (addr, nodes) {
-        (Some(addr), None) => bench_single(&addr, hits, side, wait),
-        (None, Some(nodes)) => bench_ring(nodes, hits, side, wait, replication),
+        (Some(addr), None) => bench_single(&addr, hits, side, graph_spec, wait),
+        (None, Some(nodes)) => {
+            if graph_spec.is_some() {
+                // the ring bench picks its graphs BY OWNER (two per
+                // node); a fixed spec would defeat that selection
+                return Err(
+                    "--graph applies to the single-server and --distributed benches".to_string(),
+                );
+            }
+            bench_ring(nodes, hits, side, wait, replication)
+        }
         _ => unreachable!("addr xor nodes by construction"),
     }
 }
@@ -1224,6 +1385,7 @@ fn bench_single(
     addr: &str,
     hits: usize,
     side: u32,
+    spec: Option<GraphSpec>,
     wait: Option<Duration>,
 ) -> Result<String, String> {
     let own_server = if addr == "self" {
@@ -1239,7 +1401,9 @@ fn bench_single(
         .map(|h| h.addr().to_string())
         .unwrap_or_else(|| addr.to_string());
     let mut client = connect_wait(&target, wait)?;
-    let g = dpc::graph::generators::grid(side, side);
+    let spec = spec.unwrap_or(GraphSpec::Grid(side, side));
+    let label = spec.label();
+    let g = spec.make(1);
 
     let expect_certified = |resp: Response, want_cached: bool| -> Result<(), String> {
         match resp {
@@ -1284,7 +1448,7 @@ fn bench_single(
     // machine-readable trailer (one JSON object per run, on its own
     // line) so benchmark trajectories can be scraped into BENCH_*.json
     let json = format!(
-        "{{\"bench\":\"serve\",\"graph\":\"grid({side},{side})\",\"nodes\":{},\
+        "{{\"bench\":\"serve\",\"graph\":\"{label}\",\"nodes\":{},\
          \"miss_queries\":{misses},\"miss_p50_us\":{},\"hit_queries\":{hits},\
          \"hit_p50_us\":{},\"hit_p90_us\":{},\"hit_p99_us\":{},\"hit_p999_us\":{},\
          \"hit_rps\":{hit_rps:.0},\
@@ -1314,7 +1478,7 @@ fn bench_single(
         .collect::<Vec<_>>()
         .join(", ");
     let out = format!(
-        "bench-serve against {target} on grid({side},{side}) ({} nodes)\n\
+        "bench-serve against {target} on {label} ({} nodes)\n\
          cache-miss (fresh prove): {} queries, p50 {:.3} ms\n\
          cache-hit: {} queries, p50 {:.3} ms, p90 {:.3} ms, p99 {:.3} ms, p99.9 {:.3} ms, {:.0} req/s\n\
          speedup (miss p50 / hit p50): {speedup:.1}x {}\n\
@@ -1600,6 +1764,117 @@ fn bench_ring(
         fleet.cache_misses,
         fleet.proves,
         fleet.store_records,
+    ))
+}
+
+/// `--distributed`: proves `count` seeded graphs twice — once fanned
+/// across the ring by `ClusterClient::certify_distributed` (rendezvous
+/// owner per graph, pipelined, merged with the shared integer fold),
+/// once sequentially down a single connection to one node — and
+/// demands the two `BatchSummary` folds be identical before reporting
+/// the speedup. Both sweeps bypass the cache so they measure proving,
+/// not cache hits. The JSON gains `distributed_*` fields plus `cores`,
+/// so CI can skip the speedup gate on a 1-core runner (the
+/// byte-identity gate never skips).
+fn bench_distributed(
+    nodes: Vec<String>,
+    count: usize,
+    spec: Option<GraphSpec>,
+    wait: Option<Duration>,
+    replication: usize,
+) -> Result<String, String> {
+    let spec = spec.unwrap_or(GraphSpec::Tri(2000));
+    let mut cc = ring_client(nodes, wait, replication)?;
+    let ring_nodes = cc.ring().len();
+    let first = cc.ring().addrs()[0].clone();
+    let graphs: Vec<Graph> = (0..count).map(|i| spec.make(i as u64 + 1)).collect();
+
+    // sequential reference first (the ring is equally cold for both
+    // sweeps since they bypass the cache anyway)
+    let mut seq_client = connect_wait(&first, wait)?;
+    let seq_start = Instant::now();
+    let mut seq_results: Vec<Option<Outcome>> = Vec::with_capacity(count);
+    for g in &graphs {
+        match seq_client
+            .certify_summary(g, true, SchemeId::PLANARITY)
+            .map_err(|e| e.to_string())?
+        {
+            Response::CertifiedSummary { outcome, .. } => seq_results.push(Some(outcome)),
+            Response::Declined { .. } => seq_results.push(None),
+            other => return Err(format!("unexpected response: {other:?}")),
+        }
+    }
+    let seq_wall = seq_start.elapsed();
+    let seq_summary = BatchSummary::fold(seq_results.iter().map(|o| o.as_ref()));
+
+    let dist_start = Instant::now();
+    let report = cc.certify_distributed(&graphs, true, SchemeId::PLANARITY);
+    let dist_wall = dist_start.elapsed();
+
+    if report.summary != seq_summary {
+        return Err(format!(
+            "distributed summary diverges from the sequential fold (bug!)\n\
+             distributed: {:?}\n sequential: {:?}",
+            report.summary, seq_summary
+        ));
+    }
+    // per-instance outcomes must agree too, not just the fold
+    for (i, (d, s)) in report.results.iter().zip(&seq_results).enumerate() {
+        if d.as_ref().ok() != s.as_ref() {
+            return Err(format!(
+                "graph {i}: distributed outcome {d:?} != sequential {s:?} (bug!)"
+            ));
+        }
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let speedup = seq_wall.as_secs_f64() / dist_wall.as_secs_f64().max(1e-9);
+    let s = &report.summary;
+    let json = format!(
+        "{{\"bench\":\"serve-distributed\",\"graph\":\"{}\",\"graphs\":{count},\
+         \"ring_nodes\":{ring_nodes},\"distributed_nodes_used\":{},\
+         \"delegated_proves\":{},\"delegate_errors\":{},\"merge_us\":{},\
+         \"distributed_wall_ms\":{:.1},\"sequential_wall_ms\":{:.1},\
+         \"speedup\":{speedup:.2},\"summary_identical\":true,\"cores\":{cores},\
+         \"summary\":{{\"instances\":{},\"proved\":{},\"declined\":{},\
+         \"accepted\":{},\"rejecting_nodes\":{},\"nodes\":{},\
+         \"max_cert_bits\":{},\"total_cert_bits\":{},\"max_rounds\":{}}}}}",
+        spec.label(),
+        report.nodes_used,
+        report.delegated,
+        report.delegate_errors,
+        report.merge_wall.as_micros(),
+        dist_wall.as_secs_f64() * 1e3,
+        seq_wall.as_secs_f64() * 1e3,
+        s.instances,
+        s.proved,
+        s.declined,
+        s.accepted,
+        s.rejecting_nodes,
+        s.nodes,
+        s.max_cert_bits,
+        s.total_cert_bits,
+        s.max_rounds,
+    );
+    Ok(format!(
+        "bench-serve --distributed: {count} x {} across {ring_nodes} node(s)\n\
+         distributed: {:.1} ms over {} node(s), {} delegated, {} errors, merge {} us\n\
+         sequential:  {:.1} ms down one connection to {first}\n\
+         speedup: {speedup:.2}x on {cores} core(s)\n\
+         fold: {} proved, {} declined, {} accepted — identical to the sequential fold\n\
+         {json}\n",
+        spec.label(),
+        dist_wall.as_secs_f64() * 1e3,
+        report.nodes_used,
+        report.delegated,
+        report.delegate_errors,
+        report.merge_wall.as_micros(),
+        seq_wall.as_secs_f64() * 1e3,
+        s.proved,
+        s.declined,
+        s.accepted,
     ))
 }
 
