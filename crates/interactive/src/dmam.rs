@@ -153,6 +153,14 @@ impl<'a, D: DmamProtocol> Protocol for DmamRound<'a, D> {
     }
 }
 
+/// Arthur's public coin as a pure function of the session seed. Both
+/// the offline harness ([`run_dmam`]) and the wire session derive the
+/// challenge through this one helper, so an interactive verdict is
+/// reproducible from the seed logged with its trace.
+pub fn challenge_from_seed(seed: u64) -> u64 {
+    StdRng::seed_from_u64(seed).gen()
+}
+
 /// Runs the honest protocol end to end.
 pub fn run_dmam<D: DmamProtocol>(
     proto: &D,
@@ -160,7 +168,7 @@ pub fn run_dmam<D: DmamProtocol>(
     seed: u64,
 ) -> Result<DmamOutcome, ProveError> {
     let commit = proto.commit(g)?;
-    let challenge = StdRng::seed_from_u64(seed).gen();
+    let challenge = challenge_from_seed(seed);
     let resp = proto.respond(g, &commit, challenge);
     Ok(run_forged(proto, g, challenge, &commit, &resp))
 }

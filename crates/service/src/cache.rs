@@ -271,6 +271,21 @@ impl CertCache {
         entry
     }
 
+    /// Removes an entry by key (the quarantine path of the store
+    /// auditor). Stale recency-queue entries for the key are left
+    /// behind; eviction and compaction already skip them. Returns
+    /// true if an entry was removed.
+    pub fn remove(&self, key: GraphHash) -> bool {
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        match shard.map.remove(&key.0) {
+            Some(slot) => {
+                shard.bytes -= slot.cost;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// A snapshot of every live entry (the hot half of
     /// [`crate::store::CertStore::iter`]); the shard locks are taken
     /// one at a time, so the snapshot is per-shard consistent only.

@@ -6,15 +6,279 @@
 //! pipelines many requests on the wire — the server answers in
 //! request order per connection, so responses come back in send
 //! order.
+//!
+//! The request surface is one method per request family, each taking
+//! an options builder (every combination the wire supports, one call
+//! shape):
+//!
+//! ```no_run
+//! # use dpc_service::{Client, CertifyOptions, SchemeId};
+//! # let g = dpc_graph::generators::cycle(8);
+//! let mut client = Client::connect("127.0.0.1:7878")?;
+//! client.certify(&g, CertifyOptions::new())?; // plain planarity
+//! client.certify(
+//!     &g,
+//!     CertifyOptions::new()
+//!         .scheme(SchemeId::SPANNING_TREE)
+//!         .bypass()
+//!         .summary(),
+//! )?;
+//! # Ok::<(), dpc_service::WireError>(())
+//! ```
+//!
+//! The pre-redesign `certify_scheme` / `certify_summary` /
+//! `*_scheme` methods survive as deprecated forwarders onto the
+//! options surface.
 
 use crate::metrics::{SlowLogEntry, StatsSnapshot};
 use crate::registry::SchemeId;
 use crate::store::StoreRecord;
 use crate::wire::{self, Request, Response, WireError};
 use dpc_graph::Graph;
+use dpc_interactive::dmam::{DmamPlanarity, DmamProtocol};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
+
+/// Options of [`Client::certify`]: scheme routing plus the cache,
+/// shape, and transport axes that used to be separate methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CertifyOptions {
+    pub(crate) scheme: SchemeId,
+    pub(crate) bypass: bool,
+    pub(crate) cached_only: bool,
+    pub(crate) summary: bool,
+    pub(crate) chunked: Option<usize>,
+}
+
+impl CertifyOptions {
+    /// Plain planarity certify through the cache, full response.
+    pub fn new() -> CertifyOptions {
+        CertifyOptions {
+            scheme: SchemeId::PLANARITY,
+            bypass: false,
+            cached_only: false,
+            summary: false,
+            chunked: None,
+        }
+    }
+
+    /// Certify under this registered scheme instead of planarity.
+    pub fn scheme(mut self, scheme: SchemeId) -> CertifyOptions {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Skip the server cache and force a fresh prove (cold-latency
+    /// measurements).
+    pub fn bypass(mut self) -> CertifyOptions {
+        self.bypass = true;
+        self
+    }
+
+    /// Only answer from cache: a warm server answers normally, a cold
+    /// one replies `Error(`[`wire::NOT_CACHED`]`)` without proving —
+    /// the replica-probe shape. Overrides `bypass` and `summary` (the
+    /// wire rejects the combinations).
+    pub fn cached_only(mut self) -> CertifyOptions {
+        self.cached_only = true;
+        self
+    }
+
+    /// Ask for the measured outcome only — no certificate assignment
+    /// on the wire; disconnected graphs are proved per component and
+    /// merged.
+    pub fn summary(mut self) -> CertifyOptions {
+        self.summary = true;
+        self
+    }
+
+    /// Stream the graph in CRC-checked chunks of `chunk_bytes`
+    /// (clipped to [`wire::MAX_CHUNK_BYTES`]; pass
+    /// [`wire::DEFAULT_CHUNK_BYTES`] unless measuring). Implies
+    /// `summary` — that is the only shape the chunk protocol answers.
+    pub fn chunked(mut self, chunk_bytes: usize) -> CertifyOptions {
+        self.chunked = Some(chunk_bytes);
+        self
+    }
+}
+
+impl Default for CertifyOptions {
+    fn default() -> CertifyOptions {
+        CertifyOptions::new()
+    }
+}
+
+/// The pre-redesign two-argument shape: `certify(&g, bypass_cache)`.
+impl From<bool> for CertifyOptions {
+    fn from(bypass_cache: bool) -> CertifyOptions {
+        let opts = CertifyOptions::new();
+        if bypass_cache {
+            opts.bypass()
+        } else {
+            opts
+        }
+    }
+}
+
+/// Options of [`Client::check`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CheckOptions {
+    pub(crate) scheme: SchemeId,
+}
+
+impl CheckOptions {
+    /// Planarity check with witness summary.
+    pub fn new() -> CheckOptions {
+        CheckOptions::default()
+    }
+
+    /// Membership check under this registered scheme instead.
+    pub fn scheme(mut self, scheme: SchemeId) -> CheckOptions {
+        self.scheme = scheme;
+        self
+    }
+}
+
+/// `check(&g, scheme_id)` reads naturally for the one-axis case.
+impl From<SchemeId> for CheckOptions {
+    fn from(scheme: SchemeId) -> CheckOptions {
+        CheckOptions::new().scheme(scheme)
+    }
+}
+
+/// Options of [`Client::gen`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GenOptions {
+    pub(crate) scheme: SchemeId,
+}
+
+impl GenOptions {
+    /// Scheme-agnostic generation (the `"default"` family maps to
+    /// planarity's canonical yes-instances).
+    pub fn new() -> GenOptions {
+        GenOptions::default()
+    }
+
+    /// Route the `"default"` family to this scheme's canonical
+    /// yes-instance generator (concrete family names ignore it).
+    pub fn scheme(mut self, scheme: SchemeId) -> GenOptions {
+        self.scheme = scheme;
+        self
+    }
+}
+
+impl From<SchemeId> for GenOptions {
+    fn from(scheme: SchemeId) -> GenOptions {
+        GenOptions::new().scheme(scheme)
+    }
+}
+
+/// Options of [`Client::soundness`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SoundnessOptions {
+    pub(crate) seed: u64,
+    pub(crate) scheme: SchemeId,
+}
+
+impl SoundnessOptions {
+    /// Seed 0 against the planarity scheme.
+    pub fn new() -> SoundnessOptions {
+        SoundnessOptions::default()
+    }
+
+    /// Seed of the replay battery.
+    pub fn seed(mut self, seed: u64) -> SoundnessOptions {
+        self.seed = seed;
+        self
+    }
+
+    /// Probe this registered scheme instead of planarity.
+    pub fn scheme(mut self, scheme: SchemeId) -> SoundnessOptions {
+        self.scheme = scheme;
+        self
+    }
+}
+
+/// The pre-redesign two-argument shape: `soundness(&g, seed)`.
+impl From<u64> for SoundnessOptions {
+    fn from(seed: u64) -> SoundnessOptions {
+        SoundnessOptions::new().seed(seed)
+    }
+}
+
+/// Options of [`Client::interactive`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InteractiveOptions {
+    pub(crate) seed: u64,
+    pub(crate) scheme: SchemeId,
+}
+
+impl InteractiveOptions {
+    /// Seed 0 under the planarity scheme (the one scheme whose
+    /// registry entry runs interactive sessions).
+    pub fn new() -> InteractiveOptions {
+        InteractiveOptions::default()
+    }
+
+    /// Session seed: the server derives its public coin from this, so
+    /// the whole transcript — challenge and verdict — replays from
+    /// the seed alone.
+    pub fn seed(mut self, seed: u64) -> InteractiveOptions {
+        self.seed = seed;
+        self
+    }
+
+    /// Open the session under this scheme id (the server declines
+    /// schemes without the interactive capability before keeping any
+    /// state).
+    pub fn scheme(mut self, scheme: SchemeId) -> InteractiveOptions {
+        self.scheme = scheme;
+        self
+    }
+}
+
+/// `interactive(&g, seed)` for the common one-axis case.
+impl From<u64> for InteractiveOptions {
+    fn from(seed: u64) -> InteractiveOptions {
+        InteractiveOptions::new().seed(seed)
+    }
+}
+
+/// Options of [`Client::audit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditOptions {
+    pub(crate) samples: u64,
+    pub(crate) seed: u64,
+}
+
+impl AuditOptions {
+    /// 64 sampled records, seed 0.
+    pub fn new() -> AuditOptions {
+        AuditOptions {
+            samples: 64,
+            seed: 0,
+        }
+    }
+
+    /// Records the sweep samples (without replacement).
+    pub fn samples(mut self, samples: u64) -> AuditOptions {
+        self.samples = samples;
+        self
+    }
+
+    /// Sampling seed — the same seed re-audits the same records.
+    pub fn seed(mut self, seed: u64) -> AuditOptions {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for AuditOptions {
+    fn default() -> AuditOptions {
+        AuditOptions::new()
+    }
+}
 
 /// A connected client.
 pub struct Client {
@@ -102,54 +366,88 @@ impl Client {
         self.in_flight
     }
 
-    /// Certifies a graph under the planarity scheme (encoded straight
-    /// from the borrow — no clone). `bypass_cache` forces a fresh
-    /// prove (cold latency measurements).
-    pub fn certify(&mut self, graph: &Graph, bypass_cache: bool) -> Result<Response, WireError> {
-        self.certify_scheme(graph, bypass_cache, SchemeId::PLANARITY)
+    /// Certifies a graph (encoded straight from the borrow — no
+    /// clone). Every shape the wire supports is one option away:
+    /// `client.certify(&g, CertifyOptions::new().scheme(id).bypass())`.
+    /// A plain `bool` still reads as the old bypass-cache flag.
+    pub fn certify(
+        &mut self,
+        graph: &Graph,
+        opts: impl Into<CertifyOptions>,
+    ) -> Result<Response, WireError> {
+        let opts = opts.into();
+        if let Some(chunk_bytes) = opts.chunked {
+            return self.certify_via_chunks(graph, opts.bypass, opts.scheme, chunk_bytes);
+        }
+        if opts.cached_only {
+            return self.call_body(&wire::encode_certify_probe_request(graph, opts.scheme));
+        }
+        if opts.summary {
+            return self.call_body(&wire::encode_certify_summary_request(
+                graph,
+                opts.bypass,
+                opts.scheme,
+            ));
+        }
+        self.call_body(&wire::encode_certify_request(
+            graph,
+            opts.bypass,
+            opts.scheme,
+        ))
     }
 
     /// Certifies a graph under any registered scheme.
+    #[deprecated(note = "use certify(graph, CertifyOptions::new().scheme(..))")]
     pub fn certify_scheme(
         &mut self,
         graph: &Graph,
         bypass_cache: bool,
         scheme: SchemeId,
     ) -> Result<Response, WireError> {
-        self.call_body(&wire::encode_certify_request(graph, bypass_cache, scheme))
+        let opts = CertifyOptions::from(bypass_cache).scheme(scheme);
+        self.certify(graph, opts)
     }
 
-    /// Certifies a graph but asks for only the measured outcome —
-    /// no certificate assignment on the wire. The response shape the
-    /// distributed prover merges.
+    /// Certifies a graph but asks for only the measured outcome.
+    #[deprecated(note = "use certify(graph, CertifyOptions::new().summary())")]
     pub fn certify_summary(
         &mut self,
         graph: &Graph,
         bypass_cache: bool,
         scheme: SchemeId,
     ) -> Result<Response, WireError> {
-        self.call_body(&wire::encode_certify_summary_request(
-            graph,
-            bypass_cache,
-            scheme,
-        ))
+        let opts = CertifyOptions::from(bypass_cache).scheme(scheme).summary();
+        self.certify(graph, opts)
     }
 
-    /// Streams a graph to the server in CRC-checked chunks and
-    /// returns the final summary-certify response. The encoding
-    /// happens here in one pass; what the chunking bounds is the
-    /// *server's* peak reassembly memory (per-chunk, not per-graph),
-    /// which is the side that matters when many clients upload giant
-    /// graphs at once. `chunk_bytes` is clipped to
-    /// [`wire::MAX_CHUNK_BYTES`]; pass
-    /// [`wire::DEFAULT_CHUNK_BYTES`] unless measuring.
+    /// Streams a graph to the server in CRC-checked chunks.
+    #[deprecated(note = "use certify(graph, CertifyOptions::new().chunked(..))")]
+    pub fn certify_chunked(
+        &mut self,
+        graph: &Graph,
+        bypass_cache: bool,
+        scheme: SchemeId,
+        chunk_bytes: usize,
+    ) -> Result<Response, WireError> {
+        let opts = CertifyOptions::from(bypass_cache)
+            .scheme(scheme)
+            .chunked(chunk_bytes);
+        self.certify(graph, opts)
+    }
+
+    /// The chunked certify transport (`CertifyOptions::chunked`):
+    /// streams the one-pass encoding in CRC-checked chunks and
+    /// returns the final summary-certify response. What the chunking
+    /// bounds is the *server's* peak reassembly memory (per-chunk,
+    /// not per-graph), which is the side that matters when many
+    /// clients upload giant graphs at once.
     ///
     /// All frames are pipelined — Begin, every chunk, End go out
     /// before the first ack is read — so the upload costs one round
     /// trip plus bandwidth, and every ack is still verified (session
     /// id and running chunk count) before the final response is
     /// returned.
-    pub fn certify_chunked(
+    fn certify_via_chunks(
         &mut self,
         graph: &Graph,
         bypass_cache: bool,
@@ -194,32 +492,34 @@ impl Client {
         self.recv()
     }
 
-    /// Planarity check with witness summary.
-    pub fn check(&mut self, graph: &Graph) -> Result<Response, WireError> {
-        self.check_scheme(graph, SchemeId::PLANARITY)
+    /// Centralized membership check (`CheckOptions` routes it to any
+    /// registered scheme; planarity answers with the rich
+    /// embedding/witness verdicts).
+    pub fn check(
+        &mut self,
+        graph: &Graph,
+        opts: impl Into<CheckOptions>,
+    ) -> Result<Response, WireError> {
+        let opts = opts.into();
+        self.call_body(&wire::encode_check_request(graph, opts.scheme))
     }
 
     /// Centralized membership check under any registered scheme.
+    #[deprecated(note = "use check(graph, CheckOptions::new().scheme(..))")]
     pub fn check_scheme(&mut self, graph: &Graph, scheme: SchemeId) -> Result<Response, WireError> {
-        self.call_body(&wire::encode_check_request(graph, scheme))
+        self.check(graph, scheme)
     }
 
     /// Server-side graph generation.
-    pub fn gen(&mut self, family: &str, n: u32, seed: u64) -> Result<Graph, WireError> {
-        self.gen_scheme(family, n, seed, SchemeId::PLANARITY)
-    }
-
-    /// Server-side graph generation with a scheme id, which routes
-    /// the `"default"` family to the scheme's canonical yes-instance
-    /// generator (concrete family names ignore the id).
-    pub fn gen_scheme(
+    pub fn gen(
         &mut self,
         family: &str,
         n: u32,
         seed: u64,
-        scheme: SchemeId,
+        opts: impl Into<GenOptions>,
     ) -> Result<Graph, WireError> {
-        match self.call_body(&wire::encode_gen_request(family, n, seed, scheme))? {
+        let opts = opts.into();
+        match self.call_body(&wire::encode_gen_request(family, n, seed, opts.scheme))? {
             Response::Generated(g) => Ok(g),
             Response::Error(e) => Err(WireError::Protocol(e)),
             other => Err(WireError::Protocol(format!(
@@ -228,20 +528,95 @@ impl Client {
         }
     }
 
-    /// Adversarial soundness probe against the planarity scheme.
-    pub fn soundness(&mut self, graph: &Graph, seed: u64) -> Result<Response, WireError> {
-        self.soundness_scheme(graph, seed, SchemeId::PLANARITY)
+    /// Server-side graph generation with a scheme id.
+    #[deprecated(note = "use gen(family, n, seed, GenOptions::new().scheme(..))")]
+    pub fn gen_scheme(
+        &mut self,
+        family: &str,
+        n: u32,
+        seed: u64,
+        scheme: SchemeId,
+    ) -> Result<Graph, WireError> {
+        self.gen(family, n, seed, scheme)
     }
 
-    /// Adversarial soundness probe against any registered scheme that
-    /// supports it.
+    /// Adversarial soundness probe (`SoundnessOptions` carries the
+    /// replay seed and scheme; a plain `u64` still reads as the old
+    /// seed argument).
+    pub fn soundness(
+        &mut self,
+        graph: &Graph,
+        opts: impl Into<SoundnessOptions>,
+    ) -> Result<Response, WireError> {
+        let opts = opts.into();
+        self.call_body(&wire::encode_soundness_request(
+            graph,
+            opts.seed,
+            opts.scheme,
+        ))
+    }
+
+    /// Adversarial soundness probe against any registered scheme.
+    #[deprecated(note = "use soundness(graph, SoundnessOptions::new().seed(..).scheme(..))")]
     pub fn soundness_scheme(
         &mut self,
         graph: &Graph,
         seed: u64,
         scheme: SchemeId,
     ) -> Result<Response, WireError> {
-        self.call_body(&wire::encode_soundness_request(graph, seed, scheme))
+        self.soundness(graph, SoundnessOptions::new().seed(seed).scheme(scheme))
+    }
+
+    /// Runs one full interactive-certification session (wire v8) and
+    /// returns the closing [`Response::Verdict`]. The client plays
+    /// Merlin: it computes the dMAM commitment locally, opens the
+    /// session with `InteractiveBegin` (committing to the seed the
+    /// server will derive its public coin from), answers the
+    /// challenge with the protocol's response round, and hands back
+    /// the server's verdict — which carries the measured soundness
+    /// bound for this graph.
+    pub fn interactive(
+        &mut self,
+        graph: &Graph,
+        opts: impl Into<InteractiveOptions>,
+    ) -> Result<Response, WireError> {
+        let opts = opts.into();
+        let proto = DmamPlanarity::new();
+        let commit = proto
+            .commit(graph)
+            .map_err(|e| WireError::Protocol(format!("cannot open an interactive session: {e}")))?;
+        let session = NEXT_CHUNK_SESSION.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let challenge = match self.call_body(&wire::encode_interactive_begin_request(
+            session,
+            opts.seed,
+            graph,
+            &commit,
+            opts.scheme,
+        ))? {
+            Response::Challenge {
+                session: s,
+                challenge,
+            } if s == session => challenge,
+            Response::Error(e) => return Err(WireError::Protocol(e)),
+            other => {
+                return Err(WireError::Protocol(format!(
+                    "unexpected response to InteractiveBegin: {other:?}"
+                )))
+            }
+        };
+        let response = proto.respond(graph, &commit, challenge);
+        self.call_body(&wire::encode_interactive_respond_request(
+            session, &response,
+        ))
+    }
+
+    /// Triggers one on-demand audit pass on the server and returns
+    /// its [`Response::AuditReport`] — the same sweep the background
+    /// auditor (`dpc serve --audit`) runs, with the caller's sizing
+    /// and seed.
+    pub fn audit(&mut self, opts: impl Into<AuditOptions>) -> Result<Response, WireError> {
+        let opts = opts.into();
+        self.call_body(&wire::encode_audit_request(opts.samples, opts.seed))
     }
 
     /// Server counters.

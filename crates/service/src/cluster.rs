@@ -39,7 +39,10 @@
 //! Per-request failover is tracked in [`ClusterStats`], the
 //! client-side mirror of the servers' Stats.
 
-use crate::client::Client;
+use crate::client::{
+    AuditOptions, CertifyOptions, CheckOptions, Client, GenOptions, InteractiveOptions,
+    SoundnessOptions,
+};
 use crate::metrics::{SlowLogEntry, StatsSnapshot};
 use crate::registry::SchemeId;
 use crate::store::{RecordKind, StoreRecord};
@@ -448,24 +451,59 @@ impl ClusterClient {
         }
     }
 
-    /// Certifies a graph under a scheme on the owning node (or, with
-    /// a replication factor above one, across the top-k replicas —
-    /// bypass requests always take the plain single-owner path, since
-    /// their whole point is a fresh prove).
+    /// Certifies a graph on the owning node (or, with a replication
+    /// factor above one, across the top-k replicas — bypass requests
+    /// always take the plain single-owner path, since their whole
+    /// point is a fresh prove). Takes the same [`CertifyOptions`] the
+    /// direct [`Client`] takes, so call sites swap between the two
+    /// without rephrasing; the one option that cannot be routed is
+    /// `chunked` (a multi-frame upload has no single body to fail
+    /// over), which errors rather than silently degrading.
+    pub fn certify(
+        &mut self,
+        graph: &Graph,
+        opts: impl Into<CertifyOptions>,
+    ) -> Result<Response, WireError> {
+        let opts = opts.into();
+        if opts.chunked.is_some() {
+            return Err(WireError::Protocol(
+                "chunked upload is connection-oriented and cannot fail over; \
+                 open a direct Client to the owning node"
+                    .to_string(),
+            ));
+        }
+        let key = graph_key(opts.scheme, graph);
+        if opts.cached_only {
+            return self.route(
+                &key,
+                &wire::encode_certify_probe_request(graph, opts.scheme),
+            );
+        }
+        if opts.summary {
+            return self.route(
+                &key,
+                &wire::encode_certify_summary_request(graph, opts.bypass, opts.scheme),
+            );
+        }
+        if self.replication > 1 && !opts.bypass {
+            return self.certify_replicated(graph, opts.scheme);
+        }
+        self.route(
+            &key,
+            &wire::encode_certify_request(graph, opts.bypass, opts.scheme),
+        )
+    }
+
+    /// Certifies a graph under a scheme on the owning node.
+    #[deprecated(note = "use certify(graph, CertifyOptions::new().scheme(..))")]
     pub fn certify_scheme(
         &mut self,
         graph: &Graph,
         bypass_cache: bool,
         scheme: SchemeId,
     ) -> Result<Response, WireError> {
-        if self.replication > 1 && !bypass_cache {
-            return self.certify_replicated(graph, scheme);
-        }
-        let key = graph_key(scheme, graph);
-        self.route(
-            &key,
-            &wire::encode_certify_request(graph, bypass_cache, scheme),
-        )
+        let opts = CertifyOptions::from(bypass_cache).scheme(scheme);
+        self.certify(graph, opts)
     }
 
     /// The k>1 certify path: walk the top-k replicas with cached-only
@@ -681,27 +719,37 @@ impl ClusterClient {
         unanswered
     }
 
-    /// Certifies under the planarity scheme.
-    pub fn certify(&mut self, graph: &Graph, bypass_cache: bool) -> Result<Response, WireError> {
-        self.certify_scheme(graph, bypass_cache, SchemeId::PLANARITY)
+    /// Membership check on the owning node.
+    pub fn check(
+        &mut self,
+        graph: &Graph,
+        opts: impl Into<CheckOptions>,
+    ) -> Result<Response, WireError> {
+        let opts = opts.into();
+        let key = graph_key(opts.scheme, graph);
+        self.route(&key, &wire::encode_check_request(graph, opts.scheme))
     }
 
     /// Membership check under a scheme on the owning node.
+    #[deprecated(note = "use check(graph, CheckOptions::new().scheme(..))")]
     pub fn check_scheme(&mut self, graph: &Graph, scheme: SchemeId) -> Result<Response, WireError> {
-        let key = graph_key(scheme, graph);
-        self.route(&key, &wire::encode_check_request(graph, scheme))
+        self.check(graph, scheme)
     }
 
     /// Server-side generation, routed by the generation parameters.
-    pub fn gen_scheme(
+    pub fn gen(
         &mut self,
         family: &str,
         n: u32,
         seed: u64,
-        scheme: SchemeId,
+        opts: impl Into<GenOptions>,
     ) -> Result<Graph, WireError> {
-        let key = gen_key(scheme, family, n, seed);
-        match self.route(&key, &wire::encode_gen_request(family, n, seed, scheme))? {
+        let opts = opts.into();
+        let key = gen_key(opts.scheme, family, n, seed);
+        match self.route(
+            &key,
+            &wire::encode_gen_request(family, n, seed, opts.scheme),
+        )? {
             Response::Generated(g) => Ok(g),
             Response::Error(e) => Err(WireError::Protocol(e)),
             other => Err(WireError::Protocol(format!(
@@ -710,15 +758,114 @@ impl ClusterClient {
         }
     }
 
+    /// Server-side generation with a scheme id.
+    #[deprecated(note = "use gen(family, n, seed, GenOptions::new().scheme(..))")]
+    pub fn gen_scheme(
+        &mut self,
+        family: &str,
+        n: u32,
+        seed: u64,
+        scheme: SchemeId,
+    ) -> Result<Graph, WireError> {
+        self.gen(family, n, seed, scheme)
+    }
+
+    /// Soundness probe on the owning node.
+    pub fn soundness(
+        &mut self,
+        graph: &Graph,
+        opts: impl Into<SoundnessOptions>,
+    ) -> Result<Response, WireError> {
+        let opts = opts.into();
+        let key = graph_key(opts.scheme, graph);
+        self.route(
+            &key,
+            &wire::encode_soundness_request(graph, opts.seed, opts.scheme),
+        )
+    }
+
     /// Soundness probe under a scheme on the owning node.
+    #[deprecated(note = "use soundness(graph, SoundnessOptions::new().seed(..).scheme(..))")]
     pub fn soundness_scheme(
         &mut self,
         graph: &Graph,
         seed: u64,
         scheme: SchemeId,
     ) -> Result<Response, WireError> {
-        let key = graph_key(scheme, graph);
-        self.route(&key, &wire::encode_soundness_request(graph, seed, scheme))
+        self.soundness(graph, SoundnessOptions::new().seed(seed).scheme(scheme))
+    }
+
+    /// Runs one interactive-certification session against the graph's
+    /// owning node, failing over down the ranking like any routed
+    /// request. A session is two ordered frames on one connection, so
+    /// failover restarts the *whole* session on the next node — safe,
+    /// because a session is as idempotent as a certify (same graph,
+    /// same seed, same transcript on every correct node).
+    pub fn interactive(
+        &mut self,
+        graph: &Graph,
+        opts: impl Into<InteractiveOptions>,
+    ) -> Result<Response, WireError> {
+        let opts = opts.into();
+        let key = graph_key(opts.scheme, graph);
+        let ranked = self.ring.rank(&key);
+        let mut last_err: Option<WireError> = None;
+        for (hop, &idx) in ranked.iter().enumerate() {
+            let attempt = self
+                .ensure_conn(idx)
+                .and_then(|client| client.interactive(graph, opts));
+            match attempt {
+                Ok(resp) => {
+                    if hop > 0 {
+                        self.stats.failovers += hop as u64;
+                    }
+                    self.stats.requests += 1;
+                    self.stats.per_node[idx].routed += 1;
+                    return Ok(resp);
+                }
+                Err(e @ WireError::Io(_)) => {
+                    // connection-level: drop the conn, try the next node
+                    self.conns[idx] = None;
+                    self.stats.per_node[idx].failures += 1;
+                    last_err = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.stats.exhausted += 1;
+        Err(last_err.expect("ring is nonempty"))
+    }
+
+    /// Broadcasts one on-demand audit pass to every node (`Err` for
+    /// unreachable ones). Like [`ClusterClient::node_stats`], a
+    /// broadcast: no routing key, no [`ClusterStats`] accounting.
+    /// Every node gets the same sampling seed, so a fleet-wide report
+    /// is reproducible end to end.
+    pub fn node_audits(
+        &mut self,
+        opts: impl Into<AuditOptions>,
+    ) -> Vec<(String, Result<Response, WireError>)> {
+        let opts = opts.into();
+        let addrs: Vec<String> = self.ring.addrs().to_vec();
+        addrs
+            .into_iter()
+            .enumerate()
+            .map(|(idx, addr)| {
+                let result = self.audit_of(idx, opts);
+                (addr, result)
+            })
+            .collect()
+    }
+
+    fn audit_of(&mut self, idx: usize, opts: AuditOptions) -> Result<Response, WireError> {
+        let client = self.ensure_conn(idx)?;
+        match client.audit(opts) {
+            Ok(resp) => Ok(resp),
+            Err(e) => {
+                self.conns[idx] = None;
+                Err(e)
+            }
+        }
     }
 
     /// Every node's Stats snapshot (`Err` for unreachable nodes).

@@ -28,7 +28,9 @@
 //!   same-scheme Certify requests into
 //!   [`dpc_core::batch::BatchRunner`] batches, and streams responses
 //!   back in request order per connection;
-//! * [`client`] — a blocking client with request pipelining;
+//! * [`client`] — a blocking client with request pipelining and one
+//!   options-builder call per verb ([`CertifyOptions`] and friends)
+//!   instead of a method per wire shape;
 //! * [`cluster`] — client-side horizontal scale: a
 //!   [`cluster::ClusterClient`] rendezvous-hashes each request's
 //!   content key (`uvarint(scheme id)` + canonical graph hash) across
@@ -52,20 +54,22 @@
 //! ```
 //! use dpc_service::registry::SchemeId;
 //! use dpc_service::wire::Response;
-//! use dpc_service::{client::Client, server};
+//! use dpc_service::{client::Client, server, CertifyOptions};
 //!
 //! let handle = server::serve("127.0.0.1:0", Default::default()).unwrap();
 //! let mut client = Client::connect(handle.addr()).unwrap();
 //! let g = dpc_graph::generators::grid(6, 6);
 //! // planarity (the default scheme): first query proves ...
-//! let first = client.certify(&g, false).unwrap();
+//! let first = client.certify(&g, CertifyOptions::new()).unwrap();
 //! assert!(matches!(first, Response::Certified { cached: false, .. }));
 //! // ... the repeat is a cache hit
-//! let second = client.certify(&g, false).unwrap();
+//! let second = client.certify(&g, CertifyOptions::new()).unwrap();
 //! assert!(matches!(second, Response::Certified { cached: true, .. }));
 //! // the same graph under another scheme is *not* a hit: caches are
 //! // isolated per scheme id
-//! let bip = client.certify_scheme(&g, false, SchemeId::BIPARTITE).unwrap();
+//! let bip = client
+//!     .certify(&g, CertifyOptions::new().scheme(SchemeId::BIPARTITE))
+//!     .unwrap();
 //! assert!(matches!(bip, Response::Certified { cached: false, .. }));
 //! handle.shutdown();
 //! ```
@@ -85,7 +89,10 @@ pub mod store;
 pub mod wire;
 
 pub use cache::{CacheConfig, CertCache};
-pub use client::Client;
+pub use client::{
+    AuditOptions, CertifyOptions, CheckOptions, Client, GenOptions, InteractiveOptions,
+    SoundnessOptions,
+};
 pub use cluster::{ClusterClient, ClusterStats, DistributedReport, Ring};
 pub use metrics::{
     prometheus_text, HistogramSnapshot, SlowLogEntry, StageSnapshot, StatsSnapshot, STAGE_NAMES,

@@ -318,6 +318,9 @@ impl SlowLogEntry {
             9 => "chunkbegin",
             10 => "chunk",
             11 => "chunkend",
+            12 => "ibegin",
+            13 => "irespond",
+            14 => "audit",
             _ => "?",
         }
     }
@@ -529,6 +532,21 @@ pub struct Metrics {
     /// Component outcomes folded into one merged Outcome (v7; one per
     /// composite certify, not per component).
     pub outcome_merges: AtomicU64,
+    /// Completed audit sweeps over the stored certificates (v8).
+    pub audit_sweeps: AtomicU64,
+    /// Stored records sampled by the auditor (v8).
+    pub audit_sampled: AtomicU64,
+    /// Sampled records whose bytes were CRC-valid but failed
+    /// re-verification — fingerprint mismatch, outcome inconsistency,
+    /// or a per-node verifier reject (v8).
+    pub audit_failed: AtomicU64,
+    /// Failed records actually purged from both cache tiers (v8;
+    /// tracks `audit_failed` unless a quarantine itself errored).
+    pub audit_quarantined: AtomicU64,
+    /// Interactive (dMAM) wire sessions opened (v8).
+    pub interactive_sessions: AtomicU64,
+    /// Interactive verdicts that rejected at least one node (v8).
+    pub interactive_rejects: AtomicU64,
 }
 
 impl Metrics {
@@ -737,6 +755,19 @@ pub struct StatsSnapshot {
     pub delegated_errors: u64,
     /// Merged component outcomes (v7; one per composite certify).
     pub outcome_merges: u64,
+    /// Completed audit sweeps over the stored certificates (v8).
+    pub audit_sweeps: u64,
+    /// Stored records sampled by the auditor (v8).
+    pub audit_sampled: u64,
+    /// Sampled records that were CRC-valid but failed re-verification
+    /// (v8).
+    pub audit_failed: u64,
+    /// Failed records purged from both cache tiers (v8).
+    pub audit_quarantined: u64,
+    /// Interactive (dMAM) wire sessions opened (v8).
+    pub interactive_sessions: u64,
+    /// Interactive verdicts that rejected at least one node (v8).
+    pub interactive_rejects: u64,
 }
 
 impl StatsSnapshot {
@@ -835,6 +866,18 @@ impl StatsSnapshot {
             self.delegated_proves,
             self.delegated_errors,
             self.outcome_merges,
+        ] {
+            put_uvarint(out, v);
+        }
+        // version-8 tail: audit and interactive-session counters,
+        // strictly after the v7 tail
+        for v in [
+            self.audit_sweeps,
+            self.audit_sampled,
+            self.audit_failed,
+            self.audit_quarantined,
+            self.interactive_sessions,
+            self.interactive_rejects,
         ] {
             put_uvarint(out, v);
         }
@@ -946,6 +989,20 @@ impl StatsSnapshot {
                 *field = get_uvarint(buf)?;
             }
         }
+        // the v8 audit/interactive tail is absent in v2–v7 bodies;
+        // absence decodes as zeros (a server predating auditing)
+        if !buf.is_empty() {
+            for field in [
+                &mut s.audit_sweeps,
+                &mut s.audit_sampled,
+                &mut s.audit_failed,
+                &mut s.audit_quarantined,
+                &mut s.interactive_sessions,
+                &mut s.interactive_rejects,
+            ] {
+                *field = get_uvarint(buf)?;
+            }
+        }
         Ok(s)
     }
 
@@ -1010,6 +1067,12 @@ impl StatsSnapshot {
         self.delegated_proves += other.delegated_proves;
         self.delegated_errors += other.delegated_errors;
         self.outcome_merges += other.outcome_merges;
+        self.audit_sweeps += other.audit_sweeps;
+        self.audit_sampled += other.audit_sampled;
+        self.audit_failed += other.audit_failed;
+        self.audit_quarantined += other.audit_quarantined;
+        self.interactive_sessions += other.interactive_sessions;
+        self.interactive_rejects += other.interactive_rejects;
     }
 }
 
@@ -1145,6 +1208,20 @@ impl fmt::Display for StatsSnapshot {
                 self.delegated_proves, self.delegated_errors, self.outcome_merges,
             )?;
         }
+        if self.audit_sweeps + self.audit_sampled > 0 {
+            write!(
+                f,
+                "\naudit: {} sweeps, {} sampled, {} failed, {} quarantined",
+                self.audit_sweeps, self.audit_sampled, self.audit_failed, self.audit_quarantined,
+            )?;
+        }
+        if self.interactive_sessions + self.interactive_rejects > 0 {
+            write!(
+                f,
+                "\ninteractive: {} sessions, {} rejecting verdicts",
+                self.interactive_sessions, self.interactive_rejects,
+            )?;
+        }
         for s in &self.per_scheme {
             write!(
                 f,
@@ -1194,7 +1271,7 @@ pub fn prometheus_text(s: &StatsSnapshot) -> String {
             ("{kind=\"stats\"}".into(), s.stats),
         ],
     );
-    let plain: [(&str, &str, &str, u64); 34] = [
+    let plain: [(&str, &str, &str, u64); 40] = [
         (
             "dpc_errors_total",
             "counter",
@@ -1399,6 +1476,42 @@ pub fn prometheus_text(s: &StatsSnapshot) -> String {
             "Component outcomes folded into one merged Outcome.",
             s.outcome_merges,
         ),
+        (
+            "dpc_audit_sweeps_total",
+            "counter",
+            "Completed audit sweeps over the stored certificates.",
+            s.audit_sweeps,
+        ),
+        (
+            "dpc_audit_sampled_total",
+            "counter",
+            "Stored records sampled by the auditor.",
+            s.audit_sampled,
+        ),
+        (
+            "dpc_audit_failed_total",
+            "counter",
+            "Sampled records that were CRC-valid but failed re-verification.",
+            s.audit_failed,
+        ),
+        (
+            "dpc_audit_quarantined_total",
+            "counter",
+            "Failed records purged from both cache tiers.",
+            s.audit_quarantined,
+        ),
+        (
+            "dpc_interactive_sessions_total",
+            "counter",
+            "Interactive (dMAM) wire sessions opened.",
+            s.interactive_sessions,
+        ),
+        (
+            "dpc_interactive_rejects_total",
+            "counter",
+            "Interactive verdicts that rejected at least one node.",
+            s.interactive_rejects,
+        ),
     ];
     for (name, kind, help, value) in plain {
         metric(name, kind, help, &[(String::new(), value)]);
@@ -1570,6 +1683,12 @@ mod tests {
             delegated_proves: 6,
             delegated_errors: 1,
             outcome_merges: 2,
+            audit_sweeps: 5,
+            audit_sampled: 20,
+            audit_failed: 2,
+            audit_quarantined: 2,
+            interactive_sessions: 3,
+            interactive_rejects: 1,
             ..Default::default()
         };
         let mut buf = Vec::new();
@@ -1603,16 +1722,25 @@ mod tests {
             text.contains("distributed: 6 components delegated, 1 delegation"),
             "{text}"
         );
+        assert!(
+            text.contains("audit: 5 sweeps, 20 sampled, 2 failed, 2 quarantined"),
+            "{text}"
+        );
+        assert!(
+            text.contains("interactive: 3 sessions, 1 rejecting verdicts"),
+            "{text}"
+        );
     }
 
     #[test]
     fn v2_stats_body_decodes_with_zero_store_fields() {
-        // a version-2 body is a version-7 body minus the v3 store
+        // a version-2 body is a version-8 body minus the v3 store
         // tail (8 varints), the v4 connection tail (4 varints), the
         // v5 tracing tail (5 empty histograms + 5 varints), the v6
-        // replication tail (5 varints), and the v7 chunk tail (8
-        // varints); a v7 decoder reads it as "no store, no
-        // connections, no tracing, no replication, no chunking"
+        // replication tail (5 varints), the v7 chunk tail (8
+        // varints), and the v8 audit tail (6 varints); a v8 decoder
+        // reads it as "no store, no connections, no tracing, no
+        // replication, no chunking, no auditing"
         let v2_like = StatsSnapshot {
             certify: 5,
             cache_hits: 3,
@@ -1620,7 +1748,7 @@ mod tests {
         };
         let mut v6 = Vec::new();
         v2_like.encode_into(&mut v6);
-        let v2 = &v6[..v6.len() - 35]; // the 35 tail bytes are all 0x00
+        let v2 = &v6[..v6.len() - 41]; // the 41 tail bytes are all 0x00
         let mut cursor = v2;
         let back = StatsSnapshot::decode_from(&mut cursor).unwrap();
         assert!(cursor.is_empty());
@@ -1634,9 +1762,9 @@ mod tests {
 
     #[test]
     fn v3_stats_body_decodes_with_zero_connection_fields() {
-        // a version-3 body is a version-7 body minus the v4, v5, v6,
-        // and v7 tails; the store tail must still land in the store
-        // fields, not bleed into the connection fields
+        // a version-3 body is a version-8 body minus the v4, v5, v6,
+        // v7, and v8 tails; the store tail must still land in the
+        // store fields, not bleed into the connection fields
         let v3_like = StatsSnapshot {
             certify: 5,
             store_hits: 7,
@@ -1645,7 +1773,7 @@ mod tests {
         };
         let mut v6 = Vec::new();
         v3_like.encode_into(&mut v6);
-        let v3 = &v6[..v6.len() - 27]; // v4 (4) + v5 (10) + v6 (5) + v7 (8) tails are 0x00
+        let v3 = &v6[..v6.len() - 33]; // v4 (4) + v5 (10) + v6 (5) + v7 (8) + v8 (6) tails are 0x00
         let mut cursor = v3;
         let back = StatsSnapshot::decode_from(&mut cursor).unwrap();
         assert!(cursor.is_empty());
@@ -1656,11 +1784,12 @@ mod tests {
 
     #[test]
     fn v4_stats_body_decodes_with_zero_tracing_fields() {
-        // a version-4 body is a version-7 body minus the tracing
+        // a version-4 body is a version-8 body minus the tracing
         // tail (5 empty histograms + 5 counters, all 0x00 when
-        // empty), the v6 replication tail (5 counters), and the v7
-        // chunk tail (8 counters); the connection tail must still
-        // land in the connection fields
+        // empty), the v6 replication tail (5 counters), the v7
+        // chunk tail (8 counters), and the v8 audit tail (6
+        // counters); the connection tail must still land in the
+        // connection fields
         let v4_like = StatsSnapshot {
             certify: 5,
             conns_open: 2,
@@ -1669,7 +1798,7 @@ mod tests {
         };
         let mut v6 = Vec::new();
         v4_like.encode_into(&mut v6);
-        let v4 = &v6[..v6.len() - 23];
+        let v4 = &v6[..v6.len() - 29];
         let mut cursor = v4;
         let back = StatsSnapshot::decode_from(&mut cursor).unwrap();
         assert!(cursor.is_empty());
@@ -1681,10 +1810,10 @@ mod tests {
 
     #[test]
     fn v5_stats_body_decodes_with_zero_replication_fields() {
-        // a version-5 body is a version-7 body minus the replication
-        // tail (5 varints) and the chunk tail (8 varints, all 0x00
-        // when zero); the tracing tail must still land in the
-        // tracing fields
+        // a version-5 body is a version-8 body minus the replication
+        // tail (5 varints), the chunk tail (8 varints), and the
+        // audit tail (6 varints, all 0x00 when zero); the tracing
+        // tail must still land in the tracing fields
         let v5_like = StatsSnapshot {
             certify: 5,
             queue_full_stalls: 3,
@@ -1693,7 +1822,7 @@ mod tests {
         };
         let mut v6 = Vec::new();
         v5_like.encode_into(&mut v6);
-        let v5 = &v6[..v6.len() - 13];
+        let v5 = &v6[..v6.len() - 19];
         let mut cursor = v5;
         let back = StatsSnapshot::decode_from(&mut cursor).unwrap();
         assert!(cursor.is_empty());
@@ -1707,9 +1836,10 @@ mod tests {
 
     #[test]
     fn v6_stats_body_decodes_with_zero_chunk_fields() {
-        // a version-6 body is a version-7 body minus the chunk tail
-        // (8 varints, all 0x00 when zero); the replication tail must
-        // still land in the replication fields
+        // a version-6 body is a version-8 body minus the chunk tail
+        // (8 varints) and the audit tail (6 varints, all 0x00 when
+        // zero); the replication tail must still land in the
+        // replication fields
         let v6_like = StatsSnapshot {
             certify: 5,
             repl_push_merged: 4,
@@ -1718,7 +1848,7 @@ mod tests {
         };
         let mut v7 = Vec::new();
         v6_like.encode_into(&mut v7);
-        let v6 = &v7[..v7.len() - 8];
+        let v6 = &v7[..v7.len() - 14];
         let mut cursor = v6;
         let back = StatsSnapshot::decode_from(&mut cursor).unwrap();
         assert!(cursor.is_empty());
@@ -1729,6 +1859,32 @@ mod tests {
         // and the chunk/distribution lines stay out of the text
         assert!(!format!("{back}").contains("chunked uploads:"));
         assert!(!format!("{back}").contains("distributed:"));
+    }
+
+    #[test]
+    fn v7_stats_body_decodes_with_zero_audit_fields() {
+        // a version-7 body is a version-8 body minus the audit tail
+        // (6 varints, all 0x00 when zero); the chunk tail must still
+        // land in the chunk fields
+        let v7_like = StatsSnapshot {
+            certify: 5,
+            chunk_sessions: 3,
+            delegated_proves: 2,
+            ..StatsSnapshot::default()
+        };
+        let mut v8 = Vec::new();
+        v7_like.encode_into(&mut v8);
+        let v7 = &v8[..v8.len() - 6];
+        let mut cursor = v7;
+        let back = StatsSnapshot::decode_from(&mut cursor).unwrap();
+        assert!(cursor.is_empty());
+        assert_eq!(back, v7_like);
+        assert_eq!(back.chunk_sessions, 3);
+        assert_eq!(back.audit_sweeps, 0);
+        assert_eq!(back.interactive_sessions, 0);
+        // and the audit/interactive lines stay out of the text
+        assert!(!format!("{back}").contains("audit:"));
+        assert!(!format!("{back}").contains("interactive:"));
     }
 
     #[test]
@@ -1796,7 +1952,7 @@ mod tests {
         let snapshot = StatsSnapshot::default();
         let mut buf = Vec::new();
         snapshot.encode_into(&mut buf);
-        buf.truncate(buf.len() - 35); // drop the v3 + v4 + v5 + v6 + v7 tails
+        buf.truncate(buf.len() - 41); // drop the v3 + v4 + v5 + v6 + v7 + v8 tails
         *buf.last_mut().unwrap() = 0xff;
         buf.extend_from_slice(&[0xff, 0xff, 0x7f]);
         let mut cursor = buf.as_slice();
@@ -1909,6 +2065,8 @@ mod tests {
         assert!(text.contains("dpc_chunk_sessions_total 3"), "{text}");
         assert!(text.contains("dpc_chunk_carry_peak_bytes 9"), "{text}");
         assert!(text.contains("dpc_delegated_proves_total 5"), "{text}");
+        assert!(text.contains("dpc_audit_quarantined_total 0"), "{text}");
+        assert!(text.contains("dpc_interactive_sessions_total 0"), "{text}");
         // cumulative buckets: 1 through le=3, 2 through le=127, +Inf
         assert!(
             text.contains("dpc_request_duration_us_bucket{le=\"3\"} 1"),

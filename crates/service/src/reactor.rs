@@ -51,8 +51,8 @@
 
 use crate::metrics::{Metrics, Trace};
 use crate::server::{
-    count_request, duration_us, trace_written, ChunkSessions, ChunkStep, Job, ReplyTo, Shared,
-    NEXT_CONN_ID,
+    count_request, duration_us, trace_written, ChunkSessions, ChunkStep, InteractiveSessions,
+    InteractiveStep, Job, ReplyTo, Shared, NEXT_CONN_ID,
 };
 use crate::wire::{self, Request, Response, WireError};
 use epoll::{Epoll, Events, Waker, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
@@ -240,6 +240,8 @@ struct Conn {
     last_activity: Instant,
     /// Chunked-upload reassembly state (at most one open session).
     chunks: ChunkSessions,
+    /// Interactive-verification state (at most one open session).
+    interactive: InteractiveSessions,
 }
 
 impl Conn {
@@ -261,6 +263,7 @@ impl Conn {
             interest: EPOLLIN | EPOLLRDHUP,
             last_activity: Instant::now(),
             chunks: ChunkSessions::default(),
+            interactive: InteractiveSessions::default(),
         }
     }
 
@@ -654,10 +657,32 @@ impl EventLoop {
                             );
                             continue;
                         }
-                        ChunkStep::Pass(req) => {
-                            count_request(&shared.metrics, &req);
-                            req
-                        }
+                        ChunkStep::Pass(req) => match conn.interactive.step(req, &shared) {
+                            // interactive rounds are answered on the
+                            // loop as well, so the session transcript
+                            // is byte-identical to the threaded front
+                            // end's by construction
+                            InteractiveStep::Reply(resp) => {
+                                conn.next_seq += 1;
+                                conn.awaiting += 1;
+                                conn.roff += 4 + len;
+                                conn.deliver(
+                                    Completion {
+                                        conn: token,
+                                        seq,
+                                        body: resp.encode(),
+                                        finished: Instant::now(),
+                                        trace: None,
+                                    },
+                                    &shared.metrics,
+                                );
+                                continue;
+                            }
+                            InteractiveStep::Pass(req) => {
+                                count_request(&shared.metrics, &req);
+                                req
+                            }
+                        },
                         ChunkStep::Certify {
                             graph,
                             bypass_cache,
@@ -811,6 +836,7 @@ impl EventLoop {
             let _ = self.epoll.delete(&conn.stream);
             let m = &self.shared.metrics;
             conn.chunks.abandon(m);
+            conn.interactive.abandon();
             m.conns_open.fetch_sub(1, Ordering::Relaxed);
             if matches!(why, Close::Idle) {
                 m.idle_timeouts.fetch_add(1, Ordering::Relaxed);

@@ -89,6 +89,12 @@ pub struct SchemeCapabilities {
     /// binary wire protocol — the graph6 exchange format drops
     /// identifiers, so `dpc query --scheme <name>` refuses up front.
     pub needs_ids: bool,
+    /// Whether an interactive (dMAM) wire protocol is wired for the
+    /// scheme — the paper's randomized three-interaction exchange
+    /// ([`dpc_interactive::dmam`]). Only such schemes accept
+    /// `InteractiveBegin` sessions; everything else is declined with
+    /// a clean error before any state is kept.
+    pub interactive: bool,
 }
 
 /// One registered scheme: stable id, CLI name, capabilities, and the
@@ -144,8 +150,10 @@ fn entry(
             cert_bound,
             soundness_probe,
             // set after construction for the (single) id-reading
-            // scheme, so this builder keeps one signature
+            // scheme and the (single) interactive-capable scheme, so
+            // this builder keeps one signature
             needs_ids: false,
+            interactive: false,
         },
         scheme,
     }
@@ -234,6 +242,12 @@ impl SchemeRegistry {
             .iter_mut()
             .filter(|e| e.id == SchemeId::MOD_COUNTER)
             .for_each(|e| e.caps.needs_ids = true);
+        // planarity is the scheme the dMAM protocol is built for
+        // (dpc_interactive::dmam::DmamPlanarity)
+        entries
+            .iter_mut()
+            .filter(|e| e.id == SchemeId::PLANARITY)
+            .for_each(|e| e.caps.interactive = true);
         debug_assert!(entries.windows(2).all(|w| w[0].id < w[1].id));
         SchemeRegistry { entries }
     }
@@ -353,6 +367,19 @@ mod tests {
                 e.caps.needs_ids,
                 e.name == "mod-counter",
                 "{}: identifier capability",
+                e.name
+            );
+        }
+    }
+
+    #[test]
+    fn only_planarity_is_interactive() {
+        let reg = SchemeRegistry::standard();
+        for e in reg.entries() {
+            assert_eq!(
+                e.caps.interactive,
+                e.name == "planarity",
+                "{}: interactive capability",
                 e.name
             );
         }

@@ -59,19 +59,21 @@ use crate::metrics::{
     prometheus_text, Metrics, SchemeStats, SlowLog, SlowLogEntry, StatsSnapshot, Trace,
 };
 use crate::registry::{SchemeEntry, SchemeId, SchemeRegistry};
-use crate::store::{crc32_update, SegmentConfig, SegmentStore, TieredCache};
+use crate::store::{crc32_update, SegmentConfig, SegmentStore, StoreRecord, TieredCache};
 use crate::wire::{self, CheckVerdict, Request, Response, SoundnessLine, WireError};
 use dpc_core::adversary::soundness_report;
 use dpc_core::batch::BatchRunner;
 use dpc_core::harness::{certify_pls, Outcome};
-use dpc_core::scheme::ProveError;
+use dpc_core::scheme::{Assignment, ProveError};
 use dpc_graph::canon::hash_bytes;
 use dpc_graph::minors::KuratowskiKind;
 use dpc_graph::Graph;
+use dpc_interactive::dmam::{challenge_from_seed, run_forged, DmamPlanarity};
+use dpc_interactive::fingerprint;
 use dpc_planar::kuratowski::extract_kuratowski;
 use dpc_planar::lr::{planarity, Planarity};
-use dpc_runtime::put_uvarint;
-use std::collections::{HashMap, VecDeque};
+use dpc_runtime::{get_uvarint, put_uvarint, NodeCtx, Payload};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -125,6 +127,15 @@ pub struct ServeConfig {
     /// without an offline `dpc store merge`. Empty disables the
     /// sweep; the server still *absorbs* pushes either way.
     pub peers: Vec<String>,
+    /// Run the randomized store auditor (`dpc serve --audit`): every
+    /// few maintenance ticks the store thread samples stored
+    /// certificates, re-runs their per-node verifier predicates on a
+    /// random vertex subset plus a fingerprint cross-check of the
+    /// stored bytes, and quarantines records that are CRC-valid but
+    /// fail re-verification — the corruption class `dpc store
+    /// verify` structurally cannot catch. A quarantined key is simply
+    /// re-proved on its next query.
+    pub audit: bool,
 }
 
 impl Default for ServeConfig {
@@ -145,6 +156,7 @@ impl Default for ServeConfig {
             metrics_addr: None,
             slow_ms: 1000,
             peers: Vec::new(),
+            audit: false,
         }
     }
 }
@@ -541,34 +553,50 @@ pub fn serve_with_registry<A: ToSocketAddrs>(
     // shutdown alone cannot be the durability story: a background
     // flusher fsyncs the store every few seconds, bounding what a
     // kill -9 (or power loss right after a SIGTERM) can lose
-    let flusher = (shared.cache.cold().is_some() || !shared.cfg.peers.is_empty()).then(|| {
-        let shared = Arc::clone(&shared);
-        std::thread::Builder::new()
-            .name("dpc-store-flush".into())
-            .spawn(move || {
-                let mut ticks = 0u32;
-                while !shared.shutdown.load(Ordering::Acquire) {
-                    std::thread::sleep(Duration::from_millis(250));
-                    ticks += 1;
-                    if ticks.is_multiple_of(20) {
-                        // every ~5 s: compaction (if garbage piled
-                        // up) and fsync — both deliberately off the
-                        // request path; an fsync with nothing dirty
-                        // is cheap
-                        let _ = shared.cache.maintain();
-                        let _ = shared.cache.flush();
+    let flusher = (shared.cache.cold().is_some()
+        || !shared.cfg.peers.is_empty()
+        || shared.cfg.audit)
+        .then(|| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("dpc-store-flush".into())
+                .spawn(move || {
+                    let mut ticks = 0u32;
+                    while !shared.shutdown.load(Ordering::Acquire) {
+                        std::thread::sleep(Duration::from_millis(250));
+                        ticks += 1;
+                        if ticks.is_multiple_of(20) {
+                            // every ~5 s: compaction (if garbage piled
+                            // up) and fsync — both deliberately off the
+                            // request path; an fsync with nothing dirty
+                            // is cheap
+                            let _ = shared.cache.maintain();
+                            let _ = shared.cache.flush();
+                        }
+                        if !shared.cfg.peers.is_empty() && ticks.is_multiple_of(4) {
+                            // every ~1 s: anti-entropy — ask each peer
+                            // for its key digests and stream it whatever
+                            // it lacks; converged peers exchange only
+                            // the digest list, never a record
+                            anti_entropy_sweep(&shared);
+                        }
+                        if shared.cfg.audit && ticks.is_multiple_of(2) {
+                            // every ~0.5 s: sample stored certificates
+                            // and re-verify them; the sweep index seeds
+                            // the sampler, so restarts re-cover the
+                            // store from the top instead of resuming a
+                            // random walk
+                            let sweep = shared.metrics.audit_sweeps.load(Ordering::Relaxed);
+                            audit_pass(
+                                &shared,
+                                AUDIT_SWEEP_SAMPLES,
+                                fingerprint::derive(AUDIT_SEED_BASE, sweep),
+                            );
+                        }
                     }
-                    if !shared.cfg.peers.is_empty() && ticks.is_multiple_of(4) {
-                        // every ~1 s: anti-entropy — ask each peer
-                        // for its key digests and stream it whatever
-                        // it lacks; converged peers exchange only
-                        // the digest list, never a record
-                        anti_entropy_sweep(&shared);
-                    }
-                }
-            })
-            .expect("spawn store flusher")
-    });
+                })
+                .expect("spawn store flusher")
+        });
     // the Prometheus exposition endpoint: a plain-HTTP listener off
     // the request path, polled nonblocking so shutdown never hangs
     // on a quiet socket
@@ -708,6 +736,7 @@ fn handle_connection_inner(stream: TcpStream, shared: &Arc<Shared>) {
     };
     let mut reader = BufReader::new(stream);
     let mut sessions = ChunkSessions::default();
+    let mut interactive = InteractiveSessions::default();
     let mut seq = 0u64;
     loop {
         let body = match wire::read_frame(&mut reader) {
@@ -742,10 +771,25 @@ fn handle_connection_inner(stream: TcpStream, shared: &Arc<Shared>) {
                         seq += 1;
                         continue;
                     }
-                    ChunkStep::Pass(req) => {
-                        count_request(&shared.metrics, &req);
-                        req
-                    }
+                    ChunkStep::Pass(req) => match interactive.step(req, shared) {
+                        // interactive rounds are answered at the
+                        // connection layer too: the dMAM verifier is a
+                        // linear scan, and keeping it out of the
+                        // worker pool makes the transcript
+                        // byte-identical across both front ends by
+                        // construction
+                        InteractiveStep::Reply(resp) => {
+                            if tx.send(local_done(seq, resp.encode())).is_err() {
+                                break;
+                            }
+                            seq += 1;
+                            continue;
+                        }
+                        InteractiveStep::Pass(req) => {
+                            count_request(&shared.metrics, &req);
+                            req
+                        }
+                    },
                     ChunkStep::Certify {
                         graph,
                         bypass_cache,
@@ -791,6 +835,7 @@ fn handle_connection_inner(stream: TcpStream, shared: &Arc<Shared>) {
         seq += 1;
     }
     sessions.abandon(&shared.metrics);
+    interactive.abandon();
     drop(tx);
     let _ = writer.join();
 }
@@ -878,6 +923,12 @@ pub(crate) fn count_request(m: &Metrics, req: &Request) {
         Request::GraphChunkBegin { .. }
         | Request::GraphChunk { .. }
         | Request::GraphChunkEnd { .. } => &m.stats,
+        // interactive kinds are likewise intercepted at the connection
+        // layer (InteractiveSessions bumps the dedicated session and
+        // reject counters there); Audit is a maintenance kind and
+        // rides the stats bucket with the other introspection requests
+        Request::InteractiveBegin { .. } | Request::InteractiveRespond { .. } => &m.stats,
+        Request::Audit { .. } => &m.stats,
     };
     counter.fetch_add(1, Ordering::Relaxed);
 }
@@ -1071,6 +1122,347 @@ impl ChunkSessions {
             other => ChunkStep::Pass(other),
         }
     }
+}
+
+/// One open interactive-verification session (wire v8): the graph and
+/// Merlin's commitment parked between the `InteractiveBegin` that got
+/// the public coin back and the `InteractiveRespond` that closes the
+/// round.
+struct InteractiveSession {
+    session: u64,
+    challenge: u64,
+    graph: Graph,
+    commit: Assignment,
+}
+
+/// What the connection layer does with a decoded request after the
+/// interactive-session filter has seen it. Mirrors [`ChunkStep`],
+/// minus the enqueue arm: the dMAM verifier is a linear-time scan of
+/// the committed payloads — far below a prove — so both rounds are
+/// answered right here and never visit the worker pool.
+pub(crate) enum InteractiveStep {
+    /// Not an interactive kind: process it like any other request.
+    Pass(Request),
+    /// Answered at the connection layer, consuming exactly one
+    /// sequence number — the same pipelining contract chunk sessions
+    /// keep.
+    Reply(Response),
+}
+
+/// Per-connection interactive-session tracker (at most one active
+/// session — a second Begin replaces the first, which is also the
+/// client's clean reset path). Both front ends own one per connection
+/// and run every decoded request through [`step`] after the chunk
+/// filter.
+///
+/// [`step`]: InteractiveSessions::step
+#[derive(Default)]
+pub(crate) struct InteractiveSessions {
+    active: Option<InteractiveSession>,
+}
+
+impl InteractiveSessions {
+    /// Kills the active session (if any) with an error response; the
+    /// connection — and its sequence numbers — survive.
+    fn fail(&mut self, m: &Metrics, msg: String) -> InteractiveStep {
+        self.active = None;
+        m.errors.fetch_add(1, Ordering::Relaxed);
+        InteractiveStep::Reply(Response::Error(msg))
+    }
+
+    /// Runs one decoded request through the session state machine.
+    pub(crate) fn step(&mut self, req: Request, shared: &Shared) -> InteractiveStep {
+        match req {
+            Request::InteractiveBegin {
+                session,
+                seed,
+                graph,
+                commit,
+                scheme,
+            } => {
+                // a fresh Begin replaces whatever round was half open
+                self.active = None;
+                let Some(entry) = shared.registry.get(scheme) else {
+                    return InteractiveStep::Reply(unknown_scheme(shared, scheme, 1));
+                };
+                if !entry.caps.interactive {
+                    return self.fail(
+                        &shared.metrics,
+                        format!(
+                            "scheme {} does not run interactive sessions \
+                             (the dMAM protocol is defined for planarity)",
+                            entry.name
+                        ),
+                    );
+                }
+                shared
+                    .metrics
+                    .interactive_sessions
+                    .fetch_add(1, Ordering::Relaxed);
+                // Arthur's public coin is a pure function of the seed
+                // the client committed to, so a logged (trace id,
+                // seed) pair replays to the same challenge — and the
+                // same verdict
+                let challenge = challenge_from_seed(seed);
+                self.active = Some(InteractiveSession {
+                    session,
+                    challenge,
+                    graph,
+                    commit,
+                });
+                InteractiveStep::Reply(Response::Challenge { session, challenge })
+            }
+            Request::InteractiveRespond { session, response } => {
+                let Some(st) = self.active.take() else {
+                    return self.fail(
+                        &shared.metrics,
+                        "interactive response outside a session".into(),
+                    );
+                };
+                if st.session != session {
+                    let open = st.session;
+                    return self.fail(
+                        &shared.metrics,
+                        format!(
+                            "interactive response for session {session} \
+                             but session {open} is open"
+                        ),
+                    );
+                }
+                if response.certs.len() != st.graph.node_count() {
+                    return self.fail(
+                        &shared.metrics,
+                        format!(
+                            "response for {} nodes on a {}-node graph",
+                            response.certs.len(),
+                            st.graph.node_count()
+                        ),
+                    );
+                }
+                // contained like any worker handler: a panicking
+                // verifier must never take down a reactor loop
+                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_forged(
+                        &DmamPlanarity::new(),
+                        &st.graph,
+                        st.challenge,
+                        &st.commit,
+                        &response,
+                    )
+                }));
+                let Ok(outcome) = run else {
+                    return self.fail(
+                        &shared.metrics,
+                        "internal error: the interactive verifier panicked".into(),
+                    );
+                };
+                let accept = outcome.all_accept();
+                if !accept {
+                    shared
+                        .metrics
+                        .interactive_rejects
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                InteractiveStep::Reply(Response::Verdict {
+                    session,
+                    challenge: st.challenge,
+                    accept,
+                    reject_count: outcome.reject_count() as u64,
+                    nodes: st.graph.node_count() as u64,
+                    max_commit_bits: outcome.max_commit_bits as u64,
+                    max_response_bits: outcome.max_response_bits as u64,
+                    soundness_ppm: soundness_ppm(&st.graph),
+                })
+            }
+            other => InteractiveStep::Pass(other),
+        }
+    }
+
+    /// Drops an abandoned session when its connection closes.
+    pub(crate) fn abandon(&mut self) {
+        self.active = None;
+    }
+}
+
+/// The dMAM planarity protocol's per-session soundness bound, in
+/// parts per million. The challenge opens one uniformly random port
+/// per node, so each endpoint of a cheated edge probes it with
+/// probability at least `1/Δ` — a forged proof survives the round
+/// with probability at most `1 − 1/Δ`.
+fn soundness_ppm(g: &Graph) -> u64 {
+    let max_deg = (0..g.node_count() as u32)
+        .map(|v| g.degree(v))
+        .max()
+        .unwrap_or(0)
+        .max(1) as u64;
+    1_000_000 - 1_000_000 / max_deg
+}
+
+/// Records one audit sweep samples (the background cadence; `dpc
+/// audit` picks its own count).
+const AUDIT_SWEEP_SAMPLES: u64 = 16;
+
+/// Vertices re-verified per sampled certified record.
+const AUDIT_VERIFY_NODES: u64 = 4;
+
+/// Seed family of the background auditor (an arbitrary tag; each
+/// sweep derives its sampling seed from this and its sweep index).
+const AUDIT_SEED_BASE: u64 = 0xd9c5_a11d_17ab_c0de;
+
+/// What one audit pass did (the `AuditReport` payload).
+pub(crate) struct AuditOutcome {
+    pub(crate) sampled: u64,
+    pub(crate) failed: u64,
+    pub(crate) quarantined: u64,
+}
+
+/// One randomized audit pass: deterministically samples up to
+/// `samples` stored records (seeded by `seed`, without replacement)
+/// and re-checks each one end to end — decode, a Freivalds-style
+/// fingerprint of the stored suffix bytes against a re-encode of the
+/// decoded entry, the outcome/assignment cross-checks, and the
+/// per-node verifier predicate on a random vertex subset. Records
+/// whose bytes are CRC-valid but fail any of these are quarantined
+/// from both cache tiers (and counted); the content address makes
+/// that safe — the key is simply re-proved on its next query, so
+/// live traffic sees a cache miss, never a wrong answer.
+pub(crate) fn audit_pass(shared: &Arc<Shared>, samples: u64, seed: u64) -> AuditOutcome {
+    shared.metrics.audit_sweeps.fetch_add(1, Ordering::Relaxed);
+    let mut out = AuditOutcome {
+        sampled: 0,
+        failed: 0,
+        quarantined: 0,
+    };
+    // bypass-cache entries carry no keyed bytes and are not
+    // addressable, so they cannot be audited (or served) anyway
+    let records: Vec<StoreRecord> = shared
+        .cache
+        .iter_content()
+        .filter_map(|r| r.ok())
+        .filter(|r| !r.keyed.is_empty())
+        .collect();
+    if records.is_empty() {
+        return out;
+    }
+    let mut picked: HashSet<usize> = HashSet::new();
+    for i in 0..samples {
+        let idx = (fingerprint::derive(seed, i) % records.len() as u64) as usize;
+        if !picked.insert(idx) {
+            continue; // sampling without replacement
+        }
+        let record = &records[idx];
+        out.sampled += 1;
+        // a panic on hostile bytes is itself an audit failure, not a
+        // store-thread crash
+        let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            audit_record(shared, record, seed)
+        }))
+        .unwrap_or(false);
+        if !ok {
+            out.failed += 1;
+            if shared.cache.quarantine(record.key()) {
+                out.quarantined += 1;
+            }
+        }
+    }
+    let m = &shared.metrics;
+    m.audit_sampled.fetch_add(out.sampled, Ordering::Relaxed);
+    m.audit_failed.fetch_add(out.failed, Ordering::Relaxed);
+    m.audit_quarantined
+        .fetch_add(out.quarantined, Ordering::Relaxed);
+    out
+}
+
+/// Re-checks one stored record; `false` means quarantine it. The
+/// checks are layered from cheap to expensive, and every decode
+/// failure is a failure — `dpc store verify` already proved the CRC
+/// holds, so a record that fails *these* checks was corrupted before
+/// its checksum was (re)computed.
+fn audit_record(shared: &Arc<Shared>, record: &StoreRecord, seed: u64) -> bool {
+    // the content address: scheme id + canonical graph
+    let mut keyed = record.keyed.as_slice();
+    let Ok(scheme_raw) = get_uvarint(&mut keyed) else {
+        return false;
+    };
+    let scheme_id = SchemeId(scheme_raw as u16);
+    let Ok(graph) = wire::decode_graph(&mut keyed) else {
+        return false;
+    };
+    if !keyed.is_empty() || scheme_raw > u16::MAX as u64 {
+        return false;
+    }
+    let Some(entry) = shared.registry.get(scheme_id) else {
+        // a record for a scheme this server does not register is not
+        // auditable here; leave it for a node that registers it
+        return true;
+    };
+    let Ok(cached) = record.to_entry() else {
+        return false;
+    };
+    // Freivalds-style cross-check: the stored suffix bytes must
+    // fingerprint identically to a re-encode of what they decoded to,
+    // at a random evaluation point — any byte flip that survives
+    // decoding perturbs the polynomial with probability ≈ 1 − 1/p
+    let r = fingerprint::derive(seed, record.key().0 as u64);
+    if fingerprint::fingerprint(&limbs(&record.suffix), r)
+        != fingerprint::fingerprint(&limbs(&cached.record().suffix), r)
+    {
+        return false;
+    }
+    let ProveResult::Certified {
+        assignment,
+        outcome,
+    } = &cached.result
+    else {
+        // a declined record holds only its reason string, which the
+        // fingerprint above already pinned
+        return true;
+    };
+    let n = graph.node_count();
+    // outcome/assignment consistency: a flipped verdict bit or a
+    // tampered size field disagrees with the certificates themselves
+    if assignment.certs.len() != n
+        || outcome.verdicts.len() != n
+        || !outcome.all_accept()
+        || outcome.max_cert_bits != assignment.max_bits()
+    {
+        return false;
+    }
+    // re-run the per-node verifier predicate on a random vertex
+    // subset — exactly the check the distributed nodes ran when the
+    // certificate was first issued
+    for j in 0..AUDIT_VERIFY_NODES.min(n as u64) {
+        let v = (fingerprint::derive(r, j) % n as u64) as u32;
+        let ctx = NodeCtx {
+            node: v,
+            id: graph.id_of(v),
+            neighbor_ids: graph.neighbors(v).map(|w| graph.id_of(w)).collect(),
+        };
+        let neighbors: Vec<Payload> = graph
+            .neighbors(v)
+            .map(|w| assignment.certs[w as usize].clone())
+            .collect();
+        if !entry
+            .scheme()
+            .verify(&ctx, &assignment.certs[v as usize], &neighbors)
+        {
+            return false;
+        }
+    }
+    true
+}
+
+/// Folds bytes into the u64 limbs the fingerprint polynomial takes
+/// (little-endian, zero-padded tail).
+fn limbs(bytes: &[u8]) -> Vec<u64> {
+    bytes
+        .chunks(8)
+        .map(|c| {
+            let mut buf = [0u8; 8];
+            buf[..c.len()].copy_from_slice(c);
+            u64::from_le_bytes(buf)
+        })
+        .collect()
 }
 
 fn finish(shared: &Shared, job: &Job, body: Vec<u8>) {
@@ -1631,6 +2023,18 @@ fn process_single_inner(shared: &Arc<Shared>, req: &Request) -> Vec<u8> {
                 .fetch_add(duplicates, Ordering::Relaxed);
             Response::StorePushed { merged, duplicates }.encode()
         }
+        Request::Audit { samples, seed } => {
+            // an on-demand audit pass (`dpc audit`) — the same sweep
+            // the background auditor runs, with the caller's sizing
+            // and seed, so a reported verdict is reproducible
+            let out = audit_pass(shared, *samples, *seed);
+            Response::AuditReport {
+                sampled: out.sampled,
+                failed: out.failed,
+                quarantined: out.quarantined,
+            }
+            .encode()
+        }
         Request::GraphChunkBegin { .. }
         | Request::GraphChunk { .. }
         | Request::GraphChunkEnd { .. } => {
@@ -1640,6 +2044,13 @@ fn process_single_inner(shared: &Arc<Shared>, req: &Request) -> Vec<u8> {
             // interception fails loudly instead of wedging
             shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
             Response::Error("chunk frames are handled at the connection layer".into()).encode()
+        }
+        Request::InteractiveBegin { .. } | Request::InteractiveRespond { .. } => {
+            // same containment for the interactive kinds, intercepted
+            // by InteractiveSessions at the connection layer
+            shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            Response::Error("interactive frames are handled at the connection layer".into())
+                .encode()
         }
     }
 }
@@ -1786,5 +2197,11 @@ fn snapshot(shared: &Shared) -> StatsSnapshot {
         delegated_proves: m.delegated_proves.load(Ordering::Relaxed),
         delegated_errors: m.delegated_errors.load(Ordering::Relaxed),
         outcome_merges: m.outcome_merges.load(Ordering::Relaxed),
+        audit_sweeps: m.audit_sweeps.load(Ordering::Relaxed),
+        audit_sampled: m.audit_sampled.load(Ordering::Relaxed),
+        audit_failed: m.audit_failed.load(Ordering::Relaxed),
+        audit_quarantined: m.audit_quarantined.load(Ordering::Relaxed),
+        interactive_sessions: m.interactive_sessions.load(Ordering::Relaxed),
+        interactive_rejects: m.interactive_rejects.load(Ordering::Relaxed),
     }
 }

@@ -245,6 +245,16 @@ pub trait CertStore: Send + Sync {
     /// Counters and gauges.
     fn stats(&self) -> StoreStats;
 
+    /// Removes a record by content hash — the quarantine path of the
+    /// randomized store auditor, which pulls records whose bytes are
+    /// CRC-valid but fail re-verification. Returns `Ok(true)` if a
+    /// record was removed. The content address makes this safe: a
+    /// quarantined certificate is simply re-proved on the next query.
+    fn remove(&self, key: GraphHash) -> io::Result<bool> {
+        let _ = key;
+        Ok(false)
+    }
+
     /// Makes previously written records durable (fsync for file
     /// tiers, a no-op for memory tiers).
     fn flush(&self) -> io::Result<()>;
@@ -340,6 +350,21 @@ impl CertStore for MemStore {
         self.inner.lock().expect("mem store poisoned").bytes
     }
 
+    fn remove(&self, key: GraphHash) -> io::Result<bool> {
+        let mut inner = self.inner.lock().expect("mem store poisoned");
+        let Some(i) = inner.index.remove(&key.0) else {
+            return Ok(false);
+        };
+        let record = inner.records.remove(i);
+        inner.bytes -= (record.keyed.len() + record.suffix.len()) as u64;
+        for pos in inner.index.values_mut() {
+            if *pos > i {
+                *pos -= 1;
+            }
+        }
+        Ok(true)
+    }
+
     fn stats(&self) -> StoreStats {
         let inner = self.inner.lock().expect("mem store poisoned");
         StoreStats {
@@ -388,6 +413,10 @@ impl CertStore for CertCache {
 
     fn bytes(&self) -> u64 {
         CertCache::stats(self).bytes
+    }
+
+    fn remove(&self, key: GraphHash) -> io::Result<bool> {
+        Ok(CertCache::remove(self, key))
     }
 
     fn stats(&self) -> StoreStats {

@@ -605,6 +605,22 @@ impl CertStore for SegmentStore {
         Ok(true)
     }
 
+    fn remove(&self, key: GraphHash) -> io::Result<bool> {
+        let mut inner = self.inner.lock().expect("store poisoned");
+        let Some(loc) = inner.index.remove(&key.0) else {
+            return Ok(false);
+        };
+        inner.live_bytes -= loc.len as u64;
+        // keep `order` naming exactly the indexed keys: compaction
+        // walks it and expects every entry to resolve. Removal is the
+        // rare quarantine path, so the linear scan is acceptable.
+        inner.order.retain(|&k| k != key.0);
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+        // the framed bytes stay in the segment file as garbage until
+        // the next compaction; the index is what serves reads
+        Ok(true)
+    }
+
     fn maintain(&self) -> io::Result<()> {
         let mut inner = self.inner.lock().expect("store poisoned");
         // tombstone-free GC: once dead bytes outweigh the live ones

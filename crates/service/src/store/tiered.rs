@@ -187,6 +187,23 @@ impl TieredCache {
         loaded
     }
 
+    /// Removes a record from *both* tiers — the auditor's quarantine
+    /// path for records whose bytes are CRC-valid but fail
+    /// re-verification. Returns true if either tier held the record.
+    /// Content addressing makes this transparently safe under live
+    /// traffic: the next query for the key misses, re-proves, and
+    /// re-stores a fresh record. The quarantined frame lingers in the
+    /// segment file as garbage until the next compaction; only the
+    /// index serves reads, so it is unreachable immediately.
+    pub fn quarantine(&self, key: GraphHash) -> bool {
+        let hot = self.hot.remove(key);
+        let cold = match &self.cold {
+            Some(cold) => cold.remove(key).unwrap_or(false),
+            None => false,
+        };
+        hot || cold
+    }
+
     /// Fsyncs the cold tier (graceful-shutdown durability).
     pub fn flush(&self) -> io::Result<()> {
         match &self.cold {

@@ -31,6 +31,18 @@
 //! keeps only a partial trailing varint (a handful of bytes) plus the
 //! graph being built, so peak reassembly memory is O(chunk + graph
 //! index) no matter how large the upload is.
+//!
+//! The Interactive* and Audit kinds are the randomized-verification
+//! plane (wire v8). An interactive session is the paper's dMAM
+//! exchange over TCP: the client (Merlin) opens with
+//! `InteractiveBegin` carrying the graph, its commitment assignment,
+//! and the session seed; the server (Arthur) answers with a
+//! `Challenge` derived deterministically from that seed, the client
+//! sends its `InteractiveRespond`, and the server verifies every node
+//! and closes with a `Verdict` carrying the per-node reject count and
+//! the scheme's soundness bound. `Audit` triggers one randomized
+//! store-audit sweep on demand and reports what it sampled,
+//! failed, and quarantined.
 
 use crate::metrics::{SlowLogEntry, StatsSnapshot};
 use crate::registry::SchemeId;
@@ -673,6 +685,46 @@ pub enum Request {
         /// CRC-32 of the whole reassembled payload.
         crc: u32,
     },
+    /// Open an interactive (dMAM) session on this connection: the
+    /// client plays Merlin and commits, the server plays Arthur.
+    /// Answered with a [`Response::Challenge`] whose coin is a pure
+    /// function of `seed`, so the whole transcript is reproducible
+    /// from the seed logged with the session's trace.
+    InteractiveBegin {
+        /// Client-chosen session id; the `InteractiveRespond` frame
+        /// on the same connection must echo it.
+        session: u64,
+        /// Session seed: Arthur's public coin is derived from it
+        /// (`challenge_from_seed`), never drawn from server state.
+        seed: u64,
+        /// The network under interactive certification.
+        graph: Graph,
+        /// Merlin's commitment assignment (round 1 of the dMAM
+        /// exchange).
+        commit: Assignment,
+        /// The registered interactive protocol to run (default:
+        /// planarity).
+        scheme: SchemeId,
+    },
+    /// Merlin's response to the challenge (round 3). Answered with
+    /// the closing [`Response::Verdict`].
+    InteractiveRespond {
+        /// Session id from `InteractiveBegin`.
+        session: u64,
+        /// The response assignment, opened against the challenge.
+        response: Assignment,
+    },
+    /// Run one randomized store-audit sweep now: sample stored
+    /// certificates, re-verify a random vertex subset of each, and
+    /// quarantine records whose bytes are CRC-valid but fail
+    /// verification. Answered with a [`Response::AuditReport`].
+    Audit {
+        /// Records to sample in this sweep (0 means the server's
+        /// default).
+        samples: u64,
+        /// Sampling seed, so a sweep is reproducible.
+        seed: u64,
+    },
 }
 
 impl Request {
@@ -684,13 +736,16 @@ impl Request {
             | Request::Check { scheme, .. }
             | Request::Gen { scheme, .. }
             | Request::SoundnessProbe { scheme, .. }
-            | Request::GraphChunkBegin { scheme, .. } => Some(*scheme),
+            | Request::GraphChunkBegin { scheme, .. }
+            | Request::InteractiveBegin { scheme, .. } => Some(*scheme),
             Request::Stats
             | Request::SlowLog
             | Request::StoreList
             | Request::StorePush { .. }
             | Request::GraphChunk { .. }
-            | Request::GraphChunkEnd { .. } => None,
+            | Request::GraphChunkEnd { .. }
+            | Request::InteractiveRespond { .. }
+            | Request::Audit { .. } => None,
         }
     }
 
@@ -709,6 +764,9 @@ impl Request {
             Request::GraphChunkBegin { .. } => REQ_CHUNK_BEGIN,
             Request::GraphChunk { .. } => REQ_CHUNK,
             Request::GraphChunkEnd { .. } => REQ_CHUNK_END,
+            Request::InteractiveBegin { .. } => REQ_INTERACTIVE_BEGIN,
+            Request::InteractiveRespond { .. } => REQ_INTERACTIVE_RESPOND,
+            Request::Audit { .. } => REQ_AUDIT,
         }) as u8
     }
 }
@@ -724,6 +782,9 @@ const REQ_STOREPUSH: u64 = 8;
 const REQ_CHUNK_BEGIN: u64 = 9;
 const REQ_CHUNK: u64 = 10;
 const REQ_CHUNK_END: u64 = 11;
+const REQ_INTERACTIVE_BEGIN: u64 = 12;
+const REQ_INTERACTIVE_RESPOND: u64 = 13;
+const REQ_AUDIT: u64 = 14;
 
 // Borrowing encoders: build a frame body straight from a `&Graph`,
 // without constructing an owned `Request` (the client's hot path —
@@ -806,6 +867,45 @@ pub fn encode_chunk_end_request(
     put_uvarint(&mut out, total_chunks);
     put_uvarint(&mut out, total_bytes);
     out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Frame body of an InteractiveBegin request: Merlin's opening move
+/// (session, seed, graph, commitment), built straight from borrows so
+/// the commitment assignment is never cloned.
+pub fn encode_interactive_begin_request(
+    session: u64,
+    seed: u64,
+    graph: &Graph,
+    commit: &Assignment,
+    scheme: SchemeId,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(commit.byte_size() + 64);
+    put_uvarint(&mut out, REQ_INTERACTIVE_BEGIN);
+    put_uvarint(&mut out, session);
+    put_uvarint(&mut out, seed);
+    encode_graph(&mut out, graph);
+    commit.encode_into(&mut out);
+    encode_extensions(&mut out, scheme);
+    out
+}
+
+/// Frame body of an InteractiveRespond request (round 3: Merlin
+/// opens the committed structure against the challenge).
+pub fn encode_interactive_respond_request(session: u64, response: &Assignment) -> Vec<u8> {
+    let mut out = Vec::with_capacity(response.byte_size() + 16);
+    put_uvarint(&mut out, REQ_INTERACTIVE_RESPOND);
+    put_uvarint(&mut out, session);
+    response.encode_into(&mut out);
+    out
+}
+
+/// Frame body of an Audit request.
+pub fn encode_audit_request(samples: u64, seed: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_uvarint(&mut out, REQ_AUDIT);
+    put_uvarint(&mut out, samples);
+    put_uvarint(&mut out, seed);
     out
 }
 
@@ -942,6 +1042,17 @@ impl Request {
                 total_bytes,
                 crc,
             } => encode_chunk_end_request(*session, *total_chunks, *total_bytes, *crc),
+            Request::InteractiveBegin {
+                session,
+                seed,
+                graph,
+                commit,
+                scheme,
+            } => encode_interactive_begin_request(*session, *seed, graph, commit, *scheme),
+            Request::InteractiveRespond { session, response } => {
+                encode_interactive_respond_request(*session, response)
+            }
+            Request::Audit { samples, seed } => encode_audit_request(*samples, *seed),
         }
     }
 
@@ -1074,6 +1185,34 @@ impl Request {
                     crc,
                 }
             }
+            REQ_INTERACTIVE_BEGIN => {
+                let session = get_uvarint(&mut buf)?;
+                let seed = get_uvarint(&mut buf)?;
+                let graph = decode_graph(&mut buf)?;
+                let commit = Assignment::decode_from(&mut buf)?;
+                if commit.certs.len() != graph.node_count() {
+                    return Err(protocol(format!(
+                        "commitment for {} nodes on a {}-node graph",
+                        commit.certs.len(),
+                        graph.node_count()
+                    )));
+                }
+                Request::InteractiveBegin {
+                    session,
+                    seed,
+                    graph,
+                    commit,
+                    scheme: decode_extensions(&mut buf)?,
+                }
+            }
+            REQ_INTERACTIVE_RESPOND => Request::InteractiveRespond {
+                session: get_uvarint(&mut buf)?,
+                response: Assignment::decode_from(&mut buf)?,
+            },
+            REQ_AUDIT => Request::Audit {
+                samples: get_uvarint(&mut buf)?,
+                seed: get_uvarint(&mut buf)?,
+            },
             k => return Err(protocol(format!("unknown request kind {k}"))),
         };
         if !buf.is_empty() {
@@ -1188,6 +1327,48 @@ pub enum Response {
         /// Chunks received in the session so far (0 for the Begin ack).
         received: u64,
     },
+    /// Arthur's public coin, answering an `InteractiveBegin`. The
+    /// coin is `challenge_from_seed(seed)` — a pure function of the
+    /// session seed, never server randomness — so the transcript is
+    /// reproducible and byte-identical across front ends.
+    Challenge {
+        /// The session the challenge belongs to.
+        session: u64,
+        /// The public coin every node's verifier sees.
+        challenge: u64,
+    },
+    /// The closing verdict of an interactive session, answering an
+    /// `InteractiveRespond`.
+    Verdict {
+        /// The session the verdict closes.
+        session: u64,
+        /// The challenge the response was verified against (echoed).
+        challenge: u64,
+        /// True when every node accepted.
+        accept: bool,
+        /// Number of rejecting nodes.
+        reject_count: u64,
+        /// Nodes verified.
+        nodes: u64,
+        /// Largest per-node commitment, in bits.
+        max_commit_bits: u64,
+        /// Largest per-node response, in bits.
+        max_response_bits: u64,
+        /// The scheme's per-session soundness bound, in parts per
+        /// million: a forged proof on this graph survives one
+        /// challenge with probability at most `soundness_ppm / 1e6`.
+        soundness_ppm: u64,
+    },
+    /// Outcome of one randomized store-audit sweep (Audit answer).
+    AuditReport {
+        /// Records sampled by the sweep.
+        sampled: u64,
+        /// Records that failed re-verification or the fingerprint
+        /// cross-check.
+        failed: u64,
+        /// Records actually removed from the cache and store.
+        quarantined: u64,
+    },
 }
 
 const RESP_ERROR: u64 = 0;
@@ -1202,6 +1383,9 @@ const RESP_STOREKEYS: u64 = 8;
 const RESP_STOREPUSHED: u64 = 9;
 const RESP_CERTIFIED_SUMMARY: u64 = 10;
 const RESP_CHUNK_ACK: u64 = 11;
+const RESP_CHALLENGE: u64 = 12;
+const RESP_VERDICT: u64 = 13;
+const RESP_AUDIT_REPORT: u64 = 14;
 
 /// Upper bound on slow-log rows accepted on decode (well above
 /// [`crate::metrics::SLOW_LOG_CAP`], leaving room for future
@@ -1362,6 +1546,41 @@ impl Response {
                 put_uvarint(&mut out, *session);
                 put_uvarint(&mut out, *received);
             }
+            Response::Challenge { session, challenge } => {
+                put_uvarint(&mut out, RESP_CHALLENGE);
+                put_uvarint(&mut out, *session);
+                put_uvarint(&mut out, *challenge);
+            }
+            Response::Verdict {
+                session,
+                challenge,
+                accept,
+                reject_count,
+                nodes,
+                max_commit_bits,
+                max_response_bits,
+                soundness_ppm,
+            } => {
+                put_uvarint(&mut out, RESP_VERDICT);
+                put_uvarint(&mut out, *session);
+                put_uvarint(&mut out, *challenge);
+                put_uvarint(&mut out, *accept as u64);
+                put_uvarint(&mut out, *reject_count);
+                put_uvarint(&mut out, *nodes);
+                put_uvarint(&mut out, *max_commit_bits);
+                put_uvarint(&mut out, *max_response_bits);
+                put_uvarint(&mut out, *soundness_ppm);
+            }
+            Response::AuditReport {
+                sampled,
+                failed,
+                quarantined,
+            } => {
+                put_uvarint(&mut out, RESP_AUDIT_REPORT);
+                put_uvarint(&mut out, *sampled);
+                put_uvarint(&mut out, *failed);
+                put_uvarint(&mut out, *quarantined);
+            }
         }
         out
     }
@@ -1474,6 +1693,25 @@ impl Response {
             RESP_CHUNK_ACK => Response::ChunkAck {
                 session: get_uvarint(&mut buf)?,
                 received: get_uvarint(&mut buf)?,
+            },
+            RESP_CHALLENGE => Response::Challenge {
+                session: get_uvarint(&mut buf)?,
+                challenge: get_uvarint(&mut buf)?,
+            },
+            RESP_VERDICT => Response::Verdict {
+                session: get_uvarint(&mut buf)?,
+                challenge: get_uvarint(&mut buf)?,
+                accept: get_uvarint(&mut buf)? != 0,
+                reject_count: get_uvarint(&mut buf)?,
+                nodes: get_uvarint(&mut buf)?,
+                max_commit_bits: get_uvarint(&mut buf)?,
+                max_response_bits: get_uvarint(&mut buf)?,
+                soundness_ppm: get_uvarint(&mut buf)?,
+            },
+            RESP_AUDIT_REPORT => Response::AuditReport {
+                sampled: get_uvarint(&mut buf)?,
+                failed: get_uvarint(&mut buf)?,
+                quarantined: get_uvarint(&mut buf)?,
             },
             k => return Err(protocol(format!("unknown response kind {k}"))),
         };
@@ -1985,6 +2223,124 @@ mod tests {
         let (a, b) = bad.split_at(2);
         dec.feed(a).unwrap();
         assert!(dec.feed(b).is_err());
+    }
+
+    #[test]
+    fn interactive_frames_roundtrip() {
+        use dpc_runtime::Payload;
+
+        let g = generators::cycle(4);
+        let commit = Assignment {
+            certs: vec![Payload::from_bytes(vec![0xab], 8); 4],
+        };
+        let begin = encode_interactive_begin_request(9, 77, &g, &commit, SchemeId::PLANARITY);
+        assert_eq!(begin[0] as u64, REQ_INTERACTIVE_BEGIN);
+        match Request::decode(&begin).unwrap() {
+            Request::InteractiveBegin {
+                session: 9,
+                seed: 77,
+                graph,
+                commit: back,
+                scheme: SchemeId::PLANARITY,
+            } => {
+                assert!(graphs_equal(&graph, &g));
+                assert_eq!(back.certs.len(), commit.certs.len());
+            }
+            other => panic!("bad decode: {other:?}"),
+        }
+        assert_eq!(Request::decode(&begin).unwrap().kind_tag(), 12);
+        assert_eq!(
+            Request::decode(&begin).unwrap().scheme(),
+            Some(SchemeId::PLANARITY)
+        );
+
+        // a commitment sized for the wrong graph is rejected
+        let short = Assignment {
+            certs: vec![Payload::from_bytes(vec![0x01], 8); 3],
+        };
+        let bad = encode_interactive_begin_request(9, 77, &g, &short, SchemeId::PLANARITY);
+        assert!(Request::decode(&bad).is_err(), "commit/graph size mismatch");
+
+        let respond = encode_interactive_respond_request(9, &commit);
+        match Request::decode(&respond).unwrap() {
+            Request::InteractiveRespond {
+                session: 9,
+                response,
+            } => {
+                assert_eq!(response.certs.len(), 4);
+            }
+            other => panic!("bad decode: {other:?}"),
+        }
+        assert_eq!(Request::decode(&respond).unwrap().scheme(), None);
+
+        let challenge = Response::Challenge {
+            session: 9,
+            challenge: u64::MAX,
+        };
+        match Response::decode(&challenge.encode()).unwrap() {
+            Response::Challenge { session, challenge } => {
+                assert_eq!((session, challenge), (9, u64::MAX));
+            }
+            other => panic!("{other:?}"),
+        }
+
+        let verdict = Response::Verdict {
+            session: 9,
+            challenge: 42,
+            accept: false,
+            reject_count: 2,
+            nodes: 4,
+            max_commit_bits: 160,
+            max_response_bits: 80,
+            soundness_ppm: 500_000,
+        };
+        match Response::decode(&verdict.encode()).unwrap() {
+            Response::Verdict {
+                session: 9,
+                challenge: 42,
+                accept: false,
+                reject_count: 2,
+                nodes: 4,
+                max_commit_bits: 160,
+                max_response_bits: 80,
+                soundness_ppm: 500_000,
+            } => {}
+            other => panic!("{other:?}"),
+        }
+
+        // trailing bytes after a verdict are rejected
+        let mut trailing = verdict.encode();
+        trailing.push(0);
+        assert!(Response::decode(&trailing).is_err());
+    }
+
+    #[test]
+    fn audit_frames_roundtrip() {
+        let body = encode_audit_request(32, 1234);
+        assert_eq!(body[0] as u64, REQ_AUDIT);
+        match Request::decode(&body).unwrap() {
+            Request::Audit {
+                samples: 32,
+                seed: 1234,
+            } => {}
+            other => panic!("bad decode: {other:?}"),
+        }
+        assert_eq!(Request::decode(&body).unwrap().kind_tag(), 14);
+        assert_eq!(Request::decode(&body).unwrap().scheme(), None);
+
+        let report = Response::AuditReport {
+            sampled: 32,
+            failed: 1,
+            quarantined: 1,
+        };
+        match Response::decode(&report.encode()).unwrap() {
+            Response::AuditReport {
+                sampled: 32,
+                failed: 1,
+                quarantined: 1,
+            } => {}
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

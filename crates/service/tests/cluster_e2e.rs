@@ -9,7 +9,7 @@ use dpc_service::cluster::{graphs_by_owner, ClusterClient, Ring};
 use dpc_service::registry::{SchemeId, SchemeRegistry};
 use dpc_service::store::{CertStore, StoreRecord};
 use dpc_service::wire::Response;
-use dpc_service::{serve, SegmentConfig, SegmentStore, ServeConfig, ServerHandle};
+use dpc_service::{serve, CertifyOptions, SegmentConfig, SegmentStore, ServeConfig, ServerHandle};
 use std::path::PathBuf;
 
 fn scratch_dir(tag: &str) -> PathBuf {
@@ -65,13 +65,17 @@ fn three_node_ring_survives_a_kill_and_merges_the_dead_store() {
         }
     }
     for (g, scheme) in &work {
-        let resp = cc.certify_scheme(g, false, *scheme).unwrap();
+        let resp = cc
+            .certify(g, CertifyOptions::new().scheme(*scheme))
+            .unwrap();
         assert!(
             matches!(resp, Response::Certified { cached: false, .. }),
             "fresh key must prove: {resp:?}"
         );
         // the repeat is a cache hit on the same owning node
-        let again = cc.certify_scheme(g, false, *scheme).unwrap();
+        let again = cc
+            .certify(g, CertifyOptions::new().scheme(*scheme))
+            .unwrap();
         assert!(
             matches!(again, Response::Certified { cached: true, .. }),
             "{again:?}"
@@ -104,7 +108,9 @@ fn three_node_ring_survives_a_kill_and_merges_the_dead_store() {
 
     let mut cc = ClusterClient::new(addrs.clone()).unwrap();
     for (g, scheme) in &work {
-        let resp = cc.certify_scheme(g, false, *scheme).unwrap();
+        let resp = cc
+            .certify(g, CertifyOptions::new().scheme(*scheme))
+            .unwrap();
         assert!(
             matches!(resp, Response::Certified { .. }),
             "failover must answer: {resp:?}"
@@ -292,7 +298,7 @@ fn distributed_summary_fold_is_byte_identical_to_the_sequential_one() {
         .iter()
         .map(|g| {
             match single
-                .certify_summary(g, true, SchemeId::PLANARITY)
+                .certify(g, CertifyOptions::new().bypass().summary())
                 .unwrap()
             {
                 Response::CertifiedSummary { outcome, .. } => Ok(outcome),

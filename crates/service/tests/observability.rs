@@ -1,7 +1,7 @@
 //! End-to-end tests of the tracing plane: per-stage histograms, the
 //! slow-request log, and the Prometheus scrape endpoint.
 
-use dpc_service::{Client, ServeConfig, ServerHandle, StatsSnapshot};
+use dpc_service::{CheckOptions, Client, ServeConfig, ServerHandle, StatsSnapshot};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -48,7 +48,7 @@ fn stage_counts_sum_to_completed_requests(event_loop: bool) {
                 client.certify(&g, false).unwrap();
             }
             1 => {
-                client.check(&g).unwrap();
+                client.check(&g, CheckOptions::new()).unwrap();
             }
             _ => {
                 client.stats().unwrap();

@@ -7,6 +7,7 @@ use dpc_service::client::Client;
 use dpc_service::registry::{SchemeId, SchemeRegistry};
 use dpc_service::server::{serve, serve_with_registry, ServeConfig};
 use dpc_service::wire::{self, CheckVerdict, Request, Response};
+use dpc_service::{CertifyOptions, CheckOptions, SoundnessOptions};
 
 fn test_server() -> dpc_service::ServerHandle {
     serve("127.0.0.1:0", ServeConfig::default()).expect("bind loopback")
@@ -30,7 +31,10 @@ fn four_schemes_certify_over_the_wire() {
     ];
     let mut max_bits = Vec::new();
     for (id, name, g) in &cases {
-        match client.certify_scheme(g, false, *id).unwrap() {
+        match client
+            .certify(g, CertifyOptions::new().scheme(*id))
+            .unwrap()
+        {
             Response::Certified {
                 cached: false,
                 outcome,
@@ -42,7 +46,10 @@ fn four_schemes_certify_over_the_wire() {
             }
             other => panic!("{name}: {other:?}"),
         }
-        match client.certify_scheme(g, false, *id).unwrap() {
+        match client
+            .certify(g, CertifyOptions::new().scheme(*id))
+            .unwrap()
+        {
             Response::Certified { cached: true, .. } => {}
             other => panic!("{name} repeat must hit its cache: {other:?}"),
         }
@@ -84,7 +91,9 @@ fn per_scheme_cache_isolation_over_every_registered_scheme() {
         .map(|e| e.id)
         .collect();
     for (i, &id) in ids.iter().enumerate() {
-        let first = client.certify_scheme(&g, false, id).unwrap();
+        let first = client
+            .certify(&g, CertifyOptions::new().scheme(id))
+            .unwrap();
         match first {
             Response::Certified { cached, .. } | Response::Declined { cached, .. } => {
                 assert!(
@@ -98,7 +107,10 @@ fn per_scheme_cache_isolation_over_every_registered_scheme() {
     }
     // and every scheme's own repeat *is* a hit
     for &id in &ids {
-        match client.certify_scheme(&g, false, id).unwrap() {
+        match client
+            .certify(&g, CertifyOptions::new().scheme(id))
+            .unwrap()
+        {
             Response::Certified { cached, .. } | Response::Declined { cached, .. } => {
                 assert!(cached, "scheme {id}: repeat must hit its own entry");
             }
@@ -147,7 +159,7 @@ fn unknown_scheme_id_is_a_clean_error() {
     }
     // the connection survives: a well-formed request still works
     match client
-        .certify_scheme(&g, false, SchemeId::BIPARTITE)
+        .certify(&g, CertifyOptions::new().scheme(SchemeId::BIPARTITE))
         .unwrap()
     {
         Response::Certified { .. } => {}
@@ -193,7 +205,7 @@ fn corrupt_extension_blocks_get_error_responses() {
         }
     }
     // stream still in sync
-    match client.check(&g).unwrap() {
+    match client.check(&g, CheckOptions::new()).unwrap() {
         Response::Checked(CheckVerdict::Planar { .. }) => {}
         other => panic!("{other:?}"),
     }
@@ -208,20 +220,23 @@ fn check_and_soundness_route_by_scheme() {
     let mut client = Client::connect(handle.addr()).unwrap();
 
     // planarity keeps the rich verdict
-    match client.check(&generators::grid(4, 4)).unwrap() {
+    match client
+        .check(&generators::grid(4, 4), CheckOptions::new())
+        .unwrap()
+    {
         Response::Checked(CheckVerdict::Planar { genus: 0, .. }) => {}
         other => panic!("{other:?}"),
     }
     // bipartite: generic membership
     match client
-        .check_scheme(&generators::cycle(8), SchemeId::BIPARTITE)
+        .check(&generators::cycle(8), SchemeId::BIPARTITE)
         .unwrap()
     {
         Response::Checked(CheckVerdict::Member { scheme }) => assert_eq!(scheme, "bipartite"),
         other => panic!("{other:?}"),
     }
     match client
-        .check_scheme(&generators::cycle(9), SchemeId::BIPARTITE)
+        .check(&generators::cycle(9), SchemeId::BIPARTITE)
         .unwrap()
     {
         Response::Checked(CheckVerdict::NonMember { scheme, reason }) => {
@@ -232,7 +247,7 @@ fn check_and_soundness_route_by_scheme() {
     }
     // mod-counter membership through the generic prover
     let blocks = path_of_blocks(4, &[1, 2]).graph;
-    match client.check_scheme(&blocks, SchemeId::MOD_COUNTER).unwrap() {
+    match client.check(&blocks, SchemeId::MOD_COUNTER).unwrap() {
         Response::Checked(CheckVerdict::Member { scheme }) => assert_eq!(scheme, "mod-counter"),
         other => panic!("{other:?}"),
     }
@@ -244,7 +259,12 @@ fn check_and_soundness_route_by_scheme() {
     }
     // ... spanning-tree (a class with no no-instances) does not
     match client
-        .soundness_scheme(&bad, 1, SchemeId::SPANNING_TREE)
+        .soundness(
+            &bad,
+            SoundnessOptions::new()
+                .seed(1)
+                .scheme(SchemeId::SPANNING_TREE),
+        )
         .unwrap()
     {
         Response::Error(e) => assert!(e.contains("does not support soundness probes"), "{e}"),
@@ -262,7 +282,7 @@ fn restricted_registry_rejects_unregistered_schemes() {
     let mut client = Client::connect(handle.addr()).unwrap();
     let g = generators::grid(4, 4);
     match client
-        .certify_scheme(&g, false, SchemeId::BIPARTITE)
+        .certify(&g, CertifyOptions::new().scheme(SchemeId::BIPARTITE))
         .unwrap()
     {
         Response::Certified { .. } => {}

@@ -10,7 +10,7 @@ use dpc_service::cluster::{graph_key, graphs_by_owner, ClusterClient, Ring};
 use dpc_service::registry::SchemeId;
 use dpc_service::store::{CertStore, SegmentConfig, SegmentStore, StoreRecord};
 use dpc_service::wire::Response;
-use dpc_service::{serve, Client, ServeConfig, ServerHandle};
+use dpc_service::{serve, CertifyOptions, Client, ServeConfig, ServerHandle};
 use std::collections::{BTreeSet, HashMap};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
@@ -95,7 +95,9 @@ fn killed_replica_loses_no_requests_and_anti_entropy_converges_it() {
     }
     let mut cc = ClusterClient::over(ring.clone()).with_replication(2);
     for (g, scheme) in &work {
-        let resp = cc.certify_scheme(g, false, *scheme).unwrap();
+        let resp = cc
+            .certify(g, CertifyOptions::new().scheme(*scheme))
+            .unwrap();
         assert!(
             matches!(resp, Response::Certified { cached: false, .. }),
             "fresh key must prove: {resp:?}"
@@ -130,7 +132,9 @@ fn killed_replica_loses_no_requests_and_anti_entropy_converges_it() {
     handles.remove(victim).shutdown();
     let mut cc = ClusterClient::over(ring.clone()).with_replication(2);
     for (g, scheme) in &work {
-        let resp = cc.certify_scheme(g, false, *scheme).unwrap();
+        let resp = cc
+            .certify(g, CertifyOptions::new().scheme(*scheme))
+            .unwrap();
         // every answer comes straight from a surviving replica's
         // cache — the kill cannot force a re-prove
         assert!(

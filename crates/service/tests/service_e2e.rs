@@ -7,6 +7,7 @@ use dpc_service::cache::CacheConfig;
 use dpc_service::client::Client;
 use dpc_service::server::{serve, ServeConfig};
 use dpc_service::wire::{CheckVerdict, Request, Response};
+use dpc_service::{CertifyOptions, CheckOptions, GenOptions};
 use std::time::Instant;
 
 fn test_server() -> dpc_service::ServerHandle {
@@ -125,14 +126,20 @@ fn check_gen_soundness_and_stats_roundtrip() {
     let handle = test_server();
     let mut client = Client::connect(handle.addr()).unwrap();
 
-    match client.check(&generators::grid(4, 4)).unwrap() {
+    match client
+        .check(&generators::grid(4, 4), CheckOptions::new())
+        .unwrap()
+    {
         Response::Checked(CheckVerdict::Planar { faces, genus }) => {
             assert_eq!(genus, 0);
             assert!(faces > 1);
         }
         other => panic!("{other:?}"),
     }
-    match client.check(&generators::complete(5)).unwrap() {
+    match client
+        .check(&generators::complete(5), CheckOptions::new())
+        .unwrap()
+    {
         Response::Checked(CheckVerdict::NonPlanar {
             k5, branch_nodes, ..
         }) => {
@@ -142,9 +149,11 @@ fn check_gen_soundness_and_stats_roundtrip() {
         other => panic!("{other:?}"),
     }
 
-    let g = client.gen("triangulation", 30, 7).unwrap();
+    let g = client
+        .gen("triangulation", 30, 7, GenOptions::new())
+        .unwrap();
     assert_eq!(g.node_count(), 30);
-    assert!(client.gen("nosuch", 10, 0).is_err());
+    assert!(client.gen("nosuch", 10, 0, GenOptions::new()).is_err());
 
     let bad = generators::planted_kuratowski(18, true, 1, 3);
     match client.soundness(&bad, 1).unwrap() {
@@ -473,7 +482,7 @@ fn chunked_upload_certifies_like_a_single_frame() {
     let g = generators::stacked_triangulation(200, 3);
     let reference = certify_pls(&PlanarityScheme::new(), &g).unwrap();
 
-    match client.certify_chunked(&g, false, dpc_service::SchemeId::PLANARITY, 1) {
+    match client.certify(&g, CertifyOptions::new().chunked(1)) {
         Ok(Response::CertifiedSummary {
             cached: false,
             outcome,
@@ -490,7 +499,7 @@ fn chunked_upload_certifies_like_a_single_frame() {
         other => panic!("{other:?}"),
     }
     // and a repeated chunked upload answers the summary from cache
-    match client.certify_chunked(&g, false, dpc_service::SchemeId::PLANARITY, 64) {
+    match client.certify(&g, CertifyOptions::new().chunked(64)) {
         Ok(Response::CertifiedSummary {
             cached: true,
             outcome,
@@ -530,7 +539,7 @@ fn chunked_upload_of_a_disconnected_graph_merges_components() {
     // …but the summary path proves per component and merges: the
     // merged outcome must equal the whole-graph reference fold built
     // from the components in node order
-    let outcome = match client.certify_chunked(&g, false, dpc_service::SchemeId::PLANARITY, 64) {
+    let outcome = match client.certify(&g, CertifyOptions::new().chunked(64)) {
         Ok(Response::CertifiedSummary {
             cached: false,
             outcome,
@@ -640,7 +649,7 @@ fn malformed_chunk_streams_abort_cleanly_and_the_connection_survives() {
 
     // the connection survives it all: a clean upload and a plain
     // certify still answer normally
-    match client.certify_chunked(&g, false, scheme, 7) {
+    match client.certify(&g, CertifyOptions::new().scheme(scheme).chunked(7)) {
         Ok(Response::CertifiedSummary { outcome, .. }) => assert!(outcome.all_accept()),
         other => panic!("{other:?}"),
     }

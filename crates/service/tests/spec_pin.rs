@@ -27,6 +27,14 @@ const STOREPUSHED_BLOCK: usize = 6;
 /// indices stay stable.
 const CHUNK_STREAM_BLOCK: usize = 7;
 const CHUNK_ACK_BLOCK: usize = 8;
+/// §10's interactive session (two request frames, then the two
+/// response bodies) and §11's audit exchange, appended in document
+/// order after the chunked-upload blocks.
+const INTERACTIVE_STREAM_BLOCK: usize = 9;
+const CHALLENGE_BLOCK: usize = 10;
+const VERDICT_BLOCK: usize = 11;
+const AUDIT_REQUEST_BLOCK: usize = 12;
+const AUDIT_REPORT_BLOCK: usize = 13;
 
 /// The hex bytes of the `index`-th ```hex fenced block in the spec
 /// (1-based), comments (`# ...`) stripped.
@@ -107,6 +115,12 @@ fn spec_stats_snapshot() -> StatsSnapshot {
         delegated_proves: 0,
         delegated_errors: 0,
         outcome_merges: 0,
+        audit_sweeps: 0,
+        audit_sampled: 0,
+        audit_failed: 0,
+        audit_quarantined: 0,
+        interactive_sessions: 0,
+        interactive_rejects: 0,
     }
 }
 
@@ -246,12 +260,18 @@ fn spec_stats_example_keeps_the_v2_prefix_decodable() {
         .map(|_| get_uvarint(&mut buf).expect("v6 counter"))
         .collect();
     assert_eq!(tail, vec![2, 1, 2, 4, 0]);
-    // …and finally the v7 chunked-upload + distributed-proving tail
-    // (all zero in the worked example), and nothing else
+    // …then the v7 chunked-upload + distributed-proving tail (all
+    // zero in the worked example)…
     let tail: Vec<u64> = (0..8)
         .map(|_| get_uvarint(&mut buf).expect("v7 counter"))
         .collect();
     assert_eq!(tail, vec![0; 8]);
+    // …and finally the v8 audit + interactive tail (also all zero),
+    // and nothing else
+    let tail: Vec<u64> = (0..6)
+        .map(|_| get_uvarint(&mut buf).expect("v8 counter"))
+        .collect();
+    assert_eq!(tail, vec![0; 6]);
     assert!(buf.is_empty());
 }
 
@@ -384,6 +404,142 @@ fn spec_chunk_ack_example_is_the_real_encoding() {
         Response::ChunkAck {
             session: 7,
             received: 0,
+        } => {}
+        other => panic!("spec example decoded as {other:?}"),
+    }
+}
+
+#[test]
+fn spec_interactive_session_example_is_the_real_encoding() {
+    use dpc_interactive::dmam::{challenge_from_seed, DmamPlanarity, DmamProtocol};
+    let doc = spec_example_bytes(INTERACTIVE_STREAM_BLOCK);
+    // the documented session: C4, session 1, seed 5, scheme 0 — the
+    // commitment and response are the honest prover's, so the bytes
+    // are reproducible from the protocol alone
+    let g = generators::cycle(4);
+    let proto = DmamPlanarity::new();
+    let commit = proto.commit(&g).expect("C4 commits");
+    let challenge = challenge_from_seed(5);
+    let response = proto.respond(&g, &commit, challenge);
+    let mut expected = Vec::new();
+    for body in [
+        wire::encode_interactive_begin_request(1, 5, &g, &commit, SchemeId::PLANARITY),
+        wire::encode_interactive_respond_request(1, &response),
+    ] {
+        wire::write_frame(&mut expected, &body).unwrap();
+    }
+    assert_eq!(
+        doc, expected,
+        "docs/WIRE.md §10 interactive example drifted from the codec"
+    );
+    // and the documented frames decode to the documented requests
+    let mut cursor = std::io::Cursor::new(doc.as_slice());
+    let mut decoded = Vec::new();
+    while let Some(body) = wire::read_frame(&mut cursor).expect("valid frame") {
+        decoded.push(Request::decode(&body).expect("valid request"));
+    }
+    match decoded.as_slice() {
+        [Request::InteractiveBegin {
+            session: 1,
+            seed: 5,
+            graph,
+            commit: c,
+            scheme: SchemeId::PLANARITY,
+        }, Request::InteractiveRespond {
+            session: 1,
+            response: r,
+        }] => {
+            assert!(wire::graphs_equal(graph, &g));
+            // Assignment has no PartialEq; byte-compare the encodings
+            let enc = |a: &dpc_core::scheme::Assignment| {
+                let mut out = Vec::new();
+                a.encode_into(&mut out);
+                out
+            };
+            assert_eq!(enc(c), enc(&commit));
+            assert_eq!(enc(r), enc(&response));
+        }
+        other => panic!("spec example decoded as {other:?}"),
+    }
+
+    // the Challenge the server answers the Begin with
+    let doc = spec_example_bytes(CHALLENGE_BLOCK);
+    assert_eq!(
+        challenge, 0x49d55178ca54cf69,
+        "docs/WIRE.md §10 documents the wrong challenge for seed 5"
+    );
+    let encoded = Response::Challenge {
+        session: 1,
+        challenge,
+    }
+    .encode();
+    assert_eq!(
+        doc, encoded,
+        "docs/WIRE.md §10 Challenge example drifted from the codec"
+    );
+
+    // and the closing Verdict: the documented proof-size maxima are
+    // the honest run's, and the soundness bound is 1e6 - 1e6/max-degree
+    let doc = spec_example_bytes(VERDICT_BLOCK);
+    let outcome = dpc_interactive::dmam::run_forged(&proto, &g, challenge, &commit, &response);
+    assert!(outcome.all_accept(), "honest C4 session must accept");
+    let encoded = Response::Verdict {
+        session: 1,
+        challenge,
+        accept: true,
+        reject_count: 0,
+        nodes: 4,
+        max_commit_bits: outcome.max_commit_bits as u64,
+        max_response_bits: outcome.max_response_bits as u64,
+        soundness_ppm: 500_000,
+    }
+    .encode();
+    assert_eq!(
+        doc, encoded,
+        "docs/WIRE.md §10 Verdict example drifted from the codec"
+    );
+    match Response::decode(&doc).expect("valid response") {
+        Response::Verdict {
+            accept: true,
+            soundness_ppm: 500_000,
+            ..
+        } => {}
+        other => panic!("spec example decoded as {other:?}"),
+    }
+}
+
+#[test]
+fn spec_audit_examples_are_the_real_encoding() {
+    let doc = spec_example_bytes(AUDIT_REQUEST_BLOCK);
+    let encoded = wire::encode_audit_request(16, 9);
+    assert_eq!(
+        doc, encoded,
+        "docs/WIRE.md §11 Audit example drifted from the codec"
+    );
+    match Request::decode(&doc).expect("valid request") {
+        Request::Audit {
+            samples: 16,
+            seed: 9,
+        } => {}
+        other => panic!("spec example decoded as {other:?}"),
+    }
+
+    let doc = spec_example_bytes(AUDIT_REPORT_BLOCK);
+    let encoded = Response::AuditReport {
+        sampled: 16,
+        failed: 1,
+        quarantined: 1,
+    }
+    .encode();
+    assert_eq!(
+        doc, encoded,
+        "docs/WIRE.md §11 AuditReport example drifted from the codec"
+    );
+    match Response::decode(&doc).expect("valid response") {
+        Response::AuditReport {
+            sampled: 16,
+            failed: 1,
+            quarantined: 1,
         } => {}
         other => panic!("spec example decoded as {other:?}"),
     }

@@ -18,7 +18,7 @@
 //!           [--store-dir <path>] [--store-budget-bytes <n>]
 //!           [--event-loop|--threaded] [--event-loops <n>]
 //!           [--prove-threads <n>] [--idle-timeout-ms <n>]
-//!           [--metrics-addr <addr>] [--slow-ms <n>]
+//!           [--metrics-addr <addr>] [--slow-ms <n>] [--audit]
 //!                           long-running service (default: all
 //!                           schemes, no persistence); with a store
 //!                           dir the certificate cache survives
@@ -28,10 +28,18 @@
 //!                           --metrics-addr serves Prometheus text
 //!                           over plain HTTP GET /metrics; --slow-ms
 //!                           sets the slow-request log threshold
-//!                           (default 1000, 0 disables)
+//!                           (default 1000, 0 disables); --audit runs
+//!                           the randomized store auditor on the
+//!                           maintenance thread (re-verifies sampled
+//!                           certificates and quarantines records
+//!                           whose CRC is valid but whose content no
+//!                           longer verifies)
 //! dpc store stat|compact|verify <dir>
 //!                           offline tools for a --store-dir (do not
 //!                           run against a live server)
+//! dpc store corrupt <dir>   chaos tool: flip one stored verdict and
+//!                           recompute the CRC — `store verify` still
+//!                           passes, only the auditor catches it
 //! dpc store merge <dst> <src...>
 //!                           stream every record of the source stores
 //!                           into <dst>, deduplicating by content key
@@ -46,6 +54,12 @@
 //!                           family "default" routes to the scheme's
 //!                           canonical yes-instance generator
 //! dpc query <addr> soundness [--scheme <name>] <graph6> [seed]
+//! dpc query <addr> interactive <graph6> [seed]
+//!                           one full interactive-certification
+//!                           session (wire v8): commit locally, open
+//!                           the session, answer the server's
+//!                           challenge, print the verdict with the
+//!                           measured soundness bound
 //! dpc query <addr> stats
 //!   every query accepts --wait-ms <n> (retry refused connects for n
 //!   milliseconds — races with a booting server) and --nodes a,b,c
@@ -54,6 +68,11 @@
 //! dpc cluster-stats --nodes a,b,c
 //!                           per-node reachability + Stats, plus the
 //!                           fleet-aggregated view
+//! dpc audit <addr>|--nodes a,b,c [--samples <n>] [--seed <n>]
+//!                           one on-demand audit pass per node: sample
+//!                           stored certificates, re-verify them, and
+//!                           quarantine (and report) any record whose
+//!                           bytes are CRC-valid but no longer verify
 //! dpc slowlog <addr>|--nodes a,b,c
 //!                           the slow-request log: every request whose
 //!                           end-to-end latency crossed the server's
@@ -100,7 +119,10 @@ use dpc_service::cache::CacheConfig;
 use dpc_service::cluster::ClusterClient;
 use dpc_service::registry::{SchemeId, SchemeRegistry};
 use dpc_service::wire::{CheckVerdict, Response};
-use dpc_service::{Client, SegmentConfig, SegmentStore, ServeConfig, SlowLogEntry, StatsSnapshot};
+use dpc_service::{
+    AuditOptions, CertifyOptions, CheckOptions, Client, GenOptions, InteractiveOptions,
+    SegmentConfig, SegmentStore, ServeConfig, SlowLogEntry, SoundnessOptions, StatsSnapshot,
+};
 use std::net::ToSocketAddrs;
 use std::time::{Duration, Instant};
 
@@ -146,6 +168,7 @@ fn run(args: &[&str]) -> Result<String, String> {
         ["store", sub, dir] => store_cmd(sub, dir),
         ["query", rest @ ..] => query_cmd(rest),
         ["cluster-stats", rest @ ..] => cluster_stats_cmd(rest),
+        ["audit", rest @ ..] => audit_cmd(rest),
         ["slowlog", rest @ ..] => slowlog_cmd(rest),
         ["top", rest @ ..] => top_cmd(rest),
         ["bench-serve", rest @ ..] => bench_serve_cmd(rest),
@@ -159,12 +182,13 @@ fn usage() -> String {
      dpc serve <addr> [workers] [cache-mb] [--schemes a,b,c] \
      [--store-dir <path>] [--store-budget-bytes <n>] [--peers a,b,c] \
      [--event-loop|--threaded] [--event-loops <n>] [--prove-threads <n>] \
-     [--idle-timeout-ms <n>] [--metrics-addr <addr>] [--slow-ms <n>]  |  \
-     dpc store stat|compact|verify <dir>  |  \
+     [--idle-timeout-ms <n>] [--metrics-addr <addr>] [--slow-ms <n>] [--audit]  |  \
+     dpc store stat|compact|verify|corrupt <dir>  |  \
      dpc store merge <dst> <src...>  |  \
-     dpc query <addr>|--nodes a,b,c certify|check|gen|soundness|stats \
+     dpc query <addr>|--nodes a,b,c certify|check|gen|soundness|interactive|stats \
      [--chunked] [--scheme <name>] [--wait-ms <n>] [--replication <k>] ...  |  \
      dpc cluster-stats --nodes a,b,c [--wait-ms <n>]  |  \
+     dpc audit <addr>|--nodes a,b,c [--samples <n>] [--seed <n>] [--wait-ms <n>]  |  \
      dpc slowlog <addr>|--nodes a,b,c [--wait-ms <n>]  |  \
      dpc top <addr>|--nodes a,b,c [--once] [--interval-ms <n>] [--wait-ms <n>]  |  \
      dpc bench-serve <addr>|self|--nodes a,b,c [hits] [side] \
@@ -448,6 +472,7 @@ fn serve_cmd(addr: &str, rest: &[&str]) -> Result<String, String> {
             }
             "--event-loop" => cfg.event_loop = true,
             "--threaded" => cfg.event_loop = false,
+            "--audit" => cfg.audit = true,
             "--event-loops" => {
                 cfg.event_loops = value("--event-loops")?
                     .parse::<usize>()
@@ -552,6 +577,11 @@ fn serve_cmd(addr: &str, rest: &[&str]) -> Result<String, String> {
 /// safe against a concurrently serving store.
 fn store_cmd(sub: &str, dir: &str) -> Result<String, String> {
     use dpc_service::store::CertStore;
+    // `corrupt` rewrites segment files directly, without going
+    // through open (open would scan and then race the rewrite)
+    if sub == "corrupt" {
+        return store_corrupt_cmd(dir);
+    }
     // validate the subcommand before opening: open *creates* a store
     // at `dir`, and a typo (`dpc store merge <dst>` with the sources
     // forgotten, `dpc store bogus <dir>`) must not leave a fresh
@@ -621,9 +651,82 @@ fn store_cmd(sub: &str, dir: &str) -> Result<String, String> {
     }
 }
 
+/// Chaos tool behind the auditor's CI smoke: flip one accept verdict
+/// inside the first certified record and recompute the frame CRC.
+/// The store still passes `dpc store verify` — the lie is semantic,
+/// not structural — so only the randomized auditor (`dpc serve
+/// --audit`, `dpc audit`) can tell. Never point it at a store you
+/// care about.
+fn store_corrupt_cmd(dir: &str) -> Result<String, String> {
+    use dpc::core::harness::Outcome;
+    use dpc::core::scheme::Assignment;
+    use dpc_service::store::{crc32, RecordKind, StoreRecord};
+    let mut segs: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {dir}: {e}"))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "dpcs"))
+        .collect();
+    segs.sort();
+    for seg in segs {
+        let bytes =
+            std::fs::read(&seg).map_err(|e| format!("cannot read {}: {e}", seg.display()))?;
+        if bytes.len() < 8 {
+            continue;
+        }
+        let (magic, mut rest) = bytes.split_at(8);
+        let mut rebuilt = magic.to_vec();
+        let mut flipped = false;
+        while rest.len() >= 8 {
+            let total = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+            if total < 4 || rest.len() < total + 4 {
+                return Err(format!("truncated frame in {}", seg.display()));
+            }
+            let frame = &rest[..total + 4];
+            let body = &rest[4..total];
+            rest = &rest[total + 4..];
+            let record = StoreRecord::decode_body(body)
+                .map_err(|e| format!("undecodable record in {}: {e}", seg.display()))?;
+            if record.kind != RecordKind::Certified || flipped {
+                rebuilt.extend_from_slice(frame);
+                continue;
+            }
+            flipped = true;
+            let mut buf = record.suffix.as_slice();
+            let mut outcome = Outcome::decode_from(&mut buf)
+                .map_err(|e| format!("undecodable outcome in {}: {e}", seg.display()))?;
+            let assignment = Assignment::decode_from(&mut buf)
+                .map_err(|e| format!("undecodable assignment in {}: {e}", seg.display()))?;
+            outcome.verdicts[0] = false;
+            let mut suffix = Vec::new();
+            outcome.encode_into(&mut suffix);
+            assignment.encode_into(&mut suffix);
+            let body = StoreRecord {
+                kind: RecordKind::Certified,
+                keyed: record.keyed,
+                suffix,
+            }
+            .encode_body();
+            rebuilt.extend_from_slice(&(body.len() as u32 + 4).to_le_bytes());
+            rebuilt.extend_from_slice(&body);
+            rebuilt.extend_from_slice(&crc32(&body).to_le_bytes());
+        }
+        if flipped {
+            std::fs::write(&seg, rebuilt)
+                .map_err(|e| format!("cannot rewrite {}: {e}", seg.display()))?;
+            return Ok(format!(
+                "flipped one verdict in {} and recomputed the frame CRC; \
+                 `store verify` still passes, only an audit can tell\n",
+                seg.display()
+            ));
+        }
+    }
+    Err(format!("no certified record in {dir} to corrupt"))
+}
+
 /// A cluster client over `nodes`, with the optional connect-retry
 /// window and the replication factor applied (shared by query
-/// --nodes, cluster-stats, and bench-serve --nodes).
+/// --nodes, cluster-stats, audit, and bench-serve --nodes).
 fn ring_client(
     nodes: Vec<String>,
     wait: Option<Duration>,
@@ -644,67 +747,110 @@ fn connect_wait(addr: &str, wait: Option<Duration>) -> Result<Client, String> {
     .map_err(|e| format!("cannot connect to {addr}: {e}"))
 }
 
+/// Where a client-side command points, resolved uniformly across
+/// query / audit / cluster-stats / slowlog / top / bench-serve:
+/// `--nodes a,b,c` names a rendezvous ring; otherwise the first
+/// remaining positional argument is the single server address. The
+/// shared `--wait-ms` (connect retry window) and `--replication`
+/// flags ride along, so every subcommand threads them identically
+/// instead of hand-rolling its own resolution.
+///
+/// Strip command-specific flags from `args` *before* calling
+/// [`Endpoint::take`] — whatever positional is first when it runs is
+/// taken as the address.
+struct Endpoint {
+    /// `Some` for `--nodes`; `None` means `addr` is set.
+    nodes: Option<Vec<String>>,
+    /// The positional server address (`None` exactly when `nodes` is
+    /// `Some`).
+    addr: Option<String>,
+    wait: Option<Duration>,
+    replication: usize,
+}
+
+impl Endpoint {
+    /// Resolves the endpoint from `args`, consuming the conn flags
+    /// and (without `--nodes`) the leading positional address.
+    fn take(args: &mut Vec<&str>) -> Result<Endpoint, String> {
+        let ConnFlags {
+            wait,
+            nodes,
+            replication,
+        } = take_conn_flags(args)?;
+        let addr = match nodes {
+            Some(_) => None,
+            None => {
+                if args.is_empty() {
+                    return Err(usage());
+                }
+                Some(args.remove(0).to_string())
+            }
+        };
+        Ok(Endpoint {
+            nodes,
+            addr,
+            wait,
+            replication,
+        })
+    }
+
+    fn is_ring(&self) -> bool {
+        self.nodes.is_some()
+    }
+
+    /// Opens the target: one connected client, or a lazy ring client.
+    fn open(self) -> Result<Target, String> {
+        match self.nodes {
+            Some(addrs) => Ok(Target::Ring(Box::new(ring_client(
+                addrs,
+                self.wait,
+                self.replication,
+            )?))),
+            None => {
+                let addr = self.addr.as_deref().ok_or_else(usage)?;
+                Ok(Target::Single(connect_wait(addr, self.wait)?))
+            }
+        }
+    }
+
+    /// Opens a ring client whether the nodes came from `--nodes` or a
+    /// bare `a,b,c` positional (the `cluster-stats` spelling; a
+    /// single comma-free address is just a one-node ring).
+    fn open_ring(self) -> Result<ClusterClient, String> {
+        let nodes = match (self.nodes, self.addr) {
+            (Some(nodes), _) => nodes,
+            (None, Some(csv)) => csv.split(',').map(str::to_string).collect(),
+            (None, None) => return Err(usage()),
+        };
+        ring_client(nodes, self.wait, self.replication)
+    }
+}
+
 /// Where a query goes: one server, or a rendezvous-routed ring of
 /// them. The ring speaks the identical wire protocol — only the
-/// client-side node choice (and failover) differs.
+/// client-side node choice (and failover) differs. Both arms take
+/// the same options structs, so each verb is one two-line match.
 enum Target {
     Single(Client),
     Ring(Box<ClusterClient>),
 }
 
 impl Target {
-    fn open(
-        addr: Option<&str>,
-        nodes: Option<Vec<String>>,
-        wait: Option<Duration>,
-        replication: usize,
-    ) -> Result<Target, String> {
-        match nodes {
-            Some(addrs) => Ok(Target::Ring(Box::new(ring_client(
-                addrs,
-                wait,
-                replication,
-            )?))),
-            None => {
-                let addr = addr.ok_or_else(usage)?;
-                Ok(Target::Single(connect_wait(addr, wait)?))
-            }
-        }
-    }
-
     fn certify(
         &mut self,
         g: &Graph,
-        bypass: bool,
-        scheme: SchemeId,
+        opts: CertifyOptions,
     ) -> Result<Response, dpc_service::WireError> {
         match self {
-            Target::Single(c) => c.certify_scheme(g, bypass, scheme),
-            Target::Ring(cc) => cc.certify_scheme(g, bypass, scheme),
+            Target::Single(c) => c.certify(g, opts),
+            Target::Ring(cc) => cc.certify(g, opts),
         }
     }
 
-    /// Streams the graph through the chunked-upload frames instead of
-    /// one `Certify` frame. Single-server only — `query_cmd` rejects
-    /// the ring combination before a `Target` is even opened.
-    fn certify_chunked(
-        &mut self,
-        g: &Graph,
-        bypass: bool,
-        scheme: SchemeId,
-    ) -> Result<Response, dpc_service::WireError> {
+    fn check(&mut self, g: &Graph, opts: CheckOptions) -> Result<Response, dpc_service::WireError> {
         match self {
-            Target::Single(c) => {
-                c.certify_chunked(g, bypass, scheme, dpc_service::wire::DEFAULT_CHUNK_BYTES)
-            }
-            Target::Ring(_) => unreachable!("--chunked with --nodes is rejected in query_cmd"),
-        }
-    }
-
-    fn check(&mut self, g: &Graph, scheme: SchemeId) -> Result<Response, dpc_service::WireError> {
-        match self {
-            Target::Single(c) => c.check_scheme(g, scheme),
-            Target::Ring(cc) => cc.check_scheme(g, scheme),
+            Target::Single(c) => c.check(g, opts),
+            Target::Ring(cc) => cc.check(g, opts),
         }
     }
 
@@ -713,23 +859,33 @@ impl Target {
         family: &str,
         n: u32,
         seed: u64,
-        scheme: SchemeId,
+        opts: GenOptions,
     ) -> Result<Graph, dpc_service::WireError> {
         match self {
-            Target::Single(c) => c.gen_scheme(family, n, seed, scheme),
-            Target::Ring(cc) => cc.gen_scheme(family, n, seed, scheme),
+            Target::Single(c) => c.gen(family, n, seed, opts),
+            Target::Ring(cc) => cc.gen(family, n, seed, opts),
         }
     }
 
     fn soundness(
         &mut self,
         g: &Graph,
-        seed: u64,
-        scheme: SchemeId,
+        opts: SoundnessOptions,
     ) -> Result<Response, dpc_service::WireError> {
         match self {
-            Target::Single(c) => c.soundness_scheme(g, seed, scheme),
-            Target::Ring(cc) => cc.soundness_scheme(g, seed, scheme),
+            Target::Single(c) => c.soundness(g, opts),
+            Target::Ring(cc) => cc.soundness(g, opts),
+        }
+    }
+
+    fn interactive(
+        &mut self,
+        g: &Graph,
+        opts: InteractiveOptions,
+    ) -> Result<Response, dpc_service::WireError> {
+        match self {
+            Target::Single(c) => c.interactive(g, opts),
+            Target::Ring(cc) => cc.interactive(g, opts),
         }
     }
 
@@ -794,21 +950,97 @@ fn render_fleet(cc: &mut ClusterClient) -> Result<String, String> {
 
 fn cluster_stats_cmd(rest: &[&str]) -> Result<String, String> {
     let mut args: Vec<&str> = rest.to_vec();
-    let ConnFlags {
-        wait,
-        mut nodes,
-        replication,
-    } = take_conn_flags(&mut args)?;
     // a bare csv positional works too: `dpc cluster-stats a,b,c`
-    if nodes.is_none() && args.len() == 1 {
-        nodes = Some(args.remove(0).split(',').map(str::to_string).collect());
-    }
+    let endpoint = Endpoint::take(&mut args)?;
     if !args.is_empty() {
         return Err(usage());
     }
-    let nodes = nodes.ok_or_else(usage)?;
-    let mut cc = ring_client(nodes, wait, replication)?;
+    let mut cc = endpoint.open_ring()?;
     render_fleet(&mut cc)
+}
+
+/// One on-demand audit pass per node: the same randomized sweep
+/// `dpc serve --audit` runs in the background, with the caller's
+/// sizing and seed — so a reported verdict can be reproduced exactly
+/// by rerunning with the same flags.
+fn audit_cmd(rest: &[&str]) -> Result<String, String> {
+    let mut args: Vec<&str> = rest.to_vec();
+    let samples = take_flag_value(&mut args, "--samples")?
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| "samples must be a number".to_string())
+        })
+        .transpose()?
+        .unwrap_or(64);
+    let seed = take_flag_value(&mut args, "--seed")?
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| "seed must be a number".to_string())
+        })
+        .transpose()?
+        .unwrap_or(0);
+    let endpoint = Endpoint::take(&mut args)?;
+    if !args.is_empty() {
+        return Err(usage());
+    }
+    let opts = AuditOptions::new().samples(samples).seed(seed);
+    let render = |sampled: u64, failed: u64, quarantined: u64| {
+        format!(
+            "{sampled} sampled, {failed} failed verification, {quarantined} quarantined{}",
+            if failed > 0 {
+                " — quarantined certificates re-prove on their next query"
+            } else {
+                ""
+            }
+        )
+    };
+    if endpoint.is_ring() {
+        let mut cc = endpoint.open_ring()?;
+        let mut out = String::new();
+        let (mut sampled, mut failed, mut quarantined, mut down) = (0u64, 0u64, 0u64, 0usize);
+        let reports = cc.node_audits(opts);
+        let total = reports.len();
+        for (addr, result) in reports {
+            match result {
+                Ok(Response::AuditReport {
+                    sampled: s,
+                    failed: f,
+                    quarantined: q,
+                }) => {
+                    sampled += s;
+                    failed += f;
+                    quarantined += q;
+                    out.push_str(&format!("node {addr}: {}\n", render(s, f, q)));
+                }
+                Ok(Response::Error(e)) => {
+                    down += 1;
+                    out.push_str(&format!("node {addr}: ERROR ({e})\n"));
+                }
+                Ok(other) => return Err(format!("unexpected response to Audit: {other:?}")),
+                Err(e) => {
+                    down += 1;
+                    out.push_str(&format!("node {addr}: DOWN ({e})\n"));
+                }
+            }
+        }
+        out.push_str(&format!(
+            "fleet ({}/{total} nodes audited): {}\n",
+            total - down,
+            render(sampled, failed, quarantined),
+        ));
+        return Ok(out);
+    }
+    let addr = endpoint.addr.clone().ok_or_else(usage)?;
+    let mut c = connect_wait(&addr, endpoint.wait)?;
+    match c.audit(opts).map_err(|e| e.to_string())? {
+        Response::AuditReport {
+            sampled,
+            failed,
+            quarantined,
+        } => Ok(format!("audit: {}\n", render(sampled, failed, quarantined))),
+        Response::Error(e) => Err(e),
+        other => Err(format!("unexpected response to Audit: {other:?}")),
+    }
 }
 
 /// One slow-log table (shared by the single-server and per-node
@@ -852,17 +1084,12 @@ fn render_slowlog(entries: &[SlowLogEntry]) -> String {
 
 fn slowlog_cmd(rest: &[&str]) -> Result<String, String> {
     let mut args: Vec<&str> = rest.to_vec();
-    let ConnFlags {
-        wait,
-        nodes,
-        replication,
-    } = take_conn_flags(&mut args)?;
-    match nodes {
-        Some(addrs) => {
-            if !args.is_empty() {
-                return Err(usage());
-            }
-            let mut cc = ring_client(addrs, wait, replication)?;
+    let endpoint = Endpoint::take(&mut args)?;
+    if !args.is_empty() {
+        return Err(usage());
+    }
+    match endpoint.open()? {
+        Target::Ring(mut cc) => {
             let mut out = String::new();
             for (addr, result) in cc.node_slowlog() {
                 match result {
@@ -875,11 +1102,7 @@ fn slowlog_cmd(rest: &[&str]) -> Result<String, String> {
             }
             Ok(out)
         }
-        None => {
-            let [addr] = args.as_slice() else {
-                return Err(usage());
-            };
-            let mut client = connect_wait(addr, wait)?;
+        Target::Single(mut client) => {
             let entries = client.slowlog().map_err(|e| e.to_string())?;
             Ok(render_slowlog(&entries))
         }
@@ -929,11 +1152,6 @@ fn render_top_frame(label: &str, prev: &StatsSnapshot, cur: &StatsSnapshot, dt: 
 /// smoke steps; otherwise frames stream until the process is killed.
 fn top_cmd(rest: &[&str]) -> Result<String, String> {
     let mut args: Vec<&str> = rest.to_vec();
-    let ConnFlags {
-        wait,
-        nodes,
-        replication,
-    } = take_conn_flags(&mut args)?;
     let once = args.contains(&"--once");
     args.retain(|&a| a != "--once");
     let interval = take_flag_value(&mut args, "--interval-ms")?
@@ -945,19 +1163,11 @@ fn top_cmd(rest: &[&str]) -> Result<String, String> {
         .unwrap_or(1000)
         .max(1);
     let interval = Duration::from_millis(interval);
-    let addr = match nodes {
-        None => {
-            if args.is_empty() {
-                return Err(usage());
-            }
-            Some(args.remove(0))
-        }
-        Some(_) => None,
-    };
+    let endpoint = Endpoint::take(&mut args)?;
     if !args.is_empty() {
         return Err(usage());
     }
-    let mut target = Target::open(addr, nodes, wait, replication)?;
+    let mut target = endpoint.open()?;
     let mut prev = target.stats_all()?;
     let mut prev_at = Instant::now();
     loop {
@@ -1054,14 +1264,9 @@ fn store_merge_cmd(dst: &str, srcs: &[&str]) -> Result<String, String> {
 
 fn query_cmd(rest: &[&str]) -> Result<String, String> {
     // flags may appear anywhere: `--scheme <name>` on any
-    // graph-carrying query, `--wait-ms <n>` / `--nodes a,b,c` on all
-    // of them; strip them here so the match below stays flat
+    // graph-carrying query, the shared connection flags on all of
+    // them; strip them here so the match below stays flat
     let mut args: Vec<&str> = rest.to_vec();
-    let ConnFlags {
-        wait,
-        nodes,
-        replication,
-    } = take_conn_flags(&mut args)?;
     let mut scheme = SchemeId::PLANARITY;
     let mut scheme_name = "planarity".to_string();
     if let Some(name) = take_flag_value(&mut args, "--scheme")? {
@@ -1070,21 +1275,13 @@ fn query_cmd(rest: &[&str]) -> Result<String, String> {
     }
     let chunked = args.contains(&"--chunked");
     args.retain(|&a| a != "--chunked");
-    if chunked && nodes.is_some() {
+    let endpoint = Endpoint::take(&mut args)?;
+    if chunked && endpoint.is_ring() {
         // a chunk session lives on one connection; rendezvous routing
         // would need the graph key, which requires the whole graph
         // anyway — query the owner directly instead
         return Err("--chunked streams to a single server (drop --nodes)".to_string());
     }
-    // without --nodes, the first positional is the server address
-    let addr = if nodes.is_none() {
-        if args.is_empty() {
-            return Err(usage());
-        }
-        Some(args.remove(0))
-    } else {
-        None
-    };
     // id-reading schemes cannot travel through this subcommand's
     // graph exchange format — inbound (certify/check/soundness parse
     // graph6, which has no id field) or outbound (gen prints graph6,
@@ -1102,18 +1299,25 @@ fn query_cmd(rest: &[&str]) -> Result<String, String> {
         return Err(format!(
             "scheme {scheme_name} reads network identifiers, which graph6 cannot carry \
              (encoding a graph drops its ids) — use the binary wire protocol instead \
-             (dpc_service::Client::certify_scheme, or the `blocks` family in \
-             crates/service/tests/registry_e2e.rs)"
+             (dpc_service::Client::certify with CertifyOptions, or the `blocks` family \
+             in crates/service/tests/registry_e2e.rs)"
         ));
     }
-    let mut target = Target::open(addr, nodes, wait, replication)?;
+    let certify_opts = |bypass: bool| {
+        let opts = CertifyOptions::new().scheme(scheme);
+        let opts = if bypass { opts.bypass() } else { opts };
+        if chunked {
+            opts.chunked(dpc_service::wire::DEFAULT_CHUNK_BYTES)
+        } else {
+            opts
+        }
+    };
+    let mut target = endpoint.open()?;
     let response = match args.as_slice() {
-        ["certify", s] if chunked => target.certify_chunked(&parse(s)?, false, scheme),
-        ["certify", "--no-cache", s] if chunked => target.certify_chunked(&parse(s)?, true, scheme),
-        ["certify", s] => target.certify(&parse(s)?, false, scheme),
-        ["certify", "--no-cache", s] => target.certify(&parse(s)?, true, scheme),
+        ["certify", s] => target.certify(&parse(s)?, certify_opts(false)),
+        ["certify", "--no-cache", s] => target.certify(&parse(s)?, certify_opts(true)),
         _ if chunked => return Err("--chunked only applies to certify".to_string()),
-        ["check", s] => target.check(&parse(s)?, scheme),
+        ["check", s] => target.check(&parse(s)?, CheckOptions::new().scheme(scheme)),
         ["gen", family, n, rest @ ..] => {
             let n: u32 = n.parse().map_err(|_| "n must be a number".to_string())?;
             let seed: u64 = match rest {
@@ -1122,7 +1326,7 @@ fn query_cmd(rest: &[&str]) -> Result<String, String> {
                 _ => return Err(usage()),
             };
             let g = target
-                .gen(family, n, seed, scheme)
+                .gen(family, n, seed, GenOptions::new().scheme(scheme))
                 .map_err(|e| e.to_string())?;
             return Ok(format!("{}\n", graph6::encode(&g)));
         }
@@ -1132,7 +1336,21 @@ fn query_cmd(rest: &[&str]) -> Result<String, String> {
                 [x] => x.parse().map_err(|_| "seed must be a number".to_string())?,
                 _ => return Err(usage()),
             };
-            target.soundness(&parse(s)?, seed, scheme)
+            target.soundness(
+                &parse(s)?,
+                SoundnessOptions::new().seed(seed).scheme(scheme),
+            )
+        }
+        ["interactive", s, rest @ ..] => {
+            let seed: u64 = match rest {
+                [] => 1,
+                [x] => x.parse().map_err(|_| "seed must be a number".to_string())?,
+                _ => return Err(usage()),
+            };
+            target.interactive(
+                &parse(s)?,
+                InteractiveOptions::new().seed(seed).scheme(scheme),
+            )
         }
         ["stats"] => return target.stats_text(),
         _ => return Err(usage()),
@@ -1212,6 +1430,36 @@ fn render_response(resp: Response, scheme: &str) -> Result<String, String> {
         Response::ChunkAck { session, received } => Ok(format!(
             "chunk ack: session {session:#x}, {received} frame(s) received\n"
         )),
+        // the interactive client consumes the challenge itself; one
+        // reaching the renderer means the session desynchronized
+        Response::Challenge { session, challenge } => Ok(format!(
+            "interactive challenge: session {session:#x}, challenge {challenge:#x}\n"
+        )),
+        Response::Verdict {
+            session,
+            challenge,
+            accept,
+            reject_count,
+            nodes,
+            max_commit_bits,
+            max_response_bits,
+            soundness_ppm,
+        } => Ok(format!(
+            "scheme: {scheme}\nsession: {session:#x}\nchallenge: {challenge:#x}\nverdict: {}\ncommit: {max_commit_bits} bits/node, response: {max_response_bits} bits/node ({nodes} nodes)\nsoundness: a forged proof survives one challenge w.p. <= {soundness_ppm}/1000000 ({:.4})\n",
+            if accept {
+                "all nodes accept".to_string()
+            } else {
+                format!("{reject_count} nodes reject")
+            },
+            soundness_ppm as f64 / 1e6,
+        )),
+        Response::AuditReport {
+            sampled,
+            failed,
+            quarantined,
+        } => Ok(format!(
+            "audit: {sampled} sampled, {failed} failed verification, {quarantined} quarantined\n"
+        )),
     }
 }
 
@@ -1285,11 +1533,6 @@ impl GraphSpec {
 
 fn bench_serve_cmd(rest: &[&str]) -> Result<String, String> {
     let mut args: Vec<&str> = rest.to_vec();
-    let ConnFlags {
-        wait,
-        nodes,
-        replication,
-    } = take_conn_flags(&mut args)?;
     let graph_spec = take_flag_value(&mut args, "--graph")?
         .map(|s| GraphSpec::parse(&s))
         .transpose()?;
@@ -1307,17 +1550,31 @@ fn bench_serve_cmd(rest: &[&str]) -> Result<String, String> {
     let threaded = args.contains(&"--threaded");
     let mode_flagged = threaded || args.contains(&"--event-loop");
     args.retain(|&a| a != "--threaded" && a != "--event-loop");
+    let endpoint = if distributed && !args.iter().any(|a| !a.starts_with("--")) {
+        // --distributed may legally arrive with no positional at all
+        // (count defaults); resolve flags only, then demand the ring
+        let ConnFlags {
+            wait,
+            nodes,
+            replication,
+        } = take_conn_flags(&mut args)?;
+        Endpoint {
+            nodes,
+            addr: None,
+            wait,
+            replication,
+        }
+    } else {
+        Endpoint::take(&mut args)?
+    };
     if let Some(csv) = connections {
-        if nodes.is_some() {
+        if endpoint.is_ring() {
             return Err("--connections drives a single server, not --nodes".to_string());
         }
-        if args.is_empty() {
-            return Err(usage());
-        }
-        let addr = args.remove(0).to_string();
         if !args.is_empty() {
             return Err(usage());
         }
+        let addr = endpoint.addr.clone().ok_or_else(usage)?;
         let counts: Vec<usize> = csv
             .split(',')
             .map(|t| {
@@ -1326,10 +1583,19 @@ fn bench_serve_cmd(rest: &[&str]) -> Result<String, String> {
                     .map_err(|_| format!("bad connection count {t:?}"))
             })
             .collect::<Result<_, _>>()?;
-        return bench_storm(&addr, &counts, per_conn, threaded, mode_flagged, wait);
+        return bench_storm(
+            &addr,
+            &counts,
+            per_conn,
+            threaded,
+            mode_flagged,
+            endpoint.wait,
+        );
     }
     if distributed {
-        let nodes = nodes.ok_or("--distributed drives a ring: give --nodes a,b,c")?;
+        if !endpoint.is_ring() {
+            return Err("--distributed drives a ring: give --nodes a,b,c".to_string());
+        }
         let count = match args.as_slice() {
             [] => 12usize,
             [c] => c
@@ -1337,16 +1603,8 @@ fn bench_serve_cmd(rest: &[&str]) -> Result<String, String> {
                 .map_err(|_| "count must be a number".to_string())?,
             _ => return Err(usage()),
         };
-        return bench_distributed(nodes, count.max(1), graph_spec, wait, replication);
+        return bench_distributed(endpoint, count.max(1), graph_spec);
     }
-    let addr = if nodes.is_none() {
-        if args.is_empty() {
-            return Err(usage());
-        }
-        Some(args.remove(0).to_string())
-    } else {
-        None
-    };
     let (hits, side) = match args.as_slice() {
         [] => (32usize, 100u32),
         [hits] => (
@@ -1365,19 +1623,18 @@ fn bench_serve_cmd(rest: &[&str]) -> Result<String, String> {
     // at least one sample on each side, or the percentiles (and the
     // reported speedup) would be fabricated from zero measurements
     let hits = hits.max(1);
-    match (addr, nodes) {
-        (Some(addr), None) => bench_single(&addr, hits, side, graph_spec, wait),
-        (None, Some(nodes)) => {
-            if graph_spec.is_some() {
-                // the ring bench picks its graphs BY OWNER (two per
-                // node); a fixed spec would defeat that selection
-                return Err(
-                    "--graph applies to the single-server and --distributed benches".to_string(),
-                );
-            }
-            bench_ring(nodes, hits, side, wait, replication)
+    if endpoint.is_ring() {
+        if graph_spec.is_some() {
+            // the ring bench picks its graphs BY OWNER (two per
+            // node); a fixed spec would defeat that selection
+            return Err(
+                "--graph applies to the single-server and --distributed benches".to_string(),
+            );
         }
-        _ => unreachable!("addr xor nodes by construction"),
+        bench_ring(endpoint, hits, side)
+    } else {
+        let addr = endpoint.addr.clone().ok_or_else(usage)?;
+        bench_single(&addr, hits, side, graph_spec, endpoint.wait)
     }
 }
 
@@ -1647,14 +1904,8 @@ fn bench_storm(
 /// rounds, then reports fleet-aggregated stats plus the client-side
 /// routing counters — and the same machine-readable JSON trailer the
 /// single-node bench emits, extended with `ring_*` fields.
-fn bench_ring(
-    nodes: Vec<String>,
-    hits: usize,
-    side: u32,
-    wait: Option<Duration>,
-    replication: usize,
-) -> Result<String, String> {
-    let mut cc = ring_client(nodes, wait, replication)?;
+fn bench_ring(endpoint: Endpoint, hits: usize, side: u32) -> Result<String, String> {
+    let mut cc = endpoint.open_ring()?;
     let ring_nodes = cc.ring().len();
     let replication = cc.replication();
     let n = side * side;
@@ -1777,14 +2028,13 @@ fn bench_ring(
 /// so CI can skip the speedup gate on a 1-core runner (the
 /// byte-identity gate never skips).
 fn bench_distributed(
-    nodes: Vec<String>,
+    endpoint: Endpoint,
     count: usize,
     spec: Option<GraphSpec>,
-    wait: Option<Duration>,
-    replication: usize,
 ) -> Result<String, String> {
     let spec = spec.unwrap_or(GraphSpec::Tri(2000));
-    let mut cc = ring_client(nodes, wait, replication)?;
+    let wait = endpoint.wait;
+    let mut cc = endpoint.open_ring()?;
     let ring_nodes = cc.ring().len();
     let first = cc.ring().addrs()[0].clone();
     let graphs: Vec<Graph> = (0..count).map(|i| spec.make(i as u64 + 1)).collect();
@@ -1796,7 +2046,7 @@ fn bench_distributed(
     let mut seq_results: Vec<Option<Outcome>> = Vec::with_capacity(count);
     for g in &graphs {
         match seq_client
-            .certify_summary(g, true, SchemeId::PLANARITY)
+            .certify(g, CertifyOptions::new().bypass().summary())
             .map_err(|e| e.to_string())?
         {
             Response::CertifiedSummary { outcome, .. } => seq_results.push(Some(outcome)),
@@ -2203,7 +2453,22 @@ mod tests {
         let compact = run(&["store", "compact", &dir_s]).unwrap();
         assert!(compact.contains("2 records live"), "{compact}");
         assert!(run(&["store", "nosuch", &dir_s]).is_err());
+
+        // the chaos tool flips a verdict but keeps the store
+        // structurally clean: `verify` still passes afterwards (the
+        // whole point — only the auditor can catch the lie)
+        let corrupt = run(&["store", "corrupt", &dir_s]).unwrap();
+        assert!(corrupt.contains("flipped one verdict"), "{corrupt}");
+        let after = run(&["store", "verify", &dir_s]).unwrap();
+        assert!(after.contains("verifies clean"), "{after}");
         let _ = std::fs::remove_dir_all(&dir);
+
+        // nothing to corrupt is a loud error, not a silent no-op
+        let empty = std::env::temp_dir().join(format!("dpc-cli-nocorr-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&empty);
+        std::fs::create_dir_all(&empty).unwrap();
+        assert!(run(&["store", "corrupt", &empty.display().to_string()]).is_err());
+        let _ = std::fs::remove_dir_all(&empty);
     }
 
     /// Starts `n` servers, each with a store under `base`; returns
